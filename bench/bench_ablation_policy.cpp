@@ -1,0 +1,53 @@
+// Ablation A3 (DESIGN.md): password policy (length x character classes).
+//
+// Section III-B4 lets users curtail length and restrict the character set
+// per site policy; section IV-E analyzes only the default. This sweep
+// quantifies what each restriction costs in keyspace and offline-cracking
+// time, with the measured composition alongside.
+//
+//   ./bench/bench_ablation_policy
+#include <cstdio>
+
+#include "attacks/guessing.h"
+#include "eval/strength.h"
+
+using namespace amnesia;
+
+int main() {
+  struct CharsetOption {
+    const char* name;
+    core::CharacterTable table;
+  };
+  const CharsetOption charsets[] = {
+      {"digits(10)", core::CharacterTable::from_categories(false, false,
+                                                           true, false)},
+      {"alnum(62)", core::CharacterTable::from_categories(true, true, true,
+                                                          false)},
+      {"full(94)", core::CharacterTable::default_table()},
+  };
+
+  std::printf("Ablation: per-account password policy "
+              "(paper default: full 94-char set, length 32)\n\n");
+  std::printf("%-12s %-6s %14s %22s %16s\n", "charset", "len", "keyspace",
+              "crack@1e12/s (log10 s)", "measured distinct");
+
+  for (const auto& charset : charsets) {
+    for (const std::size_t length : {8u, 12u, 16u, 24u, 32u}) {
+      const core::PasswordPolicy policy{charset.table, length};
+      const double space = attacks::password_space_log10(policy);
+      const double crack = attacks::crack_seconds_log10(space, 1e12);
+      const auto comp = eval::measure_composition(500, policy, length);
+      std::printf("%-12s %-6zu %14s %22.1f %10zu/500%s\n", charset.name,
+                  length, attacks::scientific(space).c_str(), crack,
+                  comp.distinct,
+                  charset.table.size() == 94 && length == 32 ? "  <- paper"
+                                                             : "");
+    }
+  }
+
+  std::printf("\nReadout: an 8-digit PIN policy (1e8 space) is crackable "
+              "offline in under a\nmillisecond at 1e12/s; the default "
+              "94^32 needs ~1e43 years. Even alnum-16\n(4.8e28) is far "
+              "beyond offline reach — length dominates charset width.\n");
+  return 0;
+}

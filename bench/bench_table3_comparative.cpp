@@ -1,0 +1,56 @@
+// Regenerates Table III: the Bonneau-framework comparative evaluation of
+// Password / Firefox (MP) / LastPass / Tapas / Amnesia.
+//
+//   ./bench/bench_table3_comparative [--explain]
+#include <cstdio>
+#include <cstring>
+
+#include "eval/uds.h"
+
+using namespace amnesia::eval;
+
+int main(int argc, char** argv) {
+  const bool explain = argc > 1 && std::strcmp(argv[1], "--explain") == 0;
+
+  const auto schemes = table3_schemes();
+  std::printf("TABLE III: Amnesia Comparative Evaluation "
+              "(Y = fulfills, o = semi-fulfills, - = does not)\n\n");
+  std::printf("%s\n", render_table3(schemes).c_str());
+
+  std::printf("Per-category tallies (fulfilled / semi / unfulfilled):\n");
+  std::printf("%-14s %-16s %-16s %-16s\n", "Scheme", "Usability",
+              "Deployability", "Security");
+  for (const auto& scheme : schemes) {
+    const auto u = scheme.tally(Category::kUsability);
+    const auto d = scheme.tally(Category::kDeployability);
+    const auto s = scheme.tally(Category::kSecurity);
+    std::printf("%-14s %2d / %2d / %2d     %2d / %2d / %2d     "
+                "%2d / %2d / %2d\n",
+                scheme.name.c_str(), u[0], u[1], u[2], d[0], d[1], d[2],
+                s[0], s[1], s[2]);
+  }
+
+  std::printf("\nPaper narrative checks:\n");
+  const auto& amnesia = schemes.back();
+  const auto d = amnesia.tally(Category::kDeployability);
+  std::printf("  Amnesia fulfills all deployability but Mature: %s\n",
+              d[0] == 5 && d[2] == 1 ? "yes" : "NO");
+  std::printf("  Amnesia concedes physical + internal observation: %s\n",
+              amnesia.cell(Benefit::kResilientToPhysicalObservation).score ==
+                          Score::kNo &&
+                      amnesia.cell(Benefit::kResilientToInternalObservation)
+                              .score == Score::kNo
+                  ? "yes"
+                  : "NO");
+
+  if (explain) {
+    std::printf("\n");
+    for (const auto& scheme : schemes) {
+      std::printf("%s\n", render_rationales(scheme).c_str());
+    }
+  } else {
+    std::printf("\n(run with --explain for the per-cell rationale of every "
+                "mark)\n");
+  }
+  return 0;
+}

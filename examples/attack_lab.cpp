@@ -1,0 +1,109 @@
+// Attack lab: runs the five adversaries of paper section IV against a
+// live system and prints what each one learned.
+//
+//   ./examples/attack_lab
+#include <cstdio>
+
+#include "attacks/guessing.h"
+#include "attacks/scenarios.h"
+
+using namespace amnesia;
+
+namespace {
+
+const char* yn(bool v) { return v ? "YES" : "no"; }
+
+}  // namespace
+
+int main() {
+  const core::AccountId gmail{"Alice", "mail.google.com"};
+
+  std::printf("Provisioning a victim (user 'alice', weak-ish MP, two "
+              "accounts, paired phone)...\n");
+  eval::TestbedConfig config;
+  config.server.mp_hash.iterations = 64;  // keep the dictionary demo fast
+  eval::Testbed bed(config);
+  if (!bed.provision("alice", "Tr0ub4dor&3").ok() ||
+      !bed.add_account("Alice", "mail.google.com").ok() ||
+      !bed.add_account("Bob", "www.yahoo.com").ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  std::printf("\n== IV-C: server breach (all data at rest) ==\n");
+  const auto breach = attacks::run_server_breach(
+      bed, "alice", {"123456", "password", "qwerty", "princess"});
+  std::printf("  account identities visible:   %zu (",
+              breach.visible_accounts.size());
+  for (const auto& account : breach.visible_accounts) {
+    std::printf(" %s", account.c_str());
+  }
+  std::printf(" )\n");
+  std::printf("  Oid / seeds / Rid exposed:    %s / %s / %s\n",
+              yn(breach.oid_exposed), yn(breach.seeds_exposed),
+              yn(breach.registration_id_exposed));
+  std::printf("  any site password recovered:  %s\n",
+              yn(breach.site_password_recovered));
+  std::printf("  token brute-force space:      %s combinations\n",
+              attacks::scientific(breach.token_bruteforce_space_log10).c_str());
+  std::printf("  MP cracked by %zu-word dict:   %s\n", breach.dictionary_size,
+              yn(breach.master_password_cracked));
+
+  std::printf("\n== IV-D: phone compromise (full K_p theft) ==\n");
+  const auto phone = attacks::run_phone_compromise(bed, "alice", gmail);
+  std::printf("  K_p extracted (N=%zu):        %s\n", phone.entry_table_size,
+              yn(phone.kp_extracted));
+  std::printf("  password from K_p alone:      %s "
+              "(seed space %s)\n",
+              yn(phone.site_password_recovered),
+              attacks::scientific(phone.seed_space_log10).c_str());
+  std::printf("  password with K_p AND K_s:    %s  <- both factors = breach\n",
+              yn(phone.password_recovered_with_server_breach));
+
+  std::printf("\n== IV-B: rendezvous (GCM) eavesdropping ==\n");
+  const auto eavesdrop = attacks::run_rendezvous_eavesdrop(
+      bed, "alice", gmail,
+      {gmail, {"Bob", "www.yahoo.com"}, {"Alice", "bank.example"}});
+  std::printf("  pushes observed in cleartext: %zu\n",
+              eavesdrop.requests_observed);
+  std::printf("  account identified from R:    %s (sigma blinds it)\n",
+              yn(eavesdrop.account_identified));
+  std::printf("  ...but WITHOUT sigma it would be: %s\n",
+              yn(eavesdrop.account_identified_without_seed));
+
+  std::printf("\n== IV-A: broken HTTPS, browser<->server leg ==\n");
+  const auto browser_leg =
+      attacks::run_browser_leg_compromise(bed, "alice", gmail);
+  std::printf("  records decrypted:            %zu\n",
+              browser_leg.records_decrypted);
+  std::printf("  generated password stolen:    %s  <- the exposure the "
+              "paper admits\n",
+              yn(browser_leg.generated_password_stolen));
+
+  std::printf("\n== IV-A: broken HTTPS, phone<->server leg ==\n");
+  const auto phone_leg = attacks::run_phone_leg_compromise(bed, "alice", gmail);
+  std::printf("  token T observed:             %s\n",
+              yn(phone_leg.token_observed));
+  std::printf("  password derived from T:      %s ('having T alone is "
+              "useless')\n",
+              yn(phone_leg.password_derived_from_token));
+
+  std::printf("\n== IV-C coda: rogue request against a naive user ==\n");
+  const auto naive = attacks::run_rogue_request(bed, "alice", gmail,
+                                                /*user_accepts=*/true);
+  std::printf("  push delivered/accepted:      %s / %s\n",
+              yn(naive.push_delivered), yn(naive.user_accepted));
+  std::printf("  token captured, password won: %s / %s\n",
+              yn(naive.token_captured), yn(naive.site_password_recovered));
+
+  const auto vigilant = attacks::run_rogue_request(bed, "alice", gmail,
+                                                   /*user_accepts=*/false);
+  std::printf("  ...and against a vigilant user: token %s, password %s\n",
+              yn(vigilant.token_captured),
+              yn(vigilant.site_password_recovered));
+
+  std::printf("\nSummary: every claim of section IV reproduced — breaching "
+              "any single\ncomponent yields no site password; the admitted "
+              "exposures occur exactly\nwhere the paper says they do.\n");
+  return 0;
+}

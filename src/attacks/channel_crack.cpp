@@ -1,0 +1,129 @@
+#include "attacks/channel_crack.h"
+
+#include "common/error.h"
+#include "storage/codec.h"
+#include "websvc/http.h"
+
+namespace amnesia::attacks {
+
+namespace {
+
+constexpr std::size_t kNodeHeader = 9;
+constexpr std::uint8_t kClientHello = 0x01;
+constexpr std::uint8_t kServerHello = 0x02;
+constexpr std::uint8_t kData = 0x03;
+constexpr std::size_t kNonceLen = 16;
+
+Bytes direction_aad(std::uint8_t direction, std::uint64_t channel_id) {
+  storage::BufWriter w;
+  w.u8(direction);
+  w.u64(channel_id);
+  return w.take();
+}
+
+}  // namespace
+
+WireTap::WireTap(simnet::Network& network, const simnet::NodeId& from,
+                 const simnet::NodeId& to)
+    : network_(network) {
+  tap_id_ = network_.add_tap(from, to, [this](Micros, simnet::Message& msg) {
+    frames_.push_back(msg);
+    return simnet::TapAction::kPass;
+  });
+}
+
+WireTap::~WireTap() { network_.remove_tap(tap_id_); }
+
+std::optional<Bytes> envelope_of(const simnet::Message& frame) {
+  if (frame.payload.size() <= kNodeHeader) return std::nullopt;
+  return Bytes(frame.payload.begin() + kNodeHeader, frame.payload.end());
+}
+
+std::vector<Bytes> decrypt_records(const std::vector<simnet::Message>& frames,
+                                   const securechan::ChannelKeys& keys,
+                                   Direction direction) {
+  std::vector<Bytes> plaintexts;
+  const bool c2s = direction == Direction::kClientToServer;
+  const Bytes& key = c2s ? keys.client_to_server_key
+                         : keys.server_to_client_key;
+  const Bytes& iv = c2s ? keys.client_to_server_iv
+                        : keys.server_to_client_iv;
+  for (const auto& frame : frames) {
+    const auto env = envelope_of(frame);
+    if (!env || (*env)[0] != kData) continue;
+    try {
+      storage::BufReader r(*env);
+      r.u8();  // type
+      const std::uint64_t channel_id = r.u64();
+      const std::uint64_t seq = r.u64();
+      const Bytes sealed = r.bytes();
+      const auto plain = securechan::open_record(
+          key, iv, seq, direction_aad(c2s ? 0 : 1, channel_id), sealed);
+      if (plain) plaintexts.push_back(*plain);
+    } catch (const FormatError&) {
+      continue;
+    }
+  }
+  return plaintexts;
+}
+
+std::optional<securechan::ChannelKeys> derive_keys_from_capture(
+    const std::vector<simnet::Message>& frames,
+    const crypto::X25519Key& server_static_private) {
+  std::optional<Bytes> eph_pub;
+  std::optional<Bytes> client_nonce;
+  for (const auto& frame : frames) {
+    const auto env = envelope_of(frame);
+    if (!env) continue;
+    try {
+      storage::BufReader r(*env);
+      const std::uint8_t type = r.u8();
+      if (type == kClientHello) {
+        Bytes pub;
+        for (int i = 0; i < 32; ++i) pub.push_back(r.u8());
+        Bytes nonce;
+        for (std::size_t i = 0; i < kNonceLen; ++i) nonce.push_back(r.u8());
+        eph_pub = std::move(pub);
+        client_nonce = std::move(nonce);
+      } else if (type == kServerHello && eph_pub) {
+        Bytes server_nonce;
+        for (std::size_t i = 0; i < kNonceLen; ++i) {
+          server_nonce.push_back(r.u8());
+        }
+        // ss = x25519(static_priv, eph_pub): no forward secrecy against
+        // static-key compromise.
+        const auto shared = crypto::x25519(
+            ByteView(server_static_private.data(),
+                     server_static_private.size()),
+            *eph_pub);
+        return securechan::derive_keys(ByteView(shared.data(), shared.size()),
+                                       *client_nonce, server_nonce);
+      }
+    } catch (const FormatError&) {
+      continue;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> scrape_form_field(
+    const std::vector<Bytes>& plaintexts, const std::string& field) {
+  for (const auto& plain : plaintexts) {
+    const std::string text = to_string(plain);
+    // Plaintexts are serialized HTTP messages; the form body follows the
+    // blank line.
+    const std::size_t body_at = text.find("\r\n\r\n");
+    if (body_at == std::string::npos) continue;
+    try {
+      const auto fields =
+          websvc::form_decode(text.substr(body_at + 4));
+      const auto it = fields.find(field);
+      if (it != fields.end()) return it->second;
+    } catch (const Error&) {
+      continue;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace amnesia::attacks

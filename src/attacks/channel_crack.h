@@ -1,0 +1,72 @@
+// Secure-channel cryptanalysis helpers for the attack scenarios.
+//
+// A "broken HTTPS" adversary (paper section IV-A) is one that can read a
+// leg's traffic in the clear. We model two concrete ways that happens:
+//   - endpoint key theft: the adversary obtained the live ChannelKeys
+//     (e.g. browser process compromise), or
+//   - static-key compromise + passive capture: the ephemeral-static
+//     handshake has no forward secrecy against the *server's* static key,
+//     so a section IV-C server breach (the self-signed cert's private key
+//     is data at rest) lets a passive wiretap derive every channel key
+//     from the observed client hello.
+//
+// These helpers parse frames captured by a simnet tap (node frame header +
+// securechan envelope) and decrypt whatever the given keys allow.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/x25519.h"
+#include "securechan/channel.h"
+#include "simnet/network.h"
+
+namespace amnesia::attacks {
+
+enum class Direction { kClientToServer, kServerToClient };
+
+/// A tap recorder: attach to a network path and collect raw frames.
+class WireTap {
+ public:
+  /// Installs a tap on (from -> to); empty strings are wildcards.
+  WireTap(simnet::Network& network, const simnet::NodeId& from,
+          const simnet::NodeId& to);
+  ~WireTap();
+
+  WireTap(const WireTap&) = delete;
+  WireTap& operator=(const WireTap&) = delete;
+
+  const std::vector<simnet::Message>& captured() const { return frames_; }
+  void clear() { frames_.clear(); }
+
+ private:
+  simnet::Network& network_;
+  std::size_t tap_id_;
+  std::vector<simnet::Message> frames_;
+};
+
+/// Extracts the securechan envelope from a captured node frame (skips the
+/// 9-byte node header). Returns nullopt for runt frames.
+std::optional<Bytes> envelope_of(const simnet::Message& frame);
+
+/// Decrypts every data record in `frames` that `keys` can open for the
+/// given direction. Returns the plaintexts (HTTP messages, usually).
+std::vector<Bytes> decrypt_records(const std::vector<simnet::Message>& frames,
+                                   const securechan::ChannelKeys& keys,
+                                   Direction direction);
+
+/// Reconstructs the channel keys from a captured handshake using the
+/// server's static *private* key (the no-forward-secrecy attack above).
+/// Scans `frames` for the client hello / server hello pair; nullopt if no
+/// complete handshake was captured.
+std::optional<securechan::ChannelKeys> derive_keys_from_capture(
+    const std::vector<simnet::Message>& frames,
+    const crypto::X25519Key& server_static_private);
+
+/// Searches decrypted plaintexts for an HTTP form field value, e.g.
+/// field "password" in "password=...&latency_ms=...". Returns the first
+/// match.
+std::optional<std::string> scrape_form_field(
+    const std::vector<Bytes>& plaintexts, const std::string& field);
+
+}  // namespace amnesia::attacks

@@ -1,0 +1,82 @@
+#include "attacks/guessing.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace amnesia::attacks {
+
+double log10_keyspace(double alphabet_size, double length) {
+  return length * std::log10(alphabet_size);
+}
+
+double token_space_log10(std::size_t entry_table_size) {
+  return log10_keyspace(static_cast<double>(entry_table_size), 16.0);
+}
+
+double password_space_log10(const core::PasswordPolicy& policy) {
+  return log10_keyspace(static_cast<double>(policy.charset.size()),
+                        static_cast<double>(policy.length));
+}
+
+double bit_space_log10(int bits) { return bits * std::log10(2.0); }
+
+ExpectedComposition expected_composition(const core::PasswordPolicy& policy) {
+  std::size_t lower = 0, upper = 0, digits = 0, specials = 0;
+  for (const char c : policy.charset.characters()) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::islower(uc)) {
+      ++lower;
+    } else if (std::isupper(uc)) {
+      ++upper;
+    } else if (std::isdigit(uc)) {
+      ++digits;
+    } else {
+      ++specials;
+    }
+  }
+  const double n = static_cast<double>(policy.charset.size());
+  const double len = static_cast<double>(policy.length);
+  return ExpectedComposition{len * lower / n, len * upper / n,
+                             len * digits / n, len * specials / n};
+}
+
+double index_bias_ratio(std::size_t entry_table_size) {
+  const std::size_t n = entry_table_size;
+  const std::size_t lo = 65536 / n;           // floor occurrences
+  const std::size_t hi = lo + (65536 % n ? 1 : 0);
+  if (lo == 0) return 0.0;  // n > 65536 cannot happen (Params::validate)
+  return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+double index_bias_entropy_loss_bits(std::size_t entry_table_size) {
+  const std::size_t n = entry_table_size;
+  const std::size_t rem = 65536 % n;
+  const double lo = std::floor(65536.0 / n);
+  const double hi = lo + 1;
+  // Shannon entropy of the actual index distribution...
+  double entropy = 0.0;
+  if (rem > 0) {
+    const double p_hi = hi / 65536.0;
+    entropy -= rem * p_hi * std::log2(p_hi);
+  }
+  const double p_lo = lo / 65536.0;
+  if (lo > 0) entropy -= (n - rem) * p_lo * std::log2(p_lo);
+  // ...versus the uniform log2(N).
+  return std::log2(static_cast<double>(n)) - entropy;
+}
+
+double crack_seconds_log10(double space_log10, double guesses_per_second) {
+  return space_log10 + std::log10(0.5) - std::log10(guesses_per_second);
+}
+
+std::string scientific(double value_log10) {
+  const double exponent = std::floor(value_log10);
+  const double mantissa = std::pow(10.0, value_log10 - exponent);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fe%+03d", mantissa,
+                static_cast<int>(exponent));
+  return buf;
+}
+
+}  // namespace amnesia::attacks

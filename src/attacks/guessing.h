@@ -1,0 +1,56 @@
+// Guessing-attack arithmetic (paper sections III-B3, IV-C, IV-E).
+//
+// Keyspace sizes in this analysis exceed every native integer type
+// (5000^16, 94^32, 2^256), so everything is carried in log10.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/charset.h"
+
+namespace amnesia::attacks {
+
+/// log10(alphabet^length).
+double log10_keyspace(double alphabet_size, double length);
+
+/// log10 of the number of distinct tokens: N^16 (section III-B3 derives
+/// 5000^16 ~ 1.53e59).
+double token_space_log10(std::size_t entry_table_size);
+
+/// log10 of the password space: |charset|^length (section IV-E derives
+/// 94^32 ~ 1.38e63).
+double password_space_log10(const core::PasswordPolicy& policy);
+
+/// log10 of the 2^bits brute-force space (e.g. 256 for T).
+double bit_space_log10(int bits);
+
+/// Expected per-category character counts in a generated password,
+/// assuming uniform template output (section IV-E's "roughly 9 lowercase,
+/// 9 uppercase, 3 numerals, 11 specials" for the default table).
+struct ExpectedComposition {
+  double lowercase;
+  double uppercase;
+  double digits;
+  double specials;
+};
+ExpectedComposition expected_composition(const core::PasswordPolicy& policy);
+
+/// The `segment mod N` selection bias the paper's Algorithm 1 carries:
+/// with 16-bit segments, values below 65536 mod N occur ceil(65536/N)
+/// times, the rest floor(65536/N) times. Returns the max/min probability
+/// ratio (1.0 = unbiased).
+double index_bias_ratio(std::size_t entry_table_size);
+
+/// Effective entropy loss (bits per index) caused by that bias, relative
+/// to a uniform choice of N values.
+double index_bias_entropy_loss_bits(std::size_t entry_table_size);
+
+/// log10(expected seconds) to exhaust half a keyspace at `rate` guesses
+/// per second.
+double crack_seconds_log10(double space_log10, double guesses_per_second);
+
+/// Human-readable rendering ("1.4e63", "3.1e44 years") for harness output.
+std::string scientific(double value_log10);
+
+}  // namespace amnesia::attacks

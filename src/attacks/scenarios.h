@@ -1,0 +1,120 @@
+// Executable adversaries for the five attack vectors of paper section IV.
+//
+// Each scenario runs a real attack against a live Testbed and returns a
+// structured report of what the adversary learned; tests assert the
+// paper's claims hold (and the admitted exposures occur), and
+// bench_security_attacks prints the reports side by side with the
+// baseline managers' outcomes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/channel_crack.h"
+#include "eval/testbed.h"
+
+namespace amnesia::attacks {
+
+// ---- IV-C: server breach ------------------------------------------------
+
+struct ServerBreachReport {
+  std::size_t users_exposed = 0;
+  // "the attacker would know the accounts and usernames that the victims
+  // are managing under Amnesia"
+  std::vector<std::string> visible_accounts;  // "username@domain"
+  bool oid_exposed = false;
+  bool seeds_exposed = false;
+  bool registration_id_exposed = false;
+  // What the attacker could NOT do:
+  bool site_password_recovered = false;  // must stay false
+  double token_bruteforce_space_log10 = 0.0;  // ~log10(2^256)
+  // Offline dictionary attack on the stored H(MP, salt):
+  std::size_t dictionary_size = 0;
+  bool master_password_cracked = false;
+  std::string cracked_master_password;
+};
+
+/// Dumps the server's data at rest and attacks it. `mp_dictionary` is the
+/// attacker's guess list (include the real MP to model a weak password).
+ServerBreachReport run_server_breach(
+    eval::Testbed& bed, const std::string& victim,
+    const std::vector<std::string>& mp_dictionary);
+
+// ---- IV-D: phone compromise ----------------------------------------------
+
+struct PhoneCompromiseReport {
+  bool kp_extracted = false;
+  std::size_t entry_table_size = 0;
+  // Without K_s the attacker cannot even form R for a known account
+  // (sigma is server-side); these spaces quantify the brute force left.
+  double seed_space_log10 = 0.0;  // 2^256 per account seed
+  bool site_password_recovered = false;  // must stay false
+  // Control: if the attacker ALSO breaches the server (both factors),
+  // recovery succeeds — two-factor security is gone, as the paper states.
+  bool password_recovered_with_server_breach = false;
+};
+
+PhoneCompromiseReport run_phone_compromise(eval::Testbed& bed,
+                                           const std::string& victim,
+                                           const core::AccountId& account);
+
+// ---- IV-B: rendezvous eavesdropping ---------------------------------------
+
+struct RendezvousEavesdropReport {
+  std::size_t requests_observed = 0;
+  bool push_payload_readable = true;  // GCM leg is plaintext to the service
+  // With sigma in R the attacker cannot confirm the target account:
+  bool account_identified = false;  // must stay false
+  // Counterfactual with R' = H(u || d) (no sigma), the match succeeds:
+  bool account_identified_without_seed = false;  // demonstrated true
+};
+
+/// Eavesdrops the rendezvous path during one password generation for
+/// `account`, then tries to identify the account from a candidate list.
+RendezvousEavesdropReport run_rendezvous_eavesdrop(
+    eval::Testbed& bed, const std::string& victim,
+    const core::AccountId& account,
+    const std::vector<core::AccountId>& candidates);
+
+// ---- IV-A: broken HTTPS ---------------------------------------------------
+
+struct HttpsCompromiseReport {
+  std::size_t records_decrypted = 0;
+  bool generated_password_stolen = false;  // browser leg: expected true
+  std::string stolen_password;
+  bool token_observed = false;             // phone leg: expected true
+  bool password_derived_from_token = false;  // must stay false
+};
+
+/// Browser<->server leg: adversary holds the browser's channel keys.
+/// "the attacker can eavesdrop on password P" — expected to succeed.
+HttpsCompromiseReport run_browser_leg_compromise(
+    eval::Testbed& bed, const std::string& victim,
+    const core::AccountId& account);
+
+/// Phone<->server leg: adversary holds the phone's channel keys. "having
+/// T alone is useless" — the token is visible but no password follows.
+HttpsCompromiseReport run_phone_leg_compromise(eval::Testbed& bed,
+                                               const std::string& victim,
+                                               const core::AccountId& account);
+
+// ---- IV-C closing discussion: the rogue-request attack ---------------------
+
+struct RogueRequestReport {
+  bool push_delivered = false;
+  bool user_accepted = false;
+  bool token_captured = false;
+  bool site_password_recovered = false;
+};
+
+/// A full server-breach adversary (K_s, Rid, and the channel static key —
+/// all data at rest) sends his own request R through the rendezvous
+/// service and passively decrypts the phone's token submission. Succeeds
+/// exactly when the naive user accepts the unexpected push
+/// (`user_accepts`); a vigilant user who declines stays safe.
+RogueRequestReport run_rogue_request(eval::Testbed& bed,
+                                     const std::string& victim,
+                                     const core::AccountId& account,
+                                     bool user_accepts);
+
+}  // namespace amnesia::attacks

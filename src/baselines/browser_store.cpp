@@ -1,0 +1,81 @@
+#include "baselines/browser_store.h"
+
+#include "crypto/aead.h"
+#include "crypto/pbkdf2.h"
+
+namespace amnesia::baselines {
+
+BrowserStore::BrowserStore(RandomSource& rng, std::uint32_t kdf_iterations)
+    : rng_(rng), kdf_iterations_(kdf_iterations) {}
+
+std::string BrowserStore::record_key(const core::AccountId& account) {
+  return account.domain + "\x1f" + account.username;
+}
+
+Bytes BrowserStore::derive_key(const std::string& master_password) const {
+  return crypto::pbkdf2_hmac_sha256(to_bytes(master_password), kdf_salt_,
+                                    kdf_iterations_, 32);
+}
+
+Status BrowserStore::setup(const std::string& master_password) {
+  if (verifier_) return Status(Err::kAlreadyExists, "store already set up");
+  kdf_salt_ = rng_.bytes(16);
+  crypto::PasswordHasher hasher({.iterations = kdf_iterations_});
+  verifier_ = hasher.hash(to_bytes(master_password), rng_);
+  key_ = derive_key(master_password);
+  return ok_status();
+}
+
+Status BrowserStore::unlock(const std::string& master_password) {
+  if (!verifier_) return Status(Err::kNotFound, "store not set up");
+  if (!crypto::PasswordHasher::verify(to_bytes(master_password),
+                                      *verifier_)) {
+    return Status(Err::kAuthFailed, "wrong master password");
+  }
+  key_ = derive_key(master_password);
+  return ok_status();
+}
+
+void BrowserStore::lock() {
+  if (key_) secure_wipe(*key_);
+  key_.reset();
+}
+
+Status BrowserStore::save(const core::AccountId& account,
+                          const std::string& password) {
+  if (!key_) return Status(Err::kAuthFailed, "store locked");
+  // nonce || sealed; the record key is bound as AAD.
+  const Bytes nonce = rng_.bytes(crypto::kAeadNonceSize);
+  const std::string key_str = record_key(account);
+  Bytes sealed = crypto::aead_seal(*key_, nonce, to_bytes(key_str),
+                                   to_bytes(password));
+  Bytes record = nonce;
+  append(record, sealed);
+  records_[key_str] = std::move(record);
+  return ok_status();
+}
+
+Result<std::string> BrowserStore::retrieve(const core::AccountId& account) {
+  if (!key_) return Result<std::string>(Err::kAuthFailed, "store locked");
+  const std::string key_str = record_key(account);
+  const auto it = records_.find(key_str);
+  if (it == records_.end()) {
+    return Result<std::string>(Err::kNotFound, "no saved credential");
+  }
+  const ByteView record(it->second);
+  const auto nonce = record.first(crypto::kAeadNonceSize);
+  const auto sealed = record.subspan(crypto::kAeadNonceSize);
+  const auto opened =
+      crypto::aead_open(*key_, nonce, to_bytes(key_str), sealed);
+  if (!opened) {
+    return Result<std::string>(Err::kVerificationFailed, "record corrupt");
+  }
+  return Result<std::string>(to_string(*opened));
+}
+
+BrowserStore::DataAtRest BrowserStore::data_at_rest() const {
+  if (!verifier_) return DataAtRest{{}, {}, {}, kdf_iterations_};
+  return DataAtRest{kdf_salt_, *verifier_, records_, kdf_iterations_};
+}
+
+}  // namespace amnesia::baselines

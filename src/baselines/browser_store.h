@@ -1,0 +1,65 @@
+// Firefox-style built-in password manager with a master password.
+//
+// Table III's "Firefox (MP)" baseline: a *retrieval* manager that keeps
+// user-chosen site passwords in a local store on one computer, encrypted
+// under a key derived from the master password. Contrast with Amnesia:
+// everything needed to recover every password sits in one place, guarded
+// by one secret, and the store exists only on the machine it was saved on
+// (not Scalable/portable).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/notation.h"
+#include "crypto/password_hash.h"
+
+namespace amnesia::baselines {
+
+class BrowserStore {
+ public:
+  /// `kdf_iterations` is exposed so the offline-cracking benchmark can
+  /// compare weak (legacy) and strong settings.
+  explicit BrowserStore(RandomSource& rng,
+                        std::uint32_t kdf_iterations = 10'000);
+
+  /// Initializes the store with a master password.
+  Status setup(const std::string& master_password);
+
+  /// Unlocks for use; wrong password fails (verifier hash check).
+  Status unlock(const std::string& master_password);
+  void lock();
+  bool unlocked() const { return key_.has_value(); }
+
+  /// Saves a (site, username) -> password credential (user-chosen).
+  Status save(const core::AccountId& account, const std::string& password);
+  Result<std::string> retrieve(const core::AccountId& account);
+  std::size_t size() const { return records_.size(); }
+
+  /// What a thief of the computer obtains: the salt, the MP verifier, and
+  /// every encrypted record. Offline-guessable with a dictionary.
+  struct DataAtRest {
+    Bytes kdf_salt;
+    crypto::PasswordRecord verifier;
+    std::map<std::string, Bytes> encrypted_records;  // key: "domain\x1fuser"
+    std::uint32_t kdf_iterations;
+  };
+  DataAtRest data_at_rest() const;
+
+ private:
+  static std::string record_key(const core::AccountId& account);
+  Bytes derive_key(const std::string& master_password) const;
+
+  RandomSource& rng_;
+  std::uint32_t kdf_iterations_;
+  Bytes kdf_salt_;
+  std::optional<crypto::PasswordRecord> verifier_;
+  std::optional<Bytes> key_;  // present while unlocked
+  std::map<std::string, Bytes> records_;  // sealed with per-record nonce
+};
+
+}  // namespace amnesia::baselines

@@ -1,0 +1,186 @@
+#include "baselines/cloud_vault.h"
+
+#include "common/error.h"
+#include "crypto/aead.h"
+#include "crypto/pbkdf2.h"
+#include "crypto/sha256.h"
+#include "storage/codec.h"
+
+namespace amnesia::baselines {
+
+namespace {
+// The vault nonce can be fixed because every (key, vault) pair uses a
+// fresh key derivation per user and the blob is replaced wholesale; a
+// random nonce is still used for defence in depth.
+constexpr char kVaultAad[] = "vault-v1";
+}  // namespace
+
+// ----------------------------------------------------------- VaultServer
+
+Status VaultServer::enroll(const std::string& email, Bytes auth_verifier) {
+  if (users_.contains(email)) {
+    return Status(Err::kAlreadyExists, "email already enrolled");
+  }
+  users_[email] = UserBlob{std::move(auth_verifier), {}};
+  return ok_status();
+}
+
+bool VaultServer::verify(const std::string& email,
+                         const Bytes& auth_key) const {
+  const auto it = users_.find(email);
+  if (it == users_.end()) return false;
+  return ct_equal(crypto::sha256(auth_key), it->second.auth_verifier);
+}
+
+Status VaultServer::store(const std::string& email, const Bytes& auth_key,
+                          Bytes encrypted_vault) {
+  if (!verify(email, auth_key)) {
+    return Status(Err::kAuthFailed, "vault auth failed");
+  }
+  users_[email].encrypted_vault = std::move(encrypted_vault);
+  return ok_status();
+}
+
+Result<Bytes> VaultServer::fetch(const std::string& email,
+                                 const Bytes& auth_key) const {
+  if (!verify(email, auth_key)) {
+    return Result<Bytes>(Err::kAuthFailed, "vault auth failed");
+  }
+  return Result<Bytes>(users_.at(email).encrypted_vault);
+}
+
+// ----------------------------------------------------------- VaultClient
+
+VaultClient::VaultClient(VaultServer& server, RandomSource& rng,
+                         std::string email, std::uint32_t kdf_iterations)
+    : server_(server),
+      rng_(rng),
+      email_(std::move(email)),
+      kdf_iterations_(kdf_iterations) {}
+
+Bytes VaultClient::derive_vault_key(const std::string& master_password,
+                                    const std::string& email,
+                                    std::uint32_t iterations) {
+  return crypto::pbkdf2_hmac_sha256(to_bytes(master_password),
+                                    to_bytes(email), iterations, 32);
+}
+
+Bytes VaultClient::derive_auth_key(const std::string& master_password,
+                                   const std::string& email,
+                                   std::uint32_t iterations) {
+  // One extra round over the vault key, LastPass-style, so the server
+  // never learns the vault key.
+  const Bytes vault_key = derive_vault_key(master_password, email, iterations);
+  return crypto::pbkdf2_hmac_sha256(vault_key, to_bytes(master_password), 1,
+                                    32);
+}
+
+Status VaultClient::setup(const std::string& master_password) {
+  auth_key_ = derive_auth_key(master_password, email_, kdf_iterations_);
+  vault_key_ = derive_vault_key(master_password, email_, kdf_iterations_);
+  if (Status s = server_.enroll(email_, crypto::sha256(*auth_key_));
+      !s.ok()) {
+    return s;
+  }
+  return sync_up();
+}
+
+Status VaultClient::unlock(const std::string& master_password) {
+  const Bytes auth_key =
+      derive_auth_key(master_password, email_, kdf_iterations_);
+  Result<Bytes> blob = server_.fetch(email_, auth_key);
+  if (!blob.ok()) return Status(blob.failure());
+  const Bytes vault_key =
+      derive_vault_key(master_password, email_, kdf_iterations_);
+  if (!blob.value().empty()) {
+    const ByteView record(blob.value());
+    const auto nonce = record.first(crypto::kAeadNonceSize);
+    const auto opened = crypto::aead_open(
+        vault_key, nonce, to_bytes(std::string(kVaultAad)),
+        record.subspan(crypto::kAeadNonceSize));
+    if (!opened) {
+      return Status(Err::kVerificationFailed, "vault decryption failed");
+    }
+    entries_ = deserialize_entries(*opened);
+  } else {
+    entries_.clear();
+  }
+  auth_key_ = auth_key;
+  vault_key_ = vault_key;
+  return ok_status();
+}
+
+void VaultClient::lock() {
+  if (vault_key_) secure_wipe(*vault_key_);
+  if (auth_key_) secure_wipe(*auth_key_);
+  vault_key_.reset();
+  auth_key_.reset();
+  entries_.clear();
+}
+
+Bytes VaultClient::serialize_entries() const {
+  storage::BufWriter w;
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [key, password] : entries_) {
+    w.str(key);
+    w.str(password);
+  }
+  return w.take();
+}
+
+std::map<std::string, std::string> VaultClient::deserialize_entries(
+    ByteView data) {
+  storage::BufReader r(data);
+  std::map<std::string, std::string> entries;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string key = r.str();
+    entries[key] = r.str();
+  }
+  return entries;
+}
+
+Status VaultClient::sync_up() {
+  if (!vault_key_ || !auth_key_) {
+    return Status(Err::kAuthFailed, "vault locked");
+  }
+  const Bytes nonce = rng_.bytes(crypto::kAeadNonceSize);
+  Bytes blob = nonce;
+  append(blob, crypto::aead_seal(*vault_key_, nonce,
+                                 to_bytes(std::string(kVaultAad)),
+                                 serialize_entries()));
+  return server_.store(email_, *auth_key_, std::move(blob));
+}
+
+Status VaultClient::save(const core::AccountId& account,
+                         const std::string& password) {
+  if (!vault_key_) return Status(Err::kAuthFailed, "vault locked");
+  entries_[account.domain + "\x1f" + account.username] = password;
+  return sync_up();
+}
+
+Result<std::string> VaultClient::retrieve(
+    const core::AccountId& account) const {
+  if (!vault_key_) return Result<std::string>(Err::kAuthFailed, "locked");
+  const auto it = entries_.find(account.domain + "\x1f" + account.username);
+  if (it == entries_.end()) {
+    return Result<std::string>(Err::kNotFound, "no such entry");
+  }
+  return Result<std::string>(it->second);
+}
+
+std::optional<std::map<std::string, std::string>> VaultClient::try_decrypt(
+    const Bytes& encrypted_vault, const std::string& candidate_mp,
+    const std::string& email, std::uint32_t iterations) {
+  if (encrypted_vault.size() < crypto::kAeadNonceSize) return std::nullopt;
+  const Bytes key = derive_vault_key(candidate_mp, email, iterations);
+  const ByteView record(encrypted_vault);
+  const auto opened = crypto::aead_open(
+      key, record.first(crypto::kAeadNonceSize),
+      to_bytes(std::string(kVaultAad)),
+      record.subspan(crypto::kAeadNonceSize));
+  if (!opened) return std::nullopt;
+  return deserialize_entries(*opened);
+}
+
+}  // namespace amnesia::baselines

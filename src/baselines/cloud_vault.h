@@ -1,0 +1,94 @@
+// LastPass-style cloud retrieval manager.
+//
+// Table III's "LastPass" baseline and the paper's motivating example of
+// the congregated-database risk (the 2015 LastPass breach is citation
+// [7]). The client derives two values from the master password:
+//   auth_key  = PBKDF2(MP, email, N+1 rounds)  -> proves identity
+//   vault_key = PBKDF2(MP, email, N rounds)    -> encrypts the vault blob
+// The vault server stores (email, auth verifier, encrypted vault). A
+// server breach hands the attacker every user's encrypted vault at once —
+// crackable offline for weak master passwords, which the attack benchmark
+// demonstrates with a dictionary run.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/notation.h"
+
+namespace amnesia::baselines {
+
+/// The congregated server. Kept in-process: the interesting behaviour for
+/// the evaluation is its data at rest, not its transport.
+class VaultServer {
+ public:
+  struct UserBlob {
+    Bytes auth_verifier;  // hash of auth_key
+    Bytes encrypted_vault;
+  };
+
+  Status enroll(const std::string& email, Bytes auth_verifier);
+  Status store(const std::string& email, const Bytes& auth_key,
+               Bytes encrypted_vault);
+  Result<Bytes> fetch(const std::string& email, const Bytes& auth_key) const;
+
+  /// Everything an attacker gets from breaching the server: every user's
+  /// verifier and encrypted vault.
+  const std::map<std::string, UserBlob>& data_at_rest() const {
+    return users_;
+  }
+
+ private:
+  bool verify(const std::string& email, const Bytes& auth_key) const;
+  std::map<std::string, UserBlob> users_;
+};
+
+class VaultClient {
+ public:
+  VaultClient(VaultServer& server, RandomSource& rng, std::string email,
+              std::uint32_t kdf_iterations = 10'000);
+
+  Status setup(const std::string& master_password);
+  Status unlock(const std::string& master_password);  // fetch + decrypt
+  void lock();
+  bool unlocked() const { return vault_key_.has_value(); }
+
+  Status save(const core::AccountId& account, const std::string& password);
+  Result<std::string> retrieve(const core::AccountId& account) const;
+  std::size_t size() const { return entries_.size(); }
+
+  std::uint32_t kdf_iterations() const { return kdf_iterations_; }
+
+  /// Exposed so the attack harness can reproduce the client KDF when
+  /// demonstrating the offline dictionary attack on breached blobs.
+  static Bytes derive_vault_key(const std::string& master_password,
+                                const std::string& email,
+                                std::uint32_t iterations);
+  static Bytes derive_auth_key(const std::string& master_password,
+                               const std::string& email,
+                               std::uint32_t iterations);
+  /// Attempts to decrypt a breached vault blob with a candidate master
+  /// password; nullopt if the candidate is wrong.
+  static std::optional<std::map<std::string, std::string>> try_decrypt(
+      const Bytes& encrypted_vault, const std::string& candidate_mp,
+      const std::string& email, std::uint32_t iterations);
+
+ private:
+  Bytes serialize_entries() const;
+  static std::map<std::string, std::string> deserialize_entries(ByteView);
+  Status sync_up();
+
+  VaultServer& server_;
+  RandomSource& rng_;
+  std::string email_;
+  std::uint32_t kdf_iterations_;
+  std::optional<Bytes> vault_key_;
+  std::optional<Bytes> auth_key_;
+  std::map<std::string, std::string> entries_;  // "domain\x1fuser" -> pw
+};
+
+}  // namespace amnesia::baselines

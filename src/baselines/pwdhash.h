@@ -1,0 +1,41 @@
+// PwdHash/Master-Password-style pure generative manager.
+//
+// The paper's related work (sections I, IX-B) describes generative
+// managers that derive site passwords from (master password, site, user,
+// counter) with no stored state. They avoid database breaches entirely but
+// hinge everything on the single master password — the single point of
+// failure Amnesia's bilateral split removes — and burden the user with
+// remembering per-site counters after password changes (the paper's [8]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/charset.h"
+#include "core/notation.h"
+
+namespace amnesia::baselines {
+
+struct GenerativeConfig {
+  core::PasswordPolicy policy{};
+  /// Key-stretching rounds applied to the master password.
+  std::uint32_t kdf_iterations = 10'000;
+};
+
+class GenerativeManager {
+ public:
+  explicit GenerativeManager(GenerativeConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// Deterministically derives the password for (account, counter). The
+  /// counter is the "how many times have I changed this password" value
+  /// the user must remember.
+  std::string derive(const std::string& master_password,
+                     const core::AccountId& account,
+                     std::uint32_t counter = 0) const;
+
+ private:
+  GenerativeConfig config_;
+};
+
+}  // namespace amnesia::baselines

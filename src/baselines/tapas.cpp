@@ -1,0 +1,57 @@
+#include "baselines/tapas.h"
+
+#include "crypto/aead.h"
+#include "crypto/sha256.h"
+
+namespace amnesia::baselines {
+
+Result<Bytes> TapasWallet::fetch(const std::string& record_id) const {
+  const auto it = records_.find(record_id);
+  if (it == records_.end()) {
+    return Result<Bytes>(Err::kNotFound, "no wallet record");
+  }
+  return Result<Bytes>(it->second);
+}
+
+TapasComputer::TapasComputer(RandomSource& rng)
+    : rng_(rng), key_(rng.bytes(32)) {}
+
+std::string TapasComputer::record_id(const core::AccountId& account) {
+  // Record ids are hashes so the wallet alone does not even reveal which
+  // sites the user has credentials for.
+  return hex_encode(
+      crypto::sha256(to_bytes(account.domain + "\x1f" + account.username)));
+}
+
+Status TapasComputer::save(TapasWallet& wallet,
+                           const core::AccountId& account,
+                           const std::string& password) {
+  const std::string id = record_id(account);
+  const Bytes nonce = rng_.bytes(crypto::kAeadNonceSize);
+  Bytes record = nonce;
+  append(record,
+         crypto::aead_seal(key_, nonce, to_bytes(id), to_bytes(password)));
+  wallet.store(id, std::move(record));
+  return ok_status();
+}
+
+Result<std::string> TapasComputer::retrieve(
+    const TapasWallet& wallet, const core::AccountId& account) const {
+  const std::string id = record_id(account);
+  Result<Bytes> record = wallet.fetch(id);
+  if (!record.ok()) return Result<std::string>(record.failure());
+  const ByteView view(record.value());
+  if (view.size() < crypto::kAeadNonceSize) {
+    return Result<std::string>(Err::kVerificationFailed, "runt record");
+  }
+  const auto opened =
+      crypto::aead_open(key_, view.first(crypto::kAeadNonceSize),
+                        to_bytes(id), view.subspan(crypto::kAeadNonceSize));
+  if (!opened) {
+    return Result<std::string>(Err::kVerificationFailed,
+                               "wallet record failed authentication");
+  }
+  return Result<std::string>(to_string(*opened));
+}
+
+}  // namespace amnesia::baselines

@@ -1,0 +1,61 @@
+// Tapas-style dual-possession retrieval manager (McCarney et al., ACSAC
+// 2012 — the paper's closest related system and Table III comparator).
+//
+// Tapas splits a *retrieval* manager across two devices: the phone holds
+// an encrypted wallet of credentials, the computer holds the decryption
+// key; neither alone can recover a password, and there is no master
+// password at all. Amnesia inherits the dual-possession idea but is
+// generative (nothing recoverable is stored anywhere) and server-mediated
+// (usable from any computer).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/notation.h"
+
+namespace amnesia::baselines {
+
+/// The phone side: stores only ciphertext records.
+class TapasWallet {
+ public:
+  void store(const std::string& record_id, Bytes ciphertext) {
+    records_[record_id] = std::move(ciphertext);
+  }
+  Result<Bytes> fetch(const std::string& record_id) const;
+  std::size_t size() const { return records_.size(); }
+
+  /// Phone-compromise view: all ciphertexts, no key.
+  const std::map<std::string, Bytes>& data_at_rest() const { return records_; }
+
+ private:
+  std::map<std::string, Bytes> records_;
+};
+
+/// The computer side: holds the wallet key, never the credentials.
+class TapasComputer {
+ public:
+  /// Pairing generates the wallet key on the computer (Tapas does this
+  /// with a visual-channel key exchange; the key never leaves the PC).
+  explicit TapasComputer(RandomSource& rng);
+
+  Status save(TapasWallet& wallet, const core::AccountId& account,
+              const std::string& password);
+  Result<std::string> retrieve(const TapasWallet& wallet,
+                               const core::AccountId& account) const;
+
+  /// Computer-compromise view: the key alone.
+  const Bytes& key_at_rest() const { return key_; }
+
+ private:
+  static std::string record_id(const core::AccountId& account);
+
+  RandomSource& rng_;
+  Bytes key_;
+};
+
+}  // namespace amnesia::baselines

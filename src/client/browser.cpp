@@ -1,0 +1,286 @@
+#include "client/browser.h"
+
+#include <sstream>
+
+namespace amnesia::client {
+
+Browser::Browser(simnet::Network& network, simnet::NodeId node_id,
+                 simnet::NodeId server_node,
+                 crypto::X25519Key server_public_key, RandomSource& rng)
+    : node_(std::make_unique<simnet::Node>(network, std::move(node_id))),
+      channel_(*node_, std::move(server_node), server_public_key, rng),
+      http_([this](Bytes wire, std::function<void(Result<Bytes>)> cb) {
+        channel_.request(std::move(wire), std::move(cb));
+      }) {}
+
+Status Browser::status_from(const Result<websvc::Response>& r,
+                            Err not_ok_code) {
+  if (!r.ok()) return Status(r.failure());
+  const websvc::Response& resp = r.value();
+  if (resp.status == 200) return ok_status();
+  Err code = not_ok_code;
+  switch (resp.status) {
+    case 401: code = Err::kAuthFailed; break;
+    case 403: code = Err::kVerificationFailed; break;
+    case 404: code = Err::kNotFound; break;
+    case 409: code = Err::kAlreadyExists; break;
+    case 429: code = Err::kThrottled; break;
+    case 502:
+    case 503:
+    case 504: code = Err::kUnavailable; break;
+    default: break;
+  }
+  return Status(code, resp.body);
+}
+
+void Browser::signup(const std::string& user,
+                     const std::string& master_password,
+                     std::function<void(Status)> cb) {
+  http_.post_form("/signup",
+                  {{"user", user}, {"master_password", master_password}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    cb(status_from(r));
+                  });
+}
+
+void Browser::login(const std::string& user,
+                    const std::string& master_password,
+                    std::function<void(Status)> cb) {
+  http_.post_form("/login",
+                  {{"user", user}, {"master_password", master_password}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    cb(status_from(r, Err::kAuthFailed));
+                  });
+}
+
+void Browser::logout(std::function<void(Status)> cb) {
+  http_.post_form("/logout", {},
+                  [this, cb = std::move(cb)](Result<websvc::Response> r) {
+                    http_.clear_cookies();
+                    cb(status_from(r));
+                  });
+}
+
+void Browser::start_pairing(std::function<void(Result<std::string>)> cb) {
+  http_.post_form(
+      "/pair/start", {},
+      [cb = std::move(cb)](Result<websvc::Response> r) {
+        const Status s = status_from(r);
+        if (!s.ok()) {
+          cb(Result<std::string>(s.failure()));
+          return;
+        }
+        const auto fields = r.value().form();
+        const auto it = fields.find("captcha");
+        if (it == fields.end()) {
+          cb(Result<std::string>(Err::kInternal, "no captcha in response"));
+          return;
+        }
+        cb(Result<std::string>(it->second));
+      });
+}
+
+void Browser::add_account(const std::string& username,
+                          const std::string& domain,
+                          std::function<void(Status)> cb) {
+  http_.post_form("/accounts/add",
+                  {{"username", username}, {"domain", domain}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    cb(status_from(r));
+                  });
+}
+
+void Browser::add_account(const std::string& username,
+                          const std::string& domain,
+                          const core::PasswordPolicy& policy,
+                          std::function<void(Status)> cb) {
+  http_.post_form("/accounts/add",
+                  {{"username", username},
+                   {"domain", domain},
+                   {"policy", policy.encode()}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    cb(status_from(r));
+                  });
+}
+
+void Browser::list_accounts(
+    std::function<void(Result<std::vector<std::string>>)> cb) {
+  http_.get("/accounts", [cb = std::move(cb)](Result<websvc::Response> r) {
+    const Status s = status_from(r);
+    if (!s.ok()) {
+      cb(Result<std::vector<std::string>>(s.failure()));
+      return;
+    }
+    std::vector<std::string> lines;
+    std::istringstream body(r.value().body);
+    std::string line;
+    while (std::getline(body, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    cb(Result<std::vector<std::string>>(std::move(lines)));
+  });
+}
+
+void Browser::remove_account(const std::string& username,
+                             const std::string& domain,
+                             std::function<void(Status)> cb) {
+  http_.post_form("/accounts/remove",
+                  {{"username", username}, {"domain", domain}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    cb(status_from(r));
+                  });
+}
+
+void Browser::rotate_seed(const std::string& username,
+                          const std::string& domain,
+                          std::function<void(Status)> cb) {
+  http_.post_form("/accounts/rotate",
+                  {{"username", username}, {"domain", domain}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    cb(status_from(r));
+                  });
+}
+
+void Browser::request_password(const std::string& username,
+                               const std::string& domain,
+                               std::function<void(Result<std::string>)> cb) {
+  // In the real deployment the server captures the requesting computer's
+  // IP itself; in the simulation the node id stands in for it, and it is
+  // what the phone's confirmation screen shows (Fig. 2b).
+  websvc::Request req;
+  req.method = websvc::Method::kPost;
+  req.path = "/password/request";
+  req.headers["Content-Type"] = "application/x-www-form-urlencoded";
+  req.headers["X-Origin-IP"] = node_->id();
+  req.body = websvc::form_encode({{"username", username}, {"domain", domain}});
+  http_.send(
+      std::move(req),
+      [this, username, domain,
+       cb = std::move(cb)](Result<websvc::Response> r) {
+        if (!r.ok()) {
+          cb(Result<std::string>(r.failure()));
+          return;
+        }
+        const websvc::Response& resp = r.value();
+        if (resp.status == 403) {
+          cb(Result<std::string>(Err::kDeclined, resp.body));
+          return;
+        }
+        const Status s = status_from(r);
+        if (!s.ok()) {
+          cb(Result<std::string>(s.failure()));
+          return;
+        }
+        const auto fields = resp.form();
+        const auto it = fields.find("password");
+        if (it == fields.end()) {
+          cb(Result<std::string>(Err::kInternal, "no password in response"));
+          return;
+        }
+        // Step 6 of Fig. 1: the browser fills the password into the site.
+        if (autofill_) autofill_(domain, username, it->second);
+        cb(Result<std::string>(it->second));
+      });
+}
+
+void Browser::recover_phone(
+    const Bytes& backup_blob,
+    std::function<void(Result<std::vector<RecoveredPassword>>)> cb) {
+  http_.post_form(
+      "/recover/phone", {{"backup", base64_encode(backup_blob)}},
+      [cb = std::move(cb)](Result<websvc::Response> r) {
+        const Status s = status_from(r);
+        if (!s.ok()) {
+          cb(Result<std::vector<RecoveredPassword>>(s.failure()));
+          return;
+        }
+        std::vector<RecoveredPassword> recovered;
+        std::istringstream body(r.value().body);
+        std::string line;
+        while (std::getline(body, line)) {
+          if (line.empty()) continue;
+          const std::size_t t1 = line.find('\t');
+          const std::size_t t2 =
+              t1 == std::string::npos ? std::string::npos
+                                      : line.find('\t', t1 + 1);
+          if (t2 == std::string::npos) continue;
+          recovered.push_back(RecoveredPassword{
+              line.substr(0, t1), line.substr(t1 + 1, t2 - t1 - 1),
+              line.substr(t2 + 1)});
+        }
+        cb(Result<std::vector<RecoveredPassword>>(std::move(recovered)));
+      });
+}
+
+void Browser::start_mp_change(const std::string& new_master_password,
+                              std::function<void(Status)> cb) {
+  http_.post_form("/recover/mp/start",
+                  {{"new_master_password", new_master_password}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    cb(status_from(r));
+                  });
+}
+
+void Browser::vault_store(const std::string& username,
+                          const std::string& domain,
+                          const std::string& chosen_password,
+                          std::function<void(Status)> cb) {
+  http_.post_form("/vault/store",
+                  {{"username", username},
+                   {"domain", domain},
+                   {"chosen_password", chosen_password}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    cb(status_from(r));
+                  });
+}
+
+void Browser::vault_retrieve(const std::string& username,
+                             const std::string& domain,
+                             std::function<void(Result<std::string>)> cb) {
+  http_.post_form(
+      "/vault/retrieve", {{"username", username}, {"domain", domain}},
+      [cb = std::move(cb)](Result<websvc::Response> r) {
+        const Status s = status_from(r);
+        if (!s.ok()) {
+          cb(Result<std::string>(s.failure()));
+          return;
+        }
+        const auto fields = r.value().form();
+        const auto it = fields.find("password");
+        if (it == fields.end()) {
+          cb(Result<std::string>(Err::kInternal, "no password in response"));
+          return;
+        }
+        cb(Result<std::string>(it->second));
+      });
+}
+
+void Browser::vault_list(
+    std::function<void(Result<std::vector<std::string>>)> cb) {
+  http_.get("/vault", [cb = std::move(cb)](Result<websvc::Response> r) {
+    const Status s = status_from(r);
+    if (!s.ok()) {
+      cb(Result<std::vector<std::string>>(s.failure()));
+      return;
+    }
+    std::vector<std::string> lines;
+    std::istringstream body(r.value().body);
+    std::string line;
+    while (std::getline(body, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    cb(Result<std::vector<std::string>>(std::move(lines)));
+  });
+}
+
+void Browser::vault_remove(const std::string& username,
+                           const std::string& domain,
+                           std::function<void(Status)> cb) {
+  http_.post_form("/vault/remove",
+                  {{"username", username}, {"domain", domain}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    cb(status_from(r));
+                  });
+}
+
+}  // namespace amnesia::client

@@ -1,0 +1,115 @@
+// The user-computer side of Amnesia (paper section III-A1).
+//
+// The computer stores no password-generation secrets: it only holds the
+// session cookie after master-password login and talks HTTPS to the
+// Amnesia server. That is why the paper's server-based design lets users
+// work from any computer without installing software — this class is
+// literally just a browser tab's worth of state, and a second Browser on
+// a second node is the "multiple computers" scenario.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/charset.h"
+#include "crypto/x25519.h"
+#include "securechan/channel.h"
+#include "simnet/node.h"
+#include "websvc/client.h"
+
+namespace amnesia::client {
+
+/// One regenerated credential from the phone-recovery download.
+struct RecoveredPassword {
+  std::string username;
+  std::string domain;
+  std::string password;
+};
+
+class Browser {
+ public:
+  /// The auto-filler hook (the paper's planned usability fix): invoked
+  /// with (domain, username, password) whenever a password is delivered.
+  using AutofillHook = std::function<void(const std::string& domain,
+                                          const std::string& username,
+                                          const std::string& password)>;
+
+  Browser(simnet::Network& network, simnet::NodeId node_id,
+          simnet::NodeId server_node, crypto::X25519Key server_public_key,
+          RandomSource& rng);
+
+  void signup(const std::string& user, const std::string& master_password,
+              std::function<void(Status)> cb);
+  void login(const std::string& user, const std::string& master_password,
+             std::function<void(Status)> cb);
+  void logout(std::function<void(Status)> cb);
+
+  /// Starts phone pairing; yields the CAPTCHA code to read into the app.
+  void start_pairing(std::function<void(Result<std::string>)> cb);
+
+  void add_account(const std::string& username, const std::string& domain,
+                   std::function<void(Status)> cb);
+  void add_account(const std::string& username, const std::string& domain,
+                   const core::PasswordPolicy& policy,
+                   std::function<void(Status)> cb);
+  void list_accounts(
+      std::function<void(Result<std::vector<std::string>>)> cb);
+  void remove_account(const std::string& username, const std::string& domain,
+                      std::function<void(Status)> cb);
+  /// Rotates the account seed sigma — i.e. "change this password".
+  void rotate_seed(const std::string& username, const std::string& domain,
+                   std::function<void(Status)> cb);
+
+  /// The six-step flow of Fig. 1: returns the generated password once the
+  /// phone has confirmed. Failure codes: kDeclined (user refused on the
+  /// phone), kUnavailable (phone unreachable / timeout), kNotFound.
+  void request_password(const std::string& username,
+                        const std::string& domain,
+                        std::function<void(Result<std::string>)> cb);
+
+  /// Phone-compromise recovery: upload the cloud backup blob, receive the
+  /// old passwords for one last login on every site (section III-C1).
+  void recover_phone(
+      const Bytes& backup_blob,
+      std::function<void(Result<std::vector<RecoveredPassword>>)> cb);
+
+  /// Master-password recovery, step 1 (the phone confirms separately).
+  void start_mp_change(const std::string& new_master_password,
+                       std::function<void(Status)> cb);
+
+  // -- chosen-password vault (section VIII extension). Both operations
+  // -- involve a phone confirmation, like password generation.
+  void vault_store(const std::string& username, const std::string& domain,
+                   const std::string& chosen_password,
+                   std::function<void(Status)> cb);
+  void vault_retrieve(const std::string& username, const std::string& domain,
+                      std::function<void(Result<std::string>)> cb);
+  void vault_list(std::function<void(Result<std::vector<std::string>>)> cb);
+  void vault_remove(const std::string& username, const std::string& domain,
+                    std::function<void(Status)> cb);
+
+  void set_autofill_hook(AutofillHook hook) { autofill_ = std::move(hook); }
+
+  bool logged_in() const {
+    return http_.cookies().contains("session");
+  }
+  const simnet::NodeId& node_id() const { return node_->id(); }
+
+  /// Breach surface for the section-IV attack harness: a "broken HTTPS"
+  /// adversary on the browser leg is modelled as one holding these
+  /// channel keys (src/attacks/scenarios.h).
+  securechan::SecureClient& channel() { return channel_; }
+
+ private:
+  static Status status_from(const Result<websvc::Response>& r,
+                            Err not_ok_code = Err::kInvalidArgument);
+
+  std::unique_ptr<simnet::Node> node_;
+  securechan::SecureClient channel_;
+  websvc::HttpClient http_;
+  AutofillHook autofill_;
+};
+
+}  // namespace amnesia::client

@@ -1,0 +1,213 @@
+#include "cloud/blob_store.h"
+
+#include "common/error.h"
+#include "storage/codec.h"
+
+namespace amnesia::cloud {
+
+namespace {
+
+constexpr std::uint8_t kOpSignup = 0x01;
+constexpr std::uint8_t kOpPut = 0x02;
+constexpr std::uint8_t kOpGet = 0x03;
+constexpr std::uint8_t kOpDel = 0x04;
+
+constexpr std::uint8_t kStatusOk = 0x00;
+constexpr std::uint8_t kStatusAuthFailed = 0x01;
+constexpr std::uint8_t kStatusMissing = 0x02;
+constexpr std::uint8_t kStatusExists = 0x03;
+constexpr std::uint8_t kStatusMalformed = 0x04;
+
+Bytes status_reply(std::uint8_t status) {
+  storage::BufWriter w;
+  w.u8(status);
+  return w.take();
+}
+
+Status decode_status(std::uint8_t status) {
+  switch (status) {
+    case kStatusOk: return ok_status();
+    case kStatusAuthFailed: return Status(Err::kAuthFailed, "cloud auth failed");
+    case kStatusMissing: return Status(Err::kNotFound, "blob not found");
+    case kStatusExists: return Status(Err::kAlreadyExists, "account exists");
+    default: return Status(Err::kInvalidArgument, "malformed cloud request");
+  }
+}
+
+}  // namespace
+
+BlobStoreService::BlobStoreService(simnet::Network& network,
+                                   simnet::NodeId node_id)
+    : node_(std::make_unique<simnet::Node>(network, std::move(node_id))) {
+  node_->set_rpc_handler([this](const simnet::NodeId& from, const Bytes& body,
+                                std::function<void(Bytes)> respond) {
+    handle_rpc(from, body, std::move(respond));
+  });
+}
+
+void BlobStoreService::create_account(const std::string& user,
+                                      const std::string& secret) {
+  accounts_[user] = Account{secret, {}};
+}
+
+BlobStoreService::Account* BlobStoreService::authenticate(
+    const std::string& user, const std::string& secret) {
+  const auto it = accounts_.find(user);
+  if (it == accounts_.end() ||
+      !ct_equal(to_bytes(it->second.secret), to_bytes(secret))) {
+    ++stats_.auth_failures;
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void BlobStoreService::handle_rpc(const simnet::NodeId& /*from*/,
+                                  const Bytes& body,
+                                  std::function<void(Bytes)> respond) {
+  try {
+    storage::BufReader r(body);
+    const std::uint8_t op = r.u8();
+    const std::string user = r.str();
+    const std::string secret = r.str();
+    switch (op) {
+      case kOpSignup: {
+        if (accounts_.contains(user)) {
+          respond(status_reply(kStatusExists));
+          return;
+        }
+        accounts_[user] = Account{secret, {}};
+        ++stats_.signups;
+        respond(status_reply(kStatusOk));
+        return;
+      }
+      case kOpPut: {
+        Account* acct = authenticate(user, secret);
+        if (acct == nullptr) {
+          respond(status_reply(kStatusAuthFailed));
+          return;
+        }
+        const std::string name = r.str();
+        acct->blobs[name] = r.bytes();
+        ++stats_.puts;
+        respond(status_reply(kStatusOk));
+        return;
+      }
+      case kOpGet: {
+        Account* acct = authenticate(user, secret);
+        if (acct == nullptr) {
+          respond(status_reply(kStatusAuthFailed));
+          return;
+        }
+        const std::string name = r.str();
+        const auto it = acct->blobs.find(name);
+        if (it == acct->blobs.end()) {
+          respond(status_reply(kStatusMissing));
+          return;
+        }
+        ++stats_.gets;
+        storage::BufWriter w;
+        w.u8(kStatusOk);
+        w.bytes(it->second);
+        respond(w.take());
+        return;
+      }
+      case kOpDel: {
+        Account* acct = authenticate(user, secret);
+        if (acct == nullptr) {
+          respond(status_reply(kStatusAuthFailed));
+          return;
+        }
+        const std::string name = r.str();
+        respond(status_reply(acct->blobs.erase(name) > 0 ? kStatusOk
+                                                         : kStatusMissing));
+        return;
+      }
+      default:
+        respond(status_reply(kStatusMalformed));
+        return;
+    }
+  } catch (const FormatError&) {
+    respond(status_reply(kStatusMalformed));
+  }
+}
+
+// -------------------------------------------------------------- BlobClient
+
+void BlobClient::signup(std::function<void(Status)> cb) {
+  storage::BufWriter w;
+  w.u8(kOpSignup);
+  w.str(user_);
+  w.str(secret_);
+  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+    if (!r.ok()) {
+      cb(Status(r.failure()));
+      return;
+    }
+    storage::BufReader reader(r.value());
+    cb(decode_status(reader.u8()));
+  });
+}
+
+void BlobClient::put(const std::string& name, Bytes blob,
+                     std::function<void(Status)> cb) {
+  storage::BufWriter w;
+  w.u8(kOpPut);
+  w.str(user_);
+  w.str(secret_);
+  w.str(name);
+  w.bytes(blob);
+  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+    if (!r.ok()) {
+      cb(Status(r.failure()));
+      return;
+    }
+    storage::BufReader reader(r.value());
+    cb(decode_status(reader.u8()));
+  });
+}
+
+void BlobClient::get(const std::string& name,
+                     std::function<void(Result<Bytes>)> cb) {
+  storage::BufWriter w;
+  w.u8(kOpGet);
+  w.str(user_);
+  w.str(secret_);
+  w.str(name);
+  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+    if (!r.ok()) {
+      cb(Result<Bytes>(r.failure()));
+      return;
+    }
+    try {
+      storage::BufReader reader(r.value());
+      const std::uint8_t status = reader.u8();
+      if (status != kStatusOk) {
+        const Status s = decode_status(status);
+        cb(Result<Bytes>(s.failure()));
+        return;
+      }
+      cb(Result<Bytes>(reader.bytes()));
+    } catch (const FormatError& e) {
+      cb(Result<Bytes>(Err::kInternal, e.what()));
+    }
+  });
+}
+
+void BlobClient::remove(const std::string& name,
+                        std::function<void(Status)> cb) {
+  storage::BufWriter w;
+  w.u8(kOpDel);
+  w.str(user_);
+  w.str(secret_);
+  w.str(name);
+  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+    if (!r.ok()) {
+      cb(Status(r.failure()));
+      return;
+    }
+    storage::BufReader reader(r.value());
+    cb(decode_status(reader.u8()));
+  });
+}
+
+}  // namespace amnesia::cloud

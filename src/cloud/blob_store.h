@@ -1,0 +1,82 @@
+// Third-party cloud blob storage — the Google Drive / Dropbox substitute.
+//
+// The phone-compromise recovery protocol (paper section III-C1) requires a
+// one-time backup of the phone-side secret K_p to a third-party cloud the
+// user already trusts. This service stores named blobs per credentialed
+// account. The paper assumes both the provider and the HTTPS connection to
+// it are secure; we honour that by running the API over the secure channel
+// in system wiring (see phone::BackupClient) while keeping the service
+// itself transport-agnostic.
+//
+// RPC ops (first byte = op):
+//   0x01 signup : user, secret                 -> ok | exists
+//   0x02 put    : user, secret, name, blob     -> ok | auth
+//   0x03 get    : user, secret, name           -> ok + blob | auth | missing
+//   0x04 del    : user, secret, name           -> ok | auth | missing
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "simnet/node.h"
+
+namespace amnesia::cloud {
+
+struct BlobStoreStats {
+  std::uint64_t signups = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t auth_failures = 0;
+};
+
+class BlobStoreService {
+ public:
+  BlobStoreService(simnet::Network& network, simnet::NodeId node_id);
+
+  const simnet::NodeId& node_id() const { return node_->id(); }
+  const BlobStoreStats& stats() const { return stats_; }
+
+  /// Direct (out-of-band) account creation for test setup.
+  void create_account(const std::string& user, const std::string& secret);
+
+ private:
+  struct Account {
+    std::string secret;
+    std::map<std::string, Bytes> blobs;
+  };
+
+  void handle_rpc(const simnet::NodeId& from, const Bytes& body,
+                  std::function<void(Bytes)> respond);
+  Account* authenticate(const std::string& user, const std::string& secret);
+
+  std::unique_ptr<simnet::Node> node_;
+  std::map<std::string, Account> accounts_;
+  BlobStoreStats stats_;
+};
+
+/// Client API used by the phone's backup component.
+class BlobClient {
+ public:
+  BlobClient(simnet::Node& node, simnet::NodeId service, std::string user,
+             std::string secret)
+      : node_(node),
+        service_(std::move(service)),
+        user_(std::move(user)),
+        secret_(std::move(secret)) {}
+
+  void signup(std::function<void(Status)> cb);
+  void put(const std::string& name, Bytes blob,
+           std::function<void(Status)> cb);
+  void get(const std::string& name, std::function<void(Result<Bytes>)> cb);
+  void remove(const std::string& name, std::function<void(Status)> cb);
+
+ private:
+  simnet::Node& node_;
+  simnet::NodeId service_;
+  std::string user_;
+  std::string secret_;
+};
+
+}  // namespace amnesia::cloud

@@ -1,0 +1,151 @@
+#include "common/bytes.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace amnesia {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(ByteView b) { return std::string(b.begin(), b.end()); }
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(ByteView b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw FormatError("hex_decode: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_value(hex[i]);
+    int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw FormatError("hex_decode: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(ByteView b) {
+  std::string out;
+  out.reserve(((b.size() + 2) / 3) * 4);
+  std::size_t i = 0;
+  while (i + 3 <= b.size()) {
+    std::uint32_t n = (b[i] << 16) | (b[i + 1] << 8) | b[i + 2];
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back(kB64Alphabet[n & 63]);
+    i += 3;
+  }
+  std::size_t rem = b.size() - i;
+  if (rem == 1) {
+    std::uint32_t n = b[i] << 16;
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.append("==");
+  } else if (rem == 2) {
+    std::uint32_t n = (b[i] << 16) | (b[i + 1] << 8);
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base64_decode(std::string_view b64) {
+  if (b64.size() % 4 != 0) {
+    throw FormatError("base64_decode: length not a multiple of 4");
+  }
+  Bytes out;
+  out.reserve(b64.size() / 4 * 3);
+  for (std::size_t i = 0; i < b64.size(); i += 4) {
+    std::array<int, 4> v{};
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = b64[i + j];
+      if (c == '=') {
+        // Padding is only legal in the final two positions of the string.
+        if (i + 4 != b64.size() || j < 2) {
+          throw FormatError("base64_decode: misplaced padding");
+        }
+        ++pad;
+        v[j] = 0;
+      } else {
+        if (pad > 0) throw FormatError("base64_decode: data after padding");
+        v[j] = b64_value(c);
+        if (v[j] < 0) throw FormatError("base64_decode: invalid character");
+      }
+    }
+    std::uint32_t n = (v[0] << 18) | (v[1] << 12) | (v[2] << 6) | v[3];
+    out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n & 0xff));
+  }
+  return out;
+}
+
+Bytes concat(std::initializer_list<ByteView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void secure_wipe(Bytes& b) {
+  volatile std::uint8_t* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+  b.clear();
+}
+
+bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,53 @@
+// Byte-buffer utilities shared by every Amnesia module.
+//
+// All cryptographic and wire-format code in this repository operates on
+// `Bytes` (a vector of octets). This header provides conversions between
+// Bytes and the textual encodings the paper uses (hex for hashes and IDs,
+// base64 for backup blobs), plus small helpers for concatenation and
+// secure wiping of secret material.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amnesia {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes buffer from the raw characters of `s` (no re-encoding).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets `b` as raw characters (no validation; may contain NULs).
+std::string to_string(ByteView b);
+
+/// Lowercase hex encoding, e.g. {0xff, 0x01} -> "ff01".
+std::string hex_encode(ByteView b);
+
+/// Decodes a hex string (upper or lower case). Throws FormatError on odd
+/// length or non-hex characters.
+Bytes hex_decode(std::string_view hex);
+
+/// Standard base64 (RFC 4648, with padding).
+std::string base64_encode(ByteView b);
+
+/// Decodes standard base64. Throws FormatError on malformed input.
+Bytes base64_decode(std::string_view b64);
+
+/// Concatenates any number of byte views in order.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+/// Overwrites the buffer with zeros. Used for key material before release.
+/// (Best effort: the compiler is prevented from eliding the store.)
+void secure_wipe(Bytes& b);
+
+/// Constant-time equality for secret-dependent comparisons.
+bool ct_equal(ByteView a, ByteView b);
+
+}  // namespace amnesia

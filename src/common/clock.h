@@ -1,0 +1,49 @@
+// Clock abstraction.
+//
+// Protocol components never read wall time directly; they take a Clock so
+// the same code runs under the discrete-event simulator (virtual time) and
+// in real-time benchmarks. Times are microseconds since an arbitrary epoch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace amnesia {
+
+using Micros = std::int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros now_us() const = 0;
+};
+
+/// Real wall-clock time (steady).
+class WallClock final : public Clock {
+ public:
+  Micros now_us() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock for unit tests.
+class ManualClock final : public Clock {
+ public:
+  Micros now_us() const override { return now_; }
+  void advance_us(Micros delta) { now_ += delta; }
+  void set_us(Micros t) { now_ = t; }
+
+ private:
+  Micros now_ = 0;
+};
+
+constexpr Micros ms_to_us(double ms) {
+  return static_cast<Micros>(ms * 1000.0);
+}
+constexpr double us_to_ms(Micros us) {
+  return static_cast<double>(us) / 1000.0;
+}
+
+}  // namespace amnesia

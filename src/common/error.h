@@ -1,0 +1,51 @@
+// Exception hierarchy used throughout the Amnesia codebase.
+//
+// Exceptions are reserved for contract violations and environmental
+// failures (malformed encodings, I/O errors, broken invariants). Expected
+// protocol-level outcomes — wrong master password, rejected CAPTCHA, a
+// declined confirmation — are modelled with Result<T> (see result.h), not
+// exceptions, so callers are forced to handle them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace amnesia {
+
+/// Root of the project exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed textual or binary encodings (hex, base64, wire frames).
+class FormatError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Violated preconditions inside cryptographic primitives.
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Storage-layer failures: unknown table, schema mismatch, corrupt journal.
+class StorageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Simulated-network misuse: unknown node, send while detached, etc.
+class NetError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Protocol state-machine misuse (calling steps out of order).
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace amnesia

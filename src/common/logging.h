@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// The default level is kWarn so that tests and benchmarks stay quiet;
+// examples turn on kInfo to narrate protocol steps.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace amnesia {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define AMNESIA_LOG(level, component) \
+  ::amnesia::detail::LogMessage(level, component)
+#define AMNESIA_DEBUG(component) AMNESIA_LOG(::amnesia::LogLevel::kDebug, component)
+#define AMNESIA_INFO(component) AMNESIA_LOG(::amnesia::LogLevel::kInfo, component)
+#define AMNESIA_WARN(component) AMNESIA_LOG(::amnesia::LogLevel::kWarn, component)
+#define AMNESIA_ERROR(component) AMNESIA_LOG(::amnesia::LogLevel::kError, component)
+
+}  // namespace amnesia

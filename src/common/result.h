@@ -1,0 +1,101 @@
+// Result<T>: value-or-error return type for expected protocol outcomes.
+//
+// The Amnesia protocols have many legitimate failure paths (bad master
+// password, mismatched CAPTCHA, unknown account, declined confirmation).
+// Those are not exceptional; they are part of the interface, so endpoints
+// return Result<T> and callers must inspect it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+
+namespace amnesia {
+
+/// Machine-readable failure categories shared across the system.
+enum class Err {
+  kAuthFailed,        // wrong master password / not logged in
+  kThrottled,         // too many authentication attempts
+  kNotFound,          // unknown user, account, table, registration id...
+  kAlreadyExists,     // duplicate user/account
+  kVerificationFailed,// CAPTCHA / Pid / integrity check mismatch
+  kDeclined,          // user declined the confirmation on the phone
+  kUnavailable,       // device offline / service unreachable / timeout
+  kInvalidArgument,   // malformed request parameters
+  kInternal,          // unexpected internal failure
+};
+
+/// Short stable name for an error code (used in wire responses and logs).
+constexpr const char* err_name(Err e) {
+  switch (e) {
+    case Err::kAuthFailed: return "auth_failed";
+    case Err::kThrottled: return "throttled";
+    case Err::kNotFound: return "not_found";
+    case Err::kAlreadyExists: return "already_exists";
+    case Err::kVerificationFailed: return "verification_failed";
+    case Err::kDeclined: return "declined";
+    case Err::kUnavailable: return "unavailable";
+    case Err::kInvalidArgument: return "invalid_argument";
+    case Err::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+struct Failure {
+  Err code;
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Failure f) : failure_(std::move(f)) {}  // NOLINT: implicit by design
+  Result(Err code, std::string message)
+      : failure_(Failure{code, std::move(message)}) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the value; throws ProtocolError if this Result holds an error.
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  T&& take() && {
+    require_ok();
+    return std::move(*value_);
+  }
+
+  const Failure& failure() const {
+    if (ok()) throw ProtocolError("Result::failure() on ok result");
+    return *failure_;
+  }
+  Err code() const { return failure().code; }
+  const std::string& message() const { return failure().message; }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw ProtocolError("Result::value() on failed result: " +
+                          failure_->message);
+    }
+  }
+
+  std::optional<T> value_;
+  std::optional<Failure> failure_;
+};
+
+/// Convenience alias for operations with no payload.
+struct Unit {};
+using Status = Result<Unit>;
+
+inline Status ok_status() { return Status(Unit{}); }
+
+}  // namespace amnesia

@@ -1,0 +1,35 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace amnesia {
+
+std::uint64_t RandomSource::uniform(std::uint64_t bound) {
+  if (bound == 0) throw Error("RandomSource::uniform: zero bound");
+  // Rejection sampling: draw until the value falls inside the largest
+  // multiple of `bound` representable in 64 bits, then reduce.
+  const std::uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  for (;;) {
+    std::uint64_t v = next_u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+double RandomSource::uniform01() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double RandomSource::gaussian(double mean, double stddev) {
+  // Box-Muller transform; u1 is kept away from zero so log() is finite.
+  double u1 = uniform01();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace amnesia

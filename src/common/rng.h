@@ -1,0 +1,48 @@
+// Random-source interface.
+//
+// All randomness in the system flows through RandomSource so that the
+// discrete-event simulation and the protocol code can be made fully
+// deterministic in tests and benchmarks. The cryptographic implementation
+// (a ChaCha20-based DRBG) lives in src/crypto/drbg.h; this header only
+// defines the interface plus distribution helpers built on it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace amnesia {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out` with random octets.
+  virtual void fill(Bytes& out) = 0;
+
+  /// Returns `n` random octets.
+  Bytes bytes(std::size_t n) {
+    Bytes b(n);
+    fill(b);
+    return b;
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    Bytes b = bytes(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+    return v;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (rejection sampling).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Normally distributed sample (Box-Muller over uniform01).
+  double gaussian(double mean, double stddev);
+};
+
+}  // namespace amnesia

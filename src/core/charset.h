@@ -1,0 +1,59 @@
+// Character table T_c and per-account password policy (section III-B4).
+//
+// The default table holds the 94 printable ASCII characters (lowercase,
+// uppercase, digits, specials). The paper lets the user adjust the set per
+// account "to adapt to various website password policy" — e.g. exclude
+// special characters — and limit the length (excess characters are simply
+// discarded).
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+#include "core/notation.h"
+
+namespace amnesia::core {
+
+class CharacterTable {
+ public:
+  /// The paper's default: all 94 printable ASCII characters ('!'..'~').
+  static CharacterTable default_table();
+
+  /// Builds a table from category switches; at least one must be on.
+  static CharacterTable from_categories(bool lowercase, bool uppercase,
+                                        bool digits, bool specials);
+
+  /// Builds a table from an explicit character string (deduplicated,
+  /// order-preserving). Throws ProtocolError if empty.
+  static CharacterTable custom(const std::string& characters);
+
+  std::size_t size() const { return chars_.size(); }
+  char at(std::size_t index) const { return chars_.at(index); }
+  const std::string& characters() const { return chars_; }
+  bool contains(char c) const { return chars_.find(c) != std::string::npos; }
+
+ private:
+  explicit CharacterTable(std::string chars);
+
+  std::string chars_;
+};
+
+/// Per-account password policy: which characters may appear and how long
+/// the emitted password is.
+struct PasswordPolicy {
+  CharacterTable charset = CharacterTable::default_table();
+  std::size_t length = Params::kMaxPasswordLength;
+
+  void validate() const {
+    if (length == 0 || length > Params::kMaxPasswordLength) {
+      throw ProtocolError("PasswordPolicy: length must be in [1, 32]");
+    }
+  }
+
+  /// Stable textual encoding "length:characters" for storage alongside the
+  /// account entry.
+  std::string encode() const;
+  static PasswordPolicy decode(const std::string& encoded);
+};
+
+}  // namespace amnesia::core

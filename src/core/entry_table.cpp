@@ -1,0 +1,55 @@
+#include "core/entry_table.h"
+
+#include "common/error.h"
+#include "storage/codec.h"
+
+namespace amnesia::core {
+
+EntryTable::EntryTable(std::vector<EntryValue> entries)
+    : entries_(std::move(entries)) {
+  if (entries_.empty() || entries_.size() > 65536) {
+    throw ProtocolError("EntryTable: size must be in [1, 65536]");
+  }
+}
+
+EntryTable EntryTable::generate(RandomSource& rng, std::size_t size) {
+  Params params;
+  params.entry_table_size = size;
+  params.validate();
+  std::vector<EntryValue> entries;
+  entries.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    entries.push_back(EntryValue::generate(rng));
+  }
+  return EntryTable(std::move(entries));
+}
+
+Bytes EntryTable::serialize() const {
+  storage::BufWriter w;
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    w.raw(e.bytes());
+  }
+  return w.take();
+}
+
+EntryTable EntryTable::deserialize(ByteView data) {
+  storage::BufReader r(data);
+  const std::uint32_t count = r.u32();
+  if (r.remaining() != static_cast<std::size_t>(count) * EntryValue::kSize) {
+    throw FormatError("EntryTable: truncated or oversized payload");
+  }
+  std::vector<EntryValue> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Bytes value;
+    value.reserve(EntryValue::kSize);
+    for (std::size_t b = 0; b < EntryValue::kSize; ++b) {
+      value.push_back(r.u8());
+    }
+    entries.push_back(EntryValue(std::move(value)));
+  }
+  return EntryTable(std::move(entries));
+}
+
+}  // namespace amnesia::core

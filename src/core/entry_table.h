@@ -1,0 +1,40 @@
+// Entry table T_E (paper section III-A3, Table II).
+//
+// The Amnesia mobile application holds N random 256-bit entry values; the
+// token generator selects 16 of them, indexed by segments of the request
+// R. The paper fixes N = 5000, giving 5000^16 ~ 1.53e59 distinct tokens.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/notation.h"
+
+namespace amnesia::core {
+
+class EntryTable {
+ public:
+  /// Generates a fresh table of `size` random 256-bit entries.
+  static EntryTable generate(RandomSource& rng,
+                             std::size_t size = Params{}.entry_table_size);
+
+  /// Rebuilds a table from serialized bytes (cloud backup restore).
+  static EntryTable deserialize(ByteView data);
+
+  explicit EntryTable(std::vector<EntryValue> entries);
+
+  std::size_t size() const { return entries_.size(); }
+  const EntryValue& entry(std::size_t index) const { return entries_.at(index); }
+  const std::vector<EntryValue>& entries() const { return entries_; }
+
+  /// Flat serialization: u32 count || count * 32 bytes.
+  Bytes serialize() const;
+
+  bool operator==(const EntryTable&) const = default;
+
+ private:
+  std::vector<EntryValue> entries_;
+};
+
+}  // namespace amnesia::core

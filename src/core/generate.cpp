@@ -1,0 +1,77 @@
+#include "core/generate.h"
+
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace amnesia::core {
+
+namespace {
+
+/// One 4-hex-digit segment of a digest is the big-endian 16-bit word at
+/// byte offset 2i — identical to interpreting hex(digest)[4i:4i+4] as a
+/// number, which is how the paper (and Algorithm 1) phrases it.
+std::size_t segment_at(ByteView digest, std::size_t i) {
+  return (static_cast<std::size_t>(digest[2 * i]) << 8) |
+         static_cast<std::size_t>(digest[2 * i + 1]);
+}
+
+}  // namespace
+
+Request make_request(const AccountId& account, const Seed& seed) {
+  return Request(crypto::sha256_concat({to_bytes(account.username),
+                                        to_bytes(account.domain),
+                                        seed.bytes()}));
+}
+
+std::vector<std::size_t> token_indices(const Request& request,
+                                       std::size_t table_size) {
+  std::vector<std::size_t> indices;
+  indices.reserve(Params::kRequestSegments);
+  for (std::size_t i = 0; i < Params::kRequestSegments; ++i) {
+    indices.push_back(segment_at(request.bytes(), i) % table_size);
+  }
+  return indices;
+}
+
+Token generate_token(const Request& request, const EntryTable& table) {
+  crypto::Sha256 hasher;
+  for (const std::size_t index : token_indices(request, table.size())) {
+    hasher.update(table.entry(index).bytes());
+  }
+  return Token(hasher.finish());
+}
+
+Bytes intermediate_value(const Token& token, const OnlineId& oid,
+                         const Seed& seed) {
+  return crypto::sha512_concat({token.bytes(), oid.bytes(), seed.bytes()});
+}
+
+std::string template_function(ByteView intermediate,
+                              const PasswordPolicy& policy) {
+  policy.validate();
+  std::string password;
+  password.reserve(Params::kPasswordSegments);
+  for (std::size_t i = 0; i < Params::kPasswordSegments; ++i) {
+    const std::size_t g = segment_at(intermediate, i);
+    password.push_back(policy.charset.at(g % policy.charset.size()));
+  }
+  // "the remaining characters that exceed the defined length are simply
+  // discarded" (section III-B4).
+  password.resize(std::min(password.size(), policy.length));
+  return password;
+}
+
+std::string generate_password(const Token& token, const OnlineId& oid,
+                              const Seed& seed, const PasswordPolicy& policy) {
+  return template_function(intermediate_value(token, oid, seed), policy);
+}
+
+std::string end_to_end_password(const AccountId& account, const Seed& seed,
+                                const OnlineId& oid, const EntryTable& table,
+                                const PasswordPolicy& policy) {
+  const Request request = make_request(account, seed);
+  const Token token = generate_token(request, table);
+  return generate_password(token, oid, seed, policy);
+}
+
+}  // namespace amnesia::core

@@ -1,0 +1,62 @@
+// The three core functions of the Amnesia protocol (section III-B).
+//
+//   make_request      R = SHA256(mu || d || sigma)             (server)
+//   generate_token    Algorithm 1: T = SHA256(e_s0 ... e_s15)  (phone)
+//   generate_password p = SHA512(T || Oid || sigma), then the
+//                     template function maps p onto the account's
+//                     character table                            (server)
+//
+// These are pure functions of their inputs — the same (MP-authenticated
+// state, phone secret) pair always regenerates the same password, which is
+// what makes Amnesia a *generative* manager with nothing to breach.
+//
+// Fidelity note: segment indexing uses `segment mod N` exactly as the
+// paper specifies. With N = 5000 this is slightly biased (65536 % 5000 !=
+// 0); the bias is quantified in bench_sec4e_strength rather than silently
+// "fixed" here.
+#pragma once
+
+#include <string>
+
+#include "core/charset.h"
+#include "core/entry_table.h"
+#include "core/notation.h"
+
+namespace amnesia::core {
+
+/// R = SHA256(username || domain || seed) — section III-B2. The seed
+/// prevents an eavesdropper on the rendezvous path from confirming which
+/// account the request is for (section IV-B).
+Request make_request(const AccountId& account, const Seed& seed);
+
+/// Algorithm 1. Splits R's 64 hex digits into 16 segments of 4, indexes
+/// the entry table with (segment mod N), concatenates the chosen entries,
+/// and hashes: T = SHA256(e_i0 || ... || e_i15).
+Token generate_token(const Request& request, const EntryTable& table);
+
+/// The indices Algorithm 1 would select (exposed for tests and for the
+/// bias analysis in the strength bench).
+std::vector<std::size_t> token_indices(const Request& request,
+                                       std::size_t table_size);
+
+/// Intermediate value p = SHA512(T || Oid || sigma) — section III-B4.
+Bytes intermediate_value(const Token& token, const OnlineId& oid,
+                         const Seed& seed);
+
+/// The template function: splits p's 128 hex digits into 32 segments of 4
+/// and maps each onto the policy's character table; the result is then
+/// truncated to the policy length.
+std::string template_function(ByteView intermediate,
+                              const PasswordPolicy& policy);
+
+/// Full server-side password computation from a received token.
+std::string generate_password(const Token& token, const OnlineId& oid,
+                              const Seed& seed, const PasswordPolicy& policy);
+
+/// Convenience for tests/analysis: the whole pipeline in one place, as if
+/// server and phone state were co-located.
+std::string end_to_end_password(const AccountId& account, const Seed& seed,
+                                const OnlineId& oid, const EntryTable& table,
+                                const PasswordPolicy& policy);
+
+}  // namespace amnesia::core

@@ -1,0 +1,43 @@
+#include "core/keys.h"
+
+#include "common/error.h"
+#include "storage/codec.h"
+
+namespace amnesia::core {
+
+namespace {
+constexpr std::uint32_t kBackupVersion = 1;
+}
+
+const ServerAccount* ServerSecrets::find(const AccountId& id) const {
+  for (const auto& account : accounts) {
+    if (account.id == id) return &account;
+  }
+  return nullptr;
+}
+
+Bytes PhoneSecrets::serialize() const {
+  storage::BufWriter w;
+  w.u32(kBackupVersion);
+  w.raw(pid.bytes());
+  w.raw(entry_table.serialize());
+  return w.take();
+}
+
+PhoneSecrets PhoneSecrets::deserialize(ByteView blob) {
+  storage::BufReader r(blob);
+  if (r.u32() != kBackupVersion) {
+    throw FormatError("PhoneSecrets: unsupported backup version");
+  }
+  Bytes pid_bytes;
+  pid_bytes.reserve(PhoneId::kSize);
+  for (std::size_t i = 0; i < PhoneId::kSize; ++i) pid_bytes.push_back(r.u8());
+  // The remainder is the entry table.
+  Bytes rest;
+  rest.reserve(r.remaining());
+  while (!r.done()) rest.push_back(r.u8());
+  return PhoneSecrets{PhoneId(std::move(pid_bytes)),
+                      EntryTable::deserialize(rest)};
+}
+
+}  // namespace amnesia::core

@@ -1,0 +1,56 @@
+// Key material bundles K_s, K_p, V_f (paper section III-A).
+//
+//   K_s = (Oid, {(mu, d, sigma)})          server-side secret
+//   V_f = (H(MP,salt), Rid, H(Pid,salt))   server-side functional variables
+//   K_p = (Pid, T_E)                       phone-side secret
+//
+// K_p carries a serialization used verbatim as the cloud-backup blob of
+// the phone-compromise recovery protocol (section III-C1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/charset.h"
+#include "core/entry_table.h"
+#include "core/notation.h"
+#include "crypto/password_hash.h"
+
+namespace amnesia::core {
+
+/// One (mu, d, sigma) entry of K_s, plus the per-account policy the paper
+/// attaches to the character table.
+struct ServerAccount {
+  AccountId id;
+  Seed seed;
+  PasswordPolicy policy;
+};
+
+/// The server-side secret for one user.
+struct ServerSecrets {
+  OnlineId oid;
+  std::vector<ServerAccount> accounts;
+
+  const ServerAccount* find(const AccountId& id) const;
+};
+
+/// Server-side functional variables for one user.
+struct FunctionalVars {
+  crypto::PasswordRecord master_password_hash;  // H(MP, salt)
+  std::string registration_id;                  // Rid, stored in plaintext
+  crypto::PasswordRecord phone_id_hash;         // H(Pid, salt)
+};
+
+/// The phone-side secret.
+struct PhoneSecrets {
+  PhoneId pid;
+  EntryTable entry_table;
+
+  /// Backup blob format: u32 version || pid(64) || entry table.
+  Bytes serialize() const;
+  static PhoneSecrets deserialize(ByteView blob);
+
+  bool operator==(const PhoneSecrets&) const = default;
+};
+
+}  // namespace amnesia::core

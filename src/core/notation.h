@@ -1,0 +1,115 @@
+// Protocol notation (paper section III).
+//
+// Strong types for the values the paper names:
+//   Oid   512-bit online ID, static and unique per Amnesia account
+//   Pid   512-bit phone ID, regenerated on every app install
+//   sigma 256-bit per-website-account seed
+//   R     password request, SHA-256 output
+//   T     token, SHA-256 output
+//   MP    master password (a user string; never stored in the clear)
+//
+// Each wrapper validates its size at construction so a mixed-up argument
+// fails loudly instead of silently truncating entropy.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace amnesia::core {
+
+namespace detail {
+
+template <std::size_t N, typename Tag>
+class FixedSecret {
+ public:
+  static constexpr std::size_t kSize = N;
+
+  explicit FixedSecret(Bytes value) : value_(std::move(value)) {
+    if (value_.size() != N) {
+      throw ProtocolError(std::string(Tag::kName) + ": expected " +
+                          std::to_string(N) + " bytes, got " +
+                          std::to_string(value_.size()));
+    }
+  }
+
+  static FixedSecret generate(RandomSource& rng) {
+    return FixedSecret(rng.bytes(N));
+  }
+
+  static FixedSecret from_hex(const std::string& hex) {
+    return FixedSecret(hex_decode(hex));
+  }
+
+  const Bytes& bytes() const { return value_; }
+  std::string hex() const { return hex_encode(value_); }
+
+  bool operator==(const FixedSecret&) const = default;
+
+ private:
+  Bytes value_;
+};
+
+struct OidTag { static constexpr const char* kName = "Oid"; };
+struct PidTag { static constexpr const char* kName = "Pid"; };
+struct SeedTag { static constexpr const char* kName = "Seed"; };
+struct RequestTag { static constexpr const char* kName = "Request"; };
+struct TokenTag { static constexpr const char* kName = "Token"; };
+struct EntryTag { static constexpr const char* kName = "EntryValue"; };
+
+}  // namespace detail
+
+/// 512-bit online ID O_id (Table I).
+using OnlineId = detail::FixedSecret<64, detail::OidTag>;
+
+/// 512-bit phone ID P_id (Table I / II).
+using PhoneId = detail::FixedSecret<64, detail::PidTag>;
+
+/// 256-bit per-account seed sigma.
+using Seed = detail::FixedSecret<32, detail::SeedTag>;
+
+/// Password request R = SHA256(u || d || sigma); 32 bytes = 64 hex digits.
+using Request = detail::FixedSecret<32, detail::RequestTag>;
+
+/// Token T = SHA256(e_i0 || ... || e_i15).
+using Token = detail::FixedSecret<32, detail::TokenTag>;
+
+/// One 256-bit entry value e_i of the phone's entry table (Table II).
+using EntryValue = detail::FixedSecret<32, detail::EntryTag>;
+
+/// A website account is identified by (username mu, domain d) — paper
+/// section III-A2. The domain "can be anything that identifies a website".
+struct AccountId {
+  std::string username;
+  std::string domain;
+
+  bool operator==(const AccountId&) const = default;
+  bool operator<(const AccountId& other) const {
+    if (domain != other.domain) return domain < other.domain;
+    return username < other.username;
+  }
+};
+
+/// Protocol-wide constants from section III.
+struct Params {
+  /// Entry-table size N; the paper fixes 5000 and notes 16^l >= N must
+  /// hold for l = 4 hex digits per segment.
+  std::size_t entry_table_size = 5000;
+  /// Number of 4-hex-digit segments taken from R (SHA-256 => 16).
+  static constexpr std::size_t kRequestSegments = 16;
+  /// Number of 4-hex-digit segments taken from p (SHA-512 => 32).
+  static constexpr std::size_t kPasswordSegments = 32;
+  /// Maximum (and default) generated password length.
+  static constexpr std::size_t kMaxPasswordLength = 32;
+
+  void validate() const {
+    if (entry_table_size == 0 || entry_table_size > 65536) {
+      // 16^4 = 65536 is the largest table a 4-hex-digit segment can cover.
+      throw ProtocolError("Params: entry_table_size must be in [1, 65536]");
+    }
+  }
+};
+
+}  // namespace amnesia::core

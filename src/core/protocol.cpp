@@ -1,0 +1,64 @@
+#include "core/protocol.h"
+
+#include "common/error.h"
+#include "storage/codec.h"
+
+namespace amnesia::core {
+
+namespace {
+
+Bytes read_fixed(storage::BufReader& r, std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(r.u8());
+  return out;
+}
+
+}  // namespace
+
+Bytes PasswordRequestPush::encode() const {
+  storage::BufWriter w;
+  w.u64(request_id);
+  w.raw(request.bytes());
+  w.str(origin_ip);
+  w.i64(tstart_us);
+  return w.take();
+}
+
+std::optional<PasswordRequestPush> PasswordRequestPush::decode(ByteView wire) {
+  try {
+    storage::BufReader r(wire);
+    const std::uint64_t request_id = r.u64();
+    Request request(read_fixed(r, Request::kSize));
+    std::string origin_ip = r.str();
+    const Micros tstart = r.i64();
+    if (!r.done()) return std::nullopt;
+    return PasswordRequestPush{request_id, std::move(request),
+                               std::move(origin_ip), tstart};
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+Bytes TokenSubmission::encode() const {
+  storage::BufWriter w;
+  w.u64(request_id);
+  w.raw(token.bytes());
+  w.i64(tstart_us);
+  return w.take();
+}
+
+std::optional<TokenSubmission> TokenSubmission::decode(ByteView wire) {
+  try {
+    storage::BufReader r(wire);
+    const std::uint64_t request_id = r.u64();
+    Token token(read_fixed(r, Token::kSize));
+    const Micros tstart = r.i64();
+    if (!r.done()) return std::nullopt;
+    return TokenSubmission{request_id, std::move(token), tstart};
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace amnesia::core

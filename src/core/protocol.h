@@ -1,0 +1,43 @@
+// Wire messages between Amnesia components (paper Fig. 1).
+//
+// PasswordRequestPush is the payload the server hands to the rendezvous
+// service (step 3): the request R, the IP of the computer that originated
+// the request (shown to the user for verification, per section V-B and
+// Fig. 2b), and the tstart timestamp the latency evaluation adds (section
+// VI-B). Deliberately absent: any account identifier — a rendezvous
+// eavesdropper or the phone itself cannot tell which account R targets
+// (sections IV-B, IV-D).
+//
+// The phone answers over its own HTTPS leg with a token submission.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "core/notation.h"
+
+namespace amnesia::core {
+
+struct PasswordRequestPush {
+  std::uint64_t request_id = 0;  // correlates the token reply
+  Request request;               // R
+  std::string origin_ip;         // requesting computer, for user consent
+  Micros tstart_us = 0;          // latency-measurement timestamp
+
+  Bytes encode() const;
+  /// Returns nullopt on malformed payloads (never throws on wire data).
+  static std::optional<PasswordRequestPush> decode(ByteView wire);
+};
+
+struct TokenSubmission {
+  std::uint64_t request_id = 0;
+  Token token;
+  Micros tstart_us = 0;  // echoed back for the latency computation
+
+  Bytes encode() const;
+  static std::optional<TokenSubmission> decode(ByteView wire);
+};
+
+}  // namespace amnesia::core

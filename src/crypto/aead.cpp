@@ -1,0 +1,73 @@
+#include "crypto/aead.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+
+namespace amnesia::crypto {
+
+namespace {
+
+Bytes poly1305_key(ByteView key, ByteView nonce) {
+  // The one-time Poly1305 key is the first 32 bytes of the ChaCha20
+  // keystream at block counter 0.
+  ChaCha20 cipher(key, nonce, 0);
+  const auto block = cipher.next_block();
+  return Bytes(block.begin(), block.begin() + 32);
+}
+
+std::array<std::uint8_t, kAeadTagSize> compute_tag(ByteView otk, ByteView aad,
+                                                   ByteView ciphertext) {
+  Poly1305 mac(otk);
+  static const Bytes zero_pad(16, 0);
+  mac.update(aad);
+  if (aad.size() % 16 != 0) {
+    mac.update(ByteView(zero_pad.data(), 16 - aad.size() % 16));
+  }
+  mac.update(ciphertext);
+  if (ciphertext.size() % 16 != 0) {
+    mac.update(ByteView(zero_pad.data(), 16 - ciphertext.size() % 16));
+  }
+  std::uint8_t lengths[16];
+  const std::uint64_t aad_len = aad.size();
+  const std::uint64_t ct_len = ciphertext.size();
+  for (int i = 0; i < 8; ++i) {
+    lengths[i] = static_cast<std::uint8_t>(aad_len >> (i * 8));
+    lengths[8 + i] = static_cast<std::uint8_t>(ct_len >> (i * 8));
+  }
+  mac.update(ByteView(lengths, 16));
+  return mac.finish();
+}
+
+}  // namespace
+
+Bytes aead_seal(ByteView key, ByteView nonce, ByteView aad,
+                ByteView plaintext) {
+  const Bytes otk = poly1305_key(key, nonce);
+  Bytes ciphertext(plaintext.begin(), plaintext.end());
+  ChaCha20 cipher(key, nonce, 1);
+  cipher.xor_stream(ciphertext);
+  const auto tag = compute_tag(otk, aad, ciphertext);
+  ciphertext.insert(ciphertext.end(), tag.begin(), tag.end());
+  return ciphertext;
+}
+
+std::optional<Bytes> aead_open(ByteView key, ByteView nonce, ByteView aad,
+                               ByteView sealed) {
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  const ByteView ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+  const ByteView tag = sealed.last(kAeadTagSize);
+  const Bytes otk = poly1305_key(key, nonce);
+  const auto expected = compute_tag(otk, aad, ciphertext);
+  if (!ct_equal(ByteView(expected.data(), expected.size()), tag)) {
+    return std::nullopt;
+  }
+  Bytes plaintext(ciphertext.begin(), ciphertext.end());
+  ChaCha20 cipher(key, nonce, 1);
+  cipher.xor_stream(plaintext);
+  return plaintext;
+}
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,28 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 section 2.8).
+//
+// This is the record-protection algorithm of the secure channel
+// (src/securechan), the HTTPS stand-in, and of the encrypted vaults in the
+// baseline password managers.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace amnesia::crypto {
+
+constexpr std::size_t kAeadKeySize = 32;
+constexpr std::size_t kAeadNonceSize = 12;
+constexpr std::size_t kAeadTagSize = 16;
+
+/// Encrypts `plaintext` with `aad` authenticated. Returns
+/// ciphertext || 16-byte tag. Throws CryptoError on bad key/nonce sizes.
+Bytes aead_seal(ByteView key, ByteView nonce, ByteView aad,
+                ByteView plaintext);
+
+/// Authenticates and decrypts. Returns nullopt if the tag does not verify
+/// (tampered ciphertext, wrong key/nonce/aad).
+std::optional<Bytes> aead_open(ByteView key, ByteView nonce, ByteView aad,
+                               ByteView sealed);
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,87 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace amnesia::crypto {
+
+namespace {
+
+inline std::uint32_t load32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter) {
+  if (key.size() != kKeySize) throw CryptoError("chacha20: bad key size");
+  if (nonce.size() != kNonceSize) throw CryptoError("chacha20: bad nonce size");
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load32_le(key.data() + i * 4);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load32_le(nonce.data() + i * 4);
+}
+
+std::array<std::uint8_t, ChaCha20::kBlockSize> ChaCha20::next_block() {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  std::array<std::uint8_t, kBlockSize> out;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + state_[i];
+    out[i * 4] = static_cast<std::uint8_t>(v);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];
+  return out;
+}
+
+void ChaCha20::xor_stream(Bytes& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (partial_used_ == kBlockSize) {
+      partial_ = next_block();
+      partial_used_ = 0;
+    }
+    data[i] ^= partial_[partial_used_++];
+  }
+}
+
+Bytes chacha20_xor(ByteView key, ByteView nonce, std::uint32_t counter,
+                   ByteView data) {
+  Bytes out(data.begin(), data.end());
+  ChaCha20 cipher(key, nonce, counter);
+  cipher.xor_stream(out);
+  return out;
+}
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,43 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// Two consumers: the ChaCha20-Poly1305 AEAD protecting the secure channel
+// (the HTTPS substitute) and the deterministic random generator (drbg.h)
+// that drives both cryptographic key generation and the network simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace amnesia::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  /// Initializes with a 256-bit key, 96-bit nonce, and initial block
+  /// counter (RFC 8439 uses counter=1 for encryption, 0 for the Poly1305
+  /// one-time key). Throws CryptoError on wrong key/nonce sizes.
+  ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter);
+
+  /// XORs the keystream into `data` in place (encrypt == decrypt).
+  void xor_stream(Bytes& data);
+
+  /// Produces one 64-byte keystream block for the current counter and
+  /// advances the counter.
+  std::array<std::uint8_t, kBlockSize> next_block();
+
+ private:
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, kBlockSize> partial_{};
+  std::size_t partial_used_ = kBlockSize;  // nothing buffered initially
+};
+
+/// One-shot encryption/decryption of `data`.
+Bytes chacha20_xor(ByteView key, ByteView nonce, std::uint32_t counter,
+                   ByteView data);
+
+}  // namespace amnesia::crypto

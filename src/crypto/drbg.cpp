@@ -1,0 +1,86 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+#include <random>
+
+#include "common/error.h"
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+
+namespace amnesia::crypto {
+
+ChaChaDrbg::ChaChaDrbg(ByteView seed) {
+  if (seed.size() != kSeedSize) throw CryptoError("drbg: seed must be 32 bytes");
+  std::memcpy(key_.data(), seed.data(), kSeedSize);
+  pool_used_ = pool_.size();  // force refill on first use
+}
+
+ChaChaDrbg::ChaChaDrbg(std::uint64_t seed) {
+  std::uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(seed >> (i * 8));
+  const Bytes expanded = sha256(ByteView(le, 8));
+  std::memcpy(key_.data(), expanded.data(), kSeedSize);
+  pool_used_ = pool_.size();
+}
+
+void ChaChaDrbg::refill() {
+  // Generate pool || next_key from the current key, then discard the
+  // current key (fast key erasure).
+  std::uint8_t nonce[12] = {0};
+  for (int i = 0; i < 8; ++i) {
+    nonce[i] = static_cast<std::uint8_t>(block_counter_ >> (i * 8));
+  }
+  ++block_counter_;
+  ChaCha20 cipher(key_, ByteView(nonce, 12), 0);
+  std::array<std::uint8_t, 32> next_key;
+  {
+    const auto block = cipher.next_block();
+    std::memcpy(next_key.data(), block.data(), 32);
+    // Remaining 32 bytes of the first block are discarded.
+  }
+  for (std::size_t off = 0; off < pool_.size(); off += 64) {
+    const auto block = cipher.next_block();
+    std::memcpy(pool_.data() + off, block.data(), 64);
+  }
+  key_ = next_key;
+  pool_used_ = 0;
+}
+
+void ChaChaDrbg::fill(Bytes& out) {
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    if (pool_used_ == pool_.size()) refill();
+    const std::size_t take =
+        std::min(pool_.size() - pool_used_, out.size() - produced);
+    std::memcpy(out.data() + produced, pool_.data() + pool_used_, take);
+    pool_used_ += take;
+    produced += take;
+  }
+}
+
+void ChaChaDrbg::reseed(ByteView entropy) {
+  Sha256 h;
+  h.update(ByteView(key_.data(), key_.size()));
+  h.update(entropy);
+  const Bytes mixed = h.finish();
+  std::memcpy(key_.data(), mixed.data(), kSeedSize);
+  pool_used_ = pool_.size();  // invalidate buffered output
+}
+
+RandomSource& system_random() {
+  static ChaChaDrbg* instance = [] {
+    std::random_device rd;
+    Bytes seed_material(64);
+    for (std::size_t i = 0; i < seed_material.size(); i += 4) {
+      const std::uint32_t v = rd();
+      for (std::size_t j = 0; j < 4 && i + j < seed_material.size(); ++j) {
+        seed_material[i + j] = static_cast<std::uint8_t>(v >> (j * 8));
+      }
+    }
+    const Bytes seed = sha256(seed_material);
+    return new ChaChaDrbg(seed);
+  }();
+  return *instance;
+}
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,43 @@
+#include "crypto/hkdf.h"
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+
+namespace amnesia::crypto {
+
+Bytes hkdf_extract(ByteView salt, ByteView ikm) {
+  // RFC 5869: if no salt is given, a string of HashLen zeros is used.
+  if (salt.empty()) {
+    const Bytes zeros(Sha256::kDigestSize, 0);
+    return hmac_sha256(zeros, ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  constexpr std::size_t kHashLen = Sha256::kDigestSize;
+  if (length > 255 * kHashLen) {
+    throw CryptoError("hkdf_expand: requested length too large");
+  }
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    HmacSha256 mac(prk);
+    mac.update(t);
+    mac.update(info);
+    mac.update(ByteView(&counter, 1));
+    t = mac.finish();
+    const std::size_t take = std::min(kHashLen, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<long>(take));
+    ++counter;
+  }
+  return okm;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,21 @@
+// HKDF (RFC 5869) with HMAC-SHA256.
+//
+// Used by the secure-channel handshake to derive directional record keys
+// from the X25519 shared secret.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace amnesia::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: derives `length` bytes of output keying material.
+/// Throws CryptoError if length > 255 * 32.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Extract-then-expand in one call.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,17 @@
+#include "crypto/hmac.h"
+
+namespace amnesia::crypto {
+
+Bytes hmac_sha256(ByteView key, ByteView data) {
+  HmacSha256 mac(key);
+  mac.update(data);
+  return mac.finish();
+}
+
+Bytes hmac_sha512(ByteView key, ByteView data) {
+  HmacSha512 mac(key);
+  mac.update(data);
+  return mac.finish();
+}
+
+}  // namespace amnesia::crypto

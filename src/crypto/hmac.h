@@ -1,0 +1,67 @@
+// HMAC (RFC 2104) over the project's SHA-2 implementations.
+//
+// HMAC-SHA256 is used by the secure-channel key schedule (via HKDF) and by
+// PBKDF2 for master-password hashing; HMAC-SHA512 is provided for
+// completeness and used by the LastPass-style baseline vault.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace amnesia::crypto {
+
+/// Streaming HMAC over any hash type exposing kDigestSize/kBlockSize,
+/// update(), finish(), reset().
+template <typename Hash>
+class Hmac {
+ public:
+  static constexpr std::size_t kDigestSize = Hash::kDigestSize;
+
+  explicit Hmac(ByteView key) {
+    Bytes k(key.begin(), key.end());
+    if (k.size() > Hash::kBlockSize) {
+      Hash h;
+      h.update(k);
+      k = h.finish();
+    }
+    k.resize(Hash::kBlockSize, 0);
+    ipad_ = k;
+    opad_ = k;
+    for (auto& b : ipad_) b ^= 0x36;
+    for (auto& b : opad_) b ^= 0x5c;
+    inner_.update(ipad_);
+  }
+
+  void update(ByteView data) { inner_.update(data); }
+
+  Bytes finish() {
+    const Bytes inner_digest = inner_.finish();
+    Hash outer;
+    outer.update(opad_);
+    outer.update(inner_digest);
+    return outer.finish();
+  }
+
+  /// Restarts the MAC with the same key.
+  void reset() {
+    inner_.reset();
+    inner_.update(ipad_);
+  }
+
+ private:
+  Bytes ipad_;
+  Bytes opad_;
+  Hash inner_;
+};
+
+using HmacSha256 = Hmac<Sha256>;
+using HmacSha512 = Hmac<Sha512>;
+
+/// One-shot HMAC-SHA256.
+Bytes hmac_sha256(ByteView key, ByteView data);
+
+/// One-shot HMAC-SHA512.
+Bytes hmac_sha512(ByteView key, ByteView data);
+
+}  // namespace amnesia::crypto

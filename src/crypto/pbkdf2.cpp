@@ -1,0 +1,39 @@
+#include "crypto/pbkdf2.h"
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+
+namespace amnesia::crypto {
+
+Bytes pbkdf2_hmac_sha256(ByteView password, ByteView salt,
+                         std::uint32_t iterations, std::size_t dk_len) {
+  if (iterations == 0) throw CryptoError("pbkdf2: zero iterations");
+  constexpr std::size_t kHashLen = Sha256::kDigestSize;
+
+  Bytes dk;
+  dk.reserve(dk_len);
+  std::uint32_t block_index = 1;
+  while (dk.size() < dk_len) {
+    // U1 = PRF(P, S || INT_32_BE(i))
+    HmacSha256 mac(password);
+    mac.update(salt);
+    const std::uint8_t be[4] = {
+        static_cast<std::uint8_t>(block_index >> 24),
+        static_cast<std::uint8_t>(block_index >> 16),
+        static_cast<std::uint8_t>(block_index >> 8),
+        static_cast<std::uint8_t>(block_index)};
+    mac.update(ByteView(be, 4));
+    Bytes u = mac.finish();
+    Bytes t = u;
+    for (std::uint32_t iter = 1; iter < iterations; ++iter) {
+      u = hmac_sha256(password, u);
+      for (std::size_t i = 0; i < kHashLen; ++i) t[i] ^= u[i];
+    }
+    const std::size_t take = std::min(kHashLen, dk_len - dk.size());
+    dk.insert(dk.end(), t.begin(), t.begin() + static_cast<long>(take));
+    ++block_index;
+  }
+  return dk;
+}
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,21 @@
+// PBKDF2-HMAC-SHA256 (RFC 8018).
+//
+// The paper stores H(MP + salt) for master-password verification. A plain
+// salted hash is cheap to brute-force offline after a server breach, so the
+// default MasterPasswordHasher (see password_hash.h) uses PBKDF2 with a
+// configurable work factor; the paper's literal scheme remains available as
+// a legacy mode for the comparison benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace amnesia::crypto {
+
+/// Derives `dk_len` bytes from `password` and `salt` using `iterations`
+/// rounds of HMAC-SHA256. Throws CryptoError on zero iterations.
+Bytes pbkdf2_hmac_sha256(ByteView password, ByteView salt,
+                         std::uint32_t iterations, std::size_t dk_len);
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,211 @@
+#include "crypto/poly1305.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+// 32-bit limb implementation following the widely used "poly1305-donna"
+// schoolbook multiplication over 26-bit limbs, specialized to this
+// codebase's style. Arithmetic is mod 2^130 - 5.
+
+namespace amnesia::crypto {
+
+namespace {
+
+inline std::uint32_t load32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Poly1305::Poly1305(ByteView key) {
+  if (key.size() != kKeySize) throw CryptoError("poly1305: bad key size");
+  // r is clamped per RFC 8439 section 2.5.
+  r_[0] = load32_le(key.data() + 0) & 0x3ffffff;
+  r_[1] = (load32_le(key.data() + 3) >> 2) & 0x3ffff03;
+  r_[2] = (load32_le(key.data() + 6) >> 4) & 0x3ffc0ff;
+  r_[3] = (load32_le(key.data() + 9) >> 6) & 0x3f03fff;
+  r_[4] = (load32_le(key.data() + 12) >> 8) & 0x00fffff;
+  std::memcpy(s_.data(), key.data() + 16, 16);
+}
+
+void Poly1305::process_block(const std::uint8_t* block, bool final_partial,
+                             std::size_t len) {
+  std::uint8_t padded[17] = {0};
+  const std::uint8_t* m = block;
+  std::uint32_t hibit = 1 << 24;  // 2^128 added to each full block
+  if (final_partial) {
+    std::memcpy(padded, block, len);
+    padded[len] = 1;  // the "1" byte of the padded final block
+    m = padded;
+    hibit = 0;
+  }
+
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+  const std::uint32_t r0 = r_[0], r1 = r_[1], r2 = r_[2], r3 = r_[3],
+                      r4 = r_[4];
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  h0 += load32_le(m + 0) & 0x3ffffff;
+  h1 += (load32_le(m + 3) >> 2) & 0x3ffffff;
+  h2 += (load32_le(m + 6) >> 4) & 0x3ffffff;
+  h3 += (load32_le(m + 9) >> 6) & 0x3ffffff;
+  h4 += (load32_le(m + 12) >> 8) | hibit;
+
+  auto mul = [](std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::uint64_t>(a) * b;
+  };
+  std::uint64_t d0 = mul(h0, r0) + mul(h1, s4) + mul(h2, s3) + mul(h3, s2) +
+                     mul(h4, s1);
+  std::uint64_t d1 = mul(h0, r1) + mul(h1, r0) + mul(h2, s4) + mul(h3, s3) +
+                     mul(h4, s2);
+  std::uint64_t d2 = mul(h0, r2) + mul(h1, r1) + mul(h2, r0) + mul(h3, s4) +
+                     mul(h4, s3);
+  std::uint64_t d3 = mul(h0, r3) + mul(h1, r2) + mul(h2, r1) + mul(h3, r0) +
+                     mul(h4, s4);
+  std::uint64_t d4 = mul(h0, r4) + mul(h1, r3) + mul(h2, r2) + mul(h3, r1) +
+                     mul(h4, r0);
+
+  std::uint32_t c;
+  c = static_cast<std::uint32_t>(d0 >> 26);
+  h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+  d1 += c;
+  c = static_cast<std::uint32_t>(d1 >> 26);
+  h1 = static_cast<std::uint32_t>(d1) & 0x3ffffff;
+  d2 += c;
+  c = static_cast<std::uint32_t>(d2 >> 26);
+  h2 = static_cast<std::uint32_t>(d2) & 0x3ffffff;
+  d3 += c;
+  c = static_cast<std::uint32_t>(d3 >> 26);
+  h3 = static_cast<std::uint32_t>(d3) & 0x3ffffff;
+  d4 += c;
+  c = static_cast<std::uint32_t>(d4 >> 26);
+  h4 = static_cast<std::uint32_t>(d4) & 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  h_[0] = h0;
+  h_[1] = h1;
+  h_[2] = h2;
+  h_[3] = h3;
+  h_[4] = h4;
+}
+
+void Poly1305::update(ByteView data) {
+  if (finished_) throw CryptoError("poly1305: update() after finish()");
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(16 - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == 16) {
+      process_block(buffer_.data(), /*final_partial=*/false, 16);
+      buffered_ = 0;
+    }
+  }
+  while (offset + 16 <= data.size()) {
+    process_block(data.data() + offset, /*final_partial=*/false, 16);
+    offset += 16;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+std::array<std::uint8_t, Poly1305::kTagSize> Poly1305::finish() {
+  if (finished_) throw CryptoError("poly1305: finish() called twice");
+  finished_ = true;
+  if (buffered_ > 0) {
+    process_block(buffer_.data(), /*final_partial=*/true, buffered_);
+  }
+
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+  // Full carry propagation.
+  std::uint32_t c;
+  c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  // Compute h + -p and constant-time select the reduced value.
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + c - (1 << 26);
+
+  std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  g0 &= mask;
+  g1 &= mask;
+  g2 &= mask;
+  g3 &= mask;
+  g4 &= mask;
+  mask = ~mask;
+  h0 = (h0 & mask) | g0;
+  h1 = (h1 & mask) | g1;
+  h2 = (h2 & mask) | g2;
+  h3 = (h3 & mask) | g3;
+  h4 = (h4 & mask) | g4;
+
+  // h = h % 2^128, then tag = (h + s) % 2^128.
+  h0 = (h0 | (h1 << 26)) & 0xffffffff;
+  h1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffff;
+  h2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffff;
+  h3 = ((h3 >> 18) | (h4 << 8)) & 0xffffffff;
+
+  std::uint64_t f;
+  f = static_cast<std::uint64_t>(h0) + load32_le(s_.data() + 0);
+  h0 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(h1) + load32_le(s_.data() + 4) + (f >> 32);
+  h1 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(h2) + load32_le(s_.data() + 8) + (f >> 32);
+  h2 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(h3) + load32_le(s_.data() + 12) + (f >> 32);
+  h3 = static_cast<std::uint32_t>(f);
+
+  std::array<std::uint8_t, kTagSize> tag;
+  const std::uint32_t words[4] = {h0, h1, h2, h3};
+  for (int i = 0; i < 4; ++i) {
+    tag[i * 4] = static_cast<std::uint8_t>(words[i]);
+    tag[i * 4 + 1] = static_cast<std::uint8_t>(words[i] >> 8);
+    tag[i * 4 + 2] = static_cast<std::uint8_t>(words[i] >> 16);
+    tag[i * 4 + 3] = static_cast<std::uint8_t>(words[i] >> 24);
+  }
+  return tag;
+}
+
+std::array<std::uint8_t, Poly1305::kTagSize> poly1305(ByteView key,
+                                                      ByteView data) {
+  Poly1305 mac(key);
+  mac.update(data);
+  return mac.finish();
+}
+
+}  // namespace amnesia::crypto

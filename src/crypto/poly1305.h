@@ -1,0 +1,42 @@
+// Poly1305 one-time authenticator (RFC 8439).
+//
+// Used only inside the ChaCha20-Poly1305 AEAD; the 32-byte one-time key is
+// derived per message from the ChaCha20 keystream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace amnesia::crypto {
+
+class Poly1305 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kTagSize = 16;
+
+  /// Throws CryptoError if key is not 32 bytes.
+  explicit Poly1305(ByteView key);
+
+  void update(ByteView data);
+  std::array<std::uint8_t, kTagSize> finish();
+
+ private:
+  void process_block(const std::uint8_t* block, bool final_partial,
+                     std::size_t len);
+
+  // Accumulator and key in 26-bit limbs (the standard "donna" layout).
+  std::array<std::uint32_t, 5> r_{};
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 16> s_{};
+  std::array<std::uint8_t, 16> buffer_{};
+  std::size_t buffered_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot tag computation.
+std::array<std::uint8_t, Poly1305::kTagSize> poly1305(ByteView key,
+                                                      ByteView data);
+
+}  // namespace amnesia::crypto

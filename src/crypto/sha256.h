@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Amnesia uses SHA-256 for the password request R = H(u || d || sigma) and
+// the token T = H(e_0 || ... || e_15) (paper section III-B). The class is a
+// conventional streaming hasher; sha256() is the one-shot convenience.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace amnesia::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input. May be called any number of times.
+  void update(ByteView data);
+
+  /// Finalizes and returns the 32-byte digest. The hasher must not be
+  /// reused afterwards without reset().
+  Bytes finish();
+
+  /// Returns the hasher to its initial state.
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot SHA-256.
+Bytes sha256(ByteView data);
+
+/// One-shot SHA-256 over the concatenation of `parts`.
+Bytes sha256_concat(std::initializer_list<ByteView> parts);
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,44 @@
+// SHA-512 (FIPS 180-4), implemented from scratch.
+//
+// Amnesia's final password derivation hashes the token, online ID, and
+// account seed with SHA-512: p = SHA512(T || Oid || sigma) (paper
+// section III-B4). The 128 hex digits of p feed the template function.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace amnesia::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+
+  Sha512();
+
+  void update(ByteView data);
+  Bytes finish();
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  // Message length in bytes; SHA-512 allows 128-bit lengths but 64 bits of
+  // bytes (2^64 B) is far beyond anything this system hashes.
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot SHA-512.
+Bytes sha512(ByteView data);
+
+/// One-shot SHA-512 over the concatenation of `parts`.
+Bytes sha512_concat(std::initializer_list<ByteView> parts);
+
+}  // namespace amnesia::crypto

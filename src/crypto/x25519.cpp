@@ -1,0 +1,358 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+// Field arithmetic over GF(2^255 - 19) in five 51-bit limbs with 128-bit
+// intermediates, following the structure of the public-domain
+// curve25519-donna-c64 reference. The Montgomery ladder is branch-free:
+// the secret scalar only drives constant-time conditional swaps.
+
+namespace amnesia::crypto {
+
+namespace {
+
+using limb = std::uint64_t;
+using uint128 = unsigned __int128;
+using felem = limb[5];
+
+constexpr limb kMask51 = 0x7ffffffffffffULL;
+
+std::uint64_t load64_le(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian hosts only; fine for this x86-64 target
+}
+
+void store64_le(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+
+void fexpand(felem out, const std::uint8_t* in) {
+  out[0] = load64_le(in) & kMask51;
+  out[1] = (load64_le(in + 6) >> 3) & kMask51;
+  out[2] = (load64_le(in + 12) >> 6) & kMask51;
+  out[3] = (load64_le(in + 19) >> 1) & kMask51;
+  out[4] = (load64_le(in + 24) >> 12) & kMask51;  // drops bit 255 per RFC
+}
+
+void fsum(felem out, const felem in) {
+  for (int i = 0; i < 5; ++i) out[i] += in[i];
+}
+
+// out = in - out. The 8p bias keeps every limb non-negative.
+void fdifference_backwards(felem out, const felem in) {
+  constexpr limb kTwo54m152 = (1ULL << 54) - 152;  // 8 * (2^51 - 19)
+  constexpr limb kTwo54m8 = (1ULL << 54) - 8;      // 8 * (2^51 - 1)
+  out[0] = in[0] + kTwo54m152 - out[0];
+  out[1] = in[1] + kTwo54m8 - out[1];
+  out[2] = in[2] + kTwo54m8 - out[2];
+  out[3] = in[3] + kTwo54m8 - out[3];
+  out[4] = in[4] + kTwo54m8 - out[4];
+}
+
+void fscalar_product(felem out, const felem in, limb scalar) {
+  uint128 a = static_cast<uint128>(in[0]) * scalar;
+  out[0] = static_cast<limb>(a) & kMask51;
+  for (int i = 1; i < 5; ++i) {
+    a = static_cast<uint128>(in[i]) * scalar + static_cast<limb>(a >> 51);
+    out[i] = static_cast<limb>(a) & kMask51;
+  }
+  out[0] += static_cast<limb>(a >> 51) * 19;
+}
+
+void fmul(felem out, const felem in2, const felem in) {
+  limb r0 = in[0], r1 = in[1], r2 = in[2], r3 = in[3], r4 = in[4];
+  const limb s0 = in2[0], s1 = in2[1], s2 = in2[2], s3 = in2[3], s4 = in2[4];
+
+  uint128 t[5];
+  t[0] = static_cast<uint128>(r0) * s0;
+  t[1] = static_cast<uint128>(r0) * s1 + static_cast<uint128>(r1) * s0;
+  t[2] = static_cast<uint128>(r0) * s2 + static_cast<uint128>(r2) * s0 +
+         static_cast<uint128>(r1) * s1;
+  t[3] = static_cast<uint128>(r0) * s3 + static_cast<uint128>(r3) * s0 +
+         static_cast<uint128>(r1) * s2 + static_cast<uint128>(r2) * s1;
+  t[4] = static_cast<uint128>(r0) * s4 + static_cast<uint128>(r4) * s0 +
+         static_cast<uint128>(r3) * s1 + static_cast<uint128>(r1) * s3 +
+         static_cast<uint128>(r2) * s2;
+
+  r4 *= 19;
+  r1 *= 19;
+  r2 *= 19;
+  r3 *= 19;
+
+  t[0] += static_cast<uint128>(r4) * s1 + static_cast<uint128>(r1) * s4 +
+          static_cast<uint128>(r2) * s3 + static_cast<uint128>(r3) * s2;
+  t[1] += static_cast<uint128>(r4) * s2 + static_cast<uint128>(r2) * s4 +
+          static_cast<uint128>(r3) * s3;
+  t[2] += static_cast<uint128>(r4) * s3 + static_cast<uint128>(r3) * s4;
+  t[3] += static_cast<uint128>(r4) * s4;
+
+  limb c;
+  r0 = static_cast<limb>(t[0]) & kMask51;
+  c = static_cast<limb>(t[0] >> 51);
+  t[1] += c;
+  r1 = static_cast<limb>(t[1]) & kMask51;
+  c = static_cast<limb>(t[1] >> 51);
+  t[2] += c;
+  r2 = static_cast<limb>(t[2]) & kMask51;
+  c = static_cast<limb>(t[2] >> 51);
+  t[3] += c;
+  r3 = static_cast<limb>(t[3]) & kMask51;
+  c = static_cast<limb>(t[3] >> 51);
+  t[4] += c;
+  r4 = static_cast<limb>(t[4]) & kMask51;
+  c = static_cast<limb>(t[4] >> 51);
+  r0 += c * 19;
+  c = r0 >> 51;
+  r0 &= kMask51;
+  r1 += c;
+
+  out[0] = r0;
+  out[1] = r1;
+  out[2] = r2;
+  out[3] = r3;
+  out[4] = r4;
+}
+
+void fsquare_times(felem out, const felem in, int count) {
+  limb r0 = in[0], r1 = in[1], r2 = in[2], r3 = in[3], r4 = in[4];
+  do {
+    const limb d0 = r0 * 2;
+    const limb d1 = r1 * 2;
+    const limb d2 = r2 * 2 * 19;
+    const limb d419 = r4 * 19;
+    const limb d4 = d419 * 2;
+
+    uint128 t[5];
+    t[0] = static_cast<uint128>(r0) * r0 + static_cast<uint128>(d4) * r1 +
+           static_cast<uint128>(d2) * r3;
+    t[1] = static_cast<uint128>(d0) * r1 + static_cast<uint128>(d4) * r2 +
+           static_cast<uint128>(r3) * (r3 * 19);
+    t[2] = static_cast<uint128>(d0) * r2 + static_cast<uint128>(r1) * r1 +
+           static_cast<uint128>(d4) * r3;
+    t[3] = static_cast<uint128>(d0) * r3 + static_cast<uint128>(d1) * r2 +
+           static_cast<uint128>(r4) * d419;
+    t[4] = static_cast<uint128>(d0) * r4 + static_cast<uint128>(d1) * r3 +
+           static_cast<uint128>(r2) * r2;
+
+    limb c;
+    r0 = static_cast<limb>(t[0]) & kMask51;
+    c = static_cast<limb>(t[0] >> 51);
+    t[1] += c;
+    r1 = static_cast<limb>(t[1]) & kMask51;
+    c = static_cast<limb>(t[1] >> 51);
+    t[2] += c;
+    r2 = static_cast<limb>(t[2]) & kMask51;
+    c = static_cast<limb>(t[2] >> 51);
+    t[3] += c;
+    r3 = static_cast<limb>(t[3]) & kMask51;
+    c = static_cast<limb>(t[3] >> 51);
+    t[4] += c;
+    r4 = static_cast<limb>(t[4]) & kMask51;
+    c = static_cast<limb>(t[4] >> 51);
+    r0 += c * 19;
+    c = r0 >> 51;
+    r0 &= kMask51;
+    r1 += c;
+  } while (--count > 0);
+
+  out[0] = r0;
+  out[1] = r1;
+  out[2] = r2;
+  out[3] = r3;
+  out[4] = r4;
+}
+
+// Fully reduces and serializes to 32 little-endian bytes.
+void fcontract(std::uint8_t* out, const felem input) {
+  uint128 t[5];
+  for (int i = 0; i < 5; ++i) t[i] = input[i];
+
+  auto carry_pass = [&t] {
+    t[1] += t[0] >> 51;
+    t[0] &= kMask51;
+    t[2] += t[1] >> 51;
+    t[1] &= kMask51;
+    t[3] += t[2] >> 51;
+    t[2] &= kMask51;
+    t[4] += t[3] >> 51;
+    t[3] &= kMask51;
+    t[0] += 19 * static_cast<limb>(t[4] >> 51);
+    t[4] &= kMask51;
+  };
+  carry_pass();
+  carry_pass();
+
+  // t < 2^255; add 19 to detect values in [p, 2^255).
+  t[0] += 19;
+  carry_pass();
+
+  // Offset by 2^255 - 19 (i.e. add p), then the carry out of the top limb
+  // is exactly the "t >= p" bit and is discarded.
+  t[0] += (1ULL << 51) - 19;
+  t[1] += (1ULL << 51) - 1;
+  t[2] += (1ULL << 51) - 1;
+  t[3] += (1ULL << 51) - 1;
+  t[4] += (1ULL << 51) - 1;
+
+  t[1] += t[0] >> 51;
+  t[0] &= kMask51;
+  t[2] += t[1] >> 51;
+  t[1] &= kMask51;
+  t[3] += t[2] >> 51;
+  t[2] &= kMask51;
+  t[4] += t[3] >> 51;
+  t[3] &= kMask51;
+  t[4] &= kMask51;  // discard carry: subtracts the 2^255 offset
+
+  const limb l0 = static_cast<limb>(t[0]);
+  const limb l1 = static_cast<limb>(t[1]);
+  const limb l2 = static_cast<limb>(t[2]);
+  const limb l3 = static_cast<limb>(t[3]);
+  const limb l4 = static_cast<limb>(t[4]);
+  store64_le(out, l0 | (l1 << 51));
+  store64_le(out + 8, (l1 >> 13) | (l2 << 38));
+  store64_le(out + 16, (l2 >> 26) | (l3 << 25));
+  store64_le(out + 24, (l3 >> 39) | (l4 << 12));
+}
+
+void swap_conditional(felem a, felem b, limb swap) {
+  const limb mask = 0 - swap;  // all-ones when swap == 1
+  for (int i = 0; i < 5; ++i) {
+    const limb x = mask & (a[i] ^ b[i]);
+    a[i] ^= x;
+    b[i] ^= x;
+  }
+}
+
+// One Montgomery ladder step: given Q, Q', and Q-Q' (affine x), computes
+// 2Q and Q+Q'.
+void fmonty(felem x2, felem z2, felem x3, felem z3, felem x, felem z,
+            felem xprime, felem zprime, const felem qmqp) {
+  felem origx, origxprime, zzz, xx, zz, xxprime, zzprime, zzzprime;
+
+  std::memcpy(origx, x, sizeof(felem));
+  fsum(x, z);
+  fdifference_backwards(z, origx);  // z = origx - z
+
+  std::memcpy(origxprime, xprime, sizeof(felem));
+  fsum(xprime, zprime);
+  fdifference_backwards(zprime, origxprime);
+  fmul(xxprime, xprime, z);
+  fmul(zzprime, x, zprime);
+  std::memcpy(origxprime, xxprime, sizeof(felem));
+  fsum(xxprime, zzprime);
+  fdifference_backwards(zzprime, origxprime);
+  fsquare_times(x3, xxprime, 1);
+  fsquare_times(zzzprime, zzprime, 1);
+  fmul(z3, zzzprime, qmqp);
+
+  fsquare_times(xx, x, 1);
+  fsquare_times(zz, z, 1);
+  fmul(x2, xx, zz);
+  fdifference_backwards(zz, xx);  // zz = xx - zz
+  fscalar_product(zzz, zz, 121665);
+  fsum(zzz, xx);
+  fmul(z2, zz, zzz);
+}
+
+// Computes z^-1 = z^(p-2) with the standard addition chain.
+void crecip(felem out, const felem z) {
+  felem a, t0, b, c;
+  fsquare_times(a, z, 1);      // 2
+  fsquare_times(t0, a, 2);     // 8
+  fmul(b, t0, z);              // 9
+  fmul(a, b, a);               // 11
+  fsquare_times(t0, a, 1);     // 22
+  fmul(b, t0, b);              // 2^5 - 1
+  fsquare_times(t0, b, 5);     // 2^10 - 2^5
+  fmul(b, t0, b);              // 2^10 - 1
+  fsquare_times(t0, b, 10);    // 2^20 - 2^10
+  fmul(c, t0, b);              // 2^20 - 1
+  fsquare_times(t0, c, 20);    // 2^40 - 2^20
+  fmul(t0, t0, c);             // 2^40 - 1
+  fsquare_times(t0, t0, 10);   // 2^50 - 2^10
+  fmul(b, t0, b);              // 2^50 - 1
+  fsquare_times(t0, b, 50);    // 2^100 - 2^50
+  fmul(c, t0, b);              // 2^100 - 1
+  fsquare_times(t0, c, 100);   // 2^200 - 2^100
+  fmul(t0, t0, c);             // 2^200 - 1
+  fsquare_times(t0, t0, 50);   // 2^250 - 2^50
+  fmul(t0, t0, b);             // 2^250 - 1
+  fsquare_times(t0, t0, 5);    // 2^255 - 2^5
+  fmul(out, t0, a);            // 2^255 - 21 = p - 2
+}
+
+void cmult(felem resultx, felem resultz, const std::uint8_t* n,
+           const felem q) {
+  felem a = {0}, b = {1}, c = {1}, d = {0};
+  felem e = {0}, f = {1}, g = {0}, h = {1};
+  limb* nqpqx = a;
+  limb* nqpqz = b;
+  limb* nqx = c;
+  limb* nqz = d;
+  limb* nqpqx2 = e;
+  limb* nqpqz2 = f;
+  limb* nqx2 = g;
+  limb* nqz2 = h;
+
+  std::memcpy(nqpqx, q, sizeof(felem));
+
+  for (int i = 0; i < 32; ++i) {
+    std::uint8_t byte = n[31 - i];
+    for (int j = 0; j < 8; ++j) {
+      const limb bit = byte >> 7;
+      swap_conditional(nqx, nqpqx, bit);
+      swap_conditional(nqz, nqpqz, bit);
+      fmonty(nqx2, nqz2, nqpqx2, nqpqz2, nqx, nqz, nqpqx, nqpqz, q);
+      swap_conditional(nqx2, nqpqx2, bit);
+      swap_conditional(nqz2, nqpqz2, bit);
+
+      std::swap(nqx, nqx2);
+      std::swap(nqz, nqz2);
+      std::swap(nqpqx, nqpqx2);
+      std::swap(nqpqz, nqpqz2);
+      byte = static_cast<std::uint8_t>(byte << 1);
+    }
+  }
+  std::memcpy(resultx, nqx, sizeof(felem));
+  std::memcpy(resultz, nqz, sizeof(felem));
+}
+
+}  // namespace
+
+X25519Key x25519(ByteView scalar, ByteView point) {
+  if (scalar.size() != kX25519KeySize || point.size() != kX25519KeySize) {
+    throw CryptoError("x25519: inputs must be 32 bytes");
+  }
+  std::uint8_t e[32];
+  std::memcpy(e, scalar.data(), 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  felem bp, x, z, zmone;
+  fexpand(bp, point.data());
+  cmult(x, z, e, bp);
+  crecip(zmone, z);
+  fmul(z, x, zmone);
+
+  X25519Key out;
+  fcontract(out.data(), z);
+  return out;
+}
+
+X25519Key x25519_base(ByteView scalar) {
+  static constexpr std::uint8_t kBasePoint[32] = {9};
+  return x25519(scalar, ByteView(kBasePoint, 32));
+}
+
+X25519KeyPair x25519_generate(RandomSource& rng) {
+  X25519KeyPair kp;
+  const Bytes priv = rng.bytes(kX25519KeySize);
+  std::memcpy(kp.private_key.data(), priv.data(), kX25519KeySize);
+  kp.public_key = x25519_base(kp.private_key);
+  return kp;
+}
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,35 @@
+// X25519 Diffie-Hellman (RFC 7748), 64-bit limb implementation.
+//
+// The secure channel (the HTTPS substitute in src/securechan) authenticates
+// the Amnesia server with a pinned static X25519 key — mirroring the
+// paper's self-signed, pre-distributed certificate — and derives session
+// keys from an ephemeral-static exchange.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace amnesia::crypto {
+
+constexpr std::size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// Scalar multiplication: out = scalar * point. The scalar is clamped per
+/// RFC 7748. Throws CryptoError on wrong input sizes.
+X25519Key x25519(ByteView scalar, ByteView point);
+
+/// Scalar multiplication with the standard base point (u = 9).
+X25519Key x25519_base(ByteView scalar);
+
+struct X25519KeyPair {
+  X25519Key private_key;
+  X25519Key public_key;
+};
+
+/// Generates a fresh key pair from `rng`.
+X25519KeyPair x25519_generate(RandomSource& rng);
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,158 @@
+#include "eval/dummy_site.h"
+
+#include <sstream>
+
+namespace amnesia::eval {
+
+using websvc::Method;
+using websvc::PathParams;
+using websvc::Request;
+using websvc::Responder;
+using websvc::Response;
+
+DummySite::DummySite(simnet::Simulation& sim, simnet::Network& network,
+                     simnet::NodeId node_id, RandomSource& rng)
+    : rng_(rng),
+      node_(std::make_unique<simnet::Node>(network, std::move(node_id))),
+      http_(sim, /*workers=*/4),
+      sessions_(sim.clock(), rng),
+      hasher_({.iterations = 32}) {
+  install_routes();
+  http_.bind(*node_);
+}
+
+void DummySite::install_routes() {
+  http_.router().add(
+      Method::kPost, "/register",
+      [this](const Request& req, const PathParams&, Responder respond) {
+        const auto form = req.form();
+        const auto user = form.find("user");
+        const auto password = form.find("password");
+        if (user == form.end() || password == form.end() ||
+            user->second.empty() || password->second.empty()) {
+          respond(Response::error(400, "user and password required"));
+          return;
+        }
+        if (users_.contains(user->second)) {
+          respond(Response::error(409, "user exists"));
+          return;
+        }
+        users_.emplace(user->second,
+                       hasher_.hash(to_bytes(password->second), rng_));
+        respond(Response::ok_text("registered"));
+      });
+
+  http_.router().add(
+      Method::kPost, "/login",
+      [this](const Request& req, const PathParams&, Responder respond) {
+        const auto form = req.form();
+        const auto user = form.find("user");
+        const auto password = form.find("password");
+        const auto record =
+            user != form.end() ? users_.find(user->second) : users_.end();
+        if (password == form.end() || record == users_.end() ||
+            !crypto::PasswordHasher::verify(to_bytes(password->second),
+                                            record->second)) {
+          respond(Response::error(401, "bad credentials"));
+          return;
+        }
+        Response resp = Response::ok_text("welcome");
+        resp.headers["Set-Cookie"] =
+            "site_session=" + sessions_.create(user->second);
+        respond(resp);
+      });
+
+  http_.router().add(
+      Method::kPost, "/comment",
+      [this](const Request& req, const PathParams&, Responder respond) {
+        const auto token = req.cookie("site_session");
+        const auto session =
+            token ? sessions_.authenticate(*token) : std::nullopt;
+        if (!session) {
+          respond(Response::error(401, "log in first"));
+          return;
+        }
+        const auto form = req.form();
+        const auto text = form.find("text");
+        if (text == form.end()) {
+          respond(Response::error(400, "text required"));
+          return;
+        }
+        comments_.push_back(session->principal + ": " + text->second);
+        respond(Response::ok_text("posted"));
+      });
+
+  http_.router().add(
+      Method::kGet, "/comments",
+      [this](const Request&, const PathParams&, Responder respond) {
+        std::ostringstream body;
+        for (const auto& comment : comments_) body << comment << '\n';
+        respond(Response::ok_text(body.str()));
+      });
+}
+
+void DummySiteClient::register_account(const std::string& user,
+                                       const std::string& password,
+                                       std::function<void(Status)> cb) {
+  http_.post_form("/register", {{"user", user}, {"password", password}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    if (!r.ok()) {
+                      cb(Status(r.failure()));
+                      return;
+                    }
+                    cb(r.value().status == 200
+                           ? ok_status()
+                           : Status(r.value().status == 409
+                                        ? Err::kAlreadyExists
+                                        : Err::kInvalidArgument,
+                                    r.value().body));
+                  });
+}
+
+void DummySiteClient::login(const std::string& user,
+                            const std::string& password,
+                            std::function<void(Status)> cb) {
+  http_.post_form("/login", {{"user", user}, {"password", password}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    if (!r.ok()) {
+                      cb(Status(r.failure()));
+                      return;
+                    }
+                    cb(r.value().status == 200
+                           ? ok_status()
+                           : Status(Err::kAuthFailed, r.value().body));
+                  });
+}
+
+void DummySiteClient::post_comment(const std::string& text,
+                                   std::function<void(Status)> cb) {
+  http_.post_form("/comment", {{"text", text}},
+                  [cb = std::move(cb)](Result<websvc::Response> r) {
+                    if (!r.ok()) {
+                      cb(Status(r.failure()));
+                      return;
+                    }
+                    cb(r.value().status == 200
+                           ? ok_status()
+                           : Status(Err::kAuthFailed, r.value().body));
+                  });
+}
+
+void DummySiteClient::fetch_comments(
+    std::function<void(Result<std::vector<std::string>>)> cb) {
+  http_.get("/comments", [cb = std::move(cb)](Result<websvc::Response> r) {
+    if (!r.ok()) {
+      cb(Result<std::vector<std::string>>(r.failure()));
+      return;
+    }
+    std::vector<std::string> lines;
+    std::istringstream body(r.value().body);
+    std::string line;
+    while (std::getline(body, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    cb(Result<std::vector<std::string>>(std::move(lines)));
+  });
+}
+
+}  // namespace amnesia::eval

@@ -1,0 +1,71 @@
+// The user study's dummy website (paper section VII-A).
+//
+// "we created a dummy site so users can practice adding accounts to
+// Amnesia. While the dummy site did emulate a lot of functionality of a
+// real website, we did not wish for users to be creating throwaway
+// accounts on real sites." This is that site: an ordinary password-
+// authenticated web application, deliberately oblivious to Amnesia —
+// which is the deployability point (Server-Compatible in Table III): the
+// website needs no modification whatsoever.
+//
+// HTTP API (form bodies):
+//   POST /register  user, password         -> 200 | 409
+//   POST /login     user, password         -> session cookie | 401
+//   POST /comment   text                    (auth) -> 200
+//   GET  /comments                          -> lines "user: text"
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/password_hash.h"
+#include "simnet/node.h"
+#include "websvc/client.h"
+#include "websvc/server.h"
+#include "websvc/session.h"
+
+namespace amnesia::eval {
+
+class DummySite {
+ public:
+  DummySite(simnet::Simulation& sim, simnet::Network& network,
+            simnet::NodeId node_id, RandomSource& rng);
+
+  const simnet::NodeId& node_id() const { return node_->id(); }
+
+  std::size_t registered_users() const { return users_.size(); }
+  const std::vector<std::string>& comments() const { return comments_; }
+
+ private:
+  void install_routes();
+
+  RandomSource& rng_;
+  std::unique_ptr<simnet::Node> node_;
+  websvc::HttpServer http_;
+  websvc::SessionManager sessions_;
+  crypto::PasswordHasher hasher_;
+  std::map<std::string, crypto::PasswordRecord> users_;
+  std::vector<std::string> comments_;
+};
+
+/// A browser-side client for the dummy site (the same user computer that
+/// talks to Amnesia; websites are plain HTTP in the simulation).
+class DummySiteClient {
+ public:
+  DummySiteClient(simnet::Node& node, simnet::NodeId site)
+      : http_(websvc::plain_transport(node, std::move(site))) {}
+
+  void register_account(const std::string& user, const std::string& password,
+                        std::function<void(Status)> cb);
+  void login(const std::string& user, const std::string& password,
+             std::function<void(Status)> cb);
+  void post_comment(const std::string& text, std::function<void(Status)> cb);
+  void fetch_comments(
+      std::function<void(Result<std::vector<std::string>>)> cb);
+
+ private:
+  websvc::HttpClient http_;
+};
+
+}  // namespace amnesia::eval

@@ -1,0 +1,59 @@
+// Password-habit modelling: what the section-VII survey answers imply
+// about the strength of the participants' *current* passwords, and a
+// synthetic-population simulator for sampling-variability analysis.
+//
+// The paper juxtaposes the survey (short, personal-information-based,
+// heavily reused passwords) with Amnesia's generated 94^32 output but
+// never quantifies the gap; habits.h puts numbers on it using standard
+// entropy estimates per creation technique and length bucket, and the
+// population simulator shows how much a 31-person pilot's headline
+// percentages wobble across re-samples — the caveat section VII itself
+// raises ("our user study cannot provide conclusive evidence ... due to
+// its small scale").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/stats.h"
+#include "eval/userstudy.h"
+
+namespace amnesia::eval {
+
+/// Estimated guessing entropy (bits) of one participant's typical
+/// password, from their reported length bucket and creation technique.
+/// Personal-info passwords are scored far below their length's raw
+/// keyspace (targeted attackers enumerate them cheaply — paper [16],
+/// [17]); mnemonic passwords somewhat higher; "other" in between.
+double estimated_password_bits(const Participant& participant);
+
+struct HabitStrengthReport {
+  Summary bits;                 // across the study population
+  double reuse_weighted_bits;   // discounted by cross-site reuse exposure
+  double amnesia_bits;          // log2(94^32), the generated alternative
+};
+
+/// Scores the section-VII study population.
+HabitStrengthReport score_study_population();
+
+/// One synthetic participant drawn from the study's marginal
+/// distributions (independence across fields assumed, as in the dataset).
+Participant sample_participant(RandomSource& rng, int id);
+
+struct PilotVariability {
+  int cohorts = 0;
+  int cohort_size = 0;
+  // Distribution across cohorts of the "prefers Amnesia" percentage.
+  Summary prefer_percent;
+  // Distribution of the "believes security increased" percentage.
+  Summary security_percent;
+};
+
+/// Re-runs the pilot `cohorts` times with synthetic 31-person cohorts
+/// drawn from the study's marginals and reports how much the headline
+/// percentages vary — the paper's small-scale caveat, quantified.
+PilotVariability simulate_pilot_variability(int cohorts, int cohort_size,
+                                            std::uint64_t seed);
+
+}  // namespace amnesia::eval

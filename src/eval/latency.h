@@ -1,0 +1,41 @@
+// The latency evaluation of paper section VI-B / Fig. 3.
+//
+// Measures end-to-end password-generation latency — from the instant the
+// server hands R to the rendezvous service (tstart) to the instant the
+// final password is computed from the returned token (tend) — over the
+// WiFi and 4G link profiles, 100 trials each, exactly the paper's setup
+// (including its removal of the user-confirmation step: the phone's
+// policy auto-accepts).
+//
+// Paper's reported numbers: WiFi mean 785.3 ms, sigma 171.5 ms;
+// 4G mean 978.7 ms, sigma 137.9 ms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/stats.h"
+#include "eval/testbed.h"
+
+namespace amnesia::eval {
+
+struct LatencyConfig {
+  int trials = 100;           // the paper's sample size
+  std::uint64_t seed = 2016;  // simulation seed (publication year)
+  PhoneLink link = PhoneLink::kWifi;
+};
+
+struct LatencyResult {
+  std::string network_name;
+  std::vector<double> samples_ms;  // one per trial, in trial order
+  Summary summary;                 // of samples_ms
+};
+
+/// Runs one network's experiment on a fresh testbed.
+LatencyResult run_latency_experiment(const LatencyConfig& config);
+
+/// Runs both networks (Fig. 3's two series) with the same trial count.
+std::vector<LatencyResult> run_fig3(int trials = 100,
+                                    std::uint64_t seed = 2016);
+
+}  // namespace amnesia::eval

@@ -1,0 +1,38 @@
+// Small statistics helpers shared by the evaluation harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace amnesia::eval {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation, as the paper uses
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+inline Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  double var = 0.0;
+  for (const double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.n));
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = s.n % 2 == 1 ? samples[s.n / 2]
+                          : 0.5 * (samples[s.n / 2 - 1] + samples[s.n / 2]);
+  return s;
+}
+
+}  // namespace amnesia::eval

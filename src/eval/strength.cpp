@@ -1,0 +1,129 @@
+#include "eval/strength.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "core/generate.h"
+#include "crypto/drbg.h"
+
+namespace amnesia::eval {
+
+CompositionStats measure_composition(std::size_t samples,
+                                     const core::PasswordPolicy& policy,
+                                     std::uint64_t seed,
+                                     std::size_t entry_table_size) {
+  crypto::ChaChaDrbg rng(seed);
+  const auto oid = core::OnlineId::generate(rng);
+  const auto table = core::EntryTable::generate(rng, entry_table_size);
+
+  CompositionStats stats;
+  stats.samples = samples;
+  std::set<std::string> distinct;
+  double lower = 0, upper = 0, digits = 0, specials = 0, length = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const core::AccountId account{"user" + std::to_string(i),
+                                  "site" + std::to_string(i) + ".example"};
+    const std::string password = core::end_to_end_password(
+        account, core::Seed::generate(rng), oid, table, policy);
+    distinct.insert(password);
+    length += static_cast<double>(password.size());
+    for (const char c : password) {
+      const auto uc = static_cast<unsigned char>(c);
+      if (std::islower(uc)) {
+        ++lower;
+      } else if (std::isupper(uc)) {
+        ++upper;
+      } else if (std::isdigit(uc)) {
+        ++digits;
+      } else {
+        ++specials;
+      }
+    }
+  }
+  const double n = static_cast<double>(samples);
+  stats.mean_lowercase = lower / n;
+  stats.mean_uppercase = upper / n;
+  stats.mean_digits = digits / n;
+  stats.mean_specials = specials / n;
+  stats.mean_length = length / n;
+  stats.distinct = distinct.size();
+  return stats;
+}
+
+CharFrequencyStats measure_char_frequency(std::size_t password_samples,
+                                          const core::PasswordPolicy& policy,
+                                          std::uint64_t seed) {
+  crypto::ChaChaDrbg rng(seed);
+  const auto oid = core::OnlineId::generate(rng);
+  const auto table = core::EntryTable::generate(rng, 512);
+
+  std::map<char, std::size_t> counts;
+  for (const char c : policy.charset.characters()) counts[c] = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < password_samples; ++i) {
+    const core::AccountId account{"u" + std::to_string(i), "d.example"};
+    const std::string password = core::end_to_end_password(
+        account, core::Seed::generate(rng), oid, table, policy);
+    for (const char c : password) {
+      ++counts[c];
+      ++total;
+    }
+  }
+
+  CharFrequencyStats stats;
+  stats.samples = total;
+  stats.expected_frequency = 1.0 / static_cast<double>(policy.charset.size());
+  stats.degrees_of_freedom = policy.charset.size() - 1;
+  stats.min_frequency = 1.0;
+  stats.max_frequency = 0.0;
+  const double expected_count =
+      static_cast<double>(total) * stats.expected_frequency;
+  for (const auto& [c, count] : counts) {
+    const double freq = static_cast<double>(count) / static_cast<double>(total);
+    stats.min_frequency = std::min(stats.min_frequency, freq);
+    stats.max_frequency = std::max(stats.max_frequency, freq);
+    const double diff = static_cast<double>(count) - expected_count;
+    stats.chi_squared += diff * diff / expected_count;
+  }
+  return stats;
+}
+
+IndexFrequencyStats measure_index_frequency(std::size_t request_samples,
+                                            std::size_t table_size,
+                                            std::uint64_t seed) {
+  crypto::ChaChaDrbg rng(seed);
+  std::vector<std::size_t> counts(table_size, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < request_samples; ++i) {
+    const core::Request request(rng.bytes(32));
+    for (const std::size_t index : core::token_indices(request, table_size)) {
+      ++counts[index];
+      ++total;
+    }
+  }
+  IndexFrequencyStats stats;
+  stats.table_size = table_size;
+  stats.samples = total;
+  stats.expected_frequency = 1.0 / static_cast<double>(table_size);
+  stats.min_frequency = 1.0;
+  stats.max_frequency = 0.0;
+  for (const std::size_t count : counts) {
+    const double freq = static_cast<double>(count) / static_cast<double>(total);
+    stats.min_frequency = std::min(stats.min_frequency, freq);
+    stats.max_frequency = std::max(stats.max_frequency, freq);
+  }
+  stats.observed_bias_ratio =
+      stats.min_frequency > 0.0 ? stats.max_frequency / stats.min_frequency
+                                : 0.0;
+  // ceil/floor occurrence counts of `segment mod N` over 16-bit segments
+  // (same formula as attacks::index_bias_ratio, restated here to keep the
+  // eval library independent of the attack harness).
+  const std::size_t lo = 65536 / table_size;
+  const std::size_t hi = lo + (65536 % table_size ? 1 : 0);
+  stats.analytic_bias_ratio =
+      lo == 0 ? 0.0 : static_cast<double>(hi) / static_cast<double>(lo);
+  return stats;
+}
+
+}  // namespace amnesia::eval

@@ -1,0 +1,68 @@
+// Generated-password strength analysis (paper section IV-E, III-B3).
+//
+// Empirically measures what the paper derives analytically: the character
+// composition of default-policy passwords (~9 lower, ~9 upper, ~3 digits,
+// ~11 specials out of 32), the keyspace sizes, and the (tiny) bias the
+// `mod N` / `mod N_c` selections introduce relative to the paper's
+// uniformity assumption.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/charset.h"
+#include "core/entry_table.h"
+#include "core/notation.h"
+
+namespace amnesia::eval {
+
+struct CompositionStats {
+  std::size_t samples = 0;
+  double mean_lowercase = 0.0;
+  double mean_uppercase = 0.0;
+  double mean_digits = 0.0;
+  double mean_specials = 0.0;
+  double mean_length = 0.0;
+  /// Distinct passwords observed (collision check).
+  std::size_t distinct = 0;
+};
+
+/// Generates `samples` passwords through the full pipeline (fresh seeds,
+/// one shared Oid/table) and measures their composition.
+CompositionStats measure_composition(std::size_t samples,
+                                     const core::PasswordPolicy& policy,
+                                     std::uint64_t seed = 42,
+                                     std::size_t entry_table_size = 5000);
+
+struct CharFrequencyStats {
+  std::size_t samples = 0;          // characters observed
+  double min_frequency = 0.0;       // per-character observed probability
+  double max_frequency = 0.0;
+  double expected_frequency = 0.0;  // 1 / |charset|
+  /// chi-squared statistic against the uniform distribution.
+  double chi_squared = 0.0;
+  std::size_t degrees_of_freedom = 0;
+};
+
+/// Per-character frequency over many generated passwords: quantifies the
+/// template function's mod-94 bias (65536 % 94 != 0).
+CharFrequencyStats measure_char_frequency(std::size_t password_samples,
+                                          const core::PasswordPolicy& policy,
+                                          std::uint64_t seed = 43);
+
+struct IndexFrequencyStats {
+  std::size_t table_size = 0;
+  std::size_t samples = 0;  // indices observed
+  double min_frequency = 0.0;
+  double max_frequency = 0.0;
+  double expected_frequency = 0.0;
+  double observed_bias_ratio = 0.0;   // max/min observed
+  double analytic_bias_ratio = 0.0;   // ceil/floor of 65536/N
+};
+
+/// Entry-index selection frequency for Algorithm 1 across random requests.
+IndexFrequencyStats measure_index_frequency(std::size_t request_samples,
+                                            std::size_t table_size,
+                                            std::uint64_t seed = 44);
+
+}  // namespace amnesia::eval

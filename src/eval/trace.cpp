@@ -1,0 +1,86 @@
+#include "eval/trace.h"
+
+#include <sstream>
+
+#include "core/protocol.h"
+
+namespace amnesia::eval {
+
+TraceCollector::TraceCollector(simnet::Network& network) : network_(network) {
+  tap_id_ = network_.add_tap("", "", [this](Micros at, simnet::Message& msg) {
+    events_.push_back(TraceEvent{at, msg.from, msg.to, msg.payload.size(),
+                                 classify(msg)});
+    return simnet::TapAction::kPass;
+  });
+}
+
+TraceCollector::~TraceCollector() { network_.remove_tap(tap_id_); }
+
+std::string TraceCollector::classify(const simnet::Message& msg) {
+  // Node frame: [kind:1][corr:8][body...]; body starts at offset 9.
+  if (msg.payload.size() < 10) return "frame";
+  const std::uint8_t kind = msg.payload[0];
+  const std::uint8_t first = msg.payload[9];
+  if (kind == 2) {
+    // One-way datagram: the GCM push. Confirm it decodes.
+    const Bytes body(msg.payload.begin() + 9, msg.payload.end());
+    if (core::PasswordRequestPush::decode(body)) {
+      return "GCM push (request R, origin ip, tstart)";
+    }
+    return "one-way datagram";
+  }
+  const char* direction = kind == 0 ? "request" : "response";
+
+  // Service RPCs share the leading-op-byte convention with the secure
+  // channel; disambiguate by the conventional service node names.
+  const bool rendezvous_leg = msg.from == "gcm" || msg.to == "gcm";
+  const bool cloud_leg = msg.from == "cloud" || msg.to == "cloud";
+  if (rendezvous_leg || cloud_leg) {
+    const char* service = rendezvous_leg ? "rendezvous" : "cloud";
+    if (kind == 1) return std::string(service) + " rpc response";
+    const char* op = "op?";
+    if (rendezvous_leg) {
+      switch (first) {
+        case 0x01: op = "register"; break;
+        case 0x02: op = "push"; break;
+        case 0x03: op = "connect"; break;
+        case 0x04: op = "unregister"; break;
+      }
+    } else {
+      switch (first) {
+        case 0x01: op = "signup"; break;
+        case 0x02: op = "put"; break;
+        case 0x03: op = "get"; break;
+        case 0x04: op = "del"; break;
+      }
+    }
+    return std::string(service) + " " + op + " request";
+  }
+
+  switch (first) {
+    case 0x01: return std::string("secure-channel client hello ") + direction;
+    case 0x02: return std::string("secure-channel server hello ") + direction;
+    case 0x03: return std::string("secure-channel data ") + direction;
+    default: break;
+  }
+  std::ostringstream out;
+  out << "rpc " << direction << " (op 0x" << std::hex
+      << static_cast<int>(first) << ")";
+  return out.str();
+}
+
+std::string TraceCollector::render() const {
+  std::ostringstream out;
+  if (events_.empty()) return "(no traffic)\n";
+  const Micros origin = events_.front().at_us;
+  for (const auto& event : events_) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  +%8.1f ms  %-14s -> %-14s %5zu B  %s\n",
+                  us_to_ms(event.at_us - origin), event.from.c_str(),
+                  event.to.c_str(), event.bytes, event.annotation.c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace amnesia::eval

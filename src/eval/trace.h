@@ -1,0 +1,45 @@
+// Message-flow tracing: records every delivery on the simulated network
+// and renders a sequence chart — the runnable version of the paper's
+// Fig. 1 architecture diagram.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simnet/network.h"
+
+namespace amnesia::eval {
+
+struct TraceEvent {
+  Micros at_us;
+  simnet::NodeId from;
+  simnet::NodeId to;
+  std::size_t bytes;
+  std::string annotation;  // classified payload kind ("GCM push", ...)
+};
+
+/// Observes all traffic on a network while alive. Purely passive.
+class TraceCollector {
+ public:
+  explicit TraceCollector(simnet::Network& network);
+  ~TraceCollector();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Renders an arrow-per-message chart relative to the first event:
+  ///   +0.0ms   browser        -> amnesia-server   312 B  secure record
+  std::string render() const;
+
+ private:
+  static std::string classify(const simnet::Message& msg);
+
+  simnet::Network& network_;
+  std::size_t tap_id_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace amnesia::eval

@@ -1,0 +1,378 @@
+#include "eval/uds.h"
+
+#include <sstream>
+
+namespace amnesia::eval {
+
+const char* benefit_name(Benefit b) {
+  switch (b) {
+    case Benefit::kMemorywiseEffortless: return "Memorywise-Effortless";
+    case Benefit::kScalableForUsers: return "Scalable-for-Users";
+    case Benefit::kNothingToCarry: return "Nothing-to-Carry";
+    case Benefit::kPhysicallyEffortless: return "Physically-Effortless";
+    case Benefit::kEasyToLearn: return "Easy-to-Learn";
+    case Benefit::kEfficientToUse: return "Efficient-to-Use";
+    case Benefit::kInfrequentErrors: return "Infrequent-Errors";
+    case Benefit::kEasyRecoveryFromLoss: return "Easy-Recovery-from-Loss";
+    case Benefit::kAccessible: return "Accessible";
+    case Benefit::kNegligibleCostPerUser: return "Negligible-Cost-per-User";
+    case Benefit::kServerCompatible: return "Server-Compatible";
+    case Benefit::kBrowserCompatible: return "Browser-Compatible";
+    case Benefit::kMature: return "Mature";
+    case Benefit::kNonProprietary: return "Non-Proprietary";
+    case Benefit::kResilientToPhysicalObservation:
+      return "Resilient-to-Physical-Observation";
+    case Benefit::kResilientToTargetedImpersonation:
+      return "Resilient-to-Targeted-Impersonation";
+    case Benefit::kResilientToThrottledGuessing:
+      return "Resilient-to-Throttled-Guessing";
+    case Benefit::kResilientToUnthrottledGuessing:
+      return "Resilient-to-Unthrottled-Guessing";
+    case Benefit::kResilientToInternalObservation:
+      return "Resilient-to-Internal-Observation";
+    case Benefit::kResilientToLeaksFromOtherVerifiers:
+      return "Resilient-to-Leaks-from-Other-Verifiers";
+    case Benefit::kResilientToPhishing: return "Resilient-to-Phishing";
+    case Benefit::kResilientToTheft: return "Resilient-to-Theft";
+    case Benefit::kNoTrustedThirdParty: return "No-Trusted-Third-Party";
+    case Benefit::kRequiringExplicitConsent:
+      return "Requiring-Explicit-Consent";
+    case Benefit::kUnlinkable: return "Unlinkable";
+  }
+  return "?";
+}
+
+Category benefit_category(Benefit b) {
+  const auto index = static_cast<int>(b);
+  if (index < 8) return Category::kUsability;
+  if (index < 14) return Category::kDeployability;
+  return Category::kSecurity;
+}
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kUsability: return "Usability";
+    case Category::kDeployability: return "Deployability";
+    case Category::kSecurity: return "Security";
+  }
+  return "?";
+}
+
+std::array<int, 3> SchemeProfile::tally(Category category) const {
+  std::array<int, 3> counts{0, 0, 0};  // yes, semi, no
+  for (std::size_t i = 0; i < kBenefitCount; ++i) {
+    if (benefit_category(static_cast<Benefit>(i)) != category) continue;
+    switch (cells[i].score) {
+      case Score::kYes: ++counts[0]; break;
+      case Score::kSemi: ++counts[1]; break;
+      case Score::kNo: ++counts[2]; break;
+    }
+  }
+  return counts;
+}
+
+namespace {
+
+class ProfileBuilder {
+ public:
+  explicit ProfileBuilder(std::string name) { profile_.name = std::move(name); }
+
+  ProfileBuilder& set(Benefit b, Score s, std::string rationale) {
+    profile_.cells[static_cast<std::size_t>(b)] =
+        Cell{s, std::move(rationale)};
+    return *this;
+  }
+
+  SchemeProfile build() { return std::move(profile_); }
+
+ private:
+  SchemeProfile profile_;
+};
+
+SchemeProfile password_profile() {
+  using B = Benefit;
+  return ProfileBuilder("Password")
+      .set(B::kMemorywiseEffortless, Score::kNo,
+           "one secret per account to memorize")
+      .set(B::kScalableForUsers, Score::kNo,
+           "burden grows linearly with accounts; drives reuse")
+      .set(B::kNothingToCarry, Score::kYes, "nothing beyond the user's head")
+      .set(B::kPhysicallyEffortless, Score::kNo, "typed every login")
+      .set(B::kEasyToLearn, Score::kYes, "the universal incumbent")
+      .set(B::kEfficientToUse, Score::kYes, "a few seconds to type")
+      .set(B::kInfrequentErrors, Score::kSemi, "typos and forgetting happen")
+      .set(B::kEasyRecoveryFromLoss, Score::kYes,
+           "per-site reset flows exist everywhere")
+      .set(B::kAccessible, Score::kYes, "no extra hardware or software")
+      .set(B::kNegligibleCostPerUser, Score::kYes, "free")
+      .set(B::kServerCompatible, Score::kYes, "is the incumbent")
+      .set(B::kBrowserCompatible, Score::kYes, "is the incumbent")
+      .set(B::kMature, Score::kYes, "50+ years in production")
+      .set(B::kNonProprietary, Score::kYes, "no owner")
+      .set(B::kResilientToPhysicalObservation, Score::kNo,
+           "shoulder-surfable; keyloggable")
+      .set(B::kResilientToTargetedImpersonation, Score::kNo,
+           "personal-information-based guessing works (paper section VII-C)")
+      .set(B::kResilientToThrottledGuessing, Score::kNo,
+           "human choices fall to online dictionaries")
+      .set(B::kResilientToUnthrottledGuessing, Score::kNo,
+           "offline cracking of leaked hashes")
+      .set(B::kResilientToInternalObservation, Score::kNo,
+           "one observed login replays forever")
+      .set(B::kResilientToLeaksFromOtherVerifiers, Score::kNo,
+           "reuse across 3.9 sites on average (paper [6])")
+      .set(B::kResilientToPhishing, Score::kNo, "users type into look-alikes")
+      .set(B::kResilientToTheft, Score::kYes, "no token to steal")
+      .set(B::kNoTrustedThirdParty, Score::kYes, "site and user only")
+      .set(B::kRequiringExplicitConsent, Score::kYes, "typing is consent")
+      .set(B::kUnlinkable, Score::kYes,
+           "distinct passwords are unlinkable (when not reused)")
+      .build();
+}
+
+SchemeProfile firefox_profile() {
+  using B = Benefit;
+  return ProfileBuilder("Firefox (MP)")
+      .set(B::kMemorywiseEffortless, Score::kSemi,
+           "one master password remains")
+      .set(B::kScalableForUsers, Score::kYes, "store handles any count")
+      .set(B::kNothingToCarry, Score::kSemi,
+           "bound to the computer holding the store")
+      .set(B::kPhysicallyEffortless, Score::kSemi,
+           "autofill after one MP entry per session")
+      .set(B::kEasyToLearn, Score::kYes, "built into the browser")
+      .set(B::kEfficientToUse, Score::kYes, "autofill")
+      .set(B::kInfrequentErrors, Score::kYes, "no typing, no typos")
+      .set(B::kEasyRecoveryFromLoss, Score::kNo,
+           "lose the machine or the MP, lose the store (baselines::BrowserStore)")
+      .set(B::kAccessible, Score::kYes, "ships with the browser")
+      .set(B::kNegligibleCostPerUser, Score::kYes, "free")
+      .set(B::kServerCompatible, Score::kYes, "sites unchanged")
+      .set(B::kBrowserCompatible, Score::kYes, "is the browser")
+      .set(B::kMature, Score::kYes, "long deployed")
+      .set(B::kNonProprietary, Score::kYes, "open source")
+      .set(B::kResilientToPhysicalObservation, Score::kSemi,
+           "autofill hides passwords; MP itself is observable")
+      .set(B::kResilientToTargetedImpersonation, Score::kSemi,
+           "stored passwords may still be user-chosen")
+      .set(B::kResilientToThrottledGuessing, Score::kSemi,
+           "per-site secrets strong only if generated")
+      .set(B::kResilientToUnthrottledGuessing, Score::kNo,
+           "stolen store falls to offline MP dictionary "
+           "(attacks on BrowserStore::data_at_rest)")
+      .set(B::kResilientToInternalObservation, Score::kNo,
+           "malware on the computer sees everything")
+      .set(B::kResilientToLeaksFromOtherVerifiers, Score::kSemi,
+           "helps only if the user stored unique passwords")
+      .set(B::kResilientToPhishing, Score::kYes,
+           "autofill matches the saved origin")
+      .set(B::kResilientToTheft, Score::kSemi,
+           "computer theft + weak MP = breach")
+      .set(B::kNoTrustedThirdParty, Score::kYes, "purely local")
+      .set(B::kRequiringExplicitConsent, Score::kSemi,
+           "silent autofill (paper [27] attacks exactly this)")
+      .set(B::kUnlinkable, Score::kYes, "local store links nothing")
+      .build();
+}
+
+SchemeProfile lastpass_profile() {
+  using B = Benefit;
+  return ProfileBuilder("LastPass")
+      .set(B::kMemorywiseEffortless, Score::kSemi, "one master password")
+      .set(B::kScalableForUsers, Score::kYes, "cloud vault")
+      .set(B::kNothingToCarry, Score::kYes, "any device, log in and sync")
+      .set(B::kPhysicallyEffortless, Score::kSemi, "autofill after MP entry")
+      .set(B::kEasyToLearn, Score::kYes, "mainstream product")
+      .set(B::kEfficientToUse, Score::kYes, "autofill")
+      .set(B::kInfrequentErrors, Score::kYes, "no typing")
+      .set(B::kEasyRecoveryFromLoss, Score::kSemi,
+           "account recovery exists but MP loss is severe")
+      .set(B::kAccessible, Score::kYes, "broad platform support")
+      .set(B::kNegligibleCostPerUser, Score::kSemi, "freemium")
+      .set(B::kServerCompatible, Score::kYes, "sites unchanged")
+      .set(B::kBrowserCompatible, Score::kSemi, "requires an extension")
+      .set(B::kMature, Score::kYes, "large deployment")
+      .set(B::kNonProprietary, Score::kNo, "closed commercial service")
+      .set(B::kResilientToPhysicalObservation, Score::kSemi,
+           "autofill; MP observable")
+      .set(B::kResilientToTargetedImpersonation, Score::kYes,
+           "generated passwords are not personal")
+      .set(B::kResilientToThrottledGuessing, Score::kYes,
+           "generated passwords resist online guessing")
+      .set(B::kResilientToUnthrottledGuessing, Score::kNo,
+           "breached vault blobs fall to offline MP dictionaries "
+           "(attacks on VaultServer::data_at_rest; paper [7])")
+      .set(B::kResilientToInternalObservation, Score::kNo,
+           "client malware sees the decrypted vault")
+      .set(B::kResilientToLeaksFromOtherVerifiers, Score::kYes,
+           "unique generated passwords per site")
+      .set(B::kResilientToPhishing, Score::kYes, "origin-matched autofill")
+      .set(B::kResilientToTheft, Score::kSemi,
+           "stolen device still needs the MP")
+      .set(B::kNoTrustedThirdParty, Score::kNo,
+           "the vault service is a trusted third party and a single "
+           "point of failure — the paper's motivating risk")
+      .set(B::kRequiringExplicitConsent, Score::kSemi, "silent autofill")
+      .set(B::kUnlinkable, Score::kNo,
+           "one provider observes every account the user has")
+      .build();
+}
+
+SchemeProfile tapas_profile() {
+  using B = Benefit;
+  return ProfileBuilder("Tapas")
+      .set(B::kMemorywiseEffortless, Score::kYes,
+           "no master password at all")
+      .set(B::kScalableForUsers, Score::kYes, "wallet scales")
+      .set(B::kNothingToCarry, Score::kNo, "the phone is required")
+      .set(B::kPhysicallyEffortless, Score::kSemi,
+           "per-login phone interaction")
+      .set(B::kEasyToLearn, Score::kSemi, "dual-device pairing to learn")
+      .set(B::kEfficientToUse, Score::kSemi,
+           "each retrieval round-trips through the phone")
+      .set(B::kInfrequentErrors, Score::kSemi, "device availability issues")
+      .set(B::kEasyRecoveryFromLoss, Score::kSemi,
+           "backup procedures; losing either device hurts")
+      .set(B::kAccessible, Score::kYes, "commodity phone + PC")
+      .set(B::kNegligibleCostPerUser, Score::kYes, "free software")
+      .set(B::kServerCompatible, Score::kYes, "sites unchanged")
+      .set(B::kBrowserCompatible, Score::kNo,
+           "requires installed client software on the computer")
+      .set(B::kMature, Score::kNo, "research prototype")
+      .set(B::kNonProprietary, Score::kYes, "published academic system")
+      .set(B::kResilientToPhysicalObservation, Score::kSemi,
+           "no secret typed; retrieved password may be displayed")
+      .set(B::kResilientToTargetedImpersonation, Score::kYes,
+           "no guessable human secret")
+      .set(B::kResilientToThrottledGuessing, Score::kYes,
+           "nothing to guess online")
+      .set(B::kResilientToUnthrottledGuessing, Score::kYes,
+           "wallet key is 256-bit random (baselines::TapasComputer)")
+      .set(B::kResilientToInternalObservation, Score::kNo,
+           "PC malware sees decrypted passwords")
+      .set(B::kResilientToLeaksFromOtherVerifiers, Score::kSemi,
+           "stores user-chosen passwords; unique only by discipline")
+      .set(B::kResilientToPhishing, Score::kSemi,
+           "manual entry remains phishable")
+      .set(B::kResilientToTheft, Score::kYes,
+           "either device alone is useless (baselines_test)")
+      .set(B::kNoTrustedThirdParty, Score::kYes, "fully self-hosted")
+      .set(B::kRequiringExplicitConsent, Score::kYes,
+           "phone tap per retrieval")
+      .set(B::kUnlinkable, Score::kYes, "no central observer")
+      .build();
+}
+
+SchemeProfile amnesia_profile() {
+  using B = Benefit;
+  return ProfileBuilder("Amnesia")
+      .set(B::kMemorywiseEffortless, Score::kSemi,
+           "exactly one master password (paper section X)")
+      .set(B::kScalableForUsers, Score::kYes,
+           "any number of accounts; server-side entries")
+      .set(B::kNothingToCarry, Score::kNo,
+           "bilateral: the phone must be present (paper section VI-A)")
+      .set(B::kPhysicallyEffortless, Score::kSemi,
+           "per-password phone confirmation (paper section VIII)")
+      .set(B::kEasyToLearn, Score::kSemi,
+           "77.4% of study users found registration convenient "
+           "(section VII-D)")
+      .set(B::kEfficientToUse, Score::kSemi,
+           "sub-second generation (Fig. 3) + one phone tap")
+      .set(B::kInfrequentErrors, Score::kSemi,
+           "phone offline means no access (section VIII)")
+      .set(B::kEasyRecoveryFromLoss, Score::kYes,
+           "both recovery protocols implemented and tested "
+           "(section III-C; tests/recovery_test.cpp)")
+      .set(B::kAccessible, Score::kYes, "any browser, any computer")
+      .set(B::kNegligibleCostPerUser, Score::kYes,
+           "commodity server + user's own phone")
+      .set(B::kServerCompatible, Score::kYes,
+           "target websites completely unchanged (section IV)")
+      .set(B::kBrowserCompatible, Score::kYes,
+           "no client software or plugin on the computer (section VI-A)")
+      .set(B::kMature, Score::kNo,
+           "prototype — the one deployability property the paper "
+           "concedes (section VI-A)")
+      .set(B::kNonProprietary, Score::kYes, "published design")
+      .set(B::kResilientToPhysicalObservation, Score::kNo,
+           "generated password displayed as text in the prototype "
+           "(section VI-A); auto-filler planned")
+      .set(B::kResilientToTargetedImpersonation, Score::kYes,
+           "passwords are 94-char generative output, nothing personal")
+      .set(B::kResilientToThrottledGuessing, Score::kYes,
+           "MP guessing is throttled AND the phone factor is still "
+           "missing (server ThrottleGuard; attacks tests)")
+      .set(B::kResilientToUnthrottledGuessing, Score::kYes,
+           "server breach + offline MP crack still yields no site "
+           "password without K_p (attacks::run_server_breach)")
+      .set(B::kResilientToInternalObservation, Score::kNo,
+           "a broken browser-leg channel exposes P — the paper "
+           "explicitly leaves this unfulfilled (section VI-A; "
+           "attacks::run_browser_leg_compromise)")
+      .set(B::kResilientToLeaksFromOtherVerifiers, Score::kYes,
+           "per-account sigma makes every password independent")
+      .set(B::kResilientToPhishing, Score::kSemi,
+           "no client-side origin binding in the prototype; the phone "
+           "consent screen shows the requesting IP (Fig. 2b)")
+      .set(B::kResilientToTheft, Score::kYes,
+           "stolen phone alone is useless; recovery restores two-factor "
+           "security (attacks::run_phone_compromise)")
+      .set(B::kNoTrustedThirdParty, Score::kSemi,
+           "rendezvous (GCM) routes requests but learns nothing usable "
+           "thanks to sigma (attacks::run_rendezvous_eavesdrop)")
+      .set(B::kRequiringExplicitConsent, Score::kYes,
+           "every generation requires a phone confirmation (Fig. 2b)")
+      .set(B::kUnlinkable, Score::kYes,
+           "websites see only ordinary passwords")
+      .build();
+}
+
+}  // namespace
+
+std::vector<SchemeProfile> table3_schemes() {
+  return {password_profile(), firefox_profile(), lastpass_profile(),
+          tapas_profile(), amnesia_profile()};
+}
+
+std::string render_table3(const std::vector<SchemeProfile>& schemes) {
+  std::ostringstream out;
+  out << "Scheme        ";
+  for (std::size_t i = 0; i < kBenefitCount; ++i) {
+    out << " " << (i + 1) % 10;  // column index digits; legend below
+  }
+  out << "\n";
+  for (const auto& scheme : schemes) {
+    out << scheme.name;
+    for (std::size_t pad = scheme.name.size(); pad < 14; ++pad) out << ' ';
+    for (std::size_t i = 0; i < kBenefitCount; ++i) {
+      const Score s = scheme.cells[i].score;
+      out << ' ' << (s == Score::kYes ? 'Y' : s == Score::kSemi ? 'o' : '-');
+    }
+    out << "\n";
+  }
+  out << "\nColumns:\n";
+  for (std::size_t i = 0; i < kBenefitCount; ++i) {
+    const auto b = static_cast<Benefit>(i);
+    out << "  " << (i + 1) << ". [" << category_name(benefit_category(b))
+        << "] " << benefit_name(b) << "\n";
+  }
+  return out.str();
+}
+
+std::string render_rationales(const SchemeProfile& scheme) {
+  std::ostringstream out;
+  out << scheme.name << "\n";
+  for (std::size_t i = 0; i < kBenefitCount; ++i) {
+    const auto b = static_cast<Benefit>(i);
+    const Cell& cell = scheme.cells[i];
+    out << "  "
+        << (cell.score == Score::kYes
+                ? "[Y]"
+                : cell.score == Score::kSemi ? "[o]" : "[-]")
+        << " " << benefit_name(b) << ": " << cell.rationale << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace amnesia::eval

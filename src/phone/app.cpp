@@ -1,0 +1,195 @@
+#include "phone/app.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace amnesia::phone {
+
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+Schema secrets_schema() {
+  // Table II: the Pid row plus one row per entry value; we persist the
+  // whole K_p as a single serialized blob keyed by a constant, which is
+  // equivalent and keeps the hot path (token generation) in memory.
+  return Schema{.columns = {{"key", ValueType::kText},
+                            {"blob", ValueType::kBlob}},
+                .primary_key = 0};
+}
+
+constexpr char kSecretsKey[] = "kp";
+constexpr char kBackupBlobName[] = "amnesia-kp-backup";
+
+}  // namespace
+
+PhoneApp::PhoneApp(simnet::Simulation& sim, simnet::Network& network,
+                   RandomSource& rng, PhoneAppConfig config)
+    : sim_(sim),
+      rng_(rng),
+      config_(std::move(config)),
+      node_(std::make_unique<simnet::Node>(network, config_.node_id)),
+      server_channel_(*node_, config_.server_node, config_.server_public_key,
+                      rng),
+      server_http_([this](Bytes wire, std::function<void(Result<Bytes>)> cb) {
+        server_channel_.request(std::move(wire), std::move(cb));
+      }),
+      push_client_(*node_, config_.rendezvous_node),
+      cloud_client_(*node_, config_.cloud_node, config_.cloud_user,
+                    config_.cloud_secret),
+      db_(config_.db_path),
+      confirm_([](const core::PasswordRequestPush&) { return true; }) {
+  if (!db_.has_table("secrets")) db_.create_table("secrets", secrets_schema());
+  load_secrets();
+  node_->set_oneway_handler(
+      [this](const simnet::NodeId&, const Bytes& body) { on_push(body); });
+}
+
+void PhoneApp::install() {
+  // "A new Pid is generated each time the application is installed"
+  // (section III-B1); the entry table is likewise fresh.
+  secrets_ = core::PhoneSecrets{
+      core::PhoneId::generate(rng_),
+      core::EntryTable::generate(rng_, config_.entry_table_size)};
+  persist_secrets();
+  AMNESIA_INFO("phone") << "installed; N=" << secrets_->entry_table.size();
+}
+
+void PhoneApp::persist_secrets() {
+  db_.upsert("secrets", Row{kSecretsKey, secrets_->serialize()});
+}
+
+void PhoneApp::load_secrets() {
+  const auto row = db_.table("secrets").get(Value(kSecretsKey));
+  if (row) {
+    secrets_ = core::PhoneSecrets::deserialize((*row)[1].as_blob());
+  }
+}
+
+const core::PhoneSecrets& PhoneApp::secrets() const {
+  if (!secrets_) throw ProtocolError("PhoneApp: not installed");
+  return *secrets_;
+}
+
+void PhoneApp::register_with_rendezvous(std::function<void(Status)> cb) {
+  push_client_.register_device(
+      [this, cb = std::move(cb)](Result<std::string> r) {
+        if (!r.ok()) {
+          cb(Status(r.failure()));
+          return;
+        }
+        registration_id_ = r.value();
+        cb(ok_status());
+      });
+}
+
+void PhoneApp::pair(const std::string& amnesia_user,
+                    const std::string& captcha,
+                    std::function<void(Status)> cb) {
+  if (!secrets_ || !registration_id_) {
+    cb(Status(Err::kInvalidArgument,
+              "install() and register_with_rendezvous() first"));
+    return;
+  }
+  server_http_.post_form(
+      "/pair/complete",
+      {{"user", amnesia_user},
+       {"captcha", captcha},
+       {"pid", secrets_->pid.hex()},
+       {"reg_id", *registration_id_}},
+      [cb = std::move(cb)](Result<websvc::Response> r) {
+        if (!r.ok()) {
+          cb(Status(r.failure()));
+          return;
+        }
+        if (r.value().status != 200) {
+          cb(Status(Err::kVerificationFailed, r.value().body));
+          return;
+        }
+        cb(ok_status());
+      });
+}
+
+void PhoneApp::on_push(const Bytes& payload) {
+  ++stats_.pushes_received;
+  const auto push = core::PasswordRequestPush::decode(payload);
+  if (!push) {
+    ++stats_.malformed_pushes;
+    AMNESIA_WARN("phone") << "malformed push dropped";
+    return;
+  }
+  if (!secrets_) {
+    AMNESIA_WARN("phone") << "push before install; dropped";
+    return;
+  }
+  // The notification: the user sees the origin IP (Fig. 2b) and accepts
+  // or declines.
+  if (!confirm_(*push)) {
+    ++stats_.requests_declined;
+    server_http_.post_form(
+        "/token/decline",
+        {{"request_id", std::to_string(push->request_id)}},
+        [](Result<websvc::Response>) {});
+    return;
+  }
+  // Charge the handset's token-computation time in virtual time, then
+  // submit T over the phone's HTTPS leg (direct to the server's static
+  // address — no rendezvous on the way back).
+  const double compute_ms = std::max(
+      0.5, rng_.gaussian(config_.compute_mean_ms, config_.compute_stddev_ms));
+  sim_.schedule_after(ms_to_us(compute_ms), [this, push = *push] {
+    const core::Token token =
+        core::generate_token(push.request, secrets_->entry_table);
+    server_http_.post_form(
+        "/token",
+        {{"request_id", std::to_string(push.request_id)},
+         {"token", token.hex()},
+         {"tstart", std::to_string(push.tstart_us)}},
+        [this](Result<websvc::Response> r) {
+          if (r.ok() && r.value().status == 200) ++stats_.tokens_sent;
+        });
+  });
+}
+
+void PhoneApp::backup_to_cloud(std::function<void(Status)> cb) {
+  if (!secrets_) {
+    cb(Status(Err::kInvalidArgument, "not installed"));
+    return;
+  }
+  cloud_client_.put(kBackupBlobName, secrets_->serialize(), std::move(cb));
+}
+
+void PhoneApp::submit_pid_for_mp_change(const std::string& amnesia_user,
+                                        std::function<void(Status)> cb) {
+  if (!secrets_) {
+    cb(Status(Err::kInvalidArgument, "not installed"));
+    return;
+  }
+  server_http_.post_form(
+      "/recover/mp/confirm",
+      {{"user", amnesia_user}, {"pid", secrets_->pid.hex()}},
+      [cb = std::move(cb)](Result<websvc::Response> r) {
+        if (!r.ok()) {
+          cb(Status(r.failure()));
+          return;
+        }
+        if (r.value().status != 200) {
+          cb(Status(Err::kVerificationFailed, r.value().body));
+          return;
+        }
+        cb(ok_status());
+      });
+}
+
+void PhoneApp::reconnect(std::function<void(Status)> cb) {
+  if (!registration_id_) {
+    cb(Status(Err::kInvalidArgument, "not registered"));
+    return;
+  }
+  push_client_.connect(*registration_id_, std::move(cb));
+}
+
+}  // namespace amnesia::phone

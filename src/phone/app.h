@@ -1,0 +1,130 @@
+// The Amnesia mobile application (paper sections III-A3, V-B).
+//
+// Mirrors the prototype's three components: a push (GCM) listener, a
+// cryptography service, and a SQLite-backed database handler holding
+// K_p = (Pid, T_E). A confirmation policy stands in for the Android
+// notification the user taps (Fig. 2b); the latency evaluation sets it to
+// auto-accept, exactly as the paper removed the verification step for its
+// measurements.
+//
+// Lifecycle: install() -> register_with_rendezvous() -> pair() -> serve
+// password requests; backup_to_cloud() enables phone-compromise recovery,
+// submit_pid_for_mp_change() drives master-password recovery.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "cloud/blob_store.h"
+#include "core/generate.h"
+#include "core/keys.h"
+#include "core/protocol.h"
+#include "crypto/x25519.h"
+#include "rendezvous/push_service.h"
+#include "securechan/channel.h"
+#include "simnet/node.h"
+#include "storage/database.h"
+#include "websvc/client.h"
+
+namespace amnesia::phone {
+
+struct PhoneAppConfig {
+  simnet::NodeId node_id = "phone";
+  simnet::NodeId rendezvous_node = "gcm";
+  simnet::NodeId server_node = "amnesia-server";
+  crypto::X25519Key server_public_key{};  // the pinned certificate
+  simnet::NodeId cloud_node = "cloud";
+  std::string cloud_user;    // third-party storage credentials
+  std::string cloud_secret;
+  std::size_t entry_table_size = 5000;  // paper's N
+  std::string db_path;  // empty = in-memory
+
+  // Token computation cost on the handset (java.security + SQLite reads
+  // on the paper's Galaxy Note 4).
+  double compute_mean_ms = 25.0;
+  double compute_stddev_ms = 8.0;
+};
+
+struct PhoneAppStats {
+  std::uint64_t pushes_received = 0;
+  std::uint64_t tokens_sent = 0;
+  std::uint64_t requests_declined = 0;
+  std::uint64_t malformed_pushes = 0;
+};
+
+class PhoneApp {
+ public:
+  /// Decides whether the user accepts a password request. The default
+  /// policy accepts everything (the latency-test configuration); tests of
+  /// the rogue-request attack install an inspecting policy.
+  using ConfirmationPolicy =
+      std::function<bool(const core::PasswordRequestPush&)>;
+
+  PhoneApp(simnet::Simulation& sim, simnet::Network& network,
+           RandomSource& rng, PhoneAppConfig config);
+
+  /// Generates a fresh K_p = (Pid, T_E), as happens on every app install.
+  void install();
+  bool installed() const { return secrets_.has_value(); }
+
+  /// Obtains a registration id from the rendezvous service.
+  void register_with_rendezvous(std::function<void(Status)> cb);
+
+  /// Completes the CAPTCHA pairing with the Amnesia server (the user has
+  /// read `captcha` off the web page and typed it into the app).
+  void pair(const std::string& amnesia_user, const std::string& captcha,
+            std::function<void(Status)> cb);
+
+  void set_confirmation_policy(ConfirmationPolicy policy) {
+    confirm_ = std::move(policy);
+  }
+
+  /// One-time backup of K_p to the third-party cloud (section III-C1).
+  void backup_to_cloud(std::function<void(Status)> cb);
+
+  /// Master-password recovery, phone side: submit Pid for verification.
+  void submit_pid_for_mp_change(const std::string& amnesia_user,
+                                std::function<void(Status)> cb);
+
+  /// Announce reachability to the rendezvous service after downtime.
+  void reconnect(std::function<void(Status)> cb);
+
+  const PhoneAppStats& stats() const { return stats_; }
+  const std::optional<std::string>& registration_id() const {
+    return registration_id_;
+  }
+
+  /// K_p view — what a phone-compromise adversary exfiltrates, and what
+  /// the backup protocol serializes.
+  const core::PhoneSecrets& secrets() const;
+
+  const simnet::NodeId& node_id() const { return node_->id(); }
+
+  /// Breach surface for the section-IV attack harness (phone-to-server
+  /// HTTPS leg compromise; also used to force a re-handshake a MITM can
+  /// observe).
+  securechan::SecureClient& server_channel() { return server_channel_; }
+
+ private:
+  void on_push(const Bytes& payload);
+  void persist_secrets();
+  void load_secrets();
+
+  simnet::Simulation& sim_;
+  RandomSource& rng_;
+  PhoneAppConfig config_;
+  std::unique_ptr<simnet::Node> node_;
+  securechan::SecureClient server_channel_;
+  websvc::HttpClient server_http_;
+  rendezvous::PushClient push_client_;
+  cloud::BlobClient cloud_client_;
+  storage::Database db_;
+
+  std::optional<core::PhoneSecrets> secrets_;
+  std::optional<std::string> registration_id_;
+  ConfirmationPolicy confirm_;
+  PhoneAppStats stats_;
+};
+
+}  // namespace amnesia::phone

@@ -1,0 +1,219 @@
+#include "rendezvous/push_service.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "storage/codec.h"
+
+namespace amnesia::rendezvous {
+
+namespace {
+
+constexpr std::uint8_t kOpRegister = 0x01;
+constexpr std::uint8_t kOpPush = 0x02;
+constexpr std::uint8_t kOpConnect = 0x03;
+constexpr std::uint8_t kOpUnregister = 0x04;
+
+constexpr std::uint8_t kStatusOk = 0x00;
+constexpr std::uint8_t kStatusUnknownId = 0x01;
+constexpr std::uint8_t kStatusMalformed = 0x02;
+
+Bytes status_reply(std::uint8_t status) {
+  storage::BufWriter w;
+  w.u8(status);
+  return w.take();
+}
+
+}  // namespace
+
+PushService::PushService(simnet::Network& network, simnet::NodeId node_id,
+                         RandomSource& rng)
+    : network_(network),
+      node_(std::make_unique<simnet::Node>(network, std::move(node_id))),
+      rng_(rng) {
+  node_->set_rpc_handler([this](const simnet::NodeId& from, const Bytes& body,
+                                std::function<void(Bytes)> respond) {
+    handle_rpc(from, body, std::move(respond));
+  });
+}
+
+void PushService::reap_expired() {
+  const Micros now = network_.sim().now();
+  for (auto& [reg_id, reg] : registrations_) {
+    while (!reg.queue.empty() && reg.queue.front().expires_at <= now) {
+      reg.queue.pop_front();
+      ++stats_.pushes_expired;
+    }
+  }
+}
+
+bool PushService::try_deliver(const std::string& reg_id, Registration& reg) {
+  // GCM can deliver only when the device is reachable; the network layer
+  // knows whether the node is attached and online.
+  if (!network_.attached(reg.device) || !network_.online(reg.device)) {
+    return false;
+  }
+  (void)reg_id;
+  return true;
+}
+
+void PushService::handle_rpc(const simnet::NodeId& from, const Bytes& body,
+                             std::function<void(Bytes)> respond) {
+  reap_expired();
+  try {
+    storage::BufReader r(body);
+    const std::uint8_t op = r.u8();
+    switch (op) {
+      case kOpRegister: {
+        const std::string device = r.str();
+        // Registration ids are opaque and unguessable, like GCM tokens.
+        const std::string reg_id = "gcm-" + hex_encode(rng_.bytes(16));
+        registrations_[reg_id] = Registration{device, {}};
+        ++stats_.registrations;
+        storage::BufWriter w;
+        w.u8(kStatusOk);
+        w.str(reg_id);
+        respond(w.take());
+        return;
+      }
+      case kOpPush: {
+        const std::string reg_id = r.str();
+        const Micros ttl_us = r.i64();
+        const Bytes payload = r.bytes();
+        const auto it = registrations_.find(reg_id);
+        if (it == registrations_.end()) {
+          ++stats_.unknown_registration;
+          respond(status_reply(kStatusUnknownId));
+          return;
+        }
+        ++stats_.pushes_accepted;
+        Registration& reg = it->second;
+        if (try_deliver(reg_id, reg)) {
+          node_->send_oneway(reg.device, payload);
+          ++stats_.pushes_delivered;
+        } else {
+          reg.queue.push_back(
+              QueuedPush{payload, network_.sim().now() + ttl_us});
+          ++stats_.pushes_queued;
+        }
+        respond(status_reply(kStatusOk));
+        return;
+      }
+      case kOpConnect: {
+        const std::string reg_id = r.str();
+        const auto it = registrations_.find(reg_id);
+        if (it == registrations_.end()) {
+          ++stats_.unknown_registration;
+          respond(status_reply(kStatusUnknownId));
+          return;
+        }
+        Registration& reg = it->second;
+        // The device may have reinstalled on a different node; follow it.
+        reg.device = from;
+        while (!reg.queue.empty()) {
+          node_->send_oneway(reg.device, reg.queue.front().payload);
+          ++stats_.pushes_delivered;
+          reg.queue.pop_front();
+        }
+        respond(status_reply(kStatusOk));
+        return;
+      }
+      case kOpUnregister: {
+        const std::string reg_id = r.str();
+        if (registrations_.erase(reg_id) == 0) {
+          respond(status_reply(kStatusUnknownId));
+        } else {
+          respond(status_reply(kStatusOk));
+        }
+        return;
+      }
+      default:
+        respond(status_reply(kStatusMalformed));
+        return;
+    }
+  } catch (const FormatError&) {
+    respond(status_reply(kStatusMalformed));
+  }
+}
+
+// ------------------------------------------------------------- PushClient
+
+void PushClient::register_device(
+    std::function<void(Result<std::string>)> cb) {
+  storage::BufWriter w;
+  w.u8(kOpRegister);
+  w.str(node_.id());
+  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+    if (!r.ok()) {
+      cb(Result<std::string>(r.failure()));
+      return;
+    }
+    try {
+      storage::BufReader reader(r.value());
+      if (reader.u8() != kStatusOk) {
+        cb(Result<std::string>(Err::kInternal, "rendezvous rejected register"));
+        return;
+      }
+      cb(Result<std::string>(reader.str()));
+    } catch (const FormatError& e) {
+      cb(Result<std::string>(Err::kInternal, e.what()));
+    }
+  });
+}
+
+namespace {
+
+void expect_ok(Result<Bytes> r, const std::function<void(Status)>& cb) {
+  if (!r.ok()) {
+    cb(Status(r.failure()));
+    return;
+  }
+  try {
+    storage::BufReader reader(r.value());
+    const std::uint8_t status = reader.u8();
+    if (status == kStatusOk) {
+      cb(ok_status());
+    } else if (status == kStatusUnknownId) {
+      cb(Status(Err::kNotFound, "unknown registration id"));
+    } else {
+      cb(Status(Err::kInvalidArgument, "malformed rendezvous request"));
+    }
+  } catch (const FormatError& e) {
+    cb(Status(Err::kInternal, e.what()));
+  }
+}
+
+}  // namespace
+
+void PushClient::connect(const std::string& reg_id,
+                         std::function<void(Status)> cb) {
+  storage::BufWriter w;
+  w.u8(kOpConnect);
+  w.str(reg_id);
+  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+    expect_ok(std::move(r), cb);
+  });
+}
+
+void PushClient::push(const std::string& reg_id, Bytes payload, Micros ttl_us,
+                      std::function<void(Status)> cb) {
+  storage::BufWriter w;
+  w.u8(kOpPush);
+  w.str(reg_id);
+  w.i64(ttl_us);
+  w.bytes(payload);
+  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+    expect_ok(std::move(r), cb);
+  });
+}
+
+void PushClient::unregister(const std::string& reg_id,
+                            std::function<void(Status)> cb) {
+  storage::BufWriter w;
+  w.u8(kOpUnregister);
+  w.str(reg_id);
+  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+    expect_ok(std::move(r), cb);
+  });
+}
+
+}  // namespace amnesia::rendezvous

@@ -1,0 +1,100 @@
+// Rendezvous push service — the Google Cloud Messaging substitute.
+//
+// The Amnesia server cannot reach the phone directly (the phone has no
+// static address), so password requests R travel server -> rendezvous ->
+// phone (paper Fig. 1 step 3). This service reproduces GCM's observable
+// behaviour:
+//   - devices register and receive an opaque registration id (the paper's
+//     Rid, stored server-side in plaintext, Table I);
+//   - senders push payloads to a registration id; the service forwards
+//     them as one-way datagrams;
+//   - pushes to offline devices are queued with a TTL and flushed when the
+//     device reconnects (GCM store-and-forward);
+//   - traffic through the service is visible to a rendezvous eavesdropper,
+//     exactly the adversary of paper section IV-B.
+//
+// RPC ops (storage::BufWriter framing, first byte = op):
+//   0x01 register   : device_node            -> ok + registration_id
+//   0x02 push       : reg_id, ttl_us, blob   -> ok | unknown_id
+//   0x03 connect    : reg_id                 -> ok (flushes queued pushes)
+//   0x04 unregister : reg_id                 -> ok | unknown_id
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "simnet/node.h"
+
+namespace amnesia::rendezvous {
+
+struct PushStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t pushes_accepted = 0;
+  std::uint64_t pushes_delivered = 0;
+  std::uint64_t pushes_queued = 0;
+  std::uint64_t pushes_expired = 0;
+  std::uint64_t unknown_registration = 0;
+};
+
+/// The service process, attached to its own simnet node.
+class PushService {
+ public:
+  PushService(simnet::Network& network, simnet::NodeId node_id,
+              RandomSource& rng);
+
+  const simnet::NodeId& node_id() const { return node_->id(); }
+  const PushStats& stats() const { return stats_; }
+
+  /// Expires queued messages whose TTL has passed (called internally on
+  /// every touch; exposed for tests).
+  void reap_expired();
+
+ private:
+  struct QueuedPush {
+    Bytes payload;
+    Micros expires_at;
+  };
+  struct Registration {
+    simnet::NodeId device;
+    std::deque<QueuedPush> queue;
+  };
+
+  void handle_rpc(const simnet::NodeId& from, const Bytes& body,
+                  std::function<void(Bytes)> respond);
+  bool try_deliver(const std::string& reg_id, Registration& reg);
+
+  simnet::Network& network_;
+  std::unique_ptr<simnet::Node> node_;
+  RandomSource& rng_;
+  std::map<std::string, Registration> registrations_;
+  PushStats stats_;
+};
+
+/// Client helpers used by the phone and the Amnesia server.
+class PushClient {
+ public:
+  PushClient(simnet::Node& node, simnet::NodeId service)
+      : node_(node), service_(std::move(service)) {}
+
+  /// Device side: obtain a registration id for this node.
+  void register_device(std::function<void(Result<std::string>)> cb);
+
+  /// Device side: announce reachability, flushing queued pushes.
+  void connect(const std::string& reg_id, std::function<void(Status)> cb);
+
+  /// Sender side: push `payload` to the device behind `reg_id`.
+  void push(const std::string& reg_id, Bytes payload, Micros ttl_us,
+            std::function<void(Status)> cb);
+
+  void unregister(const std::string& reg_id, std::function<void(Status)> cb);
+
+ private:
+  simnet::Node& node_;
+  simnet::NodeId service_;
+};
+
+}  // namespace amnesia::rendezvous

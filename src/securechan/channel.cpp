@@ -1,0 +1,322 @@
+#include "securechan/channel.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "crypto/aead.h"
+#include "crypto/hkdf.h"
+#include "storage/codec.h"
+
+namespace amnesia::securechan {
+
+namespace {
+
+constexpr std::uint8_t kClientHello = 0x01;
+constexpr std::uint8_t kServerHello = 0x02;
+constexpr std::uint8_t kData = 0x03;
+
+constexpr std::size_t kNonceLen = 16;
+const char kKdfInfo[] = "amnesia securechan v1";
+const char kConfirmPayload[] = "amnesia key confirm";
+
+Bytes direction_aad(std::uint8_t direction, std::uint64_t channel_id) {
+  storage::BufWriter w;
+  w.u8(direction);  // 0: client->server, 1: server->client
+  w.u64(channel_id);
+  return w.take();
+}
+
+}  // namespace
+
+ChannelKeys derive_keys(ByteView shared_secret, ByteView client_nonce,
+                        ByteView server_nonce) {
+  const Bytes salt = concat({client_nonce, server_nonce});
+  const Bytes okm = crypto::hkdf(salt, shared_secret,
+                                 to_bytes(std::string(kKdfInfo)), 88);
+  ChannelKeys keys;
+  keys.client_to_server_key.assign(okm.begin(), okm.begin() + 32);
+  keys.server_to_client_key.assign(okm.begin() + 32, okm.begin() + 64);
+  keys.client_to_server_iv.assign(okm.begin() + 64, okm.begin() + 76);
+  keys.server_to_client_iv.assign(okm.begin() + 76, okm.begin() + 88);
+  return keys;
+}
+
+namespace {
+
+Bytes seq_nonce(const Bytes& iv, std::uint64_t seq) {
+  Bytes nonce = iv;
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + static_cast<std::size_t>(i)] ^=
+        static_cast<std::uint8_t>(seq >> ((7 - i) * 8));
+  }
+  return nonce;
+}
+
+}  // namespace
+
+Bytes seal_record(const Bytes& key, const Bytes& iv, std::uint64_t seq,
+                  ByteView aad, ByteView plaintext) {
+  return crypto::aead_seal(key, seq_nonce(iv, seq), aad, plaintext);
+}
+
+std::optional<Bytes> open_record(const Bytes& key, const Bytes& iv,
+                                 std::uint64_t seq, ByteView aad,
+                                 ByteView sealed) {
+  return crypto::aead_open(key, seq_nonce(iv, seq), aad, sealed);
+}
+
+// ---------------------------------------------------------------- server
+
+SecureServer::SecureServer(crypto::X25519KeyPair static_keys,
+                           RandomSource& rng)
+    : static_keys_(static_keys), rng_(rng) {}
+
+void SecureServer::bind(simnet::Node& node) {
+  node.set_rpc_handler([this](const simnet::NodeId& /*from*/,
+                              const Bytes& body,
+                              std::function<void(Bytes)> respond) {
+    handle_wire(body, std::move(respond));
+  });
+}
+
+void SecureServer::handle_wire(const Bytes& wire,
+                               std::function<void(Bytes)> respond) {
+  if (wire.empty()) {
+    ++stats_.records_rejected;
+    return;  // silent drop, like a TLS terminator on garbage
+  }
+  storage::BufReader r(wire);
+  std::uint8_t type = 0;
+  try {
+    type = r.u8();
+    if (type == kClientHello) {
+      Bytes eph_pub;
+      eph_pub.reserve(32);
+      for (int i = 0; i < 32; ++i) eph_pub.push_back(r.u8());
+      Bytes client_nonce;
+      for (std::size_t i = 0; i < kNonceLen; ++i) client_nonce.push_back(r.u8());
+
+      const auto shared = crypto::x25519(static_keys_.private_key, eph_pub);
+      const Bytes server_nonce = rng_.bytes(kNonceLen);
+      const std::uint64_t channel_id = next_channel_id_++;
+      Channel chan;
+      chan.keys = derive_keys(ByteView(shared.data(), shared.size()),
+                              client_nonce, server_nonce);
+
+      // Key confirmation: record seq 0 in the server->client direction.
+      const Bytes confirm = seal_record(
+          chan.keys.server_to_client_key, chan.keys.server_to_client_iv, 0,
+          direction_aad(1, channel_id),
+          to_bytes(std::string(kConfirmPayload)));
+
+      storage::BufWriter w;
+      w.u8(kServerHello);
+      for (std::uint8_t b : server_nonce) w.u8(b);
+      w.u64(channel_id);
+      w.bytes(confirm);
+      channels_.emplace(channel_id, std::move(chan));
+      ++stats_.handshakes;
+      respond(w.take());
+      return;
+    }
+    if (type == kData) {
+      const std::uint64_t channel_id = r.u64();
+      const std::uint64_t seq = r.u64();
+      const Bytes sealed = r.bytes();
+      const auto it = channels_.find(channel_id);
+      if (it == channels_.end()) {
+        ++stats_.records_rejected;
+        return;
+      }
+      Channel& chan = it->second;
+      if (!chan.seen_client_seqs.insert(seq).second) {
+        ++stats_.replays_rejected;
+        return;
+      }
+      const auto plaintext = open_record(
+          chan.keys.client_to_server_key, chan.keys.client_to_server_iv, seq,
+          direction_aad(0, channel_id), sealed);
+      if (!plaintext) {
+        ++stats_.records_rejected;
+        return;
+      }
+      ++stats_.records_opened;
+      if (!handler_) return;
+      const std::uint64_t channel_id_copy = channel_id;
+      handler_(*plaintext, [this, channel_id_copy,
+                            respond = std::move(respond)](Bytes reply) {
+        const auto chan_it = channels_.find(channel_id_copy);
+        if (chan_it == channels_.end()) return;  // channel torn down
+        Channel& c = chan_it->second;
+        const std::uint64_t reply_seq = c.send_seq++;
+        storage::BufWriter w;
+        w.u8(kData);
+        w.u64(channel_id_copy);
+        w.u64(reply_seq);
+        w.bytes(seal_record(c.keys.server_to_client_key,
+                            c.keys.server_to_client_iv, reply_seq,
+                            direction_aad(1, channel_id_copy), reply));
+        respond(w.take());
+      });
+      return;
+    }
+  } catch (const FormatError&) {
+    // fall through to reject
+  }
+  ++stats_.records_rejected;
+}
+
+// ---------------------------------------------------------------- client
+
+SecureClient::SecureClient(simnet::Node& node, simnet::NodeId server,
+                           crypto::X25519Key pinned_server_key,
+                           RandomSource& rng, Micros timeout_us)
+    : node_(node),
+      server_(std::move(server)),
+      pinned_server_key_(pinned_server_key),
+      rng_(rng),
+      timeout_us_(timeout_us) {}
+
+void SecureClient::reset() {
+  channel_.reset();
+  handshake_in_flight_ = false;
+}
+
+const ChannelKeys* SecureClient::debug_keys() const {
+  return channel_ ? &channel_->keys : nullptr;
+}
+
+void SecureClient::request(Bytes plaintext,
+                           std::function<void(Result<Bytes>)> cb) {
+  if (!channel_) {
+    queue_.emplace_back(std::move(plaintext), std::move(cb));
+    if (!handshake_in_flight_) start_handshake();
+    return;
+  }
+  Established& chan = *channel_;
+  const std::uint64_t seq = chan.send_seq++;
+  storage::BufWriter w;
+  w.u8(kData);
+  w.u64(chan.channel_id);
+  w.u64(seq);
+  w.bytes(seal_record(chan.keys.client_to_server_key,
+                      chan.keys.client_to_server_iv, seq,
+                      direction_aad(0, chan.channel_id), plaintext));
+
+  node_.request(
+      server_, w.take(),
+      [this, cb = std::move(cb)](Result<Bytes> wire) {
+        if (!wire.ok()) {
+          cb(Result<Bytes>(wire.failure()));
+          return;
+        }
+        if (!channel_) {
+          cb(Result<Bytes>(Err::kInternal, "channel was reset"));
+          return;
+        }
+        try {
+          storage::BufReader r(wire.value());
+          if (r.u8() != kData) throw FormatError("not a data record");
+          const std::uint64_t channel_id = r.u64();
+          const std::uint64_t seq = r.u64();
+          const Bytes sealed = r.bytes();
+          if (channel_id != channel_->channel_id) {
+            throw FormatError("wrong channel id");
+          }
+          if (!channel_->seen_server_seqs.insert(seq).second) {
+            cb(Result<Bytes>(Err::kVerificationFailed, "replayed record"));
+            return;
+          }
+          const auto plain = open_record(
+              channel_->keys.server_to_client_key,
+              channel_->keys.server_to_client_iv, seq,
+              direction_aad(1, channel_id), sealed);
+          if (!plain) {
+            cb(Result<Bytes>(Err::kVerificationFailed,
+                             "record authentication failed"));
+            return;
+          }
+          cb(Result<Bytes>(*plain));
+        } catch (const FormatError& e) {
+          cb(Result<Bytes>(Err::kVerificationFailed,
+                           std::string("malformed record: ") + e.what()));
+        }
+      },
+      timeout_us_);
+}
+
+void SecureClient::start_handshake() {
+  handshake_in_flight_ = true;
+  const auto eph = crypto::x25519_generate(rng_);
+  pending_eph_private_.assign(eph.private_key.begin(), eph.private_key.end());
+  pending_client_nonce_ = rng_.bytes(kNonceLen);
+
+  storage::BufWriter w;
+  w.u8(kClientHello);
+  for (std::uint8_t b : eph.public_key) w.u8(b);
+  for (std::uint8_t b : pending_client_nonce_) w.u8(b);
+
+  node_.request(
+      server_, w.take(),
+      [this](Result<Bytes> wire) {
+        handshake_in_flight_ = false;
+        auto fail_all = [this](Err code, const std::string& msg) {
+          auto queue = std::move(queue_);
+          queue_.clear();
+          for (auto& [payload, cb] : queue) {
+            cb(Result<Bytes>(code, msg));
+          }
+        };
+        if (!wire.ok()) {
+          fail_all(wire.failure().code, wire.failure().message);
+          return;
+        }
+        try {
+          storage::BufReader r(wire.value());
+          if (r.u8() != kServerHello) throw FormatError("not a server hello");
+          Bytes server_nonce;
+          for (std::size_t i = 0; i < kNonceLen; ++i) {
+            server_nonce.push_back(r.u8());
+          }
+          const std::uint64_t channel_id = r.u64();
+          const Bytes confirm = r.bytes();
+
+          const auto shared = crypto::x25519(
+              pending_eph_private_,
+              ByteView(pinned_server_key_.data(), pinned_server_key_.size()));
+          ChannelKeys keys =
+              derive_keys(ByteView(shared.data(), shared.size()),
+                          pending_client_nonce_, server_nonce);
+          const auto confirm_plain = open_record(
+              keys.server_to_client_key, keys.server_to_client_iv, 0,
+              direction_aad(1, channel_id), confirm);
+          if (!confirm_plain ||
+              to_string(*confirm_plain) != kConfirmPayload) {
+            // Whoever answered does not hold the pinned static key.
+            fail_all(Err::kVerificationFailed,
+                     "server key confirmation failed (pinned key mismatch)");
+            return;
+          }
+          Established est;
+          est.channel_id = channel_id;
+          est.keys = std::move(keys);
+          est.seen_server_seqs.insert(0);  // the confirm record
+          channel_ = std::move(est);
+          secure_wipe(pending_eph_private_);
+          flush_queue();
+        } catch (const FormatError& e) {
+          fail_all(Err::kVerificationFailed,
+                   std::string("malformed server hello: ") + e.what());
+        }
+      },
+      timeout_us_);
+}
+
+void SecureClient::flush_queue() {
+  auto queue = std::move(queue_);
+  queue_.clear();
+  for (auto& [payload, cb] : queue) {
+    request(std::move(payload), std::move(cb));
+  }
+}
+
+}  // namespace amnesia::securechan

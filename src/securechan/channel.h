@@ -1,0 +1,150 @@
+// Secure channel: the HTTPS substitute.
+//
+// The paper protects browser<->server and phone<->server traffic with
+// HTTPS under a self-signed certificate that both clients pin. This module
+// reproduces that trust model with modern primitives:
+//
+//   handshake  : ephemeral-static X25519 against the *pinned* server
+//                public key (the self-signed-cert analogue), nonces from
+//                both sides, HKDF-SHA256 key schedule;
+//   records    : ChaCha20-Poly1305, per-direction keys and IVs, explicit
+//                sequence numbers XORed into the nonce, direction- and
+//                channel-bound AAD, replay detection.
+//
+// Only the holder of the server's static private key can produce a valid
+// key-confirmation record, so a man-in-the-middle without that key cannot
+// impersonate the server; like HTTPS, the client is anonymous at this
+// layer and authenticates above it with the master password.
+//
+// Wire envelope (inside a simnet Node RPC body):
+//   [0x01] client_hello : eph_pub(32) nonce_c(16)
+//   [0x02] server_hello : nonce_s(16) channel_id(8) confirm_record
+//   [0x03] data         : channel_id(8) seq(8) sealed(...)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/x25519.h"
+#include "simnet/node.h"
+
+namespace amnesia::securechan {
+
+struct ChannelKeys {
+  Bytes client_to_server_key;  // 32 bytes
+  Bytes server_to_client_key;  // 32 bytes
+  Bytes client_to_server_iv;   // 12 bytes
+  Bytes server_to_client_iv;   // 12 bytes
+};
+
+/// Derives both directions' keys from the X25519 shared secret and the
+/// two handshake nonces. Exposed for tests and the attack harness (a
+/// "broken HTTPS" adversary is modelled as one that obtained these keys).
+ChannelKeys derive_keys(ByteView shared_secret, ByteView client_nonce,
+                        ByteView server_nonce);
+
+/// Seals/opens one record. `seq` is XORed into the trailing 8 bytes of the
+/// IV; `aad` should bind direction and channel id.
+Bytes seal_record(const Bytes& key, const Bytes& iv, std::uint64_t seq,
+                  ByteView aad, ByteView plaintext);
+std::optional<Bytes> open_record(const Bytes& key, const Bytes& iv,
+                                 std::uint64_t seq, ByteView aad,
+                                 ByteView sealed);
+
+struct SecureServerStats {
+  std::uint64_t handshakes = 0;
+  std::uint64_t records_opened = 0;
+  std::uint64_t records_rejected = 0;
+  std::uint64_t replays_rejected = 0;
+};
+
+/// Server side: terminates secure channels and hands decrypted request
+/// bytes to a plaintext handler (normally HttpServer::handle_bytes).
+class SecureServer {
+ public:
+  using PlainHandler = std::function<void(const Bytes& plaintext,
+                                          std::function<void(Bytes)> respond)>;
+
+  SecureServer(crypto::X25519KeyPair static_keys, RandomSource& rng);
+
+  const crypto::X25519Key& public_key() const { return static_keys_.public_key; }
+
+  void set_handler(PlainHandler handler) { handler_ = std::move(handler); }
+
+  /// Installs this channel terminator as `node`'s RPC handler.
+  void bind(simnet::Node& node);
+
+  /// Handles one raw RPC body (exposed for tests without a network).
+  void handle_wire(const Bytes& wire, std::function<void(Bytes)> respond);
+
+  const SecureServerStats& stats() const { return stats_; }
+
+ private:
+  struct Channel {
+    ChannelKeys keys;
+    std::uint64_t send_seq = 1;  // 0 was the confirm record
+    std::set<std::uint64_t> seen_client_seqs;
+  };
+
+  crypto::X25519KeyPair static_keys_;
+  RandomSource& rng_;
+  PlainHandler handler_;
+  std::map<std::uint64_t, Channel> channels_;
+  std::uint64_t next_channel_id_ = 1;
+  SecureServerStats stats_;
+};
+
+/// Client side: performs the pinned-key handshake lazily on the first
+/// request and then seals every request / opens every response.
+class SecureClient {
+ public:
+  SecureClient(simnet::Node& node, simnet::NodeId server,
+               crypto::X25519Key pinned_server_key, RandomSource& rng,
+               Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
+
+  /// Sends `plaintext` as one sealed request; `cb` gets the decrypted
+  /// response, Err::kVerificationFailed on a tampered/forged reply, or the
+  /// transport failure.
+  void request(Bytes plaintext, std::function<void(Result<Bytes>)> cb);
+
+  bool established() const { return channel_.has_value(); }
+
+  /// Drops the channel; the next request re-handshakes.
+  void reset();
+
+  /// Testing/attack hook: the live channel keys, if established. A
+  /// compromised-HTTPS adversary (paper section IV-A) is granted exactly
+  /// this view.
+  const ChannelKeys* debug_keys() const;
+
+ private:
+  struct Established {
+    std::uint64_t channel_id;
+    ChannelKeys keys;
+    std::uint64_t send_seq = 0;
+    std::set<std::uint64_t> seen_server_seqs;
+  };
+
+  void start_handshake();
+  void flush_queue();
+
+  simnet::Node& node_;
+  simnet::NodeId server_;
+  crypto::X25519Key pinned_server_key_;
+  RandomSource& rng_;
+  Micros timeout_us_;
+  std::optional<Established> channel_;
+  bool handshake_in_flight_ = false;
+  // Requests issued before the handshake completes.
+  std::deque<std::pair<Bytes, std::function<void(Result<Bytes>)>>> queue_;
+  // Handshake state while in flight.
+  Bytes pending_eph_private_;
+  Bytes pending_client_nonce_;
+};
+
+}  // namespace amnesia::securechan

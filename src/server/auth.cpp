@@ -1,0 +1,29 @@
+#include "server/auth.h"
+
+namespace amnesia::server {
+
+bool ThrottleGuard::allowed(const std::string& user) const {
+  const auto it = states_.find(user);
+  if (it == states_.end()) return true;
+  return clock_.now_us() >= it->second.locked_until;
+}
+
+void ThrottleGuard::record(const std::string& user, bool success) {
+  State& state = states_[user];
+  if (success) {
+    state = State{};
+    return;
+  }
+  ++state.consecutive_failures;
+  if (state.consecutive_failures >= config_.max_failures) {
+    state.locked_until = clock_.now_us() + config_.lockout_us;
+    state.consecutive_failures = 0;
+  }
+}
+
+int ThrottleGuard::failures(const std::string& user) const {
+  const auto it = states_.find(user);
+  return it == states_.end() ? 0 : it->second.consecutive_failures;
+}
+
+}  // namespace amnesia::server

@@ -1,0 +1,47 @@
+// Master-password authentication with guess throttling.
+//
+// The paper relies on the master password as the web-login factor; a
+// production server must rate-limit online guessing (the comparative
+// framework's Resilient-to-Throttled-Guessing property). After
+// `max_failures` consecutive failures a user's login is locked for
+// `lockout_us` of (virtual) time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+
+namespace amnesia::server {
+
+struct ThrottleConfig {
+  int max_failures = 5;
+  Micros lockout_us = 15ll * 60 * 1'000'000;  // 15 minutes
+};
+
+class ThrottleGuard {
+ public:
+  ThrottleGuard(const Clock& clock, ThrottleConfig config = {})
+      : clock_(clock), config_(config) {}
+
+  /// True if the user may attempt authentication now.
+  bool allowed(const std::string& user) const;
+
+  /// Records an outcome; success clears the failure counter.
+  void record(const std::string& user, bool success);
+
+  int failures(const std::string& user) const;
+
+ private:
+  struct State {
+    int consecutive_failures = 0;
+    Micros locked_until = 0;
+  };
+
+  const Clock& clock_;
+  ThrottleConfig config_;
+  std::map<std::string, State> states_;
+};
+
+}  // namespace amnesia::server

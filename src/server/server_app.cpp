@@ -1,0 +1,752 @@
+#include "server/server_app.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "crypto/aead.h"
+
+namespace amnesia::server {
+
+using websvc::Method;
+using websvc::PathParams;
+using websvc::Request;
+using websvc::Responder;
+using websvc::Response;
+
+namespace {
+
+/// Pulls a required form field or responds 400.
+std::optional<std::string> need_field(
+    const std::map<std::string, std::string>& form, const std::string& name,
+    const Responder& respond) {
+  const auto it = form.find(name);
+  if (it == form.end() || it->second.empty()) {
+    respond(Response::error(400, "missing field: " + name));
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+AmnesiaServer::AmnesiaServer(simnet::Simulation& sim,
+                             simnet::Network& network, RandomSource& rng,
+                             AmnesiaServerConfig config)
+    : sim_(sim),
+      rng_(rng),
+      config_(std::move(config)),
+      channel_keys_(crypto::x25519_generate(rng)),
+      node_(std::make_unique<simnet::Node>(network, config_.node_id)),
+      secure_(channel_keys_, rng),
+      http_(sim, config_.workers),
+      sessions_(sim.clock(), rng),
+      db_(config_.db_path),
+      throttle_(sim.clock(), config_.throttle),
+      mp_hasher_(config_.mp_hash),
+      push_(*node_, config_.rendezvous_node) {
+  http_.set_service_time([this](const Request& req) -> Micros {
+    // The final password computation (token handling) is the expensive
+    // server-side step in the latency pipeline; everything else is light
+    // routing/session work.
+    if (req.path == "/token") {
+      const double ms = std::max(
+          0.5, rng_.gaussian(config_.token_compute_mean_ms,
+                             config_.token_compute_stddev_ms));
+      return ms_to_us(ms);
+    }
+    return ms_to_us(config_.light_compute_ms);
+  });
+  install_routes();
+  secure_.set_handler([this](const Bytes& plain,
+                             std::function<void(Bytes)> respond) {
+    http_.handle_bytes(plain, std::move(respond));
+  });
+  secure_.bind(*node_);
+}
+
+void AmnesiaServer::install_routes() {
+  auto route = [this](Method m, const std::string& path,
+                      void (AmnesiaServer::*fn)(const Request&,
+                                                const Responder&)) {
+    http_.router().add(m, path,
+                       [this, fn](const Request& req, const PathParams&,
+                                  Responder respond) {
+                         (this->*fn)(req, respond);
+                       });
+  };
+  route(Method::kPost, "/signup", &AmnesiaServer::handle_signup);
+  route(Method::kPost, "/login", &AmnesiaServer::handle_login);
+  route(Method::kPost, "/logout", &AmnesiaServer::handle_logout);
+  route(Method::kPost, "/pair/start", &AmnesiaServer::handle_pair_start);
+  route(Method::kPost, "/pair/complete",
+        &AmnesiaServer::handle_pair_complete);
+  route(Method::kPost, "/accounts/add", &AmnesiaServer::handle_accounts_add);
+  route(Method::kGet, "/accounts", &AmnesiaServer::handle_accounts_list);
+  route(Method::kPost, "/accounts/remove",
+        &AmnesiaServer::handle_accounts_remove);
+  route(Method::kPost, "/accounts/rotate",
+        &AmnesiaServer::handle_accounts_rotate);
+  route(Method::kPost, "/password/request",
+        &AmnesiaServer::handle_password_request);
+  route(Method::kPost, "/token", &AmnesiaServer::handle_token);
+  route(Method::kPost, "/token/decline",
+        &AmnesiaServer::handle_token_decline);
+  route(Method::kPost, "/recover/phone",
+        &AmnesiaServer::handle_recover_phone);
+  route(Method::kPost, "/recover/mp/start",
+        &AmnesiaServer::handle_recover_mp_start);
+  route(Method::kPost, "/recover/mp/confirm",
+        &AmnesiaServer::handle_recover_mp_confirm);
+  route(Method::kPost, "/vault/store", &AmnesiaServer::handle_vault_store);
+  route(Method::kPost, "/vault/retrieve",
+        &AmnesiaServer::handle_vault_retrieve);
+  route(Method::kGet, "/vault", &AmnesiaServer::handle_vault_list);
+  route(Method::kPost, "/vault/remove", &AmnesiaServer::handle_vault_remove);
+}
+
+std::optional<std::string> AmnesiaServer::require_auth(
+    const Request& req, const Responder& respond) {
+  const auto token = req.cookie("session");
+  if (token) {
+    const auto session = sessions_.authenticate(*token);
+    if (session) return session->principal;
+  }
+  respond(Response::error(401, "not authenticated"));
+  return std::nullopt;
+}
+
+void AmnesiaServer::handle_signup(const Request& req,
+                                  const Responder& respond) {
+  const auto form = req.form();
+  const auto user = need_field(form, "user", respond);
+  if (!user) return;
+  const auto mp = need_field(form, "master_password", respond);
+  if (!mp) return;
+  if (db_.user_exists(*user)) {
+    respond(Response::error(409, "user exists"));
+    return;
+  }
+  UserRecord record{*user, core::OnlineId::generate(rng_),
+                    mp_hasher_.hash(to_bytes(*mp), rng_), std::nullopt,
+                    std::nullopt};
+  db_.create_user(record);
+  ++stats_.signups;
+  AMNESIA_INFO("server") << "signup: " << *user;
+  respond(Response::ok_text("created"));
+}
+
+void AmnesiaServer::handle_login(const Request& req,
+                                 const Responder& respond) {
+  const auto form = req.form();
+  const auto user = need_field(form, "user", respond);
+  if (!user) return;
+  const auto mp = need_field(form, "master_password", respond);
+  if (!mp) return;
+
+  if (!throttle_.allowed(*user)) {
+    ++stats_.logins_throttled;
+    respond(Response::error(429, "too many attempts; locked out"));
+    return;
+  }
+  const auto record = db_.get_user(*user);
+  const bool ok =
+      record &&
+      crypto::PasswordHasher::verify(to_bytes(*mp), record->mp_record);
+  throttle_.record(*user, ok);
+  if (!ok) {
+    ++stats_.logins_failed;
+    respond(Response::error(401, "bad user or master password"));
+    return;
+  }
+  ++stats_.logins_ok;
+  const std::string token = sessions_.create(*user);
+  Response resp = Response::ok_text("welcome");
+  resp.headers["Set-Cookie"] = "session=" + token + "; HttpOnly";
+  respond(resp);
+}
+
+void AmnesiaServer::handle_logout(const Request& req,
+                                  const Responder& respond) {
+  const auto token = req.cookie("session");
+  if (token) {
+    sessions_.revoke(*token);
+    // Drop this session's cached passwords with it.
+    std::erase_if(password_cache_, [&](const auto& entry) {
+      return entry.first.starts_with(*token + "\x1f");
+    });
+  }
+  respond(Response::ok_text("bye"));
+}
+
+void AmnesiaServer::handle_pair_start(const Request& req,
+                                      const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  // A 6-digit CAPTCHA code the user reads from the web page and types
+  // into the phone app (paper section III-B1).
+  std::string captcha;
+  for (int i = 0; i < 6; ++i) {
+    captcha.push_back(static_cast<char>('0' + rng_.uniform(10)));
+  }
+  pending_pairings_[*user] =
+      PendingPairing{captcha, sim_.now() + config_.captcha_ttl_us};
+  respond(Response::ok_form({{"captcha", captcha}}));
+}
+
+void AmnesiaServer::handle_pair_complete(const Request& req,
+                                         const Responder& respond) {
+  const auto form = req.form();
+  const auto user = need_field(form, "user", respond);
+  if (!user) return;
+  const auto captcha = need_field(form, "captcha", respond);
+  if (!captcha) return;
+  const auto pid_hex = need_field(form, "pid", respond);
+  if (!pid_hex) return;
+  const auto reg_id = need_field(form, "reg_id", respond);
+  if (!reg_id) return;
+
+  const auto it = pending_pairings_.find(*user);
+  if (it == pending_pairings_.end() || it->second.expires_at < sim_.now() ||
+      !ct_equal(to_bytes(it->second.captcha), to_bytes(*captcha))) {
+    ++stats_.pairings_rejected;
+    respond(Response::error(403, "captcha verification failed"));
+    return;
+  }
+  pending_pairings_.erase(it);
+
+  std::optional<core::PhoneId> pid;
+  try {
+    pid = core::PhoneId::from_hex(*pid_hex);
+  } catch (const Error&) {
+    respond(Response::error(400, "bad pid encoding"));
+    return;
+  }
+  // "the server does not store the Pid in plaintext" (section III-B1).
+  db_.set_phone_binding(*user, *reg_id, mp_hasher_.hash(pid->bytes(), rng_));
+  ++stats_.pairings_completed;
+  AMNESIA_INFO("server") << "paired phone for " << *user;
+  respond(Response::ok_text("paired"));
+}
+
+void AmnesiaServer::handle_accounts_add(const Request& req,
+                                        const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  const auto form = req.form();
+  const auto username = need_field(form, "username", respond);
+  if (!username) return;
+  const auto domain = need_field(form, "domain", respond);
+  if (!domain) return;
+
+  core::PasswordPolicy policy;
+  const auto policy_it = form.find("policy");
+  if (policy_it != form.end()) {
+    try {
+      policy = core::PasswordPolicy::decode(policy_it->second);
+    } catch (const Error& e) {
+      respond(Response::error(400, std::string("bad policy: ") + e.what()));
+      return;
+    }
+  }
+  AccountRecord record{*user, core::AccountId{*username, *domain},
+                       core::Seed::generate(rng_), policy};
+  if (!db_.add_account(record)) {
+    respond(Response::error(409, "account already exists"));
+    return;
+  }
+  respond(Response::ok_text("added"));
+}
+
+void AmnesiaServer::handle_accounts_list(const Request& req,
+                                         const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  std::ostringstream body;
+  for (const auto& account : db_.list_accounts(*user)) {
+    body << account.id.username << '\t' << account.id.domain << '\n';
+  }
+  respond(Response::ok_text(body.str()));
+}
+
+void AmnesiaServer::handle_accounts_remove(const Request& req,
+                                           const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  const auto form = req.form();
+  const auto username = need_field(form, "username", respond);
+  if (!username) return;
+  const auto domain = need_field(form, "domain", respond);
+  if (!domain) return;
+  if (!db_.remove_account(*user, {*username, *domain})) {
+    respond(Response::error(404, "no such account"));
+    return;
+  }
+  invalidate_cached_passwords(*user, {*username, *domain});
+  respond(Response::ok_text("removed"));
+}
+
+void AmnesiaServer::invalidate_cached_passwords(const std::string& user,
+                                                const core::AccountId& id) {
+  const std::string suffix =
+      "\x1f" + user + "\x1f" + id.domain + "\x1f" + id.username;
+  std::erase_if(password_cache_, [&](const auto& entry) {
+    return entry.first.ends_with(suffix);
+  });
+}
+
+void AmnesiaServer::handle_accounts_rotate(const Request& req,
+                                           const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  const auto form = req.form();
+  const auto username = need_field(form, "username", respond);
+  if (!username) return;
+  const auto domain = need_field(form, "domain", respond);
+  if (!domain) return;
+  // Changing sigma regenerates the account's password (section III-A2).
+  if (!db_.set_seed(*user, {*username, *domain},
+                    core::Seed::generate(rng_))) {
+    respond(Response::error(404, "no such account"));
+    return;
+  }
+  // Any cached copy is now stale.
+  invalidate_cached_passwords(*user, {*username, *domain});
+  respond(Response::ok_text("seed rotated"));
+}
+
+void AmnesiaServer::handle_password_request(const Request& req,
+                                            const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  const auto form = req.form();
+  const auto username = need_field(form, "username", respond);
+  if (!username) return;
+  const auto domain = need_field(form, "domain", respond);
+  if (!domain) return;
+
+  const auto account = db_.get_account(*user, {*username, *domain});
+  if (!account) {
+    respond(Response::error(404, "no such account"));
+    return;
+  }
+  const auto user_record = db_.get_user(*user);
+  if (!user_record || !user_record->registration_id) {
+    respond(Response::error(409, "no phone paired"));
+    return;
+  }
+
+  // Session-mechanism extension: serve from the per-session cache when
+  // enabled and fresh.
+  const std::string session_token = req.cookie("session").value_or("");
+  const std::string cache_key =
+      session_token + "\x1f" + *user + "\x1f" + *domain + "\x1f" + *username;
+  if (config_.password_cache_ttl_us > 0) {
+    const auto it = password_cache_.find(cache_key);
+    if (it != password_cache_.end()) {
+      if (it->second.expires_at > sim_.now()) {
+        ++stats_.cache_hits;
+        respond(websvc::Response::ok_form(
+            {{"password", it->second.password}, {"cached", "1"}}));
+        return;
+      }
+      password_cache_.erase(it);
+    }
+  }
+
+  ++stats_.password_requests;
+  PendingPassword pending{*user,
+                          account->id,
+                          /*tstart_us=*/0,
+                          respond,
+                          TokenPurpose::kGenerate,
+                          /*chosen_password=*/"",
+                          session_token};
+  begin_phone_round_trip(account->seed,
+                         user_record->registration_id.value(),
+                         req.header("X-Origin-IP").value_or("unknown"),
+                         std::move(pending));
+}
+
+void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
+                                           const std::string& registration_id,
+                                           const std::string& origin_ip,
+                                           PendingPassword pending) {
+  const std::uint64_t request_id = next_request_id_++;
+  // tstart is taken when R leaves for the rendezvous service — exactly
+  // where the paper's latency instrumentation places it (section VI-B).
+  const Micros tstart = sim_.now();
+  pending.tstart_us = tstart;
+  const core::Request r = core::make_request(pending.account, seed);
+  const core::PasswordRequestPush push_msg{request_id, r, origin_ip, tstart};
+
+  pending_passwords_.emplace(request_id, std::move(pending));
+
+  push_.push(registration_id, push_msg.encode(), config_.push_ttl_us,
+             [request_id, this](Status s) {
+               if (!s.ok()) {
+                 const auto it = pending_passwords_.find(request_id);
+                 if (it == pending_passwords_.end()) return;
+                 it->second.respond(Response::error(
+                     502, "rendezvous push failed: " + s.message()));
+                 pending_passwords_.erase(it);
+               }
+             });
+
+  sim_.schedule_after(config_.phone_wait_timeout_us, [this, request_id] {
+    const auto it = pending_passwords_.find(request_id);
+    if (it == pending_passwords_.end()) return;
+    ++stats_.requests_timed_out;
+    it->second.respond(Response::error(504, "phone did not respond"));
+    pending_passwords_.erase(it);
+  });
+}
+
+void AmnesiaServer::handle_token(const Request& req,
+                                 const Responder& respond) {
+  const auto form = req.form();
+  const auto id_str = need_field(form, "request_id", respond);
+  if (!id_str) return;
+  const auto token_hex = need_field(form, "token", respond);
+  if (!token_hex) return;
+
+  std::uint64_t request_id = 0;
+  core::Token token{Bytes(32, 0)};
+  try {
+    request_id = std::stoull(*id_str);
+    token = core::Token::from_hex(*token_hex);
+  } catch (const std::exception&) {
+    respond(Response::error(400, "malformed token submission"));
+    return;
+  }
+
+  const auto it = pending_passwords_.find(request_id);
+  if (it == pending_passwords_.end()) {
+    respond(Response::error(404, "unknown or expired request"));
+    return;
+  }
+  PendingPassword pending = std::move(it->second);
+  pending_passwords_.erase(it);
+
+  const auto user_record = db_.get_user(pending.user);
+  if (!user_record) {
+    pending.respond(Response::error(500, "user state vanished"));
+    respond(Response::error(500, "user state vanished"));
+    return;
+  }
+
+  switch (pending.purpose) {
+    case TokenPurpose::kGenerate: {
+      const auto account = db_.get_account(pending.user, pending.account);
+      if (!account) {
+        pending.respond(Response::error(500, "account state vanished"));
+        respond(Response::error(500, "account state vanished"));
+        return;
+      }
+      // p = SHA512(T || Oid || sigma), then the template fn (III-B4).
+      const std::string password = core::generate_password(
+          token, user_record->oid, account->seed, account->policy);
+
+      const Micros tend = sim_.now();
+      password_latencies_.push_back(tend - pending.tstart_us);
+      ++stats_.passwords_generated;
+
+      if (config_.password_cache_ttl_us > 0 &&
+          !pending.session_token.empty()) {
+        const std::string cache_key =
+            pending.session_token + "\x1f" + pending.user + "\x1f" +
+            pending.account.domain + "\x1f" + pending.account.username;
+        password_cache_[cache_key] = CachedPassword{
+            password, sim_.now() + config_.password_cache_ttl_us};
+      }
+
+      pending.respond(websvc::Response::ok_form(
+          {{"password", password},
+           {"latency_ms",
+            std::to_string(us_to_ms(tend - pending.tstart_us))}}));
+      respond(Response::ok_text("token accepted"));
+      return;
+    }
+    case TokenPurpose::kVaultStore: {
+      const auto record = db_.vault_get(pending.user, pending.account);
+      if (!record) {
+        pending.respond(Response::error(500, "vault state vanished"));
+        respond(Response::error(500, "vault state vanished"));
+        return;
+      }
+      // Vault key = first 32 bytes of SHA512(T || Oid || sigma_v): only a
+      // fresh phone token re-derives it, so the sealed chosen password
+      // stays bilateral like everything else.
+      const Bytes p =
+          core::intermediate_value(token, user_record->oid, record->seed);
+      const Bytes key(p.begin(), p.begin() + 32);
+      const Bytes nonce = rng_.bytes(crypto::kAeadNonceSize);
+      const Bytes aad = to_bytes(pending.user + "\x1f" +
+                                 pending.account.domain + "\x1f" +
+                                 pending.account.username);
+      const Bytes sealed = crypto::aead_seal(
+          key, nonce, aad, to_bytes(pending.chosen_password));
+      db_.vault_set_ciphertext(pending.user, pending.account, nonce, sealed);
+      ++stats_.vault_stores;
+      pending.respond(Response::ok_text("stored"));
+      respond(Response::ok_text("token accepted"));
+      return;
+    }
+    case TokenPurpose::kVaultRetrieve: {
+      const auto record = db_.vault_get(pending.user, pending.account);
+      if (!record || !record->ciphertext || !record->nonce) {
+        pending.respond(Response::error(404, "nothing stored"));
+        respond(Response::error(404, "nothing stored"));
+        return;
+      }
+      const Bytes p =
+          core::intermediate_value(token, user_record->oid, record->seed);
+      const Bytes key(p.begin(), p.begin() + 32);
+      const Bytes aad = to_bytes(pending.user + "\x1f" +
+                                 pending.account.domain + "\x1f" +
+                                 pending.account.username);
+      const auto opened =
+          crypto::aead_open(key, *record->nonce, aad, *record->ciphertext);
+      if (!opened) {
+        // Wrong/stale phone (new T_E after recovery) or tampered record.
+        pending.respond(Response::error(
+            403, "vault record does not open with this phone"));
+        respond(Response::ok_text("token accepted"));
+        return;
+      }
+      ++stats_.vault_retrievals;
+      pending.respond(
+          websvc::Response::ok_form({{"password", to_string(*opened)}}));
+      respond(Response::ok_text("token accepted"));
+      return;
+    }
+  }
+  respond(Response::error(500, "unknown token purpose"));
+}
+
+void AmnesiaServer::handle_token_decline(const Request& req,
+                                         const Responder& respond) {
+  const auto form = req.form();
+  const auto id_str = need_field(form, "request_id", respond);
+  if (!id_str) return;
+  std::uint64_t request_id = 0;
+  try {
+    request_id = std::stoull(*id_str);
+  } catch (const std::exception&) {
+    respond(Response::error(400, "malformed request id"));
+    return;
+  }
+  const auto it = pending_passwords_.find(request_id);
+  if (it == pending_passwords_.end()) {
+    respond(Response::error(404, "unknown or expired request"));
+    return;
+  }
+  ++stats_.requests_declined;
+  it->second.respond(Response::error(403, "declined on phone"));
+  pending_passwords_.erase(it);
+  respond(Response::ok_text("declined"));
+}
+
+void AmnesiaServer::handle_recover_phone(const Request& req,
+                                         const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  const auto form = req.form();
+  const auto backup_b64 = need_field(form, "backup", respond);
+  if (!backup_b64) return;
+
+  std::optional<core::PhoneSecrets> backup;
+  try {
+    backup = core::PhoneSecrets::deserialize(base64_decode(*backup_b64));
+  } catch (const Error&) {
+    respond(Response::error(400, "bad backup blob"));
+    return;
+  }
+
+  const auto user_record = db_.get_user(*user);
+  if (!user_record || !user_record->pid_record) {
+    respond(Response::error(409, "no phone was paired"));
+    return;
+  }
+  // "The server verifies the user by hashing the uploaded Pid value and
+  // matching it with the value stored in its database" (section III-C1).
+  if (!crypto::PasswordHasher::verify(backup->pid.bytes(),
+                                      *user_record->pid_record)) {
+    respond(Response::error(403, "backup does not match paired phone"));
+    return;
+  }
+
+  // Regenerate every password with the uploaded entry table so the user
+  // can log into each site one last time...
+  std::ostringstream body;
+  for (const auto& account : db_.list_accounts(*user)) {
+    const std::string password = core::end_to_end_password(
+        account.id, account.seed, user_record->oid, backup->entry_table,
+        account.policy);
+    body << account.id.username << '\t' << account.id.domain << '\t'
+         << password << '\n';
+  }
+  // ...then purge the old phone's binding; a new phone must re-register.
+  db_.clear_phone_binding(*user);
+  ++stats_.phone_recoveries;
+  AMNESIA_INFO("server") << "phone recovery for " << *user;
+  respond(Response::ok_text(body.str()));
+}
+
+void AmnesiaServer::handle_recover_mp_start(const Request& req,
+                                            const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  const auto form = req.form();
+  const auto new_mp = need_field(form, "new_master_password", respond);
+  if (!new_mp) return;
+  // The change only applies after the phone proves possession of Pid.
+  pending_mp_changes_[*user] =
+      PendingMpChange{mp_hasher_.hash(to_bytes(*new_mp), rng_),
+                      sim_.now() + config_.captcha_ttl_us};
+  respond(Response::ok_text("awaiting phone verification"));
+}
+
+void AmnesiaServer::handle_recover_mp_confirm(const Request& req,
+                                              const Responder& respond) {
+  const auto form = req.form();
+  const auto user = need_field(form, "user", respond);
+  if (!user) return;
+  const auto pid_hex = need_field(form, "pid", respond);
+  if (!pid_hex) return;
+
+  const auto it = pending_mp_changes_.find(*user);
+  if (it == pending_mp_changes_.end() || it->second.expires_at < sim_.now()) {
+    respond(Response::error(404, "no pending master-password change"));
+    return;
+  }
+  const auto user_record = db_.get_user(*user);
+  if (!user_record || !user_record->pid_record) {
+    respond(Response::error(409, "no phone paired"));
+    return;
+  }
+  core::PhoneId pid = [&]() -> core::PhoneId {
+    try {
+      return core::PhoneId::from_hex(*pid_hex);
+    } catch (const Error&) {
+      throw ProtocolError("bad pid encoding");
+    }
+  }();
+  if (!crypto::PasswordHasher::verify(pid.bytes(), *user_record->pid_record)) {
+    respond(Response::error(403, "phone verification failed"));
+    return;
+  }
+  db_.set_master_password(*user, it->second.new_record);
+  pending_mp_changes_.erase(it);
+  // Invalidate every live session — including the attacker's, if the old
+  // master password had been compromised.
+  sessions_.revoke_all(*user);
+  ++stats_.mp_changes;
+  AMNESIA_INFO("server") << "master password changed for " << *user;
+  respond(Response::ok_text("master password changed"));
+}
+
+// --- Section VIII extension: the chosen-password vault. Websites that
+// --- hand out fixed passwords (or pre-existing credentials the user
+// --- cannot change) are stored sealed under a token-derived key, so the
+// --- bilateral property covers them too.
+
+void AmnesiaServer::handle_vault_store(const Request& req,
+                                       const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  const auto form = req.form();
+  const auto username = need_field(form, "username", respond);
+  if (!username) return;
+  const auto domain = need_field(form, "domain", respond);
+  if (!domain) return;
+  const auto chosen = need_field(form, "chosen_password", respond);
+  if (!chosen) return;
+
+  const auto user_record = db_.get_user(*user);
+  if (!user_record || !user_record->registration_id) {
+    respond(Response::error(409, "no phone paired"));
+    return;
+  }
+  const core::AccountId id{*username, *domain};
+  auto record = db_.vault_get(*user, id);
+  if (!record) {
+    // Fresh sigma_v per vault entry; overwrites re-use it so the record
+    // key (and R) stay stable.
+    db_.vault_add(server::DbHandler::VaultRecord{
+        *user, id, core::Seed::generate(rng_), std::nullopt, std::nullopt});
+    record = db_.vault_get(*user, id);
+  }
+  PendingPassword pending{*user,
+                          id,
+                          0,
+                          respond,
+                          TokenPurpose::kVaultStore,
+                          *chosen,
+                          req.cookie("session").value_or("")};
+  begin_phone_round_trip(record->seed, *user_record->registration_id,
+                         req.header("X-Origin-IP").value_or("unknown"),
+                         std::move(pending));
+}
+
+void AmnesiaServer::handle_vault_retrieve(const Request& req,
+                                          const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  const auto form = req.form();
+  const auto username = need_field(form, "username", respond);
+  if (!username) return;
+  const auto domain = need_field(form, "domain", respond);
+  if (!domain) return;
+
+  const core::AccountId id{*username, *domain};
+  const auto record = db_.vault_get(*user, id);
+  if (!record || !record->ciphertext) {
+    respond(Response::error(404, "nothing stored for this account"));
+    return;
+  }
+  const auto user_record = db_.get_user(*user);
+  if (!user_record || !user_record->registration_id) {
+    respond(Response::error(409, "no phone paired"));
+    return;
+  }
+  PendingPassword pending{*user,
+                          id,
+                          0,
+                          respond,
+                          TokenPurpose::kVaultRetrieve,
+                          "",
+                          req.cookie("session").value_or("")};
+  begin_phone_round_trip(record->seed, *user_record->registration_id,
+                         req.header("X-Origin-IP").value_or("unknown"),
+                         std::move(pending));
+}
+
+void AmnesiaServer::handle_vault_list(const Request& req,
+                                      const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  std::ostringstream body;
+  for (const auto& record : db_.vault_list(*user)) {
+    body << record.id.username << '\t' << record.id.domain << '\t'
+         << (record.ciphertext ? "stored" : "empty") << '\n';
+  }
+  respond(Response::ok_text(body.str()));
+}
+
+void AmnesiaServer::handle_vault_remove(const Request& req,
+                                        const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  const auto form = req.form();
+  const auto username = need_field(form, "username", respond);
+  if (!username) return;
+  const auto domain = need_field(form, "domain", respond);
+  if (!domain) return;
+  if (!db_.vault_remove(*user, {*username, *domain})) {
+    respond(Response::error(404, "no such vault entry"));
+    return;
+  }
+  respond(Response::ok_text("removed"));
+}
+
+}  // namespace amnesia::server

@@ -1,0 +1,213 @@
+// The Amnesia web server (paper sections III, V-A).
+//
+// One process bundles the three components the paper names — session/user
+// management, a cryptography component, and the database handler — behind
+// an HTTP API served over the secure channel (HTTPS stand-in) with a
+// CherryPy-style fixed worker pool (default 10 threads, as in the
+// prototype).
+//
+// HTTP API (all bodies are form-encoded):
+//   POST /signup            user, master_password
+//   POST /login             user, master_password      -> session cookie
+//   POST /logout
+//   POST /pair/start        (auth)                     -> captcha code
+//   POST /pair/complete     user, captcha, pid, reg_id    [called by phone]
+//   POST /accounts/add      username, domain [, policy]  (auth)
+//   GET  /accounts          (auth)   -> lines "username\tdomain"
+//   POST /accounts/remove   username, domain             (auth)
+//   POST /accounts/rotate   username, domain             (auth)  new sigma
+//   POST /password/request  username, domain             (auth)
+//        -> waits for the phone's token, then returns the password
+//   POST /token             request_id, token, tstart     [called by phone]
+//   POST /token/decline     request_id                    [called by phone]
+//   POST /recover/phone     backup (base64 K_p blob)     (auth)
+//        -> lines "username\tdomain\told_password"; purges phone binding
+//   POST /recover/mp/start  new_master_password          (auth)
+//   POST /recover/mp/confirm user, pid                    [called by phone]
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/generate.h"
+#include "core/protocol.h"
+#include "crypto/x25519.h"
+#include "rendezvous/push_service.h"
+#include "securechan/channel.h"
+#include "server/auth.h"
+#include "server/db.h"
+#include "simnet/node.h"
+#include "websvc/server.h"
+#include "websvc/session.h"
+
+namespace amnesia::server {
+
+struct AmnesiaServerConfig {
+  simnet::NodeId node_id = "amnesia-server";
+  simnet::NodeId rendezvous_node = "gcm";
+  int workers = 10;  // the prototype's CherryPy thread pool size
+  crypto::PasswordHasherOptions mp_hash{};
+  ThrottleConfig throttle{};
+  std::string db_path;  // empty = in-memory
+
+  // Virtual CPU time charged per request (the Python + PyCrypto cost the
+  // latency evaluation observes server-side).
+  double token_compute_mean_ms = 15.0;
+  double token_compute_stddev_ms = 5.0;
+  double light_compute_ms = 2.0;
+
+  Micros phone_wait_timeout_us = 30'000'000;  // browser gets 504 after this
+  Micros push_ttl_us = 60'000'000;
+  Micros captcha_ttl_us = 5ll * 60 * 1'000'000;
+
+  // Section VIII extension: the session mechanism. When > 0, a generated
+  // password is cached per (session, account) for this long, so repeated
+  // requests within a session skip the phone round-trip. 0 reproduces the
+  // paper's prototype (a phone confirmation on every request).
+  Micros password_cache_ttl_us = 0;
+};
+
+struct AmnesiaServerStats {
+  std::uint64_t signups = 0;
+  std::uint64_t logins_ok = 0;
+  std::uint64_t logins_failed = 0;
+  std::uint64_t logins_throttled = 0;
+  std::uint64_t pairings_completed = 0;
+  std::uint64_t pairings_rejected = 0;
+  std::uint64_t password_requests = 0;
+  std::uint64_t passwords_generated = 0;
+  std::uint64_t requests_declined = 0;
+  std::uint64_t requests_timed_out = 0;
+  std::uint64_t phone_recoveries = 0;
+  std::uint64_t mp_changes = 0;
+  std::uint64_t cache_hits = 0;       // session-mechanism extension
+  std::uint64_t vault_stores = 0;     // chosen-password-vault extension
+  std::uint64_t vault_retrievals = 0;
+};
+
+class AmnesiaServer {
+ public:
+  AmnesiaServer(simnet::Simulation& sim, simnet::Network& network,
+                RandomSource& rng, AmnesiaServerConfig config = {});
+
+  /// The static public key clients pin (the self-signed certificate).
+  const crypto::X25519Key& public_key() const {
+    return channel_keys_.public_key;
+  }
+
+  /// Breach surface: the static channel key pair is server data at rest
+  /// (the self-signed certificate's private key on disk), so a section
+  /// IV-C server breach hands it to the attacker. Only the attack harness
+  /// should call this.
+  const crypto::X25519KeyPair& breached_static_keys() const {
+    return channel_keys_;
+  }
+  const simnet::NodeId& node_id() const { return node_->id(); }
+
+  DbHandler& db() { return db_; }
+  const AmnesiaServerStats& stats() const { return stats_; }
+  websvc::HttpServer& http() { return http_; }
+  websvc::SessionManager& sessions() { return sessions_; }
+
+  /// End-to-end password-generation latencies observed at the server
+  /// (tend - tstart), in microseconds — the measurement of section VI-B.
+  const std::vector<Micros>& password_latencies() const {
+    return password_latencies_;
+  }
+  void clear_latencies() { password_latencies_.clear(); }
+
+ private:
+  void install_routes();
+
+  /// Resolves the session cookie to a user name or responds 401.
+  std::optional<std::string> require_auth(const websvc::Request& req,
+                                          const websvc::Responder& respond);
+
+  // Route handlers (names mirror the API table above).
+  void handle_signup(const websvc::Request&, const websvc::Responder&);
+  void handle_login(const websvc::Request&, const websvc::Responder&);
+  void handle_logout(const websvc::Request&, const websvc::Responder&);
+  void handle_pair_start(const websvc::Request&, const websvc::Responder&);
+  void handle_pair_complete(const websvc::Request&, const websvc::Responder&);
+  void handle_accounts_add(const websvc::Request&, const websvc::Responder&);
+  void handle_accounts_list(const websvc::Request&, const websvc::Responder&);
+  void handle_accounts_remove(const websvc::Request&,
+                              const websvc::Responder&);
+  void handle_accounts_rotate(const websvc::Request&,
+                              const websvc::Responder&);
+  void handle_password_request(const websvc::Request&,
+                               const websvc::Responder&);
+  void handle_token(const websvc::Request&, const websvc::Responder&);
+  void handle_token_decline(const websvc::Request&, const websvc::Responder&);
+  void handle_recover_phone(const websvc::Request&, const websvc::Responder&);
+  void handle_recover_mp_start(const websvc::Request&,
+                               const websvc::Responder&);
+  void handle_recover_mp_confirm(const websvc::Request&,
+                                 const websvc::Responder&);
+  void handle_vault_store(const websvc::Request&, const websvc::Responder&);
+  void handle_vault_retrieve(const websvc::Request&,
+                             const websvc::Responder&);
+  void handle_vault_list(const websvc::Request&, const websvc::Responder&);
+  void handle_vault_remove(const websvc::Request&, const websvc::Responder&);
+
+  struct PendingPairing {
+    std::string captcha;
+    Micros expires_at;
+  };
+  /// What the phone's token will be used for once it arrives.
+  enum class TokenPurpose { kGenerate, kVaultStore, kVaultRetrieve };
+  struct PendingPassword {
+    std::string user;
+    core::AccountId account;
+    Micros tstart_us;
+    websvc::Responder respond;
+    TokenPurpose purpose = TokenPurpose::kGenerate;
+    std::string chosen_password;  // kVaultStore only
+    std::string session_token;    // for the session cache
+  };
+  struct CachedPassword {
+    std::string password;
+    Micros expires_at;
+  };
+
+  /// Starts a phone round-trip for `pending`; shared by password
+  /// generation and both vault flows (the phone cannot tell them apart).
+  void begin_phone_round_trip(const core::Seed& seed,
+                              const std::string& registration_id,
+                              const std::string& origin_ip,
+                              PendingPassword pending);
+
+  /// Drops cached passwords for one account across all sessions (seed
+  /// rotation / account removal make them stale).
+  void invalidate_cached_passwords(const std::string& user,
+                                   const core::AccountId& id);
+  struct PendingMpChange {
+    crypto::PasswordRecord new_record;
+    Micros expires_at;
+  };
+
+  simnet::Simulation& sim_;
+  RandomSource& rng_;
+  AmnesiaServerConfig config_;
+  crypto::X25519KeyPair channel_keys_;
+  std::unique_ptr<simnet::Node> node_;
+  securechan::SecureServer secure_;
+  websvc::HttpServer http_;
+  websvc::SessionManager sessions_;
+  DbHandler db_;
+  ThrottleGuard throttle_;
+  crypto::PasswordHasher mp_hasher_;
+  rendezvous::PushClient push_;
+
+  std::map<std::string, PendingPairing> pending_pairings_;
+  std::map<std::uint64_t, PendingPassword> pending_passwords_;
+  std::map<std::string, PendingMpChange> pending_mp_changes_;
+  std::map<std::string, CachedPassword> password_cache_;
+  std::uint64_t next_request_id_ = 1;
+
+  std::vector<Micros> password_latencies_;
+  AmnesiaServerStats stats_;
+};
+
+}  // namespace amnesia::server

@@ -1,0 +1,50 @@
+// Link delay/loss profiles.
+//
+// A LinkProfile models one direction of a network path: a Gaussian
+// propagation+queueing delay (truncated at a floor), a serialization term
+// from bandwidth, and an independent loss probability. The built-in
+// profiles are calibrated so that the full Amnesia password-generation
+// pipeline reproduces the latency distributions of the paper's Fig. 3
+// (Cox WiFi 30/10 Mbps and T-Mobile 4G, suburban, 2016) — see
+// profiles().wifi_* / .lte_* and bench/bench_fig3_latency.cpp.
+#pragma once
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace amnesia::simnet {
+
+struct LinkProfile {
+  std::string name = "custom";
+  double base_latency_ms = 1.0;   // mean one-way delay
+  double jitter_ms = 0.0;         // Gaussian standard deviation
+  double min_latency_ms = 0.05;   // truncation floor
+  double bandwidth_mbps = 1000.0; // serialization: bytes * 8 / bandwidth
+  double loss_probability = 0.0;  // per-message independent loss
+
+  /// Samples the delivery delay for a message of `bytes` octets.
+  Micros sample_delay(RandomSource& rng, std::size_t bytes) const;
+
+  /// Samples the loss coin.
+  bool sample_loss(RandomSource& rng) const;
+};
+
+/// The profile set used across tests, examples, and benches.
+struct BuiltinProfiles {
+  // Last-mile consumer links, calibrated jointly with the compute model in
+  // eval/latency.h against the paper's Fig. 3 (see EXPERIMENTS.md).
+  LinkProfile wifi_downlink;   // Internet -> home WiFi client
+  LinkProfile wifi_uplink;     // home WiFi client -> Internet
+  LinkProfile lte_downlink;    // Internet -> 4G handset
+  LinkProfile lte_uplink;      // 4G handset -> Internet
+  // Data-center and wide-area paths.
+  LinkProfile dc_lan;          // server <-> rendezvous/cloud (same region)
+  LinkProfile wan;             // browser <-> server wide-area path
+  LinkProfile lossy_wan;       // failure-injection variant
+};
+
+const BuiltinProfiles& profiles();
+
+}  // namespace amnesia::simnet

@@ -1,0 +1,104 @@
+#include "simnet/network.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace amnesia::simnet {
+
+void Network::attach(const NodeId& id, Endpoint* endpoint) {
+  if (endpoint == nullptr) throw NetError("Network::attach: null endpoint");
+  const auto [it, inserted] = nodes_.emplace(id, endpoint);
+  (void)it;
+  if (!inserted) throw NetError("Network::attach: duplicate node " + id);
+}
+
+void Network::detach(const NodeId& id) {
+  nodes_.erase(id);
+  offline_.erase(id);
+}
+
+void Network::set_online(const NodeId& id, bool online) {
+  offline_[id] = !online;
+}
+
+bool Network::online(const NodeId& id) const {
+  const auto it = offline_.find(id);
+  return it == offline_.end() || !it->second;
+}
+
+void Network::set_link(const NodeId& from, const NodeId& to,
+                       LinkProfile profile) {
+  links_[{from, to}] = std::move(profile);
+}
+
+void Network::set_duplex_link(const NodeId& a, const NodeId& b,
+                              const LinkProfile& ab, const LinkProfile& ba) {
+  set_link(a, b, ab);
+  set_link(b, a, ba);
+}
+
+const LinkProfile& Network::link_for(const NodeId& from,
+                                     const NodeId& to) const {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void Network::send(const NodeId& from, const NodeId& to, Bytes payload) {
+  if (!nodes_.contains(from)) {
+    throw NetError("Network::send: sender not attached: " + from);
+  }
+  ++stats_.sent;
+  const LinkProfile& link = link_for(from, to);
+  if (link.sample_loss(sim_.rng())) {
+    ++stats_.lost_on_link;
+    AMNESIA_DEBUG("simnet") << from << "->" << to << " lost on link";
+    return;
+  }
+  const Micros delay = link.sample_delay(sim_.rng(), payload.size());
+  Message msg{from, to, std::move(payload)};
+  sim_.schedule_after(delay, [this, msg = std::move(msg)]() mutable {
+    deliver(std::move(msg));
+  });
+}
+
+void Network::deliver(Message msg) {
+  for (auto& tap : taps_) {
+    const bool from_match = tap.from.empty() || tap.from == msg.from;
+    const bool to_match = tap.to.empty() || tap.to == msg.to;
+    if (from_match && to_match) {
+      if (tap.fn(sim_.now(), msg) == TapAction::kDrop) {
+        ++stats_.dropped_by_tap;
+        return;
+      }
+    }
+  }
+  const auto it = nodes_.find(msg.to);
+  if (it == nodes_.end()) {
+    ++stats_.dropped_no_destination;
+    AMNESIA_DEBUG("simnet") << msg.from << "->" << msg.to
+                            << " dropped: no destination";
+    return;
+  }
+  if (!online(msg.to)) {
+    ++stats_.dropped_offline;
+    AMNESIA_DEBUG("simnet") << msg.from << "->" << msg.to
+                            << " dropped: destination offline";
+    return;
+  }
+  ++stats_.delivered;
+  it->second->on_message(msg);
+}
+
+std::size_t Network::add_tap(const NodeId& from, const NodeId& to, Tap tap) {
+  const std::size_t id = next_tap_id_++;
+  taps_.push_back(TapEntry{id, from, to, std::move(tap)});
+  return id;
+}
+
+void Network::remove_tap(std::size_t tap_id) {
+  std::erase_if(taps_, [tap_id](const TapEntry& t) { return t.id == tap_id; });
+}
+
+}  // namespace amnesia::simnet

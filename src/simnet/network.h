@@ -1,0 +1,119 @@
+// Simulated message network.
+//
+// Nodes are attached by name ("browser", "amnesia-server", "gcm",
+// "phone", ...). send() samples the directed link's profile and schedules
+// delivery to the destination endpoint; messages to detached or offline
+// nodes are dropped, as are messages losing the link's loss coin.
+//
+// Taps: attack code (section IV of the paper) registers observers that see
+// every message on a path — this is how "rendezvous server eavesdropping"
+// and "broken HTTPS" adversaries are expressed as running code. A tap can
+// also mutate or drop traffic (active man-in-the-middle, used by the
+// secure-channel tamper tests).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "simnet/link.h"
+#include "simnet/sim.h"
+
+namespace amnesia::simnet {
+
+using NodeId = std::string;
+
+struct Message {
+  NodeId from;
+  NodeId to;
+  Bytes payload;
+};
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_message(const Message& msg) = 0;
+};
+
+/// What a registered tap may do with an observed message.
+enum class TapAction { kPass, kDrop };
+
+/// Observer/interceptor: may record the message and/or mutate its payload.
+/// Returning kDrop suppresses delivery.
+using Tap = std::function<TapAction(Micros time, Message& msg)>;
+
+struct NetworkStats {
+  std::size_t sent = 0;
+  std::size_t delivered = 0;
+  std::size_t lost_on_link = 0;
+  std::size_t dropped_no_destination = 0;
+  std::size_t dropped_offline = 0;
+  std::size_t dropped_by_tap = 0;
+};
+
+class Network {
+ public:
+  explicit Network(Simulation& sim) : sim_(sim) {}
+
+  /// Registers `endpoint` under `id`. Throws NetError on duplicates.
+  void attach(const NodeId& id, Endpoint* endpoint);
+
+  /// Removes the node; in-flight messages to it are dropped on delivery.
+  void detach(const NodeId& id);
+
+  bool attached(const NodeId& id) const { return nodes_.contains(id); }
+
+  /// Marks a node (un)reachable without detaching it — models a phone
+  /// that is powered off or out of coverage (paper section VIII).
+  void set_online(const NodeId& id, bool online);
+  bool online(const NodeId& id) const;
+
+  /// Sets the profile for the directed path from -> to.
+  void set_link(const NodeId& from, const NodeId& to, LinkProfile profile);
+
+  /// Sets the profile for both directions.
+  void set_duplex_link(const NodeId& a, const NodeId& b,
+                       const LinkProfile& ab, const LinkProfile& ba);
+
+  /// Fallback profile when no per-path link is configured.
+  void set_default_link(LinkProfile profile) {
+    default_link_ = std::move(profile);
+  }
+
+  /// Sends `payload` from `from` to `to`. The sender must be attached.
+  void send(const NodeId& from, const NodeId& to, Bytes payload);
+
+  /// Registers a tap observing every message whose (from, to) matches;
+  /// empty strings are wildcards. Returns a tap id for remove_tap().
+  std::size_t add_tap(const NodeId& from, const NodeId& to, Tap tap);
+  void remove_tap(std::size_t tap_id);
+
+  const NetworkStats& stats() const { return stats_; }
+  Simulation& sim() { return sim_; }
+
+ private:
+  struct TapEntry {
+    std::size_t id;
+    NodeId from;  // empty = any
+    NodeId to;    // empty = any
+    Tap fn;
+  };
+
+  const LinkProfile& link_for(const NodeId& from, const NodeId& to) const;
+  void deliver(Message msg);
+
+  Simulation& sim_;
+  std::map<NodeId, Endpoint*> nodes_;
+  std::map<NodeId, bool> offline_;
+  std::map<std::pair<NodeId, NodeId>, LinkProfile> links_;
+  LinkProfile default_link_{};
+  std::vector<TapEntry> taps_;
+  std::size_t next_tap_id_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace amnesia::simnet

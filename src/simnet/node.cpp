@@ -1,0 +1,101 @@
+#include "simnet/node.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace amnesia::simnet {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 9;
+
+std::uint64_t read_corr(ByteView frame) {
+  std::uint64_t corr = 0;
+  for (int i = 0; i < 8; ++i) corr = (corr << 8) | frame[1 + i];
+  return corr;
+}
+
+}  // namespace
+
+Node::Node(Network& network, NodeId id)
+    : network_(network), id_(std::move(id)) {
+  network_.attach(id_, this);
+}
+
+Node::~Node() { network_.detach(id_); }
+
+Bytes Node::frame(Kind kind, std::uint64_t corr, ByteView body) {
+  Bytes out;
+  out.reserve(kHeaderSize + body.size());
+  out.push_back(static_cast<std::uint8_t>(kind));
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(corr >> (i * 8)));
+  }
+  append(out, body);
+  return out;
+}
+
+void Node::request(const NodeId& to, Bytes body, ResponseHandler cb,
+                   Micros timeout_us) {
+  const std::uint64_t corr = next_corr_++;
+  pending_.emplace(corr, std::move(cb));
+  network_.send(id_, to, frame(kRequest, corr, body));
+  sim().schedule_after(timeout_us, [this, corr, to] {
+    const auto it = pending_.find(corr);
+    if (it == pending_.end()) return;  // already answered
+    ResponseHandler handler = std::move(it->second);
+    pending_.erase(it);
+    handler(Result<Bytes>(Err::kUnavailable, "rpc timeout to " + to));
+  });
+}
+
+void Node::send_oneway(const NodeId& to, Bytes body) {
+  network_.send(id_, to, frame(kOneway, 0, body));
+}
+
+void Node::on_message(const Message& msg) {
+  if (msg.payload.size() < kHeaderSize) {
+    AMNESIA_WARN("simnet") << id_ << ": runt frame from " << msg.from;
+    return;
+  }
+  const auto kind = static_cast<Kind>(msg.payload[0]);
+  const std::uint64_t corr = read_corr(msg.payload);
+  const Bytes body(msg.payload.begin() + kHeaderSize, msg.payload.end());
+
+  switch (kind) {
+    case kRequest: {
+      if (!rpc_handler_) {
+        AMNESIA_DEBUG("simnet") << id_ << ": request with no handler";
+        return;
+      }
+      const NodeId from = msg.from;
+      // `respond` captures what it needs by value; the handler may call it
+      // asynchronously long after this frame is gone.
+      auto respond = [this, from, corr](Bytes response_body) {
+        network_.send(id_, from, frame(kResponse, corr, response_body));
+      };
+      rpc_handler_(from, body, std::move(respond));
+      return;
+    }
+    case kResponse: {
+      const auto it = pending_.find(corr);
+      if (it == pending_.end()) {
+        AMNESIA_DEBUG("simnet") << id_ << ": late/unknown response " << corr;
+        return;
+      }
+      ResponseHandler handler = std::move(it->second);
+      pending_.erase(it);
+      handler(Result<Bytes>(body));
+      return;
+    }
+    case kOneway: {
+      if (oneway_handler_) oneway_handler_(msg.from, body);
+      return;
+    }
+  }
+  AMNESIA_WARN("simnet") << id_ << ": unknown frame kind from " << msg.from;
+}
+
+}  // namespace amnesia::simnet

@@ -1,0 +1,79 @@
+// Node: the per-host messaging façade over the simulated network.
+//
+// Every simulated host (browser, Amnesia server, GCM, phone, cloud) owns
+// one Node. A Node offers three primitives that the higher layers build
+// on:
+//   - request/response RPC with correlation ids and timeouts (the
+//     HTTP-over-TCP stand-in used by browser->server and phone->server),
+//   - one-way datagrams (the GCM push delivery),
+//   - an RPC-server handler that may respond asynchronously — essential
+//     for Amnesia, whose server answers the browser only after a
+//     round-trip through the rendezvous service and the phone.
+//
+// Wire framing: [kind:1][corr_id:8 big-endian][body...].
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "simnet/network.h"
+
+namespace amnesia::simnet {
+
+using ResponseHandler = std::function<void(Result<Bytes>)>;
+
+class Node final : public Endpoint {
+ public:
+  /// Handler invoked for incoming RPC requests; `respond` may be called
+  /// immediately or stored and called later (at most once).
+  using RpcHandler = std::function<void(const NodeId& from, const Bytes& body,
+                                        std::function<void(Bytes)> respond)>;
+  using OnewayHandler =
+      std::function<void(const NodeId& from, const Bytes& body)>;
+
+  /// Attaches to the network under `id`; detaches on destruction.
+  Node(Network& network, NodeId id);
+  ~Node() override;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const NodeId& id() const { return id_; }
+  Network& network() { return network_; }
+  Simulation& sim() { return network_.sim(); }
+
+  /// Issues an RPC to `to`. `cb` receives the response body or
+  /// Err::kUnavailable after `timeout_us` with no reply.
+  void request(const NodeId& to, Bytes body, ResponseHandler cb,
+               Micros timeout_us = kDefaultTimeoutUs);
+
+  void set_rpc_handler(RpcHandler handler) { rpc_handler_ = std::move(handler); }
+
+  /// Fire-and-forget datagram.
+  void send_oneway(const NodeId& to, Bytes body);
+
+  void set_oneway_handler(OnewayHandler handler) {
+    oneway_handler_ = std::move(handler);
+  }
+
+  void on_message(const Message& msg) override;
+
+  static constexpr Micros kDefaultTimeoutUs = 10'000'000;  // 10 s
+
+ private:
+  enum Kind : std::uint8_t { kRequest = 0, kResponse = 1, kOneway = 2 };
+
+  static Bytes frame(Kind kind, std::uint64_t corr, ByteView body);
+
+  Network& network_;
+  NodeId id_;
+  std::uint64_t next_corr_ = 1;
+  std::map<std::uint64_t, ResponseHandler> pending_;
+  RpcHandler rpc_handler_;
+  OnewayHandler oneway_handler_;
+};
+
+}  // namespace amnesia::simnet

@@ -1,0 +1,61 @@
+#include "simnet/sim.h"
+
+#include "common/error.h"
+#include "crypto/drbg.h"
+
+namespace amnesia::simnet {
+
+Simulation::Simulation(std::uint64_t seed)
+    : rng_(std::make_unique<crypto::ChaChaDrbg>(seed)) {}
+
+Simulation::~Simulation() = default;
+
+void Simulation::schedule_at(Micros t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulation::schedule_after(Micros delta, std::function<void()> fn) {
+  schedule_at(now_ + std::max<Micros>(delta, 0), std::move(fn));
+}
+
+bool Simulation::pop_and_run() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is copied out, then popped,
+  // so handlers may schedule freely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulation::run() {
+  std::size_t count = 0;
+  while (pop_and_run()) ++count;
+  return count;
+}
+
+bool Simulation::step() { return pop_and_run(); }
+
+std::size_t Simulation::run_until(Micros t) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    pop_and_run();
+    ++count;
+  }
+  if (now_ < t) now_ = t;
+  return count;
+}
+
+std::size_t Simulation::run_capped(std::size_t max_events) {
+  std::size_t count = 0;
+  while (pop_and_run()) {
+    if (++count > max_events) {
+      throw Error("Simulation::run_capped: event budget exceeded");
+    }
+  }
+  return count;
+}
+
+}  // namespace amnesia::simnet

@@ -1,0 +1,125 @@
+#include "storage/codec.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace amnesia::storage {
+
+void BufWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+void BufWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+void BufWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  u64(bits);
+}
+
+void BufWriter::bytes(ByteView b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  append(out_, b);
+}
+
+void BufWriter::value(const Value& v) {
+  u8(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      i64(v.as_int());
+      break;
+    case ValueType::kReal:
+      f64(v.as_real());
+      break;
+    case ValueType::kText:
+      str(v.as_text());
+      break;
+    case ValueType::kBlob:
+      bytes(v.as_blob());
+      break;
+  }
+}
+
+void BufReader::need(std::size_t n) {
+  if (remaining() < n) throw FormatError("BufReader: truncated input");
+}
+
+std::uint8_t BufReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t BufReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BufReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+double BufReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+Bytes BufReader::bytes() {
+  const std::uint32_t len = u32();
+  need(len);
+  Bytes out(data_.begin() + static_cast<long>(pos_),
+            data_.begin() + static_cast<long>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+Value BufReader::value() {
+  const auto type = static_cast<ValueType>(u8());
+  switch (type) {
+    case ValueType::kNull:
+      return Value();
+    case ValueType::kInt:
+      return Value(i64());
+    case ValueType::kReal:
+      return Value(f64());
+    case ValueType::kText:
+      return Value(str());
+    case ValueType::kBlob:
+      return Value(bytes());
+  }
+  throw FormatError("BufReader: unknown value type tag");
+}
+
+std::uint32_t crc32(ByteView data) {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t b : data) crc = kTable[(crc ^ b) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace amnesia::storage

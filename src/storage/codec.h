@@ -1,0 +1,64 @@
+// Binary serialization for the storage engine and wire protocols.
+//
+// BufWriter/BufReader provide length-checked little-endian primitives; the
+// reader throws FormatError instead of reading out of bounds, so corrupt
+// journals and malicious wire input fail cleanly. crc32() guards journal
+// records against torn writes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "storage/value.h"
+
+namespace amnesia::storage {
+
+class BufWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  /// Length-prefixed byte string.
+  void bytes(ByteView b);
+  /// Raw bytes with no length prefix (fixed-size fields).
+  void raw(ByteView b) { append(out_, b); }
+  void str(const std::string& s) { bytes(to_bytes(s)); }
+  void value(const Value& v);
+
+  const Bytes& data() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class BufReader {
+ public:
+  explicit BufReader(ByteView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  Bytes bytes();
+  std::string str() { return to_string(bytes()); }
+  Value value();
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n);
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected).
+std::uint32_t crc32(ByteView data);
+
+}  // namespace amnesia::storage

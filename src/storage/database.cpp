@@ -1,0 +1,312 @@
+#include "storage/database.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace amnesia::storage {
+
+namespace {
+
+constexpr char kSnapshotMagic[] = "AMDB-SNAP-1";
+constexpr char kJournalMagic[] = "AMDB-JRNL-1";
+
+std::optional<Bytes> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+void write_file_atomic(const std::string& path, const Bytes& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw StorageError("cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) throw StorageError("short write to " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
+
+void encode_schema(BufWriter& w, const Schema& schema) {
+  w.u32(static_cast<std::uint32_t>(schema.columns.size()));
+  for (const auto& col : schema.columns) {
+    w.str(col.name);
+    w.u8(static_cast<std::uint8_t>(col.type));
+    w.u8(col.nullable ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(schema.primary_key));
+}
+
+Schema decode_schema(BufReader& r) {
+  Schema schema;
+  const std::uint32_t n = r.u32();
+  schema.columns.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Column col;
+    col.name = r.str();
+    col.type = static_cast<ValueType>(r.u8());
+    col.nullable = r.u8() != 0;
+    schema.columns.push_back(std::move(col));
+  }
+  schema.primary_key = r.u32();
+  schema.validate();
+  return schema;
+}
+
+void encode_row(BufWriter& w, const Row& row) {
+  w.u32(static_cast<std::uint32_t>(row.size()));
+  for (const auto& v : row) w.value(v);
+}
+
+Row decode_row(BufReader& r) {
+  Row row;
+  const std::uint32_t n = r.u32();
+  row.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) row.push_back(r.value());
+  return row;
+}
+
+Database::Database(std::string path) : path_(std::move(path)) {
+  if (persistent()) load();
+}
+
+Database::~Database() = default;
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+const Table& Database::table(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) throw StorageError("unknown table: " + name);
+  return *it->second;
+}
+
+Table& Database::mutable_table(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) throw StorageError("unknown table: " + name);
+  return *it->second;
+}
+
+void Database::create_table(const std::string& name, Schema schema) {
+  if (tables_.contains(name)) throw StorageError("table exists: " + name);
+  schema.validate();
+  if (!loading_) {
+    BufWriter w;
+    w.u8(static_cast<std::uint8_t>(Op::kCreateTable));
+    w.str(name);
+    encode_schema(w, schema);
+    append_journal(w.take());
+  }
+  tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+}
+
+void Database::insert(const std::string& table, Row row) {
+  mutable_table(table).insert(row);  // validate + apply first
+  if (!loading_) {
+    BufWriter w;
+    w.u8(static_cast<std::uint8_t>(Op::kInsert));
+    w.str(table);
+    encode_row(w, row);
+    append_journal(w.take());
+  }
+}
+
+void Database::upsert(const std::string& table, Row row) {
+  mutable_table(table).upsert(row);
+  if (!loading_) {
+    BufWriter w;
+    w.u8(static_cast<std::uint8_t>(Op::kUpsert));
+    w.str(table);
+    encode_row(w, row);
+    append_journal(w.take());
+  }
+}
+
+bool Database::update(const std::string& table, const Value& key, Row row) {
+  const bool changed = mutable_table(table).update(key, row);
+  if (changed && !loading_) {
+    BufWriter w;
+    w.u8(static_cast<std::uint8_t>(Op::kUpdate));
+    w.str(table);
+    w.value(key);
+    encode_row(w, row);
+    append_journal(w.take());
+  }
+  return changed;
+}
+
+bool Database::remove(const std::string& table, const Value& key) {
+  const bool changed = mutable_table(table).remove(key);
+  if (changed && !loading_) {
+    BufWriter w;
+    w.u8(static_cast<std::uint8_t>(Op::kRemove));
+    w.str(table);
+    w.value(key);
+    append_journal(w.take());
+  }
+  return changed;
+}
+
+void Database::clear_table(const std::string& table) {
+  mutable_table(table).clear();
+  if (!loading_) {
+    BufWriter w;
+    w.u8(static_cast<std::uint8_t>(Op::kClearTable));
+    w.str(table);
+    append_journal(w.take());
+  }
+}
+
+void Database::drop_table(const std::string& table) {
+  if (tables_.erase(table) == 0) throw StorageError("unknown table: " + table);
+  if (!loading_) {
+    BufWriter w;
+    w.u8(static_cast<std::uint8_t>(Op::kDropTable));
+    w.str(table);
+    append_journal(w.take());
+  }
+}
+
+void Database::append_journal(const Bytes& payload) {
+  ++journal_records_;
+  if (!persistent()) return;
+  const bool fresh = !std::filesystem::exists(journal_path());
+  std::ofstream out(journal_path(), std::ios::binary | std::ios::app);
+  if (!out) throw StorageError("cannot append to journal " + journal_path());
+  if (fresh) out.write(kJournalMagic, sizeof(kJournalMagic) - 1);
+  BufWriter header;
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(crc32(payload));
+  out.write(reinterpret_cast<const char*>(header.data().data()),
+            static_cast<std::streamsize>(header.data().size()));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  if (!out) throw StorageError("short journal write");
+}
+
+void Database::apply_journal_record(BufReader& r) {
+  const auto op = static_cast<Op>(r.u8());
+  const std::string name = r.str();
+  switch (op) {
+    case Op::kCreateTable:
+      create_table(name, decode_schema(r));
+      return;
+    case Op::kInsert:
+      insert(name, decode_row(r));
+      return;
+    case Op::kUpsert:
+      upsert(name, decode_row(r));
+      return;
+    case Op::kUpdate: {
+      const Value key = r.value();
+      update(name, key, decode_row(r));
+      return;
+    }
+    case Op::kRemove:
+      remove(name, r.value());
+      return;
+    case Op::kClearTable:
+      clear_table(name);
+      return;
+    case Op::kDropTable:
+      drop_table(name);
+      return;
+  }
+  throw FormatError("journal: unknown op");
+}
+
+void Database::load() {
+  loading_ = true;
+  // 1. Snapshot.
+  if (const auto snap = read_file(snapshot_path())) {
+    BufReader r(*snap);
+    for (std::size_t i = 0; i < sizeof(kSnapshotMagic) - 1; ++i) {
+      if (r.u8() != static_cast<std::uint8_t>(kSnapshotMagic[i])) {
+        throw StorageError("bad snapshot magic in " + snapshot_path());
+      }
+    }
+    const std::uint32_t table_count = r.u32();
+    for (std::uint32_t t = 0; t < table_count; ++t) {
+      const std::string name = r.str();
+      create_table(name, decode_schema(r));
+      const std::uint64_t rows = r.u64();
+      for (std::uint64_t i = 0; i < rows; ++i) insert(name, decode_row(r));
+    }
+  }
+  // 2. Journal replay, tolerating a torn tail.
+  if (const auto jrnl = read_file(journal_path())) {
+    BufReader r(*jrnl);
+    bool magic_ok = r.remaining() >= sizeof(kJournalMagic) - 1;
+    if (magic_ok) {
+      for (std::size_t i = 0; i < sizeof(kJournalMagic) - 1; ++i) {
+        if (r.u8() != static_cast<std::uint8_t>(kJournalMagic[i])) {
+          magic_ok = false;
+          break;
+        }
+      }
+    }
+    if (!magic_ok) {
+      torn_tail_ = true;
+      AMNESIA_WARN("storage") << path_ << ": journal magic corrupt; ignored";
+    } else {
+      while (!r.done()) {
+        try {
+          const std::uint32_t len = r.u32();
+          const std::uint32_t expected_crc = r.u32();
+          if (r.remaining() < len) throw FormatError("torn record");
+          Bytes payload;
+          payload.reserve(len);
+          for (std::uint32_t i = 0; i < len; ++i) payload.push_back(r.u8());
+          if (crc32(payload) != expected_crc) throw FormatError("bad crc");
+          BufReader pr(payload);
+          apply_journal_record(pr);
+        } catch (const Error&) {
+          torn_tail_ = true;
+          AMNESIA_WARN("storage")
+              << path_ << ": discarding corrupt journal tail";
+          break;
+        }
+      }
+    }
+  }
+  loading_ = false;
+  journal_records_ = 0;
+}
+
+void Database::checkpoint() {
+  if (!persistent()) {
+    journal_records_ = 0;
+    return;
+  }
+  BufWriter w;
+  for (std::size_t i = 0; i < sizeof(kSnapshotMagic) - 1; ++i) {
+    w.u8(static_cast<std::uint8_t>(kSnapshotMagic[i]));
+  }
+  w.u32(static_cast<std::uint32_t>(tables_.size()));
+  for (const auto& [name, table] : tables_) {
+    w.str(name);
+    encode_schema(w, table->schema());
+    const auto rows = table->all();
+    w.u64(rows.size());
+    for (const auto& row : rows) encode_row(w, row);
+  }
+  write_file_atomic(snapshot_path(), w.data());
+  std::error_code ec;
+  std::filesystem::remove(journal_path(), ec);
+  journal_records_ = 0;
+}
+
+}  // namespace amnesia::storage

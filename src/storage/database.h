@@ -1,0 +1,93 @@
+// Embedded database: named tables + durable snapshot/journal persistence.
+//
+// This is the reproduction's SQLite substitute. Reads go straight to the
+// in-memory Table objects; every mutation flows through the Database so it
+// can be appended to a CRC-guarded write-ahead journal. On open, the
+// snapshot is loaded and the journal replayed; a torn final record (crash
+// mid-write) is detected by CRC/length and discarded. checkpoint()
+// rewrites the snapshot and truncates the journal.
+//
+// An empty path produces a purely in-memory database (used heavily in
+// tests and the network simulation).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "storage/codec.h"
+#include "storage/table.h"
+
+namespace amnesia::storage {
+
+class Database {
+ public:
+  /// Opens (and if needed creates) the database at `path`; empty path
+  /// means in-memory only. `path` is used as a prefix: "<path>.snapshot"
+  /// and "<path>.journal".
+  explicit Database(std::string path = "");
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table (journaled). Throws StorageError if it exists.
+  void create_table(const std::string& name, Schema schema);
+  bool has_table(const std::string& name) const { return tables_.contains(name); }
+  std::vector<std::string> table_names() const;
+
+  /// Read-only access. Throws StorageError on unknown table.
+  const Table& table(const std::string& name) const;
+
+  // Journaled mutations. Same semantics as the Table methods.
+  void insert(const std::string& table, Row row);
+  void upsert(const std::string& table, Row row);
+  bool update(const std::string& table, const Value& key, Row row);
+  bool remove(const std::string& table, const Value& key);
+  void clear_table(const std::string& table);
+  void drop_table(const std::string& table);
+
+  /// Writes a fresh snapshot and truncates the journal.
+  void checkpoint();
+
+  /// Number of journal records appended since open/checkpoint.
+  std::size_t journal_records() const { return journal_records_; }
+
+  /// True if the last open() detected and discarded a corrupt journal tail.
+  bool recovered_from_torn_journal() const { return torn_tail_; }
+
+ private:
+  enum class Op : std::uint8_t {
+    kCreateTable = 1,
+    kInsert = 2,
+    kUpsert = 3,
+    kUpdate = 4,
+    kRemove = 5,
+    kClearTable = 6,
+    kDropTable = 7,
+  };
+
+  Table& mutable_table(const std::string& name);
+  void load();
+  void append_journal(const Bytes& payload);
+  void apply_journal_record(BufReader& reader);
+  std::string snapshot_path() const { return path_ + ".snapshot"; }
+  std::string journal_path() const { return path_ + ".journal"; }
+  bool persistent() const { return !path_.empty(); }
+
+  std::string path_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::size_t journal_records_ = 0;
+  bool torn_tail_ = false;
+  bool loading_ = false;
+};
+
+/// Serialization helpers shared by snapshot and journal code (exposed for
+/// tests).
+void encode_schema(BufWriter& w, const Schema& schema);
+Schema decode_schema(BufReader& r);
+void encode_row(BufWriter& w, const Row& row);
+Row decode_row(BufReader& r);
+
+}  // namespace amnesia::storage

@@ -1,0 +1,43 @@
+#include "storage/value.h"
+
+namespace amnesia::storage {
+
+const char* value_type_name(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return "int";
+    case ValueType::kReal: return "real";
+    case ValueType::kText: return "text";
+    case ValueType::kBlob: return "blob";
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (data_.index() != other.data_.index()) {
+    return data_.index() < other.data_.index();
+  }
+  return data_ < other.data_;
+}
+
+std::string Value::to_display_string() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kReal:
+      return std::to_string(as_real());
+    case ValueType::kText:
+      return as_text();
+    case ValueType::kBlob: {
+      // Long blobs are elided the way the paper's tables do: 0xf f 32241...
+      const std::string hex = hex_encode(as_blob());
+      if (hex.size() <= 16) return "0x" + hex;
+      return "0x" + hex.substr(0, 8) + "...";
+    }
+  }
+  return "?";
+}
+
+}  // namespace amnesia::storage

@@ -1,0 +1,71 @@
+// Typed values for the embedded table store.
+//
+// The paper keeps both components' state in SQLite (server: Table I;
+// phone: Table II). This module is the value model of our SQLite
+// substitute: null, 64-bit integer, double, text, and blob — the same
+// storage classes SQLite exposes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace amnesia::storage {
+
+enum class ValueType : std::uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kReal = 2,
+  kText = 3,
+  kBlob = 4,
+};
+
+const char* value_type_name(ValueType t);
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  Value(std::int64_t v) : data_(v) {}          // NOLINT: implicit by design
+  Value(int v) : data_(std::int64_t{v}) {}     // NOLINT
+  Value(double v) : data_(v) {}                // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT
+  Value(Bytes v) : data_(std::move(v)) {}      // NOLINT
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors throw StorageError on type mismatch.
+  std::int64_t as_int() const { return get<std::int64_t>("int"); }
+  double as_real() const { return get<double>("real"); }
+  const std::string& as_text() const { return get<std::string>("text"); }
+  const Bytes& as_blob() const { return get<Bytes>("blob"); }
+
+  bool operator==(const Value& other) const = default;
+
+  /// Total order across types (by type tag first), used for pk indexing.
+  bool operator<(const Value& other) const;
+
+  /// Human-readable rendering for table dumps (Table I / II printers).
+  std::string to_display_string() const;
+
+ private:
+  template <typename T>
+  const T& get(const char* what) const {
+    const T* p = std::get_if<T>(&data_);
+    if (p == nullptr) {
+      throw StorageError(std::string("Value: not a ") + what + " (is " +
+                         value_type_name(type()) + ")");
+    }
+    return *p;
+  }
+
+  std::variant<std::monostate, std::int64_t, double, std::string, Bytes> data_;
+};
+
+}  // namespace amnesia::storage

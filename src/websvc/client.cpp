@@ -1,0 +1,79 @@
+#include "websvc/client.h"
+
+#include "common/error.h"
+
+namespace amnesia::websvc {
+
+ByteTransport plain_transport(simnet::Node& node, simnet::NodeId server,
+                              Micros timeout_us) {
+  return [&node, server = std::move(server), timeout_us](
+             Bytes wire, std::function<void(Result<Bytes>)> cb) {
+    node.request(server, std::move(wire), std::move(cb), timeout_us);
+  };
+}
+
+void HttpClient::get(const std::string& path,
+                     const std::map<std::string, std::string>& query,
+                     ResponseCb cb) {
+  Request req;
+  req.method = Method::kGet;
+  req.path = path;
+  req.query = query;
+  send(std::move(req), std::move(cb));
+}
+
+void HttpClient::post_form(const std::string& path,
+                           const std::map<std::string, std::string>& fields,
+                           ResponseCb cb) {
+  Request req;
+  req.method = Method::kPost;
+  req.path = path;
+  req.headers["Content-Type"] = "application/x-www-form-urlencoded";
+  req.body = form_encode(fields);
+  send(std::move(req), std::move(cb));
+}
+
+void HttpClient::apply_cookies(Request& req) const {
+  if (jar_.empty()) return;
+  std::string header;
+  for (const auto& [name, value] : jar_) {
+    if (!header.empty()) header += "; ";
+    header += name + "=" + value;
+  }
+  req.headers["Cookie"] = header;
+}
+
+void HttpClient::absorb_cookies(const Response& resp) {
+  // Single Set-Cookie header of the form "name=value" (attributes after a
+  // ';' are ignored — the simulation has no cross-site policy to enforce).
+  const auto set_cookie = resp.header("Set-Cookie");
+  if (!set_cookie) return;
+  std::string pair = *set_cookie;
+  const std::size_t semi = pair.find(';');
+  if (semi != std::string::npos) pair.resize(semi);
+  const std::size_t eq = pair.find('=');
+  if (eq == std::string::npos) return;
+  jar_[pair.substr(0, eq)] = pair.substr(eq + 1);
+}
+
+void HttpClient::send(Request req, ResponseCb cb) {
+  apply_cookies(req);
+  transport_(serialize(req), [this, cb = std::move(cb)](Result<Bytes> wire) {
+    if (!wire.ok()) {
+      cb(Result<Response>(wire.failure()));
+      return;
+    }
+    Response resp;
+    try {
+      resp = parse_response(wire.value());
+    } catch (const FormatError& e) {
+      cb(Result<Response>(Err::kInternal,
+                          std::string("bad http response: ") + e.what()));
+      return;
+    }
+    absorb_cookies(resp);
+    cb(Result<Response>(std::move(resp)));
+  });
+}
+
+}  // namespace amnesia::websvc

@@ -1,0 +1,61 @@
+// HttpClient: issues requests over an abstract byte transport.
+//
+// The transport is either a plain simnet Node RPC (used by tests) or a
+// securechan::SecureClient (the HTTPS-equivalent used by the real system).
+// The client keeps a cookie jar so the Amnesia session cookie persists
+// across calls, mirroring a browser.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "simnet/node.h"
+#include "websvc/http.h"
+
+namespace amnesia::websvc {
+
+/// Sends serialized request bytes; the callback receives serialized
+/// response bytes or a transport failure.
+using ByteTransport =
+    std::function<void(Bytes, std::function<void(Result<Bytes>)>)>;
+
+/// A ByteTransport over a plain (unencrypted) Node RPC.
+ByteTransport plain_transport(simnet::Node& node, simnet::NodeId server,
+                              Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
+
+class HttpClient {
+ public:
+  using ResponseCb = std::function<void(Result<Response>)>;
+
+  explicit HttpClient(ByteTransport transport)
+      : transport_(std::move(transport)) {}
+
+  void get(const std::string& path, ResponseCb cb) {
+    get(path, {}, std::move(cb));
+  }
+  void get(const std::string& path,
+           const std::map<std::string, std::string>& query, ResponseCb cb);
+  void post_form(const std::string& path,
+                 const std::map<std::string, std::string>& fields,
+                 ResponseCb cb);
+
+  void send(Request req, ResponseCb cb);
+
+  /// Cookies currently held (set from Set-Cookie response headers).
+  const std::map<std::string, std::string>& cookies() const { return jar_; }
+  void clear_cookies() { jar_.clear(); }
+  void set_cookie(const std::string& name, const std::string& value) {
+    jar_[name] = value;
+  }
+
+ private:
+  void apply_cookies(Request& req) const;
+  void absorb_cookies(const Response& resp);
+
+  ByteTransport transport_;
+  std::map<std::string, std::string> jar_;
+};
+
+}  // namespace amnesia::websvc

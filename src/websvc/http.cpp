@@ -1,0 +1,321 @@
+#include "websvc/http.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace amnesia::websvc {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kPost: return "POST";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
+  }
+  return "GET";
+}
+
+std::optional<Method> parse_method(const std::string& name) {
+  if (name == "GET") return Method::kGet;
+  if (name == "POST") return Method::kPost;
+  if (name == "PUT") return Method::kPut;
+  if (name == "DELETE") return Method::kDelete;
+  return std::nullopt;
+}
+
+namespace {
+
+bool is_unreserved(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' ||
+         c == '~';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string url_escape(const std::string& s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (is_unreserved(c)) {
+      out.push_back(c);
+    } else {
+      const auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[byte >> 4]);
+      out.push_back(kHex[byte & 0x0f]);
+    }
+  }
+  return out;
+}
+
+std::string url_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size()) throw FormatError("url_unescape: truncated %XX");
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi < 0 || lo < 0) throw FormatError("url_unescape: bad %XX");
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (s[i] == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string form_encode(const std::map<std::string, std::string>& fields) {
+  std::string out;
+  for (const auto& [key, value] : fields) {
+    if (!out.empty()) out.push_back('&');
+    out += url_escape(key);
+    out.push_back('=');
+    out += url_escape(value);
+  }
+  return out;
+}
+
+std::map<std::string, std::string> form_decode(const std::string& encoded) {
+  std::map<std::string, std::string> fields;
+  std::size_t start = 0;
+  while (start < encoded.size()) {
+    std::size_t end = encoded.find('&', start);
+    if (end == std::string::npos) end = encoded.size();
+    const std::string pair = encoded.substr(start, end - start);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        fields[url_unescape(pair)] = "";
+      } else {
+        fields[url_unescape(pair.substr(0, eq))] =
+            url_unescape(pair.substr(eq + 1));
+      }
+    }
+    start = end + 1;
+  }
+  return fields;
+}
+
+std::optional<std::string> Request::header(const std::string& name) const {
+  const auto it = headers.find(name);
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Request::cookie(const std::string& name) const {
+  const auto header_value = header("Cookie");
+  if (!header_value) return std::nullopt;
+  // Cookie: a=1; b=2
+  std::size_t start = 0;
+  const std::string& s = *header_value;
+  while (start < s.size()) {
+    while (start < s.size() && (s[start] == ' ' || s[start] == ';')) ++start;
+    std::size_t end = s.find(';', start);
+    if (end == std::string::npos) end = s.size();
+    const std::string pair = s.substr(start, end - start);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == name) {
+      return pair.substr(eq + 1);
+    }
+    start = end + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Response::header(const std::string& name) const {
+  const auto it = headers.find(name);
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+Response Response::ok_text(std::string body) {
+  Response r;
+  r.status = 200;
+  r.headers["Content-Type"] = "text/plain";
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::ok_form(const std::map<std::string, std::string>& fields) {
+  Response r;
+  r.status = 200;
+  r.headers["Content-Type"] = "application/x-www-form-urlencoded";
+  r.body = form_encode(fields);
+  return r;
+}
+
+Response Response::error(int status, const std::string& message) {
+  Response r;
+  r.status = status;
+  r.headers["Content-Type"] = "text/plain";
+  r.body = message;
+  return r;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 409: return "Conflict";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+
+std::string target_of(const Request& req) {
+  std::string target = req.path;
+  if (!req.query.empty()) {
+    target.push_back('?');
+    target += form_encode(req.query);
+  }
+  return target;
+}
+
+struct ParsedHead {
+  std::string start_line;
+  Headers headers;
+  std::string body;
+};
+
+ParsedHead split_message(ByteView wire) {
+  const std::string text = to_string(wire);
+  const std::size_t head_end = text.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    throw FormatError("http: missing header terminator");
+  }
+  ParsedHead out;
+  const std::string head = text.substr(0, head_end);
+  std::size_t line_end = head.find("\r\n");
+  out.start_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  std::size_t pos =
+      line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string line = head.substr(pos, next - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) throw FormatError("http: bad header line");
+    std::string name = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(value.begin());
+    out.headers[name] = value;
+    pos = next + 2;
+  }
+  out.body = text.substr(head_end + 4);
+  // Enforce Content-Length when present; a malformed value is a framing
+  // error, not a library exception.
+  const auto it = out.headers.find("Content-Length");
+  if (it != out.headers.end()) {
+    std::size_t declared = 0;
+    const auto [end, ec] = std::from_chars(
+        it->second.data(), it->second.data() + it->second.size(), declared);
+    if (ec != std::errc{} || end != it->second.data() + it->second.size()) {
+      throw FormatError("http: bad Content-Length");
+    }
+    if (declared > out.body.size()) throw FormatError("http: truncated body");
+    out.body.resize(declared);
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes serialize(const Request& req) {
+  std::ostringstream out;
+  out << method_name(req.method) << ' ' << target_of(req) << " HTTP/1.1\r\n";
+  Headers headers = req.headers;
+  headers["Content-Length"] = std::to_string(req.body.size());
+  for (const auto& [name, value] : headers) {
+    out << name << ": " << value << "\r\n";
+  }
+  out << "\r\n" << req.body;
+  return to_bytes(out.str());
+}
+
+Bytes serialize(const Response& resp) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << ' ' << reason_phrase(resp.status)
+      << "\r\n";
+  Headers headers = resp.headers;
+  headers["Content-Length"] = std::to_string(resp.body.size());
+  for (const auto& [name, value] : headers) {
+    out << name << ": " << value << "\r\n";
+  }
+  out << "\r\n" << resp.body;
+  return to_bytes(out.str());
+}
+
+Request parse_request(ByteView wire) {
+  ParsedHead head = split_message(wire);
+  std::istringstream line(head.start_line);
+  std::string method_str, target, version;
+  line >> method_str >> target >> version;
+  if (version != "HTTP/1.1") throw FormatError("http: bad version");
+  const auto method = parse_method(method_str);
+  if (!method) throw FormatError("http: unknown method " + method_str);
+
+  Request req;
+  req.method = *method;
+  const std::size_t qpos = target.find('?');
+  if (qpos == std::string::npos) {
+    req.path = target;
+  } else {
+    req.path = target.substr(0, qpos);
+    req.query = form_decode(target.substr(qpos + 1));
+  }
+  if (req.path.empty() || req.path.front() != '/') {
+    throw FormatError("http: bad request target");
+  }
+  req.headers = std::move(head.headers);
+  req.headers.erase("Content-Length");
+  req.body = std::move(head.body);
+  return req;
+}
+
+Response parse_response(ByteView wire) {
+  ParsedHead head = split_message(wire);
+  std::istringstream line(head.start_line);
+  std::string version;
+  int status = 0;
+  line >> version >> status;
+  if (version != "HTTP/1.1" || status < 100 || status > 599) {
+    throw FormatError("http: bad status line");
+  }
+  Response resp;
+  resp.status = status;
+  resp.headers = std::move(head.headers);
+  resp.headers.erase("Content-Length");
+  resp.body = std::move(head.body);
+  return resp;
+}
+
+}  // namespace amnesia::websvc

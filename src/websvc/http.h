@@ -1,0 +1,74 @@
+// HTTP/1.1 message model, serializer, and parser.
+//
+// The paper's Amnesia server is a CherryPy web application; browsers and
+// the phone talk to it over HTTPS. This module is the web-framework
+// substrate: real HTTP text framing (request line, headers,
+// Content-Length body) serialized to bytes, moved over the simulated
+// network (optionally through the secure channel), and parsed back.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace amnesia::websvc {
+
+enum class Method { kGet, kPost, kPut, kDelete };
+
+const char* method_name(Method m);
+std::optional<Method> parse_method(const std::string& name);
+
+/// Case-sensitive header map (we normalize to canonical casing on insert).
+using Headers = std::map<std::string, std::string>;
+
+/// application/x-www-form-urlencoded codec, used for query strings and
+/// form bodies.
+std::string form_encode(const std::map<std::string, std::string>& fields);
+std::map<std::string, std::string> form_decode(const std::string& encoded);
+
+/// Percent-encoding helpers (RFC 3986 unreserved set kept verbatim).
+std::string url_escape(const std::string& s);
+std::string url_unescape(const std::string& s);
+
+struct Request {
+  Method method = Method::kGet;
+  std::string path = "/";
+  std::map<std::string, std::string> query;
+  Headers headers;
+  std::string body;
+
+  /// Convenience for form bodies.
+  std::map<std::string, std::string> form() const { return form_decode(body); }
+
+  std::optional<std::string> header(const std::string& name) const;
+
+  /// Value of a cookie from the Cookie header, if present.
+  std::optional<std::string> cookie(const std::string& name) const;
+};
+
+struct Response {
+  int status = 200;
+  Headers headers;
+  std::string body;
+
+  static Response ok_text(std::string body);
+  static Response ok_form(const std::map<std::string, std::string>& fields);
+  static Response error(int status, const std::string& message);
+
+  std::optional<std::string> header(const std::string& name) const;
+  std::map<std::string, std::string> form() const { return form_decode(body); }
+};
+
+const char* reason_phrase(int status);
+
+/// Serializes to wire bytes. Content-Length is set automatically.
+Bytes serialize(const Request& req);
+Bytes serialize(const Response& resp);
+
+/// Parses wire bytes; throws FormatError on malformed messages.
+Request parse_request(ByteView wire);
+Response parse_response(ByteView wire);
+
+}  // namespace amnesia::websvc

@@ -1,0 +1,63 @@
+#include "websvc/router.h"
+
+#include "common/error.h"
+
+namespace amnesia::websvc {
+
+std::vector<std::string> Router::split_path(const std::string& path) {
+  std::vector<std::string> segments;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    std::size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    segments.push_back(path.substr(start, end - start));
+    start = end;
+  }
+  return segments;
+}
+
+void Router::add(Method method, const std::string& pattern, Handler handler) {
+  for (const auto& route : routes_) {
+    if (route.method == method && route.pattern == pattern) {
+      throw ProtocolError("Router: duplicate route " + pattern);
+    }
+  }
+  routes_.push_back(RouteEntry{method, split_path(pattern), pattern,
+                               std::move(handler)});
+}
+
+bool Router::match(const RouteEntry& route,
+                   const std::vector<std::string>& segments,
+                   PathParams& params) {
+  if (route.segments.size() != segments.size()) return false;
+  PathParams captured;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pat = route.segments[i];
+    if (!pat.empty() && pat.front() == ':') {
+      captured[pat.substr(1)] = segments[i];
+    } else if (pat != segments[i]) {
+      return false;
+    }
+  }
+  params = std::move(captured);
+  return true;
+}
+
+bool Router::dispatch(const Request& req, const Responder& respond) const {
+  const auto segments = split_path(req.path);
+  for (const auto& route : routes_) {
+    if (route.method != req.method) continue;
+    PathParams params;
+    if (match(route, segments, params)) {
+      route.handler(req, params, respond);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace amnesia::websvc

@@ -1,0 +1,51 @@
+// Path router with ":param" captures.
+//
+// Routes are registered as (method, pattern, handler); a pattern segment
+// beginning with ':' captures the corresponding request segment into
+// PathParams. Handlers respond through a callback so they can complete
+// asynchronously (the Amnesia password endpoint answers only after the
+// phone's token arrives).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "websvc/http.h"
+
+namespace amnesia::websvc {
+
+using PathParams = std::map<std::string, std::string>;
+using Responder = std::function<void(Response)>;
+using Handler =
+    std::function<void(const Request&, const PathParams&, Responder)>;
+
+class Router {
+ public:
+  /// Registers a route. Throws ProtocolError on duplicate (method, pattern).
+  void add(Method method, const std::string& pattern, Handler handler);
+
+  /// Dispatches to the first matching route; returns false when no route
+  /// matches (the caller then produces a 404).
+  bool dispatch(const Request& req, const Responder& respond) const;
+
+  std::size_t route_count() const { return routes_.size(); }
+
+ private:
+  struct RouteEntry {
+    Method method;
+    std::vector<std::string> segments;
+    std::string pattern;
+    Handler handler;
+  };
+
+  static std::vector<std::string> split_path(const std::string& path);
+  static bool match(const RouteEntry& route,
+                    const std::vector<std::string>& segments,
+                    PathParams& params);
+
+  std::vector<RouteEntry> routes_;
+};
+
+}  // namespace amnesia::websvc

@@ -1,0 +1,68 @@
+#include "websvc/server.h"
+
+#include <memory>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace amnesia::websvc {
+
+HttpServer::HttpServer(simnet::Simulation& sim, int workers)
+    : sim_(sim), pool_(sim, workers) {}
+
+void HttpServer::handle_bytes(const Bytes& wire,
+                              std::function<void(Bytes)> respond) {
+  ++stats_.requests;
+  Request req;
+  try {
+    req = parse_request(wire);
+  } catch (const FormatError& e) {
+    ++stats_.parse_errors;
+    ++stats_.responses_4xx;
+    respond(serialize(Response::error(400, e.what())));
+    return;
+  }
+
+  pool_.submit([this, req = std::move(req), respond = std::move(respond)](
+                   std::function<void()> release) mutable {
+    const Micros cost = service_time_ ? service_time_(req) : 0;
+    auto dispatch = [this, req = std::move(req), respond = std::move(respond),
+                     release = std::move(release)]() mutable {
+      auto responder = [this, respond = std::move(respond),
+                        release = std::move(release)](Response resp) {
+        if (resp.status >= 500) {
+          ++stats_.responses_5xx;
+        } else if (resp.status >= 400) {
+          ++stats_.responses_4xx;
+        } else {
+          ++stats_.responses_2xx;
+        }
+        respond(serialize(resp));
+        release();
+      };
+      try {
+        if (!router_.dispatch(req, responder)) {
+          responder(Response::error(404, "no route for " + req.path));
+        }
+      } catch (const Error& e) {
+        AMNESIA_ERROR("websvc") << "handler threw: " << e.what();
+        responder(Response::error(500, "internal error"));
+      }
+    };
+    if (cost > 0) {
+      sim_.schedule_after(cost, std::move(dispatch));
+    } else {
+      dispatch();
+    }
+  });
+}
+
+void HttpServer::bind(simnet::Node& node) {
+  node.set_rpc_handler([this](const simnet::NodeId& /*from*/,
+                              const Bytes& body,
+                              std::function<void(Bytes)> respond) {
+    handle_bytes(body, std::move(respond));
+  });
+}
+
+}  // namespace amnesia::websvc

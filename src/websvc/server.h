@@ -1,0 +1,60 @@
+// HttpServer: binds a Router + ThreadPoolModel to a transport.
+//
+// The server consumes raw request bytes (from a simnet Node RPC handler or
+// from the secure channel's decrypted stream), parses, dispatches, and
+// serializes the response. A worker from the pool is held from dispatch
+// until the handler responds, matching CherryPy's thread-per-request
+// behaviour that the paper's prototype relies on.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "simnet/node.h"
+#include "websvc/http.h"
+#include "websvc/router.h"
+#include "websvc/threadpool.h"
+
+namespace amnesia::websvc {
+
+struct HttpServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t parse_errors = 0;
+};
+
+class HttpServer {
+ public:
+  /// `service_time` samples the CPU time a request occupies a worker with
+  /// before the handler runs (the Python/crypto compute of the paper's
+  /// prototype). It may be null for zero-cost dispatch.
+  using ServiceTimeFn = std::function<Micros(const Request&)>;
+
+  HttpServer(simnet::Simulation& sim, int workers);
+
+  Router& router() { return router_; }
+  ThreadPoolModel& pool() { return pool_; }
+  const HttpServerStats& stats() const { return stats_; }
+
+  void set_service_time(ServiceTimeFn fn) { service_time_ = std::move(fn); }
+
+  /// Handles one serialized request; `respond` receives serialized
+  /// response bytes. This is the entry point wired into a Node RPC handler
+  /// or a secure-channel server.
+  void handle_bytes(const Bytes& wire, std::function<void(Bytes)> respond);
+
+  /// Convenience: installs this server as `node`'s RPC handler.
+  void bind(simnet::Node& node);
+
+ private:
+  simnet::Simulation& sim_;
+  Router router_;
+  ThreadPoolModel pool_;
+  ServiceTimeFn service_time_;
+  HttpServerStats stats_;
+};
+
+}  // namespace amnesia::websvc

@@ -1,0 +1,43 @@
+#include "websvc/session.h"
+
+#include "common/bytes.h"
+
+namespace amnesia::websvc {
+
+std::string SessionManager::create(const std::string& principal) {
+  const std::string token = hex_encode(rng_.bytes(16));
+  const Micros now = clock_.now_us();
+  sessions_[token] = Session{token, principal, now, now};
+  return token;
+}
+
+std::optional<Session> SessionManager::authenticate(const std::string& token) {
+  const auto it = sessions_.find(token);
+  if (it == sessions_.end()) return std::nullopt;
+  const Micros now = clock_.now_us();
+  if (now - it->second.last_seen > idle_timeout_us_) {
+    sessions_.erase(it);
+    return std::nullopt;
+  }
+  it->second.last_seen = now;
+  return it->second;
+}
+
+bool SessionManager::revoke(const std::string& token) {
+  return sessions_.erase(token) > 0;
+}
+
+std::size_t SessionManager::revoke_all(const std::string& principal) {
+  std::size_t revoked = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.principal == principal) {
+      it = sessions_.erase(it);
+      ++revoked;
+    } else {
+      ++it;
+    }
+  }
+  return revoked;
+}
+
+}  // namespace amnesia::websvc

@@ -1,0 +1,54 @@
+// Cookie-session manager.
+//
+// After master-password authentication the Amnesia server issues a random
+// session token carried in a cookie (the CherryPy session equivalent).
+// Sessions expire after a configurable idle time and can be revoked —
+// revocation is what the recovery protocols use to invalidate an
+// attacker's session after a master-password change.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace amnesia::websvc {
+
+struct Session {
+  std::string token;
+  std::string principal;  // user name the session authenticates
+  Micros created_at;
+  Micros last_seen;
+};
+
+class SessionManager {
+ public:
+  SessionManager(const Clock& clock, RandomSource& rng,
+                 Micros idle_timeout_us = 30ll * 60 * 1'000'000)
+      : clock_(clock), rng_(rng), idle_timeout_us_(idle_timeout_us) {}
+
+  /// Creates a session for `principal` and returns its token.
+  std::string create(const std::string& principal);
+
+  /// Returns the live session for `token`, refreshing last_seen; expired
+  /// sessions are reaped and reported as absent.
+  std::optional<Session> authenticate(const std::string& token);
+
+  /// Revokes one session. Returns true if it existed.
+  bool revoke(const std::string& token);
+
+  /// Revokes every session of `principal` (master-password change).
+  std::size_t revoke_all(const std::string& principal);
+
+  std::size_t active_count() const { return sessions_.size(); }
+
+ private:
+  const Clock& clock_;
+  RandomSource& rng_;
+  Micros idle_timeout_us_;
+  std::map<std::string, Session> sessions_;
+};
+
+}  // namespace amnesia::websvc

@@ -1,0 +1,44 @@
+#include "websvc/threadpool.h"
+
+#include <memory>
+
+#include "common/error.h"
+
+namespace amnesia::websvc {
+
+ThreadPoolModel::ThreadPoolModel(simnet::Simulation& sim, int workers)
+    : sim_(sim), workers_(workers) {
+  if (workers < 1) throw Error("ThreadPoolModel: need at least one worker");
+}
+
+void ThreadPoolModel::submit(Job job) {
+  if (busy_ < workers_) {
+    start(std::move(job));
+  } else {
+    queue_.push_back(std::move(job));
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  }
+}
+
+void ThreadPoolModel::start(Job job) {
+  ++busy_;
+  // The release callback is one-shot; double release is a bug in the job.
+  auto released = std::make_shared<bool>(false);
+  job([this, released] {
+    if (*released) throw Error("ThreadPoolModel: job released twice");
+    *released = true;
+    on_release();
+  });
+}
+
+void ThreadPoolModel::on_release() {
+  --busy_;
+  ++jobs_completed_;
+  if (!queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(next));
+  }
+}
+
+}  // namespace amnesia::websvc

@@ -1,0 +1,51 @@
+// Worker-pool model for the simulated web server.
+//
+// The paper's CherryPy prototype runs a fixed pool of 10 threads; a thread
+// is held for the entire request — including the time the Amnesia server
+// spends waiting for the phone's token. ThreadPoolModel reproduces that
+// occupancy semantics in virtual time: submit() runs the job when a worker
+// is free, and the job holds the worker until it calls its release
+// callback. The thread-count ablation bench (A2 in DESIGN.md) sweeps the
+// pool size against offered load.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "simnet/sim.h"
+
+namespace amnesia::websvc {
+
+class ThreadPoolModel {
+ public:
+  /// A job receives a release callback it must invoke exactly once when
+  /// the (possibly asynchronous) work completes.
+  using Job = std::function<void(std::function<void()> release)>;
+
+  ThreadPoolModel(simnet::Simulation& sim, int workers);
+
+  /// Runs `job` now if a worker is free, otherwise queues it (FIFO).
+  void submit(Job job);
+
+  int workers() const { return workers_; }
+  int busy() const { return busy_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Peak queue depth observed (for the throughput ablation).
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+
+ private:
+  void start(Job job);
+  void on_release();
+
+  simnet::Simulation& sim_;
+  int workers_;
+  int busy_ = 0;
+  std::deque<Job> queue_;
+  std::size_t max_queue_depth_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace amnesia::websvc

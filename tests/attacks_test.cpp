@@ -1,0 +1,229 @@
+// Section IV attack vectors as executable scenarios. Each test asserts
+// both directions of the paper's claims: what the adversary must fail to
+// learn, and the exposures the paper explicitly admits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/guessing.h"
+#include "attacks/scenarios.h"
+#include "eval/uds.h"
+
+namespace amnesia::attacks {
+namespace {
+
+const core::AccountId kGmail{"Alice", "mail.google.com"};
+
+eval::Testbed provisioned_bed(std::uint64_t seed = 7) {
+  eval::TestbedConfig config;
+  config.seed = seed;
+  // Keep the PBKDF2 work factor small so the dictionary attack in the
+  // breach scenario is fast; the *scheme* comparison is what matters.
+  config.server.mp_hash.iterations = 16;
+  eval::Testbed bed(config);
+  EXPECT_TRUE(bed.provision("alice", "Tr0ub4dor&3").ok());
+  EXPECT_TRUE(bed.add_account(kGmail.username, kGmail.domain).ok());
+  EXPECT_TRUE(bed.add_account("Bob", "www.yahoo.com").ok());
+  return bed;
+}
+
+TEST(ServerBreach, ExposesMetadataButNoPasswords) {
+  auto bed = provisioned_bed(11);
+  const auto report = run_server_breach(
+      bed, "alice", {"password", "123456", "letmein", "qwerty"});
+
+  // Admitted exposure: account identities, Oid, seeds, registration id.
+  EXPECT_EQ(report.users_exposed, 1u);
+  ASSERT_EQ(report.visible_accounts.size(), 2u);
+  EXPECT_TRUE(report.oid_exposed);
+  EXPECT_TRUE(report.seeds_exposed);
+  EXPECT_TRUE(report.registration_id_exposed);
+
+  // The claim: no site password is recoverable; T needs ~2^256 guesses.
+  EXPECT_FALSE(report.site_password_recovered);
+  EXPECT_NEAR(report.token_bruteforce_space_log10, 77.06, 0.1);
+
+  // A strong MP not in the dictionary survives.
+  EXPECT_FALSE(report.master_password_cracked);
+}
+
+TEST(ServerBreach, WeakMasterPasswordFallsToDictionary) {
+  eval::TestbedConfig config;
+  config.seed = 12;
+  config.server.mp_hash.iterations = 16;
+  eval::Testbed bed(config);
+  ASSERT_TRUE(bed.provision("alice", "princess").ok());
+  const auto report = run_server_breach(
+      bed, "alice", {"123456", "princess", "qwerty"});
+  EXPECT_TRUE(report.master_password_cracked);
+  EXPECT_EQ(report.cracked_master_password, "princess");
+  // Even so: no site passwords, because the phone factor is missing.
+  EXPECT_FALSE(report.site_password_recovered);
+}
+
+TEST(PhoneCompromise, KpAloneYieldsNothingButBothFactorsYieldEverything) {
+  auto bed = provisioned_bed(13);
+  const auto report = run_phone_compromise(bed, "alice", kGmail);
+  EXPECT_TRUE(report.kp_extracted);
+  EXPECT_EQ(report.entry_table_size, 5000u);
+  EXPECT_FALSE(report.site_password_recovered);
+  EXPECT_NEAR(report.seed_space_log10, 77.06, 0.1);
+  // Control: with both K_p and the server's K_s the password falls —
+  // exactly the two-factor boundary the paper claims.
+  EXPECT_TRUE(report.password_recovered_with_server_breach);
+}
+
+TEST(RendezvousEavesdrop, SeedBlindsAccountIdentity) {
+  auto bed = provisioned_bed(14);
+  const std::vector<core::AccountId> candidates = {
+      kGmail,
+      {"Bob", "www.yahoo.com"},
+      {"Alice2", "www.facebook.com"},
+  };
+  const auto report =
+      run_rendezvous_eavesdrop(bed, "alice", kGmail, candidates);
+
+  EXPECT_GE(report.requests_observed, 1u);
+  EXPECT_TRUE(report.push_payload_readable);
+  // The paper's claim (IV-B): with sigma, the eavesdropper cannot verify
+  // which account R is for...
+  EXPECT_FALSE(report.account_identified);
+  // ...and without sigma the same attack would have worked.
+  EXPECT_TRUE(report.account_identified_without_seed);
+}
+
+TEST(BrokenHttps, BrowserLegLeaksGeneratedPassword) {
+  auto bed = provisioned_bed(15);
+  const auto report = run_browser_leg_compromise(bed, "alice", kGmail);
+  // Paper IV-A: "the attacker can eavesdrop on password P" — the admitted
+  // worst-case exposure of the browser leg.
+  EXPECT_GT(report.records_decrypted, 0u);
+  EXPECT_TRUE(report.generated_password_stolen);
+  EXPECT_EQ(report.stolen_password.size(), 32u);
+}
+
+TEST(BrokenHttps, PhoneLegLeaksOnlyUselessToken) {
+  auto bed = provisioned_bed(16);
+  const auto report = run_phone_leg_compromise(bed, "alice", kGmail);
+  // Paper IV-A: "having T alone is useless".
+  EXPECT_TRUE(report.token_observed);
+  EXPECT_FALSE(report.password_derived_from_token);
+  EXPECT_FALSE(report.generated_password_stolen);
+}
+
+TEST(RogueRequest, NaiveUserGivesAwayPassword) {
+  auto bed = provisioned_bed(17);
+  const auto report =
+      run_rogue_request(bed, "alice", kGmail, /*user_accepts=*/true);
+  // Paper IV-C: "the possibility is there that a naive user may simply
+  // press accept and give away their password."
+  EXPECT_TRUE(report.push_delivered);
+  EXPECT_TRUE(report.user_accepted);
+  EXPECT_TRUE(report.token_captured);
+  EXPECT_TRUE(report.site_password_recovered);
+}
+
+TEST(RogueRequest, VigilantUserStaysSafe) {
+  auto bed = provisioned_bed(18);
+  const auto report =
+      run_rogue_request(bed, "alice", kGmail, /*user_accepts=*/false);
+  EXPECT_TRUE(report.push_delivered);
+  EXPECT_FALSE(report.user_accepted);
+  EXPECT_FALSE(report.token_captured);
+  EXPECT_FALSE(report.site_password_recovered);
+}
+
+TEST(Guessing, PaperHeadlineNumbers) {
+  // Section III-B3: 5000^16 = 1.53e59 distinct tokens.
+  const double token_space = token_space_log10(5000);
+  EXPECT_NEAR(token_space, 59.0 + std::log10(1.53), 0.01);
+  // Section IV-E: 94^32 = 1.38e63 passwords.
+  const double password_space = password_space_log10(core::PasswordPolicy{});
+  EXPECT_NEAR(password_space, 63.0 + std::log10(1.38), 0.01);
+  // 2^256 ~ 1.16e77.
+  EXPECT_NEAR(bit_space_log10(256), 77.06, 0.01);
+}
+
+TEST(Guessing, ExpectedCompositionMatchesSection4E) {
+  // "roughly 9 lowercase characters, 9 uppercase characters, 3 numerals,
+  // and 11 special characters" out of 32.
+  const auto comp = expected_composition(core::PasswordPolicy{});
+  EXPECT_NEAR(comp.lowercase, 32.0 * 26 / 94, 1e-9);   // ~8.85
+  EXPECT_NEAR(comp.uppercase, 32.0 * 26 / 94, 1e-9);   // ~8.85
+  EXPECT_NEAR(comp.digits, 32.0 * 10 / 94, 1e-9);      // ~3.40
+  EXPECT_NEAR(comp.specials, 32.0 * 32 / 94, 1e-9);    // ~10.89
+  EXPECT_NEAR(comp.lowercase + comp.uppercase + comp.digits + comp.specials,
+              32.0, 1e-9);
+}
+
+TEST(Guessing, IndexBiasOfAlgorithm1) {
+  // 65536 % 5000 = 536 residues occur 14 times, the rest 13 -> ratio.
+  EXPECT_NEAR(index_bias_ratio(5000), 14.0 / 13.0, 1e-12);
+  // Power-of-two table sizes are unbiased.
+  EXPECT_DOUBLE_EQ(index_bias_ratio(4096), 1.0);
+  EXPECT_DOUBLE_EQ(index_bias_ratio(65536), 1.0);
+  // The entropy loss at N=5000 is tiny (the paper's uniformity assumption
+  // is effectively sound).
+  EXPECT_LT(index_bias_entropy_loss_bits(5000), 0.01);
+  EXPECT_GT(index_bias_entropy_loss_bits(5000), 0.0);
+  EXPECT_DOUBLE_EQ(index_bias_entropy_loss_bits(4096), 0.0);
+}
+
+TEST(Guessing, CrackTimeScalesWithRate) {
+  // Half of 94^32 at 1e12 guesses/s is still astronomically long.
+  const double seconds_log10 =
+      crack_seconds_log10(password_space_log10(core::PasswordPolicy{}), 1e12);
+  EXPECT_GT(seconds_log10, 50.0);
+  // 6-digit PIN at 1e6/s: ~0.5 s.
+  const double pin_log10 = crack_seconds_log10(log10_keyspace(10, 6), 1e6);
+  EXPECT_NEAR(std::pow(10.0, pin_log10), 0.5, 0.01);
+}
+
+TEST(Guessing, ScientificRendering) {
+  EXPECT_EQ(scientific(63.139), "1.38e+63");
+  EXPECT_EQ(scientific(0.0), "1.00e+00");
+}
+
+TEST(Table3Consistency, SecurityCellsMatchAttackOutcomes) {
+  // The Table III encoding must agree with what the executable attacks
+  // actually demonstrate — the matrix is not free-floating prose.
+  auto bed = provisioned_bed(99);
+  const auto schemes = eval::table3_schemes();
+  const auto& amnesia = schemes.back();
+  ASSERT_EQ(amnesia.name, "Amnesia");
+
+  // run_browser_leg_compromise steals the generated password, so Amnesia
+  // cannot claim Resilient-to-Internal-Observation.
+  const auto browser_leg = run_browser_leg_compromise(bed, "alice", kGmail);
+  ASSERT_TRUE(browser_leg.generated_password_stolen);
+  EXPECT_EQ(
+      amnesia.cell(eval::Benefit::kResilientToInternalObservation).score,
+      eval::Score::kNo);
+
+  // run_phone_compromise recovers nothing from the device alone, backing
+  // the full Resilient-to-Theft mark.
+  const auto phone = run_phone_compromise(bed, "alice", kGmail);
+  ASSERT_FALSE(phone.site_password_recovered);
+  EXPECT_EQ(amnesia.cell(eval::Benefit::kResilientToTheft).score,
+            eval::Score::kYes);
+
+  // run_server_breach yields no site password even after an offline MP
+  // crack, backing Resilient-to-Unthrottled-Guessing.
+  const auto breach = run_server_breach(bed, "alice", {"Tr0ub4dor&3"});
+  ASSERT_TRUE(breach.master_password_cracked);
+  ASSERT_FALSE(breach.site_password_recovered);
+  EXPECT_EQ(
+      amnesia.cell(eval::Benefit::kResilientToUnthrottledGuessing).score,
+      eval::Score::kYes);
+
+  // The rendezvous eavesdropper learns nothing account-linkable, backing
+  // the semi mark on No-Trusted-Third-Party (routing only).
+  const auto eavesdrop = run_rendezvous_eavesdrop(
+      bed, "alice", kGmail, {kGmail, {"Bob", "www.yahoo.com"}});
+  ASSERT_FALSE(eavesdrop.account_identified);
+  EXPECT_EQ(amnesia.cell(eval::Benefit::kNoTrustedThirdParty).score,
+            eval::Score::kSemi);
+}
+
+}  // namespace
+}  // namespace amnesia::attacks

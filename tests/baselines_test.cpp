@@ -1,0 +1,194 @@
+// Baseline password managers used in the comparative evaluation
+// (Table III): Firefox-style browser store, LastPass-style cloud vault,
+// PwdHash-style generative manager, Tapas-style dual-possession manager.
+#include <gtest/gtest.h>
+
+#include "baselines/browser_store.h"
+#include "baselines/cloud_vault.h"
+#include "baselines/pwdhash.h"
+#include "baselines/tapas.h"
+#include "crypto/drbg.h"
+
+namespace amnesia::baselines {
+namespace {
+
+const core::AccountId kGmail{"Alice", "mail.google.com"};
+const core::AccountId kYahoo{"Bob", "www.yahoo.com"};
+
+TEST(BrowserStoreTest, SaveRetrieveRoundTrip) {
+  crypto::ChaChaDrbg rng(1);
+  BrowserStore store(rng, /*kdf_iterations=*/4);
+  ASSERT_TRUE(store.setup("master").ok());
+  ASSERT_TRUE(store.save(kGmail, "hunter2").ok());
+  const auto got = store.retrieve(kGmail);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "hunter2");
+}
+
+TEST(BrowserStoreTest, LockedStoreRefuses) {
+  crypto::ChaChaDrbg rng(2);
+  BrowserStore store(rng, 4);
+  ASSERT_TRUE(store.setup("master").ok());
+  ASSERT_TRUE(store.save(kGmail, "pw").ok());
+  store.lock();
+  EXPECT_FALSE(store.retrieve(kGmail).ok());
+  EXPECT_FALSE(store.save(kYahoo, "x").ok());
+}
+
+TEST(BrowserStoreTest, WrongMasterPasswordRejected) {
+  crypto::ChaChaDrbg rng(3);
+  BrowserStore store(rng, 4);
+  ASSERT_TRUE(store.setup("master").ok());
+  store.lock();
+  EXPECT_FALSE(store.unlock("guess").ok());
+  ASSERT_TRUE(store.unlock("master").ok());
+}
+
+TEST(BrowserStoreTest, DataAtRestIsEncrypted) {
+  crypto::ChaChaDrbg rng(4);
+  BrowserStore store(rng, 4);
+  ASSERT_TRUE(store.setup("master").ok());
+  ASSERT_TRUE(store.save(kGmail, "super-secret-password").ok());
+  const auto rest = store.data_at_rest();
+  ASSERT_EQ(rest.encrypted_records.size(), 1u);
+  for (const auto& [key, blob] : rest.encrypted_records) {
+    EXPECT_EQ(to_string(blob).find("super-secret-password"),
+              std::string::npos);
+  }
+}
+
+TEST(BrowserStoreTest, MissingRecordReported) {
+  crypto::ChaChaDrbg rng(5);
+  BrowserStore store(rng, 4);
+  ASSERT_TRUE(store.setup("master").ok());
+  EXPECT_EQ(store.retrieve(kGmail).code(), Err::kNotFound);
+}
+
+TEST(CloudVaultTest, SetupSaveRetrieveAcrossRelock) {
+  crypto::ChaChaDrbg rng(6);
+  VaultServer server;
+  VaultClient client(server, rng, "alice@example.com", 4);
+  ASSERT_TRUE(client.setup("masterpw").ok());
+  ASSERT_TRUE(client.save(kGmail, "stored-password").ok());
+  client.lock();
+  ASSERT_TRUE(client.unlock("masterpw").ok());
+  const auto got = client.retrieve(kGmail);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "stored-password");
+}
+
+TEST(CloudVaultTest, SecondDeviceSeesSyncedVault) {
+  // The selling point of cloud vaults: any device with the MP works.
+  crypto::ChaChaDrbg rng(7);
+  VaultServer server;
+  VaultClient laptop(server, rng, "alice@example.com", 4);
+  ASSERT_TRUE(laptop.setup("masterpw").ok());
+  ASSERT_TRUE(laptop.save(kGmail, "pw-1").ok());
+
+  VaultClient desktop(server, rng, "alice@example.com", 4);
+  ASSERT_TRUE(desktop.unlock("masterpw").ok());
+  EXPECT_EQ(desktop.retrieve(kGmail).value(), "pw-1");
+}
+
+TEST(CloudVaultTest, WrongMasterPasswordCannotFetch) {
+  crypto::ChaChaDrbg rng(8);
+  VaultServer server;
+  VaultClient client(server, rng, "alice@example.com", 4);
+  ASSERT_TRUE(client.setup("masterpw").ok());
+  VaultClient intruder(server, rng, "alice@example.com", 4);
+  EXPECT_EQ(intruder.unlock("wrong").code(), Err::kAuthFailed);
+}
+
+TEST(CloudVaultTest, ServerNeverSeesPlaintext) {
+  crypto::ChaChaDrbg rng(9);
+  VaultServer server;
+  VaultClient client(server, rng, "alice@example.com", 4);
+  ASSERT_TRUE(client.setup("masterpw").ok());
+  ASSERT_TRUE(client.save(kGmail, "the-plaintext-password").ok());
+  const auto& rest = server.data_at_rest();
+  ASSERT_EQ(rest.size(), 1u);
+  const std::string blob = to_string(rest.at("alice@example.com").encrypted_vault);
+  EXPECT_EQ(blob.find("the-plaintext-password"), std::string::npos);
+}
+
+TEST(CloudVaultTest, BreachedBlobCrackableWithCorrectGuess) {
+  // What the attack bench exploits: the blob is offline-guessable.
+  crypto::ChaChaDrbg rng(10);
+  VaultServer server;
+  VaultClient client(server, rng, "alice@example.com", 4);
+  ASSERT_TRUE(client.setup("princess").ok());
+  ASSERT_TRUE(client.save(kGmail, "secret!").ok());
+
+  const Bytes blob = server.data_at_rest().at("alice@example.com")
+                         .encrypted_vault;
+  EXPECT_FALSE(
+      VaultClient::try_decrypt(blob, "wrongguess", "alice@example.com", 4)
+          .has_value());
+  const auto cracked =
+      VaultClient::try_decrypt(blob, "princess", "alice@example.com", 4);
+  ASSERT_TRUE(cracked.has_value());
+  EXPECT_EQ(cracked->at("mail.google.com\x1f" "Alice"), "secret!");
+}
+
+TEST(GenerativeTest, DeterministicPerAccountAndCounter) {
+  GenerativeManager mgr({.policy = {}, .kdf_iterations = 4});
+  const std::string p1 = mgr.derive("mp", kGmail, 0);
+  EXPECT_EQ(p1, mgr.derive("mp", kGmail, 0));
+  EXPECT_NE(p1, mgr.derive("mp", kGmail, 1));   // counter bump = new pw
+  EXPECT_NE(p1, mgr.derive("mp", kYahoo, 0));   // per-site
+  EXPECT_NE(p1, mgr.derive("mp2", kGmail, 0));  // per-master-password
+  EXPECT_EQ(p1.size(), 32u);
+}
+
+TEST(GenerativeTest, PolicyRespected) {
+  GenerativeManager mgr(
+      {.policy = {core::CharacterTable::from_categories(false, false, true,
+                                                        false),
+                  6},
+       .kdf_iterations = 2});
+  const std::string pin = mgr.derive("mp", kGmail);
+  EXPECT_EQ(pin.size(), 6u);
+  for (char c : pin) EXPECT_TRUE(c >= '0' && c <= '9');
+}
+
+TEST(TapasTest, SplitRetrievalRoundTrip) {
+  crypto::ChaChaDrbg rng(11);
+  TapasWallet wallet;     // phone
+  TapasComputer pc(rng);  // computer
+  ASSERT_TRUE(pc.save(wallet, kGmail, "wallet-password").ok());
+  const auto got = pc.retrieve(wallet, kGmail);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "wallet-password");
+}
+
+TEST(TapasTest, WalletAloneRevealsNothing) {
+  crypto::ChaChaDrbg rng(12);
+  TapasWallet wallet;
+  TapasComputer pc(rng);
+  ASSERT_TRUE(pc.save(wallet, kGmail, "wallet-password").ok());
+  for (const auto& [id, blob] : wallet.data_at_rest()) {
+    EXPECT_EQ(to_string(blob).find("wallet-password"), std::string::npos);
+    // Record ids are hashed: the domain is not visible either.
+    EXPECT_EQ(id.find("google"), std::string::npos);
+  }
+}
+
+TEST(TapasTest, WrongComputerKeyCannotDecrypt) {
+  crypto::ChaChaDrbg rng(13);
+  TapasWallet wallet;
+  TapasComputer pc(rng);
+  TapasComputer other_pc(rng);
+  ASSERT_TRUE(pc.save(wallet, kGmail, "pw").ok());
+  EXPECT_FALSE(other_pc.retrieve(wallet, kGmail).ok());
+  EXPECT_TRUE(pc.retrieve(wallet, kGmail).ok());
+}
+
+TEST(TapasTest, MissingRecordReported) {
+  crypto::ChaChaDrbg rng(14);
+  TapasWallet wallet;
+  TapasComputer pc(rng);
+  EXPECT_EQ(pc.retrieve(wallet, kGmail).code(), Err::kNotFound);
+}
+
+}  // namespace
+}  // namespace amnesia::baselines

@@ -1,0 +1,167 @@
+// Tests for src/common: byte codecs, Result, RNG distribution helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/result.h"
+#include "crypto/drbg.h"
+
+namespace amnesia {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xcd, 0xef, 0xff};
+  EXPECT_EQ(hex_encode(data), "0001abcdefff");
+  EXPECT_EQ(hex_decode("0001abcdefff"), data);
+  EXPECT_EQ(hex_decode("0001ABCDEFFF"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(hex_encode({}), "");
+  EXPECT_TRUE(hex_decode("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(hex_decode("abc"), FormatError);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(hex_decode("zz"), FormatError);
+  EXPECT_THROW(hex_decode("0g"), FormatError);
+}
+
+TEST(Bytes, Base64KnownVectors) {
+  // RFC 4648 section 10 test vectors.
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Bytes, Base64DecodeKnownVectors) {
+  EXPECT_EQ(to_string(base64_decode("Zm9vYmFy")), "foobar");
+  EXPECT_EQ(to_string(base64_decode("Zg==")), "f");
+  EXPECT_EQ(to_string(base64_decode("Zm8=")), "fo");
+}
+
+TEST(Bytes, Base64RejectsMalformed) {
+  EXPECT_THROW(base64_decode("abc"), FormatError);      // not multiple of 4
+  EXPECT_THROW(base64_decode("a=bc"), FormatError);     // pad inside
+  EXPECT_THROW(base64_decode("ab!c"), FormatError);     // invalid char
+  EXPECT_THROW(base64_decode("=abc"), FormatError);     // pad at front
+}
+
+TEST(Bytes, Base64RoundTripBinary) {
+  crypto::ChaChaDrbg rng(7);
+  for (std::size_t len = 0; len < 70; ++len) {
+    const Bytes data = rng.bytes(len);
+    EXPECT_EQ(base64_decode(base64_encode(data)), data) << "len=" << len;
+  }
+}
+
+TEST(Bytes, ConcatAndAppend) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = {};
+  const Bytes d = {4, 5, 6};
+  EXPECT_EQ(concat({a, b, c, d}), (Bytes{1, 2, 3, 4, 5, 6}));
+  Bytes out = a;
+  append(out, d);
+  EXPECT_EQ(out, (Bytes{1, 2, 4, 5, 6}));
+}
+
+TEST(Bytes, SecureWipeClears) {
+  Bytes secret = {9, 9, 9, 9};
+  secure_wipe(secret);
+  EXPECT_TRUE(secret.empty());
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2}));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Result, OkCarriesValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, FailureCarriesCodeAndMessage) {
+  Result<int> r(Err::kAuthFailed, "wrong master password");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Err::kAuthFailed);
+  EXPECT_EQ(r.message(), "wrong master password");
+  EXPECT_THROW(r.value(), ProtocolError);
+}
+
+TEST(Result, FailureAccessOnOkThrows) {
+  Result<int> r(1);
+  EXPECT_THROW(r.failure(), ProtocolError);
+}
+
+TEST(Result, ErrNamesAreStable) {
+  EXPECT_STREQ(err_name(Err::kAuthFailed), "auth_failed");
+  EXPECT_STREQ(err_name(Err::kThrottled), "throttled");
+  EXPECT_STREQ(err_name(Err::kDeclined), "declined");
+}
+
+TEST(RandomSource, UniformStaysInBounds) {
+  crypto::ChaChaDrbg rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(7), 7u);
+  }
+}
+
+TEST(RandomSource, UniformRejectsZeroBound) {
+  crypto::ChaChaDrbg rng(1);
+  EXPECT_THROW(rng.uniform(0), Error);
+}
+
+TEST(RandomSource, Uniform01Range) {
+  crypto::ChaChaDrbg rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomSource, GaussianMoments) {
+  crypto::ChaChaDrbg rng(3);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(100.0, 15.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 100.0, 0.5);
+  EXPECT_NEAR(std::sqrt(var), 15.0, 0.5);
+}
+
+TEST(RandomSource, UniformIsApproximatelyUnbiased) {
+  // Bound 5000 mirrors the paper's entry-table size; the rejection sampler
+  // must not exhibit the mod bias the paper's segment indexing has.
+  crypto::ChaChaDrbg rng(4);
+  constexpr std::uint64_t kBound = 5;
+  std::array<int, kBound> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform(kBound)];
+  for (std::uint64_t b = 0; b < kBound; ++b) {
+    EXPECT_NEAR(counts[b], n / static_cast<int>(kBound), 400) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace amnesia

@@ -1,0 +1,209 @@
+// ChaCha20, Poly1305, and the combined AEAD against RFC 8439 vectors,
+// plus tamper-rejection properties.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/drbg.h"
+#include "crypto/poly1305.h"
+
+namespace amnesia::crypto {
+namespace {
+
+const char* kSunscreen =
+    "Ladies and Gentlemen of the class of '99: If I could offer you "
+    "only one tip for the future, sunscreen would be it.";
+
+TEST(ChaCha20Test, Rfc8439KeystreamBlock) {
+  // RFC 8439 section 2.3.2 block function test vector.
+  const Bytes key = hex_decode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = hex_decode("000000090000004a00000000");
+  ChaCha20 cipher(key, nonce, 1);
+  const auto block = cipher.next_block();
+  EXPECT_EQ(hex_encode(ByteView(block.data(), block.size())),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  // RFC 8439 section 2.4.2.
+  const Bytes key = hex_decode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = hex_decode("000000000000004a00000000");
+  const Bytes ct = chacha20_xor(key, nonce, 1, to_bytes(kSunscreen));
+  EXPECT_EQ(hex_encode(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20Test, EncryptDecryptRoundTrip) {
+  ChaChaDrbg rng(5);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes msg = rng.bytes(333);
+  const Bytes ct = chacha20_xor(key, nonce, 1, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(chacha20_xor(key, nonce, 1, ct), msg);
+}
+
+TEST(ChaCha20Test, RejectsBadKeyAndNonceSizes) {
+  EXPECT_THROW(ChaCha20(Bytes(31, 0), Bytes(12, 0), 0), CryptoError);
+  EXPECT_THROW(ChaCha20(Bytes(32, 0), Bytes(11, 0), 0), CryptoError);
+}
+
+TEST(ChaCha20Test, StreamingXorMatchesOneShot) {
+  ChaChaDrbg rng(6);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  Bytes msg = rng.bytes(200);
+  const Bytes expected = chacha20_xor(key, nonce, 1, msg);
+
+  ChaCha20 cipher(key, nonce, 1);
+  Bytes part1(msg.begin(), msg.begin() + 77);
+  Bytes part2(msg.begin() + 77, msg.end());
+  cipher.xor_stream(part1);
+  cipher.xor_stream(part2);
+  Bytes stitched = part1;
+  append(stitched, part2);
+  EXPECT_EQ(stitched, expected);
+}
+
+TEST(Poly1305Test, Rfc8439Tag) {
+  // RFC 8439 section 2.5.2.
+  const Bytes key = hex_decode(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const auto tag =
+      poly1305(key, to_bytes("Cryptographic Forum Research Group"));
+  EXPECT_EQ(hex_encode(ByteView(tag.data(), tag.size())),
+            "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305Test, StreamingMatchesOneShot) {
+  ChaChaDrbg rng(7);
+  const Bytes key = rng.bytes(32);
+  const Bytes msg = rng.bytes(100);
+  Poly1305 mac(key);
+  mac.update(ByteView(msg.data(), 33));
+  mac.update(ByteView(msg.data() + 33, 67));
+  EXPECT_EQ(mac.finish(), poly1305(key, msg));
+}
+
+TEST(Poly1305Test, RejectsBadKeySize) {
+  EXPECT_THROW(Poly1305(Bytes(16, 0)), CryptoError);
+}
+
+TEST(AeadTest, Rfc8439SealVector) {
+  // RFC 8439 section 2.8.2.
+  const Bytes key = hex_decode(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  const Bytes nonce = hex_decode("070000004041424344454647");
+  const Bytes aad = hex_decode("50515253c0c1c2c3c4c5c6c7");
+  const Bytes sealed = aead_seal(key, nonce, aad, to_bytes(kSunscreen));
+  EXPECT_EQ(hex_encode(sealed),
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"
+            "3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"
+            "92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"
+            "3ff4def08e4b7a9de576d26586cec64b6116"
+            "1ae10b594f09e26a7e902ecbd0600691");
+}
+
+TEST(AeadTest, OpenRecoversPlaintext) {
+  const Bytes key = hex_decode(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  const Bytes nonce = hex_decode("070000004041424344454647");
+  const Bytes aad = hex_decode("50515253c0c1c2c3c4c5c6c7");
+  const Bytes sealed = aead_seal(key, nonce, aad, to_bytes(kSunscreen));
+  const auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(*opened), kSunscreen);
+}
+
+TEST(AeadTest, TamperedCiphertextRejected) {
+  ChaChaDrbg rng(8);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes aad = to_bytes("header");
+  Bytes sealed = aead_seal(key, nonce, aad, to_bytes("attack at dawn"));
+  sealed[3] ^= 0x01;
+  EXPECT_FALSE(aead_open(key, nonce, aad, sealed).has_value());
+}
+
+TEST(AeadTest, TamperedTagRejected) {
+  ChaChaDrbg rng(9);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  Bytes sealed = aead_seal(key, nonce, {}, to_bytes("msg"));
+  sealed.back() ^= 0x80;
+  EXPECT_FALSE(aead_open(key, nonce, {}, sealed).has_value());
+}
+
+TEST(AeadTest, WrongAadRejected) {
+  ChaChaDrbg rng(10);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes sealed = aead_seal(key, nonce, to_bytes("aad-1"), to_bytes("m"));
+  EXPECT_FALSE(aead_open(key, nonce, to_bytes("aad-2"), sealed).has_value());
+  EXPECT_TRUE(aead_open(key, nonce, to_bytes("aad-1"), sealed).has_value());
+}
+
+TEST(AeadTest, WrongKeyOrNonceRejected) {
+  ChaChaDrbg rng(11);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes sealed = aead_seal(key, nonce, {}, to_bytes("m"));
+  Bytes key2 = key;
+  key2[0] ^= 1;
+  Bytes nonce2 = nonce;
+  nonce2[0] ^= 1;
+  EXPECT_FALSE(aead_open(key2, nonce, {}, sealed).has_value());
+  EXPECT_FALSE(aead_open(key, nonce2, {}, sealed).has_value());
+}
+
+TEST(AeadTest, TruncatedInputRejected) {
+  EXPECT_FALSE(aead_open(Bytes(32, 0), Bytes(12, 0), {}, Bytes(15, 0))
+                   .has_value());
+}
+
+TEST(AeadTest, EmptyPlaintextRoundTrip) {
+  ChaChaDrbg rng(12);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes sealed = aead_seal(key, nonce, to_bytes("aad"), {});
+  EXPECT_EQ(sealed.size(), kAeadTagSize);
+  const auto opened = aead_open(key, nonce, to_bytes("aad"), sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+// Property sweep: round-trip and single-bit tamper rejection across sizes.
+class AeadSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AeadSizeSweep, RoundTripAndBitFlipDetection) {
+  const auto size = static_cast<std::size_t>(GetParam());
+  ChaChaDrbg rng(1000 + GetParam());
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes aad = rng.bytes(9);
+  const Bytes msg = rng.bytes(size);
+
+  Bytes sealed = aead_seal(key, nonce, aad, msg);
+  auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+
+  const std::size_t victim = rng.uniform(sealed.size());
+  sealed[victim] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+  EXPECT_FALSE(aead_open(key, nonce, aad, sealed).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AeadSizeSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 63, 64, 65, 100,
+                                           1000, 4096));
+
+}  // namespace
+}  // namespace amnesia::crypto

@@ -1,0 +1,168 @@
+// SHA-256 / SHA-512 against FIPS 180-4 (NIST CAVP) vectors, plus
+// streaming-interface behaviour.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace amnesia::crypto {
+namespace {
+
+std::string sha256_hex(std::string_view msg) {
+  return hex_encode(sha256(to_bytes(msg)));
+}
+
+std::string sha512_hex(std::string_view msg) {
+  return hex_encode(sha512(to_bytes(msg)));
+}
+
+TEST(Sha256, EmptyMessage) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, OneMillionA) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_encode(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string msg =
+      "Amnesia generates the password on demand using both the master "
+      "password and the secret information on the smartphone.";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(to_bytes(msg.substr(0, split)));
+    h.update(to_bytes(msg.substr(split)));
+    EXPECT_EQ(h.finish(), sha256(to_bytes(msg))) << "split=" << split;
+  }
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Exercise padding around the 55/56/64-byte block boundaries.
+  // Digests cross-checked against NIST CAVP SHA256ShortMsg entries.
+  EXPECT_EQ(sha256_hex(std::string(55, 'a')),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(sha256_hex(std::string(56, 'a')),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+  EXPECT_EQ(sha256_hex(std::string(64, 'a')),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, ReuseAfterFinishThrows) {
+  Sha256 h;
+  h.update(to_bytes("abc"));
+  h.finish();
+  EXPECT_THROW(h.update(to_bytes("x")), CryptoError);
+  EXPECT_THROW(h.finish(), CryptoError);
+}
+
+TEST(Sha256, ResetRestoresInitialState) {
+  Sha256 h;
+  h.update(to_bytes("garbage"));
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(hex_encode(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, ConcatHelperEqualsManualConcat) {
+  const Bytes a = to_bytes("user@");
+  const Bytes b = to_bytes("mail.google.com");
+  const Bytes c = hex_decode("ff4323ab");
+  EXPECT_EQ(sha256_concat({a, b, c}), sha256(concat({a, b, c})));
+}
+
+TEST(Sha512, EmptyMessage) {
+  EXPECT_EQ(sha512_hex(""),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(sha512_hex("abc"),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  EXPECT_EQ(sha512_hex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijkl"
+                       "mnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqr"
+                       "stu"),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, OneMillionA) {
+  Sha512 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_encode(h.finish()),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+TEST(Sha512, StreamingMatchesOneShot) {
+  const std::string msg(300, 'q');
+  for (std::size_t split : {0u, 1u, 111u, 128u, 129u, 255u, 300u}) {
+    Sha512 h;
+    h.update(to_bytes(msg.substr(0, split)));
+    h.update(to_bytes(msg.substr(split)));
+    EXPECT_EQ(h.finish(), sha512(to_bytes(msg))) << "split=" << split;
+  }
+}
+
+TEST(Sha512, ReuseAfterFinishThrows) {
+  Sha512 h;
+  h.finish();
+  EXPECT_THROW(h.update(to_bytes("x")), CryptoError);
+  EXPECT_THROW(h.finish(), CryptoError);
+}
+
+TEST(Sha512, DigestIs128HexDigits) {
+  // Section III-B4 splits p into 32 segments of 4 hex digits = 128 digits.
+  EXPECT_EQ(sha512_hex("anything").size(), 128u);
+}
+
+// Parameterized sweep: every message length 0..200 hashes consistently
+// between the streaming and one-shot interfaces (pads all boundary cases).
+class ShaLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShaLengthSweep, StreamByteAtATimeMatchesOneShot) {
+  const int len = GetParam();
+  Bytes msg(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) msg[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i * 31 + 7);
+
+  Sha256 h256;
+  Sha512 h512;
+  for (std::uint8_t byte : msg) {
+    h256.update(ByteView(&byte, 1));
+    h512.update(ByteView(&byte, 1));
+  }
+  EXPECT_EQ(h256.finish(), sha256(msg));
+  EXPECT_EQ(h512.finish(), sha512(msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBoundaryLengths, ShaLengthSweep,
+                         ::testing::Range(0, 201));
+
+}  // namespace
+}  // namespace amnesia::crypto

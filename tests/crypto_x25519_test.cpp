@@ -1,0 +1,114 @@
+// X25519 against RFC 7748 section 5.2 / 6.1 vectors plus algebraic
+// properties of the Diffie-Hellman exchange.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/drbg.h"
+#include "crypto/x25519.h"
+
+namespace amnesia::crypto {
+namespace {
+
+std::string run(const std::string& scalar_hex, const std::string& point_hex) {
+  const auto out = x25519(hex_decode(scalar_hex), hex_decode(point_hex));
+  return hex_encode(ByteView(out.data(), out.size()));
+}
+
+TEST(X25519Test, Rfc7748Vector1) {
+  EXPECT_EQ(
+      run("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4",
+          "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c"),
+      "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519Test, Rfc7748Vector2) {
+  EXPECT_EQ(
+      run("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d",
+          "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493"),
+      "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519Test, Rfc7748IteratedOnce) {
+  // Section 5.2 iteration test, 1 iteration: k = u = 9.
+  std::uint8_t nine[32] = {9};
+  const auto out = x25519(ByteView(nine, 32), ByteView(nine, 32));
+  EXPECT_EQ(hex_encode(ByteView(out.data(), out.size())),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+}
+
+TEST(X25519Test, Rfc7748IteratedThousand) {
+  // Section 5.2 iteration test, 1000 iterations.
+  Bytes k = {9};
+  k.resize(32, 0);
+  Bytes u = k;
+  for (int i = 0; i < 1000; ++i) {
+    const auto out = x25519(k, u);
+    u = k;
+    k.assign(out.begin(), out.end());
+  }
+  EXPECT_EQ(hex_encode(k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+TEST(X25519Test, Rfc7748DiffieHellman) {
+  // Section 6.1: Alice and Bob arrive at the same shared secret.
+  const Bytes alice_priv = hex_decode(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const Bytes bob_priv = hex_decode(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  const auto alice_pub = x25519_base(alice_priv);
+  EXPECT_EQ(hex_encode(ByteView(alice_pub.data(), alice_pub.size())),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  const auto bob_pub = x25519_base(bob_priv);
+  EXPECT_EQ(hex_encode(ByteView(bob_pub.data(), bob_pub.size())),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const auto k_alice =
+      x25519(alice_priv, ByteView(bob_pub.data(), bob_pub.size()));
+  const auto k_bob =
+      x25519(bob_priv, ByteView(alice_pub.data(), alice_pub.size()));
+  EXPECT_EQ(k_alice, k_bob);
+  EXPECT_EQ(hex_encode(ByteView(k_alice.data(), k_alice.size())),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519Test, RejectsWrongInputSizes) {
+  EXPECT_THROW(x25519(Bytes(31, 0), Bytes(32, 0)), CryptoError);
+  EXPECT_THROW(x25519(Bytes(32, 0), Bytes(33, 0)), CryptoError);
+  EXPECT_THROW(x25519_base(Bytes(0)), CryptoError);
+}
+
+TEST(X25519Test, GeneratedKeyPairsAgreeOnSharedSecret) {
+  ChaChaDrbg rng(21);
+  for (int i = 0; i < 8; ++i) {
+    const auto a = x25519_generate(rng);
+    const auto b = x25519_generate(rng);
+    const auto s1 = x25519(a.private_key, b.public_key);
+    const auto s2 = x25519(b.private_key, a.public_key);
+    EXPECT_EQ(s1, s2) << "pair " << i;
+  }
+}
+
+TEST(X25519Test, DistinctPrivateKeysGiveDistinctPublicKeys) {
+  ChaChaDrbg rng(22);
+  const auto a = x25519_generate(rng);
+  const auto b = x25519_generate(rng);
+  EXPECT_NE(a.public_key, b.public_key);
+}
+
+TEST(X25519Test, ClampingIgnoresStrayBits) {
+  // RFC 7748: bit 255 of the scalar and the low three bits are clamped,
+  // so flipping them must not change the result.
+  ChaChaDrbg rng(23);
+  Bytes scalar = rng.bytes(32);
+  const auto base = x25519_base(scalar);
+  Bytes tweaked = scalar;
+  tweaked[0] ^= 0x07;   // low 3 bits
+  tweaked[31] ^= 0x80;  // top bit
+  EXPECT_EQ(x25519_base(tweaked), base);
+}
+
+}  // namespace
+}  // namespace amnesia::crypto

@@ -1,0 +1,309 @@
+// Section VIII extensions: the session mechanism (per-session password
+// cache) and the chosen-password vault — both planned by the paper's
+// future-work discussion and implemented here with the bilateral property
+// preserved.
+#include <gtest/gtest.h>
+
+#include "core/generate.h"
+#include "crypto/aead.h"
+#include "eval/testbed.h"
+
+namespace amnesia::eval {
+namespace {
+
+TestbedConfig cached_config(Micros ttl) {
+  TestbedConfig config;
+  config.server.password_cache_ttl_us = ttl;
+  return config;
+}
+
+TEST(SessionMechanism, SecondRequestSkipsThePhone) {
+  Testbed bed(cached_config(ms_to_us(10 * 60 * 1000)));  // 10 min TTL
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+
+  const auto first = bed.get_password("Alice", "mail.google.com");
+  ASSERT_TRUE(first.ok());
+  const auto pushes_after_first = bed.phone().stats().pushes_received;
+
+  const auto second = bed.get_password("Alice", "mail.google.com");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), first.value());
+  // No new phone interaction for the cached request.
+  EXPECT_EQ(bed.phone().stats().pushes_received, pushes_after_first);
+  EXPECT_EQ(bed.server().stats().cache_hits, 1u);
+}
+
+TEST(SessionMechanism, DisabledByDefaultLikeThePrototype) {
+  Testbed bed;  // default config: ttl = 0
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+  // Every request hits the phone, as in the paper's prototype.
+  EXPECT_EQ(bed.phone().stats().pushes_received, 2u);
+  EXPECT_EQ(bed.server().stats().cache_hits, 0u);
+}
+
+TEST(SessionMechanism, CacheExpiresAfterTtl) {
+  Testbed bed(cached_config(ms_to_us(5000)));
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+  const auto pushes = bed.phone().stats().pushes_received;
+
+  // Let virtual time pass beyond the TTL.
+  bed.sim().schedule_after(ms_to_us(6000), [] {});
+  bed.sim().run();
+
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+  EXPECT_EQ(bed.phone().stats().pushes_received, pushes + 1);
+}
+
+TEST(SessionMechanism, CacheIsPerSession) {
+  Testbed bed(cached_config(ms_to_us(10 * 60 * 1000)));
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+  const auto pushes = bed.phone().stats().pushes_received;
+
+  // A second computer (fresh session) must still go through the phone —
+  // the cache must not leak across sessions.
+  auto office = bed.make_browser("office-pc");
+  ASSERT_TRUE(bed.login_from(*office, "alice", "mp").ok());
+  ASSERT_TRUE(
+      bed.get_password_from(*office, "Alice", "mail.google.com").ok());
+  EXPECT_EQ(bed.phone().stats().pushes_received, pushes + 1);
+}
+
+TEST(SessionMechanism, SeedRotationInvalidatesCachedPassword) {
+  // Without invalidation, a cache hit after rotation would serve the
+  // pre-rotation password — stale and about to be reset on the website.
+  Testbed bed(cached_config(ms_to_us(10 * 60 * 1000)));
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  const auto before = bed.get_password("Alice", "mail.google.com");
+  ASSERT_TRUE(before.ok());
+
+  bool rotated = false;
+  bed.browser().rotate_seed("Alice", "mail.google.com",
+                            [&](Status s) { rotated = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(rotated);
+
+  const auto after = bed.get_password("Alice", "mail.google.com");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after.value(), before.value());  // fresh, not the cached copy
+  EXPECT_EQ(bed.server().stats().cache_hits, 0u);
+}
+
+TEST(SessionMechanism, RemovedAccountDropsItsCacheEntry) {
+  Testbed bed(cached_config(ms_to_us(10 * 60 * 1000)));
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+
+  bool removed = false;
+  bed.browser().remove_account("Alice", "mail.google.com",
+                               [&](Status s) { removed = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(removed);
+
+  const auto gone = bed.get_password("Alice", "mail.google.com");
+  EXPECT_FALSE(gone.ok());  // not served from a dangling cache entry
+  EXPECT_EQ(gone.code(), Err::kNotFound);
+}
+
+TEST(SessionMechanism, LogoutDropsTheCache) {
+  Testbed bed(cached_config(ms_to_us(10 * 60 * 1000)));
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+  const auto pushes = bed.phone().stats().pushes_received;
+
+  bool out = false;
+  bed.browser().logout([&](Status s) { out = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(out);
+  ASSERT_TRUE(bed.login("alice", "mp").ok());
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+  EXPECT_EQ(bed.phone().stats().pushes_received, pushes + 1);
+}
+
+TEST(Vault, StoreAndRetrieveChosenPassword) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+
+  bool stored = false;
+  bed.browser().vault_store("Alice", "legacy-bank.example",
+                            "Issued-By-The-Bank-1953",
+                            [&](Status s) { stored = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(stored);
+  EXPECT_EQ(bed.server().stats().vault_stores, 1u);
+
+  Result<std::string> retrieved(Err::kInternal, "pending");
+  bed.browser().vault_retrieve("Alice", "legacy-bank.example",
+                               [&](Result<std::string> r) { retrieved = r; });
+  bed.sim().run();
+  ASSERT_TRUE(retrieved.ok()) << retrieved.message();
+  EXPECT_EQ(retrieved.value(), "Issued-By-The-Bank-1953");
+  // Both operations required phone confirmations.
+  EXPECT_EQ(bed.phone().stats().pushes_received, 2u);
+}
+
+TEST(Vault, OverwriteReplacesThePassword) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  bool done = false;
+  bed.browser().vault_store("A", "d.example", "first",
+                            [&](Status s) { done = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(done);
+  done = false;
+  bed.browser().vault_store("A", "d.example", "second",
+                            [&](Status s) { done = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(done);
+  Result<std::string> retrieved(Err::kInternal, "pending");
+  bed.browser().vault_retrieve("A", "d.example",
+                               [&](Result<std::string> r) { retrieved = r; });
+  bed.sim().run();
+  ASSERT_TRUE(retrieved.ok());
+  EXPECT_EQ(retrieved.value(), "second");
+}
+
+TEST(Vault, CiphertextAtRestIsOpaqueWithoutThePhone) {
+  // The server-breach property extends to the vault: the stored record
+  // cannot be opened from server data alone, because the key needs T.
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  bool stored = false;
+  bed.browser().vault_store("Alice", "d.example", "top-secret-chosen",
+                            [&](Status s) { stored = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(stored);
+
+  const auto record =
+      bed.server().db().vault_get("alice", {"Alice", "d.example"});
+  ASSERT_TRUE(record.has_value());
+  ASSERT_TRUE(record->ciphertext.has_value());
+  // Plaintext does not appear in the record.
+  EXPECT_EQ(to_string(*record->ciphertext).find("top-secret-chosen"),
+            std::string::npos);
+
+  // Breach reconstruction attempt: the attacker has Oid, sigma_v, nonce,
+  // ciphertext — everything except T. A guessed token fails to open it.
+  const auto user = bed.server().db().get_user("alice").value();
+  const core::Token guessed(bed.rng().bytes(32));
+  const Bytes p = core::intermediate_value(guessed, user.oid, record->seed);
+  const Bytes key(p.begin(), p.begin() + 32);
+  const Bytes aad = to_bytes(std::string("alice") + "\x1f" + "d.example" +
+                             "\x1f" + "Alice");
+  EXPECT_FALSE(
+      crypto::aead_open(key, *record->nonce, aad, *record->ciphertext)
+          .has_value());
+
+  // ...while the real phone's token opens it (sanity check).
+  const core::Request r = core::make_request({"Alice", "d.example"},
+                                             record->seed);
+  const core::Token real_token =
+      core::generate_token(r, bed.phone().secrets().entry_table);
+  const Bytes p2 = core::intermediate_value(real_token, user.oid,
+                                            record->seed);
+  const Bytes key2(p2.begin(), p2.begin() + 32);
+  const auto opened =
+      crypto::aead_open(key2, *record->nonce, aad, *record->ciphertext);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(*opened), "top-secret-chosen");
+}
+
+TEST(Vault, RetrieveWithReplacedPhoneFailsCleanly) {
+  // After a phone is replaced (new T_E), old vault records no longer
+  // open — the declared behaviour, mirroring the recovery protocol's
+  // "reset everything" stance.
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  bool stored = false;
+  bed.browser().vault_store("A", "d.example", "sealed-with-old-phone",
+                            [&](Status s) { stored = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(stored);
+
+  bed.phone().install();  // new K_p
+  ASSERT_TRUE(bed.pair_phone("alice").ok());
+
+  Result<std::string> retrieved(Err::kInternal, "pending");
+  bed.browser().vault_retrieve("A", "d.example",
+                               [&](Result<std::string> r) { retrieved = r; });
+  bed.sim().run();
+  EXPECT_FALSE(retrieved.ok());
+  EXPECT_EQ(retrieved.code(), Err::kVerificationFailed);
+}
+
+TEST(Vault, ListAndRemove) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  bool done = false;
+  bed.browser().vault_store("A", "one.example", "pw1",
+                            [&](Status s) { done = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(done);
+
+  std::vector<std::string> listing;
+  bed.browser().vault_list([&](Result<std::vector<std::string>> r) {
+    listing = r.value();
+  });
+  bed.sim().run();
+  ASSERT_EQ(listing.size(), 1u);
+  EXPECT_NE(listing[0].find("one.example"), std::string::npos);
+  EXPECT_NE(listing[0].find("stored"), std::string::npos);
+
+  bool removed = false;
+  bed.browser().vault_remove("A", "one.example",
+                             [&](Status s) { removed = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(removed);
+
+  Result<std::string> retrieved(Err::kInternal, "pending");
+  bed.browser().vault_retrieve("A", "one.example",
+                               [&](Result<std::string> r) { retrieved = r; });
+  bed.sim().run();
+  EXPECT_FALSE(retrieved.ok());
+  EXPECT_EQ(retrieved.code(), Err::kNotFound);
+}
+
+TEST(Vault, RequiresAuthentication) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  bool out = false;
+  bed.browser().logout([&](Status s) { out = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(out);
+  Status s(Err::kInternal, "pending");
+  bed.browser().vault_store("A", "d.example", "pw",
+                            [&](Status st) { s = st; });
+  bed.sim().run();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Err::kAuthFailed);
+}
+
+TEST(Vault, DeclinedOnPhoneBlocksStore) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  bed.phone().set_confirmation_policy(
+      [](const core::PasswordRequestPush&) { return false; });
+  Status s(Err::kInternal, "pending");
+  bed.browser().vault_store("A", "d.example", "pw",
+                            [&](Status st) { s = st; });
+  bed.sim().run();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Err::kVerificationFailed);  // 403 declined
+  // Nothing was sealed.
+  const auto record = bed.server().db().vault_get("alice", {"A", "d.example"});
+  ASSERT_TRUE(record.has_value());
+  EXPECT_FALSE(record->ciphertext.has_value());
+}
+
+}  // namespace
+}  // namespace amnesia::eval

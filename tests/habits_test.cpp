@@ -1,0 +1,115 @@
+// Habit-strength model and synthetic pilot-population simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/drbg.h"
+#include "eval/habits.h"
+
+namespace amnesia::eval {
+namespace {
+
+Participant make(PasswordLength length, CreationTechnique technique,
+                 ReuseFrequency reuse) {
+  Participant p;
+  p.password_length = length;
+  p.technique = technique;
+  p.reuse = reuse;
+  return p;
+}
+
+TEST(Habits, LongerAndBetterTechniqueScoresHigher) {
+  const double short_personal =
+      estimated_password_bits(make(PasswordLength::k6to8,
+                                   CreationTechnique::kPersonalInfo,
+                                   ReuseFrequency::kNever));
+  const double long_personal =
+      estimated_password_bits(make(PasswordLength::kOver14,
+                                   CreationTechnique::kPersonalInfo,
+                                   ReuseFrequency::kNever));
+  const double short_mnemonic =
+      estimated_password_bits(make(PasswordLength::k6to8,
+                                   CreationTechnique::kMnemonic,
+                                   ReuseFrequency::kNever));
+  EXPECT_LT(short_personal, long_personal);
+  EXPECT_LT(short_personal, short_mnemonic);
+  // All human estimates sit far below even a random 8-char alnum secret.
+  EXPECT_LT(long_personal, 8 * std::log2(62.0) + 1);
+}
+
+TEST(Habits, StudyPopulationScoresFarBelowAmnesia) {
+  const auto report = score_study_population();
+  EXPECT_EQ(report.bits.n, 31u);
+  // The survey population (short, personal-info, reused) lands in the
+  // 10-50 bit band the measurement literature reports.
+  EXPECT_GT(report.bits.mean, 8.0);
+  EXPECT_LT(report.bits.mean, 50.0);
+  // Reuse can only reduce effective strength.
+  EXPECT_LT(report.reuse_weighted_bits, report.bits.mean);
+  // Amnesia's generated output: 32 * log2(94) ~ 209.75 bits.
+  EXPECT_NEAR(report.amnesia_bits, 209.75, 0.1);
+  EXPECT_GT(report.amnesia_bits, 4.0 * report.bits.mean);
+}
+
+TEST(Habits, SampledParticipantsFollowTheMarginals) {
+  crypto::ChaChaDrbg rng(9);
+  const int n = 20000;
+  int personal = 0, mostly_or_always = 0, male = 0, pm_users = 0;
+  for (int i = 0; i < n; ++i) {
+    const Participant p = sample_participant(rng, i);
+    personal += p.technique == CreationTechnique::kPersonalInfo ? 1 : 0;
+    mostly_or_always += (p.reuse == ReuseFrequency::kMostly ||
+                         p.reuse == ReuseFrequency::kAlways)
+                            ? 1
+                            : 0;
+    male += p.male ? 1 : 0;
+    pm_users += p.uses_password_manager ? 1 : 0;
+  }
+  EXPECT_NEAR(personal / static_cast<double>(n), 20.0 / 31, 0.02);
+  EXPECT_NEAR(mostly_or_always / static_cast<double>(n), 18.0 / 31, 0.02);
+  EXPECT_NEAR(male / static_cast<double>(n), 21.0 / 31, 0.02);
+  EXPECT_NEAR(pm_users / static_cast<double>(n), 7.0 / 31, 0.02);
+}
+
+TEST(Habits, PreferenceFollowsPmBreakdownInSamples) {
+  crypto::ChaChaDrbg rng(10);
+  int pm = 0, pm_prefer = 0, non_pm = 0, non_pm_prefer = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Participant p = sample_participant(rng, i);
+    if (p.uses_password_manager) {
+      ++pm;
+      pm_prefer += p.prefers_amnesia ? 1 : 0;
+    } else {
+      ++non_pm;
+      non_pm_prefer += p.prefers_amnesia ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(pm_prefer / static_cast<double>(pm), 6.0 / 7, 0.03);
+  EXPECT_NEAR(non_pm_prefer / static_cast<double>(non_pm), 14.0 / 24, 0.03);
+}
+
+TEST(Habits, PilotVariabilityShrinksWithCohortSize) {
+  const auto small = simulate_pilot_variability(500, 31, 4);
+  const auto large = simulate_pilot_variability(500, 310, 4);
+  EXPECT_EQ(small.cohorts, 500);
+  // Mean tracks the study's observed rates.
+  EXPECT_NEAR(small.prefer_percent.mean, 100.0 * 20 / 31, 3.0);
+  EXPECT_NEAR(small.security_percent.mean, 100.0 * 27 / 31, 3.0);
+  // sqrt(10)x larger cohorts -> roughly sqrt(10)x smaller sigma.
+  EXPECT_GT(small.prefer_percent.stddev,
+            2.0 * large.prefer_percent.stddev);
+  // A 31-person pilot's headline number really does wobble by several
+  // points (the section-VII caveat).
+  EXPECT_GT(small.prefer_percent.stddev, 4.0);
+}
+
+TEST(Habits, SimulationIsDeterministicPerSeed) {
+  const auto a = simulate_pilot_variability(50, 31, 123);
+  const auto b = simulate_pilot_variability(50, 31, 123);
+  EXPECT_DOUBLE_EQ(a.prefer_percent.mean, b.prefer_percent.mean);
+  const auto c = simulate_pilot_variability(50, 31, 124);
+  EXPECT_NE(a.prefer_percent.mean, c.prefer_percent.mean);
+}
+
+}  // namespace
+}  // namespace amnesia::eval

@@ -1,0 +1,108 @@
+// Fig. 3 latency experiment and section IV-E strength measurements: the
+// simulated pipeline must reproduce the paper's distributions and the
+// analytic composition/uniformity claims must hold empirically.
+#include <gtest/gtest.h>
+
+#include "eval/latency.h"
+#include "eval/strength.h"
+
+namespace amnesia::eval {
+namespace {
+
+TEST(LatencyExperiment, WifiMatchesPaperDistribution) {
+  // Paper section VI-B: x = 785.3 ms, sigma = 171.5 ms over 100 trials.
+  const auto result =
+      run_latency_experiment({.trials = 100, .seed = 2016,
+                              .link = PhoneLink::kWifi});
+  EXPECT_EQ(result.network_name, "Wifi");
+  ASSERT_EQ(result.samples_ms.size(), 100u);
+  EXPECT_NEAR(result.summary.mean, 785.3, 60.0);
+  EXPECT_NEAR(result.summary.stddev, 171.5, 45.0);
+}
+
+TEST(LatencyExperiment, LteMatchesPaperDistribution) {
+  // Paper: x = 978.7 ms, sigma = 137.9 ms.
+  const auto result = run_latency_experiment(
+      {.trials = 100, .seed = 2016, .link = PhoneLink::kLte});
+  EXPECT_EQ(result.network_name, "4G");
+  ASSERT_EQ(result.samples_ms.size(), 100u);
+  EXPECT_NEAR(result.summary.mean, 978.7, 60.0);
+  EXPECT_NEAR(result.summary.stddev, 137.9, 40.0);
+}
+
+TEST(LatencyExperiment, WifiIsFasterThan4G) {
+  // The paper's qualitative conclusion.
+  const auto results = run_fig3(/*trials=*/50);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_LT(results[0].summary.mean, results[1].summary.mean);
+}
+
+TEST(LatencyExperiment, SamplesFallInFig3Range) {
+  // Fig. 3's plotted trials span roughly 600-1400 ms.
+  const auto results = run_fig3(/*trials=*/100);
+  for (const auto& result : results) {
+    for (const double ms : result.samples_ms) {
+      EXPECT_GT(ms, 250.0) << result.network_name;
+      EXPECT_LT(ms, 1800.0) << result.network_name;
+    }
+  }
+}
+
+TEST(LatencyExperiment, DeterministicForSameSeed) {
+  const auto a = run_latency_experiment({10, 99, PhoneLink::kWifi});
+  const auto b = run_latency_experiment({10, 99, PhoneLink::kWifi});
+  EXPECT_EQ(a.samples_ms, b.samples_ms);
+  const auto c = run_latency_experiment({10, 100, PhoneLink::kWifi});
+  EXPECT_NE(a.samples_ms, c.samples_ms);
+}
+
+TEST(Strength, CompositionMatchesSection4E) {
+  // "roughly 9 lowercase, 9 uppercase, 3 numerals, and 11 special
+  // characters" for the default 94-char, 32-length policy.
+  const auto stats = measure_composition(3000, core::PasswordPolicy{});
+  EXPECT_NEAR(stats.mean_lowercase, 32.0 * 26 / 94, 0.25);
+  EXPECT_NEAR(stats.mean_uppercase, 32.0 * 26 / 94, 0.25);
+  EXPECT_NEAR(stats.mean_digits, 32.0 * 10 / 94, 0.2);
+  EXPECT_NEAR(stats.mean_specials, 32.0 * 32 / 94, 0.25);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 32.0);
+  // No collisions among thousands of generated passwords.
+  EXPECT_EQ(stats.distinct, stats.samples);
+}
+
+TEST(Strength, PolicyChangesComposition) {
+  const core::PasswordPolicy digits_only{
+      core::CharacterTable::from_categories(false, false, true, false), 8};
+  const auto stats = measure_composition(500, digits_only);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 8.0);
+  EXPECT_DOUBLE_EQ(stats.mean_digits, 8.0);
+  EXPECT_DOUBLE_EQ(stats.mean_lowercase, 0.0);
+}
+
+TEST(Strength, CharacterFrequencyNearUniform) {
+  const auto stats = measure_char_frequency(2000, core::PasswordPolicy{});
+  ASSERT_GT(stats.samples, 0u);
+  // Every character appears within ~25% of the uniform frequency at this
+  // sample size, and the mod-94 bias keeps max/min small.
+  EXPECT_GT(stats.min_frequency, stats.expected_frequency * 0.75);
+  EXPECT_LT(stats.max_frequency, stats.expected_frequency * 1.25);
+  EXPECT_EQ(stats.degrees_of_freedom, 93u);
+}
+
+TEST(Strength, IndexSelectionBiasMatchesAnalyticRatio) {
+  const auto stats = measure_index_frequency(40000, 5000);
+  EXPECT_EQ(stats.table_size, 5000u);
+  EXPECT_EQ(stats.samples, 40000u * 16);
+  EXPECT_NEAR(stats.analytic_bias_ratio, 14.0 / 13.0, 1e-12);
+  // Observed spread is dominated by sampling noise at this size but the
+  // selection must still cover the table without gross skew.
+  EXPECT_GT(stats.min_frequency, 0.0);
+  EXPECT_LT(stats.observed_bias_ratio, 3.0);
+}
+
+TEST(Strength, PowerOfTwoTableIsAnalyticallyUnbiased) {
+  const auto stats = measure_index_frequency(5000, 4096);
+  EXPECT_DOUBLE_EQ(stats.analytic_bias_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace amnesia::eval

@@ -1,0 +1,190 @@
+// Multi-user deployment: one Amnesia server serving several users, each
+// with their own phone — isolation of accounts, sessions, pushes, and
+// recovery state across tenants.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "eval/testbed.h"
+
+namespace amnesia::eval {
+namespace {
+
+/// Extends the single-user Testbed with a second user ("bob") owning a
+/// second phone on its own node.
+struct TwoUserWorld {
+  Testbed bed;
+  std::unique_ptr<crypto::ChaChaDrbg> bob_rng;
+  std::unique_ptr<phone::PhoneApp> bob_phone;
+  std::unique_ptr<client::Browser> bob_browser;
+
+  TwoUserWorld() {
+    // Alice via the standard testbed path.
+    EXPECT_TRUE(bed.provision("alice", "alice-mp").ok());
+    EXPECT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+
+    // Bob: own browser node, own phone node, same server/GCM/cloud.
+    bob_rng = std::make_unique<crypto::ChaChaDrbg>(777);
+    bed.cloud().create_account("bob@cloud.example", "bob-secret");
+
+    phone::PhoneAppConfig phone_config;
+    phone_config.node_id = "bob-phone";
+    phone_config.rendezvous_node = "gcm";
+    phone_config.server_node = "amnesia-server";
+    phone_config.server_public_key = bed.server().public_key();
+    phone_config.cloud_node = "cloud";
+    phone_config.cloud_user = "bob@cloud.example";
+    phone_config.cloud_secret = "bob-secret";
+    bob_phone = std::make_unique<phone::PhoneApp>(bed.sim(), bed.net(),
+                                                  *bob_rng, phone_config);
+    const auto& p = simnet::profiles();
+    bed.net().set_link("gcm", "bob-phone", p.wifi_downlink);
+    bed.net().set_link("bob-phone", "gcm", p.wifi_uplink);
+    bed.net().set_link("bob-phone", "amnesia-server", p.wifi_uplink);
+    bed.net().set_link("amnesia-server", "bob-phone", p.wifi_downlink);
+
+    bob_browser = bed.make_browser("bob-pc");
+  }
+
+  Status provision_bob() {
+    Status status(Err::kInternal, "pending");
+    bob_browser->signup("bob", "bob-mp", [&](Status s) { status = s; });
+    bed.sim().run();
+    if (!status.ok()) return status;
+    bob_browser->login("bob", "bob-mp", [&](Status s) { status = s; });
+    bed.sim().run();
+    if (!status.ok()) return status;
+
+    bob_phone->install();
+    bob_phone->register_with_rendezvous([&](Status s) { status = s; });
+    bed.sim().run();
+    if (!status.ok()) return status;
+
+    Result<std::string> captcha(Err::kInternal, "pending");
+    bob_browser->start_pairing([&](Result<std::string> r) { captcha = r; });
+    bed.sim().run();
+    if (!captcha.ok()) return Status(captcha.failure());
+
+    bob_phone->pair("bob", captcha.value(), [&](Status s) { status = s; });
+    bed.sim().run();
+    return status;
+  }
+};
+
+TEST(MultiUser, IndependentUsersGenerateIndependently) {
+  TwoUserWorld world;
+  ASSERT_TRUE(world.provision_bob().ok());
+
+  Status added(Err::kInternal, "pending");
+  world.bob_browser->add_account("Bob", "www.yahoo.com",
+                                 [&](Status s) { added = s; });
+  world.bed.sim().run();
+  ASSERT_TRUE(added.ok());
+
+  const auto alice_pw =
+      world.bed.get_password("Alice", "mail.google.com");
+  ASSERT_TRUE(alice_pw.ok());
+  const auto bob_pw = world.bed.get_password_from(*world.bob_browser, "Bob",
+                                                  "www.yahoo.com");
+  ASSERT_TRUE(bob_pw.ok()) << bob_pw.message();
+  EXPECT_NE(alice_pw.value(), bob_pw.value());
+
+  // Each phone only ever saw its own user's requests.
+  world.bed.sim().run();
+  EXPECT_EQ(world.bed.phone().stats().pushes_received, 1u);
+  EXPECT_EQ(world.bob_phone->stats().pushes_received, 1u);
+}
+
+TEST(MultiUser, AccountsAreInvisibleAcrossUsers) {
+  TwoUserWorld world;
+  ASSERT_TRUE(world.provision_bob().ok());
+
+  // Bob's listing must not contain Alice's account.
+  std::vector<std::string> listing;
+  world.bob_browser->list_accounts([&](Result<std::vector<std::string>> r) {
+    listing = r.value();
+  });
+  world.bed.sim().run();
+  EXPECT_TRUE(listing.empty());
+
+  // Bob cannot request Alice's password even knowing (u, d).
+  const auto stolen = world.bed.get_password_from(
+      *world.bob_browser, "Alice", "mail.google.com");
+  EXPECT_FALSE(stolen.ok());
+  EXPECT_EQ(stolen.code(), Err::kNotFound);
+}
+
+TEST(MultiUser, SameAccountNameDifferentUsersDifferentPasswords) {
+  TwoUserWorld world;
+  ASSERT_TRUE(world.provision_bob().ok());
+  Status added(Err::kInternal, "pending");
+  // Bob registers the *same* (username, domain) pair Alice has.
+  world.bob_browser->add_account("Alice", "mail.google.com",
+                                 [&](Status s) { added = s; });
+  world.bed.sim().run();
+  ASSERT_TRUE(added.ok());
+
+  const auto alice_pw = world.bed.get_password("Alice", "mail.google.com");
+  const auto bob_pw = world.bed.get_password_from(
+      *world.bob_browser, "Alice", "mail.google.com");
+  ASSERT_TRUE(alice_pw.ok());
+  ASSERT_TRUE(bob_pw.ok());
+  // Different Oid, sigma, and entry tables: no cross-user collision.
+  EXPECT_NE(alice_pw.value(), bob_pw.value());
+}
+
+TEST(MultiUser, RecoveryOfOneUserDoesNotDisturbAnother) {
+  TwoUserWorld world;
+  ASSERT_TRUE(world.provision_bob().ok());
+  Status added(Err::kInternal, "pending");
+  world.bob_browser->add_account("Bob", "www.yahoo.com",
+                                 [&](Status s) { added = s; });
+  world.bed.sim().run();
+  ASSERT_TRUE(added.ok());
+  const auto bob_before = world.bed.get_password_from(
+      *world.bob_browser, "Bob", "www.yahoo.com");
+  ASSERT_TRUE(bob_before.ok());
+
+  // Alice loses her phone and recovers (purging *her* binding only).
+  Bytes backup;
+  {
+    simnet::Node pc(world.bed.net(), "alice-recovery-pc");
+    cloud::BlobClient cloud_client(pc, "cloud", "user@cloud.example",
+                                   "cloud-credential");
+    cloud_client.get("amnesia-kp-backup", [&](Result<Bytes> r) {
+      if (r.ok()) backup = r.value();
+    });
+    world.bed.sim().run();
+  }
+  bool recovered = false;
+  world.bed.browser().recover_phone(backup,
+                                    [&](auto r) { recovered = r.ok(); });
+  world.bed.sim().run();
+  ASSERT_TRUE(recovered);
+
+  // Alice is phone-less; Bob is untouched.
+  EXPECT_FALSE(world.bed.get_password("Alice", "mail.google.com").ok());
+  const auto bob_after = world.bed.get_password_from(
+      *world.bob_browser, "Bob", "www.yahoo.com");
+  ASSERT_TRUE(bob_after.ok());
+  EXPECT_EQ(bob_after.value(), bob_before.value());
+}
+
+TEST(MultiUser, ThrottlingIsPerUser) {
+  TwoUserWorld world;
+  ASSERT_TRUE(world.provision_bob().ok());
+  // Attacker hammers alice's login until lockout.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(world.bed.login("alice", "wrong").ok());
+  }
+  EXPECT_EQ(world.bed.login("alice", "alice-mp").code(), Err::kThrottled);
+  // Bob logs in fine.
+  Status bob_login(Err::kInternal, "pending");
+  world.bob_browser->login("bob", "bob-mp",
+                           [&](Status s) { bob_login = s; });
+  world.bed.sim().run();
+  EXPECT_TRUE(bob_login.ok());
+}
+
+}  // namespace
+}  // namespace amnesia::eval

@@ -1,0 +1,215 @@
+// Recovery protocols (paper section III-C): phone-compromise recovery via
+// the cloud backup, and master-password-compromise recovery via Pid
+// verification.
+#include <gtest/gtest.h>
+
+#include "cloud/blob_store.h"
+#include "core/keys.h"
+#include "eval/testbed.h"
+
+namespace amnesia::eval {
+namespace {
+
+/// Fetches the phone's cloud backup the way the recovering user would
+/// (from their computer, with their own cloud credentials).
+Bytes download_backup(Testbed& bed) {
+  simnet::Node node(bed.net(), "recovery-pc");
+  cloud::BlobClient client(node, "cloud", "user@cloud.example",
+                           "cloud-credential");
+  Bytes blob;
+  client.get("amnesia-kp-backup", [&](Result<Bytes> r) {
+    EXPECT_TRUE(r.ok()) << r.message();
+    if (r.ok()) blob = r.value();
+  });
+  bed.sim().run();
+  return blob;
+}
+
+TEST(PhoneRecovery, BackupRoundTripsThroughCloud) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  const Bytes blob = download_backup(bed);
+  ASSERT_FALSE(blob.empty());
+  const auto restored = core::PhoneSecrets::deserialize(blob);
+  EXPECT_EQ(restored, bed.phone().secrets());
+}
+
+TEST(PhoneRecovery, RecoveryReturnsCurrentPasswordsAndPurgesBinding) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  ASSERT_TRUE(bed.add_account("Bob", "www.yahoo.com").ok());
+
+  // Passwords in live use before the phone is lost.
+  const auto gmail = bed.get_password("Alice", "mail.google.com");
+  const auto yahoo = bed.get_password("Bob", "www.yahoo.com");
+  ASSERT_TRUE(gmail.ok() && yahoo.ok());
+
+  // Phone is lost. The user downloads the backup and initiates recovery.
+  const Bytes blob = download_backup(bed);
+  std::vector<client::RecoveredPassword> recovered;
+  bool done = false;
+  bed.browser().recover_phone(blob, [&](auto r) {
+    ASSERT_TRUE(r.ok()) << r.message();
+    recovered = r.value();
+    done = true;
+  });
+  bed.sim().run();
+  ASSERT_TRUE(done);
+
+  // The download contains exactly the passwords that were in use, so the
+  // user can log into each site one last time and reset them.
+  ASSERT_EQ(recovered.size(), 2u);
+  for (const auto& entry : recovered) {
+    if (entry.domain == "mail.google.com") {
+      EXPECT_EQ(entry.password, gmail.value());
+    } else if (entry.domain == "www.yahoo.com") {
+      EXPECT_EQ(entry.password, yahoo.value());
+    } else {
+      FAIL() << "unexpected domain " << entry.domain;
+    }
+  }
+
+  // The old phone's binding is purged (Table I rows Rid / H(Pid)).
+  const auto user = bed.server().db().get_user("alice");
+  ASSERT_TRUE(user.has_value());
+  EXPECT_FALSE(user->registration_id.has_value());
+  EXPECT_FALSE(user->pid_record.has_value());
+  EXPECT_EQ(bed.server().stats().phone_recoveries, 1u);
+
+  // Password generation is disabled until a new phone is paired.
+  const auto blocked = bed.get_password("Alice", "mail.google.com");
+  EXPECT_FALSE(blocked.ok());
+}
+
+TEST(PhoneRecovery, WrongBackupRejected) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  // An attacker-crafted backup with a different Pid must not pass the
+  // hashed-Pid verification.
+  core::PhoneSecrets forged{core::PhoneId::generate(bed.rng()),
+                            core::EntryTable::generate(bed.rng(), 16)};
+  bool rejected = false;
+  bed.browser().recover_phone(forged.serialize(), [&](auto r) {
+    rejected = !r.ok() && r.code() == Err::kVerificationFailed;
+  });
+  bed.sim().run();
+  EXPECT_TRUE(rejected);
+}
+
+TEST(PhoneRecovery, GarbageBackupRejectedCleanly) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  bool rejected = false;
+  bed.browser().recover_phone(Bytes{1, 2, 3}, [&](auto r) {
+    rejected = !r.ok();
+  });
+  bed.sim().run();
+  EXPECT_TRUE(rejected);
+}
+
+TEST(PhoneRecovery, NewPhonePairingRestoresServiceWithNewPasswords) {
+  // Full lifecycle: lose phone -> recover -> pair a new phone -> all
+  // passwords change (fresh T_E), restoring two-factor security.
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  const auto old_password = bed.get_password("Alice", "mail.google.com");
+  ASSERT_TRUE(old_password.ok());
+
+  const Bytes blob = download_backup(bed);
+  bool recovered = false;
+  bed.browser().recover_phone(blob, [&](auto r) { recovered = r.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(recovered);
+
+  // "Reinstall the Amnesia application on the new phone and re-register".
+  bed.phone().install();  // fresh Pid + T_E
+  ASSERT_TRUE(bed.pair_phone("alice").ok());
+
+  const auto new_password = bed.get_password("Alice", "mail.google.com");
+  ASSERT_TRUE(new_password.ok()) << new_password.message();
+  EXPECT_NE(new_password.value(), old_password.value());
+}
+
+TEST(MpRecovery, MasterPasswordChangeRequiresPhoneConfirmation) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "old-mp").ok());
+
+  // Step 1: the user (whose MP may be compromised) initiates the change.
+  bool started = false;
+  bed.browser().start_mp_change("new-mp", [&](Status s) {
+    started = s.ok();
+  });
+  bed.sim().run();
+  ASSERT_TRUE(started);
+
+  // Old MP still works until the phone confirms.
+  ASSERT_TRUE(bed.login("alice", "old-mp").ok());
+
+  // Step 2: the phone submits Pid.
+  Status confirmed(Err::kInternal, "pending");
+  bed.phone().submit_pid_for_mp_change("alice",
+                                       [&](Status s) { confirmed = s; });
+  bed.sim().run();
+  ASSERT_TRUE(confirmed.ok()) << confirmed.message();
+  EXPECT_EQ(bed.server().stats().mp_changes, 1u);
+
+  // Old MP dead, new MP live.
+  EXPECT_FALSE(bed.login("alice", "old-mp").ok());
+  EXPECT_TRUE(bed.login("alice", "new-mp").ok());
+}
+
+TEST(MpRecovery, ChangeInvalidatesExistingSessions) {
+  // The attacker holding the old MP also holds a live session; the change
+  // must revoke it.
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "old-mp").ok());
+
+  auto attacker = bed.make_browser("attacker-pc");
+  ASSERT_TRUE(bed.login_from(*attacker, "alice", "old-mp").ok());
+
+  bool started = false;
+  bed.browser().start_mp_change("new-mp", [&](Status s) { started = s.ok(); });
+  bed.sim().run();
+  ASSERT_TRUE(started);
+  Status confirmed(Err::kInternal, "pending");
+  bed.phone().submit_pid_for_mp_change("alice",
+                                       [&](Status s) { confirmed = s; });
+  bed.sim().run();
+  ASSERT_TRUE(confirmed.ok());
+
+  // The attacker's session cookie is now dead.
+  Status attacker_action(Err::kInternal, "pending");
+  attacker->add_account("x", "y.example",
+                        [&](Status s) { attacker_action = s; });
+  bed.sim().run();
+  EXPECT_FALSE(attacker_action.ok());
+  EXPECT_EQ(attacker_action.code(), Err::kAuthFailed);
+}
+
+TEST(MpRecovery, ConfirmWithoutPendingChangeFails) {
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  Status s(Err::kInternal, "pending");
+  bed.phone().submit_pid_for_mp_change("alice", [&](Status st) { s = st; });
+  bed.sim().run();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(MpRecovery, StolenPhoneCannotResetWithoutMasterPassword) {
+  // Threat model: to misuse a stolen phone for an MP reset, the attacker
+  // must first authenticate with the current MP to create the pending
+  // change. Without it, the phone's Pid submission has nothing to confirm.
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  // Attacker holds the phone but never logged in: no pending change.
+  Status s(Err::kInternal, "pending");
+  bed.phone().submit_pid_for_mp_change("alice", [&](Status st) { s = st; });
+  bed.sim().run();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Err::kVerificationFailed);
+}
+
+}  // namespace
+}  // namespace amnesia::eval

@@ -1,0 +1,185 @@
+// Unit tests for the Amnesia server's internal components: the database
+// handler (including the vault schema) and the authentication throttle.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "server/auth.h"
+#include "server/db.h"
+
+namespace amnesia::server {
+namespace {
+
+crypto::PasswordRecord record_for(const std::string& secret,
+                                  crypto::ChaChaDrbg& rng) {
+  crypto::PasswordHasher hasher({.iterations = 2});
+  return hasher.hash(to_bytes(secret), rng);
+}
+
+UserRecord make_user(const std::string& name, crypto::ChaChaDrbg& rng) {
+  return UserRecord{name, core::OnlineId::generate(rng),
+                    record_for("mp-" + name, rng), std::nullopt,
+                    std::nullopt};
+}
+
+TEST(DbHandlerTest, UserLifecycle) {
+  crypto::ChaChaDrbg rng(1);
+  DbHandler db;
+  EXPECT_FALSE(db.user_exists("alice"));
+  db.create_user(make_user("alice", rng));
+  EXPECT_TRUE(db.user_exists("alice"));
+
+  const auto loaded = db.get_user("alice");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->user, "alice");
+  EXPECT_FALSE(loaded->registration_id.has_value());
+  EXPECT_FALSE(loaded->pid_record.has_value());
+  EXPECT_TRUE(crypto::PasswordHasher::verify(to_bytes("mp-alice"),
+                                             loaded->mp_record));
+}
+
+TEST(DbHandlerTest, PhoneBindingSetAndClear) {
+  crypto::ChaChaDrbg rng(2);
+  DbHandler db;
+  db.create_user(make_user("alice", rng));
+  db.set_phone_binding("alice", "gcm-reg-1", record_for("pid-bytes", rng));
+
+  auto loaded = db.get_user("alice");
+  ASSERT_TRUE(loaded->registration_id.has_value());
+  EXPECT_EQ(*loaded->registration_id, "gcm-reg-1");
+  ASSERT_TRUE(loaded->pid_record.has_value());
+
+  db.clear_phone_binding("alice");
+  loaded = db.get_user("alice");
+  EXPECT_FALSE(loaded->registration_id.has_value());
+  EXPECT_FALSE(loaded->pid_record.has_value());
+}
+
+TEST(DbHandlerTest, PhoneBindingOnUnknownUserThrows) {
+  crypto::ChaChaDrbg rng(3);
+  DbHandler db;
+  EXPECT_THROW(db.set_phone_binding("ghost", "r", record_for("x", rng)),
+               StorageError);
+  EXPECT_THROW(db.clear_phone_binding("ghost"), StorageError);
+  EXPECT_THROW(db.set_master_password("ghost", record_for("x", rng)),
+               StorageError);
+}
+
+TEST(DbHandlerTest, AccountCrudAndPerUserIsolation) {
+  crypto::ChaChaDrbg rng(4);
+  DbHandler db;
+  db.create_user(make_user("alice", rng));
+  db.create_user(make_user("bob", rng));
+
+  const core::AccountId gmail{"Alice", "mail.google.com"};
+  EXPECT_TRUE(db.add_account(
+      {"alice", gmail, core::Seed::generate(rng), core::PasswordPolicy{}}));
+  EXPECT_FALSE(db.add_account(
+      {"alice", gmail, core::Seed::generate(rng), core::PasswordPolicy{}}));
+  // Same (u, d) under a different user is a distinct row.
+  EXPECT_TRUE(db.add_account(
+      {"bob", gmail, core::Seed::generate(rng), core::PasswordPolicy{}}));
+
+  EXPECT_EQ(db.list_accounts("alice").size(), 1u);
+  EXPECT_EQ(db.list_accounts("bob").size(), 1u);
+  EXPECT_TRUE(db.remove_account("alice", gmail));
+  EXPECT_FALSE(db.remove_account("alice", gmail));
+  EXPECT_EQ(db.list_accounts("bob").size(), 1u);
+}
+
+TEST(DbHandlerTest, SeedRotationPersistsNewSeed) {
+  crypto::ChaChaDrbg rng(5);
+  DbHandler db;
+  db.create_user(make_user("alice", rng));
+  const core::AccountId id{"u", "d.example"};
+  const auto original_seed = core::Seed::generate(rng);
+  ASSERT_TRUE(
+      db.add_account({"alice", id, original_seed, core::PasswordPolicy{}}));
+
+  const auto next_seed = core::Seed::generate(rng);
+  EXPECT_TRUE(db.set_seed("alice", id, next_seed));
+  EXPECT_EQ(db.get_account("alice", id)->seed, next_seed);
+  EXPECT_FALSE(db.set_seed("alice", {"no", "such.example"}, next_seed));
+}
+
+TEST(DbHandlerTest, ServerSecretsViewMatchesRows) {
+  crypto::ChaChaDrbg rng(6);
+  DbHandler db;
+  db.create_user(make_user("alice", rng));
+  db.add_account({"alice", {"A", "a.example"}, core::Seed::generate(rng),
+                  core::PasswordPolicy{}});
+  db.add_account({"alice", {"B", "b.example"}, core::Seed::generate(rng),
+                  core::PasswordPolicy{}});
+
+  const auto ks = db.server_secrets("alice");
+  ASSERT_TRUE(ks.has_value());
+  EXPECT_EQ(ks->accounts.size(), 2u);
+  EXPECT_NE(ks->find({"A", "a.example"}), nullptr);
+  EXPECT_EQ(ks->find({"A", "b.example"}), nullptr);
+  EXPECT_FALSE(db.server_secrets("ghost").has_value());
+}
+
+TEST(DbHandlerTest, VaultLifecycle) {
+  crypto::ChaChaDrbg rng(7);
+  DbHandler db;
+  const core::AccountId id{"A", "bank.example"};
+  EXPECT_FALSE(db.vault_get("alice", id).has_value());
+
+  ASSERT_TRUE(db.vault_add({"alice", id, core::Seed::generate(rng),
+                            std::nullopt, std::nullopt}));
+  EXPECT_FALSE(db.vault_add({"alice", id, core::Seed::generate(rng),
+                             std::nullopt, std::nullopt}));
+
+  auto record = db.vault_get("alice", id);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_FALSE(record->ciphertext.has_value());
+
+  ASSERT_TRUE(db.vault_set_ciphertext("alice", id, Bytes{1, 2}, Bytes{3, 4}));
+  record = db.vault_get("alice", id);
+  EXPECT_EQ(record->nonce, (Bytes{1, 2}));
+  EXPECT_EQ(record->ciphertext, (Bytes{3, 4}));
+
+  EXPECT_EQ(db.vault_list("alice").size(), 1u);
+  EXPECT_TRUE(db.vault_remove("alice", id));
+  EXPECT_FALSE(db.vault_remove("alice", id));
+  EXPECT_FALSE(
+      db.vault_set_ciphertext("alice", id, Bytes{1}, Bytes{2}));
+}
+
+TEST(ThrottleGuardTest, LocksAfterMaxFailuresAndRecovers) {
+  ManualClock clock;
+  ThrottleGuard guard(clock, {.max_failures = 3, .lockout_us = 1000});
+  EXPECT_TRUE(guard.allowed("alice"));
+  guard.record("alice", false);
+  guard.record("alice", false);
+  EXPECT_TRUE(guard.allowed("alice"));
+  EXPECT_EQ(guard.failures("alice"), 2);
+  guard.record("alice", false);  // third strike
+  EXPECT_FALSE(guard.allowed("alice"));
+
+  clock.advance_us(1001);
+  EXPECT_TRUE(guard.allowed("alice"));
+}
+
+TEST(ThrottleGuardTest, SuccessResetsCounter) {
+  ManualClock clock;
+  ThrottleGuard guard(clock, {.max_failures = 3, .lockout_us = 1000});
+  guard.record("alice", false);
+  guard.record("alice", false);
+  guard.record("alice", true);
+  EXPECT_EQ(guard.failures("alice"), 0);
+  guard.record("alice", false);
+  guard.record("alice", false);
+  EXPECT_TRUE(guard.allowed("alice"));
+}
+
+TEST(ThrottleGuardTest, UsersAreIndependent) {
+  ManualClock clock;
+  ThrottleGuard guard(clock, {.max_failures = 2, .lockout_us = 1000});
+  guard.record("alice", false);
+  guard.record("alice", false);
+  EXPECT_FALSE(guard.allowed("alice"));
+  EXPECT_TRUE(guard.allowed("bob"));
+}
+
+}  // namespace
+}  // namespace amnesia::server

@@ -1,0 +1,276 @@
+// amnesia_cli — an interactive console over the full simulated deployment.
+//
+// Drives the same Testbed the integration tests use: one Amnesia server,
+// one phone, a rendezvous service, a cloud store, and a browser, all in
+// a deterministic discrete-event network. Commands read from stdin (one
+// per line), so the tool works both interactively and scripted:
+//
+//   printf 'signup alice pw\nlogin alice pw\npair\nadd Alice gmail.com\n
+//          gen Alice gmail.com\nstats\nquit\n' | ./tools/amnesia_cli
+//
+// Commands:
+//   signup <user> <mp>          create an Amnesia account
+//   login <user> <mp>           authenticate the browser
+//   logout
+//   pair                        install app + GCM registration + CAPTCHA
+//   backup                      one-time K_p backup to the cloud
+//   add <username> <domain>     register a website account (fresh sigma)
+//   list                        list website accounts
+//   gen <username> <domain>     generate the password (phone confirms)
+//   rotate <username> <domain>  rotate sigma ("change this password")
+//   remove <username> <domain>
+//   vault-store <u> <d> <pw>    seal a chosen password (section VIII)
+//   vault-get <u> <d>           unseal it (phone confirms)
+//   decline on|off              make the phone decline future requests
+//   phone on|off                toggle phone connectivity
+//   mp-change <new_mp>          master-password recovery (both steps)
+//   stats                       server/phone/network counters
+//   help
+//   quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/testbed.h"
+
+using namespace amnesia;
+
+namespace {
+
+struct Cli {
+  eval::Testbed bed;
+  std::string current_user;
+  bool decline = false;
+
+  explicit Cli() {
+    bed.phone().set_confirmation_policy(
+        [this](const core::PasswordRequestPush& push) {
+          std::printf("[phone] request from '%s' -> %s\n",
+                      push.origin_ip.c_str(),
+                      decline ? "DECLINED" : "accepted");
+          return !decline;
+        });
+  }
+
+  void report(const Status& s, const std::string& ok_message) {
+    if (s.ok()) {
+      std::printf("ok: %s\n", ok_message.c_str());
+    } else {
+      std::printf("error (%s): %s\n", err_name(s.code()),
+                  s.message().c_str());
+    }
+  }
+
+  bool dispatch(const std::string& line);
+};
+
+bool Cli::dispatch(const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty() || cmd[0] == '#') return true;
+
+  auto need = [&in](std::string& out) -> bool {
+    in >> out;
+    return !out.empty();
+  };
+
+  if (cmd == "quit" || cmd == "exit") return false;
+
+  if (cmd == "help") {
+    std::printf("commands: signup login logout pair backup add list gen "
+                "rotate remove\n          vault-store vault-get decline "
+                "phone mp-change stats quit\n");
+  } else if (cmd == "signup") {
+    std::string user, mp;
+    if (!need(user) || !need(mp)) {
+      std::printf("usage: signup <user> <mp>\n");
+      return true;
+    }
+    report(bed.signup(user, mp), "account '" + user + "' created");
+  } else if (cmd == "login") {
+    std::string user, mp;
+    if (!need(user) || !need(mp)) {
+      std::printf("usage: login <user> <mp>\n");
+      return true;
+    }
+    const Status s = bed.login(user, mp);
+    if (s.ok()) current_user = user;
+    report(s, "logged in as '" + user + "'");
+  } else if (cmd == "logout") {
+    Status s(Err::kInternal, "pending");
+    bed.browser().logout([&](Status st) { s = st; });
+    bed.sim().run();
+    current_user.clear();
+    report(s, "logged out");
+  } else if (cmd == "pair") {
+    if (current_user.empty()) {
+      std::printf("error: log in first\n");
+      return true;
+    }
+    report(bed.pair_phone(current_user), "phone paired (CAPTCHA verified)");
+  } else if (cmd == "backup") {
+    report(bed.backup_phone(), "K_p backed up to the cloud");
+  } else if (cmd == "add") {
+    std::string username, domain;
+    if (!need(username) || !need(domain)) {
+      std::printf("usage: add <username> <domain>\n");
+      return true;
+    }
+    report(bed.add_account(username, domain),
+           username + "@" + domain + " registered");
+  } else if (cmd == "list") {
+    bed.browser().list_accounts([&](Result<std::vector<std::string>> r) {
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.message().c_str());
+        return;
+      }
+      for (const auto& entry : r.value()) {
+        std::printf("  %s\n", entry.c_str());
+      }
+      std::printf("(%zu accounts)\n", r.value().size());
+    });
+    bed.sim().run();
+  } else if (cmd == "gen") {
+    std::string username, domain;
+    if (!need(username) || !need(domain)) {
+      std::printf("usage: gen <username> <domain>\n");
+      return true;
+    }
+    const auto result = bed.get_password(username, domain);
+    if (result.ok()) {
+      const auto& lat = bed.server().password_latencies();
+      std::printf("password: %s  (%.1f ms end to end)\n",
+                  result.value().c_str(),
+                  lat.empty() ? 0.0 : us_to_ms(lat.back()));
+    } else {
+      std::printf("error (%s): %s\n", err_name(result.code()),
+                  result.message().c_str());
+    }
+  } else if (cmd == "rotate") {
+    std::string username, domain;
+    if (!need(username) || !need(domain)) {
+      std::printf("usage: rotate <username> <domain>\n");
+      return true;
+    }
+    Status s(Err::kInternal, "pending");
+    bed.browser().rotate_seed(username, domain, [&](Status st) { s = st; });
+    bed.sim().run();
+    report(s, "seed rotated; regenerate to get the new password");
+  } else if (cmd == "remove") {
+    std::string username, domain;
+    if (!need(username) || !need(domain)) {
+      std::printf("usage: remove <username> <domain>\n");
+      return true;
+    }
+    Status s(Err::kInternal, "pending");
+    bed.browser().remove_account(username, domain,
+                                 [&](Status st) { s = st; });
+    bed.sim().run();
+    report(s, "removed");
+  } else if (cmd == "vault-store") {
+    std::string username, domain, password;
+    if (!need(username) || !need(domain) || !need(password)) {
+      std::printf("usage: vault-store <username> <domain> <password>\n");
+      return true;
+    }
+    Status s(Err::kInternal, "pending");
+    bed.browser().vault_store(username, domain, password,
+                              [&](Status st) { s = st; });
+    bed.sim().run();
+    report(s, "sealed under a token-derived key");
+  } else if (cmd == "vault-get") {
+    std::string username, domain;
+    if (!need(username) || !need(domain)) {
+      std::printf("usage: vault-get <username> <domain>\n");
+      return true;
+    }
+    Result<std::string> r(Err::kInternal, "pending");
+    bed.browser().vault_retrieve(username, domain,
+                                 [&](Result<std::string> res) { r = res; });
+    bed.sim().run();
+    if (r.ok()) {
+      std::printf("vault password: %s\n", r.value().c_str());
+    } else {
+      std::printf("error (%s): %s\n", err_name(r.code()),
+                  r.message().c_str());
+    }
+  } else if (cmd == "decline") {
+    std::string mode;
+    need(mode);
+    decline = mode == "on";
+    std::printf("phone confirmation policy: %s\n",
+                decline ? "decline everything" : "accept");
+  } else if (cmd == "phone") {
+    std::string mode;
+    need(mode);
+    const bool online = mode != "off";
+    bed.net().set_online("phone", online);
+    if (online) {
+      Status s(Err::kInternal, "pending");
+      bed.phone().reconnect([&](Status st) { s = st; });
+      bed.sim().run();
+    }
+    std::printf("phone is now %s\n", online ? "online" : "offline");
+  } else if (cmd == "mp-change") {
+    std::string new_mp;
+    if (!need(new_mp)) {
+      std::printf("usage: mp-change <new_mp>\n");
+      return true;
+    }
+    Status s(Err::kInternal, "pending");
+    bed.browser().start_mp_change(new_mp, [&](Status st) { s = st; });
+    bed.sim().run();
+    if (!s.ok()) {
+      report(s, "");
+      return true;
+    }
+    bed.phone().submit_pid_for_mp_change(current_user,
+                                         [&](Status st) { s = st; });
+    bed.sim().run();
+    report(s, "master password changed; all sessions revoked — log in again");
+    current_user.clear();
+  } else if (cmd == "stats") {
+    const auto& srv = bed.server().stats();
+    const auto& ph = bed.phone().stats();
+    const auto& net = bed.net().stats();
+    std::printf("server: logins ok/fail/throttled %llu/%llu/%llu, "
+                "passwords %llu, declines %llu, timeouts %llu, cache hits "
+                "%llu\n",
+                (unsigned long long)srv.logins_ok,
+                (unsigned long long)srv.logins_failed,
+                (unsigned long long)srv.logins_throttled,
+                (unsigned long long)srv.passwords_generated,
+                (unsigned long long)srv.requests_declined,
+                (unsigned long long)srv.requests_timed_out,
+                (unsigned long long)srv.cache_hits);
+    std::printf("phone:  pushes %llu, tokens %llu, declines %llu\n",
+                (unsigned long long)ph.pushes_received,
+                (unsigned long long)ph.tokens_sent,
+                (unsigned long long)ph.requests_declined);
+    std::printf("net:    sent %zu delivered %zu lost %zu (virtual time "
+                "%.1f s)\n",
+                net.sent, net.delivered,
+                net.lost_on_link + net.dropped_offline +
+                    net.dropped_no_destination,
+                us_to_ms(bed.sim().now()) / 1000.0);
+  } else {
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("amnesia_cli — simulated Amnesia deployment "
+              "(type 'help' for commands)\n");
+  Cli cli;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!cli.dispatch(line)) break;
+  }
+  return 0;
+}
