@@ -6,15 +6,48 @@
 // dispersion ordering) are what must reproduce; absolute numbers follow
 // the calibrated link profiles (see src/simnet/link.cpp and DESIGN.md).
 //
+// Per-phase latency percentiles come from the testbed's MetricsRegistry
+// histograms (virtual time only), and the full registry snapshot of each
+// network is written to BENCH_fig3_latency.json — byte-identical across
+// runs with the same seed.
+//
 //   ./bench/bench_fig3_latency [trials] [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "eval/latency.h"
+#include "obs/metrics.h"
 
 using namespace amnesia;
+
+namespace {
+
+/// One row per non-empty registry histogram: phase percentiles in ms.
+void print_phase_table(const obs::Snapshot& snapshot) {
+  std::printf("    %-44s %6s %9s %9s %9s %9s\n", "phase histogram", "count",
+              "p50", "p95", "p99", "max");
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (hist.count == 0) continue;
+    std::printf("    %-44s %6llu %9.1f %9.1f %9.1f %9.1f\n", name.c_str(),
+                static_cast<unsigned long long>(hist.count),
+                us_to_ms(obs::quantile(hist, 0.50)),
+                us_to_ms(obs::quantile(hist, 0.95)),
+                us_to_ms(obs::quantile(hist, 0.99)), us_to_ms(hist.max));
+  }
+}
+
+/// to_json() yields a complete document; trim the trailing newline so it
+/// embeds as a nested object.
+std::string embed_json(const obs::Snapshot& snapshot) {
+  std::string json = obs::to_json(snapshot);
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  return json;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
@@ -50,6 +83,15 @@ int main(int argc, char** argv) {
     std::printf("%-8s %10.1f %10.1f %10.1f %10.1f %10.1f   %s\n",
                 results[i].network_name.c_str(), s.mean, s.stddev, s.min,
                 s.median, s.max, paper[i]);
+  }
+
+  // Per-phase breakdown straight from the registry: where the round-trip
+  // actually went (push leg, token POST, pool queueing, ...).
+  std::printf("\nPer-phase latency percentiles "
+              "(MetricsRegistry histograms, ms):\n");
+  for (const auto& result : results) {
+    std::printf("  %s\n", result.network_name.c_str());
+    print_phase_table(result.metrics);
   }
 
   // Distribution shape, Fig. 3's scatter rendered as histograms.
@@ -90,5 +132,30 @@ int main(int argc, char** argv) {
                       results[1].summary.mean < 1400
                   ? "yes"
                   : "NO");
+
+  // Machine-readable artifact: per-network summary + full registry
+  // snapshot. Everything is virtual-time, so the file is byte-identical
+  // across runs with the same seed.
+  {
+    std::ofstream out("BENCH_fig3_latency.json",
+                      std::ios::binary | std::ios::trunc);
+    out << "{\n  \"bench\": \"fig3_latency\",\n  \"trials\": " << trials
+        << ",\n  \"seed\": " << seed << ",\n  \"networks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& s = results[i].summary;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"name\": \"%s\", \"mean_ms\": %.3f, "
+                    "\"stddev_ms\": %.3f, \"min_ms\": %.3f, "
+                    "\"median_ms\": %.3f, \"max_ms\": %.3f,\n"
+                    "     \"metrics\": ",
+                    results[i].network_name.c_str(), s.mean, s.stddev, s.min,
+                    s.median, s.max);
+      out << buf << embed_json(results[i].metrics) << '}'
+          << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+  }
+  std::printf("\nWrote BENCH_fig3_latency.json\n");
   return 0;
 }

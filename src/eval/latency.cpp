@@ -27,6 +27,11 @@ LatencyResult run_latency_experiment(const LatencyConfig& config) {
     throw ProtocolError("latency experiment: warm-up failed");
   }
   bed.server().clear_latencies();
+  // Zero the metric values too, so the reported histograms cover exactly
+  // the measured trials. (The handshake histogram stays empty here by
+  // design: warm-up established the channels.)
+  bed.server().metrics().reset_values();
+  bed.server().metrics().clear_spans();
 
   for (int i = 0; i < config.trials; ++i) {
     const auto result = bed.get_password("Alice", "mail.google.com");
@@ -42,6 +47,7 @@ LatencyResult run_latency_experiment(const LatencyConfig& config) {
     out.samples_ms.push_back(us_to_ms(us));
   }
   out.summary = summarize(out.samples_ms);
+  out.metrics = bed.server().metrics().snapshot();
   return out;
 }
 

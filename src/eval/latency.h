@@ -16,6 +16,7 @@
 
 #include "eval/stats.h"
 #include "eval/testbed.h"
+#include "obs/metrics.h"
 
 namespace amnesia::eval {
 
@@ -29,6 +30,10 @@ struct LatencyResult {
   std::string network_name;
   std::vector<double> samples_ms;  // one per trial, in trial order
   Summary summary;                 // of samples_ms
+  // Registry snapshot taken after the trials (warm-up excluded): per-phase
+  // histograms (protocol.round_latency_us, rendezvous.push_ack_us,
+  // securechan.handshake_latency_us, ...) plus subsystem counters.
+  obs::Snapshot metrics;
 };
 
 /// Runs one network's experiment on a fresh testbed.

@@ -22,6 +22,10 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   config_.server.rendezvous_node = "gcm";
   server_ = std::make_unique<server::AmnesiaServer>(*sim_, *net_, *server_rng_,
                                                     config_.server);
+  // One registry for the whole testbed: the rendezvous service and the
+  // client-side channel legs report into the server's registry, so a
+  // single /metrics snapshot covers the full bilateral round.
+  gcm_->set_metrics(&server_->metrics());
 
   config_.phone.node_id = "phone";
   config_.phone.rendezvous_node = "gcm";
@@ -42,6 +46,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   browser_ = std::make_unique<client::Browser>(
       *net_, "browser", "amnesia-server", server_->public_key(),
       *client_rng_);
+  browser_->channel().set_metrics(&server_->metrics(), &sim_->clock());
 
   wire_links();
 }
@@ -67,6 +72,7 @@ std::unique_ptr<client::Browser> Testbed::make_browser(
     const std::string& node_id) {
   auto browser = std::make_unique<client::Browser>(
       *net_, node_id, "amnesia-server", server_->public_key(), *client_rng_);
+  browser->channel().set_metrics(&server_->metrics(), &sim_->clock());
   net_->set_duplex_link(node_id, "amnesia-server", simnet::profiles().wan,
                         simnet::profiles().wan);
   return browser;

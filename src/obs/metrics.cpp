@@ -1,0 +1,324 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace amnesia::obs {
+
+// ------------------------------------------------------------- histogram
+
+const std::vector<Micros>& default_latency_bounds() {
+  static const std::vector<Micros> kBounds = {
+      100,        200,        500,        1'000,      2'000,      5'000,
+      10'000,     20'000,     50'000,     100'000,    200'000,    300'000,
+      500'000,    700'000,    1'000'000,  1'500'000,  2'000'000,  5'000'000,
+      10'000'000, 30'000'000, 60'000'000,
+  };
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<Micros> bounds) {
+  if (bounds.empty()) throw Error("Histogram: needs at least one bound");
+  if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    throw Error("Histogram: bounds must be strictly ascending");
+  }
+  data_.bounds = std::move(bounds);
+  data_.counts.assign(data_.bounds.size() + 1, 0);
+}
+
+void Histogram::record(Micros value) {
+  const auto it =
+      std::lower_bound(data_.bounds.begin(), data_.bounds.end(), value);
+  ++data_.counts[static_cast<std::size_t>(it - data_.bounds.begin())];
+  if (data_.count == 0) {
+    data_.min = value;
+    data_.max = value;
+  } else {
+    data_.min = std::min(data_.min, value);
+    data_.max = std::max(data_.max, value);
+  }
+  ++data_.count;
+  data_.sum += value;
+}
+
+double Histogram::mean() const {
+  return data_.count == 0
+             ? 0.0
+             : static_cast<double>(data_.sum) /
+                   static_cast<double>(data_.count);
+}
+
+void Histogram::reset() {
+  std::fill(data_.counts.begin(), data_.counts.end(), 0);
+  data_.count = 0;
+  data_.sum = 0;
+  data_.min = 0;
+  data_.max = 0;
+}
+
+Micros quantile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based), as in nearest-rank quantiles.
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(h.count))));
+  std::uint64_t cumulative = 0;
+  Micros value = h.max;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    cumulative += h.counts[i];
+    if (cumulative >= rank) {
+      value = i < h.bounds.size() ? h.bounds[i] : h.max;
+      break;
+    }
+  }
+  return std::clamp(value, h.min, h.max);
+}
+
+// -------------------------------------------------------------- registry
+
+void MetricsRegistry::check_name(const std::string& name) {
+  if (name.empty()) throw Error("metric name must not be empty");
+  for (const char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      throw Error("metric name must not contain whitespace: '" + name + "'");
+    }
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  check_name(name);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  check_name(name);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histogram(name, default_latency_bounds());
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<Micros> bounds) {
+  check_name(name);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+SpanId MetricsRegistry::begin_span(const std::string& name, SpanId parent) {
+  check_name(name);
+  SpanRecord span;
+  span.id = next_span_id_++;
+  span.parent = parent;
+  span.name = name;
+  span.start = now();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void MetricsRegistry::end_span(SpanId id) {
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->id == id) {
+      if (!it->finished) {
+        it->end = now();
+        it->finished = true;
+      }
+      return;
+    }
+  }
+}
+
+std::vector<SpanRecord> MetricsRegistry::spans_named(
+    const std::string& name) const {
+  std::vector<SpanRecord> out;
+  for (const auto& span : spans_) {
+    if (span.name == name) out.push_back(span);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> MetricsRegistry::children_of(SpanId parent) const {
+  std::vector<SpanRecord> out;
+  for (const auto& span : spans_) {
+    if (span.parent == parent && span.finished) out.push_back(span);
+  }
+  return out;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->data();
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  spans_.clear();
+}
+
+// ------------------------------------------------------------- exporters
+
+namespace {
+
+constexpr const char kTextHeader[] = "# amnesia metrics v1";
+
+}  // namespace
+
+std::string to_text(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << kTextHeader << '\n';
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "counter " << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "gauge " << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out << "hist " << name << " meta " << h.count << ' ' << h.sum << ' '
+        << h.min << ' ' << h.max << '\n';
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      out << "hist " << name << " le ";
+      if (i < h.bounds.size()) {
+        out << h.bounds[i];
+      } else {
+        out << "+inf";
+      }
+      out << ' ' << h.counts[i] << '\n';
+    }
+  }
+  return out.str();
+}
+
+Snapshot parse_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) || header != kTextHeader) {
+    throw FormatError("metrics text: missing '# amnesia metrics v1' header");
+  }
+  Snapshot snap;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind, name;
+    if (!(fields >> kind >> name)) {
+      throw FormatError("metrics text: malformed line: " + line);
+    }
+    try {
+      if (kind == "counter") {
+        std::string value;
+        fields >> value;
+        snap.counters[name] = std::stoull(value);
+      } else if (kind == "gauge") {
+        std::string value;
+        fields >> value;
+        snap.gauges[name] = std::stoll(value);
+      } else if (kind == "hist") {
+        std::string sub;
+        fields >> sub;
+        HistogramSnapshot& h = snap.histograms[name];
+        if (sub == "meta") {
+          std::string count, sum, min, max;
+          fields >> count >> sum >> min >> max;
+          h.count = std::stoull(count);
+          h.sum = std::stoll(sum);
+          h.min = std::stoll(min);
+          h.max = std::stoll(max);
+        } else if (sub == "le") {
+          std::string bound, count;
+          fields >> bound >> count;
+          if (bound != "+inf") h.bounds.push_back(std::stoll(bound));
+          h.counts.push_back(std::stoull(count));
+        } else {
+          throw FormatError("metrics text: unknown hist line: " + line);
+        }
+      } else {
+        throw FormatError("metrics text: unknown kind: " + kind);
+      }
+    } catch (const std::logic_error&) {  // stoull/stoll failures
+      throw FormatError("metrics text: bad number in line: " + line);
+    }
+    if (fields.fail()) {
+      throw FormatError("metrics text: truncated line: " + line);
+    }
+  }
+  return snap;
+}
+
+namespace {
+
+void json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "\n    " : ",\n    ");
+    json_string(out, name);
+    out << ": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    json_string(out, name);
+    out << ": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    json_string(out, name);
+    out << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"min\": " << h.min << ", \"max\": " << h.max
+        << ", \"p50\": " << quantile(h, 0.50)
+        << ", \"p95\": " << quantile(h, 0.95)
+        << ", \"p99\": " << quantile(h, 0.99) << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le\": ";
+      if (i < h.bounds.size()) {
+        out << h.bounds[i];
+      } else {
+        out << "\"+inf\"";
+      }
+      out << ", \"count\": " << h.counts[i] << '}';
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+}  // namespace amnesia::obs

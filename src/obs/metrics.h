@@ -1,0 +1,212 @@
+// Observability layer: metrics registry, latency histograms, trace spans.
+//
+// Every number the evaluation reports (Fig. 3 latency percentiles, the
+// thread-count ablation, Tables 1-3 byte counts) is ultimately a
+// measurement of the bilateral protocol, and before this module every
+// bench binary hand-rolled its own counters and accumulators. The obs
+// layer gives all subsystems one deterministic instrumentation surface:
+//
+//   Counter    monotonically increasing event count;
+//   Gauge      point-in-time signed value (queue depth, busy workers),
+//              with a high-watermark helper;
+//   Histogram  fixed-bucket latency histogram over Micros values with
+//              deterministic p50/p95/p99 queries — quantiles are computed
+//              from bucket boundaries and clamped to the observed
+//              [min, max], so for any recorded sample set
+//              p50 <= p95 <= p99 <= max holds exactly;
+//   Span       one traced interval with a parent id, used to decompose a
+//              bilateral round (browser -> server -> rendezvous -> phone
+//              -> server -> browser) into its phases.
+//
+// All timing comes from an injected Clock — under simnet::Simulation that
+// is virtual time, so two runs with the same seed export byte-identical
+// snapshots. Nothing here reads the wall clock.
+//
+// Snapshots export to a plain-text line format (served on GET /metrics)
+// that parses back losslessly, and to JSON for BENCH_*.json artifacts.
+// See docs/OBSERVABILITY.md for the naming convention and span model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace amnesia::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t delta) { value_ += delta; }
+  /// High-watermark update: keeps the maximum value ever set.
+  void track_max(std::int64_t v) { value_ = v > value_ ? v : value_; }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// The exported state of one histogram. `bounds` are inclusive upper
+/// bucket bounds in ascending order; `counts` has one extra trailing
+/// overflow bucket (conceptually "+inf").
+struct HistogramSnapshot {
+  std::vector<Micros> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  Micros min = 0;
+  Micros max = 0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Deterministic bucket-boundary quantile, clamped to the observed
+/// [min, max]; returns 0 on an empty histogram. Monotonic in q.
+Micros quantile(const HistogramSnapshot& h, double q);
+
+/// Default latency buckets, exponential-ish from 100 us to 60 s.
+const std::vector<Micros>& default_latency_bounds();
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<Micros> bounds = default_latency_bounds());
+
+  void record(Micros value);
+  Micros quantile(double q) const { return obs::quantile(data_, q); }
+  std::uint64_t count() const { return data_.count; }
+  std::int64_t sum() const { return data_.sum; }
+  Micros min() const { return data_.min; }
+  Micros max() const { return data_.max; }
+  /// Mean in microseconds (0 when empty).
+  double mean() const;
+  const HistogramSnapshot& data() const { return data_; }
+  void reset();
+
+ private:
+  HistogramSnapshot data_;
+};
+
+using SpanId = std::uint64_t;
+
+/// One traced interval. `parent` is 0 for root spans. `end` is meaningful
+/// only once `finished` is true.
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;
+  std::string name;
+  Micros start = 0;
+  Micros end = 0;
+  bool finished = false;
+};
+
+/// A full, comparable export of the registry's metric state. Spans are
+/// kept out of the snapshot: they are a trace, not a metric, and are read
+/// through MetricsRegistry::spans().
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+/// Plain-text export ("# amnesia metrics v1" line format). Lossless:
+/// parse_text(to_text(s)) == s.
+std::string to_text(const Snapshot& snapshot);
+
+/// Parses the to_text format. Throws FormatError on malformed input.
+Snapshot parse_text(const std::string& text);
+
+/// JSON export (write-only) with derived p50/p95/p99 per histogram —
+/// the BENCH_*.json-compatible shape benches embed in their artifacts.
+std::string to_json(const Snapshot& snapshot);
+
+/// Named-metric registry plus span log. Handles returned by counter() /
+/// gauge() / histogram() are stable for the registry's lifetime, so hot
+/// paths resolve the name once and keep the pointer.
+class MetricsRegistry {
+ public:
+  /// `clock` drives span and ScopedTimer timestamps; it may be null when
+  /// only counters/gauges/histograms-with-explicit-values are used.
+  explicit MetricsRegistry(const Clock* clock = nullptr) : clock_(clock) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void set_clock(const Clock* clock) { clock_ = clock; }
+  Micros now() const { return clock_ ? clock_->now_us() : 0; }
+
+  /// Finds or creates. Names must be non-empty and whitespace-free (they
+  /// are tokens of the text export format); throws Error otherwise.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  /// Creates with explicit bucket bounds; bounds are ignored if the
+  /// histogram already exists (first registration wins).
+  Histogram& histogram(const std::string& name, std::vector<Micros> bounds);
+
+  // -- spans -----------------------------------------------------------
+  /// Starts a span at the current clock time. parent = 0 means root.
+  SpanId begin_span(const std::string& name, SpanId parent = 0);
+  /// Finishes a span at the current clock time. Unknown/already-finished
+  /// ids are ignored (a timed-out round may race its own cleanup).
+  void end_span(SpanId id);
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  /// All spans with this name, in start order.
+  std::vector<SpanRecord> spans_named(const std::string& name) const;
+  /// Finished direct children of `parent`, in start order.
+  std::vector<SpanRecord> children_of(SpanId parent) const;
+  void clear_spans() { spans_.clear(); }
+
+  /// Comparable export of all counters/gauges/histograms.
+  Snapshot snapshot() const;
+
+  /// Zeroes every metric value and drops all spans, keeping the metric
+  /// objects (and any held handles) alive. Used to discard warm-up
+  /// traffic before a measured experiment.
+  void reset_values();
+
+ private:
+  static void check_name(const std::string& name);
+
+  const Clock* clock_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<SpanRecord> spans_;
+  SpanId next_span_id_ = 1;
+};
+
+/// RAII timer: records the elapsed clock time into a histogram on
+/// destruction. For synchronous sections only — async intervals capture
+/// the start time in their callback chain instead.
+class ScopedTimer {
+ public:
+  ScopedTimer(const Clock& clock, Histogram& hist)
+      : clock_(clock), hist_(hist), start_(clock.now_us()) {}
+  ~ScopedTimer() { hist_.record(clock_.now_us() - start_); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const Clock& clock_;
+  Histogram& hist_;
+  Micros start_;
+};
+
+}  // namespace amnesia::obs

@@ -36,12 +36,23 @@ PushService::PushService(simnet::Network& network, simnet::NodeId node_id,
   });
 }
 
+void PushService::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  delivery_latency_ =
+      registry ? &registry->histogram("push.delivery_latency_us") : nullptr;
+}
+
+void PushService::count(std::uint64_t PushStats::* field, const char* name) {
+  ++(stats_.*field);
+  if (metrics_) metrics_->counter(name).inc();
+}
+
 void PushService::reap_expired() {
   const Micros now = network_.sim().now();
   for (auto& [reg_id, reg] : registrations_) {
     while (!reg.queue.empty() && reg.queue.front().expires_at <= now) {
       reg.queue.pop_front();
-      ++stats_.pushes_expired;
+      count(&PushStats::pushes_expired, "push.pushes_expired");
     }
   }
 }
@@ -68,7 +79,7 @@ void PushService::handle_rpc(const simnet::NodeId& from, const Bytes& body,
         // Registration ids are opaque and unguessable, like GCM tokens.
         const std::string reg_id = "gcm-" + hex_encode(rng_.bytes(16));
         registrations_[reg_id] = Registration{device, {}};
-        ++stats_.registrations;
+        count(&PushStats::registrations, "push.registrations");
         storage::BufWriter w;
         w.u8(kStatusOk);
         w.str(reg_id);
@@ -81,19 +92,20 @@ void PushService::handle_rpc(const simnet::NodeId& from, const Bytes& body,
         const Bytes payload = r.bytes();
         const auto it = registrations_.find(reg_id);
         if (it == registrations_.end()) {
-          ++stats_.unknown_registration;
+          count(&PushStats::unknown_registration, "push.unknown_registration");
           respond(status_reply(kStatusUnknownId));
           return;
         }
-        ++stats_.pushes_accepted;
+        count(&PushStats::pushes_accepted, "push.pushes_accepted");
         Registration& reg = it->second;
         if (try_deliver(reg_id, reg)) {
           node_->send_oneway(reg.device, payload);
-          ++stats_.pushes_delivered;
+          count(&PushStats::pushes_delivered, "push.pushes_delivered");
+          if (delivery_latency_) delivery_latency_->record(0);
         } else {
-          reg.queue.push_back(
-              QueuedPush{payload, network_.sim().now() + ttl_us});
-          ++stats_.pushes_queued;
+          const Micros now = network_.sim().now();
+          reg.queue.push_back(QueuedPush{payload, now + ttl_us, now});
+          count(&PushStats::pushes_queued, "push.pushes_queued");
         }
         respond(status_reply(kStatusOk));
         return;
@@ -102,7 +114,7 @@ void PushService::handle_rpc(const simnet::NodeId& from, const Bytes& body,
         const std::string reg_id = r.str();
         const auto it = registrations_.find(reg_id);
         if (it == registrations_.end()) {
-          ++stats_.unknown_registration;
+          count(&PushStats::unknown_registration, "push.unknown_registration");
           respond(status_reply(kStatusUnknownId));
           return;
         }
@@ -111,7 +123,11 @@ void PushService::handle_rpc(const simnet::NodeId& from, const Bytes& body,
         reg.device = from;
         while (!reg.queue.empty()) {
           node_->send_oneway(reg.device, reg.queue.front().payload);
-          ++stats_.pushes_delivered;
+          count(&PushStats::pushes_delivered, "push.pushes_delivered");
+          if (delivery_latency_) {
+            delivery_latency_->record(network_.sim().now() -
+                                      reg.queue.front().queued_at);
+          }
           reg.queue.pop_front();
         }
         respond(status_reply(kStatusOk));

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "simnet/node.h"
 
 namespace amnesia::rendezvous {
@@ -53,10 +54,16 @@ class PushService {
   /// every touch; exposed for tests).
   void reap_expired();
 
+  /// Publishes push.* counters mirroring PushStats plus
+  /// push.delivery_latency_us, the accept-to-forward delay in virtual time
+  /// (zero for online devices, the store-and-forward wait otherwise).
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct QueuedPush {
     Bytes payload;
     Micros expires_at;
+    Micros queued_at;
   };
   struct Registration {
     simnet::NodeId device;
@@ -67,11 +74,15 @@ class PushService {
                   std::function<void(Bytes)> respond);
   bool try_deliver(const std::string& reg_id, Registration& reg);
 
+  void count(std::uint64_t PushStats::* field, const char* name);
+
   simnet::Network& network_;
   std::unique_ptr<simnet::Node> node_;
   RandomSource& rng_;
   std::map<std::string, Registration> registrations_;
   PushStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* delivery_latency_ = nullptr;
 };
 
 /// Client helpers used by the phone and the Amnesia server.

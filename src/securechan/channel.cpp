@@ -70,6 +70,10 @@ SecureServer::SecureServer(crypto::X25519KeyPair static_keys,
                            RandomSource& rng)
     : static_keys_(static_keys), rng_(rng) {}
 
+void SecureServer::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+}
+
 void SecureServer::bind(simnet::Node& node) {
   node.set_rpc_handler([this](const simnet::NodeId& /*from*/,
                               const Bytes& body,
@@ -80,8 +84,13 @@ void SecureServer::bind(simnet::Node& node) {
 
 void SecureServer::handle_wire(const Bytes& wire,
                                std::function<void(Bytes)> respond) {
+  if (metrics_) {
+    metrics_->counter("securechan.bytes_in")
+        .inc(static_cast<std::uint64_t>(wire.size()));
+  }
   if (wire.empty()) {
     ++stats_.records_rejected;
+    if (metrics_) metrics_->counter("securechan.records_rejected").inc();
     return;  // silent drop, like a TLS terminator on garbage
   }
   storage::BufReader r(wire);
@@ -115,7 +124,13 @@ void SecureServer::handle_wire(const Bytes& wire,
       w.bytes(confirm);
       channels_.emplace(channel_id, std::move(chan));
       ++stats_.handshakes;
-      respond(w.take());
+      Bytes hello = w.take();
+      if (metrics_) {
+        metrics_->counter("securechan.handshakes").inc();
+        metrics_->counter("securechan.bytes_out")
+            .inc(static_cast<std::uint64_t>(hello.size()));
+      }
+      respond(std::move(hello));
       return;
     }
     if (type == kData) {
@@ -125,11 +140,13 @@ void SecureServer::handle_wire(const Bytes& wire,
       const auto it = channels_.find(channel_id);
       if (it == channels_.end()) {
         ++stats_.records_rejected;
+        if (metrics_) metrics_->counter("securechan.records_rejected").inc();
         return;
       }
       Channel& chan = it->second;
       if (!chan.seen_client_seqs.insert(seq).second) {
         ++stats_.replays_rejected;
+        if (metrics_) metrics_->counter("securechan.replays_rejected").inc();
         return;
       }
       const auto plaintext = open_record(
@@ -137,9 +154,11 @@ void SecureServer::handle_wire(const Bytes& wire,
           direction_aad(0, channel_id), sealed);
       if (!plaintext) {
         ++stats_.records_rejected;
+        if (metrics_) metrics_->counter("securechan.records_rejected").inc();
         return;
       }
       ++stats_.records_opened;
+      if (metrics_) metrics_->counter("securechan.records_opened").inc();
       if (!handler_) return;
       const std::uint64_t channel_id_copy = channel_id;
       handler_(*plaintext, [this, channel_id_copy,
@@ -155,7 +174,12 @@ void SecureServer::handle_wire(const Bytes& wire,
         w.bytes(seal_record(c.keys.server_to_client_key,
                             c.keys.server_to_client_iv, reply_seq,
                             direction_aad(1, channel_id_copy), reply));
-        respond(w.take());
+        Bytes out = w.take();
+        if (metrics_) {
+          metrics_->counter("securechan.bytes_out")
+              .inc(static_cast<std::uint64_t>(out.size()));
+        }
+        respond(std::move(out));
       });
       return;
     }
@@ -163,6 +187,7 @@ void SecureServer::handle_wire(const Bytes& wire,
     // fall through to reject
   }
   ++stats_.records_rejected;
+  if (metrics_) metrics_->counter("securechan.records_rejected").inc();
 }
 
 // ---------------------------------------------------------------- client
@@ -179,6 +204,12 @@ SecureClient::SecureClient(simnet::Node& node, simnet::NodeId server,
 void SecureClient::reset() {
   channel_.reset();
   handshake_in_flight_ = false;
+}
+
+void SecureClient::set_metrics(obs::MetricsRegistry* registry,
+                               const Clock* clock) {
+  metrics_ = registry;
+  metrics_clock_ = clock;
 }
 
 const ChannelKeys* SecureClient::debug_keys() const {
@@ -246,6 +277,8 @@ void SecureClient::request(Bytes plaintext,
 
 void SecureClient::start_handshake() {
   handshake_in_flight_ = true;
+  const Micros handshake_started =
+      metrics_clock_ ? metrics_clock_->now_us() : 0;
   const auto eph = crypto::x25519_generate(rng_);
   pending_eph_private_.assign(eph.private_key.begin(), eph.private_key.end());
   pending_client_nonce_ = rng_.bytes(kNonceLen);
@@ -257,7 +290,7 @@ void SecureClient::start_handshake() {
 
   node_.request(
       server_, w.take(),
-      [this](Result<Bytes> wire) {
+      [this, handshake_started](Result<Bytes> wire) {
         handshake_in_flight_ = false;
         auto fail_all = [this](Err code, const std::string& msg) {
           auto queue = std::move(queue_);
@@ -302,6 +335,11 @@ void SecureClient::start_handshake() {
           est.seen_server_seqs.insert(0);  // the confirm record
           channel_ = std::move(est);
           secure_wipe(pending_eph_private_);
+          if (metrics_ && metrics_clock_) {
+            metrics_->counter("securechan.client_handshakes").inc();
+            metrics_->histogram("securechan.handshake_latency_us")
+                .record(metrics_clock_->now_us() - handshake_started);
+          }
           flush_queue();
         } catch (const FormatError& e) {
           fail_all(Err::kVerificationFailed,

@@ -31,6 +31,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "crypto/x25519.h"
+#include "obs/metrics.h"
 #include "simnet/node.h"
 
 namespace amnesia::securechan {
@@ -84,6 +85,11 @@ class SecureServer {
 
   const SecureServerStats& stats() const { return stats_; }
 
+  /// Publishes securechan.* metrics: handshake / record counters and
+  /// wire bytes_in / bytes_out (ciphertext sizes, the paper's Table 3
+  /// traffic view).
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct Channel {
     ChannelKeys keys;
@@ -97,6 +103,7 @@ class SecureServer {
   std::map<std::uint64_t, Channel> channels_;
   std::uint64_t next_channel_id_ = 1;
   SecureServerStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Client side: performs the pinned-key handshake lazily on the first
@@ -116,6 +123,13 @@ class SecureClient {
 
   /// Drops the channel; the next request re-handshakes.
   void reset();
+
+  /// Records client-observed handshake round-trip latency into
+  /// `securechan.handshake_latency_us` (virtual time from `clock`) and
+  /// counts completed handshakes. In the simulation the whole testbed
+  /// shares one registry, so client-leg handshake RTTs land next to the
+  /// server-side channel counters.
+  void set_metrics(obs::MetricsRegistry* registry, const Clock* clock);
 
   /// Testing/attack hook: the live channel keys, if established. A
   /// compromised-HTTPS adversary (paper section IV-A) is granted exactly
@@ -140,6 +154,8 @@ class SecureClient {
   Micros timeout_us_;
   std::optional<Established> channel_;
   bool handshake_in_flight_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  const Clock* metrics_clock_ = nullptr;
   // Requests issued before the handshake completes.
   std::deque<std::pair<Bytes, std::function<void(Result<Bytes>)>>> queue_;
   // Handshake state while in flight.

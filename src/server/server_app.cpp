@@ -34,6 +34,7 @@ AmnesiaServer::AmnesiaServer(simnet::Simulation& sim,
                              AmnesiaServerConfig config)
     : sim_(sim),
       rng_(rng),
+      metrics_(&sim.clock()),
       config_(std::move(config)),
       channel_keys_(crypto::x25519_generate(rng)),
       node_(std::make_unique<simnet::Node>(network, config_.node_id)),
@@ -56,12 +57,20 @@ AmnesiaServer::AmnesiaServer(simnet::Simulation& sim,
     }
     return ms_to_us(config_.light_compute_ms);
   });
+  http_.set_metrics(&metrics_);
+  secure_.set_metrics(&metrics_);
+  db_.raw().set_metrics(&metrics_);
   install_routes();
   secure_.set_handler([this](const Bytes& plain,
                              std::function<void(Bytes)> respond) {
     http_.handle_bytes(plain, std::move(respond));
   });
   secure_.bind(*node_);
+}
+
+void AmnesiaServer::finish_round_spans(const PendingPassword& pending) {
+  metrics_.end_span(pending.wait_span);
+  metrics_.end_span(pending.round_span);
 }
 
 void AmnesiaServer::install_routes() {
@@ -102,6 +111,17 @@ void AmnesiaServer::install_routes() {
         &AmnesiaServer::handle_vault_retrieve);
   route(Method::kGet, "/vault", &AmnesiaServer::handle_vault_list);
   route(Method::kPost, "/vault/remove", &AmnesiaServer::handle_vault_remove);
+
+  // Text snapshot of the whole-testbed registry. Exempt, so serving it
+  // neither perturbs the pool nor mutates the numbers it is exporting —
+  // the body stays byte-identical to an in-process snapshot.
+  http_.router().add(Method::kGet, "/metrics",
+                     [this](const Request&, const PathParams&,
+                            Responder respond) {
+                       respond(Response::ok_text(
+                           obs::to_text(metrics_.snapshot())));
+                     });
+  http_.metrics_exempt("/metrics");
 }
 
 std::optional<std::string> AmnesiaServer::require_auth(
@@ -345,6 +365,7 @@ void AmnesiaServer::handle_password_request(const Request& req,
     if (it != password_cache_.end()) {
       if (it->second.expires_at > sim_.now()) {
         ++stats_.cache_hits;
+        metrics_.counter("server.cache_hits").inc();
         respond(websvc::Response::ok_form(
             {{"password", it->second.password}, {"cached", "1"}}));
         return;
@@ -354,6 +375,7 @@ void AmnesiaServer::handle_password_request(const Request& req,
   }
 
   ++stats_.password_requests;
+  metrics_.counter("server.password_requests").inc();
   PendingPassword pending{*user,
                           account->id,
                           /*tstart_us=*/0,
@@ -379,13 +401,24 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
   const core::Request r = core::make_request(pending.account, seed);
   const core::PasswordRequestPush push_msg{request_id, r, origin_ip, tstart};
 
+  // One root span per bilateral round; the push leg and the phone wait are
+  // children, and server.generate joins them when the token arrives.
+  pending.round_span = metrics_.begin_span("protocol.round");
+  const obs::SpanId push_span =
+      metrics_.begin_span("rendezvous.push", pending.round_span);
+  pending.wait_span = metrics_.begin_span("phone.wait", pending.round_span);
+
   pending_passwords_.emplace(request_id, std::move(pending));
 
   push_.push(registration_id, push_msg.encode(), config_.push_ttl_us,
-             [request_id, this](Status s) {
+             [request_id, push_span, tstart, this](Status s) {
+               metrics_.end_span(push_span);
+               metrics_.histogram("rendezvous.push_ack_us")
+                   .record(sim_.now() - tstart);
                if (!s.ok()) {
                  const auto it = pending_passwords_.find(request_id);
                  if (it == pending_passwords_.end()) return;
+                 finish_round_spans(it->second);
                  it->second.respond(Response::error(
                      502, "rendezvous push failed: " + s.message()));
                  pending_passwords_.erase(it);
@@ -396,6 +429,8 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
     const auto it = pending_passwords_.find(request_id);
     if (it == pending_passwords_.end()) return;
     ++stats_.requests_timed_out;
+    metrics_.counter("server.requests_timed_out").inc();
+    finish_round_spans(it->second);
     it->second.respond(Response::error(504, "phone did not respond"));
     pending_passwords_.erase(it);
   });
@@ -426,9 +461,12 @@ void AmnesiaServer::handle_token(const Request& req,
   }
   PendingPassword pending = std::move(it->second);
   pending_passwords_.erase(it);
+  // The phone has answered: the wait leg of the round is over.
+  metrics_.end_span(pending.wait_span);
 
   const auto user_record = db_.get_user(pending.user);
   if (!user_record) {
+    metrics_.end_span(pending.round_span);
     pending.respond(Response::error(500, "user state vanished"));
     respond(Response::error(500, "user state vanished"));
     return;
@@ -438,17 +476,24 @@ void AmnesiaServer::handle_token(const Request& req,
     case TokenPurpose::kGenerate: {
       const auto account = db_.get_account(pending.user, pending.account);
       if (!account) {
+        metrics_.end_span(pending.round_span);
         pending.respond(Response::error(500, "account state vanished"));
         respond(Response::error(500, "account state vanished"));
         return;
       }
       // p = SHA512(T || Oid || sigma), then the template fn (III-B4).
+      const obs::SpanId gen_span =
+          metrics_.begin_span("server.generate", pending.round_span);
       const std::string password = core::generate_password(
           token, user_record->oid, account->seed, account->policy);
+      metrics_.end_span(gen_span);
 
       const Micros tend = sim_.now();
       password_latencies_.push_back(tend - pending.tstart_us);
       ++stats_.passwords_generated;
+      metrics_.counter("server.passwords_generated").inc();
+      metrics_.histogram("protocol.round_latency_us")
+          .record(tend - pending.tstart_us);
 
       if (config_.password_cache_ttl_us > 0 &&
           !pending.session_token.empty()) {
@@ -463,12 +508,14 @@ void AmnesiaServer::handle_token(const Request& req,
           {{"password", password},
            {"latency_ms",
             std::to_string(us_to_ms(tend - pending.tstart_us))}}));
+      metrics_.end_span(pending.round_span);
       respond(Response::ok_text("token accepted"));
       return;
     }
     case TokenPurpose::kVaultStore: {
       const auto record = db_.vault_get(pending.user, pending.account);
       if (!record) {
+        metrics_.end_span(pending.round_span);
         pending.respond(Response::error(500, "vault state vanished"));
         respond(Response::error(500, "vault state vanished"));
         return;
@@ -488,12 +535,14 @@ void AmnesiaServer::handle_token(const Request& req,
       db_.vault_set_ciphertext(pending.user, pending.account, nonce, sealed);
       ++stats_.vault_stores;
       pending.respond(Response::ok_text("stored"));
+      metrics_.end_span(pending.round_span);
       respond(Response::ok_text("token accepted"));
       return;
     }
     case TokenPurpose::kVaultRetrieve: {
       const auto record = db_.vault_get(pending.user, pending.account);
       if (!record || !record->ciphertext || !record->nonce) {
+        metrics_.end_span(pending.round_span);
         pending.respond(Response::error(404, "nothing stored"));
         respond(Response::error(404, "nothing stored"));
         return;
@@ -508,6 +557,7 @@ void AmnesiaServer::handle_token(const Request& req,
           crypto::aead_open(key, *record->nonce, aad, *record->ciphertext);
       if (!opened) {
         // Wrong/stale phone (new T_E after recovery) or tampered record.
+        metrics_.end_span(pending.round_span);
         pending.respond(Response::error(
             403, "vault record does not open with this phone"));
         respond(Response::ok_text("token accepted"));
@@ -516,6 +566,7 @@ void AmnesiaServer::handle_token(const Request& req,
       ++stats_.vault_retrievals;
       pending.respond(
           websvc::Response::ok_form({{"password", to_string(*opened)}}));
+      metrics_.end_span(pending.round_span);
       respond(Response::ok_text("token accepted"));
       return;
     }
@@ -541,6 +592,8 @@ void AmnesiaServer::handle_token_decline(const Request& req,
     return;
   }
   ++stats_.requests_declined;
+  metrics_.counter("server.requests_declined").inc();
+  finish_round_spans(it->second);
   it->second.respond(Response::error(403, "declined on phone"));
   pending_passwords_.erase(it);
   respond(Response::ok_text("declined"));

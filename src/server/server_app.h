@@ -33,6 +33,7 @@
 #include "core/generate.h"
 #include "core/protocol.h"
 #include "crypto/x25519.h"
+#include "obs/metrics.h"
 #include "rendezvous/push_service.h"
 #include "securechan/channel.h"
 #include "server/auth.h"
@@ -110,6 +111,13 @@ class AmnesiaServer {
   websvc::HttpServer& http() { return http_; }
   websvc::SessionManager& sessions() { return sessions_; }
 
+  /// The whole-testbed metrics registry (clocked by the simulation). The
+  /// server wires its own subsystems in; the testbed additionally points
+  /// the rendezvous service and client-side channels at it so one snapshot
+  /// covers the full bilateral round. Served as text at GET /metrics.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   /// End-to-end password-generation latencies observed at the server
   /// (tend - tstart), in microseconds — the measurement of section VI-B.
   const std::vector<Micros>& password_latencies() const {
@@ -165,6 +173,10 @@ class AmnesiaServer {
     TokenPurpose purpose = TokenPurpose::kGenerate;
     std::string chosen_password;  // kVaultStore only
     std::string session_token;    // for the session cache
+    // Open spans for this round; ended on whichever completion path fires
+    // (token, decline, timeout, push failure). end_span tolerates 0.
+    obs::SpanId round_span = 0;
+    obs::SpanId wait_span = 0;
   };
   struct CachedPassword {
     std::string password;
@@ -187,8 +199,12 @@ class AmnesiaServer {
     Micros expires_at;
   };
 
+  /// Ends the wait + round spans of a pending request (any outcome).
+  void finish_round_spans(const PendingPassword& pending);
+
   simnet::Simulation& sim_;
   RandomSource& rng_;
+  obs::MetricsRegistry metrics_;
   AmnesiaServerConfig config_;
   crypto::X25519KeyPair channel_keys_;
   std::unique_ptr<simnet::Node> node_;

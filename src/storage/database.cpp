@@ -81,6 +81,33 @@ Database::Database(std::string path) : path_(std::move(path)) {
 
 Database::~Database() = default;
 
+void Database::set_metrics(obs::MetricsRegistry* registry,
+                           const std::string& prefix) {
+  if (!registry) {
+    queries_counter_ = nullptr;
+    lookups_counter_ = nullptr;
+    mutations_counter_ = nullptr;
+    journal_appends_counter_ = nullptr;
+    return;
+  }
+  queries_counter_ = &registry->counter(prefix + ".queries");
+  lookups_counter_ = &registry->counter(prefix + ".lookups");
+  mutations_counter_ = &registry->counter(prefix + ".mutations");
+  journal_appends_counter_ = &registry->counter(prefix + ".journal_appends");
+}
+
+void Database::count_lookup() const {
+  if (!lookups_counter_) return;
+  lookups_counter_->inc();
+  queries_counter_->inc();
+}
+
+void Database::count_mutation() {
+  if (!mutations_counter_ || loading_) return;
+  mutations_counter_->inc();
+  queries_counter_->inc();
+}
+
 std::vector<std::string> Database::table_names() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());
@@ -89,6 +116,7 @@ std::vector<std::string> Database::table_names() const {
 }
 
 const Table& Database::table(const std::string& name) const {
+  count_lookup();
   const auto it = tables_.find(name);
   if (it == tables_.end()) throw StorageError("unknown table: " + name);
   return *it->second;
@@ -103,6 +131,7 @@ Table& Database::mutable_table(const std::string& name) {
 void Database::create_table(const std::string& name, Schema schema) {
   if (tables_.contains(name)) throw StorageError("table exists: " + name);
   schema.validate();
+  count_mutation();
   if (!loading_) {
     BufWriter w;
     w.u8(static_cast<std::uint8_t>(Op::kCreateTable));
@@ -114,6 +143,7 @@ void Database::create_table(const std::string& name, Schema schema) {
 }
 
 void Database::insert(const std::string& table, Row row) {
+  count_mutation();
   mutable_table(table).insert(row);  // validate + apply first
   if (!loading_) {
     BufWriter w;
@@ -125,6 +155,7 @@ void Database::insert(const std::string& table, Row row) {
 }
 
 void Database::upsert(const std::string& table, Row row) {
+  count_mutation();
   mutable_table(table).upsert(row);
   if (!loading_) {
     BufWriter w;
@@ -136,6 +167,7 @@ void Database::upsert(const std::string& table, Row row) {
 }
 
 bool Database::update(const std::string& table, const Value& key, Row row) {
+  count_mutation();
   const bool changed = mutable_table(table).update(key, row);
   if (changed && !loading_) {
     BufWriter w;
@@ -149,6 +181,7 @@ bool Database::update(const std::string& table, const Value& key, Row row) {
 }
 
 bool Database::remove(const std::string& table, const Value& key) {
+  count_mutation();
   const bool changed = mutable_table(table).remove(key);
   if (changed && !loading_) {
     BufWriter w;
@@ -161,6 +194,7 @@ bool Database::remove(const std::string& table, const Value& key) {
 }
 
 void Database::clear_table(const std::string& table) {
+  count_mutation();
   mutable_table(table).clear();
   if (!loading_) {
     BufWriter w;
@@ -171,6 +205,7 @@ void Database::clear_table(const std::string& table) {
 }
 
 void Database::drop_table(const std::string& table) {
+  count_mutation();
   if (tables_.erase(table) == 0) throw StorageError("unknown table: " + table);
   if (!loading_) {
     BufWriter w;
@@ -182,6 +217,7 @@ void Database::drop_table(const std::string& table) {
 
 void Database::append_journal(const Bytes& payload) {
   ++journal_records_;
+  if (journal_appends_counter_) journal_appends_counter_->inc();
   if (!persistent()) return;
   const bool fresh = !std::filesystem::exists(journal_path());
   std::ofstream out(journal_path(), std::ios::binary | std::ios::app);

@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/metrics.h"
 #include "storage/codec.h"
 #include "storage/table.h"
 
@@ -57,6 +58,12 @@ class Database {
   /// True if the last open() detected and discarded a corrupt journal tail.
   bool recovered_from_torn_journal() const { return torn_tail_; }
 
+  /// Publishes <prefix>.* query counters: lookups (const table() reads),
+  /// mutations (journaled writes), queries (both), and journal_appends.
+  /// Journal replay during open() is not counted — only live traffic is.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "storage");
+
  private:
   enum class Op : std::uint8_t {
     kCreateTable = 1,
@@ -69,6 +76,8 @@ class Database {
   };
 
   Table& mutable_table(const std::string& name);
+  void count_lookup() const;
+  void count_mutation();
   void load();
   void append_journal(const Bytes& payload);
   void apply_journal_record(BufReader& reader);
@@ -81,6 +90,13 @@ class Database {
   std::size_t journal_records_ = 0;
   bool torn_tail_ = false;
   bool loading_ = false;
+  // Cached handles into the registry (stable for the registry's lifetime);
+  // null until set_metrics. Lookup counting happens in const reads, hence
+  // plain pointers rather than a registry lookup per query.
+  obs::Counter* queries_counter_ = nullptr;
+  obs::Counter* lookups_counter_ = nullptr;
+  obs::Counter* mutations_counter_ = nullptr;
+  obs::Counter* journal_appends_counter_ = nullptr;
 };
 
 /// Serialization helpers shared by snapshot and journal code (exposed for

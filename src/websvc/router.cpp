@@ -47,17 +47,25 @@ bool Router::match(const RouteEntry& route,
   return true;
 }
 
-bool Router::dispatch(const Request& req, const Responder& respond) const {
+const Handler* Router::find(const Request& req, PathParams& params,
+                            std::string* pattern) const {
   const auto segments = split_path(req.path);
   for (const auto& route : routes_) {
     if (route.method != req.method) continue;
-    PathParams params;
     if (match(route, segments, params)) {
-      route.handler(req, params, respond);
-      return true;
+      if (pattern) *pattern = route.pattern;
+      return &route.handler;
     }
   }
-  return false;
+  return nullptr;
+}
+
+bool Router::dispatch(const Request& req, const Responder& respond) const {
+  PathParams params;
+  const Handler* handler = find(req, params);
+  if (!handler) return false;
+  (*handler)(req, params, respond);
+  return true;
 }
 
 }  // namespace amnesia::websvc

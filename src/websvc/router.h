@@ -30,6 +30,14 @@ class Router {
   /// matches (the caller then produces a 404).
   bool dispatch(const Request& req, const Responder& respond) const;
 
+  /// Resolves `req` to its handler without invoking it, filling `params`
+  /// and (when non-null) `pattern` with the matched route's registration
+  /// pattern. Returns null when no route matches. Lets the server label
+  /// per-route metrics by pattern (bounded cardinality) instead of by
+  /// raw request path.
+  const Handler* find(const Request& req, PathParams& params,
+                      std::string* pattern = nullptr) const;
+
   std::size_t route_count() const { return routes_.size(); }
 
  private:

@@ -10,6 +10,21 @@ namespace amnesia::websvc {
 HttpServer::HttpServer(simnet::Simulation& sim, int workers)
     : sim_(sim), pool_(sim, workers) {}
 
+void HttpServer::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  pool_.set_metrics(registry);
+}
+
+void HttpServer::count_status(int status) {
+  if (status >= 500) {
+    ++stats_.responses_5xx;
+  } else if (status >= 400) {
+    ++stats_.responses_4xx;
+  } else {
+    ++stats_.responses_2xx;
+  }
+}
+
 void HttpServer::handle_bytes(const Bytes& wire,
                               std::function<void(Bytes)> respond) {
   ++stats_.requests;
@@ -19,31 +34,83 @@ void HttpServer::handle_bytes(const Bytes& wire,
   } catch (const FormatError& e) {
     ++stats_.parse_errors;
     ++stats_.responses_4xx;
+    if (metrics_) metrics_->counter("http.parse_errors").inc();
     respond(serialize(Response::error(400, e.what())));
     return;
   }
 
-  pool_.submit([this, req = std::move(req), respond = std::move(respond)](
+  // Metrics-exempt routes (the /metrics exporter) are served outside the
+  // worker pool and without instrumentation, so that exporting a snapshot
+  // neither perturbs pool occupancy nor mutates the registry it reports.
+  if (!metrics_exempt_.empty()) {
+    PathParams params;
+    std::string pattern;
+    const Handler* found = router_.find(req, params, &pattern);
+    if (found && metrics_exempt_.contains(pattern)) {
+      Handler handler = *found;
+      auto responder = [this, respond = std::move(respond)](Response resp) {
+        count_status(resp.status);
+        respond(serialize(resp));
+      };
+      try {
+        handler(req, params, responder);
+      } catch (const Error& e) {
+        AMNESIA_ERROR("websvc") << "exempt handler threw: " << e.what();
+        responder(Response::error(500, "internal error"));
+      }
+      return;
+    }
+  }
+
+  const Micros arrived_at = sim_.now();
+  pool_.submit([this, arrived_at, req = std::move(req),
+                respond = std::move(respond)](
                    std::function<void()> release) mutable {
     const Micros cost = service_time_ ? service_time_(req) : 0;
-    auto dispatch = [this, req = std::move(req), respond = std::move(respond),
+    auto dispatch = [this, arrived_at, req = std::move(req),
+                     respond = std::move(respond),
                      release = std::move(release)]() mutable {
-      auto responder = [this, respond = std::move(respond),
+      // Resolve the route up front so the responder can label metrics by
+      // the registration pattern (bounded cardinality) rather than the
+      // raw request path.
+      PathParams params;
+      std::string pattern;
+      const Handler* handler = router_.find(req, params, &pattern);
+
+      const bool observe =
+          metrics_ && (!handler || !metrics_exempt_.contains(pattern));
+      obs::Histogram* latency = nullptr;
+      if (observe) metrics_->counter("http.requests").inc();
+      if (observe && handler) {
+        const std::string route =
+            std::string(method_name(req.method)) + ":" + pattern;
+        metrics_->counter("http.route." + route + ".requests").inc();
+        latency = &metrics_->histogram("http.route." + route + ".latency_us");
+      }
+
+      auto responder = [this, arrived_at, observe, latency,
+                        respond = std::move(respond),
                         release = std::move(release)](Response resp) {
-        if (resp.status >= 500) {
-          ++stats_.responses_5xx;
-        } else if (resp.status >= 400) {
-          ++stats_.responses_4xx;
-        } else {
-          ++stats_.responses_2xx;
+        count_status(resp.status);
+        if (observe) {
+          if (resp.status >= 500) {
+            metrics_->counter("http.responses_5xx").inc();
+          } else if (resp.status >= 400) {
+            metrics_->counter("http.responses_4xx").inc();
+          } else {
+            metrics_->counter("http.responses_2xx").inc();
+          }
         }
+        if (latency) latency->record(sim_.now() - arrived_at);
         respond(serialize(resp));
         release();
       };
+      if (!handler) {
+        responder(Response::error(404, "no route for " + req.path));
+        return;
+      }
       try {
-        if (!router_.dispatch(req, responder)) {
-          responder(Response::error(404, "no route for " + req.path));
-        }
+        (*handler)(req, params, responder);
       } catch (const Error& e) {
         AMNESIA_ERROR("websvc") << "handler threw: " << e.what();
         responder(Response::error(500, "internal error"));

@@ -9,8 +9,11 @@
 
 #include <functional>
 #include <memory>
+#include <set>
+#include <string>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "simnet/node.h"
 #include "websvc/http.h"
 #include "websvc/router.h"
@@ -41,6 +44,23 @@ class HttpServer {
 
   void set_service_time(ServiceTimeFn fn) { service_time_ = std::move(fn); }
 
+  /// Publishes http.* metrics into `registry` (and threadpool.* through
+  /// the pool): a global request counter, status-class counters, and a
+  /// per-route request counter + latency histogram labelled by route
+  /// pattern, e.g. http.route.POST:/login.latency_us. Latency spans
+  /// parse-to-respond in virtual time, so it includes queueing, service
+  /// time, and any asynchronous wait inside the handler.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Excludes a route pattern from metrics recording and serves it
+  /// outside the worker pool. Used for the /metrics route itself so that
+  /// serving a snapshot neither mutates the registry it is exporting nor
+  /// perturbs pool occupancy (the served text stays byte-comparable to an
+  /// in-process snapshot).
+  void metrics_exempt(const std::string& pattern) {
+    metrics_exempt_.insert(pattern);
+  }
+
   /// Handles one serialized request; `respond` receives serialized
   /// response bytes. This is the entry point wired into a Node RPC handler
   /// or a secure-channel server.
@@ -50,11 +70,15 @@ class HttpServer {
   void bind(simnet::Node& node);
 
  private:
+  void count_status(int status);
+
   simnet::Simulation& sim_;
   Router router_;
   ThreadPoolModel pool_;
   ServiceTimeFn service_time_;
   HttpServerStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::set<std::string> metrics_exempt_;
 };
 
 }  // namespace amnesia::websvc

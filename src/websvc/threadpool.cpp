@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/error.h"
+#include "common/logging.h"
 
 namespace amnesia::websvc {
 
@@ -11,21 +12,65 @@ ThreadPoolModel::ThreadPoolModel(simnet::Simulation& sim, int workers)
   if (workers < 1) throw Error("ThreadPoolModel: need at least one worker");
 }
 
+void ThreadPoolModel::set_metrics(obs::MetricsRegistry* registry,
+                                  const std::string& prefix) {
+  if (!registry) {
+    busy_gauge_ = nullptr;
+    queue_depth_gauge_ = nullptr;
+    max_queue_depth_gauge_ = nullptr;
+    jobs_completed_counter_ = nullptr;
+    double_release_counter_ = nullptr;
+    queue_wait_hist_ = nullptr;
+    return;
+  }
+  busy_gauge_ = &registry->gauge(prefix + ".busy");
+  queue_depth_gauge_ = &registry->gauge(prefix + ".queue_depth");
+  max_queue_depth_gauge_ = &registry->gauge(prefix + ".max_queue_depth");
+  jobs_completed_counter_ = &registry->counter(prefix + ".jobs_completed");
+  double_release_counter_ = &registry->counter(prefix + ".double_release");
+  queue_wait_hist_ = &registry->histogram(prefix + ".queue_wait_us");
+  registry->gauge(prefix + ".workers").set(workers_);
+  publish_occupancy();
+}
+
+void ThreadPoolModel::publish_occupancy() {
+  if (busy_gauge_) busy_gauge_->set(busy_);
+  if (queue_depth_gauge_) {
+    queue_depth_gauge_->set(static_cast<std::int64_t>(queue_.size()));
+  }
+  if (max_queue_depth_gauge_) {
+    max_queue_depth_gauge_->set(static_cast<std::int64_t>(max_queue_depth_));
+  }
+}
+
 void ThreadPoolModel::submit(Job job) {
   if (busy_ < workers_) {
+    if (queue_wait_hist_) queue_wait_hist_->record(0);
     start(std::move(job));
   } else {
-    queue_.push_back(std::move(job));
+    queue_.push_back(QueuedJob{std::move(job), sim_.now()});
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+    publish_occupancy();
   }
 }
 
 void ThreadPoolModel::start(Job job) {
   ++busy_;
-  // The release callback is one-shot; double release is a bug in the job.
+  publish_occupancy();
+  // The release callback is one-shot; a double release is a bug in the
+  // job. It is detected here — logged, counted, and rejected by throw —
+  // so a misbehaving job can never drive busy_ negative and free workers
+  // it does not hold.
   auto released = std::make_shared<bool>(false);
   job([this, released] {
-    if (*released) throw Error("ThreadPoolModel: job released twice");
+    if (*released) {
+      ++double_releases_;
+      if (double_release_counter_) double_release_counter_->inc();
+      AMNESIA_ERROR("websvc")
+          << "ThreadPoolModel: job released its worker twice (busy=" << busy_
+          << "); rejecting the duplicate release";
+      throw Error("ThreadPoolModel: job released twice");
+    }
     *released = true;
     on_release();
   });
@@ -34,10 +79,16 @@ void ThreadPoolModel::start(Job job) {
 void ThreadPoolModel::on_release() {
   --busy_;
   ++jobs_completed_;
+  if (jobs_completed_counter_) jobs_completed_counter_->inc();
   if (!queue_.empty()) {
-    Job next = std::move(queue_.front());
+    QueuedJob next = std::move(queue_.front());
     queue_.pop_front();
-    start(std::move(next));
+    if (queue_wait_hist_) {
+      queue_wait_hist_->record(sim_.now() - next.enqueued_at);
+    }
+    start(std::move(next.job));
+  } else {
+    publish_occupancy();
   }
 }
 

@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
+#include "obs/metrics.h"
 #include "simnet/sim.h"
 
 namespace amnesia::websvc {
@@ -28,6 +30,13 @@ class ThreadPoolModel {
   /// Runs `job` now if a worker is free, otherwise queues it (FIFO).
   void submit(Job job);
 
+  /// Publishes pool health into `registry` under `<prefix>.*`: busy /
+  /// queue_depth / max_queue_depth gauges, jobs_completed and
+  /// double_release counters, and a queue_wait_us histogram (0 for jobs
+  /// that found a free worker immediately).
+  void set_metrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "threadpool");
+
   int workers() const { return workers_; }
   int busy() const { return busy_; }
   std::size_t queue_depth() const { return queue_.size(); }
@@ -35,17 +44,34 @@ class ThreadPoolModel {
   /// Peak queue depth observed (for the throughput ablation).
   std::size_t max_queue_depth() const { return max_queue_depth_; }
   std::uint64_t jobs_completed() const { return jobs_completed_; }
+  /// Times a job's release callback was invoked more than once (a bug in
+  /// the job; detected and rejected rather than corrupting busy_).
+  std::uint64_t double_releases() const { return double_releases_; }
 
  private:
+  struct QueuedJob {
+    Job job;
+    Micros enqueued_at;
+  };
+
   void start(Job job);
   void on_release();
+  void publish_occupancy();
 
   simnet::Simulation& sim_;
   int workers_;
   int busy_ = 0;
-  std::deque<Job> queue_;
+  std::deque<QueuedJob> queue_;
   std::size_t max_queue_depth_ = 0;
   std::uint64_t jobs_completed_ = 0;
+  std::uint64_t double_releases_ = 0;
+
+  obs::Gauge* busy_gauge_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* max_queue_depth_gauge_ = nullptr;
+  obs::Counter* jobs_completed_counter_ = nullptr;
+  obs::Counter* double_release_counter_ = nullptr;
+  obs::Histogram* queue_wait_hist_ = nullptr;
 };
 
 }  // namespace amnesia::websvc

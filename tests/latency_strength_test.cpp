@@ -5,9 +5,12 @@
 
 #include "eval/latency.h"
 #include "eval/strength.h"
+#include "testutil.h"
 
 namespace amnesia::eval {
 namespace {
+
+using testutil::LatencyBetweenMs;
 
 TEST(LatencyExperiment, WifiMatchesPaperDistribution) {
   // Paper section VI-B: x = 785.3 ms, sigma = 171.5 ms over 100 trials.
@@ -42,9 +45,35 @@ TEST(LatencyExperiment, SamplesFallInFig3Range) {
   const auto results = run_fig3(/*trials=*/100);
   for (const auto& result : results) {
     for (const double ms : result.samples_ms) {
-      EXPECT_GT(ms, 250.0) << result.network_name;
-      EXPECT_LT(ms, 1800.0) << result.network_name;
+      EXPECT_TRUE(LatencyBetweenMs(ms, 250.0, 1800.0)) << result.network_name;
     }
+  }
+}
+
+TEST(LatencyExperiment, SnapshotCoversMeasuredPhases) {
+  // The experiment exports the testbed's registry snapshot; the measured
+  // phase (post-warm-up) must show exactly `trials` completed rounds and a
+  // round-latency histogram consistent with the sample summary.
+  const auto result = run_latency_experiment(
+      {.trials = 20, .seed = 7, .link = PhoneLink::kWifi});
+  const auto& counters = result.metrics.counters;
+  const auto generated = counters.find("server.passwords_generated");
+  ASSERT_NE(generated, counters.end());
+  EXPECT_EQ(generated->second, 20u);
+
+  const auto hist =
+      result.metrics.histograms.find("protocol.round_latency_us");
+  ASSERT_NE(hist, result.metrics.histograms.end());
+  EXPECT_EQ(hist->second.count, 20u);
+  EXPECT_TRUE(testutil::LatencyBetween(hist->second.min,
+                                       ms_to_us(result.summary.min) - 1000,
+                                       ms_to_us(result.summary.min) + 1000));
+  // Warm-up rounds are excluded: the handshake histogram stays empty
+  // because the secure channels were established before measurement.
+  const auto handshake =
+      result.metrics.histograms.find("securechan.handshake_latency_us");
+  if (handshake != result.metrics.histograms.end()) {
+    EXPECT_EQ(handshake->second.count, 0u);
   }
 }
 

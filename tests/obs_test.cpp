@@ -1,0 +1,245 @@
+// Unit tests for the observability layer: counter/gauge semantics,
+// histogram bucketing and quantile properties, span bookkeeping, and the
+// lossless text exporter round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "testutil.h"
+
+namespace amnesia::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndHighWatermark) {
+  Gauge g;
+  g.set(5);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 3);
+  g.track_max(10);
+  EXPECT_EQ(g.value(), 10);
+  g.track_max(7);  // below the watermark: no change
+  EXPECT_EQ(g.value(), 10);
+  g.set(-4);       // set() is unconditional
+  EXPECT_EQ(g.value(), -4);
+}
+
+TEST(RegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a.count");
+  a.inc();
+  EXPECT_EQ(&reg.counter("a.count"), &a);
+  EXPECT_EQ(reg.counter("a.count").value(), 1u);
+  // Distinct namespaces: a counter and a gauge may share a name.
+  reg.gauge("a.count").set(9);
+  EXPECT_EQ(reg.counter("a.count").value(), 1u);
+}
+
+TEST(RegistryTest, RejectsNamesWithWhitespace) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), Error);
+  EXPECT_THROW(reg.counter("has space"), Error);
+  EXPECT_THROW(reg.gauge("tab\there"), Error);
+  EXPECT_THROW(reg.histogram("new\nline"), Error);
+}
+
+TEST(RegistryTest, ResetValuesKeepsHandlesAlive) {
+  ManualClock clock;
+  MetricsRegistry reg(&clock);
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+  c.inc(3);
+  g.set(7);
+  h.record(100);
+  reg.begin_span("root");
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(reg.spans().empty());
+  // The handle still points at the live metric.
+  c.inc();
+  EXPECT_EQ(reg.counter("c").value(), 1u);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({10, 20, 30});
+  h.record(10);  // lands in the first bucket: bounds are inclusive
+  h.record(11);  // second bucket
+  h.record(30);  // third bucket
+  h.record(31);  // overflow bucket
+  const HistogramSnapshot& d = h.data();
+  ASSERT_EQ(d.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(d.counts[0], 1u);
+  EXPECT_EQ(d.counts[1], 1u);
+  EXPECT_EQ(d.counts[2], 1u);
+  EXPECT_EQ(d.counts[3], 1u);
+  EXPECT_EQ(d.count, 4u);
+  EXPECT_EQ(d.sum, 10 + 11 + 30 + 31);
+  EXPECT_EQ(d.min, 10);
+  EXPECT_EQ(d.max, 31);
+}
+
+TEST(HistogramTest, EmptyQuantilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.quantile(0.99), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesClampToObservedRange) {
+  // One sample: every quantile is that sample, regardless of how coarse
+  // the bucket that holds it is.
+  Histogram h({1'000'000});
+  h.record(137);
+  EXPECT_EQ(h.quantile(0.0), 137);
+  EXPECT_EQ(h.quantile(0.5), 137);
+  EXPECT_EQ(h.quantile(1.0), 137);
+}
+
+TEST(HistogramTest, QuantileMonotonicityProperty) {
+  // Property: for any recorded sample set, p50 <= p95 <= p99 <= max.
+  // Seeded generator, several distributions' worth of shapes.
+  std::mt19937_64 rng(20160406);
+  for (int trial = 0; trial < 50; ++trial) {
+    Histogram h;
+    std::uniform_int_distribution<Micros> dist(
+        1, 1 + (trial % 7) * 1'000'000);
+    const int samples = 1 + static_cast<int>(rng() % 500);
+    for (int i = 0; i < samples; ++i) h.record(dist(rng));
+    const Micros p50 = h.quantile(0.50);
+    const Micros p95 = h.quantile(0.95);
+    const Micros p99 = h.quantile(0.99);
+    EXPECT_LE(h.min(), p50) << "trial " << trial;
+    EXPECT_LE(p50, p95) << "trial " << trial;
+    EXPECT_LE(p95, p99) << "trial " << trial;
+    EXPECT_LE(p99, h.max()) << "trial " << trial;
+  }
+}
+
+TEST(SpanTest, ParentChildNesting) {
+  ManualClock clock;
+  MetricsRegistry reg(&clock);
+
+  const SpanId root = reg.begin_span("protocol.round");
+  clock.advance_us(100);
+  const SpanId push = reg.begin_span("rendezvous.push", root);
+  clock.advance_us(400);
+  reg.end_span(push);
+  const SpanId wait = reg.begin_span("phone.wait", root);
+  clock.advance_us(700);
+  reg.end_span(wait);
+  reg.end_span(root);
+
+  const auto roots = reg.spans_named("protocol.round");
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].parent, 0u);
+  EXPECT_TRUE(roots[0].finished);
+  EXPECT_EQ(roots[0].start, 0);
+  EXPECT_EQ(roots[0].end, 1200);
+
+  const auto children = reg.children_of(root);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].name, "rendezvous.push");
+  EXPECT_EQ(children[0].end - children[0].start, 400);
+  EXPECT_EQ(children[1].name, "phone.wait");
+  EXPECT_EQ(children[1].end - children[1].start, 700);
+  // Children nest inside the parent interval.
+  for (const auto& child : children) {
+    EXPECT_TRUE(testutil::LatencyBetween(child.start, roots[0].start,
+                                         roots[0].end));
+    EXPECT_TRUE(
+        testutil::LatencyBetween(child.end, roots[0].start, roots[0].end));
+  }
+}
+
+TEST(SpanTest, EndSpanTolerantOfUnknownAndDoubleEnd) {
+  ManualClock clock;
+  MetricsRegistry reg(&clock);
+  const SpanId s = reg.begin_span("s");
+  clock.advance_us(10);
+  reg.end_span(s);
+  clock.advance_us(10);
+  reg.end_span(s);    // already finished: no-op
+  reg.end_span(0);    // the "no span" id: no-op
+  reg.end_span(999);  // unknown: no-op
+  const auto spans = reg.spans_named("s");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].end, 10);
+}
+
+TEST(SpanTest, ScopedTimerRecordsElapsed) {
+  ManualClock clock;
+  MetricsRegistry reg(&clock);
+  Histogram& h = reg.histogram("timed");
+  {
+    ScopedTimer timer(clock, h);
+    clock.advance_us(250);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 250);
+}
+
+TEST(ExporterTest, TextRoundTripIsLossless) {
+  ManualClock clock;
+  clock.set_us(5000);
+  MetricsRegistry reg(&clock);
+  reg.counter("requests.total").inc(12345);
+  reg.gauge("queue.depth").set(-3);
+  reg.gauge("pool.busy").set(7);
+  Histogram& h = reg.histogram("latency_us", {100, 1000, 10000});
+  h.record(50);
+  h.record(100);
+  h.record(999);
+  h.record(1'000'000);
+  reg.histogram("empty_us");  // registered but never recorded
+
+  const Snapshot original = reg.snapshot();
+  const std::string text = to_text(original);
+  const Snapshot parsed = parse_text(text);
+  EXPECT_EQ(parsed, original);
+  // And the round-trip is a fixed point: re-exporting is byte-identical.
+  EXPECT_EQ(to_text(parsed), text);
+}
+
+TEST(ExporterTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_text("not a metrics document"), FormatError);
+  EXPECT_THROW(parse_text("# amnesia metrics v1\ncounter justonefield\n"),
+               FormatError);
+}
+
+TEST(ExporterTest, JsonContainsDerivedQuantiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("round_us");
+  for (int i = 1; i <= 100; ++i) h.record(i * 1000);
+  reg.counter("done").inc(100);
+  const std::string json = to_json(reg.snapshot());
+  EXPECT_NE(json.find("\"round_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"done\": 100"), std::string::npos);
+  // A complete JSON document: starts with '{' and ends with '}\n'.
+  ASSERT_GE(json.size(), 3u);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+}
+
+}  // namespace
+}  // namespace amnesia::obs

@@ -10,9 +10,16 @@
 #include "simnet/network.h"
 #include "simnet/node.h"
 #include "simnet/sim.h"
+#include "testutil.h"
 
 namespace amnesia::simnet {
 namespace {
+
+// The capped driver from the shared harness; the Simulation unit tests
+// above the network section keep calling run() directly because run()'s
+// own semantics are what they test.
+using testutil::RunSim;
+using Recorder = testutil::RecordingEndpoint;
 
 TEST(Simulation, EventsFireInTimeOrder) {
   Simulation sim(1);
@@ -139,12 +146,6 @@ TEST(LinkProfile, LossProbabilityRoughlyHolds) {
   EXPECT_NEAR(lost, n * link.loss_probability, 150);
 }
 
-class Recorder : public Endpoint {
- public:
-  void on_message(const Message& msg) override { received.push_back(msg); }
-  std::vector<Message> received;
-};
-
 TEST(NetworkTest, DeliversToAttachedEndpoint) {
   Simulation sim(5);
   Network net(sim);
@@ -152,7 +153,7 @@ TEST(NetworkTest, DeliversToAttachedEndpoint) {
   net.attach("a", &a);
   net.attach("b", &b);
   net.send("a", "b", to_bytes("hello"));
-  sim.run();
+  RunSim(sim);
   ASSERT_EQ(b.received.size(), 1u);
   EXPECT_EQ(b.received[0].from, "a");
   EXPECT_EQ(to_string(b.received[0].payload), "hello");
@@ -179,7 +180,7 @@ TEST(NetworkTest, UnknownDestinationCountsAsDrop) {
   Recorder a;
   net.attach("a", &a);
   net.send("a", "nobody", to_bytes("x"));
-  sim.run();
+  RunSim(sim);
   EXPECT_EQ(net.stats().dropped_no_destination, 1u);
 }
 
@@ -191,13 +192,13 @@ TEST(NetworkTest, OfflineNodeDropsButStaysAttached) {
   net.attach("b", &b);
   net.set_online("b", false);
   net.send("a", "b", to_bytes("x"));
-  sim.run();
+  RunSim(sim);
   EXPECT_TRUE(b.received.empty());
   EXPECT_EQ(net.stats().dropped_offline, 1u);
 
   net.set_online("b", true);
   net.send("a", "b", to_bytes("y"));
-  sim.run();
+  RunSim(sim);
   EXPECT_EQ(b.received.size(), 1u);
 }
 
@@ -215,7 +216,7 @@ TEST(NetworkTest, PerPathLinkControlsDelay) {
                            .bandwidth_mbps = 0.0});
   Micros delivered_at = -1;
   net.send("a", "b", to_bytes("x"));
-  sim.run();
+  RunSim(sim);
   delivered_at = sim.now();
   EXPECT_EQ(delivered_at, ms_to_us(500.0));
 }
@@ -238,14 +239,14 @@ TEST(NetworkTest, TapObservesAndCanDrop) {
 
   net.send("a", "b", to_bytes("keep"));
   net.send("a", "b", to_bytes("drop-me"));
-  sim.run();
+  RunSim(sim);
   EXPECT_EQ(observed.size(), 2u);
   EXPECT_EQ(b.received.size(), 1u);
   EXPECT_EQ(net.stats().dropped_by_tap, 1u);
 
   net.remove_tap(dropper);
   net.send("a", "b", to_bytes("drop-me"));
-  sim.run();
+  RunSim(sim);
   EXPECT_EQ(b.received.size(), 2u);
 }
 
@@ -260,7 +261,7 @@ TEST(NetworkTest, TapCanMutatePayload) {
     return TapAction::kPass;
   });
   net.send("a", "b", Bytes{0x00, 0x11});
-  sim.run();
+  RunSim(sim);
   ASSERT_EQ(b.received.size(), 1u);
   EXPECT_EQ(b.received[0].payload, (Bytes{0xff, 0x11}));
 }
@@ -283,7 +284,7 @@ TEST(NodeTest, RpcRoundTrip) {
     ASSERT_TRUE(r.ok());
     got = to_string(r.value());
   });
-  sim.run();
+  RunSim(sim);
   EXPECT_EQ(got, "echo:ping");
 }
 
@@ -307,7 +308,7 @@ TEST(NodeTest, AsynchronousResponse) {
     EXPECT_EQ(to_string(r.value()), "late");
     answered = true;
   });
-  sim.run();
+  RunSim(sim);
   EXPECT_TRUE(answered);
   EXPECT_GE(sim.now(), ms_to_us(100));
 }
@@ -327,7 +328,7 @@ TEST(NodeTest, TimeoutWhenServerSilent) {
         failed = true;
       },
       ms_to_us(1000));
-  sim.run();
+  RunSim(sim);
   EXPECT_TRUE(failed);
 }
 
@@ -339,7 +340,7 @@ TEST(NodeTest, TimeoutWhenDestinationMissing) {
   client.request(
       "ghost", to_bytes("q"),
       [&](Result<Bytes> r) { failed = !r.ok(); }, ms_to_us(500));
-  sim.run();
+  RunSim(sim);
   EXPECT_TRUE(failed);
 }
 
@@ -362,7 +363,7 @@ TEST(NodeTest, LateResponseAfterTimeoutIsIgnored) {
         EXPECT_FALSE(r.ok());
       },
       ms_to_us(100));
-  sim.run();
+  RunSim(sim);
   EXPECT_EQ(callbacks, 1);
 }
 
@@ -377,7 +378,7 @@ TEST(NodeTest, OnewayDelivery) {
     got = to_string(body);
   });
   sender.send_oneway("phone", to_bytes("push!"));
-  sim.run();
+  RunSim(sim);
   EXPECT_EQ(got, "push!");
 }
 
@@ -403,7 +404,7 @@ TEST(NodeTest, ConcurrentRequestsCorrelateCorrectly) {
   client.request("server", to_bytes("b"), [&](Result<Bytes> r) {
     got_b = to_string(r.value());
   });
-  sim.run();
+  RunSim(sim);
   EXPECT_EQ(got_a, "a");
   EXPECT_EQ(got_b, "b");
 }

@@ -6,6 +6,8 @@
 #include "core/generate.h"
 #include "eval/testbed.h"
 #include "eval/trace.h"
+#include "obs/metrics.h"
+#include "websvc/http.h"
 
 namespace amnesia::eval {
 namespace {
@@ -371,6 +373,95 @@ TEST(SystemIntegration, LogoutInvalidatesSession) {
   const Status s = bed.add_account("Bob", "www.yahoo.com");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), Err::kAuthFailed);
+}
+
+TEST(SystemIntegration, RoundSpanTreeCoversProtocolPhases) {
+  // One password round produces exactly one protocol.round trace whose
+  // finished children decompose the bilateral flow: the rendezvous push
+  // leg, the wait for the phone's token, and the password computation.
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  bed.server().metrics().clear_spans();
+
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+  bed.sim().run();
+
+  auto& metrics = bed.server().metrics();
+  const auto roots = metrics.spans_named("protocol.round");
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].parent, 0u);
+  ASSERT_TRUE(roots[0].finished);
+  EXPECT_GT(roots[0].end, roots[0].start);
+
+  const auto children = metrics.children_of(roots[0].id);
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0].name, "rendezvous.push");
+  EXPECT_EQ(children[1].name, "phone.wait");
+  EXPECT_EQ(children[2].name, "server.generate");
+  for (const auto& child : children) {
+    EXPECT_GE(child.start, roots[0].start) << child.name;
+    EXPECT_LE(child.end, roots[0].end) << child.name;
+  }
+  // The phases are where the time goes: waiting on the phone dominates.
+  const auto span_us = [](const obs::SpanRecord& s) { return s.end - s.start; };
+  EXPECT_GT(span_us(children[1]), span_us(children[2]));
+}
+
+TEST(SystemIntegration, MetricsEndpointMatchesInProcessSnapshot) {
+  // GET /metrics, served through the real router, must export exactly the
+  // registry's in-process state: the route is metrics-exempt, so serving
+  // the snapshot does not perturb what it reports.
+  Testbed bed;
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+  bed.sim().run();
+
+  websvc::Request req;
+  req.method = websvc::Method::kGet;
+  req.path = "/metrics";
+  std::string body;
+  bed.server().http().handle_bytes(
+      websvc::serialize(req), [&](Bytes wire) {
+        const auto resp = websvc::parse_response(wire);
+        ASSERT_EQ(resp.status, 200);
+        body = resp.body;
+      });
+  ASSERT_FALSE(body.empty());
+
+  const obs::Snapshot served = obs::parse_text(body);
+  const obs::Snapshot in_process = bed.server().metrics().snapshot();
+  EXPECT_EQ(served, in_process);
+
+  // The endpoint covers every instrumented subsystem of the tentpole:
+  // worker pool, per-route HTTP, secure channel, and storage.
+  const auto& counters = served.counters;
+  EXPECT_GT(counters.at("threadpool.jobs_completed"), 0u);
+  EXPECT_GT(counters.at("http.requests"), 0u);
+  EXPECT_GT(counters.at("securechan.handshakes"), 0u);
+  EXPECT_GT(counters.at("securechan.records_opened"), 0u);
+  EXPECT_GT(counters.at("storage.queries"), 0u);
+  EXPECT_GT(counters.at("server.passwords_generated"), 0u);
+  bool has_route_metric = false;
+  for (const auto& [name, value] : counters) {
+    if (name.rfind("http.route.", 0) == 0 && value > 0) {
+      has_route_metric = true;
+    }
+  }
+  EXPECT_TRUE(has_route_metric);
+  const auto& hist =
+      served.histograms.at("protocol.round_latency_us");
+  EXPECT_EQ(hist.count, 1u);
+
+  // Serving /metrics is invisible to the metrics themselves: a second
+  // request exports a byte-identical document.
+  std::string again;
+  bed.server().http().handle_bytes(
+      websvc::serialize(req), [&](Bytes wire) {
+        again = websvc::parse_response(wire).body;
+      });
+  EXPECT_EQ(again, body);
 }
 
 TEST(SystemIntegration, LatencyIsRecordedPerGeneration) {

@@ -1,0 +1,63 @@
+// Shared test harness for the gtest suites.
+//
+// Collects the helpers that used to be copy-pasted across test files:
+// hex/bytes conversions, a capped "run the simulation to quiescence"
+// driver, a virtual-time latency range matcher, and the recording
+// network endpoint from the simnet tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "simnet/network.h"
+#include "simnet/sim.h"
+
+namespace amnesia::testutil {
+
+inline std::string hex(ByteView data) { return hex_encode(data); }
+inline Bytes bytes(std::string_view hex_str) { return hex_decode(hex_str); }
+
+/// Drives `sim` to quiescence. The cap turns an accidental event loop
+/// (e.g. a callback that reschedules itself forever) into a thrown Error
+/// instead of a hung test binary.
+inline std::size_t RunSim(simnet::Simulation& sim,
+                          std::size_t max_events = 10'000'000) {
+  return sim.run_capped(max_events);
+}
+
+/// Asserts that a virtual-time duration lies in [lo, hi] (microseconds).
+inline ::testing::AssertionResult LatencyBetween(Micros observed_us,
+                                                 Micros lo_us, Micros hi_us) {
+  if (observed_us >= lo_us && observed_us <= hi_us) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "latency " << observed_us << " us outside [" << lo_us << ", "
+         << hi_us << "] us";
+}
+
+/// Millisecond overload for samples already converted with us_to_ms.
+inline ::testing::AssertionResult LatencyBetweenMs(double observed_ms,
+                                                   double lo_ms,
+                                                   double hi_ms) {
+  if (observed_ms >= lo_ms && observed_ms <= hi_ms) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "latency " << observed_ms << " ms outside [" << lo_ms << ", "
+         << hi_ms << "] ms";
+}
+
+/// Endpoint that records every delivered message, in arrival order.
+class RecordingEndpoint : public simnet::Endpoint {
+ public:
+  void on_message(const simnet::Message& msg) override {
+    received.push_back(msg);
+  }
+  std::vector<simnet::Message> received;
+};
+
+}  // namespace amnesia::testutil

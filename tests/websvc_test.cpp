@@ -4,9 +4,11 @@
 
 #include "common/error.h"
 #include "crypto/drbg.h"
+#include "obs/metrics.h"
 #include "simnet/network.h"
 #include "simnet/node.h"
 #include "simnet/sim.h"
+#include "testutil.h"
 #include "websvc/client.h"
 #include "websvc/http.h"
 #include "websvc/router.h"
@@ -16,6 +18,8 @@
 
 namespace amnesia::websvc {
 namespace {
+
+using testutil::RunSim;
 
 TEST(HttpCodec, RequestRoundTrip) {
   Request req;
@@ -191,7 +195,7 @@ TEST(ThreadPoolTest, RunsJobsUpToCapacityThenQueues) {
   }
   EXPECT_EQ(pool.busy(), 2);
   EXPECT_EQ(pool.queue_depth(), 2u);
-  sim.run();
+  RunSim(sim);
   EXPECT_EQ(done.size(), 4u);
   // Two waves of 100us each.
   EXPECT_EQ(sim.now(), 200);
@@ -208,6 +212,41 @@ TEST(ThreadPoolTest, DoubleReleaseThrows) {
     release();
   });
   EXPECT_THROW(stolen(), Error);
+}
+
+TEST(ThreadPoolTest, DoubleReleaseDoesNotCorruptAccounting) {
+  // A buggy job that releases its worker twice must be detected and
+  // rejected without freeing a second worker: busy_ would otherwise go
+  // negative and the pool would admit more jobs than it has workers.
+  simnet::Simulation sim(44);
+  obs::MetricsRegistry reg(&sim.clock());
+  ThreadPoolModel pool(sim, 1);
+  pool.set_metrics(&reg);
+
+  std::function<void()> stolen;
+  pool.submit([&](std::function<void()> release) {
+    stolen = release;
+    release();
+  });
+  EXPECT_THROW(stolen(), Error);
+  EXPECT_THROW(stolen(), Error);  // and again, still rejected
+
+  EXPECT_EQ(pool.busy(), 0);
+  EXPECT_EQ(pool.jobs_completed(), 1u);
+  EXPECT_EQ(pool.double_releases(), 2u);
+  EXPECT_EQ(reg.counter("threadpool.double_release").value(), 2u);
+  EXPECT_EQ(reg.counter("threadpool.jobs_completed").value(), 1u);
+
+  // The pool still works: a well-behaved job runs and completes.
+  bool ran = false;
+  pool.submit([&](std::function<void()> release) {
+    ran = true;
+    release();
+  });
+  RunSim(sim);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(pool.busy(), 0);
+  EXPECT_EQ(pool.jobs_completed(), 2u);
 }
 
 TEST(ThreadPoolTest, RejectsZeroWorkers) {
@@ -261,7 +300,7 @@ TEST(HttpEndToEnd, GetOverSimulatedNetwork) {
     EXPECT_EQ(r.value().status, 200);
     body = r.value().body;
   });
-  svc.sim.run();
+  RunSim(svc.sim);
   EXPECT_EQ(body, "world");
   EXPECT_EQ(svc.server.stats().responses_2xx, 1u);
 }
@@ -271,14 +310,14 @@ TEST(HttpEndToEnd, CookieJarPersistsSession) {
   svc.client.post_form("/login", {{"user", "alice"}}, [](Result<Response> r) {
     ASSERT_TRUE(r.ok());
   });
-  svc.sim.run();
+  RunSim(svc.sim);
   EXPECT_EQ(svc.client.cookies().at("session"), "tok-1");
 
   std::string body;
   svc.client.get("/whoami", [&](Result<Response> r) {
     body = r.value().body;
   });
-  svc.sim.run();
+  RunSim(svc.sim);
   EXPECT_EQ(body, "session=tok-1");
 }
 
@@ -288,7 +327,7 @@ TEST(HttpEndToEnd, UnknownRouteIs404) {
   svc.client.get("/missing", [&](Result<Response> r) {
     status = r.value().status;
   });
-  svc.sim.run();
+  RunSim(svc.sim);
   EXPECT_EQ(status, 404);
   EXPECT_EQ(svc.server.stats().responses_4xx, 1u);
 }
@@ -299,7 +338,7 @@ TEST(HttpEndToEnd, HandlerExceptionBecomes500) {
   svc.client.get("/boom", [&](Result<Response> r) {
     status = r.value().status;
   });
-  svc.sim.run();
+  RunSim(svc.sim);
   EXPECT_EQ(status, 500);
   EXPECT_EQ(svc.server.stats().responses_5xx, 1u);
 }
@@ -308,7 +347,7 @@ TEST(HttpEndToEnd, MalformedBytesGet400) {
   TestService svc;
   Bytes reply;
   svc.server.handle_bytes(to_bytes("garbage"), [&](Bytes b) { reply = b; });
-  svc.sim.run();
+  RunSim(svc.sim);
   const Response resp = parse_response(reply);
   EXPECT_EQ(resp.status, 400);
   EXPECT_EQ(svc.server.stats().parse_errors, 1u);
@@ -333,7 +372,7 @@ TEST(HttpEndToEnd, ServiceTimeOccupiesWorkers) {
   int completed = 0;
   client.get("/work", [&](Result<Response>) { ++completed; });
   client.get("/work", [&](Result<Response>) { ++completed; });
-  sim.run();
+  RunSim(sim);
   EXPECT_EQ(completed, 2);
   EXPECT_GE(sim.now(), ms_to_us(20));
 }
@@ -349,7 +388,7 @@ TEST(HttpEndToEnd, TransportTimeoutSurfacesAsFailure) {
     failed = !r.ok();
     EXPECT_EQ(r.code(), Err::kUnavailable);
   });
-  sim.run();
+  RunSim(sim);
   EXPECT_TRUE(failed);
 }
 

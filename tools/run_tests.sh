@@ -1,0 +1,43 @@
+#!/bin/sh
+# Builds and runs the full test suite twice: once plain, once under
+# AddressSanitizer + UndefinedBehaviorSanitizer (AMNESIA_SANITIZE, see the
+# top-level CMakeLists.txt). Run from anywhere inside the repo:
+#
+#   tools/run_tests.sh            # both passes
+#   tools/run_tests.sh plain      # plain pass only
+#   tools/run_tests.sh sanitize   # ASan+UBSan pass only
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+mode=${1:-all}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_pass() {
+    build_dir=$1
+    shift
+    echo "== configure $build_dir ($*)"
+    cmake -B "$repo_root/$build_dir" -S "$repo_root" "$@" >/dev/null
+    echo "== build $build_dir"
+    cmake --build "$repo_root/$build_dir" -j "$jobs"
+    echo "== ctest $build_dir"
+    ctest --test-dir "$repo_root/$build_dir" --output-on-failure -j "$jobs"
+}
+
+case "$mode" in
+plain)
+    run_pass build
+    ;;
+sanitize)
+    run_pass build-san -DAMNESIA_SANITIZE=address,undefined
+    ;;
+all)
+    run_pass build
+    run_pass build-san -DAMNESIA_SANITIZE=address,undefined
+    ;;
+*)
+    echo "usage: $0 [plain|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== all requested passes green"
