@@ -136,9 +136,13 @@ void append(Bytes& dst, ByteView src) {
 }
 
 void secure_wipe(Bytes& b) {
-  volatile std::uint8_t* p = b.data();
-  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+  secure_wipe(b.data(), b.size());
   b.clear();
+}
+
+void secure_wipe(void* p, std::size_t n) {
+  volatile std::uint8_t* v = static_cast<std::uint8_t*>(p);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 0;
 }
 
 bool ct_equal(ByteView a, ByteView b) {

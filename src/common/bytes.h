@@ -47,6 +47,10 @@ void append(Bytes& dst, ByteView src);
 /// (Best effort: the compiler is prevented from eliding the store.)
 void secure_wipe(Bytes& b);
 
+/// Same, for raw memory (stack scratch, pads, midstates). `p` may be null
+/// only when `n` is zero.
+void secure_wipe(void* p, std::size_t n);
+
 /// Constant-time equality for secret-dependent comparisons.
 bool ct_equal(ByteView a, ByteView b);
 

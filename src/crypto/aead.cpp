@@ -1,5 +1,6 @@
 #include "crypto/aead.h"
 
+#include <array>
 #include <cstring>
 
 #include "common/error.h"
@@ -10,18 +11,20 @@ namespace amnesia::crypto {
 
 namespace {
 
-Bytes poly1305_key(ByteView key, ByteView nonce) {
+std::array<std::uint8_t, 32> poly1305_key(ByteView key, ByteView nonce) {
   // The one-time Poly1305 key is the first 32 bytes of the ChaCha20
   // keystream at block counter 0.
   ChaCha20 cipher(key, nonce, 0);
   const auto block = cipher.next_block();
-  return Bytes(block.begin(), block.begin() + 32);
+  std::array<std::uint8_t, 32> otk;
+  std::memcpy(otk.data(), block.data(), otk.size());
+  return otk;
 }
 
 std::array<std::uint8_t, kAeadTagSize> compute_tag(ByteView otk, ByteView aad,
                                                    ByteView ciphertext) {
   Poly1305 mac(otk);
-  static const Bytes zero_pad(16, 0);
+  constexpr std::array<std::uint8_t, 16> zero_pad{};
   mac.update(aad);
   if (aad.size() % 16 != 0) {
     mac.update(ByteView(zero_pad.data(), 16 - aad.size() % 16));
@@ -43,31 +46,52 @@ std::array<std::uint8_t, kAeadTagSize> compute_tag(ByteView otk, ByteView aad,
 
 }  // namespace
 
+void aead_seal_into(ByteView key, ByteView nonce, ByteView aad,
+                    ByteView plaintext, Bytes& out) {
+  out.resize(plaintext.size() + kAeadTagSize);
+  if (!plaintext.empty()) {
+    std::memcpy(out.data(), plaintext.data(), plaintext.size());
+  }
+  ChaCha20 cipher(key, nonce, 1);
+  cipher.xor_stream(out.data(), plaintext.size());
+  const auto otk = poly1305_key(key, nonce);
+  const auto tag = compute_tag(ByteView(otk.data(), otk.size()), aad,
+                               ByteView(out.data(), plaintext.size()));
+  std::memcpy(out.data() + plaintext.size(), tag.data(), kAeadTagSize);
+}
+
+bool aead_open_into(ByteView key, ByteView nonce, ByteView aad,
+                    ByteView sealed, Bytes& out) {
+  if (sealed.size() < kAeadTagSize) return false;
+  const ByteView ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+  const ByteView tag = sealed.last(kAeadTagSize);
+  const auto otk = poly1305_key(key, nonce);
+  const auto expected =
+      compute_tag(ByteView(otk.data(), otk.size()), aad, ciphertext);
+  if (!ct_equal(ByteView(expected.data(), expected.size()), tag)) {
+    return false;
+  }
+  out.resize(ciphertext.size());
+  if (!ciphertext.empty()) {
+    std::memcpy(out.data(), ciphertext.data(), ciphertext.size());
+  }
+  ChaCha20 cipher(key, nonce, 1);
+  cipher.xor_stream(out.data(), out.size());
+  return true;
+}
+
 Bytes aead_seal(ByteView key, ByteView nonce, ByteView aad,
                 ByteView plaintext) {
-  const Bytes otk = poly1305_key(key, nonce);
-  Bytes ciphertext(plaintext.begin(), plaintext.end());
-  ChaCha20 cipher(key, nonce, 1);
-  cipher.xor_stream(ciphertext);
-  const auto tag = compute_tag(otk, aad, ciphertext);
-  ciphertext.insert(ciphertext.end(), tag.begin(), tag.end());
-  return ciphertext;
+  Bytes out;
+  aead_seal_into(key, nonce, aad, plaintext, out);
+  return out;
 }
 
 std::optional<Bytes> aead_open(ByteView key, ByteView nonce, ByteView aad,
                                ByteView sealed) {
-  if (sealed.size() < kAeadTagSize) return std::nullopt;
-  const ByteView ciphertext = sealed.first(sealed.size() - kAeadTagSize);
-  const ByteView tag = sealed.last(kAeadTagSize);
-  const Bytes otk = poly1305_key(key, nonce);
-  const auto expected = compute_tag(otk, aad, ciphertext);
-  if (!ct_equal(ByteView(expected.data(), expected.size()), tag)) {
-    return std::nullopt;
-  }
-  Bytes plaintext(ciphertext.begin(), ciphertext.end());
-  ChaCha20 cipher(key, nonce, 1);
-  cipher.xor_stream(plaintext);
-  return plaintext;
+  Bytes out;
+  if (!aead_open_into(key, nonce, aad, sealed, out)) return std::nullopt;
+  return out;
 }
 
 }  // namespace amnesia::crypto

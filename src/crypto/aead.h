@@ -3,6 +3,11 @@
 // This is the record-protection algorithm of the secure channel
 // (src/securechan), the HTTPS stand-in, and of the encrypted vaults in the
 // baseline password managers.
+//
+// The `_into` variants write into a caller-provided buffer whose capacity
+// is reused across calls, so a warmed-up secure channel seals and opens
+// records without touching the heap; the value-returning forms are
+// convenience wrappers.
 #pragma once
 
 #include <optional>
@@ -24,5 +29,17 @@ Bytes aead_seal(ByteView key, ByteView nonce, ByteView aad,
 /// (tampered ciphertext, wrong key/nonce/aad).
 std::optional<Bytes> aead_open(ByteView key, ByteView nonce, ByteView aad,
                                ByteView sealed);
+
+/// Seals into `out` (resized to plaintext.size() + kAeadTagSize; existing
+/// capacity is reused). `out` must not alias `plaintext` or `aad`.
+void aead_seal_into(ByteView key, ByteView nonce, ByteView aad,
+                    ByteView plaintext, Bytes& out);
+
+/// Opens into `out` (resized to the plaintext size on success; untouched
+/// plaintext bytes are never exposed on failure — the tag is checked
+/// first). Returns false if authentication fails. `out` must not alias
+/// `sealed` or `aad`.
+bool aead_open_into(ByteView key, ByteView nonce, ByteView aad,
+                    ByteView sealed, Bytes& out);
 
 }  // namespace amnesia::crypto

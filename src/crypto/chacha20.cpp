@@ -1,6 +1,7 @@
 #include "crypto/chacha20.h"
 
 #include <bit>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -13,6 +14,18 @@ inline std::uint32_t load32_le(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[1]) << 8) |
          (static_cast<std::uint32_t>(p[2]) << 16) |
          (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// Keystream words are defined little-endian; on a little-endian host the
+/// in-memory representation already matches, so the word-wise XOR below
+/// needs a swap only on big-endian targets.
+inline std::uint32_t to_le(std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+           ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+  } else {
+    return v;
+  }
 }
 
 inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
@@ -42,8 +55,13 @@ ChaCha20::ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter) {
   for (int i = 0; i < 3; ++i) state_[13 + i] = load32_le(nonce.data() + i * 4);
 }
 
-std::array<std::uint8_t, ChaCha20::kBlockSize> ChaCha20::next_block() {
-  std::array<std::uint32_t, 16> x = state_;
+void ChaCha20::block_words(std::array<std::uint32_t, 16>& x) {
+  if (counter_wrapped_) {
+    throw CryptoError(
+        "chacha20: 32-bit block counter wrapped (RFC 8439 per-nonce "
+        "message-length limit exceeded)");
+  }
+  x = state_;
   for (int round = 0; round < 10; ++round) {
     quarter_round(x[0], x[4], x[8], x[12]);
     quarter_round(x[1], x[5], x[9], x[13]);
@@ -54,27 +72,50 @@ std::array<std::uint8_t, ChaCha20::kBlockSize> ChaCha20::next_block() {
     quarter_round(x[2], x[7], x[8], x[13]);
     quarter_round(x[3], x[4], x[9], x[14]);
   }
+  for (int i = 0; i < 16; ++i) x[i] += state_[i];
+  if (++state_[12] == 0) counter_wrapped_ = true;
+}
+
+std::array<std::uint8_t, ChaCha20::kBlockSize> ChaCha20::next_block() {
+  std::array<std::uint32_t, 16> x;
+  block_words(x);
   std::array<std::uint8_t, kBlockSize> out;
   for (int i = 0; i < 16; ++i) {
-    const std::uint32_t v = x[i] + state_[i];
-    out[i * 4] = static_cast<std::uint8_t>(v);
-    out[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
-    out[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
-    out[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+    const std::uint32_t v = to_le(x[i]);
+    std::memcpy(out.data() + i * 4, &v, 4);
   }
-  ++state_[12];
   return out;
 }
 
-void ChaCha20::xor_stream(Bytes& data) {
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    if (partial_used_ == kBlockSize) {
-      partial_ = next_block();
-      partial_used_ = 0;
+void ChaCha20::xor_stream(std::uint8_t* data, std::size_t len) {
+  std::size_t offset = 0;
+  // Drain any buffered partial-block keystream first.
+  while (offset < len && partial_used_ < kBlockSize) {
+    data[offset++] ^= partial_[partial_used_++];
+  }
+  // Whole blocks: XOR word-at-a-time straight from the working state,
+  // never touching the partial buffer.
+  std::array<std::uint32_t, 16> x;
+  while (len - offset >= kBlockSize) {
+    block_words(x);
+    std::uint8_t* p = data + offset;
+    for (int i = 0; i < 16; ++i) {
+      std::uint32_t w;
+      std::memcpy(&w, p + i * 4, 4);
+      w ^= to_le(x[i]);
+      std::memcpy(p + i * 4, &w, 4);
     }
-    data[i] ^= partial_[partial_used_++];
+    offset += kBlockSize;
+  }
+  // Trailing partial block: buffer one keystream block and consume from it.
+  if (offset < len) {
+    partial_ = next_block();
+    partial_used_ = 0;
+    while (offset < len) data[offset++] ^= partial_[partial_used_++];
   }
 }
+
+void ChaCha20::xor_stream(Bytes& data) { xor_stream(data.data(), data.size()); }
 
 Bytes chacha20_xor(ByteView key, ByteView nonce, std::uint32_t counter,
                    ByteView data) {

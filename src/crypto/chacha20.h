@@ -3,6 +3,13 @@
 // Two consumers: the ChaCha20-Poly1305 AEAD protecting the secure channel
 // (the HTTPS substitute) and the deterministic random generator (drbg.h)
 // that drives both cryptographic key generation and the network simulator.
+//
+// The keystream path is block-wise: whole 64-byte blocks are XORed into
+// the data a 32-bit word at a time straight from the working state, with
+// byte-at-a-time handling only at buffer edges. The 32-bit block counter
+// is overflow-checked: producing keystream past counter 2^32 - 1 (the
+// RFC 8439 per-nonce message-length limit of ~256 GiB) throws CryptoError
+// instead of silently reusing keystream.
 #pragma once
 
 #include <array>
@@ -26,14 +33,24 @@ class ChaCha20 {
   /// XORs the keystream into `data` in place (encrypt == decrypt).
   void xor_stream(Bytes& data);
 
+  /// Same, over raw memory. Whole 64-byte blocks bypass the partial-block
+  /// buffer entirely.
+  void xor_stream(std::uint8_t* data, std::size_t len);
+
   /// Produces one 64-byte keystream block for the current counter and
   /// advances the counter.
   std::array<std::uint8_t, kBlockSize> next_block();
 
  private:
+  /// Runs the 20 rounds + feed-forward into `x` for the current counter,
+  /// then advances the counter. Throws CryptoError once the 32-bit
+  /// counter would wrap (RFC 8439 message-length limit).
+  void block_words(std::array<std::uint32_t, 16>& x);
+
   std::array<std::uint32_t, 16> state_;
   std::array<std::uint8_t, kBlockSize> partial_{};
   std::size_t partial_used_ = kBlockSize;  // nothing buffered initially
+  bool counter_wrapped_ = false;
 };
 
 /// One-shot encryption/decryption of `data`.

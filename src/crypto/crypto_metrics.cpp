@@ -1,0 +1,27 @@
+#include "crypto/crypto_metrics.h"
+
+namespace amnesia::crypto {
+
+namespace {
+
+detail::CryptoCounters g_counters;
+
+}  // namespace
+
+void set_crypto_metrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    g_counters = {};
+    return;
+  }
+  g_counters.registry = registry;
+  g_counters.pbkdf2_calls = &registry->counter("crypto.pbkdf2_calls");
+  g_counters.pbkdf2_iterations = &registry->counter("crypto.pbkdf2_iterations");
+}
+
+void detach_crypto_metrics(obs::MetricsRegistry* registry) {
+  if (g_counters.registry == registry) g_counters = {};
+}
+
+const detail::CryptoCounters& detail::crypto_counters() { return g_counters; }
+
+}  // namespace amnesia::crypto

@@ -1,0 +1,46 @@
+// Crypto-layer load counters.
+//
+// The crypto substrate has no natural owner object to hang a registry on
+// (PBKDF2 is a free function called from the server, the attack harness,
+// and every baseline vault), so the layer exposes one process-wide
+// registry hook. The server wires its registry in at construction so the
+// /metrics endpoint reports crypto-layer load next to the protocol
+// counters:
+//
+//   crypto.pbkdf2_calls       completed pbkdf2_hmac_sha256 derivations
+//   crypto.pbkdf2_iterations  total HMAC iterations spent in them
+//
+// When several registries exist (multi-server tests), the last one wired
+// wins; pass nullptr to detach. Not thread-safe: wire once at startup,
+// before concurrent crypto use.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace amnesia::crypto {
+
+/// Installs (or, with nullptr, detaches) the registry that crypto-layer
+/// counters report to.
+void set_crypto_metrics(obs::MetricsRegistry* registry);
+
+/// Detaches only if `registry` is the currently wired one. Owners call
+/// this on destruction so the hook never dangles into a dead registry.
+void detach_crypto_metrics(obs::MetricsRegistry* registry);
+
+namespace detail {
+
+/// Counter handles resolved once per set_crypto_metrics() call; null when
+/// no registry is wired.
+struct CryptoCounters {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::Counter* pbkdf2_calls = nullptr;
+  obs::Counter* pbkdf2_iterations = nullptr;
+};
+
+const CryptoCounters& crypto_counters();
+
+}  // namespace detail
+
+}  // namespace amnesia::crypto

@@ -18,8 +18,9 @@ ChaChaDrbg::ChaChaDrbg(ByteView seed) {
 ChaChaDrbg::ChaChaDrbg(std::uint64_t seed) {
   std::uint8_t le[8];
   for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(seed >> (i * 8));
-  const Bytes expanded = sha256(ByteView(le, 8));
-  std::memcpy(key_.data(), expanded.data(), kSeedSize);
+  Sha256 h;
+  h.update(ByteView(le, 8));
+  h.finish_into(key_.data());
   pool_used_ = pool_.size();
 }
 
@@ -62,8 +63,7 @@ void ChaChaDrbg::reseed(ByteView entropy) {
   Sha256 h;
   h.update(ByteView(key_.data(), key_.size()));
   h.update(entropy);
-  const Bytes mixed = h.finish();
-  std::memcpy(key_.data(), mixed.data(), kSeedSize);
+  h.finish_into(key_.data());
   pool_used_ = pool_.size();  // invalidate buffered output
 }
 

@@ -8,8 +8,8 @@ namespace amnesia::crypto {
 Bytes hkdf_extract(ByteView salt, ByteView ikm) {
   // RFC 5869: if no salt is given, a string of HashLen zeros is used.
   if (salt.empty()) {
-    const Bytes zeros(Sha256::kDigestSize, 0);
-    return hmac_sha256(zeros, ikm);
+    const std::array<std::uint8_t, Sha256::kDigestSize> zeros{};
+    return hmac_sha256(ByteView(zeros.data(), zeros.size()), ikm);
   }
   return hmac_sha256(salt, ikm);
 }
@@ -21,18 +21,23 @@ Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
   }
   Bytes okm;
   okm.reserve(length);
-  Bytes t;
+  // One key schedule for all blocks; T(n) stays on the stack.
+  HmacSha256 mac(prk);
+  std::array<std::uint8_t, kHashLen> t;
+  std::size_t t_len = 0;
   std::uint8_t counter = 1;
   while (okm.size() < length) {
-    HmacSha256 mac(prk);
-    mac.update(t);
+    mac.reset();
+    mac.update(ByteView(t.data(), t_len));
     mac.update(info);
     mac.update(ByteView(&counter, 1));
-    t = mac.finish();
+    mac.finish_into(t.data());
+    t_len = kHashLen;
     const std::size_t take = std::min(kHashLen, length - okm.size());
     okm.insert(okm.end(), t.begin(), t.begin() + static_cast<long>(take));
     ++counter;
   }
+  secure_wipe(t.data(), t.size());
   return okm;
 }
 

@@ -3,6 +3,12 @@
 // HMAC-SHA256 is used by the secure-channel key schedule (via HKDF) and by
 // PBKDF2 for master-password hashing; HMAC-SHA512 is provided for
 // completeness and used by the LastPass-style baseline vault.
+//
+// The key schedule is computed exactly once: the constructor absorbs
+// key^ipad and key^opad and saves both compression midstates, so reset()
+// is a register copy instead of re-hashing a key block, and finish() costs
+// one outer compression instead of a full outer pass. This is what makes
+// PBKDF2's inner loop exactly two compression calls per iteration.
 #pragma once
 
 #include "common/bytes.h"
@@ -12,46 +18,78 @@
 namespace amnesia::crypto {
 
 /// Streaming HMAC over any hash type exposing kDigestSize/kBlockSize,
-/// update(), finish(), reset().
+/// update(), finish_into(), save_midstate(), restore_midstate().
 template <typename Hash>
 class Hmac {
  public:
   static constexpr std::size_t kDigestSize = Hash::kDigestSize;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
 
   explicit Hmac(ByteView key) {
-    Bytes k(key.begin(), key.end());
-    if (k.size() > Hash::kBlockSize) {
+    std::array<std::uint8_t, Hash::kBlockSize> pad;
+    std::array<std::uint8_t, Hash::kDigestSize> key_hash;
+    const std::uint8_t* k = key.data();
+    std::size_t k_len = key.size();
+    if (k_len > Hash::kBlockSize) {
       Hash h;
-      h.update(k);
-      k = h.finish();
+      h.update(key);
+      h.finish_into(key_hash.data());
+      k = key_hash.data();
+      k_len = Hash::kDigestSize;
     }
-    k.resize(Hash::kBlockSize, 0);
-    ipad_ = k;
-    opad_ = k;
-    for (auto& b : ipad_) b ^= 0x36;
-    for (auto& b : opad_) b ^= 0x5c;
-    inner_.update(ipad_);
+    for (std::size_t i = 0; i < Hash::kBlockSize; ++i) {
+      pad[i] = (i < k_len ? k[i] : 0) ^ 0x36;
+    }
+    inner_.update(ByteView(pad.data(), pad.size()));
+    inner_mid_ = inner_.save_midstate();
+    for (auto& b : pad) b ^= 0x36 ^ 0x5c;
+    Hash outer;
+    outer.update(ByteView(pad.data(), pad.size()));
+    outer_mid_ = outer.save_midstate();
+    secure_wipe(pad.data(), pad.size());
+    secure_wipe(key_hash.data(), key_hash.size());
   }
+
+  /// Key-equivalent material (the pad midstates) is wiped on destruction.
+  ~Hmac() {
+    secure_wipe(&inner_mid_, sizeof(inner_mid_));
+    secure_wipe(&outer_mid_, sizeof(outer_mid_));
+  }
+
+  Hmac(const Hmac&) = default;
+  Hmac& operator=(const Hmac&) = default;
 
   void update(ByteView data) { inner_.update(data); }
 
   Bytes finish() {
-    const Bytes inner_digest = inner_.finish();
-    Hash outer;
-    outer.update(opad_);
-    outer.update(inner_digest);
-    return outer.finish();
+    Bytes digest(kDigestSize);
+    finish_into(digest.data());
+    return digest;
   }
 
-  /// Restarts the MAC with the same key.
-  void reset() {
-    inner_.reset();
-    inner_.update(ipad_);
+  /// Allocation-free finalize: writes the tag to `out` (kDigestSize bytes).
+  void finish_into(std::uint8_t* out) {
+    Digest inner_digest;
+    inner_.finish_into(inner_digest.data());
+    Hash outer;
+    outer.restore_midstate(outer_mid_);
+    outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+    outer.finish_into(out);
+    secure_wipe(inner_digest.data(), inner_digest.size());
   }
+
+  Digest finish_digest() {
+    Digest digest;
+    finish_into(digest.data());
+    return digest;
+  }
+
+  /// Restarts the MAC with the same key (a midstate restore; no hashing).
+  void reset() { inner_.restore_midstate(inner_mid_); }
 
  private:
-  Bytes ipad_;
-  Bytes opad_;
+  typename Hash::Midstate inner_mid_;
+  typename Hash::Midstate outer_mid_;
   Hash inner_;
 };
 

@@ -1,6 +1,7 @@
 #include "crypto/pbkdf2.h"
 
 #include "common/error.h"
+#include "crypto/crypto_metrics.h"
 #include "crypto/hmac.h"
 
 namespace amnesia::crypto {
@@ -10,12 +11,21 @@ Bytes pbkdf2_hmac_sha256(ByteView password, ByteView salt,
   if (iterations == 0) throw CryptoError("pbkdf2: zero iterations");
   constexpr std::size_t kHashLen = Sha256::kDigestSize;
 
+  // One HMAC instance holds the precomputed key-pad midstates; every
+  // iteration below is a midstate restore plus exactly two SHA-256
+  // compressions (inner over U, outer over the inner digest), with all
+  // intermediates on fixed-size stack buffers — no key re-scheduling and
+  // no heap traffic inside the loop.
+  HmacSha256 mac(password);
+  std::array<std::uint8_t, kHashLen> u;
+  std::array<std::uint8_t, kHashLen> t;
+
   Bytes dk;
   dk.reserve(dk_len);
   std::uint32_t block_index = 1;
   while (dk.size() < dk_len) {
     // U1 = PRF(P, S || INT_32_BE(i))
-    HmacSha256 mac(password);
+    mac.reset();
     mac.update(salt);
     const std::uint8_t be[4] = {
         static_cast<std::uint8_t>(block_index >> 24),
@@ -23,15 +33,26 @@ Bytes pbkdf2_hmac_sha256(ByteView password, ByteView salt,
         static_cast<std::uint8_t>(block_index >> 8),
         static_cast<std::uint8_t>(block_index)};
     mac.update(ByteView(be, 4));
-    Bytes u = mac.finish();
-    Bytes t = u;
+    mac.finish_into(u.data());
+    t = u;
     for (std::uint32_t iter = 1; iter < iterations; ++iter) {
-      u = hmac_sha256(password, u);
+      mac.reset();
+      mac.update(ByteView(u.data(), kHashLen));
+      mac.finish_into(u.data());
       for (std::size_t i = 0; i < kHashLen; ++i) t[i] ^= u[i];
     }
     const std::size_t take = std::min(kHashLen, dk_len - dk.size());
     dk.insert(dk.end(), t.begin(), t.begin() + static_cast<long>(take));
     ++block_index;
+  }
+  secure_wipe(u.data(), u.size());
+  secure_wipe(t.data(), t.size());
+
+  const auto& counters = detail::crypto_counters();
+  if (counters.pbkdf2_calls) {
+    counters.pbkdf2_calls->inc();
+    counters.pbkdf2_iterations->inc(
+        static_cast<std::uint64_t>(iterations) * (block_index - 1));
   }
   return dk;
 }

@@ -120,6 +120,12 @@ void Poly1305::update(ByteView data) {
 }
 
 std::array<std::uint8_t, Poly1305::kTagSize> Poly1305::finish() {
+  std::array<std::uint8_t, kTagSize> tag;
+  finish_into(tag.data());
+  return tag;
+}
+
+void Poly1305::finish_into(std::uint8_t* out) {
   if (finished_) throw CryptoError("poly1305: finish() called twice");
   finished_ = true;
   if (buffered_ > 0) {
@@ -190,15 +196,13 @@ std::array<std::uint8_t, Poly1305::kTagSize> Poly1305::finish() {
   f = static_cast<std::uint64_t>(h3) + load32_le(s_.data() + 12) + (f >> 32);
   h3 = static_cast<std::uint32_t>(f);
 
-  std::array<std::uint8_t, kTagSize> tag;
   const std::uint32_t words[4] = {h0, h1, h2, h3};
   for (int i = 0; i < 4; ++i) {
-    tag[i * 4] = static_cast<std::uint8_t>(words[i]);
-    tag[i * 4 + 1] = static_cast<std::uint8_t>(words[i] >> 8);
-    tag[i * 4 + 2] = static_cast<std::uint8_t>(words[i] >> 16);
-    tag[i * 4 + 3] = static_cast<std::uint8_t>(words[i] >> 24);
+    out[i * 4] = static_cast<std::uint8_t>(words[i]);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(words[i] >> 8);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(words[i] >> 16);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(words[i] >> 24);
   }
-  return tag;
 }
 
 std::array<std::uint8_t, Poly1305::kTagSize> poly1305(ByteView key,

@@ -22,6 +22,9 @@ class Poly1305 {
   void update(ByteView data);
   std::array<std::uint8_t, kTagSize> finish();
 
+  /// Allocation-free finalize: writes the 16-byte tag to `out`.
+  void finish_into(std::uint8_t* out);
+
  private:
   void process_block(const std::uint8_t* block, bool final_partial,
                      std::size_t len);

@@ -107,7 +107,34 @@ void Sha256::update(ByteView data) {
   }
 }
 
+Sha256::Midstate Sha256::save_midstate() const {
+  if (finished_) throw CryptoError("Sha256: save_midstate() after finish()");
+  if (buffered_ != 0) {
+    throw CryptoError("Sha256: save_midstate() off a block boundary");
+  }
+  return Midstate{state_, total_bytes_};
+}
+
+void Sha256::restore_midstate(const Midstate& m) {
+  state_ = m.h;
+  total_bytes_ = m.total_bytes;
+  buffered_ = 0;
+  finished_ = false;
+}
+
 Bytes Sha256::finish() {
+  Bytes digest(kDigestSize);
+  finish_into(digest.data());
+  return digest;
+}
+
+Sha256::Digest Sha256::finish_digest() {
+  Digest digest;
+  finish_into(digest.data());
+  return digest;
+}
+
+void Sha256::finish_into(std::uint8_t* out) {
   if (finished_) throw CryptoError("Sha256: finish() called twice");
   finished_ = true;
 
@@ -134,14 +161,12 @@ Bytes Sha256::finish() {
     }
   }
 
-  Bytes digest(kDigestSize);
   for (int i = 0; i < 8; ++i) {
-    digest[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
-    digest[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    digest[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    digest[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+    out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
   }
-  return digest;
 }
 
 Bytes sha256(ByteView data) {

@@ -17,6 +17,17 @@ class Sha256 {
   static constexpr std::size_t kDigestSize = 32;
   static constexpr std::size_t kBlockSize = 64;
 
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  /// A saved compression state: the eight chaining words plus the number
+  /// of bytes absorbed so far. Valid only at a block boundary. HMAC uses
+  /// this to precompute the key-pad absorption once and replay it for
+  /// free on every reset (see hmac.h).
+  struct Midstate {
+    std::array<std::uint32_t, 8> h;
+    std::uint64_t total_bytes = 0;
+  };
+
   Sha256();
 
   /// Absorbs more input. May be called any number of times.
@@ -26,8 +37,23 @@ class Sha256 {
   /// reused afterwards without reset().
   Bytes finish();
 
+  /// Allocation-free finalize: writes the 32-byte digest to `out`.
+  void finish_into(std::uint8_t* out);
+
+  /// Allocation-free finalize into a fixed-size array.
+  Digest finish_digest();
+
   /// Returns the hasher to its initial state.
   void reset();
+
+  /// Captures the compression state. Only legal at a block boundary
+  /// (bytes absorbed so far divisible by 64); throws CryptoError
+  /// otherwise, and if already finished.
+  Midstate save_midstate() const;
+
+  /// Restores a saved state; the hasher continues as if it had just
+  /// absorbed that many bytes. Clears any finished/buffered state.
+  void restore_midstate(const Midstate& m);
 
  private:
   void process_block(const std::uint8_t* block);

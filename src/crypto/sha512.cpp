@@ -125,7 +125,34 @@ void Sha512::update(ByteView data) {
   }
 }
 
+Sha512::Midstate Sha512::save_midstate() const {
+  if (finished_) throw CryptoError("Sha512: save_midstate() after finish()");
+  if (buffered_ != 0) {
+    throw CryptoError("Sha512: save_midstate() off a block boundary");
+  }
+  return Midstate{state_, total_bytes_};
+}
+
+void Sha512::restore_midstate(const Midstate& m) {
+  state_ = m.h;
+  total_bytes_ = m.total_bytes;
+  buffered_ = 0;
+  finished_ = false;
+}
+
 Bytes Sha512::finish() {
+  Bytes digest(kDigestSize);
+  finish_into(digest.data());
+  return digest;
+}
+
+Sha512::Digest Sha512::finish_digest() {
+  Digest digest;
+  finish_into(digest.data());
+  return digest;
+}
+
+void Sha512::finish_into(std::uint8_t* out) {
   if (finished_) throw CryptoError("Sha512: finish() called twice");
   finished_ = true;
 
@@ -153,13 +180,11 @@ Bytes Sha512::finish() {
     }
   }
 
-  Bytes digest(kDigestSize);
   for (int i = 0; i < 8; ++i) {
     for (int j = 0; j < 8; ++j) {
-      digest[i * 8 + j] = static_cast<std::uint8_t>(state_[i] >> ((7 - j) * 8));
+      out[i * 8 + j] = static_cast<std::uint8_t>(state_[i] >> ((7 - j) * 8));
     }
   }
-  return digest;
 }
 
 Bytes sha512(ByteView data) {

@@ -17,11 +17,26 @@ class Sha512 {
   static constexpr std::size_t kDigestSize = 64;
   static constexpr std::size_t kBlockSize = 128;
 
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  /// Saved compression state at a block boundary; see Sha256::Midstate.
+  struct Midstate {
+    std::array<std::uint64_t, 8> h;
+    std::uint64_t total_bytes = 0;
+  };
+
   Sha512();
 
   void update(ByteView data);
   Bytes finish();
+  /// Allocation-free finalize: writes the 64-byte digest to `out`.
+  void finish_into(std::uint8_t* out);
+  Digest finish_digest();
   void reset();
+
+  /// See Sha256::save_midstate / restore_midstate.
+  Midstate save_midstate() const;
+  void restore_midstate(const Midstate& m);
 
  private:
   void process_block(const std::uint8_t* block);

@@ -1,5 +1,8 @@
 #include "securechan/channel.h"
 
+#include <algorithm>
+#include <array>
+
 #include "common/error.h"
 #include "common/logging.h"
 #include "crypto/aead.h"
@@ -18,32 +21,62 @@ constexpr std::size_t kNonceLen = 16;
 const char kKdfInfo[] = "amnesia securechan v1";
 const char kConfirmPayload[] = "amnesia key confirm";
 
-Bytes direction_aad(std::uint8_t direction, std::uint64_t channel_id) {
-  storage::BufWriter w;
-  w.u8(direction);  // 0: client->server, 1: server->client
-  w.u64(channel_id);
-  return w.take();
+// 0: client->server, 1: server->client. Stack-built, but byte-identical
+// to BufWriter{u8(direction), u64(channel_id)} from earlier versions.
+std::array<std::uint8_t, 9> direction_aad(std::uint8_t direction,
+                                          std::uint64_t channel_id) {
+  std::array<std::uint8_t, 9> aad;
+  aad[0] = direction;
+  for (int i = 0; i < 8; ++i) {
+    aad[1 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(channel_id >> (i * 8));
+  }
+  return aad;
 }
 
 }  // namespace
 
+void ChannelKeys::wipe() {
+  secure_wipe(client_to_server_key);
+  secure_wipe(server_to_client_key);
+  secure_wipe(client_to_server_iv);
+  secure_wipe(server_to_client_iv);
+}
+
+ChannelKeys& ChannelKeys::operator=(ChannelKeys&& other) noexcept {
+  if (this != &other) {
+    wipe();
+    client_to_server_key = std::move(other.client_to_server_key);
+    server_to_client_key = std::move(other.server_to_client_key);
+    client_to_server_iv = std::move(other.client_to_server_iv);
+    server_to_client_iv = std::move(other.server_to_client_iv);
+  }
+  return *this;
+}
+
 ChannelKeys derive_keys(ByteView shared_secret, ByteView client_nonce,
                         ByteView server_nonce) {
   const Bytes salt = concat({client_nonce, server_nonce});
-  const Bytes okm = crypto::hkdf(salt, shared_secret,
-                                 to_bytes(std::string(kKdfInfo)), 88);
+  Bytes okm = crypto::hkdf(salt, shared_secret,
+                           to_bytes(std::string(kKdfInfo)), 88);
   ChannelKeys keys;
   keys.client_to_server_key.assign(okm.begin(), okm.begin() + 32);
   keys.server_to_client_key.assign(okm.begin() + 32, okm.begin() + 64);
   keys.client_to_server_iv.assign(okm.begin() + 64, okm.begin() + 76);
   keys.server_to_client_iv.assign(okm.begin() + 76, okm.begin() + 88);
+  secure_wipe(okm);
   return keys;
 }
 
 namespace {
 
-Bytes seq_nonce(const Bytes& iv, std::uint64_t seq) {
-  Bytes nonce = iv;
+std::array<std::uint8_t, crypto::kAeadNonceSize> seq_nonce(const Bytes& iv,
+                                                           std::uint64_t seq) {
+  if (iv.size() != crypto::kAeadNonceSize) {
+    throw CryptoError("securechan: record IV must be 12 bytes");
+  }
+  std::array<std::uint8_t, crypto::kAeadNonceSize> nonce;
+  std::copy(iv.begin(), iv.end(), nonce.begin());
   for (int i = 0; i < 8; ++i) {
     nonce[4 + static_cast<std::size_t>(i)] ^=
         static_cast<std::uint8_t>(seq >> ((7 - i) * 8));
@@ -53,15 +86,33 @@ Bytes seq_nonce(const Bytes& iv, std::uint64_t seq) {
 
 }  // namespace
 
+void seal_record_into(const Bytes& key, const Bytes& iv, std::uint64_t seq,
+                      ByteView aad, ByteView plaintext, Bytes& out) {
+  const auto nonce = seq_nonce(iv, seq);
+  crypto::aead_seal_into(key, ByteView(nonce.data(), nonce.size()), aad,
+                         plaintext, out);
+}
+
+bool open_record_into(const Bytes& key, const Bytes& iv, std::uint64_t seq,
+                      ByteView aad, ByteView sealed, Bytes& out) {
+  const auto nonce = seq_nonce(iv, seq);
+  return crypto::aead_open_into(key, ByteView(nonce.data(), nonce.size()), aad,
+                                sealed, out);
+}
+
 Bytes seal_record(const Bytes& key, const Bytes& iv, std::uint64_t seq,
                   ByteView aad, ByteView plaintext) {
-  return crypto::aead_seal(key, seq_nonce(iv, seq), aad, plaintext);
+  Bytes out;
+  seal_record_into(key, iv, seq, aad, plaintext, out);
+  return out;
 }
 
 std::optional<Bytes> open_record(const Bytes& key, const Bytes& iv,
                                  std::uint64_t seq, ByteView aad,
                                  ByteView sealed) {
-  return crypto::aead_open(key, seq_nonce(iv, seq), aad, sealed);
+  Bytes out;
+  if (!open_record_into(key, iv, seq, aad, sealed, out)) return std::nullopt;
+  return out;
 }
 
 // ---------------------------------------------------------------- server
@@ -112,21 +163,23 @@ void SecureServer::handle_wire(const Bytes& wire,
                               client_nonce, server_nonce);
 
       // Key confirmation: record seq 0 in the server->client direction.
-      const Bytes confirm = seal_record(
-          chan.keys.server_to_client_key, chan.keys.server_to_client_iv, 0,
-          direction_aad(1, channel_id),
-          to_bytes(std::string(kConfirmPayload)));
+      seal_record_into(chan.keys.server_to_client_key,
+                       chan.keys.server_to_client_iv, 0,
+                       direction_aad(1, channel_id),
+                       to_bytes(std::string(kConfirmPayload)),
+                       chan.seal_scratch);
 
       storage::BufWriter w;
       w.u8(kServerHello);
       for (std::uint8_t b : server_nonce) w.u8(b);
       w.u64(channel_id);
-      w.bytes(confirm);
+      w.bytes(chan.seal_scratch);
       channels_.emplace(channel_id, std::move(chan));
       ++stats_.handshakes;
       Bytes hello = w.take();
       if (metrics_) {
         metrics_->counter("securechan.handshakes").inc();
+        metrics_->counter("securechan.records_sealed").inc();
         metrics_->counter("securechan.bytes_out")
             .inc(static_cast<std::uint64_t>(hello.size()));
       }
@@ -149,10 +202,10 @@ void SecureServer::handle_wire(const Bytes& wire,
         if (metrics_) metrics_->counter("securechan.replays_rejected").inc();
         return;
       }
-      const auto plaintext = open_record(
-          chan.keys.client_to_server_key, chan.keys.client_to_server_iv, seq,
-          direction_aad(0, channel_id), sealed);
-      if (!plaintext) {
+      if (!open_record_into(chan.keys.client_to_server_key,
+                            chan.keys.client_to_server_iv, seq,
+                            direction_aad(0, channel_id), sealed,
+                            chan.open_scratch)) {
         ++stats_.records_rejected;
         if (metrics_) metrics_->counter("securechan.records_rejected").inc();
         return;
@@ -161,21 +214,24 @@ void SecureServer::handle_wire(const Bytes& wire,
       if (metrics_) metrics_->counter("securechan.records_opened").inc();
       if (!handler_) return;
       const std::uint64_t channel_id_copy = channel_id;
-      handler_(*plaintext, [this, channel_id_copy,
-                            respond = std::move(respond)](Bytes reply) {
+      handler_(chan.open_scratch, [this, channel_id_copy,
+                                   respond = std::move(respond)](Bytes reply) {
         const auto chan_it = channels_.find(channel_id_copy);
         if (chan_it == channels_.end()) return;  // channel torn down
         Channel& c = chan_it->second;
         const std::uint64_t reply_seq = c.send_seq++;
+        seal_record_into(c.keys.server_to_client_key,
+                         c.keys.server_to_client_iv, reply_seq,
+                         direction_aad(1, channel_id_copy), reply,
+                         c.seal_scratch);
         storage::BufWriter w;
         w.u8(kData);
         w.u64(channel_id_copy);
         w.u64(reply_seq);
-        w.bytes(seal_record(c.keys.server_to_client_key,
-                            c.keys.server_to_client_iv, reply_seq,
-                            direction_aad(1, channel_id_copy), reply));
+        w.bytes(c.seal_scratch);
         Bytes out = w.take();
         if (metrics_) {
+          metrics_->counter("securechan.records_sealed").inc();
           metrics_->counter("securechan.bytes_out")
               .inc(static_cast<std::uint64_t>(out.size()));
         }
@@ -225,13 +281,16 @@ void SecureClient::request(Bytes plaintext,
   }
   Established& chan = *channel_;
   const std::uint64_t seq = chan.send_seq++;
+  seal_record_into(chan.keys.client_to_server_key,
+                   chan.keys.client_to_server_iv, seq,
+                   direction_aad(0, chan.channel_id), plaintext,
+                   chan.seal_scratch);
+  if (metrics_) metrics_->counter("securechan.records_sealed").inc();
   storage::BufWriter w;
   w.u8(kData);
   w.u64(chan.channel_id);
   w.u64(seq);
-  w.bytes(seal_record(chan.keys.client_to_server_key,
-                      chan.keys.client_to_server_iv, seq,
-                      direction_aad(0, chan.channel_id), plaintext));
+  w.bytes(chan.seal_scratch);
 
   node_.request(
       server_, w.take(),
@@ -257,16 +316,15 @@ void SecureClient::request(Bytes plaintext,
             cb(Result<Bytes>(Err::kVerificationFailed, "replayed record"));
             return;
           }
-          const auto plain = open_record(
-              channel_->keys.server_to_client_key,
-              channel_->keys.server_to_client_iv, seq,
-              direction_aad(1, channel_id), sealed);
-          if (!plain) {
+          if (!open_record_into(channel_->keys.server_to_client_key,
+                                channel_->keys.server_to_client_iv, seq,
+                                direction_aad(1, channel_id), sealed,
+                                channel_->open_scratch)) {
             cb(Result<Bytes>(Err::kVerificationFailed,
                              "record authentication failed"));
             return;
           }
-          cb(Result<Bytes>(*plain));
+          cb(Result<Bytes>(channel_->open_scratch));
         } catch (const FormatError& e) {
           cb(Result<Bytes>(Err::kVerificationFailed,
                            std::string("malformed record: ") + e.what()));

@@ -41,6 +41,18 @@ struct ChannelKeys {
   Bytes server_to_client_key;  // 32 bytes
   Bytes client_to_server_iv;   // 12 bytes
   Bytes server_to_client_iv;   // 12 bytes
+
+  ChannelKeys() = default;
+  ChannelKeys(const ChannelKeys&) = default;
+  ChannelKeys& operator=(const ChannelKeys&) = default;
+  ChannelKeys(ChannelKeys&&) noexcept = default;
+  /// Wipes the keys being replaced before adopting the new ones.
+  ChannelKeys& operator=(ChannelKeys&& other) noexcept;
+  /// Session keys are zeroized before the memory is released, so torn-down
+  /// channels don't leave secrets on the freed heap.
+  ~ChannelKeys() { wipe(); }
+
+  void wipe();
 };
 
 /// Derives both directions' keys from the X25519 shared secret and the
@@ -56,6 +68,14 @@ Bytes seal_record(const Bytes& key, const Bytes& iv, std::uint64_t seq,
 std::optional<Bytes> open_record(const Bytes& key, const Bytes& iv,
                                  std::uint64_t seq, ByteView aad,
                                  ByteView sealed);
+
+/// Allocation-free variants: the nonce lives on the stack and `out` is a
+/// caller-owned scratch buffer whose capacity is reused across records
+/// (see crypto::aead_seal_into / aead_open_into for aliasing rules).
+void seal_record_into(const Bytes& key, const Bytes& iv, std::uint64_t seq,
+                      ByteView aad, ByteView plaintext, Bytes& out);
+bool open_record_into(const Bytes& key, const Bytes& iv, std::uint64_t seq,
+                      ByteView aad, ByteView sealed, Bytes& out);
 
 struct SecureServerStats {
   std::uint64_t handshakes = 0;
@@ -95,6 +115,9 @@ class SecureServer {
     ChannelKeys keys;
     std::uint64_t send_seq = 1;  // 0 was the confirm record
     std::set<std::uint64_t> seen_client_seqs;
+    // Reused seal/open scratch: steady-state records don't allocate.
+    Bytes seal_scratch;
+    Bytes open_scratch;
   };
 
   crypto::X25519KeyPair static_keys_;
@@ -142,6 +165,9 @@ class SecureClient {
     ChannelKeys keys;
     std::uint64_t send_seq = 0;
     std::set<std::uint64_t> seen_server_seqs;
+    // Reused seal/open scratch: steady-state records don't allocate.
+    Bytes seal_scratch;
+    Bytes open_scratch;
   };
 
   void start_handshake();

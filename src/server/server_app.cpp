@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "crypto/aead.h"
+#include "crypto/crypto_metrics.h"
 
 namespace amnesia::server {
 
@@ -60,12 +61,21 @@ AmnesiaServer::AmnesiaServer(simnet::Simulation& sim,
   http_.set_metrics(&metrics_);
   secure_.set_metrics(&metrics_);
   db_.raw().set_metrics(&metrics_);
+  // Crypto-layer load (PBKDF2 calls from master-password hashing) lands in
+  // the same registry, so GET /metrics exposes it. Process-wide hook: with
+  // several servers the most recently constructed one owns it.
+  crypto::set_crypto_metrics(&metrics_);
   install_routes();
   secure_.set_handler([this](const Bytes& plain,
                              std::function<void(Bytes)> respond) {
     http_.handle_bytes(plain, std::move(respond));
   });
   secure_.bind(*node_);
+}
+
+AmnesiaServer::~AmnesiaServer() {
+  // Never leave the process-wide crypto hook pointing at a dead registry.
+  crypto::detach_crypto_metrics(&metrics_);
 }
 
 void AmnesiaServer::finish_round_spans(const PendingPassword& pending) {

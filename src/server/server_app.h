@@ -91,6 +91,7 @@ class AmnesiaServer {
  public:
   AmnesiaServer(simnet::Simulation& sim, simnet::Network& network,
                 RandomSource& rng, AmnesiaServerConfig config = {});
+  ~AmnesiaServer();
 
   /// The static public key clients pin (the self-signed certificate).
   const crypto::X25519Key& public_key() const {

@@ -2,6 +2,9 @@
 // plus tamper-rejection properties.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+
 #include "common/bytes.h"
 #include "common/error.h"
 #include "crypto/aead.h"
@@ -71,6 +74,86 @@ TEST(ChaCha20Test, StreamingXorMatchesOneShot) {
   Bytes stitched = part1;
   append(stitched, part2);
   EXPECT_EQ(stitched, expected);
+}
+
+TEST(ChaCha20Test, BlockWiseXorMatchesByteWiseReference) {
+  // The fast path XORs whole 64-byte blocks a word at a time; the
+  // reference below XORs the keystream from next_block() byte by byte.
+  // Lengths sweep every alignment case around the block boundary, plus a
+  // multi-block body with a ragged head (offset split) and tail.
+  ChaChaDrbg rng(7);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+        std::size_t{65}, std::size_t{127}, std::size_t{128}, std::size_t{129},
+        std::size_t{1000}}) {
+    const Bytes msg = rng.bytes(len);
+
+    Bytes expected = msg;
+    ChaCha20 ref(key, nonce, 1);
+    std::array<std::uint8_t, 64> ks{};
+    std::size_t ks_used = ks.size();
+    for (auto& byte : expected) {
+      if (ks_used == ks.size()) {
+        ks = ref.next_block();
+        ks_used = 0;
+      }
+      byte ^= ks[ks_used++];
+    }
+
+    Bytes got = msg;
+    ChaCha20 fast(key, nonce, 1);
+    // A ragged split forces the partial-block drain + whole-block + tail
+    // paths to compose.
+    const std::size_t split = len / 3;
+    Bytes head(got.begin(), got.begin() + static_cast<std::ptrdiff_t>(split));
+    Bytes tail(got.begin() + static_cast<std::ptrdiff_t>(split), got.end());
+    fast.xor_stream(head);
+    fast.xor_stream(tail);
+    got = head;
+    append(got, tail);
+    EXPECT_EQ(got, expected) << "len=" << len;
+  }
+}
+
+TEST(ChaCha20Test, CounterWrapThrows) {
+  // RFC 8439: the 32-bit block counter bounds a (key, nonce) pair to
+  // ~256 GiB of keystream; wrapping silently would reuse keystream. The
+  // regression: start at the last counter value, take one block, and the
+  // next request must throw instead of wrapping to block 0.
+  const Bytes key(32, 0x42);
+  const Bytes nonce(12, 0x24);
+  ChaCha20 cipher(key, nonce, 0xffffffff);
+  EXPECT_NO_THROW(cipher.next_block());
+  EXPECT_THROW(cipher.next_block(), CryptoError);
+}
+
+TEST(ChaCha20Test, CounterWrapThrowsMidStream) {
+  const Bytes key(32, 0x42);
+  const Bytes nonce(12, 0x24);
+  ChaCha20 cipher(key, nonce, 0xffffffff);
+  Bytes ok(64, 0);  // consumes exactly the last block
+  cipher.xor_stream(ok);
+  Bytes one_more(1, 0);
+  EXPECT_THROW(cipher.xor_stream(one_more), CryptoError);
+}
+
+TEST(ChaCha20Test, CounterWrapKeystreamUnchangedBeforeLimit) {
+  // The wrap guard must not disturb the keystream up to the limit.
+  const Bytes key(32, 0x11);
+  const Bytes nonce(12, 0x22);
+  Bytes a(96, 0), b(96, 0);
+  ChaCha20 whole(key, nonce, 0xfffffffe);
+  whole.xor_stream(a);
+  ChaCha20 lo(key, nonce, 0xfffffffe);
+  ChaCha20 hi(key, nonce, 0xffffffff);
+  Bytes first(b.begin(), b.begin() + 64), second(b.begin() + 64, b.end());
+  lo.xor_stream(first);
+  hi.xor_stream(second);
+  b = first;
+  append(b, second);
+  EXPECT_EQ(a, b);
 }
 
 TEST(Poly1305Test, Rfc8439Tag) {
@@ -204,6 +287,36 @@ TEST_P(AeadSizeSweep, RoundTripAndBitFlipDetection) {
 INSTANTIATE_TEST_SUITE_P(Sizes, AeadSizeSweep,
                          ::testing::Values(0, 1, 15, 16, 17, 63, 64, 65, 100,
                                            1000, 4096));
+
+TEST(AeadIntoTest, ScratchVariantsMatchAllocatingOnes) {
+  ChaChaDrbg rng(13);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes aad = rng.bytes(9);
+  Bytes sealed, opened;
+  // A shrinking sequence proves the scratch buffer is resized per call,
+  // not just overwritten where sizes happen to match.
+  for (const std::size_t size : {std::size_t{500}, std::size_t{64},
+                                 std::size_t{0}}) {
+    const Bytes msg = rng.bytes(size);
+    aead_seal_into(key, nonce, aad, msg, sealed);
+    EXPECT_EQ(sealed, aead_seal(key, nonce, aad, msg));
+    ASSERT_TRUE(aead_open_into(key, nonce, aad, sealed, opened));
+    EXPECT_EQ(opened, msg);
+  }
+}
+
+TEST(AeadIntoTest, TamperRejectedWithoutTouchingScratch) {
+  ChaChaDrbg rng(14);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  Bytes sealed = aead_seal(key, nonce, {}, rng.bytes(32));
+  sealed[3] ^= 1;
+  Bytes opened = to_bytes("sentinel");
+  EXPECT_FALSE(aead_open_into(key, nonce, {}, sealed, opened));
+  // Tag fails before decryption, so the scratch still holds its old value.
+  EXPECT_EQ(opened, to_bytes("sentinel"));
+}
 
 }  // namespace
 }  // namespace amnesia::crypto

@@ -1,0 +1,141 @@
+// Steady-state allocation accounting for the crypto fast paths.
+//
+// The perf contract of the midstate-cached PBKDF2 and the scratch-buffer
+// record pipeline is "zero heap allocations per iteration / per record once
+// warm". A global counting operator new/delete makes that contract a test:
+// if someone reintroduces a per-iteration Bytes temporary, the counts here
+// move and the test fails — no profiler needed.
+//
+// This test intentionally lives in its own binary: replacing global
+// operator new would distort every other test, and gtest itself allocates
+// freely between test bodies, so each measurement brackets only the code
+// under test.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "common/bytes.h"
+#include "crypto/aead.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/pbkdf2.h"
+#include "securechan/channel.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace amnesia::crypto {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(AllocCount, Pbkdf2InnerLoopIsAllocationFree) {
+  const Bytes password = to_bytes("master password");
+  const Bytes salt(16, 0x5a);
+
+  // Allocations are a fixed per-call cost (the returned key, HMAC setup)
+  // plus a per-iteration cost; the fast path's claim is that the latter is
+  // exactly zero. Measure two calls differing only in iteration count.
+  const std::uint64_t before_small = allocations();
+  const Bytes dk_small = pbkdf2_hmac_sha256(password, salt, 1, 32);
+  const std::uint64_t cost_small = allocations() - before_small;
+
+  const std::uint64_t before_large = allocations();
+  const Bytes dk_large = pbkdf2_hmac_sha256(password, salt, 10'000, 32);
+  const std::uint64_t cost_large = allocations() - before_large;
+
+  EXPECT_EQ(cost_large, cost_small)
+      << "PBKDF2 allocated per iteration: 9999 extra iterations cost "
+      << (cost_large - cost_small) << " allocations";
+  EXPECT_NE(dk_small, dk_large);
+}
+
+TEST(AllocCount, HmacResetFinishIntoIsAllocationFree) {
+  const Bytes key(32, 0x17);
+  HmacSha256 mac(key);
+  std::array<std::uint8_t, 32> digest{};
+  mac.update(ByteView(digest.data(), digest.size()));
+  mac.finish_into(digest.data());
+
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 100; ++i) {
+    mac.reset();
+    mac.update(ByteView(digest.data(), digest.size()));
+    mac.finish_into(digest.data());
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+TEST(AllocCount, SealOpenRecordSteadyStateIsAllocationFree) {
+  ChaChaDrbg rng(21);
+  const Bytes secret = rng.bytes(32);
+  const auto keys =
+      securechan::derive_keys(secret, rng.bytes(16), rng.bytes(16));
+  const Bytes payload = rng.bytes(256);
+  const Bytes aad = rng.bytes(9);
+  Bytes sealed, opened;
+
+  // Warm-up call: the scratch buffers grow to capacity here.
+  securechan::seal_record_into(keys.client_to_server_key,
+                               keys.client_to_server_iv, 0, aad, payload,
+                               sealed);
+  ASSERT_TRUE(securechan::open_record_into(keys.client_to_server_key,
+                                           keys.client_to_server_iv, 0, aad,
+                                           sealed, opened));
+
+  const std::uint64_t before = allocations();
+  for (std::uint64_t seq = 1; seq <= 50; ++seq) {
+    securechan::seal_record_into(keys.client_to_server_key,
+                                 keys.client_to_server_iv, seq, aad, payload,
+                                 sealed);
+    ASSERT_TRUE(securechan::open_record_into(keys.client_to_server_key,
+                                             keys.client_to_server_iv, seq,
+                                             aad, sealed, opened));
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "seal/open of same-sized records allocated after warm-up";
+  EXPECT_EQ(opened, payload);
+}
+
+TEST(AllocCount, AeadIntoSteadyStateIsAllocationFree) {
+  ChaChaDrbg rng(22);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes aad = rng.bytes(16);
+  const Bytes msg = rng.bytes(512);
+  Bytes sealed, opened;
+  aead_seal_into(key, nonce, aad, msg, sealed);
+  ASSERT_TRUE(aead_open_into(key, nonce, aad, sealed, opened));
+
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 50; ++i) {
+    aead_seal_into(key, nonce, aad, msg, sealed);
+    ASSERT_TRUE(aead_open_into(key, nonce, aad, sealed, opened));
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+}  // namespace
+}  // namespace amnesia::crypto

@@ -164,5 +164,83 @@ TEST_P(ShaLengthSweep, StreamByteAtATimeMatchesOneShot) {
 INSTANTIATE_TEST_SUITE_P(AllBoundaryLengths, ShaLengthSweep,
                          ::testing::Range(0, 201));
 
+// --------------------------------------------------------- midstate cache
+// The HMAC fast path saves the compression state after the key pad block
+// and restores it per message; these pin down the save/restore contract.
+
+TEST(Sha256Midstate, RestoreResumesAfterBlockBoundary) {
+  const Bytes prefix(64, 0x36);  // exactly one compression block
+  Sha256 h;
+  h.update(prefix);
+  const Sha256::Midstate mid = h.save_midstate();
+
+  for (const char* tail : {"", "x", "tail that spans more than one block "
+                               "when padded out to sixty-five characters!"}) {
+    Sha256 resumed;
+    resumed.restore_midstate(mid);
+    resumed.update(to_bytes(tail));
+    EXPECT_EQ(resumed.finish(), sha256(concat({prefix, to_bytes(tail)})))
+        << "tail=\"" << tail << '"';
+  }
+}
+
+TEST(Sha512Midstate, RestoreResumesAfterBlockBoundary) {
+  const Bytes prefix(128, 0x5c);
+  Sha512 h;
+  h.update(prefix);
+  const Sha512::Midstate mid = h.save_midstate();
+
+  Sha512 resumed;
+  resumed.restore_midstate(mid);
+  resumed.update(to_bytes("suffix"));
+  EXPECT_EQ(resumed.finish(), sha512(concat({prefix, to_bytes("suffix")})));
+}
+
+TEST(Sha256Midstate, SaveRequiresBlockAlignment) {
+  Sha256 h;
+  h.update(to_bytes("seven b"));  // 7 bytes buffered, not a whole block
+  EXPECT_THROW(h.save_midstate(), CryptoError);
+}
+
+TEST(Sha256Midstate, SaveAfterFinishThrows) {
+  Sha256 h;
+  h.finish();
+  EXPECT_THROW(h.save_midstate(), CryptoError);
+}
+
+TEST(Sha256Midstate, RestoreClearsFinishedFlag) {
+  Sha256 h;
+  h.update(Bytes(64, 0xab));
+  const Sha256::Midstate mid = h.save_midstate();
+  h.finish();
+  h.restore_midstate(mid);  // must make the object usable again
+  EXPECT_EQ(h.finish(), sha256(Bytes(64, 0xab)));
+}
+
+TEST(Sha256FinishInto, MatchesHeapFinish) {
+  Sha256 a, b;
+  a.update(to_bytes("digest into a stack buffer"));
+  b.update(to_bytes("digest into a stack buffer"));
+  Sha256::Digest out{};
+  a.finish_into(out.data());
+  EXPECT_EQ(Bytes(out.begin(), out.end()), b.finish());
+}
+
+TEST(Sha512FinishInto, MatchesHeapFinish) {
+  Sha512 a, b;
+  a.update(to_bytes("digest into a stack buffer"));
+  b.update(to_bytes("digest into a stack buffer"));
+  Sha512::Digest out{};
+  a.finish_into(out.data());
+  EXPECT_EQ(Bytes(out.begin(), out.end()), b.finish());
+}
+
+TEST(Sha256FinishInto, FinishDigestMatchesOneShot) {
+  Sha256 h;
+  h.update(to_bytes("abc"));
+  const Sha256::Digest d = h.finish_digest();
+  EXPECT_EQ(Bytes(d.begin(), d.end()), sha256(to_bytes("abc")));
+}
+
 }  // namespace
 }  // namespace amnesia::crypto

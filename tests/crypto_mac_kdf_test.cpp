@@ -2,13 +2,19 @@
 // well-known SHA-256 vectors), and the master-password record format.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+
 #include "common/bytes.h"
 #include "common/error.h"
+#include "crypto/crypto_metrics.h"
 #include "crypto/drbg.h"
 #include "crypto/hkdf.h"
 #include "crypto/hmac.h"
 #include "crypto/password_hash.h"
 #include "crypto/pbkdf2.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
 
 namespace amnesia::crypto {
 namespace {
@@ -167,6 +173,134 @@ TEST(Pbkdf2, LongInputsMultiBlockOutput) {
 TEST(Pbkdf2, ZeroIterationsThrows) {
   EXPECT_THROW(pbkdf2_hmac_sha256(to_bytes("p"), to_bytes("s"), 0, 32),
                CryptoError);
+}
+
+// ---------------------------------------------------------------------
+// Property tests: the midstate-cached fast paths against naive textbook
+// reference implementations (RFC 2104 / RFC 2898 written out with plain
+// one-shot hashes). Any divergence in pad handling, midstate restore, or
+// block chaining shows up here before it could corrupt a derived key.
+
+Bytes naive_hmac_sha256(ByteView key, ByteView msg) {
+  constexpr std::size_t kBlock = 64;
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = sha256(k);
+  k.resize(kBlock, 0x00);
+  Bytes ipad = k;
+  Bytes opad = k;
+  for (auto& b : ipad) b ^= 0x36;
+  for (auto& b : opad) b ^= 0x5c;
+  return sha256(concat({opad, sha256(concat({ipad, msg}))}));
+}
+
+Bytes naive_hmac_sha512(ByteView key, ByteView msg) {
+  constexpr std::size_t kBlock = 128;
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = sha512(k);
+  k.resize(kBlock, 0x00);
+  Bytes ipad = k;
+  Bytes opad = k;
+  for (auto& b : ipad) b ^= 0x36;
+  for (auto& b : opad) b ^= 0x5c;
+  return sha512(concat({opad, sha512(concat({ipad, msg}))}));
+}
+
+Bytes naive_pbkdf2_sha256(ByteView password, ByteView salt,
+                          std::uint32_t iterations, std::size_t dk_len) {
+  Bytes dk;
+  for (std::uint32_t block = 1; dk.size() < dk_len; ++block) {
+    const Bytes be{static_cast<std::uint8_t>(block >> 24),
+                   static_cast<std::uint8_t>(block >> 16),
+                   static_cast<std::uint8_t>(block >> 8),
+                   static_cast<std::uint8_t>(block)};
+    Bytes u = naive_hmac_sha256(password, concat({salt, be}));
+    Bytes t = u;
+    for (std::uint32_t i = 1; i < iterations; ++i) {
+      u = naive_hmac_sha256(password, u);
+      for (std::size_t j = 0; j < t.size(); ++j) t[j] ^= u[j];
+    }
+    append(dk, t);
+  }
+  dk.resize(dk_len);
+  return dk;
+}
+
+TEST(HmacProperty, FastPathMatchesNaiveReference) {
+  ChaChaDrbg rng(2026);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Key lengths straddle the block size (64/128) and the hashed-key
+    // path; message lengths straddle block boundaries.
+    const Bytes key = rng.bytes(rng.uniform(200));
+    const Bytes msg = rng.bytes(rng.uniform(300));
+    EXPECT_EQ(hmac_sha256(key, msg), naive_hmac_sha256(key, msg))
+        << "key_len=" << key.size() << " msg_len=" << msg.size();
+    EXPECT_EQ(hmac_sha512(key, msg), naive_hmac_sha512(key, msg))
+        << "key_len=" << key.size() << " msg_len=" << msg.size();
+  }
+}
+
+TEST(HmacProperty, FinishIntoMatchesFinish) {
+  ChaChaDrbg rng(2027);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bytes key = rng.bytes(rng.uniform(100));
+    const Bytes msg = rng.bytes(rng.uniform(200));
+    HmacSha256 mac(key);
+    mac.update(msg);
+    std::array<std::uint8_t, 32> out{};
+    mac.finish_into(out.data());
+    EXPECT_EQ(Bytes(out.begin(), out.end()), hmac_sha256(key, msg));
+  }
+}
+
+TEST(HmacProperty, ResetAfterFinishIntoReusesKeySchedule) {
+  const Bytes key = to_bytes("schedule-reuse-key");
+  HmacSha256 mac(key);
+  std::array<std::uint8_t, 32> a{}, b{};
+  mac.update(to_bytes("first"));
+  mac.finish_into(a.data());
+  mac.reset();
+  mac.update(to_bytes("second"));
+  mac.finish_into(b.data());
+  EXPECT_EQ(Bytes(a.begin(), a.end()), hmac_sha256(key, to_bytes("first")));
+  EXPECT_EQ(Bytes(b.begin(), b.end()), hmac_sha256(key, to_bytes("second")));
+}
+
+TEST(Pbkdf2Metrics, ReportsCallsAndIterationsToWiredRegistry) {
+  obs::MetricsRegistry registry;
+  set_crypto_metrics(&registry);
+  pbkdf2_hmac_sha256(to_bytes("mp"), to_bytes("salt"), 7, 32);
+  pbkdf2_hmac_sha256(to_bytes("mp"), to_bytes("salt"), 3, 64);  // 2 blocks
+  detach_crypto_metrics(&registry);
+  EXPECT_EQ(registry.counter("crypto.pbkdf2_calls").value(), 2u);
+  EXPECT_EQ(registry.counter("crypto.pbkdf2_iterations").value(),
+            7u + 2 * 3u);
+  // Detached: further derivations must not touch the registry.
+  pbkdf2_hmac_sha256(to_bytes("mp"), to_bytes("salt"), 5, 32);
+  EXPECT_EQ(registry.counter("crypto.pbkdf2_calls").value(), 2u);
+}
+
+TEST(Pbkdf2Metrics, DetachIgnoresForeignRegistry) {
+  obs::MetricsRegistry wired, other;
+  set_crypto_metrics(&wired);
+  detach_crypto_metrics(&other);  // must not unhook `wired`
+  pbkdf2_hmac_sha256(to_bytes("mp"), to_bytes("salt"), 2, 32);
+  detach_crypto_metrics(&wired);
+  EXPECT_EQ(wired.counter("crypto.pbkdf2_calls").value(), 1u);
+}
+
+TEST(Pbkdf2Property, FastPathMatchesNaiveReference) {
+  ChaChaDrbg rng(2028);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Bytes password = rng.bytes(rng.uniform(80));
+    const Bytes salt = rng.bytes(rng.uniform(40));
+    const auto iterations = static_cast<std::uint32_t>(1 + rng.uniform(40));
+    // Up to 2.5 hash blocks so multi-block output chaining is exercised.
+    const std::size_t dk_len = 1 + rng.uniform(80);
+    EXPECT_EQ(pbkdf2_hmac_sha256(password, salt, iterations, dk_len),
+              naive_pbkdf2_sha256(password, salt, iterations, dk_len))
+        << "pw_len=" << password.size() << " salt_len=" << salt.size()
+        << " iters=" << iterations << " dk_len=" << dk_len;
+  }
 }
 
 TEST(PasswordHasherTest, HashAndVerifyRoundTrip) {

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Builds (Release) and runs the crypto microbenchmark suite, leaving
+# BENCH_crypto_primitives.json at the repo root for regression diffing
+# (see docs/PERFORMANCE.md). Run from anywhere inside the repo:
+#
+#   tools/run_benches.sh                 # full suite
+#   tools/run_benches.sh 'BM_Pbkdf2.*'   # filter by regex
+#
+# Note: the installed google-benchmark wants --benchmark_min_time as a
+# plain double (no "s" suffix).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+filter=${1:-.}
+jobs=$(nproc 2>/dev/null || echo 4)
+build_dir=$repo_root/build
+
+echo "== configure $build_dir"
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+echo "== build bench_crypto_primitives"
+cmake --build "$build_dir" -j "$jobs" --target bench_crypto_primitives
+
+build_type=$(grep -E '^CMAKE_BUILD_TYPE:' "$build_dir/CMakeCache.txt" |
+    cut -d= -f2)
+case "$build_type" in
+Release | RelWithDebInfo) ;;
+*)
+    echo "warning: build dir is CMAKE_BUILD_TYPE=$build_type;" \
+        "numbers will not be comparable to Release baselines" >&2
+    ;;
+esac
+
+echo "== run (filter: $filter)"
+cd "$repo_root"
+"$build_dir/bench/bench_crypto_primitives" \
+    --benchmark_filter="$filter" \
+    --benchmark_min_time=0.2

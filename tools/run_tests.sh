@@ -21,6 +21,14 @@ run_pass() {
     cmake --build "$repo_root/$build_dir" -j "$jobs"
     echo "== ctest $build_dir"
     ctest --test-dir "$repo_root/$build_dir" --output-on-failure -j "$jobs"
+    # Smoke-run the bench harness so it cannot bit-rot between perf PRs
+    # (full runs are tools/run_benches.sh's job). Executed inside the build
+    # dir so its JSON artifact does not clobber a real one at the repo root.
+    echo "== bench smoke $build_dir"
+    (cd "$repo_root/$build_dir" &&
+        ./bench/bench_crypto_primitives \
+            --benchmark_filter='BM_Sha256/64$' \
+            --benchmark_min_time=0.01 >/dev/null)
 }
 
 case "$mode" in
