@@ -1,0 +1,276 @@
+// Loopback throughput/latency for the real TCP transport.
+//
+// Runs the full Amnesia stack — simulation-hosted server behind
+// server::NetGateway, wire-backed client::Browser over net::TcpTransport —
+// on 127.0.0.1 and drives a closed loop at several concurrency levels
+// (one TCP connection per concurrent client, ~4 pipelined requests each).
+// Two phases:
+//
+//   login     secure-channel handshake + PBKDF2 verify, no phone; the
+//             pure transport + crypto round trip.
+//   password  the six-step bilateral generation including the simulated
+//             phone confirmation (bridged virtual time), i.e. the
+//             end-to-end hot path of the paper.
+//
+// Simulated link latencies are collapsed to ~10 us and the per-request
+// virtual CPU charges zeroed, so the numbers measure the real epoll
+// transport and real crypto rather than the calibrated WAN model (that
+// model is bench_fig3_latency's job). Writes BENCH_net_loopback.json
+// (req/s, p50/p99 latency, bytes/s per phase x concurrency) to the
+// current directory, or to argv[1].
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/browser.h"
+#include "crypto/drbg.h"
+#include "eval/testbed.h"
+#include "net/event_loop.h"
+#include "net/rpc.h"
+#include "net/tcp.h"
+#include "server/gateway.h"
+
+using namespace amnesia;
+
+namespace {
+
+constexpr const char* kUser = "alice";
+constexpr const char* kMasterPassword = "bench master password";
+constexpr const char* kAccountUser = "Alice";
+constexpr const char* kAccountDomain = "mail.google.com";
+constexpr std::size_t kPipelineDepth = 4;
+const std::vector<int> kConcurrency = {1, 2, 4, 8};
+
+struct BenchClient {
+  std::unique_ptr<net::TcpTransport> dial;
+  std::unique_ptr<net::RpcClient> rpc;
+  std::unique_ptr<crypto::ChaChaDrbg> rng;
+  std::unique_ptr<client::Browser> browser;
+};
+
+BenchClient make_client(net::EventLoop& loop, std::uint16_t port,
+                        const crypto::X25519Key& server_key,
+                        std::uint64_t seed) {
+  BenchClient c;
+  c.dial = std::make_unique<net::TcpTransport>(loop, "127.0.0.1", port);
+  c.rpc = std::make_unique<net::RpcClient>(*c.dial, 30'000'000);
+  c.rng = std::make_unique<crypto::ChaChaDrbg>(seed);
+  c.browser = std::make_unique<client::Browser>(
+      c.rpc->wire(), server_key, *c.rng,
+      "bench-client-" + std::to_string(seed));
+  return c;
+}
+
+using Op = std::function<void(client::Browser&, std::function<void(bool)>)>;
+
+struct PhaseRow {
+  std::string phase;
+  int concurrency = 0;
+  std::size_t requests = 0;
+  std::size_t failures = 0;
+  double wall_s = 0;
+  double req_per_s = 0;
+  Micros p50_us = 0;
+  Micros p99_us = 0;
+  double bytes_per_s = 0;
+};
+
+Micros percentile(std::vector<Micros>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Closed loop: each client keeps `depth` requests outstanding until
+/// `total` have completed across all clients.
+PhaseRow run_phase(net::EventLoop& loop, std::vector<BenchClient>& clients,
+                   const std::string& phase, std::size_t total, const Op& op,
+                   obs::Counter& rx, obs::Counter& tx) {
+  PhaseRow row;
+  row.phase = phase;
+  row.concurrency = static_cast<int>(clients.size());
+  row.requests = total;
+
+  std::vector<Micros> latencies;
+  latencies.reserve(total);
+  std::size_t issued = 0, done = 0;
+  std::function<void(std::size_t)> issue = [&](std::size_t ci) {
+    if (issued >= total) return;
+    ++issued;
+    const Micros t0 = loop.clock().now_us();
+    op(*clients[ci].browser, [&, ci, t0](bool ok) {
+      latencies.push_back(loop.clock().now_us() - t0);
+      if (!ok) ++row.failures;
+      ++done;
+      issue(ci);
+    });
+  };
+
+  const std::uint64_t rx0 = rx.value(), tx0 = tx.value();
+  const Micros start = loop.clock().now_us();
+  for (std::size_t ci = 0; ci < clients.size(); ++ci) {
+    for (std::size_t d = 0; d < kPipelineDepth; ++d) issue(ci);
+  }
+  const Micros deadline = start + 180'000'000;
+  while (done < total) {
+    if (loop.clock().now_us() >= deadline) {
+      std::fprintf(stderr, "FAILED: phase %s stalled (%zu/%zu done)\n",
+                   phase.c_str(), done, total);
+      std::exit(1);
+    }
+    loop.poll(20'000);
+  }
+  const Micros wall = loop.clock().now_us() - start;
+
+  row.wall_s = static_cast<double>(wall) / 1e6;
+  row.req_per_s = static_cast<double>(total) / row.wall_s;
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_us = percentile(latencies, 0.50);
+  row.p99_us = percentile(latencies, 0.99);
+  row.bytes_per_s =
+      static_cast<double>((rx.value() - rx0) + (tx.value() - tx0)) /
+      row.wall_s;
+  return row;
+}
+
+void write_json(const char* path, const std::vector<PhaseRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::perror("fopen");
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"net_loopback\",\n");
+  std::fprintf(f,
+               "  \"transport\": \"tcp 127.0.0.1 (epoll event loop, "
+               "TCP_NODELAY)\",\n");
+  std::fprintf(f, "  \"pipeline_depth\": %zu,\n", kPipelineDepth);
+  std::fprintf(f, "  \"phases\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PhaseRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"phase\": \"%s\", \"concurrency\": %d, "
+                 "\"requests\": %zu, \"failures\": %zu, "
+                 "\"wall_s\": %.3f, \"req_per_s\": %.1f, "
+                 "\"p50_us\": %lld, \"p99_us\": %lld, "
+                 "\"bytes_per_s\": %.0f}%s\n",
+                 r.phase.c_str(), r.concurrency, r.requests, r.failures,
+                 r.wall_s, r.req_per_s, static_cast<long long>(r.p50_us),
+                 static_cast<long long>(r.p99_us), r.bytes_per_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_net_loopback.json";
+
+  // Collapse the simulated WAN/WiFi model and virtual CPU charges so the
+  // measurement isolates the real transport + real crypto.
+  eval::TestbedConfig config;
+  // Enough workers that concurrency x pipeline password requests (which
+  // hold a worker for the whole phone round trip, CherryPy-style) never
+  // starve the phone's own /token posts — the transport stays the subject.
+  config.server.workers = 64;
+  config.server.mp_hash.iterations = 1'000;
+  config.server.token_compute_mean_ms = 0.0;
+  config.server.token_compute_stddev_ms = 0.0;
+  config.server.light_compute_ms = 0.0;
+  config.phone.compute_mean_ms = 0.0;
+  config.phone.compute_stddev_ms = 0.0;
+  eval::Testbed bed(config);
+
+  simnet::LinkProfile fast;
+  fast.name = "near-zero";
+  fast.base_latency_ms = 0.01;
+  fast.jitter_ms = 0.0;
+  fast.min_latency_ms = 0.005;
+  fast.bandwidth_mbps = 40'000.0;
+  fast.loss_probability = 0.0;
+  bed.net().set_default_link(fast);
+  bed.net().set_duplex_link("amnesia-server", "gcm", fast, fast);
+  bed.net().set_duplex_link("gcm", "phone", fast, fast);
+  bed.net().set_duplex_link("phone", "amnesia-server", fast, fast);
+  bed.net().set_duplex_link("phone", "cloud", fast, fast);
+
+  if (Status s = bed.provision(kUser, kMasterPassword); !s.ok()) {
+    std::fprintf(stderr, "FAILED: provision: %s\n", s.message().c_str());
+    return 1;
+  }
+  if (Status s = bed.add_account(kAccountUser, kAccountDomain); !s.ok()) {
+    std::fprintf(stderr, "FAILED: add_account: %s\n", s.message().c_str());
+    return 1;
+  }
+
+  net::EventLoop loop;
+  net::TcpTransport secure_tr(loop, "127.0.0.1", 0);
+  secure_tr.set_metrics(&bed.server().metrics());
+  server::NetGateway gateway(secure_tr, nullptr, bed.server());
+  obs::Counter& rx = bed.server().metrics().counter("net.bytes_rx");
+  obs::Counter& tx = bed.server().metrics().counter("net.bytes_tx");
+
+  const Op login_op = [](client::Browser& b, std::function<void(bool)> cb) {
+    b.login(kUser, kMasterPassword,
+            [cb = std::move(cb)](Status s) { cb(s.ok()); });
+  };
+  const Op password_op = [](client::Browser& b,
+                            std::function<void(bool)> cb) {
+    b.request_password(
+        kAccountUser, kAccountDomain,
+        [cb = std::move(cb)](Result<std::string> r) { cb(r.ok()); });
+  };
+
+  std::vector<PhaseRow> rows;
+  std::uint64_t next_seed = 1;
+  std::printf("%-10s %5s %9s %9s %10s %10s %12s\n", "phase", "conc", "reqs",
+              "req/s", "p50_us", "p99_us", "bytes/s");
+  for (const int conc : kConcurrency) {
+    std::vector<BenchClient> clients;
+    for (int i = 0; i < conc; ++i) {
+      clients.push_back(make_client(loop, secure_tr.local_port(),
+                                    bed.server().public_key(), next_seed++));
+    }
+
+    // Timed phase 1: login (handshake + PBKDF2, no phone round trip).
+    PhaseRow login_row = run_phase(loop, clients, "login",
+                                   static_cast<std::size_t>(conc) * 60,
+                                   login_op, rx, tx);
+
+    // Timed phase 2: bilateral password generation (phone confirms every
+    // request; sessions already established by phase 1).
+    PhaseRow password_row = run_phase(loop, clients, "password",
+                                      static_cast<std::size_t>(conc) * 25,
+                                      password_op, rx, tx);
+
+    for (const PhaseRow& r : {login_row, password_row}) {
+      std::printf("%-10s %5d %9zu %9.1f %10lld %10lld %12.0f\n",
+                  r.phase.c_str(), r.concurrency, r.requests, r.req_per_s,
+                  static_cast<long long>(r.p50_us),
+                  static_cast<long long>(r.p99_us), r.bytes_per_s);
+      if (r.failures != 0) {
+        std::fprintf(stderr, "FAILED: %zu/%zu %s requests failed at "
+                     "concurrency %d\n",
+                     r.failures, r.requests, r.phase.c_str(), r.concurrency);
+        return 1;
+      }
+    }
+    rows.push_back(login_row);
+    rows.push_back(password_row);
+
+    for (BenchClient& c : clients) c.rpc->close();
+    // Drain the closed connections before the next level's accepts.
+    for (int i = 0; i < 10; ++i) loop.poll(1'000);
+  }
+
+  write_json(out_path, rows);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

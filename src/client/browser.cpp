@@ -11,7 +11,17 @@ Browser::Browser(simnet::Network& network, simnet::NodeId node_id,
       channel_(*node_, std::move(server_node), server_public_key, rng),
       http_([this](Bytes wire, std::function<void(Result<Bytes>)> cb) {
         channel_.request(std::move(wire), std::move(cb));
-      }) {}
+      }),
+      label_(node_->id()) {}
+
+Browser::Browser(securechan::SecureClient::WireFn wire,
+                 crypto::X25519Key server_public_key, RandomSource& rng,
+                 std::string label)
+    : channel_(std::move(wire), server_public_key, rng),
+      http_([this](Bytes w, std::function<void(Result<Bytes>)> cb) {
+        channel_.request(std::move(w), std::move(cb));
+      }),
+      label_(std::move(label)) {}
 
 Status Browser::status_from(const Result<websvc::Response>& r,
                             Err not_ok_code) {
@@ -151,7 +161,7 @@ void Browser::request_password(const std::string& username,
   req.method = websvc::Method::kPost;
   req.path = "/password/request";
   req.headers["Content-Type"] = "application/x-www-form-urlencoded";
-  req.headers["X-Origin-IP"] = node_->id();
+  req.headers["X-Origin-IP"] = label_;
   req.body = websvc::form_encode({{"username", username}, {"domain", domain}});
   http_.send(
       std::move(req),

@@ -40,6 +40,14 @@ class Browser {
           simnet::NodeId server_node, crypto::X25519Key server_public_key,
           RandomSource& rng);
 
+  /// Transport-agnostic constructor: `wire` carries secure-channel
+  /// envelopes to the server (e.g. a net::RpcClient over real TCP). The
+  /// browser behaves identically to the simulated one — same protocol
+  /// bytes, no simnet Node underneath.
+  Browser(securechan::SecureClient::WireFn wire,
+          crypto::X25519Key server_public_key, RandomSource& rng,
+          std::string label = "browser");
+
   void signup(const std::string& user, const std::string& master_password,
               std::function<void(Status)> cb);
   void login(const std::string& user, const std::string& master_password,
@@ -95,7 +103,8 @@ class Browser {
   bool logged_in() const {
     return http_.cookies().contains("session");
   }
-  const simnet::NodeId& node_id() const { return node_->id(); }
+  /// The simnet node id, or the label given to the wire constructor.
+  const simnet::NodeId& node_id() const { return label_; }
 
   /// Breach surface for the section-IV attack harness: a "broken HTTPS"
   /// adversary on the browser leg is modelled as one holding these
@@ -106,10 +115,11 @@ class Browser {
   static Status status_from(const Result<websvc::Response>& r,
                             Err not_ok_code = Err::kInvalidArgument);
 
-  std::unique_ptr<simnet::Node> node_;
+  std::unique_ptr<simnet::Node> node_;  // null for wire-backed browsers
   securechan::SecureClient channel_;
   websvc::HttpClient http_;
   AutofillHook autofill_;
+  simnet::NodeId label_;
 };
 
 }  // namespace amnesia::client

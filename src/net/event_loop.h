@@ -1,0 +1,121 @@
+// EventLoop: epoll-based reactor with a hashed timer wheel and an
+// eventfd wakeup channel.
+//
+// One loop drives any number of fds (listeners, connections) plus timers
+// (RPC timeouts, idle eviction) and cross-thread posted work. Everything
+// except post()/stop() must be called from the thread running the loop;
+// post() writes the wakeup fd so another thread can hand work in — that is
+// how benchmarks and tests inject traffic while the loop runs.
+//
+// Timers live in a fixed hashed wheel (256 slots x 1.024 ms granularity):
+// insert and cancel are O(1); expiry visits only the slots the clock has
+// crossed, so an idle loop with one 30 s timer sleeps in epoll_wait until
+// that deadline rather than ticking. Timers may fire up to one tick late;
+// they never fire early.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/executor.h"
+#include "obs/metrics.h"
+
+namespace amnesia::net {
+
+class EventLoop final : public Executor {
+ public:
+  /// Receives the ready EPOLL* event bits for a registered fd.
+  using IoHandler = std::function<void(std::uint32_t events)>;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // ---- fd registration (loop thread only) ----------------------------
+  void add_fd(int fd, std::uint32_t events, IoHandler handler);
+  void mod_fd(int fd, std::uint32_t events);
+  void del_fd(int fd);
+
+  // ---- timers (loop thread only) -------------------------------------
+  /// One-shot timer `delay_us` from now (clamped to >= 0). Returns an id
+  /// for cancel_timer.
+  TimerId add_timer(Micros delay_us, std::function<void()> fn);
+  /// Returns false if the timer already fired or was cancelled.
+  bool cancel_timer(TimerId id);
+  std::size_t pending_timers() const { return live_timers_.size(); }
+
+  // ---- Executor ------------------------------------------------------
+  /// Thread-safe: enqueues `fn` and wakes the loop via the eventfd.
+  void post(std::function<void()> fn) override;
+  void run_after(Micros delay_us, std::function<void()> fn) override;
+  Clock& clock() override { return clock_; }
+
+  // ---- running -------------------------------------------------------
+  /// Runs until stop(). May be called again after it returns.
+  void run();
+  /// Thread-safe: makes run() return after the current iteration.
+  void stop();
+  /// One iteration: waits at most `max_wait_us` (bounded further by the
+  /// next timer deadline), dispatches ready fds, posted work, and due
+  /// timers. Returns the number of callbacks dispatched.
+  std::size_t poll(Micros max_wait_us);
+
+  /// Publishes net.epoll_wakeups / net.timers_fired into `registry`.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct Timer {
+    TimerId id;
+    Micros deadline;
+    std::function<void()> fn;
+  };
+  struct FdEntry {
+    IoHandler handler;
+  };
+
+  static constexpr int kTickShift = 10;            // 1.024 ms per tick
+  static constexpr std::size_t kWheelSlots = 256;  // power of two
+
+  static std::size_t slot_of(Micros deadline) {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(deadline) >> kTickShift) &
+        (kWheelSlots - 1));
+  }
+
+  std::size_t drain_posted();
+  std::size_t process_timers();
+  void recompute_nearest();
+  Micros wait_budget(Micros max_wait_us) const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  WallClock clock_;
+  std::map<int, std::shared_ptr<FdEntry>> fds_;
+
+  std::array<std::vector<Timer>, kWheelSlots> wheel_;
+  std::set<TimerId> live_timers_;
+  std::set<TimerId> cancelled_timers_;
+  Micros nearest_deadline_ = -1;  // -1: none
+  std::uint64_t last_tick_ = 0;
+  TimerId next_timer_id_ = 1;
+
+  mutable std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+  std::atomic<bool> stop_{false};
+
+  obs::Counter* wakeups_ = nullptr;
+  obs::Counter* timers_fired_ = nullptr;
+};
+
+}  // namespace amnesia::net

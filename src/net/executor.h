@@ -1,0 +1,39 @@
+// Executor: the deferred-execution surface shared by the real event loop
+// and the discrete-event simulator.
+//
+// Protocol components (the HTTP server's worker-pool model, RPC timeouts,
+// idle-timeout bookkeeping) never talk to epoll or to the simulation
+// directly; they take an Executor. Under simnet the executor is the
+// Simulation itself (virtual time), under src/net it is the EventLoop
+// (real monotonic time) — the same protocol code runs unchanged over
+// either backend, which is the point of the Transport abstraction
+// (docs/NETWORKING.md).
+#pragma once
+
+#include <functional>
+
+#include "common/clock.h"
+
+namespace amnesia::net {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Runs `fn` from the executor's dispatch context as soon as possible.
+  /// EventLoop::post is safe from any thread (it kicks the wakeup fd);
+  /// the Simulation implementation must be called from the thread that
+  /// drives the simulation.
+  virtual void post(std::function<void()> fn) = 0;
+
+  /// Runs `fn` once, `delay_us` microseconds from now (clamped to >= 0).
+  /// One-shot and non-cancellable; components that need cancellation keep
+  /// their own generation counters or check state when the timer fires.
+  virtual void run_after(Micros delay_us, std::function<void()> fn) = 0;
+
+  /// The time base `run_after` delays against: virtual time under the
+  /// simulator, CLOCK_MONOTONIC-style wall time under the event loop.
+  virtual Clock& clock() = 0;
+};
+
+}  // namespace amnesia::net

@@ -1,0 +1,51 @@
+#include "net/framing.h"
+
+namespace amnesia::net {
+
+void append_frame(Bytes& out, ByteView payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  append(out, payload);
+}
+
+Bytes encode_frame(ByteView payload) {
+  Bytes out;
+  out.reserve(4 + payload.size());
+  append_frame(out, payload);
+  return out;
+}
+
+bool FrameDecoder::feed(ByteView chunk, const Sink& sink) {
+  if (poisoned_) return false;
+  append(buf_, chunk);
+
+  std::size_t pos = 0;
+  while (buf_.size() - pos >= 4) {
+    const std::uint32_t len = static_cast<std::uint32_t>(buf_[pos]) |
+                              (static_cast<std::uint32_t>(buf_[pos + 1]) << 8) |
+                              (static_cast<std::uint32_t>(buf_[pos + 2]) << 16) |
+                              (static_cast<std::uint32_t>(buf_[pos + 3]) << 24);
+    if (len > max_frame_) {
+      poisoned_ = true;
+      error_ = "frame length " + std::to_string(len) + " exceeds limit " +
+               std::to_string(max_frame_);
+      buf_.clear();
+      return false;
+    }
+    if (buf_.size() - pos - 4 < len) break;
+    sink(ByteView(buf_.data() + pos + 4, len));
+    pos += 4 + static_cast<std::size_t>(len);
+  }
+
+  if (pos == buf_.size()) {
+    buf_.clear();  // keeps capacity: the steady-state path never reallocates
+  } else if (pos > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  return true;
+}
+
+}  // namespace amnesia::net

@@ -1,0 +1,57 @@
+// Length-prefixed message framing over a ByteStream.
+//
+// A ByteStream delivers chunks with arbitrary boundaries; this layer
+// restores message boundaries with a [u32 length (LE)][payload] envelope.
+// It is the stream-framing substrate for the secure channel: one frame
+// carries exactly the bytes that a simnet RPC body would carry, so the
+// protocol bytes above this layer are identical across backends.
+//
+// FrameDecoder is allocation-conscious: its internal buffer grows to the
+// high-water mark once and is then reused, so reassembling a steady
+// stream of same-sized records performs zero heap allocations (enforced
+// by tests/securechan_stream_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace amnesia::net {
+
+/// Frames larger than this are treated as stream corruption.
+constexpr std::size_t kDefaultMaxFrame = 1u << 20;
+
+/// Appends [u32 len][payload] to `out` (capacity-reusing hot path).
+void append_frame(Bytes& out, ByteView payload);
+
+Bytes encode_frame(ByteView payload);
+
+class FrameDecoder {
+ public:
+  /// Receives each complete frame payload; the view is valid only during
+  /// the call and the sink must not call feed() reentrantly.
+  using Sink = std::function<void(ByteView)>;
+
+  explicit FrameDecoder(std::size_t max_frame = kDefaultMaxFrame)
+      : max_frame_(max_frame) {}
+
+  /// Buffers `chunk` and emits every frame completed by it, in order.
+  /// Returns false (and poisons the decoder) if a frame length exceeds
+  /// max_frame — the caller should close the stream.
+  bool feed(ByteView chunk, const Sink& sink);
+
+  bool poisoned() const { return poisoned_; }
+  /// Bytes buffered waiting for the rest of a frame.
+  std::size_t buffered() const { return buf_.size(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  Bytes buf_;
+  std::size_t max_frame_;
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+}  // namespace amnesia::net

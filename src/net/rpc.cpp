@@ -1,0 +1,220 @@
+#include "net/rpc.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace amnesia::net {
+namespace {
+
+// Frame kinds, byte-identical to simnet::Node's RPC framing.
+constexpr std::uint8_t kRequest = 0;
+constexpr std::uint8_t kResponse = 1;
+
+constexpr std::size_t kRpcHeaderSize = 1 + 8;
+
+std::uint64_t read_corr(ByteView frame) {
+  std::uint64_t corr = 0;
+  for (int i = 0; i < 8; ++i) {
+    corr = (corr << 8) | frame[1 + static_cast<std::size_t>(i)];
+  }
+  return corr;
+}
+
+}  // namespace
+
+// ---- RpcPeer -----------------------------------------------------------
+
+std::shared_ptr<RpcPeer> RpcPeer::attach(StreamPtr stream, Executor& executor) {
+  auto peer = std::shared_ptr<RpcPeer>(new RpcPeer(std::move(stream), executor));
+  std::weak_ptr<RpcPeer> weak = peer;
+  ByteStream::Handlers handlers;
+  handlers.on_data = [weak](ByteView chunk) {
+    if (auto self = weak.lock()) self->on_data(chunk);
+  };
+  handlers.on_close = [weak]() {
+    if (auto self = weak.lock()) self->on_stream_close();
+  };
+  peer->stream_->set_handlers(std::move(handlers));
+  return peer;
+}
+
+bool RpcPeer::send_frame(std::uint8_t kind, std::uint64_t corr, ByteView body) {
+  frame_scratch_.clear();
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(kRpcHeaderSize + body.size());
+  frame_scratch_.reserve(4 + len);
+  frame_scratch_.push_back(static_cast<std::uint8_t>(len));
+  frame_scratch_.push_back(static_cast<std::uint8_t>(len >> 8));
+  frame_scratch_.push_back(static_cast<std::uint8_t>(len >> 16));
+  frame_scratch_.push_back(static_cast<std::uint8_t>(len >> 24));
+  frame_scratch_.push_back(kind);
+  for (int i = 7; i >= 0; --i) {
+    frame_scratch_.push_back(static_cast<std::uint8_t>(corr >> (8 * i)));
+  }
+  append(frame_scratch_, body);
+  return stream_->send(frame_scratch_);
+}
+
+void RpcPeer::request(Bytes body, ResponseHandler cb, Micros timeout_us) {
+  if (closed_) {
+    cb(Result<Bytes>(Err::kUnavailable, "rpc peer closed"));
+    return;
+  }
+  const std::uint64_t corr = next_corr_++;
+  pending_[corr] = std::move(cb);
+  if (!send_frame(kRequest, corr, body)) {
+    // Backpressure overflow closed the stream; on_stream_close has already
+    // failed every pending request (including this one).
+    return;
+  }
+  std::weak_ptr<RpcPeer> weak = weak_from_this();
+  executor_.run_after(timeout_us, [weak, corr]() {
+    auto self = weak.lock();
+    if (!self) return;
+    auto it = self->pending_.find(corr);
+    if (it == self->pending_.end()) return;
+    ResponseHandler cb = std::move(it->second);
+    self->pending_.erase(it);
+    cb(Result<Bytes>(Err::kUnavailable, "rpc timeout"));
+  });
+}
+
+void RpcPeer::on_data(ByteView chunk) {
+  auto self = shared_from_this();  // keep alive across sink callbacks
+  if (!decoder_.feed(chunk, [this](ByteView frame) { on_frame(frame); })) {
+    AMNESIA_ERROR("net.rpc") << decoder_.error() << "; closing stream";
+    close();
+  }
+}
+
+void RpcPeer::on_frame(ByteView frame) {
+  if (frame.size() < kRpcHeaderSize) {
+    AMNESIA_ERROR("net.rpc") << "runt frame (" << frame.size()
+                             << " bytes); closing stream";
+    close();
+    return;
+  }
+  const std::uint8_t kind = frame[0];
+  const std::uint64_t corr = read_corr(frame);
+  Bytes body(frame.begin() + kRpcHeaderSize, frame.end());
+
+  if (kind == kResponse) {
+    auto it = pending_.find(corr);
+    if (it == pending_.end()) return;  // late response after timeout
+    ResponseHandler cb = std::move(it->second);
+    pending_.erase(it);
+    cb(Result<Bytes>(std::move(body)));
+    return;
+  }
+  if (kind == kRequest) {
+    if (!handler_) {
+      AMNESIA_ERROR("net.rpc") << "request with no handler installed; dropping";
+      return;
+    }
+    std::weak_ptr<RpcPeer> weak = weak_from_this();
+    handler_(body, [weak, corr](Bytes response) {
+      auto self = weak.lock();
+      if (!self || self->closed_) return;  // connection died while serving
+      self->send_frame(kResponse, corr, response);
+    });
+    return;
+  }
+  AMNESIA_ERROR("net.rpc") << "unknown frame kind " << static_cast<int>(kind)
+                           << "; closing stream";
+  close();
+}
+
+void RpcPeer::fail_pending(const std::string& reason) {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [corr, cb] : pending) {
+    cb(Result<Bytes>(Err::kUnavailable, reason));
+  }
+}
+
+void RpcPeer::on_stream_close() {
+  if (closed_) return;
+  closed_ = true;
+  fail_pending("connection closed");
+  if (on_close_) {
+    auto fn = std::move(on_close_);
+    on_close_ = nullptr;
+    fn();
+  }
+}
+
+void RpcPeer::close() {
+  if (closed_) return;
+  closed_ = true;
+  fail_pending("rpc peer closed");
+  stream_->close();
+  if (on_close_) {
+    auto fn = std::move(on_close_);
+    on_close_ = nullptr;
+    fn();
+  }
+}
+
+// ---- RpcClient ---------------------------------------------------------
+
+RpcClient::RpcClient(Transport& transport, Micros timeout_us)
+    : transport_(transport), timeout_us_(timeout_us) {}
+
+RpcClient::~RpcClient() { close(); }
+
+void RpcClient::request(Bytes body, ResponseHandler cb) {
+  if (peer_ && !peer_->closed()) {
+    peer_->request(std::move(body), std::move(cb), timeout_us_);
+    return;
+  }
+  waiting_.emplace_back(std::move(body), std::move(cb));
+  if (!connecting_) start_connect();
+}
+
+std::function<void(Bytes, ResponseHandler)> RpcClient::wire() {
+  return [this](Bytes body, ResponseHandler cb) {
+    request(std::move(body), std::move(cb));
+  };
+}
+
+void RpcClient::start_connect() {
+  connecting_ = true;
+  transport_.connect([this](Result<StreamPtr> stream) {
+    connecting_ = false;
+    if (!stream.ok()) {
+      auto waiting = std::move(waiting_);
+      waiting_.clear();
+      const Failure& f = stream.failure();
+      for (auto& [body, cb] : waiting) {
+        cb(Result<Bytes>(f.code, f.message));
+      }
+      return;
+    }
+    peer_ = RpcPeer::attach(std::move(stream).take(), transport_.executor());
+    flush_waiting();
+  });
+}
+
+void RpcClient::flush_waiting() {
+  auto waiting = std::move(waiting_);
+  waiting_.clear();
+  for (auto& [body, cb] : waiting) {
+    peer_->request(std::move(body), std::move(cb), timeout_us_);
+  }
+}
+
+void RpcClient::close() {
+  if (peer_) {
+    peer_->set_on_close(nullptr);
+    peer_->close();
+    peer_.reset();
+  }
+  auto waiting = std::move(waiting_);
+  waiting_.clear();
+  for (auto& [body, cb] : waiting) {
+    cb(Result<Bytes>(Err::kUnavailable, "rpc client closed"));
+  }
+}
+
+}  // namespace amnesia::net

@@ -1,0 +1,115 @@
+// Request/response RPC over a ByteStream.
+//
+// Frame payloads deliberately mirror simnet::Node's wire framing —
+// [kind:1][corr_id:8 big-endian][body] — so a framed stream is a drop-in
+// replacement for a Node RPC pipe: the body bytes (securechan envelopes,
+// serialized HTTP) are identical over either backend. Correlation ids let
+// one connection carry pipelined requests whose responses complete out of
+// order (the Amnesia server answers a password request only after the
+// phone round-trip, while later requests on the same connection finish
+// immediately).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "net/framing.h"
+#include "net/transport.h"
+
+namespace amnesia::net {
+
+using ResponseHandler = std::function<void(Result<Bytes>)>;
+
+constexpr Micros kDefaultRpcTimeoutUs = 10'000'000;  // 10 s, as simnet::Node
+
+/// One framed RPC endpoint bound to a stream. Symmetric: it can issue
+/// requests and serve them (the gateway uses handler mode; RpcClient uses
+/// request mode). Owners hold the shared_ptr; stream callbacks hold weak
+/// references, so dropping the owner tears the peer down.
+class RpcPeer : public std::enable_shared_from_this<RpcPeer> {
+ public:
+  /// Server-side handler; `respond` may be stored and called later (at
+  /// most once), exactly like simnet::Node::RpcHandler.
+  using Handler =
+      std::function<void(const Bytes& body, std::function<void(Bytes)> respond)>;
+
+  static std::shared_ptr<RpcPeer> attach(StreamPtr stream, Executor& executor);
+
+  ~RpcPeer() = default;
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  /// Invoked when the underlying stream closes (peer FIN, error, idle
+  /// timeout). Pending requests have already been failed at this point.
+  void set_on_close(std::function<void()> fn) { on_close_ = std::move(fn); }
+
+  /// Issues one request; `cb` gets the response body, or kUnavailable on
+  /// timeout / close.
+  void request(Bytes body, ResponseHandler cb,
+               Micros timeout_us = kDefaultRpcTimeoutUs);
+
+  /// Closes the stream and fails all pending requests.
+  void close();
+  bool closed() const { return closed_; }
+  ByteStream& stream() { return *stream_; }
+
+ private:
+  RpcPeer(StreamPtr stream, Executor& executor)
+      : stream_(std::move(stream)), executor_(executor) {}
+
+  void on_data(ByteView chunk);
+  void on_frame(ByteView frame);
+  void on_stream_close();
+  void fail_pending(const std::string& reason);
+  bool send_frame(std::uint8_t kind, std::uint64_t corr, ByteView body);
+
+  StreamPtr stream_;
+  Executor& executor_;
+  FrameDecoder decoder_;
+  Handler handler_;
+  std::function<void()> on_close_;
+  std::map<std::uint64_t, ResponseHandler> pending_;
+  std::uint64_t next_corr_ = 1;
+  bool closed_ = false;
+  Bytes frame_scratch_;  // reused per outbound frame
+};
+
+/// Client convenience: lazily connects a Transport, then behaves like a
+/// Node::request pipe. Requests issued before the connection completes are
+/// queued and flushed, mirroring SecureClient's pre-handshake queue.
+class RpcClient {
+ public:
+  explicit RpcClient(Transport& transport,
+                     Micros timeout_us = kDefaultRpcTimeoutUs);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  void request(Bytes body, ResponseHandler cb);
+
+  /// Adapter with the shape securechan::SecureClient and
+  /// websvc::ByteTransport expect. The RpcClient must outlive the
+  /// returned function.
+  std::function<void(Bytes, ResponseHandler)> wire();
+
+  bool connected() const { return peer_ != nullptr && !peer_->closed(); }
+  void close();
+  RpcPeer* peer() { return peer_.get(); }
+
+ private:
+  void start_connect();
+  void flush_waiting();
+
+  Transport& transport_;
+  Micros timeout_us_;
+  std::shared_ptr<RpcPeer> peer_;
+  bool connecting_ = false;
+  std::deque<std::pair<Bytes, ResponseHandler>> waiting_;
+};
+
+}  // namespace amnesia::net

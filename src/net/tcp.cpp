@@ -1,0 +1,457 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace amnesia::net {
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw NetError(std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::string addr_to_string(const sockaddr_in& addr) {
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+// ---- TcpConnection -----------------------------------------------------
+
+TcpConnection::TcpConnection(EventLoop& loop, int fd, std::string peer,
+                             TcpMetrics* metrics, std::size_t max_write_queue)
+    : loop_(loop),
+      fd_(fd),
+      peer_(std::move(peer)),
+      metrics_(metrics),
+      max_write_queue_(max_write_queue) {
+  last_activity_us_ = loop_.clock().now_us();
+}
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) {
+    loop_.del_fd(fd_);
+    ::close(fd_);
+    fd_ = -1;
+    if (metrics_ && metrics_->connections_active) {
+      metrics_->connections_active->add(-1);
+    }
+  }
+}
+
+void TcpConnection::start() {
+  // The epoll handler keeps the connection alive while registered; the
+  // weak_ptr breaks the cycle once teardown() unregisters the fd.
+  std::weak_ptr<TcpConnection> weak = weak_from_this();
+  loop_.add_fd(fd_, EPOLLIN, [weak](std::uint32_t events) {
+    if (auto self = weak.lock()) self->on_events(events);
+  });
+}
+
+void TcpConnection::set_handlers(Handlers handlers) {
+  handlers_ = std::move(handlers);
+}
+
+void TcpConnection::on_events(std::uint32_t events) {
+  auto self = shared_from_this();  // survive handler-triggered teardown
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    teardown(true);
+    return;
+  }
+  if (events & EPOLLIN) {
+    handle_readable();
+    if (fd_ < 0) return;
+  }
+  if (events & EPOLLOUT) {
+    handle_writable();
+  }
+}
+
+void TcpConnection::handle_readable() {
+  std::uint8_t buf[kReadChunk];
+  while (fd_ >= 0) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      last_activity_us_ = loop_.clock().now_us();
+      if (metrics_ && metrics_->bytes_rx) {
+        metrics_->bytes_rx->inc(static_cast<std::uint64_t>(n));
+      }
+      if (handlers_.on_data) {
+        handlers_.on_data(ByteView(buf, static_cast<std::size_t>(n)));
+      }
+      if (static_cast<std::size_t>(n) < sizeof(buf)) return;  // drained
+      continue;
+    }
+    if (n == 0) {  // peer FIN
+      teardown(true);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    teardown(true);
+    return;
+  }
+}
+
+bool TcpConnection::send(ByteView data) {
+  if (fd_ < 0 || close_after_flush_) return false;
+  std::size_t offset = 0;
+  // Fast path: no backlog, write straight to the kernel.
+  if (write_queue_.empty()) {
+    while (offset < data.size()) {
+      // MSG_NOSIGNAL: a raced peer close must surface as EPIPE, not kill
+      // the process with SIGPIPE.
+      const ssize_t n = ::send(fd_, data.data() + offset,
+                               data.size() - offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        offset += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      teardown(true);
+      return false;
+    }
+    last_activity_us_ = loop_.clock().now_us();
+    if (metrics_ && metrics_->bytes_tx && offset > 0) {
+      metrics_->bytes_tx->inc(offset);
+    }
+    if (offset == data.size()) {
+      if (metrics_ && metrics_->write_queue_depth) {
+        metrics_->write_queue_depth->record(0);
+      }
+      return true;
+    }
+  }
+  // Queue the remainder, bounded.
+  const std::size_t rest = data.size() - offset;
+  if (queued_bytes_ + rest > max_write_queue_) {
+    AMNESIA_WARN("net.tcp") << peer_ << ": write queue overflow ("
+                            << queued_bytes_ + rest << " > " << max_write_queue_
+                            << "); closing";
+    if (metrics_ && metrics_->overflow_closes) metrics_->overflow_closes->inc();
+    teardown(true);
+    return false;
+  }
+  write_queue_.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                            data.end());
+  queued_bytes_ += rest;
+  if (metrics_ && metrics_->write_queue_depth) {
+    metrics_->write_queue_depth->record(static_cast<Micros>(queued_bytes_));
+  }
+  update_epoll_interest();
+  return true;
+}
+
+bool TcpConnection::flush_queue() {
+  while (!write_queue_.empty()) {
+    Bytes& front = write_queue_.front();
+    const std::size_t remaining = front.size() - queue_head_offset_;
+    const ssize_t n = ::send(fd_, front.data() + queue_head_offset_,
+                             remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      last_activity_us_ = loop_.clock().now_us();
+      if (metrics_ && metrics_->bytes_tx) {
+        metrics_->bytes_tx->inc(static_cast<std::uint64_t>(n));
+      }
+      queued_bytes_ -= static_cast<std::size_t>(n);
+      if (static_cast<std::size_t>(n) == remaining) {
+        write_queue_.pop_front();
+        queue_head_offset_ = 0;
+      } else {
+        queue_head_offset_ += static_cast<std::size_t>(n);
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    teardown(true);
+    return false;
+  }
+  return true;
+}
+
+void TcpConnection::handle_writable() {
+  if (fd_ < 0) return;
+  if (!flush_queue()) return;
+  if (write_queue_.empty()) {
+    if (close_after_flush_) {
+      teardown(false);
+      return;
+    }
+    update_epoll_interest();
+  }
+}
+
+void TcpConnection::update_epoll_interest() {
+  if (fd_ < 0) return;
+  const bool want_out = !write_queue_.empty();
+  if (want_out == epollout_armed_) return;
+  epollout_armed_ = want_out;
+  loop_.mod_fd(fd_, want_out ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+}
+
+void TcpConnection::close() {
+  if (fd_ < 0) return;
+  if (!write_queue_.empty()) {
+    // Flush first, then close from handle_writable. The connection keeps
+    // itself alive until then: callers routinely drop their StreamPtr
+    // right after a graceful close.
+    close_after_flush_ = true;
+    flush_keepalive_ = shared_from_this();
+    handlers_ = Handlers{};  // caller is done with this stream
+    return;
+  }
+  teardown(false);
+}
+
+void TcpConnection::set_idle_timeout(Micros timeout_us) {
+  idle_timeout_us_ = timeout_us;
+  last_activity_us_ = loop_.clock().now_us();
+  if (timeout_us > 0 && !idle_timer_armed_ && fd_ >= 0) {
+    arm_idle_timer(timeout_us);
+  }
+}
+
+void TcpConnection::arm_idle_timer(Micros delay_us) {
+  idle_timer_armed_ = true;
+  std::weak_ptr<TcpConnection> weak = weak_from_this();
+  idle_timer_ = loop_.add_timer(delay_us, [weak]() {
+    if (auto self = weak.lock()) self->on_idle_timer();
+  });
+}
+
+void TcpConnection::on_idle_timer() {
+  idle_timer_armed_ = false;
+  if (fd_ < 0 || idle_timeout_us_ <= 0) return;
+  const Micros idle = loop_.clock().now_us() - last_activity_us_;
+  if (idle >= idle_timeout_us_) {
+    AMNESIA_INFO("net.tcp") << peer_ << ": idle timeout after " << idle
+                            << " us";
+    if (metrics_ && metrics_->idle_timeouts) metrics_->idle_timeouts->inc();
+    teardown(true);
+    return;
+  }
+  arm_idle_timer(idle_timeout_us_ - idle);  // activity moved the deadline
+}
+
+void TcpConnection::teardown(bool notify) {
+  if (fd_ < 0) return;
+  loop_.del_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (idle_timer_armed_) {
+    loop_.cancel_timer(idle_timer_);
+    idle_timer_armed_ = false;
+  }
+  write_queue_.clear();
+  queued_bytes_ = 0;
+  queue_head_offset_ = 0;
+  if (metrics_ && metrics_->connections_active) {
+    metrics_->connections_active->add(-1);
+  }
+  // Drop handlers last: sessions are typically owned by their own
+  // callbacks, so this release may destroy the caller's state. The
+  // graceful-close self-reference is moved into a local so that when it
+  // is the final reference, destruction happens only after this frame.
+  auto keepalive = std::move(flush_keepalive_);
+  Handlers handlers = std::move(handlers_);
+  handlers_ = Handlers{};
+  if (notify && handlers.on_close) handlers.on_close();
+}
+
+// ---- TcpTransport ------------------------------------------------------
+
+TcpTransport::TcpTransport(EventLoop& loop, std::string host,
+                           std::uint16_t port)
+    : loop_(loop), host_(std::move(host)), port_(port) {}
+
+TcpTransport::~TcpTransport() {
+  // Tear down surviving connections: sessions own themselves through
+  // their handler captures (a reference cycle by design), so without
+  // this sweep any stream still open at transport destruction — and the
+  // session it anchors — would leak.
+  for (auto& weak : conns_) {
+    if (auto conn = weak.lock()) conn->teardown(false);
+  }
+  if (listen_fd_ >= 0) {
+    loop_.del_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+void TcpTransport::track(const std::shared_ptr<TcpConnection>& conn) {
+  std::erase_if(conns_, [](const std::weak_ptr<TcpConnection>& w) {
+    return w.expired();
+  });
+  conns_.push_back(conn);
+}
+
+void TcpTransport::set_metrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    metrics_ = TcpMetrics{};
+    return;
+  }
+  metrics_.connections_accepted = &registry->counter("net.connections_accepted");
+  metrics_.connections_active = &registry->gauge("net.connections_active");
+  metrics_.bytes_rx = &registry->counter("net.bytes_rx");
+  metrics_.bytes_tx = &registry->counter("net.bytes_tx");
+  metrics_.idle_timeouts = &registry->counter("net.idle_timeouts");
+  metrics_.overflow_closes = &registry->counter("net.overflow_closes");
+  metrics_.write_queue_depth = &registry->histogram("net.write_queue_depth");
+  loop_.set_metrics(registry);
+}
+
+void TcpTransport::listen(AcceptHandler on_accept) {
+  on_accept_ = std::move(on_accept);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw NetError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("inet_pton: bad address " + host_);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw NetError("bind " + host_ + ":" + std::to_string(port_) + ": " +
+                   std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    throw NetError(std::string("listen: ") + std::strerror(errno));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    local_port_ = ntohs(bound.sin_port);
+  }
+
+  loop_.add_fd(listen_fd_, EPOLLIN,
+               [this](std::uint32_t) { handle_accept(); });
+  AMNESIA_INFO("net.tcp") << "listening on " << host_ << ":" << local_port_;
+}
+
+void TcpTransport::handle_accept() {
+  while (true) {
+    sockaddr_in peer_addr{};
+    socklen_t len = sizeof(peer_addr);
+    const int fd =
+        ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer_addr), &len,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      AMNESIA_ERROR("net.tcp") << "accept: " << std::strerror(errno);
+      return;
+    }
+    set_nodelay(fd);
+    auto conn = std::make_shared<TcpConnection>(
+        loop_, fd, addr_to_string(peer_addr), &metrics_, max_write_queue_);
+    conn->start();
+    track(conn);
+    if (idle_timeout_us_ > 0) conn->set_idle_timeout(idle_timeout_us_);
+    if (metrics_.connections_accepted) metrics_.connections_accepted->inc();
+    if (metrics_.connections_active) metrics_.connections_active->add(1);
+    if (on_accept_) on_accept_(conn);
+  }
+}
+
+void TcpTransport::connect(ConnectHandler on_connected) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    on_connected(Result<StreamPtr>(Err::kUnavailable,
+                                   std::string("socket: ") +
+                                       std::strerror(errno)));
+    return;
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Dial the listening port when we bound an ephemeral one ourselves.
+  addr.sin_port = htons(local_port_ != 0 ? local_port_ : port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    on_connected(Result<StreamPtr>(Err::kUnavailable,
+                                   "inet_pton: bad address " + host_));
+    return;
+  }
+
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  const std::string peer = addr_to_string(addr);
+
+  auto finish = [this, peer, on_connected](int connected_fd) {
+    auto conn = std::make_shared<TcpConnection>(loop_, connected_fd, peer,
+                                                &metrics_, max_write_queue_);
+    conn->start();
+    track(conn);
+    if (metrics_.connections_active) metrics_.connections_active->add(1);
+    on_connected(Result<StreamPtr>(StreamPtr(conn)));
+  };
+
+  if (rc == 0) {  // immediate success (loopback often does this)
+    finish(fd);
+    return;
+  }
+  if (errno != EINPROGRESS) {
+    const std::string msg = std::string("connect ") + peer + ": " +
+                            std::strerror(errno);
+    ::close(fd);
+    on_connected(Result<StreamPtr>(Err::kUnavailable, msg));
+    return;
+  }
+
+  // Async connect: EPOLLOUT signals completion; SO_ERROR tells us how it
+  // went. The lambda owns the fd until then.
+  loop_.add_fd(fd, EPOLLOUT, [this, fd, peer, on_connected,
+                              finish](std::uint32_t events) {
+    loop_.del_fd(fd);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) err = errno;
+    if ((events & (EPOLLERR | EPOLLHUP)) && err == 0) err = ECONNREFUSED;
+    if (err != 0) {
+      ::close(fd);
+      on_connected(Result<StreamPtr>(Err::kUnavailable,
+                                     std::string("connect ") + peer + ": " +
+                                         std::strerror(err)));
+      return;
+    }
+    finish(fd);
+  });
+}
+
+}  // namespace amnesia::net

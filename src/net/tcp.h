@@ -1,0 +1,150 @@
+// TcpTransport: real POSIX TCP behind the Transport abstraction.
+//
+// Built from scratch on non-blocking sockets + the epoll EventLoop:
+//   - Acceptor: listening socket registered for EPOLLIN; each accept4()
+//     yields a non-blocking, TCP_NODELAY connection.
+//   - TcpConnection: level-triggered read into a fixed 64 KiB stack
+//     buffer; writes go straight to the kernel and only the unwritten
+//     tail is queued (EPOLLOUT armed until the queue drains).
+//   - Backpressure: the write queue is bounded (4 MiB default); a sender
+//     that overruns it has a peer that stopped reading, and the
+//     connection tears itself down rather than buffer without bound.
+//   - Idle timeout: lazy re-check timers — when the timer fires we
+//     compare against the last activity stamp and either evict (the
+//     slow-loris path) or re-arm for the remaining time, so byte
+//     activity never pays per-chunk timer churn.
+//
+// All TcpTransport/TcpConnection methods must run on the EventLoop
+// thread; cross-thread callers go through EventLoop::post.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/event_loop.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+namespace amnesia::net {
+
+/// Default bound on queued-but-unsent bytes per connection.
+constexpr std::size_t kDefaultMaxWriteQueue = 4u << 20;
+
+/// Counters shared by every connection of one transport; wired into the
+/// obs registry as net.* by TcpTransport::set_metrics.
+struct TcpMetrics {
+  obs::Counter* connections_accepted = nullptr;
+  obs::Gauge* connections_active = nullptr;
+  obs::Counter* bytes_rx = nullptr;
+  obs::Counter* bytes_tx = nullptr;
+  obs::Counter* idle_timeouts = nullptr;
+  obs::Counter* overflow_closes = nullptr;
+  obs::Histogram* write_queue_depth = nullptr;
+};
+
+class TcpConnection final : public ByteStream,
+                            public std::enable_shared_from_this<TcpConnection> {
+ public:
+  /// Takes ownership of a connected non-blocking fd.
+  TcpConnection(EventLoop& loop, int fd, std::string peer, TcpMetrics* metrics,
+                std::size_t max_write_queue);
+  ~TcpConnection() override;
+
+  // ByteStream
+  void set_handlers(Handlers handlers) override;
+  bool send(ByteView data) override;
+  void close() override;
+  bool closed() const override { return fd_ < 0; }
+  std::size_t write_queue_bytes() const override { return queued_bytes_; }
+  void set_idle_timeout(Micros timeout_us) override;
+  std::string peer() const override { return peer_; }
+
+  /// Registers with the loop; called once after construction (separate
+  /// from the constructor so shared_from_this works).
+  void start();
+
+ private:
+  friend class TcpTransport;  // destructor teardown of surviving streams
+
+  void on_events(std::uint32_t events);
+  void handle_readable();
+  void handle_writable();
+  /// Drains the queue into the kernel; returns false if the connection
+  /// died (handlers already notified where applicable).
+  bool flush_queue();
+  void update_epoll_interest();
+  void arm_idle_timer(Micros delay_us);
+  void on_idle_timer();
+  /// Unregisters fd/timer and drops handlers. `notify` fires on_close
+  /// (peer close / error / timeout); local close() passes false.
+  void teardown(bool notify);
+
+  EventLoop& loop_;
+  int fd_;
+  std::string peer_;
+  TcpMetrics* metrics_;
+  std::size_t max_write_queue_;
+
+  Handlers handlers_;
+  std::deque<Bytes> write_queue_;
+  std::size_t queue_head_offset_ = 0;  // consumed prefix of front buffer
+  std::size_t queued_bytes_ = 0;
+  bool epollout_armed_ = false;
+  bool close_after_flush_ = false;
+  /// Held during close-after-flush: the epoll registration only weakly
+  /// references the connection, so a graceful close must keep itself
+  /// alive until the queued bytes drain even if the owner has already
+  /// dropped its StreamPtr.
+  std::shared_ptr<TcpConnection> flush_keepalive_;
+
+  Micros idle_timeout_us_ = 0;
+  Micros last_activity_us_ = 0;
+  EventLoop::TimerId idle_timer_ = 0;
+  bool idle_timer_armed_ = false;
+};
+
+/// TCP endpoint bound to one (host, port). listen() accepts on it;
+/// connect() dials it. Port 0 binds an ephemeral port — read it back with
+/// local_port() (how tests and the loopback bench avoid fixed ports).
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport(EventLoop& loop, std::string host, std::uint16_t port);
+  ~TcpTransport() override;
+
+  // Transport
+  void listen(AcceptHandler on_accept) override;
+  void connect(ConnectHandler on_connected) override;
+  Executor& executor() override { return loop_; }
+
+  /// Valid after listen(); the actually bound port.
+  std::uint16_t local_port() const { return local_port_; }
+
+  /// Publishes net.* counters into `registry` (nullptr detaches).
+  void set_metrics(obs::MetricsRegistry* registry);
+  /// Applied to every stream this transport creates from now on.
+  void set_max_write_queue(std::size_t bytes) { max_write_queue_ = bytes; }
+  void set_idle_timeout(Micros timeout_us) { idle_timeout_us_ = timeout_us; }
+
+ private:
+  void handle_accept();
+  /// Remembers a connection so the destructor can tear down survivors
+  /// whose handlers self-own them (reference cycles by design).
+  void track(const std::shared_ptr<TcpConnection>& conn);
+
+  EventLoop& loop_;
+  std::string host_;
+  std::uint16_t port_;
+  std::uint16_t local_port_ = 0;
+  int listen_fd_ = -1;
+  AcceptHandler on_accept_;
+  std::size_t max_write_queue_ = kDefaultMaxWriteQueue;
+  Micros idle_timeout_us_ = 0;
+  TcpMetrics metrics_;
+  std::vector<std::weak_ptr<TcpConnection>> conns_;
+};
+
+}  // namespace amnesia::net

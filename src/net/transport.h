@@ -1,0 +1,100 @@
+// Transport / ByteStream: the unified connection abstraction.
+//
+// The paper's prototype serves real HTTPS traffic; our reproduction grew
+// up on a discrete-event simulator. This header is the seam that lets the
+// same protocol stack (websvc HTTP parsing, securechan record layer, the
+// server/phone/client apps) run over either:
+//
+//   ByteStream  an ordered, reliable, full-duplex byte pipe with
+//               arbitrary chunk boundaries — a TCP connection
+//               (net::TcpTransport) or a simulated stream
+//               (simnet::SimStreamTransport);
+//   Transport   a factory for streams: `listen` accepts inbound streams,
+//               `connect` dials the peer baked into the transport at
+//               construction time.
+//
+// Contract highlights (see docs/NETWORKING.md for the full rules):
+//   - on_data delivers chunks whose boundaries carry no meaning; framing
+//     is the next layer's job (net/framing.h).
+//   - send() is best-effort immediate + bounded queueing; overflowing the
+//     write queue closes the stream (backpressure is fail-fast, never
+//     unbounded buffering).
+//   - on_close fires at most once, for peer-initiated close and for
+//     errors/timeouts; it does NOT fire for a locally requested close().
+//   - After close() or on_close the implementation drops its Handlers, so
+//     sessions owned by their own callbacks get released.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "net/executor.h"
+
+namespace amnesia::net {
+
+class ByteStream {
+ public:
+  struct Handlers {
+    /// Bytes arrived; the view is valid only during the call.
+    std::function<void(ByteView)> on_data;
+    /// Peer closed, the stream errored, or an idle timeout fired.
+    std::function<void()> on_close;
+  };
+
+  virtual ~ByteStream() = default;
+
+  /// Must be called synchronously when the stream is handed over (from an
+  /// accept or connect callback) — data arriving before handlers are set
+  /// is dropped.
+  virtual void set_handlers(Handlers handlers) = 0;
+
+  /// Writes `data` (immediately if possible, queueing the remainder).
+  /// Returns false if the stream is closed or the bounded write queue
+  /// overflowed — in the overflow case the stream has torn itself down.
+  virtual bool send(ByteView data) = 0;
+
+  /// Graceful local close: pending writes are flushed first. on_close is
+  /// not invoked for a local close.
+  virtual void close() = 0;
+
+  virtual bool closed() const = 0;
+
+  /// Bytes currently queued behind the kernel/link (backpressure signal).
+  virtual std::size_t write_queue_bytes() const = 0;
+
+  /// Closes the stream if no bytes move in either direction for
+  /// `timeout_us` (0 disables). Fires on_close — the slow-loris eviction
+  /// path.
+  virtual void set_idle_timeout(Micros timeout_us) = 0;
+
+  /// Diagnostic peer label ("127.0.0.1:49152", "browser#3").
+  virtual std::string peer() const = 0;
+};
+
+using StreamPtr = std::shared_ptr<ByteStream>;
+
+class Transport {
+ public:
+  using AcceptHandler = std::function<void(StreamPtr)>;
+  using ConnectHandler = std::function<void(Result<StreamPtr>)>;
+
+  virtual ~Transport() = default;
+
+  /// Starts accepting inbound streams. The accept handler must install
+  /// the stream's Handlers before returning.
+  virtual void listen(AcceptHandler on_accept) = 0;
+
+  /// Dials the peer this transport was constructed towards. The handler
+  /// receives the connected stream or Err::kUnavailable.
+  virtual void connect(ConnectHandler on_connected) = 0;
+
+  /// The executor that dispatches this transport's callbacks.
+  virtual Executor& executor() = 0;
+};
+
+}  // namespace amnesia::net

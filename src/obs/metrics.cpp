@@ -32,6 +32,7 @@ Histogram::Histogram(std::vector<Micros> bounds) {
 }
 
 void Histogram::record(Micros value) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it =
       std::lower_bound(data_.bounds.begin(), data_.bounds.end(), value);
   ++data_.counts[static_cast<std::size_t>(it - data_.bounds.begin())];
@@ -47,13 +48,15 @@ void Histogram::record(Micros value) {
 }
 
 double Histogram::mean() const {
-  return data_.count == 0
+  const HistogramSnapshot snap = locked();
+  return snap.count == 0
              ? 0.0
-             : static_cast<double>(data_.sum) /
-                   static_cast<double>(data_.count);
+             : static_cast<double>(snap.sum) /
+                   static_cast<double>(snap.count);
 }
 
 void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::fill(data_.counts.begin(), data_.counts.end(), 0);
   data_.count = 0;
   data_.sum = 0;
@@ -92,6 +95,7 @@ void MetricsRegistry::check_name(const std::string& name) {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   check_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -99,6 +103,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   check_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -111,6 +116,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<Micros> bounds) {
   check_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
@@ -118,6 +124,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 SpanId MetricsRegistry::begin_span(const std::string& name, SpanId parent) {
   check_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
   SpanRecord span;
   span.id = next_span_id_++;
   span.parent = parent;
@@ -128,6 +135,7 @@ SpanId MetricsRegistry::begin_span(const std::string& name, SpanId parent) {
 }
 
 void MetricsRegistry::end_span(SpanId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
     if (it->id == id) {
       if (!it->finished) {
@@ -141,6 +149,7 @@ void MetricsRegistry::end_span(SpanId id) {
 
 std::vector<SpanRecord> MetricsRegistry::spans_named(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<SpanRecord> out;
   for (const auto& span : spans_) {
     if (span.name == name) out.push_back(span);
@@ -149,6 +158,7 @@ std::vector<SpanRecord> MetricsRegistry::spans_named(
 }
 
 std::vector<SpanRecord> MetricsRegistry::children_of(SpanId parent) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<SpanRecord> out;
   for (const auto& span : spans_) {
     if (span.parent == parent && span.finished) out.push_back(span);
@@ -157,6 +167,7 @@ std::vector<SpanRecord> MetricsRegistry::children_of(SpanId parent) const {
 }
 
 Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
@@ -165,6 +176,7 @@ Snapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -27,9 +27,11 @@
 // See docs/OBSERVABILITY.md for the naming convention and span model.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,27 +39,38 @@
 
 namespace amnesia::obs {
 
+// Counter and Gauge are lock-free atomics (relaxed — they are statistics,
+// not synchronization), so the real event-loop thread, worker threads, and
+// a metrics scraper may touch them concurrently. Histogram and the
+// registry's name->handle maps take a mutex instead: multi-word updates
+// have no cheap atomic form and neither is on a per-byte hot path.
+
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(std::int64_t v) { value_ = v; }
-  void add(std::int64_t delta) { value_ += delta; }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   /// High-watermark update: keeps the maximum value ever set.
-  void track_max(std::int64_t v) { value_ = v > value_ ? v : value_; }
-  std::int64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void track_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// The exported state of one histogram. `bounds` are inclusive upper
@@ -86,17 +99,24 @@ class Histogram {
   explicit Histogram(std::vector<Micros> bounds = default_latency_bounds());
 
   void record(Micros value);
-  Micros quantile(double q) const { return obs::quantile(data_, q); }
-  std::uint64_t count() const { return data_.count; }
-  std::int64_t sum() const { return data_.sum; }
-  Micros min() const { return data_.min; }
-  Micros max() const { return data_.max; }
+  Micros quantile(double q) const { return obs::quantile(data(), q); }
+  std::uint64_t count() const { return locked().count; }
+  std::int64_t sum() const { return locked().sum; }
+  Micros min() const { return locked().min; }
+  Micros max() const { return locked().max; }
   /// Mean in microseconds (0 when empty).
   double mean() const;
-  const HistogramSnapshot& data() const { return data_; }
+  /// Consistent copy of the current state.
+  HistogramSnapshot data() const { return locked(); }
   void reset();
 
  private:
+  HistogramSnapshot locked() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_;
+  }
+
+  mutable std::mutex mu_;
   HistogramSnapshot data_;
 };
 
@@ -165,12 +185,17 @@ class MetricsRegistry {
   /// Finishes a span at the current clock time. Unknown/already-finished
   /// ids are ignored (a timed-out round may race its own cleanup).
   void end_span(SpanId id);
+  /// Direct view of the span log; only valid while no other thread is
+  /// recording (use spans_named()/children_of() for concurrent reads).
   const std::vector<SpanRecord>& spans() const { return spans_; }
   /// All spans with this name, in start order.
   std::vector<SpanRecord> spans_named(const std::string& name) const;
   /// Finished direct children of `parent`, in start order.
   std::vector<SpanRecord> children_of(SpanId parent) const;
-  void clear_spans() { spans_.clear(); }
+  void clear_spans() {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+  }
 
   /// Comparable export of all counters/gauges/histograms.
   Snapshot snapshot() const;
@@ -184,6 +209,11 @@ class MetricsRegistry {
   static void check_name(const std::string& name);
 
   const Clock* clock_;
+  /// Guards the maps and the span log. Handles stay valid without the
+  /// lock (unique_ptr targets never move); spans() returns a reference,
+  /// so callers that scrape while traffic runs use spans_named() (which
+  /// copies under the lock) instead.
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

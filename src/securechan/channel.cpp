@@ -248,14 +248,21 @@ void SecureServer::handle_wire(const Bytes& wire,
 
 // ---------------------------------------------------------------- client
 
+SecureClient::SecureClient(WireFn wire, crypto::X25519Key pinned_server_key,
+                           RandomSource& rng)
+    : wire_(std::move(wire)),
+      pinned_server_key_(pinned_server_key),
+      rng_(rng) {}
+
 SecureClient::SecureClient(simnet::Node& node, simnet::NodeId server,
                            crypto::X25519Key pinned_server_key,
                            RandomSource& rng, Micros timeout_us)
-    : node_(node),
-      server_(std::move(server)),
-      pinned_server_key_(pinned_server_key),
-      rng_(rng),
-      timeout_us_(timeout_us) {}
+    : SecureClient(
+          [&node, server = std::move(server), timeout_us](
+              Bytes body, std::function<void(Result<Bytes>)> cb) {
+            node.request(server, std::move(body), std::move(cb), timeout_us);
+          },
+          pinned_server_key, rng) {}
 
 void SecureClient::reset() {
   channel_.reset();
@@ -292,8 +299,8 @@ void SecureClient::request(Bytes plaintext,
   w.u64(seq);
   w.bytes(chan.seal_scratch);
 
-  node_.request(
-      server_, w.take(),
+  wire_(
+      w.take(),
       [this, cb = std::move(cb)](Result<Bytes> wire) {
         if (!wire.ok()) {
           cb(Result<Bytes>(wire.failure()));
@@ -329,8 +336,7 @@ void SecureClient::request(Bytes plaintext,
           cb(Result<Bytes>(Err::kVerificationFailed,
                            std::string("malformed record: ") + e.what()));
         }
-      },
-      timeout_us_);
+      });
 }
 
 void SecureClient::start_handshake() {
@@ -346,8 +352,8 @@ void SecureClient::start_handshake() {
   for (std::uint8_t b : eph.public_key) w.u8(b);
   for (std::uint8_t b : pending_client_nonce_) w.u8(b);
 
-  node_.request(
-      server_, w.take(),
+  wire_(
+      w.take(),
       [this, handshake_started](Result<Bytes> wire) {
         handshake_in_flight_ = false;
         auto fail_all = [this](Err code, const std::string& msg) {
@@ -403,8 +409,7 @@ void SecureClient::start_handshake() {
           fail_all(Err::kVerificationFailed,
                    std::string("malformed server hello: ") + e.what());
         }
-      },
-      timeout_us_);
+      });
 }
 
 void SecureClient::flush_queue() {

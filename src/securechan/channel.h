@@ -133,6 +133,19 @@ class SecureServer {
 /// request and then seals every request / opens every response.
 class SecureClient {
  public:
+  /// One wire round-trip: sends a request body, eventually delivers the
+  /// response body (or a transport failure). The channel protocol above it
+  /// is byte-identical whether the function wraps a simnet Node RPC or a
+  /// net::RpcClient over real TCP.
+  using WireFn = std::function<void(Bytes, std::function<void(Result<Bytes>)>)>;
+
+  /// Transport-agnostic constructor: the secure channel runs over any
+  /// request/response wire.
+  SecureClient(WireFn wire, crypto::X25519Key pinned_server_key,
+               RandomSource& rng);
+
+  /// Convenience for the simulated backend: wraps `node`'s RPC pipe to
+  /// `server` (delegates to the WireFn constructor).
   SecureClient(simnet::Node& node, simnet::NodeId server,
                crypto::X25519Key pinned_server_key, RandomSource& rng,
                Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
@@ -173,11 +186,9 @@ class SecureClient {
   void start_handshake();
   void flush_queue();
 
-  simnet::Node& node_;
-  simnet::NodeId server_;
+  WireFn wire_;
   crypto::X25519Key pinned_server_key_;
   RandomSource& rng_;
-  Micros timeout_us_;
   std::optional<Established> channel_;
   bool handshake_in_flight_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;

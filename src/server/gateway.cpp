@@ -1,0 +1,89 @@
+#include "server/gateway.h"
+
+#include "common/logging.h"
+
+namespace amnesia::server {
+
+NetGateway::NetGateway(net::Transport& secure_transport,
+                       net::Transport* http_transport, AmnesiaServer& server)
+    : secure_transport_(secure_transport),
+      server_(server),
+      sim_(server.sim()),
+      exec_(secure_transport.executor()),
+      bridge_(&exec_ != static_cast<net::Executor*>(&sim_)) {
+  if (bridge_) {
+    real_epoch_ = exec_.clock().now_us();
+    virtual_epoch_ = sim_.now();
+  }
+  secure_transport_.listen(
+      [this](net::StreamPtr stream) { on_secure_stream(std::move(stream)); });
+  if (http_transport) {
+    http_transport->listen(
+        [this](net::StreamPtr stream) { on_http_stream(std::move(stream)); });
+  }
+}
+
+NetGateway::~NetGateway() {
+  // Detach close hooks first: RpcPeer::close() would otherwise call back
+  // into peers_ mid-iteration.
+  auto peers = std::move(peers_);
+  peers_.clear();
+  for (auto& [raw, peer] : peers) {
+    peer->set_on_close(nullptr);
+    peer->close();
+  }
+}
+
+void NetGateway::on_secure_stream(net::StreamPtr stream) {
+  auto peer = net::RpcPeer::attach(std::move(stream), exec_);
+  net::RpcPeer* raw = peer.get();
+  peer->set_handler(
+      [this](const Bytes& body, std::function<void(Bytes)> respond) {
+        server_.secure().handle_wire(body, std::move(respond));
+        if (bridge_) pump();
+      });
+  peer->set_on_close([this, raw]() { peers_.erase(raw); });
+  peers_[raw] = std::move(peer);
+}
+
+void NetGateway::on_http_stream(net::StreamPtr stream) {
+  // The session owns itself through the stream's handlers; the gateway
+  // only supplies the sim-drain hook.
+  auto session =
+      websvc::HttpStreamSession::attach(std::move(stream), server_.http());
+  if (bridge_) {
+    session->set_post_input_hook([this]() { pump(); });
+  }
+}
+
+void NetGateway::pump() {
+  if (!bridge_) return;
+  const Micros target =
+      virtual_epoch_ + (exec_.clock().now_us() - real_epoch_);
+  if (target > sim_.now()) {
+    sim_.run_until(target);
+  }
+  schedule_wakeup();
+}
+
+void NetGateway::schedule_wakeup() {
+  const Micros next = sim_.next_event_time();
+  if (next < 0) {
+    armed_for_ = -1;
+    return;
+  }
+  if (armed_for_ == next) return;  // a timer for this instant is in flight
+  armed_for_ = next;
+  // Virtual and real time advance 1:1 past the epochs, so the real-time
+  // delay to the next virtual event is their difference under the map.
+  const Micros real_due = real_epoch_ + (next - virtual_epoch_);
+  Micros delay = real_due - exec_.clock().now_us();
+  if (delay < 0) delay = 0;
+  exec_.run_after(delay, [this, next]() {
+    if (armed_for_ != next) return;  // superseded by a later schedule
+    armed_for_ = -1;
+    pump();
+  });
+}
+
+}  // namespace amnesia::server

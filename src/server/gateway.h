@@ -1,0 +1,78 @@
+// NetGateway: serves the simulation-hosted Amnesia server over real
+// transports.
+//
+// The full server stack (routes, worker-pool model, rendezvous, phone,
+// database) lives inside a simnet::Simulation. The gateway is the seam
+// that lets real clients reach it:
+//
+//   secure transport  framed RPC streams carrying secure-channel
+//                     envelopes (what HTTPS carries in the paper) into
+//                     SecureServer::handle_wire;
+//   http transport    optional plain HTTP byte streams (no channel) into
+//                     HttpServer via HttpStreamSession — the /metrics
+//                     scrape port.
+//
+// Virtual/real clock bridge: server-side timeouts (phone wait, CAPTCHA
+// TTL, session expiry) are virtual-time events. The gateway pins
+// virtual time to real time 1:1 from the moment it starts —
+//   run_until(virtual_epoch + (real_now - real_epoch))
+// after every inbound chunk, plus an event-loop timer armed for the next
+// queued sim event. Draining the queue unconditionally instead would
+// fast-forward through pending waits (a 30 s phone timeout would fire
+// "immediately"), expiring sessions and CAPTCHAs that real clients are
+// still using.
+//
+// When the transports are themselves simulation-backed
+// (SimStreamTransport — the conformance configuration), the executor IS
+// the simulation and the bridge disables itself: events run when the
+// test pumps the sim.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/rpc.h"
+#include "net/transport.h"
+#include "server/server_app.h"
+#include "websvc/stream.h"
+
+namespace amnesia::server {
+
+class NetGateway {
+ public:
+  /// Starts listening immediately. `http_transport` may be null (no plain
+  /// HTTP port). Both transports must outlive the gateway and share one
+  /// executor.
+  NetGateway(net::Transport& secure_transport, net::Transport* http_transport,
+             AmnesiaServer& server);
+  ~NetGateway();
+
+  NetGateway(const NetGateway&) = delete;
+  NetGateway& operator=(const NetGateway&) = delete;
+
+  std::size_t open_rpc_peers() const { return peers_.size(); }
+
+  /// Advances virtual time to match real time and runs due sim events.
+  /// Called automatically after inbound traffic and from armed timers;
+  /// exposed for tests that fake the clock.
+  void pump();
+
+ private:
+  void on_secure_stream(net::StreamPtr stream);
+  void on_http_stream(net::StreamPtr stream);
+  void schedule_wakeup();
+
+  net::Transport& secure_transport_;
+  AmnesiaServer& server_;
+  simnet::Simulation& sim_;
+  net::Executor& exec_;
+  bool bridge_;  // false when exec_ is the simulation itself
+
+  Micros real_epoch_ = 0;
+  Micros virtual_epoch_ = 0;
+  Micros armed_for_ = -1;  // virtual time a wakeup timer is armed for
+
+  std::map<net::RpcPeer*, std::shared_ptr<net::RpcPeer>> peers_;
+};
+
+}  // namespace amnesia::server

@@ -110,7 +110,12 @@ class AmnesiaServer {
   DbHandler& db() { return db_; }
   const AmnesiaServerStats& stats() const { return stats_; }
   websvc::HttpServer& http() { return http_; }
+  /// The secure-channel terminator — the NetGateway feeds it wire
+  /// envelopes received over real TCP (SecureServer::handle_wire is
+  /// transport-agnostic).
+  securechan::SecureServer& secure() { return secure_; }
   websvc::SessionManager& sessions() { return sessions_; }
+  simnet::Simulation& sim() { return sim_; }
 
   /// The whole-testbed metrics registry (clocked by the simulation). The
   /// server wires its own subsystems in; the testbed additionally points

@@ -15,14 +15,20 @@
 
 #include "common/clock.h"
 #include "common/rng.h"
+#include "net/executor.h"
 
 namespace amnesia::simnet {
 
-class Simulation {
+/// Simulation implements net::Executor so protocol components written
+/// against the executor surface (HttpServer's worker model, RPC timeouts)
+/// run unchanged in virtual time: post() is a zero-delay event,
+/// run_after() is schedule_after. Unlike net::EventLoop, this executor is
+/// single-threaded — call it only from the thread driving the simulation.
+class Simulation : public net::Executor {
  public:
   /// Seeds the simulation's private RandomSource (delay sampling, loss).
   explicit Simulation(std::uint64_t seed);
-  ~Simulation();
+  ~Simulation() override;
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -53,10 +59,20 @@ class Simulation {
 
   bool idle() const { return queue_.empty(); }
 
+  /// Virtual time of the earliest queued event; -1 when idle. Lets a
+  /// real-time driver (server::NetGateway) sleep exactly until the next
+  /// simulated event is due instead of polling.
+  Micros next_event_time() const { return idle() ? -1 : queue_.top().time; }
+
   RandomSource& rng() { return *rng_; }
 
+  // ---- net::Executor ---------------------------------------------------
+  void post(std::function<void()> fn) override { schedule_after(0, std::move(fn)); }
+  void run_after(Micros delay_us, std::function<void()> fn) override {
+    schedule_after(delay_us, std::move(fn));
+  }
   /// A Clock view of virtual time, for injection into protocol components.
-  Clock& clock() { return clock_view_; }
+  Clock& clock() override { return clock_view_; }
 
  private:
   struct Event {

@@ -1,0 +1,213 @@
+#include "simnet/stream.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace amnesia::simnet {
+namespace {
+
+constexpr std::uint8_t kData = 0;
+constexpr std::uint8_t kFin = 1;
+constexpr std::size_t kChunkHeader = 8 + 8 + 1;
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64(ByteView b, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | b[pos + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace
+
+// ---- SimStream ---------------------------------------------------------
+
+SimStream::SimStream(SimStreamTransport& transport, NodeId remote,
+                     std::uint64_t stream_id)
+    : transport_(transport), remote_(std::move(remote)), stream_id_(stream_id) {
+  last_activity_us_ = transport_.executor().clock().now_us();
+}
+
+void SimStream::set_handlers(Handlers handlers) {
+  handlers_ = std::move(handlers);
+}
+
+std::string SimStream::peer() const {
+  return remote_ + "#" + std::to_string(stream_id_);
+}
+
+bool SimStream::send(ByteView data) {
+  if (closed_) return false;
+  last_activity_us_ = transport_.executor().clock().now_us();
+  std::size_t pos = 0;
+  const std::size_t chunk = transport_.chunk_size_;
+  // Always emit at least one chunk so empty writes still carry a seq slot.
+  do {
+    const std::size_t n = std::min(chunk, data.size() - pos);
+    transport_.send_chunk(remote_, stream_id_, next_send_seq_++, kData,
+                          data.subspan(pos, n));
+    pos += n;
+  } while (pos < data.size());
+  return true;
+}
+
+void SimStream::close() {
+  if (closed_) return;
+  closed_ = true;
+  transport_.send_chunk(remote_, stream_id_, next_send_seq_++, kFin, {});
+  handlers_ = Handlers{};
+  transport_.forget(remote_, stream_id_);
+}
+
+void SimStream::on_chunk(std::uint64_t seq, std::uint8_t flags,
+                         ByteView payload) {
+  if (closed_) return;
+  if (seq != next_recv_seq_) {  // jitter reorder: stash until in order
+    stash_.emplace(seq, std::make_pair(flags, Bytes(payload.begin(),
+                                                    payload.end())));
+    return;
+  }
+  ++next_recv_seq_;
+  process(flags, payload);
+  while (!closed_ && !stash_.empty() &&
+         stash_.begin()->first == next_recv_seq_) {
+    auto node = stash_.extract(stash_.begin());
+    ++next_recv_seq_;
+    process(node.mapped().first, node.mapped().second);
+  }
+}
+
+void SimStream::process(std::uint8_t flags, ByteView payload) {
+  if (flags == kFin) {
+    handle_fin();
+    return;
+  }
+  last_activity_us_ = transport_.executor().clock().now_us();
+  if (handlers_.on_data && !payload.empty()) handlers_.on_data(payload);
+}
+
+void SimStream::handle_fin() {
+  closed_ = true;
+  transport_.forget(remote_, stream_id_);
+  Handlers handlers = std::move(handlers_);
+  handlers_ = Handlers{};
+  if (handlers.on_close) handlers.on_close();
+}
+
+void SimStream::set_idle_timeout(Micros timeout_us) {
+  idle_timeout_us_ = timeout_us;
+  last_activity_us_ = transport_.executor().clock().now_us();
+  if (timeout_us > 0 && !idle_timer_armed_ && !closed_) {
+    arm_idle_timer(timeout_us);
+  }
+}
+
+void SimStream::arm_idle_timer(Micros delay_us) {
+  idle_timer_armed_ = true;
+  std::weak_ptr<SimStream> weak = weak_from_this();
+  transport_.executor().run_after(delay_us, [weak]() {
+    if (auto self = weak.lock()) self->on_idle_timer();
+  });
+}
+
+void SimStream::on_idle_timer() {
+  idle_timer_armed_ = false;
+  if (closed_ || idle_timeout_us_ <= 0) return;
+  const Micros idle =
+      transport_.executor().clock().now_us() - last_activity_us_;
+  if (idle >= idle_timeout_us_) {
+    AMNESIA_INFO("simnet.stream") << peer() << ": idle timeout";
+    closed_ = true;
+    transport_.send_chunk(remote_, stream_id_, next_send_seq_++, kFin, {});
+    transport_.forget(remote_, stream_id_);
+    Handlers handlers = std::move(handlers_);
+    handlers_ = Handlers{};
+    if (handlers.on_close) handlers.on_close();
+    return;
+  }
+  arm_idle_timer(idle_timeout_us_ - idle);
+}
+
+// ---- SimStreamTransport ------------------------------------------------
+
+SimStreamTransport::SimStreamTransport(Network& network, NodeId local,
+                                       NodeId remote)
+    : network_(network), id_(std::move(local)), remote_(std::move(remote)) {
+  network_.attach(id_, this);
+}
+
+SimStreamTransport::~SimStreamTransport() {
+  // Handlers routinely capture their own StreamPtr (self-owning
+  // sessions); drop them so those reference cycles cannot outlive the
+  // transport that carried them.
+  for (auto& [key, stream] : streams_) {
+    stream->closed_ = true;
+    stream->handlers_ = net::ByteStream::Handlers{};
+  }
+  network_.detach(id_);
+}
+
+void SimStreamTransport::listen(AcceptHandler on_accept) {
+  on_accept_ = std::move(on_accept);
+}
+
+void SimStreamTransport::connect(ConnectHandler on_connected) {
+  if (remote_.empty()) {
+    on_connected(Result<net::StreamPtr>(Err::kInvalidArgument,
+                                        "transport has no remote peer"));
+    return;
+  }
+  auto stream =
+      std::make_shared<SimStream>(*this, remote_, next_stream_id_++);
+  streams_[{remote_, stream->stream_id_}] = stream;
+  on_connected(Result<net::StreamPtr>(net::StreamPtr(stream)));
+}
+
+void SimStreamTransport::send_chunk(const NodeId& to, std::uint64_t stream_id,
+                                    std::uint64_t seq, std::uint8_t flags,
+                                    ByteView payload) {
+  Bytes msg;
+  msg.reserve(kChunkHeader + payload.size());
+  put_u64(msg, stream_id);
+  put_u64(msg, seq);
+  msg.push_back(flags);
+  append(msg, payload);
+  network_.send(id_, to, std::move(msg));
+}
+
+void SimStreamTransport::forget(const NodeId& remote, std::uint64_t stream_id) {
+  streams_.erase({remote, stream_id});
+}
+
+void SimStreamTransport::on_message(const Message& msg) {
+  if (msg.payload.size() < kChunkHeader) {
+    AMNESIA_WARN("simnet.stream") << id_ << ": runt chunk from " << msg.from;
+    return;
+  }
+  const std::uint64_t stream_id = get_u64(msg.payload, 0);
+  const std::uint64_t seq = get_u64(msg.payload, 8);
+  const std::uint8_t flags = msg.payload[16];
+  const ByteView payload(msg.payload.data() + kChunkHeader,
+                         msg.payload.size() - kChunkHeader);
+
+  const StreamKey key{msg.from, stream_id};
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    if (!on_accept_) return;  // stray chunk for a closed/unknown stream
+    auto stream = std::make_shared<SimStream>(*this, msg.from, stream_id);
+    it = streams_.emplace(key, stream).first;
+    if (idle_timeout_us_ > 0) stream->set_idle_timeout(idle_timeout_us_);
+    on_accept_(stream);
+  }
+  // Hold a local ref: on_chunk may forget() the stream mid-call.
+  std::shared_ptr<SimStream> stream = it->second;
+  stream->on_chunk(seq, flags, payload);
+}
+
+}  // namespace amnesia::simnet

@@ -1,0 +1,112 @@
+// SimStreamTransport: the simulated backend of net::Transport.
+//
+// Streams are carried over the simulated datagram network: each chunk is
+// one Network::send with a [stream_id:8][seq:8][flags:1][payload] header.
+// Links may reorder (jitter) — sequence numbers restore ordering via a
+// small stash, so the ByteStream contract (ordered, reliable, arbitrary
+// chunk boundaries) holds over lossy-free links. Chunking (default 1200
+// bytes, an MTU-ish value) means receivers genuinely see torn message
+// boundaries, exercising the same reassembly paths as real TCP.
+//
+// There is no SYN: a stream exists at the receiver from its first chunk,
+// and listen()'s accept handler fires at that moment. FIN consumes a
+// sequence slot so it orders after all data. Local close() does not fire
+// on_close (same contract as TcpConnection).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/transport.h"
+#include "simnet/network.h"
+
+namespace amnesia::simnet {
+
+class SimStreamTransport;
+
+/// Default per-datagram payload cap (MTU-ish, so boundaries tear).
+constexpr std::size_t kDefaultStreamChunk = 1200;
+
+class SimStream final : public net::ByteStream,
+                        public std::enable_shared_from_this<SimStream> {
+ public:
+  SimStream(SimStreamTransport& transport, NodeId remote,
+            std::uint64_t stream_id);
+
+  // net::ByteStream
+  void set_handlers(Handlers handlers) override;
+  bool send(ByteView data) override;
+  void close() override;
+  bool closed() const override { return closed_; }
+  std::size_t write_queue_bytes() const override { return 0; }
+  void set_idle_timeout(Micros timeout_us) override;
+  std::string peer() const override;
+
+ private:
+  friend class SimStreamTransport;
+
+  /// Called by the transport for each arriving chunk of this stream.
+  void on_chunk(std::uint64_t seq, std::uint8_t flags, ByteView payload);
+  void process(std::uint8_t flags, ByteView payload);
+  void handle_fin();
+  void arm_idle_timer(Micros delay_us);
+  void on_idle_timer();
+
+  SimStreamTransport& transport_;
+  NodeId remote_;
+  std::uint64_t stream_id_;
+  Handlers handlers_;
+  std::uint64_t next_send_seq_ = 0;
+  std::uint64_t next_recv_seq_ = 0;
+  /// Chunks that arrived ahead of next_recv_seq_ (link jitter reorder).
+  std::map<std::uint64_t, std::pair<std::uint8_t, Bytes>> stash_;
+  bool closed_ = false;
+
+  Micros idle_timeout_us_ = 0;
+  Micros last_activity_us_ = 0;
+  bool idle_timer_armed_ = false;
+};
+
+class SimStreamTransport final : public net::Transport, public Endpoint {
+ public:
+  /// Attaches to `network` under `local`; connect() dials `remote`
+  /// (another SimStreamTransport's local id).
+  SimStreamTransport(Network& network, NodeId local, NodeId remote = {});
+  ~SimStreamTransport() override;
+
+  // net::Transport
+  void listen(AcceptHandler on_accept) override;
+  void connect(ConnectHandler on_connected) override;
+  net::Executor& executor() override { return network_.sim(); }
+
+  // Endpoint
+  void on_message(const Message& msg) override;
+
+  const NodeId& id() const { return id_; }
+  /// Applied to streams accepted from now on (mirrors TcpTransport).
+  void set_idle_timeout(Micros timeout_us) { idle_timeout_us_ = timeout_us; }
+  void set_chunk_size(std::size_t bytes) { chunk_size_ = bytes; }
+  std::size_t open_streams() const { return streams_.size(); }
+
+ private:
+  friend class SimStream;
+  using StreamKey = std::pair<NodeId, std::uint64_t>;
+
+  void send_chunk(const NodeId& to, std::uint64_t stream_id, std::uint64_t seq,
+                  std::uint8_t flags, ByteView payload);
+  void forget(const NodeId& remote, std::uint64_t stream_id);
+
+  Network& network_;
+  NodeId id_;
+  NodeId remote_;
+  AcceptHandler on_accept_;
+  std::map<StreamKey, std::shared_ptr<SimStream>> streams_;
+  std::uint64_t next_stream_id_ = 1;
+  std::size_t chunk_size_ = kDefaultStreamChunk;
+  Micros idle_timeout_us_ = 0;
+};
+
+}  // namespace amnesia::simnet

@@ -7,8 +7,8 @@
 
 namespace amnesia::websvc {
 
-HttpServer::HttpServer(simnet::Simulation& sim, int workers)
-    : sim_(sim), pool_(sim, workers) {}
+HttpServer::HttpServer(net::Executor& exec, int workers)
+    : exec_(exec), pool_(exec, workers) {}
 
 void HttpServer::set_metrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
@@ -23,6 +23,11 @@ void HttpServer::count_status(int status) {
   } else {
     ++stats_.responses_2xx;
   }
+}
+
+void HttpServer::note_stream_parse_error() {
+  ++stats_.parse_errors;
+  if (metrics_) metrics_->counter("http.parse_errors").inc();
 }
 
 void HttpServer::handle_bytes(const Bytes& wire,
@@ -62,7 +67,7 @@ void HttpServer::handle_bytes(const Bytes& wire,
     }
   }
 
-  const Micros arrived_at = sim_.now();
+  const Micros arrived_at = exec_.clock().now_us();
   pool_.submit([this, arrived_at, req = std::move(req),
                 respond = std::move(respond)](
                    std::function<void()> release) mutable {
@@ -101,7 +106,7 @@ void HttpServer::handle_bytes(const Bytes& wire,
             metrics_->counter("http.responses_2xx").inc();
           }
         }
-        if (latency) latency->record(sim_.now() - arrived_at);
+        if (latency) latency->record(exec_.clock().now_us() - arrived_at);
         respond(serialize(resp));
         release();
       };
@@ -117,7 +122,7 @@ void HttpServer::handle_bytes(const Bytes& wire,
       }
     };
     if (cost > 0) {
-      sim_.schedule_after(cost, std::move(dispatch));
+      exec_.run_after(cost, std::move(dispatch));
     } else {
       dispatch();
     }

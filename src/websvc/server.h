@@ -7,12 +7,14 @@
 // behaviour that the paper's prototype relies on.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <set>
 #include <string>
 
 #include "common/rng.h"
+#include "net/executor.h"
 #include "obs/metrics.h"
 #include "simnet/node.h"
 #include "websvc/http.h"
@@ -21,12 +23,15 @@
 
 namespace amnesia::websvc {
 
+/// Atomic (relaxed) so real-socket sessions, the event loop's timers, and
+/// test threads may bump and read them concurrently; the fields read as
+/// plain integers.
 struct HttpServerStats {
-  std::uint64_t requests = 0;
-  std::uint64_t responses_2xx = 0;
-  std::uint64_t responses_4xx = 0;
-  std::uint64_t responses_5xx = 0;
-  std::uint64_t parse_errors = 0;
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> responses_2xx{0};
+  std::atomic<std::uint64_t> responses_4xx{0};
+  std::atomic<std::uint64_t> responses_5xx{0};
+  std::atomic<std::uint64_t> parse_errors{0};
 };
 
 class HttpServer {
@@ -36,11 +41,18 @@ class HttpServer {
   /// prototype). It may be null for zero-cost dispatch.
   using ServiceTimeFn = std::function<Micros(const Request&)>;
 
-  HttpServer(simnet::Simulation& sim, int workers);
+  /// `exec` is the dispatch/time surface: a simnet::Simulation (virtual
+  /// time) or a net::EventLoop (real time) — the server code is identical
+  /// over either.
+  HttpServer(net::Executor& exec, int workers);
 
   Router& router() { return router_; }
   ThreadPoolModel& pool() { return pool_; }
   const HttpServerStats& stats() const { return stats_; }
+
+  /// Counts a request that died before parse_request could run (torn
+  /// framing or premature FIN seen by the stream layer).
+  void note_stream_parse_error();
 
   void set_service_time(ServiceTimeFn fn) { service_time_ = std::move(fn); }
 
@@ -72,7 +84,7 @@ class HttpServer {
  private:
   void count_status(int status);
 
-  simnet::Simulation& sim_;
+  net::Executor& exec_;
   Router router_;
   ThreadPoolModel pool_;
   ServiceTimeFn service_time_;

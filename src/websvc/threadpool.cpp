@@ -7,8 +7,8 @@
 
 namespace amnesia::websvc {
 
-ThreadPoolModel::ThreadPoolModel(simnet::Simulation& sim, int workers)
-    : sim_(sim), workers_(workers) {
+ThreadPoolModel::ThreadPoolModel(net::Executor& exec, int workers)
+    : exec_(exec), workers_(workers) {
   if (workers < 1) throw Error("ThreadPoolModel: need at least one worker");
 }
 
@@ -48,7 +48,7 @@ void ThreadPoolModel::submit(Job job) {
     if (queue_wait_hist_) queue_wait_hist_->record(0);
     start(std::move(job));
   } else {
-    queue_.push_back(QueuedJob{std::move(job), sim_.now()});
+    queue_.push_back(QueuedJob{std::move(job), exec_.clock().now_us()});
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
     publish_occupancy();
   }
@@ -84,7 +84,7 @@ void ThreadPoolModel::on_release() {
     QueuedJob next = std::move(queue_.front());
     queue_.pop_front();
     if (queue_wait_hist_) {
-      queue_wait_hist_->record(sim_.now() - next.enqueued_at);
+      queue_wait_hist_->record(exec_.clock().now_us() - next.enqueued_at);
     }
     start(std::move(next.job));
   } else {

@@ -14,8 +14,8 @@
 #include <functional>
 #include <string>
 
+#include "net/executor.h"
 #include "obs/metrics.h"
-#include "simnet/sim.h"
 
 namespace amnesia::websvc {
 
@@ -25,7 +25,9 @@ class ThreadPoolModel {
   /// the (possibly asynchronous) work completes.
   using Job = std::function<void(std::function<void()> release)>;
 
-  ThreadPoolModel(simnet::Simulation& sim, int workers);
+  /// `exec` supplies the clock for queue-wait timing: virtual time under
+  /// simnet::Simulation, wall time under net::EventLoop.
+  ThreadPoolModel(net::Executor& exec, int workers);
 
   /// Runs `job` now if a worker is free, otherwise queues it (FIFO).
   void submit(Job job);
@@ -58,7 +60,7 @@ class ThreadPoolModel {
   void on_release();
   void publish_occupancy();
 
-  simnet::Simulation& sim_;
+  net::Executor& exec_;
   int workers_;
   int busy_ = 0;
   std::deque<QueuedJob> queue_;

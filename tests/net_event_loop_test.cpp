@@ -1,0 +1,123 @@
+// EventLoop unit tests: timer wheel semantics (sub-tick delays, long
+// delays spanning wheel rotations, cancellation), cross-thread post, and
+// poll() wait budgeting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.h"
+
+namespace amnesia::net {
+namespace {
+
+/// Polls until `done` or `budget_us` of wall time has passed.
+template <typename Pred>
+bool pump_until(EventLoop& loop, Pred done, Micros budget_us) {
+  const Micros deadline = loop.clock().now_us() + budget_us;
+  while (!done()) {
+    if (loop.clock().now_us() >= deadline) return false;
+    loop.poll(10'000);
+  }
+  return true;
+}
+
+TEST(EventLoop, SubTickTimerFiresPromptly) {
+  EventLoop loop;
+  bool fired = false;
+  const Micros t0 = loop.clock().now_us();
+  loop.add_timer(200, [&] { fired = true; });
+  ASSERT_TRUE(pump_until(loop, [&] { return fired; }, 1'000'000));
+  // One wheel tick (1.024 ms) of allowed lateness, plus scheduling noise.
+  EXPECT_LT(loop.clock().now_us() - t0, 100'000);
+}
+
+TEST(EventLoop, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.add_timer(30'000, [&] { order.push_back(2); });
+  loop.add_timer(5'000, [&] { order.push_back(1); });
+  loop.add_timer(60'000, [&] { order.push_back(3); });
+  ASSERT_TRUE(pump_until(loop, [&] { return order.size() == 3; }, 2'000'000));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, LongDelaySurvivesWheelRotation) {
+  // The wheel's horizon is 256 slots x 1.024 ms ~ 262 ms; a 400 ms timer
+  // hashes into a slot that is visited (and must be skipped) at least once
+  // before it is due.
+  EventLoop loop;
+  bool fired = false;
+  bool early = false;
+  const Micros t0 = loop.clock().now_us();
+  loop.add_timer(400'000, [&] {
+    fired = true;
+    early = (loop.clock().now_us() - t0) < 400'000;
+  });
+  // Keep short timers churning so earlier rotations visit the slot.
+  for (int i = 1; i <= 10; ++i) loop.add_timer(i * 20'000, [] {});
+  ASSERT_TRUE(pump_until(loop, [&] { return fired; }, 5'000'000));
+  EXPECT_FALSE(early) << "timer fired before its deadline";
+}
+
+TEST(EventLoop, CancelledTimerNeverFires) {
+  EventLoop loop;
+  bool fired = false;
+  const EventLoop::TimerId id = loop.add_timer(20'000, [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel_timer(id));
+  EXPECT_FALSE(loop.cancel_timer(id)) << "double cancel must report false";
+  bool sentinel = false;
+  loop.add_timer(60'000, [&] { sentinel = true; });
+  ASSERT_TRUE(pump_until(loop, [&] { return sentinel; }, 2'000'000));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(loop.pending_timers(), 0u);
+}
+
+TEST(EventLoop, PostFromAnotherThreadRunsOnLoop) {
+  EventLoop loop;
+  std::atomic<bool> posted{false};
+  std::thread t([&] {
+    loop.post([&] { posted.store(true, std::memory_order_relaxed); });
+  });
+  ASSERT_TRUE(pump_until(
+      loop, [&] { return posted.load(std::memory_order_relaxed); },
+      2'000'000));
+  t.join();
+}
+
+TEST(EventLoop, PollWaitIsBoundedByNearestTimer) {
+  EventLoop loop;
+  bool fired = false;
+  loop.add_timer(20'000, [&] { fired = true; });
+  // A single poll with a generous budget must return once the timer is
+  // due, not sleep the full budget.
+  const Micros t0 = loop.clock().now_us();
+  while (!fired) loop.poll(5'000'000);
+  EXPECT_LT(loop.clock().now_us() - t0, 1'000'000);
+}
+
+TEST(EventLoop, StopMakesRunReturn) {
+  EventLoop loop;
+  std::atomic<bool> running{false};
+  std::thread t([&] {
+    running.store(true);
+    loop.run();
+  });
+  while (!running.load()) std::this_thread::yield();
+  loop.stop();
+  t.join();  // hangs (and times out the test) if stop() is lost
+}
+
+TEST(EventLoop, RunAfterMatchesExecutorContract) {
+  EventLoop loop;
+  int calls = 0;
+  Executor& exec = loop;
+  exec.post([&] { ++calls; });
+  exec.run_after(1'000, [&] { ++calls; });
+  ASSERT_TRUE(pump_until(loop, [&] { return calls == 2; }, 2'000'000));
+  EXPECT_GT(exec.clock().now_us(), 0);
+}
+
+}  // namespace
+}  // namespace amnesia::net

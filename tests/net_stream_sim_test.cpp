@@ -1,0 +1,176 @@
+// SimStreamTransport tests: the simulated ByteStream backend must honour
+// the same contract as TcpConnection — ordered delivery under link
+// jitter (datagram reordering), torn chunk boundaries, FIN semantics,
+// and idle-timeout eviction — all in virtual time.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simnet/link.h"
+#include "simnet/stream.h"
+
+namespace amnesia::simnet {
+namespace {
+
+struct Pipe {
+  Simulation sim{42};
+  Network net{sim};
+  SimStreamTransport server{net, "server"};
+  SimStreamTransport client{net, "client", "server"};
+};
+
+TEST(SimStream, ConnectAcceptDeliver) {
+  Pipe p;
+  Bytes at_server;
+  net::StreamPtr accepted;
+  p.server.listen([&](net::StreamPtr stream) {
+    accepted = stream;
+    accepted->set_handlers(
+        {[&](ByteView chunk) { append(at_server, chunk); }, [] {}});
+  });
+
+  net::StreamPtr client;
+  p.client.connect([&](Result<net::StreamPtr> r) {
+    ASSERT_TRUE(r.ok());
+    client = r.value();
+    client->set_handlers({[](ByteView) {}, [] {}});
+  });
+  ASSERT_NE(client, nullptr) << "sim connect must complete synchronously";
+  client->send(to_bytes("over the simulated wire"));
+  p.sim.run();
+  EXPECT_EQ(to_string(at_server), "over the simulated wire");
+  EXPECT_EQ(accepted->peer().substr(0, 7), "client#");
+}
+
+TEST(SimStream, JitteredLinksReorderButBytesArriveInOrder) {
+  Pipe p;
+  // Heavy jitter: chunk datagrams overtake each other on the wire, so
+  // the receiver's sequence stash must put them back in order.
+  LinkProfile jittery;
+  jittery.base_latency_ms = 5.0;
+  jittery.jitter_ms = 4.0;
+  jittery.min_latency_ms = 0.1;
+  p.net.set_duplex_link("client", "server", jittery, jittery);
+
+  Bytes payload(64 * 1024);  // 1200-byte chunks -> ~55 datagrams in flight
+  std::iota(payload.begin(), payload.end(), std::uint8_t{1});
+
+  Bytes at_server;
+  p.server.listen([&](net::StreamPtr stream) {
+    auto s = stream;
+    s->set_handlers({[&](ByteView chunk) { append(at_server, chunk); },
+                     [] {}});
+  });
+  net::StreamPtr client;
+  p.client.connect([&](Result<net::StreamPtr> r) {
+    ASSERT_TRUE(r.ok());
+    client = r.value();
+    client->set_handlers({[](ByteView) {}, [] {}});
+  });
+  client->send(payload);
+  p.sim.run();
+  EXPECT_EQ(at_server, payload) << "reordered datagrams corrupted the stream";
+}
+
+TEST(SimStream, FinDeliversAfterAllData) {
+  Pipe p;
+  Bytes at_server;
+  bool server_saw_close = false;
+  p.server.listen([&](net::StreamPtr stream) {
+    auto s = stream;
+    s->set_handlers({[&](ByteView chunk) { append(at_server, chunk); },
+                     [&] { server_saw_close = true; }});
+  });
+  net::StreamPtr client;
+  p.client.connect([&](Result<net::StreamPtr> r) {
+    client = r.value();
+    client->set_handlers({[](ByteView) {}, [] {}});
+  });
+  client->send(to_bytes("last words"));
+  client->close();
+  EXPECT_TRUE(client->closed());
+  p.sim.run();
+  EXPECT_EQ(to_string(at_server), "last words");
+  EXPECT_TRUE(server_saw_close) << "FIN must reach the peer";
+  EXPECT_EQ(p.server.open_streams(), 0u);
+  EXPECT_EQ(p.client.open_streams(), 0u);
+}
+
+TEST(SimStream, LocalCloseDoesNotFireOwnOnClose) {
+  Pipe p;
+  p.server.listen([](net::StreamPtr stream) {
+    stream->set_handlers({[](ByteView) {}, [] {}});
+  });
+  bool own_close_fired = false;
+  net::StreamPtr client;
+  p.client.connect([&](Result<net::StreamPtr> r) {
+    client = r.value();
+    client->set_handlers({[](ByteView) {},
+                          [&] { own_close_fired = true; }});
+  });
+  client->close();
+  p.sim.run();
+  EXPECT_FALSE(own_close_fired)
+      << "on_close is for peer/error/timeout close, not local close()";
+  EXPECT_FALSE(client->send(to_bytes("late"))) << "send after close";
+}
+
+TEST(SimStream, IdleTimeoutEvictsInVirtualTime) {
+  Pipe p;
+  p.server.set_idle_timeout(200'000);  // 200 ms virtual
+  bool evicted = false;
+  p.server.listen([&](net::StreamPtr stream) {
+    auto s = stream;
+    s->set_handlers({[](ByteView) {}, [&] { evicted = true; }});
+  });
+  net::StreamPtr client;
+  p.client.connect([&](Result<net::StreamPtr> r) {
+    client = r.value();
+    client->set_handlers({[](ByteView) {}, [] {}});
+  });
+  client->send(to_bytes("hello, then silence"));
+  p.sim.run_until(100'000);
+  EXPECT_FALSE(evicted);
+  p.sim.run_until(2'000'000);
+  EXPECT_TRUE(evicted);
+  EXPECT_EQ(p.server.open_streams(), 0u);
+}
+
+TEST(SimStream, DuplexTrafficBothDirections) {
+  Pipe p;
+  Bytes at_server, at_client;
+  p.server.listen([&](net::StreamPtr stream) {
+    auto s = stream;
+    s->set_handlers({[&, s](ByteView chunk) {
+                       append(at_server, chunk);
+                       s->send(to_bytes("ack:" + std::to_string(chunk.size())));
+                     },
+                     [] {}});
+  });
+  net::StreamPtr client;
+  p.client.connect([&](Result<net::StreamPtr> r) {
+    client = r.value();
+    client->set_handlers(
+        {[&](ByteView chunk) { append(at_client, chunk); }, [] {}});
+  });
+  client->send(Bytes(5000, 0x11));
+  p.sim.run();
+  EXPECT_EQ(at_server.size(), 5000u);
+  // 5000 bytes at 1200-byte MTU = 5 chunks, one ack per chunk.
+  EXPECT_EQ(to_string(at_client), "ack:1200ack:1200ack:1200ack:1200ack:200");
+}
+
+TEST(SimStream, ConnectWithoutRemoteFails) {
+  Simulation sim(1);
+  Network net{sim};
+  SimStreamTransport lonely{net, "lonely"};
+  bool failed = false;
+  lonely.connect([&](Result<net::StreamPtr> r) {
+    EXPECT_FALSE(r.ok());
+    failed = true;
+  });
+  EXPECT_TRUE(failed);
+}
+
+}  // namespace
+}  // namespace amnesia::simnet

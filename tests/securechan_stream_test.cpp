@@ -1,0 +1,226 @@
+// Secure-channel records over a ByteStream: sealed records are wrapped in
+// [u32 len][payload] frames and reassembled by net::FrameDecoder from
+// chunks with adversarial boundaries — 1-byte dribble, splits inside the
+// 4-byte length header, splits inside the AEAD tag, coalesced multi-record
+// reads — and every recovered plaintext must be identical to the original.
+//
+// This binary also enforces the allocation contract promised in
+// net/framing.h: once the decoder's buffer and the open-scratch buffers
+// are warm, reassembling + opening a steady stream of records performs
+// zero heap allocations. Like tests/crypto_alloc_test.cpp, it lives in
+// its own binary because replacing global operator new would distort
+// every other test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+#include "net/framing.h"
+#include "securechan/channel.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace amnesia::net {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+constexpr const char* kAad = "securechan-stream-test";
+
+/// Sealed records framed onto one wire, plus everything needed to check
+/// the decode side.
+struct Wire {
+  securechan::ChannelKeys keys;
+  std::vector<Bytes> plaintexts;
+  std::vector<std::size_t> frame_ends;  // cumulative end offset per frame
+  Bytes bytes;
+};
+
+Wire make_wire(const std::vector<std::size_t>& payload_sizes) {
+  Wire wire;
+  crypto::ChaChaDrbg rng(1234);
+  const Bytes secret = rng.bytes(32);
+  const Bytes client_nonce = rng.bytes(16);
+  const Bytes server_nonce = rng.bytes(16);
+  wire.keys = securechan::derive_keys(secret, client_nonce, server_nonce);
+
+  Bytes sealed;
+  for (std::size_t i = 0; i < payload_sizes.size(); ++i) {
+    wire.plaintexts.push_back(rng.bytes(payload_sizes[i]));
+    securechan::seal_record_into(wire.keys.client_to_server_key,
+                                 wire.keys.client_to_server_iv, i,
+                                 to_bytes(kAad), wire.plaintexts[i], sealed);
+    append_frame(wire.bytes, sealed);
+    wire.frame_ends.push_back(wire.bytes.size());
+  }
+  return wire;
+}
+
+/// Feeds `wire` to a fresh decoder in chunks cut at `cuts` (ascending
+/// offsets), opens every emitted record, and checks the plaintexts.
+void expect_roundtrip(const Wire& wire, const std::vector<std::size_t>& cuts) {
+  FrameDecoder decoder;
+  std::size_t seq = 0;
+  Bytes opened;
+  const Bytes aad = to_bytes(kAad);
+  const FrameDecoder::Sink sink = [&](ByteView frame) {
+    ASSERT_LT(seq, wire.plaintexts.size()) << "decoder emitted extra frames";
+    ASSERT_TRUE(securechan::open_record_into(wire.keys.client_to_server_key,
+                                             wire.keys.client_to_server_iv,
+                                             seq, aad, frame, opened))
+        << "record " << seq << " failed to authenticate after reassembly";
+    EXPECT_EQ(opened, wire.plaintexts[seq]);
+    ++seq;
+  };
+
+  std::size_t at = 0;
+  for (std::size_t cut : cuts) {
+    ASSERT_TRUE(decoder.feed(
+        ByteView(wire.bytes.data() + at, cut - at), sink))
+        << decoder.error();
+    at = cut;
+  }
+  ASSERT_TRUE(decoder.feed(
+      ByteView(wire.bytes.data() + at, wire.bytes.size() - at), sink))
+      << decoder.error();
+  EXPECT_EQ(seq, wire.plaintexts.size());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+std::vector<std::size_t> every_n(std::size_t total, std::size_t n) {
+  std::vector<std::size_t> cuts;
+  for (std::size_t at = n; at < total; at += n) cuts.push_back(at);
+  return cuts;
+}
+
+const std::vector<std::size_t> kMixedSizes = {1,  64,  333, 1,   2048,
+                                              17, 900, 5,   1200};
+
+TEST(SecurechanStream, OneBytePerFeed) {
+  const Wire wire = make_wire(kMixedSizes);
+  expect_roundtrip(wire, every_n(wire.bytes.size(), 1));
+}
+
+TEST(SecurechanStream, SplitsInsideLengthHeader) {
+  // Chunk size 3 never divides the 4-byte length prefix, so every frame
+  // header is torn across at least one chunk boundary.
+  const Wire wire = make_wire(kMixedSizes);
+  expect_roundtrip(wire, every_n(wire.bytes.size(), 3));
+}
+
+TEST(SecurechanStream, SplitsInsideAeadTag) {
+  // Cut every frame 8 bytes before its end: inside the 16-byte AEAD tag,
+  // the worst place for a decoder to mistake "almost complete" for done.
+  const Wire wire = make_wire(kMixedSizes);
+  std::vector<std::size_t> cuts;
+  for (std::size_t end : wire.frame_ends) cuts.push_back(end - 8);
+  expect_roundtrip(wire, cuts);
+}
+
+TEST(SecurechanStream, CoalescedSingleRead) {
+  // The opposite adversary: one read() delivers every record at once.
+  const Wire wire = make_wire(kMixedSizes);
+  expect_roundtrip(wire, {});
+}
+
+TEST(SecurechanStream, OddFixedChunks) {
+  const Wire wire = make_wire(kMixedSizes);
+  expect_roundtrip(wire, every_n(wire.bytes.size(), 977));
+}
+
+TEST(SecurechanStream, OversizedFrameLengthPoisonsDecoder) {
+  FrameDecoder decoder;
+  // A 2 MiB length prefix (> kDefaultMaxFrame): corruption, not data.
+  const std::uint32_t huge = 2u << 20;
+  Bytes header = {static_cast<std::uint8_t>(huge & 0xff),
+                  static_cast<std::uint8_t>((huge >> 8) & 0xff),
+                  static_cast<std::uint8_t>((huge >> 16) & 0xff),
+                  static_cast<std::uint8_t>((huge >> 24) & 0xff)};
+  std::size_t emitted = 0;
+  const FrameDecoder::Sink sink = [&](ByteView) { ++emitted; };
+  EXPECT_FALSE(decoder.feed(header, sink));
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_FALSE(decoder.error().empty());
+  EXPECT_FALSE(decoder.feed(to_bytes("more"), sink))
+      << "a poisoned decoder must stay poisoned";
+  EXPECT_EQ(emitted, 0u);
+}
+
+TEST(SecurechanStream, SteadyStateReassemblyIsAllocationFree) {
+  // Fixed-size records so the decoder buffer and scratch buffers reach
+  // their high-water mark during warm-up and are only reused afterwards.
+  const Wire wire = make_wire(std::vector<std::size_t>(16, 512));
+
+  FrameDecoder decoder;
+  Bytes opened;
+  const Bytes aad = to_bytes(kAad);
+  std::size_t seq = 0;
+  std::size_t open_failures = 0;
+  std::size_t mismatches = 0;
+  // The sink std::function is constructed ONCE; no gtest macros inside
+  // the measured region (they allocate on their own).
+  const FrameDecoder::Sink sink = [&](ByteView frame) {
+    if (!securechan::open_record_into(wire.keys.client_to_server_key,
+                                      wire.keys.client_to_server_iv,
+                                      seq % wire.plaintexts.size(), aad, frame,
+                                      opened)) {
+      ++open_failures;
+    } else if (opened != wire.plaintexts[seq % wire.plaintexts.size()]) {
+      ++mismatches;
+    }
+    ++seq;
+  };
+
+  const auto replay_wire = [&] {
+    // 977 never divides the frame size, so chunks tear headers and tags
+    // even in the steady state.
+    std::size_t at = 0;
+    while (at < wire.bytes.size()) {
+      const std::size_t n = std::min<std::size_t>(977, wire.bytes.size() - at);
+      if (!decoder.feed(ByteView(wire.bytes.data() + at, n), sink)) return;
+      at += n;
+    }
+  };
+
+  replay_wire();  // warm-up: buffers grow to the high-water mark
+  replay_wire();
+
+  const std::uint64_t before = allocations();
+  for (int rep = 0; rep < 10; ++rep) replay_wire();
+  const std::uint64_t steady_cost = allocations() - before;
+
+  EXPECT_FALSE(decoder.poisoned()) << decoder.error();
+  EXPECT_EQ(open_failures, 0u);
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_EQ(seq, 12u * wire.plaintexts.size());
+  EXPECT_EQ(steady_cost, 0u)
+      << "reassembling 160 warm records heap-allocated " << steady_cost
+      << " times; the framing/open path must reuse its buffers";
+}
+
+}  // namespace
+}  // namespace amnesia::net

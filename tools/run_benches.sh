@@ -1,10 +1,11 @@
 #!/bin/sh
-# Builds (Release) and runs the crypto microbenchmark suite, leaving
-# BENCH_crypto_primitives.json at the repo root for regression diffing
-# (see docs/PERFORMANCE.md). Run from anywhere inside the repo:
+# Builds (Release) and runs the benchmark suites, leaving
+# BENCH_crypto_primitives.json and BENCH_net_loopback.json at the repo
+# root for regression diffing (see docs/PERFORMANCE.md and
+# docs/NETWORKING.md). Run from anywhere inside the repo:
 #
-#   tools/run_benches.sh                 # full suite
-#   tools/run_benches.sh 'BM_Pbkdf2.*'   # filter by regex
+#   tools/run_benches.sh                 # both suites
+#   tools/run_benches.sh 'BM_Pbkdf2.*'   # crypto suite only, by regex
 #
 # Note: the installed google-benchmark wants --benchmark_min_time as a
 # plain double (no "s" suffix).
@@ -35,3 +36,13 @@ cd "$repo_root"
 "$build_dir/bench/bench_crypto_primitives" \
     --benchmark_filter="$filter" \
     --benchmark_min_time=0.2
+
+# The loopback transport bench has its own closed-loop harness (no
+# google-benchmark flags); an explicit filter means "crypto only".
+if [ "$filter" = "." ]; then
+    echo "== build bench_net_loopback"
+    cmake --build "$build_dir" -j "$jobs" --target bench_net_loopback
+    echo "== run bench_net_loopback"
+    "$build_dir/bench/bench_net_loopback" \
+        "$repo_root/BENCH_net_loopback.json"
+fi

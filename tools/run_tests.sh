@@ -1,11 +1,14 @@
 #!/bin/sh
-# Builds and runs the full test suite twice: once plain, once under
-# AddressSanitizer + UndefinedBehaviorSanitizer (AMNESIA_SANITIZE, see the
-# top-level CMakeLists.txt). Run from anywhere inside the repo:
+# Builds and runs the full test suite three ways: plain, under
+# AddressSanitizer + UndefinedBehaviorSanitizer, and — for the src/net
+# event loop / transport tests, which are the only multithreaded hot
+# paths — under ThreadSanitizer (AMNESIA_SANITIZE, see the top-level
+# CMakeLists.txt). Run from anywhere inside the repo:
 #
-#   tools/run_tests.sh            # both passes
+#   tools/run_tests.sh            # all passes
 #   tools/run_tests.sh plain      # plain pass only
 #   tools/run_tests.sh sanitize   # ASan+UBSan pass only
+#   tools/run_tests.sh tsan       # TSan pass (net tests) only
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -14,36 +17,49 @@ jobs=$(nproc 2>/dev/null || echo 4)
 
 run_pass() {
     build_dir=$1
-    shift
+    test_filter=$2
+    shift 2
     echo "== configure $build_dir ($*)"
     cmake -B "$repo_root/$build_dir" -S "$repo_root" "$@" >/dev/null
     echo "== build $build_dir"
     cmake --build "$repo_root/$build_dir" -j "$jobs"
     echo "== ctest $build_dir"
-    ctest --test-dir "$repo_root/$build_dir" --output-on-failure -j "$jobs"
+    ctest --test-dir "$repo_root/$build_dir" --output-on-failure -j "$jobs" \
+        ${test_filter:+-R "$test_filter"}
     # Smoke-run the bench harness so it cannot bit-rot between perf PRs
     # (full runs are tools/run_benches.sh's job). Executed inside the build
     # dir so its JSON artifact does not clobber a real one at the repo root.
-    echo "== bench smoke $build_dir"
-    (cd "$repo_root/$build_dir" &&
-        ./bench/bench_crypto_primitives \
-            --benchmark_filter='BM_Sha256/64$' \
-            --benchmark_min_time=0.01 >/dev/null)
+    if [ -z "$test_filter" ]; then
+        echo "== bench smoke $build_dir"
+        (cd "$repo_root/$build_dir" &&
+            ./bench/bench_crypto_primitives \
+                --benchmark_filter='BM_Sha256/64$' \
+                --benchmark_min_time=0.01 >/dev/null)
+    fi
 }
+
+# The TSan pass covers the binaries that exercise threads against the
+# epoll loop: EventLoop::post from foreign threads, the HttpServer worker
+# pool over TcpTransport, and the securechan framing used on both.
+tsan_filter='net_|securechan_stream'
 
 case "$mode" in
 plain)
-    run_pass build
+    run_pass build ""
     ;;
 sanitize)
-    run_pass build-san -DAMNESIA_SANITIZE=address,undefined
+    run_pass build-san "" -DAMNESIA_SANITIZE=address,undefined
+    ;;
+tsan)
+    run_pass build-tsan "$tsan_filter" -DAMNESIA_SANITIZE=thread
     ;;
 all)
-    run_pass build
-    run_pass build-san -DAMNESIA_SANITIZE=address,undefined
+    run_pass build ""
+    run_pass build-san "" -DAMNESIA_SANITIZE=address,undefined
+    run_pass build-tsan "$tsan_filter" -DAMNESIA_SANITIZE=thread
     ;;
 *)
-    echo "usage: $0 [plain|sanitize|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|all]" >&2
     exit 2
     ;;
 esac
