@@ -1,6 +1,7 @@
 #include "cloud/blob_store.h"
 
 #include "common/error.h"
+#include "resilience/retry.h"
 #include "storage/codec.h"
 
 namespace amnesia::cloud {
@@ -133,12 +134,39 @@ void BlobStoreService::handle_rpc(const simnet::NodeId& /*from*/,
 
 // -------------------------------------------------------------- BlobClient
 
+void BlobClient::roundtrip(Bytes body, std::function<void(Result<Bytes>)> cb) {
+  if (!retry_) {
+    node_.request(service_, std::move(body), std::move(cb));
+    return;
+  }
+  resilience::RetryOptions opts;
+  opts.backoff = retry_->backoff;
+  opts.seed = retry_->seed + ++retry_calls_;
+  if (retry_->deadline_us > 0) {
+    opts.deadline =
+        resilience::Deadline::after(node_.sim().clock(), retry_->deadline_us);
+  }
+  opts.breaker = retry_->breaker;
+  opts.metrics = retry_->metrics;
+  opts.op_name = "cloud";
+  resilience::retry_async<Bytes>(
+      node_.sim(), std::move(opts),
+      [this, body = std::move(body)](int /*attempt*/,
+                                     resilience::Deadline deadline,
+                                     std::function<void(Result<Bytes>)> done) {
+        const Micros now = node_.sim().clock().now_us();
+        node_.request(service_, body, std::move(done),
+                      deadline.clamp(simnet::Node::kDefaultTimeoutUs, now));
+      },
+      std::move(cb));
+}
+
 void BlobClient::signup(std::function<void(Status)> cb) {
   storage::BufWriter w;
   w.u8(kOpSignup);
   w.str(user_);
   w.str(secret_);
-  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+  roundtrip(w.take(), [cb = std::move(cb)](Result<Bytes> r) {
     if (!r.ok()) {
       cb(Status(r.failure()));
       return;
@@ -156,7 +184,7 @@ void BlobClient::put(const std::string& name, Bytes blob,
   w.str(secret_);
   w.str(name);
   w.bytes(blob);
-  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+  roundtrip(w.take(), [cb = std::move(cb)](Result<Bytes> r) {
     if (!r.ok()) {
       cb(Status(r.failure()));
       return;
@@ -173,7 +201,7 @@ void BlobClient::get(const std::string& name,
   w.str(user_);
   w.str(secret_);
   w.str(name);
-  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+  roundtrip(w.take(), [cb = std::move(cb)](Result<Bytes> r) {
     if (!r.ok()) {
       cb(Result<Bytes>(r.failure()));
       return;
@@ -200,7 +228,7 @@ void BlobClient::remove(const std::string& name,
   w.str(user_);
   w.str(secret_);
   w.str(name);
-  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
+  roundtrip(w.take(), [cb = std::move(cb)](Result<Bytes> r) {
     if (!r.ok()) {
       cb(Status(r.failure()));
       return;

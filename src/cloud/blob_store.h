@@ -17,10 +17,16 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/result.h"
+#include "resilience/policy.h"
 #include "simnet/node.h"
+
+namespace amnesia::obs {
+class MetricsRegistry;
+}
 
 namespace amnesia::cloud {
 
@@ -56,6 +62,17 @@ class BlobStoreService {
   BlobStoreStats stats_;
 };
 
+/// Opt-in retry policy for BlobClient. All four ops are safe to retry:
+/// put/get/del are idempotent, and a duplicated signup surfaces as
+/// kAlreadyExists which callers already tolerate.
+struct BlobRetryConfig {
+  resilience::BackoffConfig backoff{};
+  std::uint64_t seed = 0;
+  resilience::CircuitBreaker* breaker = nullptr;  // caller-owned
+  obs::MetricsRegistry* metrics = nullptr;
+  Micros deadline_us = 0;  // overall per-op budget; 0 = none
+};
+
 /// Client API used by the phone's backup component.
 class BlobClient {
  public:
@@ -66,6 +83,9 @@ class BlobClient {
         user_(std::move(user)),
         secret_(std::move(secret)) {}
 
+  /// Enables retries on kUnavailable for subsequent calls.
+  void set_retry(BlobRetryConfig config) { retry_ = std::move(config); }
+
   void signup(std::function<void(Status)> cb);
   void put(const std::string& name, Bytes blob,
            std::function<void(Status)> cb);
@@ -73,10 +93,15 @@ class BlobClient {
   void remove(const std::string& name, std::function<void(Status)> cb);
 
  private:
+  /// Issues the raw RPC, through the retry loop when configured.
+  void roundtrip(Bytes body, std::function<void(Result<Bytes>)> cb);
+
   simnet::Node& node_;
   simnet::NodeId service_;
   std::string user_;
   std::string secret_;
+  std::optional<BlobRetryConfig> retry_;
+  std::uint64_t retry_calls_ = 0;
 };
 
 }  // namespace amnesia::cloud

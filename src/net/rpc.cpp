@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "resilience/retry.h"
 
 namespace amnesia::net {
 namespace {
@@ -164,11 +165,40 @@ RpcClient::RpcClient(Transport& transport, Micros timeout_us)
 RpcClient::~RpcClient() { close(); }
 
 void RpcClient::request(Bytes body, ResponseHandler cb) {
-  if (peer_ && !peer_->closed()) {
-    peer_->request(std::move(body), std::move(cb), timeout_us_);
+  if (!retry_) {
+    request_once(std::move(body), std::move(cb), timeout_us_);
     return;
   }
-  waiting_.emplace_back(std::move(body), std::move(cb));
+  resilience::RetryOptions opts;
+  opts.backoff = retry_->backoff;
+  // Distinct deterministic jitter stream per logical call.
+  opts.seed = retry_->seed + ++retry_calls_;
+  if (retry_->deadline_us > 0) {
+    opts.deadline = resilience::Deadline::after(transport_.executor().clock(),
+                                                retry_->deadline_us);
+  }
+  opts.breaker = retry_->breaker;
+  opts.budget = retry_->budget;
+  opts.metrics = retry_->metrics;
+  opts.op_name = "rpc";
+  resilience::retry_async<Bytes>(
+      transport_.executor(), std::move(opts),
+      [this, body = std::move(body)](int /*attempt*/,
+                                     resilience::Deadline deadline,
+                                     std::function<void(Result<Bytes>)> done) {
+        const Micros now = transport_.executor().clock().now_us();
+        request_once(body, std::move(done), deadline.clamp(timeout_us_, now));
+      },
+      std::move(cb));
+}
+
+void RpcClient::request_once(Bytes body, ResponseHandler cb,
+                             Micros timeout_us) {
+  if (peer_ && !peer_->closed()) {
+    peer_->request(std::move(body), std::move(cb), timeout_us);
+    return;
+  }
+  waiting_.emplace_back(std::move(body), std::move(cb), timeout_us);
   if (!connecting_) start_connect();
 }
 
@@ -186,7 +216,7 @@ void RpcClient::start_connect() {
       auto waiting = std::move(waiting_);
       waiting_.clear();
       const Failure& f = stream.failure();
-      for (auto& [body, cb] : waiting) {
+      for (auto& [body, cb, timeout] : waiting) {
         cb(Result<Bytes>(f.code, f.message));
       }
       return;
@@ -199,8 +229,8 @@ void RpcClient::start_connect() {
 void RpcClient::flush_waiting() {
   auto waiting = std::move(waiting_);
   waiting_.clear();
-  for (auto& [body, cb] : waiting) {
-    peer_->request(std::move(body), std::move(cb), timeout_us_);
+  for (auto& [body, cb, timeout] : waiting) {
+    peer_->request(std::move(body), std::move(cb), timeout);
   }
 }
 
@@ -212,7 +242,7 @@ void RpcClient::close() {
   }
   auto waiting = std::move(waiting_);
   waiting_.clear();
-  for (auto& [body, cb] : waiting) {
+  for (auto& [body, cb, timeout] : waiting) {
     cb(Result<Bytes>(Err::kUnavailable, "rpc client closed"));
   }
 }

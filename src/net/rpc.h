@@ -15,11 +15,18 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <tuple>
 
 #include "common/bytes.h"
 #include "common/result.h"
 #include "net/framing.h"
 #include "net/transport.h"
+#include "resilience/policy.h"
+
+namespace amnesia::obs {
+class MetricsRegistry;
+}
 
 namespace amnesia::net {
 
@@ -78,6 +85,22 @@ class RpcPeer : public std::enable_shared_from_this<RpcPeer> {
   Bytes frame_scratch_;  // reused per outbound frame
 };
 
+/// Per-client retry policy for RpcClient (opt-in; off by default so
+/// non-idempotent callers are never surprised). Retries fire only on
+/// kUnavailable failures — timeouts, refused/closed connections.
+struct RpcRetryConfig {
+  resilience::BackoffConfig backoff{};
+  std::uint64_t seed = 0;
+  /// Optional shared breaker (caller-owned, must outlive the client).
+  resilience::CircuitBreaker* breaker = nullptr;
+  /// Optional shared retry budget (caller-owned).
+  resilience::RetryBudget* budget = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Per-request deadline budget; each attempt's RPC timeout is clamped
+  /// to what remains. 0 = no overall deadline (per-attempt timeout only).
+  Micros deadline_us = 0;
+};
+
 /// Client convenience: lazily connects a Transport, then behaves like a
 /// Node::request pipe. Requests issued before the connection completes are
 /// queued and flushed, mirroring SecureClient's pre-handshake queue.
@@ -92,6 +115,11 @@ class RpcClient {
 
   void request(Bytes body, ResponseHandler cb);
 
+  /// Enables retries for subsequent request() calls. The underlying
+  /// reconnect-on-demand path makes a retry after a connection failure
+  /// dial fresh.
+  void set_retry(RpcRetryConfig config) { retry_ = std::move(config); }
+
   /// Adapter with the shape securechan::SecureClient and
   /// websvc::ByteTransport expect. The RpcClient must outlive the
   /// returned function.
@@ -104,12 +132,16 @@ class RpcClient {
  private:
   void start_connect();
   void flush_waiting();
+  /// One attempt: the pre-retry request() body.
+  void request_once(Bytes body, ResponseHandler cb, Micros timeout_us);
 
   Transport& transport_;
   Micros timeout_us_;
   std::shared_ptr<RpcPeer> peer_;
   bool connecting_ = false;
-  std::deque<std::pair<Bytes, ResponseHandler>> waiting_;
+  std::deque<std::tuple<Bytes, ResponseHandler, Micros>> waiting_;
+  std::optional<RpcRetryConfig> retry_;
+  std::uint64_t retry_calls_ = 0;  // per-call jitter stream derivation
 };
 
 }  // namespace amnesia::net

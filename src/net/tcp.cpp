@@ -13,11 +13,74 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "resilience/fault.h"
 
 namespace amnesia::net {
 namespace {
 
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+// EINTR gets a bounded retry everywhere (a signal storm must not spin a
+// syscall loop forever); past the bound it is treated like any other
+// fatal errno.
+constexpr int kMaxEintrRetries = 64;
+
+// Injected faults for the raw socket syscalls. kError substitutes an
+// errno (EINTR included, which is how the bounded-retry paths are
+// tested); kDrop pretends a read found nothing / a write succeeded while
+// discarding the bytes; kCrash forces a connection-fatal errno.
+ssize_t checked_read(int fd, void* buf, std::size_t len) {
+  if (auto f = resilience::fault_check("net.tcp.read")) {
+    switch (f->kind) {
+      case resilience::FaultKind::kError:
+        errno = f->err_no;
+        return -1;
+      case resilience::FaultKind::kDrop:
+        errno = EAGAIN;
+        return -1;
+      case resilience::FaultKind::kCrash:
+      case resilience::FaultKind::kShortWrite:
+        errno = ECONNRESET;
+        return -1;
+    }
+  }
+  return ::read(fd, buf, len);
+}
+
+ssize_t checked_send(int fd, const void* buf, std::size_t len) {
+  if (auto f = resilience::fault_check("net.tcp.write")) {
+    switch (f->kind) {
+      case resilience::FaultKind::kError:
+        errno = f->err_no;
+        return -1;
+      case resilience::FaultKind::kShortWrite:
+        if (f->limit < len) len = f->limit;
+        break;  // genuine partial write
+      case resilience::FaultKind::kDrop:
+        return static_cast<ssize_t>(len);  // bytes vanish on the wire
+      case resilience::FaultKind::kCrash:
+        errno = EPIPE;
+        return -1;
+    }
+  }
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+int checked_connect(int fd, const sockaddr* addr, socklen_t len) {
+  if (auto f = resilience::fault_check("net.tcp.connect")) {
+    switch (f->kind) {
+      case resilience::FaultKind::kError:
+        errno = f->err_no;
+        return -1;
+      case resilience::FaultKind::kDrop:
+      case resilience::FaultKind::kCrash:
+      case resilience::FaultKind::kShortWrite:
+        errno = ECONNREFUSED;
+        return -1;
+    }
+  }
+  return ::connect(fd, addr, len);
+}
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -92,9 +155,11 @@ void TcpConnection::on_events(std::uint32_t events) {
 
 void TcpConnection::handle_readable() {
   std::uint8_t buf[kReadChunk];
+  int eintr_retries = 0;
   while (fd_ >= 0) {
-    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    const ssize_t n = checked_read(fd_, buf, sizeof(buf));
     if (n > 0) {
+      eintr_retries = 0;
       last_activity_us_ = loop_.clock().now_us();
       if (metrics_ && metrics_->bytes_rx) {
         metrics_->bytes_rx->inc(static_cast<std::uint64_t>(n));
@@ -110,7 +175,7 @@ void TcpConnection::handle_readable() {
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    if (errno == EINTR) continue;
+    if (errno == EINTR && ++eintr_retries <= kMaxEintrRetries) continue;
     teardown(true);
     return;
   }
@@ -119,18 +184,22 @@ void TcpConnection::handle_readable() {
 bool TcpConnection::send(ByteView data) {
   if (fd_ < 0 || close_after_flush_) return false;
   std::size_t offset = 0;
+  int eintr_retries = 0;
   // Fast path: no backlog, write straight to the kernel.
   if (write_queue_.empty()) {
     while (offset < data.size()) {
-      // MSG_NOSIGNAL: a raced peer close must surface as EPIPE, not kill
-      // the process with SIGPIPE.
-      const ssize_t n = ::send(fd_, data.data() + offset,
-                               data.size() - offset, MSG_NOSIGNAL);
+      // MSG_NOSIGNAL (inside checked_send): a raced peer close must
+      // surface as EPIPE, not kill the process with SIGPIPE.
+      const ssize_t n = checked_send(fd_, data.data() + offset,
+                                     data.size() - offset);
       if (n > 0) {
+        eintr_retries = 0;
         offset += static_cast<std::size_t>(n);
         continue;
       }
-      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && errno == EINTR && ++eintr_retries <= kMaxEintrRetries) {
+        continue;
+      }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       teardown(true);
       return false;
@@ -167,12 +236,14 @@ bool TcpConnection::send(ByteView data) {
 }
 
 bool TcpConnection::flush_queue() {
+  int eintr_retries = 0;
   while (!write_queue_.empty()) {
     Bytes& front = write_queue_.front();
     const std::size_t remaining = front.size() - queue_head_offset_;
-    const ssize_t n = ::send(fd_, front.data() + queue_head_offset_,
-                             remaining, MSG_NOSIGNAL);
+    const ssize_t n = checked_send(fd_, front.data() + queue_head_offset_,
+                                   remaining);
     if (n > 0) {
+      eintr_retries = 0;
       last_activity_us_ = loop_.clock().now_us();
       if (metrics_ && metrics_->bytes_tx) {
         metrics_->bytes_tx->inc(static_cast<std::uint64_t>(n));
@@ -186,7 +257,9 @@ bool TcpConnection::flush_queue() {
       }
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno == EINTR && ++eintr_retries <= kMaxEintrRetries) {
+      continue;
+    }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
     teardown(true);
     return false;
@@ -371,10 +444,14 @@ void TcpTransport::handle_accept() {
                   SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
+      if (errno == EINTR && ++accept_eintr_retries_ <= kMaxEintrRetries) {
+        continue;
+      }
+      accept_eintr_retries_ = 0;
       AMNESIA_ERROR("net.tcp") << "accept: " << std::strerror(errno);
       return;
     }
+    accept_eintr_retries_ = 0;
     set_nodelay(fd);
     auto conn = std::make_shared<TcpConnection>(
         loop_, fd, addr_to_string(peer_addr), &metrics_, max_write_queue_);
@@ -409,8 +486,8 @@ void TcpTransport::connect(ConnectHandler on_connected) {
     return;
   }
 
-  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                           sizeof(addr));
+  const int rc = checked_connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                                 sizeof(addr));
   const std::string peer = addr_to_string(addr);
 
   auto finish = [this, peer, on_connected](int connected_fd) {
@@ -426,7 +503,11 @@ void TcpTransport::connect(ConnectHandler on_connected) {
     finish(fd);
     return;
   }
-  if (errno != EINPROGRESS) {
+  // POSIX: EINTR on a connect() does NOT abort the attempt — the
+  // connection proceeds asynchronously, exactly like EINPROGRESS. Treating
+  // it as fatal (the old behavior) both leaked the in-flight connect and
+  // failed a call that was going to succeed.
+  if (errno != EINPROGRESS && errno != EINTR) {
     const std::string msg = std::string("connect ") + peer + ": " +
                             std::strerror(errno);
     ::close(fd);

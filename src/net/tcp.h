@@ -143,6 +143,7 @@ class TcpTransport final : public Transport {
   AcceptHandler on_accept_;
   std::size_t max_write_queue_ = kDefaultMaxWriteQueue;
   Micros idle_timeout_us_ = 0;
+  int accept_eintr_retries_ = 0;
   TcpMetrics metrics_;
   std::vector<std::weak_ptr<TcpConnection>> conns_;
 };

@@ -1,5 +1,7 @@
 #include "phone/app.h"
 
+#include <sstream>
+
 #include "common/error.h"
 #include "common/logging.h"
 
@@ -82,7 +84,41 @@ void PhoneApp::register_with_rendezvous(std::function<void(Status)> cb) {
           return;
         }
         registration_id_ = r.value();
+        if (config_.poll_interval_us > 0 && !polling_) {
+          polling_ = true;
+          schedule_poll();
+        }
         cb(ok_status());
+      });
+}
+
+void PhoneApp::schedule_poll() {
+  sim_.schedule_after(config_.poll_interval_us, [this] { poll_once(); });
+}
+
+void PhoneApp::poll_once() {
+  if (!registration_id_) {
+    schedule_poll();
+    return;
+  }
+  ++stats_.polls_sent;
+  server_http_.post_form(
+      "/push/poll", {{"reg_id", *registration_id_}},
+      [this](Result<websvc::Response> r) {
+        if (r.ok() && r.value().status == 200) {
+          std::istringstream lines(r.value().body);
+          std::string line;
+          while (std::getline(lines, line)) {
+            if (line.empty()) continue;
+            try {
+              ++stats_.polled_pushes;
+              on_push(base64_decode(line));
+            } catch (const Error&) {
+              ++stats_.malformed_pushes;
+            }
+          }
+        }
+        schedule_poll();
       });
 }
 
@@ -124,6 +160,17 @@ void PhoneApp::on_push(const Bytes& payload) {
   if (!secrets_) {
     AMNESIA_WARN("phone") << "push before install; dropped";
     return;
+  }
+  // A request can arrive twice — once by push and once via the poll
+  // fallback — but must be answered once.
+  if (!handled_requests_.insert(push->request_id).second) {
+    ++stats_.duplicate_pushes;
+    return;
+  }
+  handled_order_.push_back(push->request_id);
+  if (handled_order_.size() > 256) {
+    handled_requests_.erase(handled_order_.front());
+    handled_order_.pop_front();
   }
   // The notification: the user sees the origin IP (Fig. 2b) and accepts
   // or declines.

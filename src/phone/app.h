@@ -12,9 +12,11 @@
 // submit_pid_for_mp_change() drives master-password recovery.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "cloud/blob_store.h"
 #include "core/generate.h"
@@ -44,6 +46,13 @@ struct PhoneAppConfig {
   // on the paper's Galaxy Note 4).
   double compute_mean_ms = 25.0;
   double compute_stddev_ms = 8.0;
+
+  // Degraded-mode pull path: when > 0, the app polls the server's
+  // POST /push/poll at this interval after registering, so password
+  // requests still arrive when the rendezvous push leg is broken (the
+  // server parks them there once its breaker opens). 0 = push only, the
+  // paper's prototype behaviour.
+  Micros poll_interval_us = 0;
 };
 
 struct PhoneAppStats {
@@ -51,6 +60,9 @@ struct PhoneAppStats {
   std::uint64_t tokens_sent = 0;
   std::uint64_t requests_declined = 0;
   std::uint64_t malformed_pushes = 0;
+  std::uint64_t polls_sent = 0;        // /push/poll round-trips issued
+  std::uint64_t polled_pushes = 0;     // requests recovered via polling
+  std::uint64_t duplicate_pushes = 0;  // same request seen twice (push+poll)
 };
 
 class PhoneApp {
@@ -110,6 +122,8 @@ class PhoneApp {
   void on_push(const Bytes& payload);
   void persist_secrets();
   void load_secrets();
+  void schedule_poll();
+  void poll_once();
 
   simnet::Simulation& sim_;
   RandomSource& rng_;
@@ -125,6 +139,12 @@ class PhoneApp {
   std::optional<std::string> registration_id_;
   ConfirmationPolicy confirm_;
   PhoneAppStats stats_;
+
+  // Recently handled request ids, so a request delivered both by push and
+  // by the poll fallback is answered once. Bounded FIFO.
+  std::set<std::uint64_t> handled_requests_;
+  std::deque<std::uint64_t> handled_order_;
+  bool polling_ = false;
 };
 
 }  // namespace amnesia::phone

@@ -48,11 +48,17 @@ void PushService::count(std::uint64_t PushStats::* field, const char* name) {
 }
 
 void PushService::reap_expired() {
+  // Per-push TTLs are independent, so an expired entry can sit behind a
+  // fresh queue head — scan the whole queue, not just the front.
   const Micros now = network_.sim().now();
   for (auto& [reg_id, reg] : registrations_) {
-    while (!reg.queue.empty() && reg.queue.front().expires_at <= now) {
-      reg.queue.pop_front();
-      count(&PushStats::pushes_expired, "push.pushes_expired");
+    for (auto it = reg.queue.begin(); it != reg.queue.end();) {
+      if (it->expires_at <= now) {
+        it = reg.queue.erase(it);
+        count(&PushStats::pushes_expired, "push.pushes_expired");
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -104,6 +110,13 @@ void PushService::handle_rpc(const simnet::NodeId& from, const Bytes& body,
           if (delivery_latency_) delivery_latency_->record(0);
         } else {
           const Micros now = network_.sim().now();
+          if (reg.queue.size() >= max_queue_per_device_) {
+            // Bounded backlog: the oldest queued push is the most likely
+            // to be expired/superseded, so it is the one to drop.
+            reg.queue.pop_front();
+            count(&PushStats::pushes_dropped_overflow,
+                  "push.pushes_dropped_overflow");
+          }
           reg.queue.push_back(QueuedPush{payload, now + ttl_us, now});
           count(&PushStats::pushes_queued, "push.pushes_queued");
         }
@@ -201,25 +214,27 @@ void expect_ok(Result<Bytes> r, const std::function<void(Status)>& cb) {
 }  // namespace
 
 void PushClient::connect(const std::string& reg_id,
-                         std::function<void(Status)> cb) {
+                         std::function<void(Status)> cb, Micros timeout_us) {
   storage::BufWriter w;
   w.u8(kOpConnect);
   w.str(reg_id);
-  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
-    expect_ok(std::move(r), cb);
-  });
+  node_.request(
+      service_, w.take(),
+      [cb = std::move(cb)](Result<Bytes> r) { expect_ok(std::move(r), cb); },
+      timeout_us);
 }
 
 void PushClient::push(const std::string& reg_id, Bytes payload, Micros ttl_us,
-                      std::function<void(Status)> cb) {
+                      std::function<void(Status)> cb, Micros timeout_us) {
   storage::BufWriter w;
   w.u8(kOpPush);
   w.str(reg_id);
   w.i64(ttl_us);
   w.bytes(payload);
-  node_.request(service_, w.take(), [cb = std::move(cb)](Result<Bytes> r) {
-    expect_ok(std::move(r), cb);
-  });
+  node_.request(
+      service_, w.take(),
+      [cb = std::move(cb)](Result<Bytes> r) { expect_ok(std::move(r), cb); },
+      timeout_us);
 }
 
 void PushClient::unregister(const std::string& reg_id,

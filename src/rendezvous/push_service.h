@@ -38,6 +38,7 @@ struct PushStats {
   std::uint64_t pushes_delivered = 0;
   std::uint64_t pushes_queued = 0;
   std::uint64_t pushes_expired = 0;
+  std::uint64_t pushes_dropped_overflow = 0;
   std::uint64_t unknown_registration = 0;
 };
 
@@ -58,6 +59,11 @@ class PushService {
   /// push.delivery_latency_us, the accept-to-forward delay in virtual time
   /// (zero for online devices, the store-and-forward wait otherwise).
   void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Caps the store-and-forward queue per registration (drop-oldest on
+  /// overflow, counted as pushes_dropped_overflow). GCM does the same:
+  /// offline devices get a bounded backlog, not an unbounded one.
+  void set_max_queue_per_device(std::size_t n) { max_queue_per_device_ = n; }
 
  private:
   struct QueuedPush {
@@ -80,6 +86,7 @@ class PushService {
   std::unique_ptr<simnet::Node> node_;
   RandomSource& rng_;
   std::map<std::string, Registration> registrations_;
+  std::size_t max_queue_per_device_ = 64;
   PushStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Histogram* delivery_latency_ = nullptr;
@@ -95,11 +102,15 @@ class PushClient {
   void register_device(std::function<void(Result<std::string>)> cb);
 
   /// Device side: announce reachability, flushing queued pushes.
-  void connect(const std::string& reg_id, std::function<void(Status)> cb);
+  void connect(const std::string& reg_id, std::function<void(Status)> cb,
+               Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
 
   /// Sender side: push `payload` to the device behind `reg_id`.
+  /// `timeout_us` bounds the RPC — the rendezvous breaker path passes a
+  /// deadline-clamped value so a dead GCM fails fast.
   void push(const std::string& reg_id, Bytes payload, Micros ttl_us,
-            std::function<void(Status)> cb);
+            std::function<void(Status)> cb,
+            Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
 
   void unregister(const std::string& reg_id, std::function<void(Status)> cb);
 

@@ -1,0 +1,85 @@
+#include "resilience/fault.h"
+
+#include "obs/metrics.h"
+
+namespace amnesia::resilience {
+
+namespace {
+std::atomic<FaultInjector*> g_active{nullptr};
+}  // namespace
+
+FaultInjector* active_fault_injector() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void set_active_fault_injector(FaultInjector* injector) {
+  g_active.store(injector, std::memory_order_release);
+}
+
+void FaultInjector::add_rule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+  rule_fires_.push_back(0);
+  rule_hits_.push_back(0);
+}
+
+void FaultInjector::clear_rules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  rule_fires_.clear();
+  rule_hits_.clear();
+}
+
+bool FaultInjector::matches(const std::string& pattern,
+                            const std::string& point) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return point.compare(0, pattern.size() - 1, pattern, 0,
+                         pattern.size() - 1) == 0;
+  }
+  return pattern == point;
+}
+
+std::optional<FaultAction> FaultInjector::check(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t hit = total_hits_++;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (!matches(rule.point, point)) continue;
+    std::uint64_t rule_hit = rule_hits_[i]++;
+    if (rule_hit < rule.after_hits) continue;
+    if (rule.max_fires >= 0 && rule_fires_[i] >= rule.max_fires) continue;
+    // Drawing from the RNG only for probabilistic rules keeps determinism
+    // simple: a schedule of always-fire rules consumes no randomness.
+    if (rule.probability < 1.0 && rng_.next_unit() >= rule.probability) {
+      continue;
+    }
+    ++rule_fires_[i];
+    log_.push_back(FaultFire{hit, point, rule.kind});
+    if (injected_) injected_->inc();
+    return FaultAction{rule.kind, rule.err_no, rule.limit};
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FaultInjector::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_hits_;
+}
+
+std::vector<FaultFire> FaultInjector::fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+std::uint64_t FaultInjector::fire_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+void FaultInjector::set_metrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injected_ =
+      registry ? &registry->counter("resilience.faults_injected") : nullptr;
+}
+
+}  // namespace amnesia::resilience

@@ -1,0 +1,167 @@
+// FaultInjector: named, seeded, schedule-replayable fault points.
+//
+// Production code marks its fallible sites with fault_check("name"):
+//
+//   if (auto f = resilience::fault_check("storage.journal.append")) ...
+//
+// With no injector installed that is one relaxed atomic load and a
+// predicted-not-taken branch — the "off by default, zero-cost when
+// disabled" requirement. Tests install one with ScopedFaultInjector,
+// seed it, and add rules; every decision the injector makes (fire or
+// not) comes from its own SplitMix64 stream, so a failing schedule is
+// replayed exactly by re-running with the printed seed.
+//
+// Fault point naming convention (the catalog lives in
+// docs/RESILIENCE.md):
+//
+//   storage.snapshot.write / .sync / .rename / .dir_sync
+//   storage.journal.append / .sync / .remove
+//   net.tcp.connect / .read / .write
+//   simnet.link.<from>-><to>
+//
+// Kinds:
+//   kError      the call fails with `err_no` (EIO, ENOSPC, ...)
+//   kShortWrite the write persists only the first `limit` bytes, then the
+//               process "crashes" (models a torn write / power cut)
+//   kCrash      the process "crashes" at the point (CrashInjected thrown)
+//   kDrop       the operation is silently discarded (packets, pushes)
+//
+// CrashInjected deliberately does NOT derive amnesia::Error: recovery
+// paths catch Error to tolerate torn files, and an injected crash must
+// fly past them to the test harness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "resilience/policy.h"
+
+namespace amnesia::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace amnesia::obs
+
+namespace amnesia::resilience {
+
+enum class FaultKind { kError, kShortWrite, kCrash, kDrop };
+
+constexpr const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kError: return "error";
+    case FaultKind::kShortWrite: return "short_write";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+/// Thrown by kCrash / kShortWrite faults. Intentionally not an
+/// amnesia::Error subclass (see file comment).
+class CrashInjected : public std::runtime_error {
+ public:
+  explicit CrashInjected(const std::string& point)
+      : std::runtime_error("injected crash at " + point), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+struct FaultRule {
+  /// Exact point name, or a prefix ending in '*' ("net.tcp.*").
+  std::string point;
+  double probability = 1.0;  // chance to fire per matching hit
+  std::uint64_t after_hits = 0;  // skip this many matching hits first
+  std::int64_t max_fires = -1;   // -1 = unlimited
+  FaultKind kind = FaultKind::kError;
+  int err_no = 5;  // EIO; avoid <cerrno> in this header
+  std::size_t limit = 0;  // kShortWrite: bytes that survive
+};
+
+/// What a fired fault asks the call site to do.
+struct FaultAction {
+  FaultKind kind;
+  int err_no;
+  std::size_t limit;
+};
+
+/// One entry of the replayable schedule log.
+struct FaultFire {
+  std::uint64_t hit_index;  // global hit ordinal at fire time
+  std::string point;
+  FaultKind kind;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void add_rule(FaultRule rule);
+  void clear_rules();
+
+  /// Called from instrumented sites (usually via fault_check). Thread-safe.
+  std::optional<FaultAction> check(const std::string& point);
+
+  std::uint64_t seed() const { return seed_; }
+  /// Total instrumented-site hits seen (matching a rule or not).
+  std::uint64_t hits() const;
+  /// Every fault fired so far, in order — the replayable schedule.
+  std::vector<FaultFire> fires() const;
+  std::uint64_t fire_count() const;
+
+  /// Wires the resilience.faults_injected counter.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+ private:
+  static bool matches(const std::string& pattern, const std::string& point);
+
+  const std::uint64_t seed_;
+  mutable std::mutex mu_;
+  JitterRng rng_;
+  std::vector<FaultRule> rules_;
+  std::vector<std::int64_t> rule_fires_;   // parallel to rules_
+  std::vector<std::uint64_t> rule_hits_;   // parallel to rules_
+  std::uint64_t total_hits_ = 0;
+  std::vector<FaultFire> log_;
+  obs::Counter* injected_ = nullptr;
+};
+
+/// The process-wide injector hook. Null (the default) means every
+/// fault_check is a single atomic load + untaken branch.
+FaultInjector* active_fault_injector();
+void set_active_fault_injector(FaultInjector* injector);
+
+/// RAII install/restore, for tests.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector& injector)
+      : previous_(active_fault_injector()) {
+    set_active_fault_injector(&injector);
+  }
+  ~ScopedFaultInjector() { set_active_fault_injector(previous_); }
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// The instrumented-site entry point. Fast path: no injector installed.
+inline std::optional<FaultAction> fault_check(const char* point) {
+  FaultInjector* injector = active_fault_injector();
+  if (!injector) [[likely]] {
+    return std::nullopt;
+  }
+  return injector->check(point);
+}
+
+}  // namespace amnesia::resilience

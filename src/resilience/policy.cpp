@@ -1,0 +1,115 @@
+#include "resilience/policy.h"
+
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace amnesia::resilience {
+
+Micros Backoff::next_delay() {
+  double base = static_cast<double>(config_.initial_us);
+  for (int i = 0; i < retries_; ++i) {
+    base *= config_.multiplier;
+    if (base >= static_cast<double>(config_.max_us)) break;
+  }
+  if (base > static_cast<double>(config_.max_us)) {
+    base = static_cast<double>(config_.max_us);
+  }
+  ++retries_;
+  if (config_.jitter > 0.0) {
+    // Scale by 1 +/- jitter * u, u uniform in [-1, 1).
+    double u = rng_.next_unit() * 2.0 - 1.0;
+    base *= 1.0 + config_.jitter * u;
+  }
+  Micros delay = static_cast<Micros>(base);
+  if (delay < 0) delay = 0;
+  if (delay > config_.max_us) delay = config_.max_us;
+  return delay;
+}
+
+bool CircuitBreaker::allow(Micros now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= config_.open_cooldown_us) {
+        transition(State::kHalfOpen);
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success(Micros) {
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      if (++half_open_successes_ >= config_.half_open_successes) {
+        transition(State::kClosed);
+      }
+      break;
+    case State::kOpen:
+      // A success from a call admitted before the breaker opened; it does
+      // not re-close the breaker (the cooldown + probe path does).
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure(Micros now) {
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        opened_at_ = now;
+        transition(State::kOpen);
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: straight back to open, cooldown restarts.
+      opened_at_ = now;
+      transition(State::kOpen);
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+void CircuitBreaker::set_metrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    opened_ = half_opened_ = closed_ = nullptr;
+    state_gauge_ = nullptr;
+    return;
+  }
+  const std::string prefix = "resilience.breaker." + name_ + ".";
+  opened_ = &registry->counter(prefix + "opened");
+  half_opened_ = &registry->counter(prefix + "half_opened");
+  closed_ = &registry->counter(prefix + "closed");
+  state_gauge_ = &registry->gauge(prefix + "state");
+  state_gauge_->set(static_cast<std::int64_t>(state_));
+}
+
+void CircuitBreaker::transition(State next) {
+  if (next == state_) return;
+  state_ = next;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  switch (next) {
+    case State::kOpen:
+      if (opened_) opened_->inc();
+      break;
+    case State::kHalfOpen:
+      if (half_opened_) half_opened_->inc();
+      break;
+    case State::kClosed:
+      if (closed_) closed_->inc();
+      break;
+  }
+  if (state_gauge_) state_gauge_->set(static_cast<std::int64_t>(next));
+  if (on_change_) on_change_(next);
+}
+
+}  // namespace amnesia::resilience

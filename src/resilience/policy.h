@@ -1,0 +1,201 @@
+// Resilience policy primitives: deadlines, backoff, retry budgets, and a
+// circuit breaker (the SRE-standard trio the ISSUE-4 tentpole names).
+//
+// Everything here is deterministic and clock-injected: jitter comes from a
+// seeded SplitMix64 stream, never from std::random_device, and all time
+// arithmetic is in Micros against whatever Clock the caller supplies — so
+// under simnet::Simulation a retry storm replays byte-identically from its
+// seed, which is what makes the fault-injection tests debuggable.
+//
+// The pieces compose but do not own each other:
+//
+//   Deadline      an absolute expiry, propagated (clamped) hop-to-hop so a
+//                 30 s browser wait never issues a 60 s push RPC;
+//   Backoff       capped exponential delays with multiplicative jitter;
+//   RetryBudget   a gRPC-style token bucket shared by many calls, so a
+//                 cluster-wide outage cannot turn into a retry storm;
+//   CircuitBreaker three-state (closed / open / half-open) failure gate
+//                 with obs counters for every transition.
+//
+// retry.h glues them into an async retry loop over net::Executor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "common/clock.h"
+
+namespace amnesia::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace amnesia::obs
+
+namespace amnesia::resilience {
+
+/// Deterministic 64-bit stream (SplitMix64) for backoff jitter. Cheap to
+/// construct, no allocation, stable across platforms.
+class JitterRng {
+ public:
+  explicit JitterRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct BackoffConfig {
+  Micros initial_us = 50'000;    // delay before the first retry
+  double multiplier = 2.0;       // growth per retry
+  Micros max_us = 5'000'000;     // cap on any single delay
+  double jitter = 0.2;           // delay scaled by 1 +/- jitter * u
+  int max_attempts = 4;          // total tries, including the first
+};
+
+/// Capped exponential backoff with deterministic jitter. One instance per
+/// logical call; `next_delay()` is called once per retry.
+class Backoff {
+ public:
+  Backoff(BackoffConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  /// The delay to sleep before the next retry, advancing the schedule.
+  Micros next_delay();
+  /// Retries handed out so far (not counting the initial attempt).
+  int retries() const { return retries_; }
+  const BackoffConfig& config() const { return config_; }
+
+ private:
+  BackoffConfig config_;
+  JitterRng rng_;
+  int retries_ = 0;
+};
+
+/// An absolute expiry time, propagated across hops. A default Deadline is
+/// unbounded; `after` anchors one `budget_us` from now; `clamp` implements
+/// propagation: a sub-call's timeout is min(its own wish, what's left).
+struct Deadline {
+  static constexpr Micros kNone = std::numeric_limits<Micros>::max();
+
+  Micros expires_at = kNone;
+
+  static Deadline after(const Clock& clock, Micros budget_us) {
+    return Deadline{clock.now_us() + budget_us};
+  }
+  bool unbounded() const { return expires_at == kNone; }
+  bool expired(Micros now) const { return !unbounded() && now >= expires_at; }
+  Micros remaining(Micros now) const {
+    if (unbounded()) return kNone;
+    return expires_at > now ? expires_at - now : 0;
+  }
+  /// Propagation: the timeout a sub-call may use.
+  Micros clamp(Micros want_us, Micros now) const {
+    Micros rem = remaining(now);
+    return want_us < rem ? want_us : rem;
+  }
+};
+
+/// gRPC-style retry token bucket: each retry debits a whole token, each
+/// success credits a fraction. When the bucket is dry, retries are denied
+/// — under a real outage the client degrades to one attempt per call
+/// instead of multiplying load. Not thread-safe; confine to one executor.
+class RetryBudget {
+ public:
+  explicit RetryBudget(double max_tokens = 10.0, double per_success = 0.1)
+      : max_tokens_(max_tokens),
+        per_success_(per_success),
+        tokens_(max_tokens) {}
+
+  /// Takes one token if available; false = budget exhausted, don't retry.
+  bool try_debit() {
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+  void credit() {
+    tokens_ += per_success_;
+    if (tokens_ > max_tokens_) tokens_ = max_tokens_;
+  }
+  double tokens() const { return tokens_; }
+
+ private:
+  double max_tokens_;
+  double per_success_;
+  double tokens_;
+};
+
+/// Three-state circuit breaker. Closed passes calls and counts consecutive
+/// failures; at the threshold it opens and fails fast for a cooldown; the
+/// first `allow()` after the cooldown half-opens, letting probe calls
+/// through — a success closes it, a failure re-opens it. All transitions
+/// are exported as resilience.breaker.<name>.* metrics when wired.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Config {
+    int failure_threshold = 5;          // consecutive failures to open
+    Micros open_cooldown_us = 5'000'000;
+    int half_open_successes = 1;        // probe successes to close
+  };
+
+  explicit CircuitBreaker(std::string name)
+      : name_(std::move(name)), config_() {}
+  CircuitBreaker(std::string name, Config config)
+      : name_(std::move(name)), config_(config) {}
+
+  /// True if a call may proceed now. Transitions open -> half-open once
+  /// the cooldown has elapsed.
+  bool allow(Micros now);
+  void record_success(Micros now);
+  void record_failure(Micros now);
+
+  State state() const { return state_; }
+  const std::string& name() const { return name_; }
+  /// Exports transition counters + a state gauge (0 closed, 1 open,
+  /// 2 half-open) under resilience.breaker.<name>.*.
+  void set_metrics(obs::MetricsRegistry* registry);
+  /// Observer hook; fires on every state change after metrics update.
+  void on_state_change(std::function<void(State)> fn) {
+    on_change_ = std::move(fn);
+  }
+
+  static const char* state_name(State s) {
+    switch (s) {
+      case State::kClosed: return "closed";
+      case State::kOpen: return "open";
+      case State::kHalfOpen: return "half_open";
+    }
+    return "?";
+  }
+
+ private:
+  void transition(State next);
+
+  std::string name_;
+  Config config_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  Micros opened_at_ = 0;
+  std::function<void(State)> on_change_;
+  obs::Counter* opened_ = nullptr;
+  obs::Counter* half_opened_ = nullptr;
+  obs::Counter* closed_ = nullptr;
+  obs::Gauge* state_gauge_ = nullptr;
+};
+
+}  // namespace amnesia::resilience

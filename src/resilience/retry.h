@@ -1,0 +1,157 @@
+// retry_async: the async retry loop that glues policy.h together.
+//
+// Header-only on purpose: it is templated over the payload type and needs
+// only net::Executor (itself a pure header), so amnesia_resilience does
+// not link against amnesia_net — net links resilience, not the reverse.
+//
+// The operation is a callable `void(int attempt, Deadline, done)` — it
+// receives the remaining deadline so it can propagate a clamped timeout
+// downstream. Retries happen only for failures the `retryable` predicate
+// accepts (default: Err::kUnavailable — timeouts, refused connections,
+// unreachable services; auth failures and malformed requests never retry).
+//
+// Order of checks per attempt:
+//   1. breaker.allow()?        no -> fail fast (kUnavailable, short-circuit)
+//   2. deadline expired?       yes -> fail (kUnavailable, deadline)
+//   3. run the operation
+//   4. on success: breaker.record_success, budget.credit, done(ok)
+//   5. on retryable failure: breaker.record_failure; if attempts, budget
+//      and deadline all permit -> backoff.next_delay() and go to 1,
+//      else done(failure)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "net/executor.h"
+#include "obs/metrics.h"
+#include "resilience/policy.h"
+
+namespace amnesia::resilience {
+
+struct RetryOptions {
+  BackoffConfig backoff{};
+  std::uint64_t seed = 0;
+  Deadline deadline{};                    // default: unbounded
+  CircuitBreaker* breaker = nullptr;      // optional, caller-owned
+  RetryBudget* budget = nullptr;          // optional, caller-owned
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string op_name = "op";             // for failure messages
+  /// Which failures are worth retrying. Default: only kUnavailable.
+  std::function<bool(const Failure&)> retryable;
+};
+
+namespace detail {
+inline bool default_retryable(const Failure& f) {
+  return f.code == Err::kUnavailable;
+}
+}  // namespace detail
+
+/// Runs `op` with retries per `options`, delivering the final outcome to
+/// `done` exactly once. All scheduling goes through `executor`; `done`
+/// may be invoked synchronously if the first attempt completes inline.
+template <typename T>
+void retry_async(
+    net::Executor& executor, RetryOptions options,
+    std::function<void(int attempt, Deadline, std::function<void(Result<T>)>)>
+        op,
+    std::function<void(Result<T>)> done) {
+  struct LoopState {
+    net::Executor& executor;
+    RetryOptions options;
+    Backoff backoff;
+    std::function<void(int, Deadline, std::function<void(Result<T>)>)> op;
+    std::function<void(Result<T>)> done;
+    int attempt = 0;
+    obs::Counter* retries = nullptr;
+    obs::Counter* giveups = nullptr;
+    obs::Counter* short_circuits = nullptr;
+
+    LoopState(net::Executor& ex, RetryOptions opts,
+              std::function<void(int, Deadline, std::function<void(Result<T>)>)>
+                  operation,
+              std::function<void(Result<T>)> on_done)
+        : executor(ex),
+          options(std::move(opts)),
+          backoff(options.backoff, options.seed),
+          op(std::move(operation)),
+          done(std::move(on_done)) {
+      if (!options.retryable) options.retryable = detail::default_retryable;
+      if (options.metrics) {
+        retries = &options.metrics->counter("resilience.retries");
+        giveups = &options.metrics->counter("resilience.retry_giveups");
+        short_circuits =
+            &options.metrics->counter("resilience.breaker_short_circuits");
+      }
+    }
+  };
+
+  auto state = std::make_shared<LoopState>(executor, std::move(options),
+                                           std::move(op), std::move(done));
+
+  // The recursive attempt closure must not capture its own shared_ptr —
+  // that is a reference cycle and every call would leak the loop state.
+  // It holds a weak self-reference instead; the transient strong refs
+  // (the caller below, the op continuation, the scheduled retry task)
+  // keep it alive exactly while a call is in flight.
+  auto attempt_fn = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_fn = attempt_fn;
+  *attempt_fn = [state, weak_fn]() {
+    auto self = weak_fn.lock();
+    if (!self) return;
+    Micros now = state->executor.clock().now_us();
+    if (state->options.breaker && !state->options.breaker->allow(now)) {
+      if (state->short_circuits) state->short_circuits->inc();
+      state->done(Result<T>(Err::kUnavailable,
+                            state->options.op_name + ": circuit open"));
+      return;
+    }
+    if (state->options.deadline.expired(now)) {
+      state->done(Result<T>(Err::kUnavailable,
+                            state->options.op_name + ": deadline exceeded"));
+      return;
+    }
+    ++state->attempt;
+    state->op(state->attempt, state->options.deadline,
+              [state, self](Result<T> r) {
+      Micros end = state->executor.clock().now_us();
+      if (r.ok()) {
+        if (state->options.breaker) {
+          state->options.breaker->record_success(end);
+        }
+        if (state->options.budget) state->options.budget->credit();
+        state->done(std::move(r));
+        return;
+      }
+      bool retryable = state->options.retryable(r.failure());
+      if (retryable && state->options.breaker) {
+        state->options.breaker->record_failure(end);
+      }
+      bool attempts_left =
+          state->attempt < state->options.backoff.max_attempts;
+      // Debit the budget only for a retry we would otherwise take; a
+      // non-retryable failure must not drain tokens.
+      bool budget_ok = retryable && attempts_left &&
+                       (!state->options.budget ||
+                        state->options.budget->try_debit());
+      Micros delay =
+          (retryable && attempts_left && budget_ok)
+              ? state->backoff.next_delay()
+              : 0;
+      bool deadline_ok = !state->options.deadline.expired(end + delay);
+      if (!retryable || !attempts_left || !budget_ok || !deadline_ok) {
+        if (retryable && state->giveups) state->giveups->inc();
+        state->done(std::move(r));
+        return;
+      }
+      if (state->retries) state->retries->inc();
+      state->executor.run_after(delay, [self]() { (*self)(); });
+    });
+  };
+  (*attempt_fn)();
+}
+
+}  // namespace amnesia::resilience

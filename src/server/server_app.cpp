@@ -1,5 +1,6 @@
 #include "server/server_app.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.h"
@@ -45,7 +46,8 @@ AmnesiaServer::AmnesiaServer(simnet::Simulation& sim,
       db_(config_.db_path),
       throttle_(sim.clock(), config_.throttle),
       mp_hasher_(config_.mp_hash),
-      push_(*node_, config_.rendezvous_node) {
+      push_(*node_, config_.rendezvous_node),
+      rendezvous_breaker_("rendezvous", config_.rendezvous_breaker) {
   http_.set_service_time([this](const Request& req) -> Micros {
     // The final password computation (token handling) is the expensive
     // server-side step in the latency pipeline; everything else is light
@@ -61,6 +63,10 @@ AmnesiaServer::AmnesiaServer(simnet::Simulation& sim,
   http_.set_metrics(&metrics_);
   secure_.set_metrics(&metrics_);
   db_.raw().set_metrics(&metrics_);
+  rendezvous_breaker_.set_metrics(&metrics_);
+  if (config_.shed_max_queue > 0) {
+    http_.set_load_shed(config_.shed_max_queue, config_.shed_retry_after_s);
+  }
   // Crypto-layer load (PBKDF2 calls from master-password hashing) lands in
   // the same registry, so GET /metrics exposes it. Process-wide hook: with
   // several servers the most recently constructed one owns it.
@@ -121,6 +127,11 @@ void AmnesiaServer::install_routes() {
         &AmnesiaServer::handle_vault_retrieve);
   route(Method::kGet, "/vault", &AmnesiaServer::handle_vault_list);
   route(Method::kPost, "/vault/remove", &AmnesiaServer::handle_vault_remove);
+  // Degraded-mode pull path: the phone drains parked push payloads when
+  // the rendezvous push leg is broken. The registration id is unguessable
+  // (a GCM token), so presenting it is the same bearer credential the
+  // push path trusts.
+  route(Method::kPost, "/push/poll", &AmnesiaServer::handle_push_poll);
 
   // Text snapshot of the whole-testbed registry. Exempt, so serving it
   // neither perturbs the pool nor mutates the numbers it is exporting —
@@ -414,26 +425,47 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
   // One root span per bilateral round; the push leg and the phone wait are
   // children, and server.generate joins them when the token arrives.
   pending.round_span = metrics_.begin_span("protocol.round");
+  const obs::SpanId round_span = pending.round_span;
+  // Breaker open means the push leg is known-dead: skip the doomed RPC
+  // (and its span) and park the payload for a polling phone. The round
+  // still either completes — the token arrives over the phone's HTTPS
+  // leg — or hits the phone-wait timeout.
+  const bool push_allowed = rendezvous_breaker_.allow(sim_.now());
   const obs::SpanId push_span =
-      metrics_.begin_span("rendezvous.push", pending.round_span);
-  pending.wait_span = metrics_.begin_span("phone.wait", pending.round_span);
+      push_allowed ? metrics_.begin_span("rendezvous.push", round_span) : 0;
+  pending.wait_span = metrics_.begin_span("phone.wait", round_span);
 
   pending_passwords_.emplace(request_id, std::move(pending));
 
-  push_.push(registration_id, push_msg.encode(), config_.push_ttl_us,
-             [request_id, push_span, tstart, this](Status s) {
-               metrics_.end_span(push_span);
-               metrics_.histogram("rendezvous.push_ack_us")
-                   .record(sim_.now() - tstart);
-               if (!s.ok()) {
-                 const auto it = pending_passwords_.find(request_id);
-                 if (it == pending_passwords_.end()) return;
-                 finish_round_spans(it->second);
-                 it->second.respond(Response::error(
-                     502, "rendezvous push failed: " + s.message()));
-                 pending_passwords_.erase(it);
-               }
-             });
+  if (!push_allowed) {
+    enqueue_poll(registration_id, push_msg.encode());
+    return;
+  }
+
+  const Micros push_timeout =
+      std::min(config_.push_rpc_timeout_us, config_.phone_wait_timeout_us);
+  push_.push(
+      registration_id, push_msg.encode(), config_.push_ttl_us,
+      [request_id, push_span, tstart, registration_id,
+       payload = push_msg.encode(), this](Status s) {
+        metrics_.end_span(push_span);
+        metrics_.histogram("rendezvous.push_ack_us")
+            .record(sim_.now() - tstart);
+        if (s.ok()) {
+          rendezvous_breaker_.record_success(sim_.now());
+          return;
+        }
+        rendezvous_breaker_.record_failure(sim_.now());
+        ++stats_.push_failures;
+        metrics_.counter("server.push_failures").inc();
+        // Degrade instead of failing the browser with a 502: if the round
+        // is still pending, a polling phone can pick the request up from
+        // the poll queue and answer before phone_wait_timeout_us.
+        if (pending_passwords_.contains(request_id)) {
+          enqueue_poll(registration_id, std::move(payload));
+        }
+      },
+      push_timeout);
 
   sim_.schedule_after(config_.phone_wait_timeout_us, [this, request_id] {
     const auto it = pending_passwords_.find(request_id);
@@ -444,6 +476,40 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
     it->second.respond(Response::error(504, "phone did not respond"));
     pending_passwords_.erase(it);
   });
+}
+
+void AmnesiaServer::enqueue_poll(const std::string& registration_id,
+                                 Bytes payload) {
+  auto& queue = poll_queues_[registration_id];
+  const Micros now = sim_.now();
+  while (!queue.empty() && queue.front().expires_at <= now) queue.pop_front();
+  // Bounded like every other queue in the degradation path: drop-oldest,
+  // since the oldest request is the one closest to its 504 anyway.
+  if (queue.size() >= config_.poll_queue_max) queue.pop_front();
+  queue.push_back(PollEntry{std::move(payload),
+                            now + config_.poll_entry_ttl_us});
+  ++stats_.poll_enqueued;
+  metrics_.counter("server.poll_enqueued").inc();
+}
+
+void AmnesiaServer::handle_push_poll(const Request& req,
+                                     const Responder& respond) {
+  const auto form = req.form();
+  const auto reg_id = need_field(form, "reg_id", respond);
+  if (!reg_id) return;
+  std::ostringstream body;
+  const auto it = poll_queues_.find(*reg_id);
+  if (it != poll_queues_.end()) {
+    const Micros now = sim_.now();
+    for (auto& entry : it->second) {
+      if (entry.expires_at <= now) continue;
+      body << base64_encode(entry.payload) << '\n';
+      ++stats_.poll_delivered;
+      metrics_.counter("server.poll_delivered").inc();
+    }
+    poll_queues_.erase(it);
+  }
+  respond(Response::ok_text(body.str()));
 }
 
 void AmnesiaServer::handle_token(const Request& req,

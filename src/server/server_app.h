@@ -26,6 +26,7 @@
 //   POST /recover/mp/confirm user, pid                    [called by phone]
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "crypto/x25519.h"
 #include "obs/metrics.h"
 #include "rendezvous/push_service.h"
+#include "resilience/policy.h"
 #include "securechan/channel.h"
 #include "server/auth.h"
 #include "server/db.h"
@@ -67,6 +69,26 @@ struct AmnesiaServerConfig {
   // requests within a session skip the phone round-trip. 0 reproduces the
   // paper's prototype (a phone confirmation on every request).
   Micros password_cache_ttl_us = 0;
+
+  // --- Graceful degradation (resilience layer) ---
+
+  // Circuit breaker guarding the rendezvous push leg. While it is open
+  // the server skips the doomed push RPC entirely and parks the request
+  // payload in a per-registration poll queue that the phone drains via
+  // POST /push/poll — a full login still completes with rendezvous down.
+  resilience::CircuitBreaker::Config rendezvous_breaker{};
+  // Timeout on the push RPC itself (clamped under phone_wait_timeout_us so
+  // a dead rendezvous fails — and trips the breaker — before the browser
+  // gives up).
+  Micros push_rpc_timeout_us = simnet::Node::kDefaultTimeoutUs;
+  std::size_t poll_queue_max = 32;           // per reg_id, drop-oldest
+  Micros poll_entry_ttl_us = 60'000'000;     // mirrors push_ttl_us intent
+
+  // When > 0, enables HTTP load shedding: once every worker is busy and
+  // the accept queue reaches this depth, new requests get an immediate
+  // 503 + Retry-After instead of an unbounded wait.
+  std::size_t shed_max_queue = 0;
+  int shed_retry_after_s = 1;
 };
 
 struct AmnesiaServerStats {
@@ -85,6 +107,9 @@ struct AmnesiaServerStats {
   std::uint64_t cache_hits = 0;       // session-mechanism extension
   std::uint64_t vault_stores = 0;     // chosen-password-vault extension
   std::uint64_t vault_retrievals = 0;
+  std::uint64_t push_failures = 0;    // push leg failed; fell back to poll
+  std::uint64_t poll_enqueued = 0;    // payloads parked for POST /push/poll
+  std::uint64_t poll_delivered = 0;   // payloads handed to a polling phone
 };
 
 class AmnesiaServer {
@@ -164,6 +189,7 @@ class AmnesiaServer {
                              const websvc::Responder&);
   void handle_vault_list(const websvc::Request&, const websvc::Responder&);
   void handle_vault_remove(const websvc::Request&, const websvc::Responder&);
+  void handle_push_poll(const websvc::Request&, const websvc::Responder&);
 
   struct PendingPairing {
     std::string captcha;
@@ -208,6 +234,15 @@ class AmnesiaServer {
   /// Ends the wait + round spans of a pending request (any outcome).
   void finish_round_spans(const PendingPassword& pending);
 
+  /// A push payload parked for the phone to fetch over POST /push/poll —
+  /// the degradation path when the rendezvous breaker is open or a push
+  /// RPC fails outright.
+  struct PollEntry {
+    Bytes payload;
+    Micros expires_at;
+  };
+  void enqueue_poll(const std::string& registration_id, Bytes payload);
+
   simnet::Simulation& sim_;
   RandomSource& rng_;
   obs::MetricsRegistry metrics_;
@@ -221,7 +256,9 @@ class AmnesiaServer {
   ThrottleGuard throttle_;
   crypto::PasswordHasher mp_hasher_;
   rendezvous::PushClient push_;
+  resilience::CircuitBreaker rendezvous_breaker_;
 
+  std::map<std::string, std::deque<PollEntry>> poll_queues_;
   std::map<std::string, PendingPairing> pending_pairings_;
   std::map<std::uint64_t, PendingPassword> pending_passwords_;
   std::map<std::string, PendingMpChange> pending_mp_changes_;

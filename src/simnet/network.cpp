@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "resilience/fault.h"
 
 namespace amnesia::simnet {
 
@@ -50,6 +51,21 @@ void Network::send(const NodeId& from, const NodeId& to, Bytes payload) {
     throw NetError("Network::send: sender not attached: " + from);
   }
   ++stats_.sent;
+  // Injected link faults (flaps, targeted loss): expressed per directed
+  // link as "simnet.link.<from>-><to>"; a window of after_hits/max_fires
+  // on a kDrop rule is a flap. Checked before the profile's own loss
+  // sampling so an injected schedule never perturbs the seeded RNG.
+  if (resilience::active_fault_injector() != nullptr) {
+    if (auto f = resilience::fault_check(
+            ("simnet.link." + from + "->" + to).c_str())) {
+      if (f->kind == resilience::FaultKind::kDrop ||
+          f->kind == resilience::FaultKind::kError) {
+        ++stats_.lost_on_link;
+        AMNESIA_DEBUG("simnet") << from << "->" << to << " lost (injected)";
+        return;
+      }
+    }
+  }
   const LinkProfile& link = link_for(from, to);
   if (link.sample_loss(sim_.rng())) {
     ++stats_.lost_on_link;

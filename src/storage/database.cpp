@@ -1,18 +1,115 @@
 #include "storage/database.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "resilience/fault.h"
 
 namespace amnesia::storage {
 
 namespace {
 
-constexpr char kSnapshotMagic[] = "AMDB-SNAP-1";
-constexpr char kJournalMagic[] = "AMDB-JRNL-1";
+// v2 on-disk format: both files carry a u64 checkpoint generation right
+// after the magic. The generations let load() detect the one crash window
+// checkpoint() cannot close by ordering alone — snapshot renamed into
+// place but the old journal not yet unlinked — and discard the stale
+// journal instead of double-replaying it onto the new snapshot.
+constexpr char kSnapshotMagic[] = "AMDB-SNAP-2";
+constexpr char kJournalMagic[] = "AMDB-JRNL-2";
+
+[[noreturn]] void throw_errno(const std::string& what, int err) {
+  throw StorageError(what + ": " + std::strerror(err));
+}
+
+/// Applies an injected fault for a non-write point (sync / rename /
+/// remove): kError fails the call, kCrash and kShortWrite abort the
+/// "process" before the call runs. kDrop makes the call a no-op (the
+/// caller checks the return).
+bool fault_point(const char* point) {
+  if (auto f = resilience::fault_check(point)) {
+    switch (f->kind) {
+      case resilience::FaultKind::kError:
+        throw_errno(std::string(point), f->err_no);
+      case resilience::FaultKind::kCrash:
+      case resilience::FaultKind::kShortWrite:
+        throw resilience::CrashInjected(point);
+      case resilience::FaultKind::kDrop:
+        return false;
+    }
+  }
+  return true;
+}
+
+struct Fd {
+  int fd = -1;
+  explicit Fd(int f) : fd(f) {}
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void write_all_raw(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", errno);
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// One instrumented write. kShortWrite persists the first `limit` bytes
+/// (fsynced, so they are really on disk — a torn write, not a lost one)
+/// and then crashes; kCrash crashes before anything lands.
+void checked_write(int fd, const std::uint8_t* data, std::size_t len,
+                   const char* point) {
+  if (auto f = resilience::fault_check(point)) {
+    switch (f->kind) {
+      case resilience::FaultKind::kError:
+        throw_errno(std::string(point), f->err_no);
+      case resilience::FaultKind::kCrash:
+        throw resilience::CrashInjected(point);
+      case resilience::FaultKind::kShortWrite: {
+        std::size_t keep = f->limit < len ? f->limit : len;
+        write_all_raw(fd, data, keep);
+        ::fsync(fd);
+        throw resilience::CrashInjected(point);
+      }
+      case resilience::FaultKind::kDrop:
+        return;
+    }
+  }
+  write_all_raw(fd, data, len);
+}
+
+void checked_fsync(int fd, const char* point) {
+  if (!fault_point(point)) return;
+  if (::fsync(fd) != 0) throw_errno("fsync", errno);
+}
+
+/// Makes a rename/unlink in `path`'s directory durable. Required for
+/// crash atomicity: rename() alone may not survive power loss until the
+/// parent directory's entry is flushed.
+void fsync_parent_dir(const std::string& path, const char* point) {
+  if (!fault_point(point)) return;
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+  if (fd.fd < 0) throw_errno("open dir " + dir.string(), errno);
+  if (::fsync(fd.fd) != 0) throw_errno("fsync dir " + dir.string(), errno);
+}
 
 std::optional<Bytes> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -22,16 +119,24 @@ std::optional<Bytes> read_file(const std::string& path) {
   return data;
 }
 
-void write_file_atomic(const std::string& path, const Bytes& data) {
+/// Crash-atomic file replacement: write temp + fsync + rename + parent
+/// directory fsync. At any kill point the destination holds either the
+/// complete old content or the complete new content.
+void write_file_durable(const std::string& path, const Bytes& data) {
   const std::string tmp = path + ".tmp";
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw StorageError("cannot open " + tmp + " for writing");
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size()));
-    if (!out) throw StorageError("short write to " + tmp);
+    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644));
+    if (fd.fd < 0) throw_errno("open " + tmp, errno);
+    checked_write(fd.fd, data.data(), data.size(), "storage.snapshot.write");
+    checked_fsync(fd.fd, "storage.snapshot.sync");
   }
-  std::filesystem::rename(tmp, path);
+  if (fault_point("storage.snapshot.rename")) {
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw_errno("rename " + tmp, errno);
+    }
+  }
+  fsync_parent_dir(path, "storage.snapshot.dir_sync");
 }
 
 }  // namespace
@@ -108,6 +213,14 @@ void Database::count_mutation() {
   queries_counter_->inc();
 }
 
+void Database::check_writable() const {
+  if (wedged_) {
+    throw StorageError(
+        "database wedged by an earlier journal I/O failure; in-memory state "
+        "may be ahead of disk — reopen to recover");
+  }
+}
+
 std::vector<std::string> Database::table_names() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());
@@ -129,6 +242,7 @@ Table& Database::mutable_table(const std::string& name) {
 }
 
 void Database::create_table(const std::string& name, Schema schema) {
+  check_writable();
   if (tables_.contains(name)) throw StorageError("table exists: " + name);
   schema.validate();
   count_mutation();
@@ -143,6 +257,7 @@ void Database::create_table(const std::string& name, Schema schema) {
 }
 
 void Database::insert(const std::string& table, Row row) {
+  check_writable();
   count_mutation();
   mutable_table(table).insert(row);  // validate + apply first
   if (!loading_) {
@@ -155,6 +270,7 @@ void Database::insert(const std::string& table, Row row) {
 }
 
 void Database::upsert(const std::string& table, Row row) {
+  check_writable();
   count_mutation();
   mutable_table(table).upsert(row);
   if (!loading_) {
@@ -167,6 +283,7 @@ void Database::upsert(const std::string& table, Row row) {
 }
 
 bool Database::update(const std::string& table, const Value& key, Row row) {
+  check_writable();
   count_mutation();
   const bool changed = mutable_table(table).update(key, row);
   if (changed && !loading_) {
@@ -181,6 +298,7 @@ bool Database::update(const std::string& table, const Value& key, Row row) {
 }
 
 bool Database::remove(const std::string& table, const Value& key) {
+  check_writable();
   count_mutation();
   const bool changed = mutable_table(table).remove(key);
   if (changed && !loading_) {
@@ -194,6 +312,7 @@ bool Database::remove(const std::string& table, const Value& key) {
 }
 
 void Database::clear_table(const std::string& table) {
+  check_writable();
   count_mutation();
   mutable_table(table).clear();
   if (!loading_) {
@@ -205,6 +324,7 @@ void Database::clear_table(const std::string& table) {
 }
 
 void Database::drop_table(const std::string& table) {
+  check_writable();
   count_mutation();
   if (tables_.erase(table) == 0) throw StorageError("unknown table: " + table);
   if (!loading_) {
@@ -219,18 +339,36 @@ void Database::append_journal(const Bytes& payload) {
   ++journal_records_;
   if (journal_appends_counter_) journal_appends_counter_->inc();
   if (!persistent()) return;
-  const bool fresh = !std::filesystem::exists(journal_path());
-  std::ofstream out(journal_path(), std::ios::binary | std::ios::app);
-  if (!out) throw StorageError("cannot append to journal " + journal_path());
-  if (fresh) out.write(kJournalMagic, sizeof(kJournalMagic) - 1);
-  BufWriter header;
-  header.u32(static_cast<std::uint32_t>(payload.size()));
-  header.u32(crc32(payload));
-  out.write(reinterpret_cast<const char*>(header.data().data()),
-            static_cast<std::streamsize>(header.data().size()));
-  out.write(reinterpret_cast<const char*>(payload.data()),
-            static_cast<std::streamsize>(payload.size()));
-  if (!out) throw StorageError("short journal write");
+  try {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(journal_path(), ec);
+    const bool fresh = ec || size == 0;
+    Fd fd(::open(journal_path().c_str(),
+                 O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644));
+    if (fd.fd < 0) throw_errno("open journal " + journal_path(), errno);
+    // One record = [header?][len:u32][crc:u32][payload], written as a
+    // single instrumented write so a short-write fault tears the record
+    // the way a real power cut tears an append.
+    BufWriter w;
+    if (fresh) {
+      for (std::size_t i = 0; i < sizeof(kJournalMagic) - 1; ++i) {
+        w.u8(static_cast<std::uint8_t>(kJournalMagic[i]));
+      }
+      w.u64(generation_);
+    }
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.u32(crc32(payload));
+    Bytes record = w.take();
+    record.insert(record.end(), payload.begin(), payload.end());
+    checked_write(fd.fd, record.data(), record.size(),
+                  "storage.journal.append");
+    checked_fsync(fd.fd, "storage.journal.sync");
+  } catch (...) {
+    // In-memory state already holds the mutation; disk does not. Refuse
+    // further writes rather than silently diverge.
+    wedged_ = true;
+    throw;
+  }
 }
 
 void Database::apply_journal_record(BufReader& r) {
@@ -274,6 +412,7 @@ void Database::load() {
         throw StorageError("bad snapshot magic in " + snapshot_path());
       }
     }
+    generation_ = r.u64();
     const std::uint32_t table_count = r.u32();
     for (std::uint32_t t = 0; t < table_count; ++t) {
       const std::string name = r.str();
@@ -282,10 +421,13 @@ void Database::load() {
       for (std::uint64_t i = 0; i < rows; ++i) insert(name, decode_row(r));
     }
   }
-  // 2. Journal replay, tolerating a torn tail.
+  // 2. Journal replay, tolerating a torn tail and a stale (pre-checkpoint)
+  // journal left behind by a crash between snapshot rename and journal
+  // unlink.
   if (const auto jrnl = read_file(journal_path())) {
     BufReader r(*jrnl);
-    bool magic_ok = r.remaining() >= sizeof(kJournalMagic) - 1;
+    constexpr std::size_t kHeaderSize = sizeof(kJournalMagic) - 1 + 8;
+    bool magic_ok = r.remaining() >= kHeaderSize;
     if (magic_ok) {
       for (std::size_t i = 0; i < sizeof(kJournalMagic) - 1; ++i) {
         if (r.u8() != static_cast<std::uint8_t>(kJournalMagic[i])) {
@@ -297,7 +439,24 @@ void Database::load() {
     if (!magic_ok) {
       torn_tail_ = true;
       AMNESIA_WARN("storage") << path_ << ": journal magic corrupt; ignored";
+      std::error_code ec;
+      std::filesystem::remove(journal_path(), ec);
+    } else if (const std::uint64_t journal_gen = r.u64();
+               journal_gen != generation_) {
+      // The stale journal's records are already folded into the snapshot;
+      // replaying them would duplicate mutations (and throw on duplicate
+      // inserts). Discard it.
+      discarded_stale_journal_ = true;
+      AMNESIA_WARN("storage")
+          << path_ << ": discarding stale journal (generation " << journal_gen
+          << " != snapshot " << generation_ << ")";
+      std::error_code ec;
+      std::filesystem::remove(journal_path(), ec);
     } else {
+      // Track the end of the last fully-valid record so a torn tail can be
+      // truncated away — otherwise later appends would land behind
+      // unreadable bytes and be lost to the next replay.
+      std::size_t valid_end = jrnl->size() - r.remaining();
       while (!r.done()) {
         try {
           const std::uint32_t len = r.u32();
@@ -309,10 +468,13 @@ void Database::load() {
           if (crc32(payload) != expected_crc) throw FormatError("bad crc");
           BufReader pr(payload);
           apply_journal_record(pr);
+          valid_end = jrnl->size() - r.remaining();
         } catch (const Error&) {
           torn_tail_ = true;
           AMNESIA_WARN("storage")
               << path_ << ": discarding corrupt journal tail";
+          std::error_code ec;
+          std::filesystem::resize_file(journal_path(), valid_end, ec);
           break;
         }
       }
@@ -323,6 +485,7 @@ void Database::load() {
 }
 
 void Database::checkpoint() {
+  check_writable();
   if (!persistent()) {
     journal_records_ = 0;
     return;
@@ -331,6 +494,7 @@ void Database::checkpoint() {
   for (std::size_t i = 0; i < sizeof(kSnapshotMagic) - 1; ++i) {
     w.u8(static_cast<std::uint8_t>(kSnapshotMagic[i]));
   }
+  w.u64(generation_ + 1);
   w.u32(static_cast<std::uint32_t>(tables_.size()));
   for (const auto& [name, table] : tables_) {
     w.str(name);
@@ -339,9 +503,16 @@ void Database::checkpoint() {
     w.u64(rows.size());
     for (const auto& row : rows) encode_row(w, row);
   }
-  write_file_atomic(snapshot_path(), w.data());
-  std::error_code ec;
-  std::filesystem::remove(journal_path(), ec);
+  write_file_durable(snapshot_path(), w.data());
+  // The snapshot at generation_ + 1 is durable; from here on the old
+  // journal (stamped generation_) is stale and load() will discard it
+  // even if the unlink below never runs.
+  generation_ += 1;
+  if (fault_point("storage.journal.remove")) {
+    std::error_code ec;
+    std::filesystem::remove(journal_path(), ec);
+  }
+  fsync_parent_dir(journal_path(), "storage.journal.dir_sync");
   journal_records_ = 0;
 }
 

@@ -49,7 +49,11 @@ class Database {
   void clear_table(const std::string& table);
   void drop_table(const std::string& table);
 
-  /// Writes a fresh snapshot and truncates the journal.
+  /// Writes a fresh snapshot (crash-atomically: temp + fsync + rename +
+  /// parent-dir fsync) and removes the journal. The snapshot carries a
+  /// checkpoint generation; a crash between rename and journal removal
+  /// leaves a stale journal that load() detects by generation mismatch
+  /// and discards instead of double-replaying.
   void checkpoint();
 
   /// Number of journal records appended since open/checkpoint.
@@ -57,6 +61,17 @@ class Database {
 
   /// True if the last open() detected and discarded a corrupt journal tail.
   bool recovered_from_torn_journal() const { return torn_tail_; }
+
+  /// True if the last open() discarded a journal whose generation predates
+  /// the snapshot (crash inside checkpoint() after the snapshot rename).
+  bool discarded_stale_journal() const { return discarded_stale_journal_; }
+
+  /// Checkpoint generation of the current snapshot (0 before the first).
+  std::uint64_t generation() const { return generation_; }
+
+  /// True once a journal append has failed: in-memory state may be ahead
+  /// of disk, so all further mutations throw until the DB is reopened.
+  bool wedged() const { return wedged_; }
 
   /// Publishes <prefix>.* query counters: lookups (const table() reads),
   /// mutations (journaled writes), queries (both), and journal_appends.
@@ -78,6 +93,7 @@ class Database {
   Table& mutable_table(const std::string& name);
   void count_lookup() const;
   void count_mutation();
+  void check_writable() const;
   void load();
   void append_journal(const Bytes& payload);
   void apply_journal_record(BufReader& reader);
@@ -88,8 +104,11 @@ class Database {
   std::string path_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::size_t journal_records_ = 0;
+  std::uint64_t generation_ = 0;
   bool torn_tail_ = false;
+  bool discarded_stale_journal_ = false;
   bool loading_ = false;
+  bool wedged_ = false;
   // Cached handles into the registry (stable for the registry's lifetime);
   // null until set_metrics. Lookup counting happens in const reads, hence
   // plain pointers rather than a registry lookup per query.

@@ -1,6 +1,7 @@
 #include "websvc/client.h"
 
 #include "common/error.h"
+#include "resilience/retry.h"
 
 namespace amnesia::websvc {
 
@@ -56,8 +57,7 @@ void HttpClient::absorb_cookies(const Response& resp) {
   jar_[pair.substr(0, eq)] = pair.substr(eq + 1);
 }
 
-void HttpClient::send(Request req, ResponseCb cb) {
-  apply_cookies(req);
+void HttpClient::send_once(const Request& req, ResponseCb cb) {
   transport_(serialize(req), [this, cb = std::move(cb)](Result<Bytes> wire) {
     if (!wire.ok()) {
       cb(Result<Response>(wire.failure()));
@@ -74,6 +74,45 @@ void HttpClient::send(Request req, ResponseCb cb) {
     absorb_cookies(resp);
     cb(Result<Response>(std::move(resp)));
   });
+}
+
+void HttpClient::send(Request req, ResponseCb cb) {
+  apply_cookies(req);
+  if (!retry_ || !retry_exec_) {
+    send_once(req, std::move(cb));
+    return;
+  }
+  resilience::RetryOptions opts;
+  opts.backoff = retry_->backoff;
+  opts.seed = retry_->seed + ++retry_calls_;
+  if (retry_->deadline_us > 0) {
+    opts.deadline =
+        resilience::Deadline::after(retry_exec_->clock(), retry_->deadline_us);
+  }
+  opts.breaker = retry_->breaker;
+  opts.budget = retry_->budget;
+  opts.metrics = retry_->metrics;
+  opts.op_name = "http " + req.path;
+  const bool retry_on_503 = retry_->retry_on_503;
+  resilience::retry_async<Response>(
+      *retry_exec_, std::move(opts),
+      [this, retry_on_503, req = std::move(req)](
+          int /*attempt*/, resilience::Deadline /*deadline*/,
+          std::function<void(Result<Response>)> done) {
+        send_once(req, [retry_on_503, done = std::move(done),
+                        path = req.path](Result<Response> r) {
+          if (r.ok() && retry_on_503 && r.value().status == 503) {
+            // Surface the shed as a retryable failure so the loop backs
+            // off and tries again; if attempts run out the caller sees
+            // kUnavailable, which Browser::status_from maps identically.
+            done(Result<Response>(Err::kUnavailable,
+                                  "503 overloaded: " + path));
+            return;
+          }
+          done(std::move(r));
+        });
+      },
+      std::move(cb));
 }
 
 }  // namespace amnesia::websvc

@@ -8,11 +8,18 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "common/result.h"
+#include "net/executor.h"
+#include "resilience/policy.h"
 #include "simnet/node.h"
 #include "websvc/http.h"
+
+namespace amnesia::obs {
+class MetricsRegistry;
+}
 
 namespace amnesia::websvc {
 
@@ -25,12 +32,34 @@ using ByteTransport =
 ByteTransport plain_transport(simnet::Node& node, simnet::NodeId server,
                               Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
 
+/// Opt-in retry policy for HttpClient. Retries fire on kUnavailable
+/// transport failures and (optionally) on 503 responses — the server's
+/// load-shed signal. Enabling retries on a client that issues
+/// non-idempotent POSTs is the caller's judgement call: a retried request
+/// whose response was lost may be applied twice.
+struct HttpRetryConfig {
+  resilience::BackoffConfig backoff{};
+  std::uint64_t seed = 0;
+  resilience::CircuitBreaker* breaker = nullptr;  // caller-owned
+  resilience::RetryBudget* budget = nullptr;      // caller-owned
+  obs::MetricsRegistry* metrics = nullptr;
+  Micros deadline_us = 0;  // per-request overall budget; 0 = none
+  bool retry_on_503 = true;
+};
+
 class HttpClient {
  public:
   using ResponseCb = std::function<void(Result<Response>)>;
 
   explicit HttpClient(ByteTransport transport)
       : transport_(std::move(transport)) {}
+
+  /// Enables retries for subsequent requests; `executor` schedules the
+  /// backoff delays and must outlive the client.
+  void set_retry(net::Executor& executor, HttpRetryConfig config) {
+    retry_exec_ = &executor;
+    retry_ = std::move(config);
+  }
 
   void get(const std::string& path, ResponseCb cb) {
     get(path, {}, std::move(cb));
@@ -53,9 +82,13 @@ class HttpClient {
  private:
   void apply_cookies(Request& req) const;
   void absorb_cookies(const Response& resp);
+  void send_once(const Request& req, ResponseCb cb);
 
   ByteTransport transport_;
   std::map<std::string, std::string> jar_;
+  net::Executor* retry_exec_ = nullptr;
+  std::optional<HttpRetryConfig> retry_;
+  std::uint64_t retry_calls_ = 0;
 };
 
 }  // namespace amnesia::websvc

@@ -67,6 +67,23 @@ void HttpServer::handle_bytes(const Bytes& wire,
     }
   }
 
+  // Load shedding: reject rather than queue unboundedly. An early 503
+  // with Retry-After costs the client one cheap round instead of a worker
+  // queue slot held for seconds (graceful degradation under overload).
+  if (shed_max_queue_ > 0 && pool_.busy() >= pool_.workers() &&
+      pool_.queue_depth() >= shed_max_queue_) {
+    ++stats_.requests_shed;
+    count_status(503);
+    if (metrics_) {
+      metrics_->counter("resilience.requests_shed").inc();
+      metrics_->counter("http.responses_5xx").inc();
+    }
+    Response resp = Response::error(503, "server overloaded");
+    resp.headers["Retry-After"] = std::to_string(shed_retry_after_s_);
+    respond(serialize(resp));
+    return;
+  }
+
   const Micros arrived_at = exec_.clock().now_us();
   pool_.submit([this, arrived_at, req = std::move(req),
                 respond = std::move(respond)](

@@ -32,6 +32,7 @@ struct HttpServerStats {
   std::atomic<std::uint64_t> responses_4xx{0};
   std::atomic<std::uint64_t> responses_5xx{0};
   std::atomic<std::uint64_t> parse_errors{0};
+  std::atomic<std::uint64_t> requests_shed{0};
 };
 
 class HttpServer {
@@ -73,6 +74,16 @@ class HttpServer {
     metrics_exempt_.insert(pattern);
   }
 
+  /// Load shedding: when every worker is busy AND the pool's wait queue
+  /// already holds `max_queue_depth` jobs, further requests are rejected
+  /// immediately with 503 + Retry-After instead of queueing without
+  /// bound. 0 (the default) disables shedding. Shed requests count in
+  /// stats().requests_shed and the resilience.requests_shed metric.
+  void set_load_shed(std::size_t max_queue_depth, int retry_after_s = 1) {
+    shed_max_queue_ = max_queue_depth;
+    shed_retry_after_s_ = retry_after_s;
+  }
+
   /// Handles one serialized request; `respond` receives serialized
   /// response bytes. This is the entry point wired into a Node RPC handler
   /// or a secure-channel server.
@@ -91,6 +102,8 @@ class HttpServer {
   HttpServerStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::set<std::string> metrics_exempt_;
+  std::size_t shed_max_queue_ = 0;
+  int shed_retry_after_s_ = 1;
 };
 
 }  // namespace amnesia::websvc

@@ -9,12 +9,15 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <thread>
 
 #include "net/tcp.h"
 #include "obs/metrics.h"
+#include "resilience/fault.h"
 
 namespace amnesia::net {
 namespace {
@@ -281,6 +284,99 @@ TEST(TcpTransport, CrossThreadSendsViaPost) {
       30'000'000));
   EXPECT_EQ(received.load(), kTotal);
   EXPECT_EQ(echoed.load(), kTotal);
+}
+
+/// Echo pair on loopback with an already-verified clean round trip;
+/// fault-injection tests then arm syscall-level failures and push one
+/// more message through.
+struct EchoPair {
+  EventLoop loop;
+  TcpTransport server{loop, "127.0.0.1", 0};
+  std::unique_ptr<TcpTransport> dial;
+  StreamPtr client;
+  Bytes received;
+
+  EchoPair() {
+    server.listen([](StreamPtr stream) {
+      auto s = stream;
+      s->set_handlers({[s](ByteView chunk) { s->send(chunk); }, [] {}});
+    });
+    dial = std::make_unique<TcpTransport>(loop, "127.0.0.1",
+                                          server.local_port());
+    dial->connect([&](Result<StreamPtr> r) {
+      ASSERT_TRUE(r.ok()) << r.message();
+      client = r.value();
+      client->set_handlers(
+          {[this](ByteView chunk) { append(received, chunk); }, [] {}});
+      client->send(to_bytes("warmup"));
+    });
+    EXPECT_TRUE(
+        pump_until(loop, [&] { return received.size() >= 6; }, 5'000'000));
+    received.clear();
+  }
+};
+
+TEST(TcpTransport, InjectedEintrBurstsAreRetriedTransparently) {
+  // 16 consecutive EINTRs on read and another 16 on write — well inside
+  // the 64-retry bound — must be absorbed without dropping a byte or
+  // surfacing an error to either stream.
+  EchoPair p;
+  resilience::FaultInjector injector(7);
+  resilience::FaultRule read_rule;
+  read_rule.point = "net.tcp.read";
+  read_rule.err_no = EINTR;
+  read_rule.max_fires = 16;
+  injector.add_rule(read_rule);
+  resilience::FaultRule write_rule = read_rule;
+  write_rule.point = "net.tcp.write";
+  injector.add_rule(write_rule);
+  resilience::ScopedFaultInjector scoped(injector);
+
+  p.client->send(to_bytes("signal storm survivor"));
+  ASSERT_TRUE(pump_until(p.loop, [&] { return p.received.size() >= 21; },
+                         5'000'000));
+  EXPECT_EQ(to_string(p.received), "signal storm survivor");
+  EXPECT_GE(injector.fires().size(), 32u);
+}
+
+TEST(TcpTransport, EintrPastRetryBoundTearsDownCleanly) {
+  // An unbounded EINTR storm must not spin the loop forever: past the
+  // bound it is treated as a fatal errno and the connection is torn
+  // down, delivering on_close rather than hanging.
+  EchoPair p;
+  bool closed = false;
+  p.client->set_handlers({[](ByteView) {}, [&] { closed = true; }});
+
+  resilience::FaultInjector injector(8);
+  resilience::FaultRule storm;
+  storm.point = "net.tcp.read";
+  storm.err_no = EINTR;
+  injector.add_rule(storm);  // unlimited fires
+  resilience::ScopedFaultInjector scoped(injector);
+
+  p.client->send(to_bytes("x"));
+  ASSERT_TRUE(pump_until(p.loop, [&] { return closed; }, 5'000'000));
+}
+
+TEST(TcpTransport, InjectedConnectFailureIsReportedCleanly) {
+  EventLoop loop;
+  TcpTransport server(loop, "127.0.0.1", 0);
+  server.listen([](StreamPtr) {});
+
+  resilience::FaultInjector injector(9);
+  resilience::FaultRule refuse;
+  refuse.point = "net.tcp.connect";
+  refuse.err_no = ECONNREFUSED;
+  refuse.max_fires = 1;
+  injector.add_rule(refuse);
+  resilience::ScopedFaultInjector scoped(injector);
+
+  TcpTransport dial(loop, "127.0.0.1", server.local_port());
+  bool failed = false;
+  dial.connect([&](Result<StreamPtr> r) {
+    failed = !r.ok() && r.code() == Err::kUnavailable;
+  });
+  ASSERT_TRUE(pump_until(loop, [&] { return failed; }, 5'000'000));
 }
 
 }  // namespace

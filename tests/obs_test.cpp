@@ -11,6 +11,8 @@
 #include "common/clock.h"
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "resilience/fault.h"
+#include "resilience/policy.h"
 #include "testutil.h"
 
 namespace amnesia::obs {
@@ -239,6 +241,40 @@ TEST(ExporterTest, JsonContainsDerivedQuantiles) {
   ASSERT_GE(json.size(), 3u);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+}
+
+TEST(ExporterTest, ResilienceMetricsExportThroughTheRegistry) {
+  // The resilience layer publishes into whatever registry it is handed,
+  // so breaker transitions and injected faults ride the same text
+  // export (and therefore GET /metrics) as every other subsystem.
+  MetricsRegistry reg;
+
+  resilience::CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_us = 1000;
+  resilience::CircuitBreaker breaker("db", cfg);
+  breaker.set_metrics(&reg);
+  breaker.record_failure(/*now=*/0);  // threshold 1: opens immediately
+  EXPECT_FALSE(breaker.allow(/*now=*/10));
+
+  resilience::FaultInjector injector(/*seed=*/1);
+  injector.set_metrics(&reg);
+  resilience::FaultRule rule;
+  rule.point = "unit.test.point";
+  injector.add_rule(rule);
+  resilience::ScopedFaultInjector scoped(injector);
+  EXPECT_TRUE(resilience::fault_check("unit.test.point").has_value());
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("resilience.breaker.db.opened"), 1u);
+  EXPECT_EQ(snap.counters.at("resilience.faults_injected"), 1u);
+  ASSERT_TRUE(snap.gauges.contains("resilience.breaker.db.state"));
+
+  const std::string text = to_text(snap);
+  EXPECT_NE(text.find("resilience.breaker.db.opened"), std::string::npos);
+  EXPECT_NE(text.find("resilience.faults_injected"), std::string::npos);
+  // And the export parses back losslessly, like every other metric.
+  EXPECT_EQ(parse_text(text), snap);
 }
 
 }  // namespace

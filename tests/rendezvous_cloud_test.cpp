@@ -152,6 +152,138 @@ TEST(PushServiceTest, ConnectFollowsDeviceToNewNode) {
   EXPECT_EQ(new_inbox[0], "to-new");
 }
 
+/// Zero-delay, zero-loss profile: every message is delivered at the
+/// sending timestamp, which lets tests place a request at an exact
+/// virtual time (e.g. precisely the TTL expiry instant).
+simnet::LinkProfile instant_link() {
+  simnet::LinkProfile p;
+  p.name = "instant";
+  p.base_latency_ms = 0.0;
+  p.jitter_ms = 0.0;
+  p.min_latency_ms = 0.0;
+  p.bandwidth_mbps = 1e9;
+  return p;
+}
+
+struct InstantPushWorld : PushWorld {
+  InstantPushWorld() {
+    net.set_duplex_link("amnesia-server", "gcm", instant_link(),
+                        instant_link());
+    net.set_duplex_link("phone", "gcm", instant_link(), instant_link());
+    net.set_link("gcm", "phone", instant_link());
+  }
+};
+
+TEST(PushServiceTest, ReconnectExactlyAtTtlBoundaryFindsNothing) {
+  // Queue-entry expiry is expires_at <= now: an entry queued at t with
+  // TTL d is already gone for a connect processed at exactly t + d.
+  // run_until (not run) keeps virtual time pinned — plain run() would
+  // drain the RPCs' 10s no-op timeout events and overshoot the boundary.
+  InstantPushWorld w;
+  const std::string reg_id = w.register_phone();
+  w.net.set_online("phone", false);
+  const Micros t_push = w.sim.now();
+  w.server_client.push(reg_id, to_bytes("boundary"), ms_to_us(100),
+                       [](Status s) { EXPECT_TRUE(s.ok()); });
+  w.sim.run_until(t_push + 1);  // instant links: queued_at == t_push
+
+  const Micros boundary = t_push + ms_to_us(100);
+  w.sim.schedule_after(boundary - w.sim.now(), [&] {
+    w.net.set_online("phone", true);
+    w.phone_client.connect(reg_id, [](Status s) { EXPECT_TRUE(s.ok()); });
+  });
+  w.sim.run_until(boundary + 1);
+  EXPECT_TRUE(w.phone_inbox.empty());
+  EXPECT_EQ(w.service.stats().pushes_expired, 1u);
+}
+
+TEST(PushServiceTest, ReconnectJustInsideTtlDelivers) {
+  InstantPushWorld w;
+  const std::string reg_id = w.register_phone();
+  w.net.set_online("phone", false);
+  const Micros t_push = w.sim.now();
+  w.server_client.push(reg_id, to_bytes("fresh"), ms_to_us(100),
+                       [](Status s) { EXPECT_TRUE(s.ok()); });
+  w.sim.run_until(t_push + 1);
+
+  // One microsecond before expires_at: still deliverable.
+  const Micros just_inside = t_push + ms_to_us(100) - 1;
+  w.sim.schedule_after(just_inside - w.sim.now(), [&] {
+    w.net.set_online("phone", true);
+    w.phone_client.connect(reg_id, [](Status s) { EXPECT_TRUE(s.ok()); });
+  });
+  w.sim.run_until(just_inside + 1);
+  ASSERT_EQ(w.phone_inbox.size(), 1u);
+  EXPECT_EQ(w.phone_inbox[0], "fresh");
+  EXPECT_EQ(w.service.stats().pushes_expired, 0u);
+}
+
+TEST(PushServiceTest, QueuedPushesFlushInFifoOrderOnConnect) {
+  InstantPushWorld w;
+  const std::string reg_id = w.register_phone();
+  w.net.set_online("phone", false);
+  for (const char* p : {"first", "second", "third"}) {
+    w.server_client.push(reg_id, to_bytes(p), ms_to_us(60000),
+                         [](Status s) { EXPECT_TRUE(s.ok()); });
+    w.sim.run();
+  }
+  EXPECT_EQ(w.service.stats().pushes_queued, 3u);
+
+  w.net.set_online("phone", true);
+  w.phone_client.connect(reg_id, [](Status s) { EXPECT_TRUE(s.ok()); });
+  w.sim.run();
+  ASSERT_EQ(w.phone_inbox.size(), 3u);
+  EXPECT_EQ(w.phone_inbox[0], "first");
+  EXPECT_EQ(w.phone_inbox[1], "second");
+  EXPECT_EQ(w.phone_inbox[2], "third");
+}
+
+TEST(PushServiceTest, MixedTtlsExpireIndividuallyAndFlushInOrder) {
+  // Entries with different TTLs: the middle one expires while queued;
+  // the survivors still flush in their original order.
+  InstantPushWorld w;
+  const std::string reg_id = w.register_phone();
+  w.net.set_online("phone", false);
+  const Micros t_push = w.sim.now();
+  w.server_client.push(reg_id, to_bytes("keep-a"), ms_to_us(500),
+                       [](Status) {});
+  w.server_client.push(reg_id, to_bytes("drop"), ms_to_us(50), [](Status) {});
+  w.server_client.push(reg_id, to_bytes("keep-b"), ms_to_us(500),
+                       [](Status) {});
+  w.sim.run_until(t_push + 1);
+
+  const Micros reconnect_at = t_push + ms_to_us(100);
+  w.sim.schedule_after(reconnect_at - w.sim.now(), [&] {
+    w.net.set_online("phone", true);
+    w.phone_client.connect(reg_id, [](Status s) { EXPECT_TRUE(s.ok()); });
+  });
+  w.sim.run_until(reconnect_at + 1);
+  ASSERT_EQ(w.phone_inbox.size(), 2u);
+  EXPECT_EQ(w.phone_inbox[0], "keep-a");
+  EXPECT_EQ(w.phone_inbox[1], "keep-b");
+  EXPECT_EQ(w.service.stats().pushes_expired, 1u);
+}
+
+TEST(PushServiceTest, OverflowingQueueDropsOldestFirst) {
+  InstantPushWorld w;
+  w.service.set_max_queue_per_device(2);
+  const std::string reg_id = w.register_phone();
+  w.net.set_online("phone", false);
+  for (const char* p : {"oldest", "middle", "newest"}) {
+    w.server_client.push(reg_id, to_bytes(p), ms_to_us(60000),
+                         [](Status s) { EXPECT_TRUE(s.ok()); });
+    w.sim.run();
+  }
+  EXPECT_EQ(w.service.stats().pushes_dropped_overflow, 1u);
+
+  w.net.set_online("phone", true);
+  w.phone_client.connect(reg_id, [](Status s) { EXPECT_TRUE(s.ok()); });
+  w.sim.run();
+  ASSERT_EQ(w.phone_inbox.size(), 2u);
+  EXPECT_EQ(w.phone_inbox[0], "middle");
+  EXPECT_EQ(w.phone_inbox[1], "newest");
+}
+
 TEST(PushServiceTest, EavesdropperSeesPushPayload) {
   // Paper section IV-B: the rendezvous path is observable; R's sigma
   // component is what makes that acceptable. Here we only assert the

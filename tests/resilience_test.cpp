@@ -1,0 +1,431 @@
+// Resilience policy layer: backoff, deadlines, retry budget, circuit
+// breaker, the async retry loop, and the fault injector.
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "resilience/fault.h"
+#include "resilience/policy.h"
+#include "resilience/retry.h"
+#include "simnet/sim.h"
+
+namespace amnesia::resilience {
+namespace {
+
+// ---------------------------------------------------------------- Backoff
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+  BackoffConfig config;
+  config.initial_us = 1000;
+  config.multiplier = 2.0;
+  config.max_us = 5000;
+  config.jitter = 0.0;  // deterministic schedule for exact comparison
+  Backoff backoff(config, /*seed=*/1);
+  EXPECT_EQ(backoff.next_delay(), 1000);
+  EXPECT_EQ(backoff.next_delay(), 2000);
+  EXPECT_EQ(backoff.next_delay(), 4000);
+  EXPECT_EQ(backoff.next_delay(), 5000);  // capped
+  EXPECT_EQ(backoff.next_delay(), 5000);
+  EXPECT_EQ(backoff.retries(), 5);
+}
+
+TEST(Backoff, JitterStaysWithinBandAndIsSeedDeterministic) {
+  BackoffConfig config;
+  config.initial_us = 100'000;
+  config.jitter = 0.2;
+  Backoff a(config, 42), b(config, 42), c(config, 43);
+  bool diverged = false;
+  for (int i = 0; i < 8; ++i) {
+    const Micros da = a.next_delay();
+    EXPECT_EQ(da, b.next_delay());  // same seed, same schedule
+    if (da != c.next_delay()) diverged = true;
+    // First delay must land in initial * [1 - jitter, 1 + jitter].
+    if (i == 0) {
+      EXPECT_GE(da, 80'000);
+      EXPECT_LE(da, 120'000);
+    }
+  }
+  EXPECT_TRUE(diverged);  // different seed, different schedule
+}
+
+// --------------------------------------------------------------- Deadline
+
+TEST(Deadline, DefaultIsUnbounded) {
+  Deadline d;
+  EXPECT_TRUE(d.unbounded());
+  EXPECT_FALSE(d.expired(std::numeric_limits<Micros>::max() - 1));
+  EXPECT_EQ(d.clamp(1234, 0), 1234);
+}
+
+TEST(Deadline, ExpiryAndPropagationClamp) {
+  simnet::Simulation sim(1);
+  sim.run_until(1'000'000);
+  const Deadline d = Deadline::after(sim.clock(), 500'000);
+  EXPECT_FALSE(d.expired(1'400'000));
+  EXPECT_TRUE(d.expired(1'500'000));
+  EXPECT_EQ(d.remaining(1'200'000), 300'000);
+  EXPECT_EQ(d.remaining(2'000'000), 0);
+  // A sub-call wanting 10 s gets only what is left of the budget.
+  EXPECT_EQ(d.clamp(10'000'000, 1'200'000), 300'000);
+  EXPECT_EQ(d.clamp(100'000, 1'200'000), 100'000);
+}
+
+// ------------------------------------------------------------ RetryBudget
+
+TEST(RetryBudget, DebitsWholeTokensCreditsFractions) {
+  RetryBudget budget(/*max_tokens=*/2.0, /*per_success=*/0.5);
+  EXPECT_TRUE(budget.try_debit());
+  EXPECT_TRUE(budget.try_debit());
+  EXPECT_FALSE(budget.try_debit());  // dry
+  budget.credit();
+  EXPECT_FALSE(budget.try_debit());  // 0.5 < 1 token
+  budget.credit();
+  EXPECT_TRUE(budget.try_debit());
+  // Credits never exceed the cap.
+  for (int i = 0; i < 100; ++i) budget.credit();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+}
+
+// --------------------------------------------------------- CircuitBreaker
+
+CircuitBreaker::Config fast_breaker() {
+  CircuitBreaker::Config config;
+  config.failure_threshold = 3;
+  config.open_cooldown_us = 1'000'000;
+  config.half_open_successes = 2;
+  return config;
+}
+
+TEST(CircuitBreaker, OpensAtThresholdAndFailsFast) {
+  CircuitBreaker breaker("test", fast_breaker());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_failure(0);
+  breaker.record_failure(0);
+  EXPECT_TRUE(breaker.allow(0));  // still closed below threshold
+  breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(500'000));  // cooldown not elapsed
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOrReopens) {
+  CircuitBreaker breaker("test", fast_breaker());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Cooldown elapsed: the next allow() half-opens.
+  EXPECT_TRUE(breaker.allow(1'000'000));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // A probe failure goes straight back to open.
+  breaker.record_failure(1'000'001);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Next cooldown: two probe successes (config) close it.
+  EXPECT_TRUE(breaker.allow(2'100'000));
+  breaker.record_success(2'100'001);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.record_success(2'100'002);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, SuccessResetsFailureStreak) {
+  CircuitBreaker breaker("test", fast_breaker());
+  breaker.record_failure(0);
+  breaker.record_failure(0);
+  breaker.record_success(0);
+  breaker.record_failure(0);
+  breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, ExportsTransitionMetricsAndStateGauge) {
+  obs::MetricsRegistry metrics;
+  CircuitBreaker breaker("gcm", fast_breaker());
+  breaker.set_metrics(&metrics);
+  std::vector<CircuitBreaker::State> seen;
+  breaker.on_state_change([&](CircuitBreaker::State s) { seen.push_back(s); });
+
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+  EXPECT_EQ(metrics.counter("resilience.breaker.gcm.opened").value(), 1u);
+  EXPECT_EQ(metrics.gauge("resilience.breaker.gcm.state").value(), 1);
+  EXPECT_TRUE(breaker.allow(1'000'000));
+  EXPECT_EQ(metrics.counter("resilience.breaker.gcm.half_opened").value(), 1u);
+  breaker.record_success(1'000'001);
+  breaker.record_success(1'000'002);
+  EXPECT_EQ(metrics.counter("resilience.breaker.gcm.closed").value(), 1u);
+  EXPECT_EQ(metrics.gauge("resilience.breaker.gcm.state").value(), 0);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], CircuitBreaker::State::kOpen);
+  EXPECT_EQ(seen[1], CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(seen[2], CircuitBreaker::State::kClosed);
+}
+
+// ------------------------------------------------------------ retry_async
+
+/// An op that fails with kUnavailable `failures` times, then succeeds.
+struct FlakyOp {
+  int failures;
+  int calls = 0;
+  void operator()(int /*attempt*/, Deadline,
+                  std::function<void(Result<int>)> done) {
+    ++calls;
+    if (calls <= failures) {
+      done(Result<int>(Err::kUnavailable, "transient"));
+    } else {
+      done(Result<int>(7));
+    }
+  }
+};
+
+RetryOptions fast_retry() {
+  RetryOptions options;
+  options.backoff.initial_us = 10'000;
+  options.backoff.jitter = 0.0;
+  options.backoff.max_attempts = 4;
+  options.seed = 1;
+  return options;
+}
+
+TEST(RetryAsync, RetriesTransientFailuresUntilSuccess) {
+  simnet::Simulation sim(1);
+  auto op = std::make_shared<FlakyOp>(FlakyOp{2});
+  std::optional<Result<int>> result;
+  retry_async<int>(
+      sim, fast_retry(),
+      [op](int a, Deadline d, std::function<void(Result<int>)> done) {
+        (*op)(a, d, std::move(done));
+      },
+      [&](Result<int> r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result && result->ok());
+  EXPECT_EQ(result->value(), 7);
+  EXPECT_EQ(op->calls, 3);
+  // Retries happened after backoff delays, in virtual time.
+  EXPECT_GE(sim.now(), 10'000 + 20'000);
+}
+
+TEST(RetryAsync, GivesUpAfterMaxAttempts) {
+  simnet::Simulation sim(1);
+  obs::MetricsRegistry metrics;
+  auto options = fast_retry();
+  options.metrics = &metrics;
+  auto op = std::make_shared<FlakyOp>(FlakyOp{100});
+  std::optional<Result<int>> result;
+  retry_async<int>(
+      sim, options,
+      [op](int a, Deadline d, std::function<void(Result<int>)> done) {
+        (*op)(a, d, std::move(done));
+      },
+      [&](Result<int> r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result && !result->ok());
+  EXPECT_EQ(op->calls, 4);  // max_attempts total tries
+  EXPECT_EQ(metrics.counter("resilience.retries").value(), 3u);
+  EXPECT_EQ(metrics.counter("resilience.retry_giveups").value(), 1u);
+}
+
+TEST(RetryAsync, NonRetryableFailureIsImmediate) {
+  simnet::Simulation sim(1);
+  RetryBudget budget;
+  auto options = fast_retry();
+  options.budget = &budget;
+  const double tokens_before = budget.tokens();
+  int calls = 0;
+  std::optional<Result<int>> result;
+  retry_async<int>(
+      sim, options,
+      [&](int, Deadline, std::function<void(Result<int>)> done) {
+        ++calls;
+        done(Result<int>(Err::kAuthFailed, "wrong password"));
+      },
+      [&](Result<int> r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result && !result->ok());
+  EXPECT_EQ(result->code(), Err::kAuthFailed);
+  EXPECT_EQ(calls, 1);
+  // A non-retryable failure must not drain the shared retry budget.
+  EXPECT_DOUBLE_EQ(budget.tokens(), tokens_before);
+}
+
+TEST(RetryAsync, DeadlineBoundsTheWholeLoop) {
+  simnet::Simulation sim(1);
+  auto options = fast_retry();
+  options.backoff.initial_us = 300'000;
+  options.deadline = Deadline::after(sim.clock(), 400'000);
+  auto op = std::make_shared<FlakyOp>(FlakyOp{100});
+  std::optional<Result<int>> result;
+  retry_async<int>(
+      sim, options,
+      [op](int a, Deadline d, std::function<void(Result<int>)> done) {
+        (*op)(a, d, std::move(done));
+      },
+      [&](Result<int> r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result && !result->ok());
+  // One try plus at most one 300 ms backoff fits the 400 ms budget; the
+  // loop must stop without burning all four attempts.
+  EXPECT_LE(op->calls, 2);
+  EXPECT_LE(sim.now(), 400'000);
+}
+
+TEST(RetryAsync, PropagatesClampedDeadlineToTheOperation) {
+  simnet::Simulation sim(1);
+  auto options = fast_retry();
+  options.deadline = Deadline::after(sim.clock(), 2'000'000);
+  Micros seen_remaining = 0;
+  retry_async<int>(
+      sim, options,
+      [&](int, Deadline d, std::function<void(Result<int>)> done) {
+        seen_remaining = d.remaining(sim.clock().now_us());
+        done(Result<int>(1));
+      },
+      [](Result<int>) {});
+  sim.run();
+  EXPECT_EQ(seen_remaining, 2'000'000);
+}
+
+TEST(RetryAsync, OpenBreakerShortCircuitsBeforeTheFirstAttempt) {
+  simnet::Simulation sim(1);
+  obs::MetricsRegistry metrics;
+  CircuitBreaker breaker("dep", fast_breaker());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+  auto options = fast_retry();
+  options.breaker = &breaker;
+  options.metrics = &metrics;
+  int calls = 0;
+  std::optional<Result<int>> result;
+  retry_async<int>(
+      sim, options,
+      [&](int, Deadline, std::function<void(Result<int>)> done) {
+        ++calls;
+        done(Result<int>(1));
+      },
+      [&](Result<int> r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result && !result->ok());
+  EXPECT_EQ(result->code(), Err::kUnavailable);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(metrics.counter("resilience.breaker_short_circuits").value(), 1u);
+}
+
+TEST(RetryAsync, ExhaustedBudgetDegradesToSingleAttempt) {
+  simnet::Simulation sim(1);
+  RetryBudget budget(/*max_tokens=*/1.0, /*per_success=*/0.1);
+  ASSERT_TRUE(budget.try_debit());  // drain it
+  auto options = fast_retry();
+  options.budget = &budget;
+  auto op = std::make_shared<FlakyOp>(FlakyOp{100});
+  std::optional<Result<int>> result;
+  retry_async<int>(
+      sim, options,
+      [op](int a, Deadline d, std::function<void(Result<int>)> done) {
+        (*op)(a, d, std::move(done));
+      },
+      [&](Result<int> r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result && !result->ok());
+  EXPECT_EQ(op->calls, 1);
+}
+
+// ---------------------------------------------------------- FaultInjector
+
+TEST(FaultInjector, NoInjectorMeansNoFaults) {
+  ASSERT_EQ(active_fault_injector(), nullptr);
+  EXPECT_FALSE(fault_check("storage.journal.append"));
+}
+
+TEST(FaultInjector, ExactAndPrefixMatching) {
+  FaultInjector injector(1);
+  ScopedFaultInjector scoped(injector);
+  injector.add_rule(FaultRule{.point = "net.tcp.read", .err_no = 11});
+  injector.add_rule(FaultRule{.point = "storage.*", .kind = FaultKind::kCrash});
+
+  EXPECT_FALSE(fault_check("net.tcp.write"));
+  const auto read_fault = fault_check("net.tcp.read");
+  ASSERT_TRUE(read_fault);
+  EXPECT_EQ(read_fault->kind, FaultKind::kError);
+  EXPECT_EQ(read_fault->err_no, 11);
+  const auto storage_fault = fault_check("storage.snapshot.rename");
+  ASSERT_TRUE(storage_fault);
+  EXPECT_EQ(storage_fault->kind, FaultKind::kCrash);
+}
+
+TEST(FaultInjector, AfterHitsAndMaxFiresWindow) {
+  FaultInjector injector(1);
+  ScopedFaultInjector scoped(injector);
+  // A flap: fire on the 3rd and 4th matching hits only.
+  injector.add_rule(FaultRule{.point = "simnet.link.a->b",
+                              .after_hits = 2,
+                              .max_fires = 2,
+                              .kind = FaultKind::kDrop});
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fault_check("simnet.link.a->b")) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(injector.fire_count(), 2u);
+  EXPECT_EQ(injector.hits(), 10u);
+}
+
+TEST(FaultInjector, ProbabilisticScheduleReplaysFromSeed) {
+  const auto run_schedule = [](std::uint64_t seed) {
+    FaultInjector injector(seed);
+    ScopedFaultInjector scoped(injector);
+    injector.add_rule(FaultRule{.point = "net.tcp.*", .probability = 0.3});
+    std::vector<std::uint64_t> fired_at;
+    for (int i = 0; i < 200; ++i) {
+      if (fault_check(i % 2 ? "net.tcp.read" : "net.tcp.write")) {
+        fired_at.push_back(static_cast<std::uint64_t>(i));
+      }
+    }
+    return fired_at;
+  };
+  const auto a = run_schedule(99);
+  const auto b = run_schedule(99);
+  const auto c = run_schedule(100);
+  EXPECT_EQ(a, b);            // same seed: identical schedule
+  EXPECT_NE(a, c);            // different seed: different schedule
+  EXPECT_GT(a.size(), 20u);   // ~30% of 200
+  EXPECT_LT(a.size(), 100u);
+}
+
+TEST(FaultInjector, FireLogRecordsTheSchedule) {
+  FaultInjector injector(1);
+  ScopedFaultInjector scoped(injector);
+  injector.add_rule(FaultRule{.point = "x", .kind = FaultKind::kShortWrite,
+                              .limit = 3});
+  (void)fault_check("y");
+  (void)fault_check("x");
+  const auto fires = injector.fires();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0].point, "x");
+  EXPECT_EQ(fires[0].kind, FaultKind::kShortWrite);
+  EXPECT_EQ(fires[0].hit_index, 1u);
+}
+
+TEST(FaultInjector, CountsInjectedFaultsInMetrics) {
+  obs::MetricsRegistry metrics;
+  FaultInjector injector(1);
+  injector.set_metrics(&metrics);
+  ScopedFaultInjector scoped(injector);
+  injector.add_rule(FaultRule{.point = "x"});
+  (void)fault_check("x");
+  (void)fault_check("x");
+  EXPECT_EQ(metrics.counter("resilience.faults_injected").value(), 2u);
+}
+
+TEST(FaultInjector, ScopedInstallRestoresPrevious) {
+  FaultInjector outer(1), inner(2);
+  {
+    ScopedFaultInjector a(outer);
+    EXPECT_EQ(active_fault_injector(), &outer);
+    {
+      ScopedFaultInjector b(inner);
+      EXPECT_EQ(active_fault_injector(), &inner);
+    }
+    EXPECT_EQ(active_fault_injector(), &outer);
+  }
+  EXPECT_EQ(active_fault_injector(), nullptr);
+}
+
+}  // namespace
+}  // namespace amnesia::resilience

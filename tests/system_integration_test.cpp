@@ -481,5 +481,43 @@ TEST(SystemIntegration, LatencyIsRecordedPerGeneration) {
   }
 }
 
+TEST(SystemIntegration, MetricsEndpointExportsResilienceCounters) {
+  // Trip the rendezvous breaker (outage + low threshold), then confirm
+  // the resilience.* series ride the same GET /metrics document as the
+  // rest of the observability layer.
+  TestbedConfig config;
+  config.seed = 95;
+  config.server.push_rpc_timeout_us = ms_to_us(1000);
+  config.server.rendezvous_breaker.failure_threshold = 2;
+  config.phone.poll_interval_us = ms_to_us(400);
+  Testbed bed(config);
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+
+  bed.net().set_online("gcm", false);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+  }
+
+  websvc::Request req;
+  req.method = websvc::Method::kGet;
+  req.path = "/metrics";
+  std::string body;
+  bed.server().http().handle_bytes(
+      websvc::serialize(req), [&](Bytes wire) {
+        const auto resp = websvc::parse_response(wire);
+        ASSERT_EQ(resp.status, 200);
+        body = resp.body;
+      });
+  ASSERT_FALSE(body.empty());
+
+  const obs::Snapshot served = obs::parse_text(body);
+  EXPECT_GE(served.counters.at("resilience.breaker.rendezvous.opened"), 1u);
+  EXPECT_GE(served.counters.at("server.push_failures"), 1u);
+  EXPECT_GE(served.counters.at("server.poll_enqueued"), 3u);
+  EXPECT_GE(served.counters.at("server.poll_delivered"), 3u);
+  ASSERT_TRUE(served.gauges.contains("resilience.breaker.rendezvous.state"));
+}
+
 }  // namespace
 }  // namespace amnesia::eval

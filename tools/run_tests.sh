@@ -9,6 +9,16 @@
 #   tools/run_tests.sh plain      # plain pass only
 #   tools/run_tests.sh sanitize   # ASan+UBSan pass only
 #   tools/run_tests.sh tsan       # TSan pass (net tests) only
+#   tools/run_tests.sh faults     # fault-injection/torture pass
+#
+# The faults pass runs the resilience suites (seeded fault injection,
+# storage crash-schedule torture, degraded-mode end-to-end) plain and
+# under ASan+UBSan, with the torture sweep cranked up. Scale it with
+# AMNESIA_TORTURE_ITERS=<n>; a torture failure prints the failing
+# iteration's seed — replay exactly that schedule with
+# AMNESIA_TORTURE_SEED=<seed>. All fault suites use fixed seeds, so
+# every pass is deterministic; the regular plain/sanitize/tsan passes
+# already include them at the tier-1 default of 1000 iterations.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -40,8 +50,14 @@ run_pass() {
 
 # The TSan pass covers the binaries that exercise threads against the
 # epoll loop: EventLoop::post from foreign threads, the HttpServer worker
-# pool over TcpTransport, and the securechan framing used on both.
+# pool over TcpTransport, and the securechan framing used on both. The
+# net tests include the injected-EINTR/connect-failure cases, so syscall
+# fault paths run under TSan too.
 tsan_filter='net_|securechan_stream'
+
+# Everything driven by resilience::FaultInjector plus the degraded-mode
+# end-to-end suites.
+fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test'
 
 case "$mode" in
 plain)
@@ -53,13 +69,20 @@ sanitize)
 tsan)
     run_pass build-tsan "$tsan_filter" -DAMNESIA_SANITIZE=thread
     ;;
+faults)
+    AMNESIA_TORTURE_ITERS=${AMNESIA_TORTURE_ITERS:-5000}
+    export AMNESIA_TORTURE_ITERS
+    echo "== fault pass (AMNESIA_TORTURE_ITERS=$AMNESIA_TORTURE_ITERS)"
+    run_pass build "$fault_filter"
+    run_pass build-san "$fault_filter" -DAMNESIA_SANITIZE=address,undefined
+    ;;
 all)
     run_pass build ""
     run_pass build-san "" -DAMNESIA_SANITIZE=address,undefined
     run_pass build-tsan "$tsan_filter" -DAMNESIA_SANITIZE=thread
     ;;
 *)
-    echo "usage: $0 [plain|sanitize|tsan|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|faults|all]" >&2
     exit 2
     ;;
 esac
