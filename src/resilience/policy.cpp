@@ -34,11 +34,29 @@ bool CircuitBreaker::allow(Micros now) {
     case State::kOpen:
       if (now - opened_at_ >= config_.open_cooldown_us) {
         transition(State::kHalfOpen);
+        half_open_inflight_ = 1;
+        last_probe_at_ = now;
         return true;
       }
       return false;
     case State::kHalfOpen:
-      return true;
+      // Hand out at most half_open_successes concurrent probe slots; a
+      // burst of callers arriving together must not all pass as "probes"
+      // and hammer a barely-recovered service before any result lands.
+      if (half_open_inflight_ < config_.half_open_successes) {
+        ++half_open_inflight_;
+        last_probe_at_ = now;
+        return true;
+      }
+      // Safety valve: a probe whose outcome is never recorded (caller
+      // dropped the call, non-retryable failure path) must not wedge the
+      // breaker half-open forever — after another cooldown with no
+      // outcome, hand out a fresh probe.
+      if (now - last_probe_at_ >= config_.open_cooldown_us) {
+        last_probe_at_ = now;
+        return true;
+      }
+      return false;
   }
   return true;
 }
@@ -49,6 +67,7 @@ void CircuitBreaker::record_success(Micros) {
       consecutive_failures_ = 0;
       break;
     case State::kHalfOpen:
+      if (half_open_inflight_ > 0) --half_open_inflight_;
       if (++half_open_successes_ >= config_.half_open_successes) {
         transition(State::kClosed);
       }
@@ -97,6 +116,7 @@ void CircuitBreaker::transition(State next) {
   state_ = next;
   consecutive_failures_ = 0;
   half_open_successes_ = 0;
+  half_open_inflight_ = 0;
   switch (next) {
     case State::kOpen:
       if (opened_) opened_->inc();

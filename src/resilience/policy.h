@@ -140,8 +140,11 @@ class RetryBudget {
 /// Three-state circuit breaker. Closed passes calls and counts consecutive
 /// failures; at the threshold it opens and fails fast for a cooldown; the
 /// first `allow()` after the cooldown half-opens, letting probe calls
-/// through — a success closes it, a failure re-opens it. All transitions
-/// are exported as resilience.breaker.<name>.* metrics when wired.
+/// through — a success closes it, a failure re-opens it. Half-open admits
+/// at most `half_open_successes` concurrent probes, so a burst of callers
+/// hitting a barely-recovered service is shed, not forwarded. All
+/// transitions are exported as resilience.breaker.<name>.* metrics when
+/// wired.
 class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
@@ -190,7 +193,9 @@ class CircuitBreaker {
   State state_ = State::kClosed;
   int consecutive_failures_ = 0;
   int half_open_successes_ = 0;
+  int half_open_inflight_ = 0;
   Micros opened_at_ = 0;
+  Micros last_probe_at_ = 0;
   std::function<void(State)> on_change_;
   obs::Counter* opened_ = nullptr;
   obs::Counter* half_opened_ = nullptr;

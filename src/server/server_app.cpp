@@ -437,6 +437,20 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
 
   pending_passwords_.emplace(request_id, std::move(pending));
 
+  // The 504 backstop is armed before any transport branch: a parked
+  // payload that no phone ever polls (push-only config, phone offline for
+  // good) must still resolve the browser request instead of hanging it
+  // and leaking the pending round.
+  sim_.schedule_after(config_.phone_wait_timeout_us, [this, request_id] {
+    const auto it = pending_passwords_.find(request_id);
+    if (it == pending_passwords_.end()) return;
+    ++stats_.requests_timed_out;
+    metrics_.counter("server.requests_timed_out").inc();
+    finish_round_spans(it->second);
+    it->second.respond(Response::error(504, "phone did not respond"));
+    pending_passwords_.erase(it);
+  });
+
   if (!push_allowed) {
     enqueue_poll(registration_id, push_msg.encode());
     return;
@@ -466,16 +480,6 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
         }
       },
       push_timeout);
-
-  sim_.schedule_after(config_.phone_wait_timeout_us, [this, request_id] {
-    const auto it = pending_passwords_.find(request_id);
-    if (it == pending_passwords_.end()) return;
-    ++stats_.requests_timed_out;
-    metrics_.counter("server.requests_timed_out").inc();
-    finish_round_spans(it->second);
-    it->second.respond(Response::error(504, "phone did not respond"));
-    pending_passwords_.erase(it);
-  });
 }
 
 void AmnesiaServer::enqueue_poll(const std::string& registration_id,
@@ -500,14 +504,22 @@ void AmnesiaServer::handle_push_poll(const Request& req,
   std::ostringstream body;
   const auto it = poll_queues_.find(*reg_id);
   if (it != poll_queues_.end()) {
+    auto& queue = it->second;
     const Micros now = sim_.now();
-    for (auto& entry : it->second) {
-      if (entry.expires_at <= now) continue;
+    while (!queue.empty() && queue.front().expires_at <= now) {
+      queue.pop_front();
+    }
+    for (const auto& entry : queue) {
       body << base64_encode(entry.payload) << '\n';
       ++stats_.poll_delivered;
       metrics_.counter("server.poll_delivered").inc();
     }
-    poll_queues_.erase(it);
+    // Entries stay parked until TTL expiry rather than being deleted on
+    // first delivery: this poll response may be lost to the same flaky
+    // network the fallback exists for, and the phone dedups re-deliveries
+    // by request id — at-least-once within the TTL window, never
+    // at-most-once.
+    if (queue.empty()) poll_queues_.erase(it);
   }
   respond(Response::ok_text(body.str()));
 }

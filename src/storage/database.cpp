@@ -22,8 +22,13 @@ namespace {
 // checkpoint() cannot close by ordering alone — snapshot renamed into
 // place but the old journal not yet unlinked — and discard the stale
 // journal instead of double-replaying it onto the new snapshot.
+//
+// v1 files (no generation stamp) are still readable: load() treats them
+// as generation 0, and the next checkpoint rewrites everything in v2.
 constexpr char kSnapshotMagic[] = "AMDB-SNAP-2";
 constexpr char kJournalMagic[] = "AMDB-JRNL-2";
+constexpr std::size_t kMagicLen = sizeof(kSnapshotMagic) - 1;
+static_assert(sizeof(kJournalMagic) - 1 == kMagicLen);
 
 [[noreturn]] void throw_errno(const std::string& what, int err) {
   throw StorageError(what + ": " + std::strerror(err));
@@ -109,6 +114,20 @@ void fsync_parent_dir(const std::string& path, const char* point) {
   Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
   if (fd.fd < 0) throw_errno("open dir " + dir.string(), errno);
   if (::fsync(fd.fd) != 0) throw_errno("fsync dir " + dir.string(), errno);
+}
+
+/// Consumes an 11-byte magic from `r` and returns its format version
+/// (1 or 2), or 0 if the bytes do not match `v2_magic` up to the trailing
+/// version digit. The caller must have checked r.remaining() >= kMagicLen.
+int read_magic_version(BufReader& r, const char* v2_magic) {
+  for (std::size_t i = 0; i + 1 < kMagicLen; ++i) {
+    if (r.u8() != static_cast<std::uint8_t>(v2_magic[i])) return 0;
+  }
+  switch (r.u8()) {
+    case '1': return 1;
+    case '2': return 2;
+    default: return 0;
+  }
 }
 
 std::optional<Bytes> read_file(const std::string& path) {
@@ -407,12 +426,14 @@ void Database::load() {
   // 1. Snapshot.
   if (const auto snap = read_file(snapshot_path())) {
     BufReader r(*snap);
-    for (std::size_t i = 0; i < sizeof(kSnapshotMagic) - 1; ++i) {
-      if (r.u8() != static_cast<std::uint8_t>(kSnapshotMagic[i])) {
-        throw StorageError("bad snapshot magic in " + snapshot_path());
-      }
+    const int ver =
+        r.remaining() >= kMagicLen ? read_magic_version(r, kSnapshotMagic) : 0;
+    if (ver == 0) {
+      throw StorageError("bad snapshot magic in " + snapshot_path());
     }
-    generation_ = r.u64();
+    // v1 snapshots carry no generation stamp; 0 matches a v1 journal's
+    // implicit generation, so the pair replays exactly as before.
+    generation_ = ver == 2 ? r.u64() : 0;
     const std::uint32_t table_count = r.u32();
     for (std::uint32_t t = 0; t < table_count; ++t) {
       const std::string name = r.str();
@@ -424,25 +445,27 @@ void Database::load() {
   // 2. Journal replay, tolerating a torn tail and a stale (pre-checkpoint)
   // journal left behind by a crash between snapshot rename and journal
   // unlink.
-  if (const auto jrnl = read_file(journal_path())) {
+  if (const auto jrnl = read_file(journal_path()); jrnl && !jrnl->empty()) {
     BufReader r(*jrnl);
-    constexpr std::size_t kHeaderSize = sizeof(kJournalMagic) - 1 + 8;
-    bool magic_ok = r.remaining() >= kHeaderSize;
-    if (magic_ok) {
-      for (std::size_t i = 0; i < sizeof(kJournalMagic) - 1; ++i) {
-        if (r.u8() != static_cast<std::uint8_t>(kJournalMagic[i])) {
-          magic_ok = false;
-          break;
-        }
+    const int ver =
+        r.remaining() >= kMagicLen ? read_magic_version(r, kJournalMagic) : 0;
+    // A v1 journal has no generation stamp; 0 is what a v1 snapshot (or
+    // no snapshot at all) leaves in generation_, so the pair still pairs.
+    std::uint64_t journal_gen = 0;
+    bool header_ok = ver != 0;
+    if (ver == 2) {
+      if (r.remaining() >= 8) {
+        journal_gen = r.u64();
+      } else {
+        header_ok = false;
       }
     }
-    if (!magic_ok) {
+    if (!header_ok) {
       torn_tail_ = true;
       AMNESIA_WARN("storage") << path_ << ": journal magic corrupt; ignored";
       std::error_code ec;
       std::filesystem::remove(journal_path(), ec);
-    } else if (const std::uint64_t journal_gen = r.u64();
-               journal_gen != generation_) {
+    } else if (journal_gen != generation_) {
       // The stale journal's records are already folded into the snapshot;
       // replaying them would duplicate mutations (and throw on duplicate
       // inserts). Discard it.
@@ -508,9 +531,43 @@ void Database::checkpoint() {
   // journal (stamped generation_) is stale and load() will discard it
   // even if the unlink below never runs.
   generation_ += 1;
-  if (fault_point("storage.journal.remove")) {
+  // If the process keeps running after a failed unlink, the stale journal
+  // must not stay non-empty: append_journal() would see fresh=false and
+  // extend it under the old-generation header, and the next load() would
+  // then discard every post-checkpoint mutation as stale.
+  bool cleared = false;
+  std::string clear_err;
+  try {
+    if (fault_point("storage.journal.remove")) {
+      std::error_code ec;
+      std::filesystem::remove(journal_path(), ec);
+      if (ec) {
+        clear_err = ec.message();
+      } else {
+        cleared = true;
+      }
+    } else {
+      clear_err = "unlink dropped by fault injection";
+    }
+  } catch (const resilience::CrashInjected&) {
+    throw;  // injected crash = the process dies here; load() recovers
+  } catch (const StorageError& e) {
+    clear_err = e.what();
+  }
+  if (!cleared) {
+    // Truncating to empty is equivalent to removal for recovery: the next
+    // append writes a fresh header at the new generation. If even that
+    // fails with the file still present, wedge like the append path does
+    // rather than silently lose future mutations.
     std::error_code ec;
-    std::filesystem::remove(journal_path(), ec);
+    std::filesystem::resize_file(journal_path(), 0, ec);
+    if (ec && std::filesystem::exists(journal_path())) {
+      wedged_ = true;
+      throw StorageError("checkpoint: stale journal " + journal_path() +
+                         " could not be removed (" + clear_err +
+                         ") or truncated (" + ec.message() +
+                         "); refusing further writes");
+    }
   }
   fsync_parent_dir(journal_path(), "storage.journal.dir_sync");
   journal_records_ = 0;

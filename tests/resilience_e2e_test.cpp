@@ -112,5 +112,74 @@ TEST(ResilienceE2E, BreakerOpensUnderSustainedOutageThenRecovers) {
             bed.server().stats().passwords_generated);
 }
 
+TEST(ResilienceE2E, BreakerOpenWithPushOnlyPhoneStillTimesOutCleanly) {
+  // A push-only phone (poll_interval_us = 0, the default) never drains
+  // the poll queue. With the rendezvous breaker open the request is
+  // parked there anyway — the browser must still get its phone-wait 504
+  // instead of hanging forever on a payload nobody will ever fetch.
+  TestbedConfig config;
+  config.seed = 93;
+  config.server.push_rpc_timeout_us = ms_to_us(500);
+  config.server.phone_wait_timeout_us = ms_to_us(3000);
+  config.server.rendezvous_breaker.failure_threshold = 2;
+  config.server.rendezvous_breaker.open_cooldown_us = ms_to_us(60'000);
+  Testbed bed(config);
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+  ASSERT_TRUE(bed.get_password("Alice", "mail.google.com").ok());
+
+  bed.net().set_online("gcm", false);
+  // Two failed push legs trip the threshold-2 breaker; each round ends
+  // in a clean phone-wait timeout.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FALSE(bed.get_password("Alice", "mail.google.com").ok());
+  }
+  auto& m = bed.server().metrics();
+  ASSERT_GE(m.counter("resilience.breaker.rendezvous.opened").value(), 1u);
+
+  // Breaker open: the push RPC is skipped entirely and the payload only
+  // parked. The round must still resolve via the 504 backstop.
+  const auto before = bed.server().stats().requests_timed_out;
+  const auto r = bed.get_password("Alice", "mail.google.com");
+  EXPECT_FALSE(r.ok());
+  EXPECT_GT(bed.server().stats().requests_timed_out, before);
+  EXPECT_GE(bed.server().stats().poll_enqueued, 1u);
+}
+
+TEST(ResilienceE2E, PollEntriesRedeliverUntilTtlExpiry) {
+  // A poll response can be lost on the same flaky network the fallback
+  // exists for, so parked payloads survive their first delivery and are
+  // re-offered every poll until TTL — the phone dedups by request id.
+  TestbedConfig config;
+  config.seed = 94;
+  config.server.push_rpc_timeout_us = ms_to_us(500);
+  config.server.poll_entry_ttl_us = ms_to_us(5000);
+  config.phone.poll_interval_us = ms_to_us(400);
+  Testbed bed(config);
+  ASSERT_TRUE(bed.provision("alice", "mp").ok());
+  ASSERT_TRUE(bed.add_account("Alice", "mail.google.com").ok());
+
+  bed.net().set_online("gcm", false);
+  const auto r = bed.get_password("Alice", "mail.google.com");
+  ASSERT_TRUE(r.ok()) << r.message();
+
+  // Drain the in-flight ack of the /token POST (the phone's 200-response
+  // callback lags the browser's by a few hops), then let several more
+  // poll cycles run: the answered round's entry is still parked, so each
+  // poll re-delivers it and the phone absorbs the duplicates without
+  // re-answering.
+  bed.sim().run_until(bed.sim().now() + ms_to_us(2000));
+  EXPECT_EQ(bed.phone().stats().tokens_sent, 1u);
+  EXPECT_GE(bed.server().stats().poll_delivered, 2u);
+  EXPECT_GE(bed.phone().stats().duplicate_pushes, 1u);
+
+  // Past TTL the entry ages out and polls go quiet again.
+  bed.sim().run_until(bed.sim().now() + ms_to_us(5000));
+  const auto delivered = bed.server().stats().poll_delivered;
+  bed.sim().run_until(bed.sim().now() + ms_to_us(2000));
+  EXPECT_EQ(bed.server().stats().poll_delivered, delivered);
+  EXPECT_EQ(bed.phone().stats().tokens_sent, 1u);
+}
+
 }  // namespace
 }  // namespace amnesia::eval

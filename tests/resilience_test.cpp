@@ -127,6 +127,32 @@ TEST(CircuitBreaker, HalfOpenProbeClosesOrReopens) {
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
 }
 
+TEST(CircuitBreaker, HalfOpenBoundsConcurrentProbes) {
+  CircuitBreaker breaker("test", fast_breaker());  // half_open_successes=2
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+
+  // Cooldown elapsed, then a burst of concurrent callers: only
+  // half_open_successes probe slots are handed out; the rest are shed
+  // instead of hammering the barely-recovered service.
+  EXPECT_TRUE(breaker.allow(1'000'000));
+  EXPECT_TRUE(breaker.allow(1'000'001));
+  EXPECT_FALSE(breaker.allow(1'000'002));
+  EXPECT_FALSE(breaker.allow(1'000'003));
+
+  // A recorded outcome frees its slot (one more success still needed).
+  breaker.record_success(1'000'004);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.allow(1'000'005));
+  EXPECT_FALSE(breaker.allow(1'000'006));
+
+  // A probe whose outcome is never recorded must not wedge the breaker:
+  // after another full cooldown a fresh probe is handed out, and its
+  // success closes the breaker.
+  EXPECT_TRUE(breaker.allow(2'000'006));
+  breaker.record_success(2'000'007);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
 TEST(CircuitBreaker, SuccessResetsFailureStreak) {
   CircuitBreaker breaker("test", fast_breaker());
   breaker.record_failure(0);

@@ -262,6 +262,66 @@ TEST(DatabaseTest, CheckpointCompactsAndPreservesData) {
   EXPECT_TRUE(db.table("users").contains(Value("post")));
 }
 
+TEST(DatabaseTest, OpensV1FilesWithoutGenerationStamp) {
+  // Files written before the checkpoint-generation stamp carry the v1
+  // magic and no u64 generation. They must still open — snapshot and
+  // journal both replay as generation 0 — and the next checkpoint
+  // rewrites everything in the current format.
+  TempDir dir;
+  const auto write_raw = [](const std::string& path, const Bytes& data) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  };
+  {
+    // v1 snapshot: magic, table count, then per-table schema + rows.
+    BufWriter w;
+    for (const char c : std::string("AMDB-SNAP-1")) {
+      w.u8(static_cast<std::uint8_t>(c));
+    }
+    w.u32(1);
+    w.str("users");
+    encode_schema(w, user_schema());
+    w.u64(1);
+    encode_row(w, {Value("alice"), Value(30), Value(), Value()});
+    write_raw(dir.db_path() + ".snapshot", w.data());
+  }
+  {
+    // v1 journal: magic, then one insert record ([len][crc][payload],
+    // payload = op 2 (insert) + table + row).
+    BufWriter payload;
+    payload.u8(2);
+    payload.str("users");
+    encode_row(payload, {Value("bob"), Value(25), Value(), Value()});
+    const Bytes record = payload.take();
+    BufWriter w;
+    for (const char c : std::string("AMDB-JRNL-1")) {
+      w.u8(static_cast<std::uint8_t>(c));
+    }
+    w.u32(static_cast<std::uint32_t>(record.size()));
+    w.u32(crc32(record));
+    Bytes journal = w.take();
+    journal.insert(journal.end(), record.begin(), record.end());
+    write_raw(dir.db_path() + ".journal", journal);
+  }
+
+  {
+    Database db(dir.db_path());
+    EXPECT_FALSE(db.recovered_from_torn_journal());
+    EXPECT_FALSE(db.discarded_stale_journal());
+    ASSERT_TRUE(db.has_table("users"));
+    EXPECT_EQ(db.table("users").size(), 2u);
+    EXPECT_TRUE(db.table("users").contains(Value("alice")));
+    EXPECT_TRUE(db.table("users").contains(Value("bob")));
+    db.checkpoint();  // migrates both files to the stamped format
+    db.insert("users", {"carol", 41, Value(), Value()});
+  }
+  Database reopened(dir.db_path());
+  EXPECT_FALSE(reopened.discarded_stale_journal());
+  EXPECT_EQ(reopened.table("users").size(), 3u);
+  EXPECT_TRUE(reopened.table("users").contains(Value("carol")));
+}
+
 TEST(DatabaseTest, TornJournalTailIsDiscarded) {
   TempDir dir;
   {

@@ -370,5 +370,36 @@ TEST(StorageTorture, CrashBetweenSnapshotRenameAndJournalRemoval) {
             "a");
 }
 
+TEST(StorageTorture, FailedJournalUnlinkKeepsPostCheckpointWrites) {
+  // If the stale journal's unlink is lost but the process keeps running,
+  // checkpoint() must not leave the old-generation file in place: new
+  // appends would extend it under the old header and the next load()
+  // would discard them wholesale as stale. The fix truncates to empty, so
+  // the first post-checkpoint append starts a fresh new-generation
+  // journal.
+  TempDir dir;
+  FaultInjector injector(13);
+  FaultRule rule;
+  rule.point = "storage.journal.remove";
+  rule.kind = FaultKind::kDrop;
+  injector.add_rule(rule);
+
+  {
+    ScopedFaultInjector scoped(injector);
+    Database db(dir.db_path());
+    db.create_table("t", torture_schema());
+    db.insert("t", Row{Value(std::int64_t{1}), Value("a")});
+    db.checkpoint();  // unlink silently dropped
+    EXPECT_FALSE(db.wedged());
+    db.insert("t", Row{Value(std::int64_t{2}), Value("b")});
+  }
+
+  Database reopened(dir.db_path());
+  EXPECT_FALSE(reopened.discarded_stale_journal());
+  ASSERT_TRUE(reopened.has_table("t"));
+  EXPECT_EQ(reopened.table("t").size(), 2u);
+  EXPECT_TRUE(reopened.table("t").contains(Value(std::int64_t{2})));
+}
+
 }  // namespace
 }  // namespace amnesia::storage
