@@ -7,9 +7,13 @@
 // the calibrated link profiles (see src/simnet/link.cpp and DESIGN.md).
 //
 // Per-phase latency percentiles come from the testbed's MetricsRegistry
-// histograms (virtual time only), and the full registry snapshot of each
-// network is written to BENCH_fig3_latency.json — byte-identical across
-// runs with the same seed.
+// histograms, and the per-hop breakdown is derived from the *real trace
+// trees* of the trials: every login is one distributed trace
+// (browser -> server -> GCM -> phone -> server -> browser), and
+// critical-path attribution splits each trial's wall time into the self
+// time of each hop. Everything is virtual time, so the JSON artifact
+// (BENCH_fig3_latency.json, including a full sample trace tree) is
+// byte-identical across runs with the same seed.
 //
 //   ./bench/bench_fig3_latency [trials] [seed]
 #include <cstdio>
@@ -20,6 +24,7 @@
 
 #include "eval/latency.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace amnesia;
 
@@ -39,10 +44,61 @@ void print_phase_table(const obs::Snapshot& snapshot) {
   }
 }
 
+/// Critical-path table of one network: where each trial's wall clock
+/// actually went, per hop, attributed from the real trace trees. "share"
+/// is each hop's slice of the summed self time (hops can overlap — the
+/// phone's token-POST response rides the downlink after the browser
+/// already has its password — so the slices are of span time, not of
+/// the browser-observed end-to-end mean).
+void print_critical_path(const eval::LatencyResult& result, int trials) {
+  std::printf("    %-24s %-10s %6s %12s %12s %10s\n", "hop (span)",
+              "component", "count", "self total", "mean/trial", "share");
+  Micros root_self_total = 0;
+  for (const auto& e : result.critical_path) root_self_total += e.self_us;
+  for (const auto& e : result.critical_path) {
+    const double mean_ms =
+        trials > 0 ? us_to_ms(e.self_us) / trials : 0.0;
+    const double share =
+        root_self_total > 0
+            ? 100.0 * static_cast<double>(e.self_us) /
+                  static_cast<double>(root_self_total)
+            : 0.0;
+    std::printf("    %-24s %-10s %6llu %10.1fms %10.2fms %9.1f%%\n",
+                e.name.c_str(), e.component.c_str(),
+                static_cast<unsigned long long>(e.count),
+                us_to_ms(e.self_us), mean_ms, share);
+  }
+}
+
+std::string critical_path_json(const eval::LatencyResult& result) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < result.critical_path.size(); ++i) {
+    const auto& e = result.critical_path[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n       {\"name\": \"%s\", \"component\": \"%s\", "
+                  "\"count\": %llu, \"self_us\": %lld, \"total_us\": %lld}",
+                  i ? "," : "", e.name.c_str(), e.component.c_str(),
+                  static_cast<unsigned long long>(e.count),
+                  static_cast<long long>(e.self_us),
+                  static_cast<long long>(e.total_us));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
 /// to_json() yields a complete document; trim the trailing newline so it
 /// embeds as a nested object.
 std::string embed_json(const obs::Snapshot& snapshot) {
   std::string json = obs::to_json(snapshot);
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  return json;
+}
+
+std::string embed_trace(const std::string& trace_json) {
+  if (trace_json.empty()) return "[]";
+  std::string json = trace_json;
   while (!json.empty() && json.back() == '\n') json.pop_back();
   return json;
 }
@@ -92,6 +148,18 @@ int main(int argc, char** argv) {
   for (const auto& result : results) {
     std::printf("  %s\n", result.network_name.c_str());
     print_phase_table(result.metrics);
+  }
+
+  // The trace-derived view: each trial is one distributed trace tree over
+  // browser -> server -> GCM -> phone -> server -> browser; critical-path
+  // attribution charges every microsecond of the root's duration to
+  // exactly one hop (self time = duration minus children's union).
+  std::printf("\nCritical-path attribution "
+              "(from %d real trace trees per network):\n",
+              trials);
+  for (const auto& result : results) {
+    std::printf("  %s\n", result.network_name.c_str());
+    print_critical_path(result, trials);
   }
 
   // Distribution shape, Fig. 3's scatter rendered as histograms.
@@ -148,10 +216,13 @@ int main(int argc, char** argv) {
                     "    {\"name\": \"%s\", \"mean_ms\": %.3f, "
                     "\"stddev_ms\": %.3f, \"min_ms\": %.3f, "
                     "\"median_ms\": %.3f, \"max_ms\": %.3f,\n"
-                    "     \"metrics\": ",
+                    "     \"critical_path\": ",
                     results[i].network_name.c_str(), s.mean, s.stddev, s.min,
                     s.median, s.max);
-      out << buf << embed_json(results[i].metrics) << '}'
+      out << buf << critical_path_json(results[i])
+          << ",\n     \"sample_trace\": "
+          << embed_trace(results[i].sample_trace_json)
+          << ",\n     \"metrics\": " << embed_json(results[i].metrics) << '}'
           << (i + 1 < results.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";

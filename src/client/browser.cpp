@@ -151,6 +151,11 @@ void Browser::rotate_seed(const std::string& username,
                   });
 }
 
+void Browser::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  http_.set_tracer(tracer, "browser");
+}
+
 void Browser::request_password(const std::string& username,
                                const std::string& domain,
                                std::function<void(Result<std::string>)> cb) {
@@ -163,6 +168,20 @@ void Browser::request_password(const std::string& username,
   req.headers["Content-Type"] = "application/x-www-form-urlencoded";
   req.headers["X-Origin-IP"] = label_;
   req.body = websvc::form_encode({{"username", username}, {"domain", domain}});
+  // The root span of the whole bilateral login: every downstream hop
+  // (server, GCM, phone, and the return legs) parents under this trace.
+  obs::TraceContext root;
+  if (tracer_) {
+    root = tracer_->start_trace("browser.request", "browser");
+    tracer_->add_attribute(root, "domain", domain);
+    last_trace_id_ = root.trace_id;
+    cb = [tracer = tracer_, root,
+          cb = std::move(cb)](Result<std::string> r) {
+      tracer->end(root);
+      cb(std::move(r));
+    };
+  }
+  const obs::ScopedTrace scope(root);
   http_.send(
       std::move(req),
       [this, username, domain,

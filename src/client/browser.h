@@ -111,6 +111,16 @@ class Browser {
   /// channel keys (src/attacks/scenarios.h).
   securechan::SecureClient& channel() { return channel_; }
 
+  /// Makes this browser a trace root: request_password() opens a
+  /// "browser.request" root span whose context propagates through every
+  /// hop of the login (Fig. 1), and every HTTP call gets a client span.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Trace id of the most recent request_password() call (for
+  /// `GET /trace/<id>` lookups in tests and benches); all-zero before the
+  /// first traced request.
+  obs::TraceId last_trace_id() const { return last_trace_id_; }
+
  private:
   static Status status_from(const Result<websvc::Response>& r,
                             Err not_ok_code = Err::kInvalidArgument);
@@ -120,6 +130,8 @@ class Browser {
   websvc::HttpClient http_;
   AutofillHook autofill_;
   simnet::NodeId label_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceId last_trace_id_;
 };
 
 }  // namespace amnesia::client

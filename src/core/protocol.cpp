@@ -22,6 +22,7 @@ Bytes PasswordRequestPush::encode() const {
   w.raw(request.bytes());
   w.str(origin_ip);
   w.i64(tstart_us);
+  if (!trace.empty()) w.str(trace);
   return w.take();
 }
 
@@ -32,9 +33,12 @@ std::optional<PasswordRequestPush> PasswordRequestPush::decode(ByteView wire) {
     Request request(read_fixed(r, Request::kSize));
     std::string origin_ip = r.str();
     const Micros tstart = r.i64();
+    std::string trace;
+    if (!r.done()) trace = r.str();  // optional trailing trace context
     if (!r.done()) return std::nullopt;
     return PasswordRequestPush{request_id, std::move(request),
-                               std::move(origin_ip), tstart};
+                               std::move(origin_ip), tstart,
+                               std::move(trace)};
   } catch (const Error&) {
     return std::nullopt;
   }

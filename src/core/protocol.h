@@ -25,6 +25,7 @@ struct PasswordRequestPush {
   Request request;               // R
   std::string origin_ip;         // requesting computer, for user consent
   Micros tstart_us = 0;          // latency-measurement timestamp
+  std::string trace;             // optional serialized obs::TraceContext
 
   Bytes encode() const;
   /// Returns nullopt on malformed payloads (never throws on wire data).

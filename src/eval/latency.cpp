@@ -48,6 +48,14 @@ LatencyResult run_latency_experiment(const LatencyConfig& config) {
   }
   out.summary = summarize(out.samples_ms);
   out.metrics = bed.server().metrics().snapshot();
+  // Per-hop attribution from the real trace trees (every trial's spans
+  // are still in the bounded store: ~12 spans x trials << capacity).
+  const obs::Tracer& tracer = bed.server().metrics().tracer();
+  out.critical_path = obs::critical_path(tracer.snapshot());
+  if (bed.browser().last_trace_id().valid()) {
+    out.sample_trace_json =
+        obs::trace_to_json(tracer.trace(bed.browser().last_trace_id()));
+  }
   return out;
 }
 

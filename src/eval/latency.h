@@ -17,6 +17,7 @@
 #include "eval/stats.h"
 #include "eval/testbed.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace amnesia::eval {
 
@@ -34,6 +35,14 @@ struct LatencyResult {
   // histograms (protocol.round_latency_us, rendezvous.push_ack_us,
   // securechan.handshake_latency_us, ...) plus subsystem counters.
   obs::Snapshot metrics;
+  // Critical-path attribution over the real trace trees of all trials:
+  // per hop (span name x component), how much wall time was attributable
+  // to that hop itself (self = duration minus children), aggregated
+  // across trials. Sorted by self time descending.
+  std::vector<obs::CriticalPathEntry> critical_path;
+  // The full span tree of the last trial's trace (what GET /trace/<id>
+  // serves), as a JSON artifact for the bench output.
+  std::string sample_trace_json;
 };
 
 /// Runs one network's experiment on a fresh testbed.

@@ -42,11 +42,13 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   }
   phone_ = std::make_unique<phone::PhoneApp>(*sim_, *net_, *phone_rng_,
                                              config_.phone);
+  phone_->set_metrics(&server_->metrics());
 
   browser_ = std::make_unique<client::Browser>(
       *net_, "browser", "amnesia-server", server_->public_key(),
       *client_rng_);
   browser_->channel().set_metrics(&server_->metrics(), &sim_->clock());
+  browser_->set_tracer(&server_->metrics().tracer());
 
   wire_links();
 }
@@ -73,6 +75,7 @@ std::unique_ptr<client::Browser> Testbed::make_browser(
   auto browser = std::make_unique<client::Browser>(
       *net_, node_id, "amnesia-server", server_->public_key(), *client_rng_);
   browser->channel().set_metrics(&server_->metrics(), &sim_->clock());
+  browser->set_tracer(&server_->metrics().tracer());
   net_->set_duplex_link(node_id, "amnesia-server", simnet::profiles().wan,
                         simnet::profiles().wan);
   return browser;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "resilience/retry.h"
 
 namespace amnesia::net {
@@ -11,6 +12,9 @@ namespace {
 // Frame kinds, byte-identical to simnet::Node's RPC framing.
 constexpr std::uint8_t kRequest = 0;
 constexpr std::uint8_t kResponse = 1;
+// Traced variants: [trace_len:1][trace][body] after the correlation id.
+constexpr std::uint8_t kTracedRequest = 2;
+constexpr std::uint8_t kTracedResponse = 3;
 
 constexpr std::size_t kRpcHeaderSize = 1 + 8;
 
@@ -20,6 +24,24 @@ std::uint64_t read_corr(ByteView frame) {
     corr = (corr << 8) | frame[1 + static_cast<std::size_t>(i)];
   }
   return corr;
+}
+
+/// The ambient trace serialized for frame metadata; empty when inactive.
+std::string ambient_trace_header() {
+  const obs::TraceContext ctx = obs::current_trace();
+  return ctx.valid() ? obs::format_trace_header(ctx) : std::string();
+}
+
+/// Splits a traced body into its trace prefix and inner body. Returns
+/// false on torn metadata (the frame is hostile or corrupt).
+bool split_traced_body(ByteView body, std::string& trace, ByteView& inner) {
+  if (body.empty()) return false;
+  const std::size_t trace_len = body[0];
+  if (body.size() < 1 + trace_len) return false;
+  trace.assign(body.begin() + 1,
+               body.begin() + 1 + static_cast<std::ptrdiff_t>(trace_len));
+  inner = body.subspan(1 + trace_len);
+  return true;
 }
 
 }  // namespace
@@ -57,14 +79,32 @@ bool RpcPeer::send_frame(std::uint8_t kind, std::uint64_t corr, ByteView body) {
   return stream_->send(frame_scratch_);
 }
 
-void RpcPeer::request(Bytes body, ResponseHandler cb, Micros timeout_us) {
+bool RpcPeer::send_traced_frame(std::uint8_t kind, std::uint64_t corr,
+                                const std::string& trace, ByteView body) {
+  Bytes traced;
+  traced.reserve(1 + trace.size() + body.size());
+  traced.push_back(static_cast<std::uint8_t>(trace.size()));
+  for (const char c : trace) {
+    traced.push_back(static_cast<std::uint8_t>(c));
+  }
+  append(traced, body);
+  return send_frame(kind, corr, traced);
+}
+
+void RpcPeer::request(Bytes body, ResponseHandler cb, Micros timeout_us,
+                      std::string trace) {
   if (closed_) {
     cb(Result<Bytes>(Err::kUnavailable, "rpc peer closed"));
     return;
   }
+  if (trace.empty()) trace = ambient_trace_header();
+  if (trace.size() > 255) trace.clear();  // cannot fit the u8 length prefix
   const std::uint64_t corr = next_corr_++;
   pending_[corr] = std::move(cb);
-  if (!send_frame(kRequest, corr, body)) {
+  const bool sent =
+      trace.empty() ? send_frame(kRequest, corr, body)
+                    : send_traced_frame(kTracedRequest, corr, trace, body);
+  if (!sent) {
     // Backpressure overflow closed the stream; on_stream_close has already
     // failed every pending request (including this one).
     return;
@@ -100,7 +140,17 @@ void RpcPeer::on_frame(ByteView frame) {
   const std::uint64_t corr = read_corr(frame);
   Bytes body(frame.begin() + kRpcHeaderSize, frame.end());
 
-  if (kind == kResponse) {
+  if (kind == kResponse || kind == kTracedResponse) {
+    if (kind == kTracedResponse) {
+      std::string trace;
+      ByteView inner;
+      if (!split_traced_body(body, trace, inner)) {
+        AMNESIA_ERROR("net.rpc") << "torn traced response; closing stream";
+        close();
+        return;
+      }
+      body.assign(inner.begin(), inner.end());
+    }
     auto it = pending_.find(corr);
     if (it == pending_.end()) return;  // late response after timeout
     ResponseHandler cb = std::move(it->second);
@@ -108,17 +158,43 @@ void RpcPeer::on_frame(ByteView frame) {
     cb(Result<Bytes>(std::move(body)));
     return;
   }
-  if (kind == kRequest) {
+  if (kind == kRequest || kind == kTracedRequest) {
+    // Traced requests carry context as frame metadata: an unparseable
+    // context is dropped (fresh roots downstream, nothing echoed), but a
+    // torn length prefix means the stream itself is corrupt.
+    obs::TraceContext remote;
+    std::string canonical_trace;
+    if (kind == kTracedRequest) {
+      std::string trace;
+      ByteView inner;
+      if (!split_traced_body(body, trace, inner)) {
+        AMNESIA_ERROR("net.rpc") << "torn traced request; closing stream";
+        close();
+        return;
+      }
+      if (const auto parsed = obs::parse_trace_header(trace)) {
+        remote = *parsed;
+        canonical_trace = obs::format_trace_header(remote);
+      }
+      body.assign(inner.begin(), inner.end());
+    }
     if (!handler_) {
       AMNESIA_ERROR("net.rpc") << "request with no handler installed; dropping";
       return;
     }
     std::weak_ptr<RpcPeer> weak = weak_from_this();
-    handler_(body, [weak, corr](Bytes response) {
+    auto respond = [weak, corr, canonical_trace](Bytes response) {
       auto self = weak.lock();
       if (!self || self->closed_) return;  // connection died while serving
-      self->send_frame(kResponse, corr, response);
-    });
+      if (canonical_trace.empty()) {
+        self->send_frame(kResponse, corr, response);
+      } else {
+        self->send_traced_frame(kTracedResponse, corr, canonical_trace,
+                                response);
+      }
+    };
+    const obs::ScopedTrace scope(remote);
+    handler_(body, std::move(respond));
     return;
   }
   AMNESIA_ERROR("net.rpc") << "unknown frame kind " << static_cast<int>(kind)
@@ -165,8 +241,12 @@ RpcClient::RpcClient(Transport& transport, Micros timeout_us)
 RpcClient::~RpcClient() { close(); }
 
 void RpcClient::request(Bytes body, ResponseHandler cb) {
+  // Capture the ambient trace here: retry attempts and the lazy-connect
+  // queue both run from executor callbacks with no ambient context.
+  std::string trace = ambient_trace_header();
   if (!retry_) {
-    request_once(std::move(body), std::move(cb), timeout_us_);
+    request_once(std::move(body), std::move(cb), timeout_us_,
+                 std::move(trace));
     return;
   }
   resilience::RetryOptions opts;
@@ -183,22 +263,25 @@ void RpcClient::request(Bytes body, ResponseHandler cb) {
   opts.op_name = "rpc";
   resilience::retry_async<Bytes>(
       transport_.executor(), std::move(opts),
-      [this, body = std::move(body)](int /*attempt*/,
-                                     resilience::Deadline deadline,
-                                     std::function<void(Result<Bytes>)> done) {
+      [this, body = std::move(body), trace = std::move(trace)](
+          int /*attempt*/, resilience::Deadline deadline,
+          std::function<void(Result<Bytes>)> done) {
         const Micros now = transport_.executor().clock().now_us();
-        request_once(body, std::move(done), deadline.clamp(timeout_us_, now));
+        request_once(body, std::move(done), deadline.clamp(timeout_us_, now),
+                     trace);
       },
       std::move(cb));
 }
 
-void RpcClient::request_once(Bytes body, ResponseHandler cb,
-                             Micros timeout_us) {
+void RpcClient::request_once(Bytes body, ResponseHandler cb, Micros timeout_us,
+                             std::string trace) {
   if (peer_ && !peer_->closed()) {
-    peer_->request(std::move(body), std::move(cb), timeout_us);
+    peer_->request(std::move(body), std::move(cb), timeout_us,
+                   std::move(trace));
     return;
   }
-  waiting_.emplace_back(std::move(body), std::move(cb), timeout_us);
+  waiting_.emplace_back(std::move(body), std::move(cb), timeout_us,
+                        std::move(trace));
   if (!connecting_) start_connect();
 }
 
@@ -216,7 +299,7 @@ void RpcClient::start_connect() {
       auto waiting = std::move(waiting_);
       waiting_.clear();
       const Failure& f = stream.failure();
-      for (auto& [body, cb, timeout] : waiting) {
+      for (auto& [body, cb, timeout, trace] : waiting) {
         cb(Result<Bytes>(f.code, f.message));
       }
       return;
@@ -229,8 +312,8 @@ void RpcClient::start_connect() {
 void RpcClient::flush_waiting() {
   auto waiting = std::move(waiting_);
   waiting_.clear();
-  for (auto& [body, cb, timeout] : waiting) {
-    peer_->request(std::move(body), std::move(cb), timeout);
+  for (auto& [body, cb, timeout, trace] : waiting) {
+    peer_->request(std::move(body), std::move(cb), timeout, std::move(trace));
   }
 }
 
@@ -242,7 +325,7 @@ void RpcClient::close() {
   }
   auto waiting = std::move(waiting_);
   waiting_.clear();
-  for (auto& [body, cb, timeout] : waiting) {
+  for (auto& [body, cb, timeout, trace] : waiting) {
     cb(Result<Bytes>(Err::kUnavailable, "rpc client closed"));
   }
 }

@@ -8,6 +8,11 @@
 // order (the Amnesia server answers a password request only after the
 // phone round-trip, while later requests on the same connection finish
 // immediately).
+//
+// Traced variants (kinds 2/3) carry a serialized obs::TraceContext as
+// frame metadata between corr_id and body —
+// [kind:1][corr_id:8][trace_len:1][trace][body] — used automatically when
+// the sender has an ambient trace; untraced peers keep the legacy kinds.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <tuple>
 
 #include "common/bytes.h"
@@ -55,9 +61,13 @@ class RpcPeer : public std::enable_shared_from_this<RpcPeer> {
   void set_on_close(std::function<void()> fn) { on_close_ = std::move(fn); }
 
   /// Issues one request; `cb` gets the response body, or kUnavailable on
-  /// timeout / close.
+  /// timeout / close. `trace` is a serialized obs::TraceContext rides in
+  /// the frame metadata (empty = capture the ambient context, which is
+  /// also the default when no trace is active: the frame then stays in
+  /// the untraced legacy format).
   void request(Bytes body, ResponseHandler cb,
-               Micros timeout_us = kDefaultRpcTimeoutUs);
+               Micros timeout_us = kDefaultRpcTimeoutUs,
+               std::string trace = {});
 
   /// Closes the stream and fails all pending requests.
   void close();
@@ -73,6 +83,8 @@ class RpcPeer : public std::enable_shared_from_this<RpcPeer> {
   void on_stream_close();
   void fail_pending(const std::string& reason);
   bool send_frame(std::uint8_t kind, std::uint64_t corr, ByteView body);
+  bool send_traced_frame(std::uint8_t kind, std::uint64_t corr,
+                         const std::string& trace, ByteView body);
 
   StreamPtr stream_;
   Executor& executor_;
@@ -133,13 +145,17 @@ class RpcClient {
   void start_connect();
   void flush_waiting();
   /// One attempt: the pre-retry request() body.
-  void request_once(Bytes body, ResponseHandler cb, Micros timeout_us);
+  void request_once(Bytes body, ResponseHandler cb, Micros timeout_us,
+                    std::string trace);
 
   Transport& transport_;
   Micros timeout_us_;
   std::shared_ptr<RpcPeer> peer_;
   bool connecting_ = false;
-  std::deque<std::tuple<Bytes, ResponseHandler, Micros>> waiting_;
+  /// body, callback, timeout, serialized trace context (captured when the
+  /// caller issued the request — the ambient context is gone by the time
+  /// the connect callback flushes the queue).
+  std::deque<std::tuple<Bytes, ResponseHandler, Micros, std::string>> waiting_;
   std::optional<RpcRetryConfig> retry_;
   std::uint64_t retry_calls_ = 0;  // per-call jitter stream derivation
 };

@@ -4,10 +4,24 @@
 #include <cctype>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "common/error.h"
 
 namespace amnesia::obs {
+
+// --------------------------------------------------------------- counter
+
+std::size_t Counter::cell_index() {
+  // Round-robin assignment instead of a thread-id hash: the first kCells
+  // threads are guaranteed pairwise-distinct cells, where a hash can
+  // collide two hot threads into one cell and reintroduce the ping-pong
+  // this sharding exists to remove.
+  static std::atomic<std::size_t> next_cell{0};
+  thread_local const std::size_t index =
+      next_cell.fetch_add(1, std::memory_order_relaxed) % kCells;
+  return index;
+}
 
 // ------------------------------------------------------------- histogram
 
@@ -122,46 +136,51 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
-SpanId MetricsRegistry::begin_span(const std::string& name, SpanId parent) {
-  check_name(name);
-  std::lock_guard<std::mutex> lock(mu_);
-  SpanRecord span;
-  span.id = next_span_id_++;
-  span.parent = parent;
-  span.name = name;
-  span.start = now();
-  spans_.push_back(std::move(span));
-  return spans_.back().id;
+namespace {
+
+SpanRecord to_record(const TraceSpan& span) {
+  SpanRecord rec;
+  rec.id = span.id;
+  rec.parent = span.parent;
+  rec.name = span.name;
+  rec.start = span.start;
+  rec.end = span.end;
+  rec.finished = span.finished;
+  return rec;
 }
 
-void MetricsRegistry::end_span(SpanId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
-    if (it->id == id) {
-      if (!it->finished) {
-        it->end = now();
-        it->finished = true;
-      }
-      return;
-    }
+}  // namespace
+
+SpanId MetricsRegistry::begin_span(const std::string& name, SpanId parent) {
+  check_name(name);
+  return tracer_.start_legacy_span(name, "", parent).span_id;
+}
+
+void MetricsRegistry::end_span(SpanId id) { tracer_.end_span_id(id); }
+
+std::vector<SpanRecord> MetricsRegistry::spans() const {
+  std::vector<SpanRecord> out;
+  for (const TraceSpan& span : tracer_.snapshot()) {
+    out.push_back(to_record(span));
   }
+  return out;
 }
 
 std::vector<SpanRecord> MetricsRegistry::spans_named(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<SpanRecord> out;
-  for (const auto& span : spans_) {
-    if (span.name == name) out.push_back(span);
+  for (const TraceSpan& span : tracer_.snapshot()) {
+    if (span.name == name) out.push_back(to_record(span));
   }
   return out;
 }
 
 std::vector<SpanRecord> MetricsRegistry::children_of(SpanId parent) const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<SpanRecord> out;
-  for (const auto& span : spans_) {
-    if (span.parent == parent && span.finished) out.push_back(span);
+  for (const TraceSpan& span : tracer_.snapshot()) {
+    if (span.parent == parent && span.finished) {
+      out.push_back(to_record(span));
+    }
   }
   return out;
 }
@@ -176,11 +195,14 @@ Snapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
-  for (auto& [name, h] : histograms_) h->reset();
-  spans_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+  }
+  tracer_.clear();
+  events_.clear();
 }
 
 // ------------------------------------------------------------- exporters

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 
 namespace amnesia::obs {
 
@@ -45,14 +46,36 @@ namespace amnesia::obs {
 // registry's name->handle maps take a mutex instead: multi-word updates
 // have no cheap atomic form and neither is on a per-byte hot path.
 
+/// Monotonic counter, sharded into cache-line-sized per-thread cells so
+/// the net.* / securechan.* hot paths (event-loop thread + workers all
+/// bumping the same handle) never bounce one cache line between cores.
+/// inc() touches exactly one cell; value() folds all cells, so a reading
+/// racing writers may miss in-flight increments — same relaxed semantics
+/// as the single-atomic version, just without the contention.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  static constexpr std::size_t kCells = 8;
+
+  void inc(std::uint64_t n = 1) {
+    cells_[cell_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  /// This thread's cell (thread-id hash; stable for the thread's life).
+  static std::size_t cell_index();
+
+  Cell cells_[kCells];
 };
 
 class Gauge {
@@ -120,7 +143,8 @@ class Histogram {
   HistogramSnapshot data_;
 };
 
-using SpanId = std::uint64_t;
+// SpanId comes from obs/trace.h; the registry's legacy span API below is
+// a shim over the Tracer in the same file.
 
 /// One traced interval. `parent` is 0 for root spans. `end` is meaningful
 /// only once `finished` is true.
@@ -162,13 +186,28 @@ class MetricsRegistry {
  public:
   /// `clock` drives span and ScopedTimer timestamps; it may be null when
   /// only counters/gauges/histograms-with-explicit-values are used.
-  explicit MetricsRegistry(const Clock* clock = nullptr) : clock_(clock) {}
+  explicit MetricsRegistry(const Clock* clock = nullptr)
+      : clock_(clock), tracer_(clock), events_(clock) {}
 
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  void set_clock(const Clock* clock) { clock_ = clock; }
+  void set_clock(const Clock* clock) {
+    clock_ = clock;
+    tracer_.set_clock(clock);
+    events_.set_clock(clock);
+  }
   Micros now() const { return clock_ ? clock_->now_us() : 0; }
+
+  /// The distributed tracer sharing this registry's clock. New code uses
+  /// it directly; the begin_span/end_span API below shims onto it.
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// The structured event log (resilience events, shed 503s, ...),
+  /// served on GET /events next to /metrics.
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
 
   /// Finds or creates. Names must be non-empty and whitespace-free (they
   /// are tokens of the text export format); throws Error otherwise.
@@ -179,23 +218,20 @@ class MetricsRegistry {
   /// histogram already exists (first registration wins).
   Histogram& histogram(const std::string& name, std::vector<Micros> bounds);
 
-  // -- spans -----------------------------------------------------------
+  // -- spans (legacy shim over tracer()) -------------------------------
   /// Starts a span at the current clock time. parent = 0 means root.
   SpanId begin_span(const std::string& name, SpanId parent = 0);
   /// Finishes a span at the current clock time. Unknown/already-finished
   /// ids are ignored (a timed-out round may race its own cleanup).
   void end_span(SpanId id);
-  /// Direct view of the span log; only valid while no other thread is
-  /// recording (use spans_named()/children_of() for concurrent reads).
-  const std::vector<SpanRecord>& spans() const { return spans_; }
+  /// The span log in creation order (a merged copy of the tracer's
+  /// bounded store; the old always-growing vector is gone).
+  std::vector<SpanRecord> spans() const;
   /// All spans with this name, in start order.
   std::vector<SpanRecord> spans_named(const std::string& name) const;
   /// Finished direct children of `parent`, in start order.
   std::vector<SpanRecord> children_of(SpanId parent) const;
-  void clear_spans() {
-    std::lock_guard<std::mutex> lock(mu_);
-    spans_.clear();
-  }
+  void clear_spans() { tracer_.clear(); }
 
   /// Comparable export of all counters/gauges/histograms.
   Snapshot snapshot() const;
@@ -209,16 +245,15 @@ class MetricsRegistry {
   static void check_name(const std::string& name);
 
   const Clock* clock_;
-  /// Guards the maps and the span log. Handles stay valid without the
-  /// lock (unique_ptr targets never move); spans() returns a reference,
-  /// so callers that scrape while traffic runs use spans_named() (which
-  /// copies under the lock) instead.
+  /// Guards the name->handle maps. Handles stay valid without the lock
+  /// (unique_ptr targets never move). Spans live in tracer_, which has
+  /// its own finer-grained locking.
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::vector<SpanRecord> spans_;
-  SpanId next_span_id_ = 1;
+  Tracer tracer_;
+  EventLog events_;
 };
 
 /// RAII timer: records the elapsed clock time into a histogram on

@@ -76,6 +76,11 @@ const core::PhoneSecrets& PhoneApp::secrets() const {
   return *secrets_;
 }
 
+void PhoneApp::set_metrics(obs::MetricsRegistry* registry) {
+  tracer_ = registry ? &registry->tracer() : nullptr;
+  server_http_.set_tracer(tracer_, "phone");
+}
+
 void PhoneApp::register_with_rendezvous(std::function<void(Status)> cb) {
   push_client_.register_device(
       [this, cb = std::move(cb)](Result<std::string> r) {
@@ -172,14 +177,27 @@ void PhoneApp::on_push(const Bytes& payload) {
     handled_requests_.erase(handled_order_.front());
     handled_order_.pop_front();
   }
+  // A push carrying a trace context joins the login's trace tree: the
+  // phone.confirm span covers the accept/decline decision plus the token
+  // compute, and parents the token/decline POST's client span.
+  obs::TraceContext phone_span;
+  if (tracer_) {
+    if (const auto parsed = obs::parse_trace_header(push->trace)) {
+      phone_span = tracer_->start_span("phone.confirm", "phone", *parsed);
+      tracer_->add_attribute(phone_span, "origin_ip", push->origin_ip);
+    }
+  }
   // The notification: the user sees the origin IP (Fig. 2b) and accepts
   // or declines.
   if (!confirm_(*push)) {
     ++stats_.requests_declined;
+    if (phone_span.valid()) tracer_->add_event(phone_span, "declined");
+    const obs::ScopedTrace scope(phone_span);
     server_http_.post_form(
         "/token/decline",
         {{"request_id", std::to_string(push->request_id)}},
         [](Result<websvc::Response>) {});
+    if (tracer_) tracer_->end(phone_span);
     return;
   }
   // Charge the handset's token-computation time in virtual time, then
@@ -187,9 +205,10 @@ void PhoneApp::on_push(const Bytes& payload) {
   // address — no rendezvous on the way back).
   const double compute_ms = std::max(
       0.5, rng_.gaussian(config_.compute_mean_ms, config_.compute_stddev_ms));
-  sim_.schedule_after(ms_to_us(compute_ms), [this, push = *push] {
+  sim_.schedule_after(ms_to_us(compute_ms), [this, push = *push, phone_span] {
     const core::Token token =
         core::generate_token(push.request, secrets_->entry_table);
+    const obs::ScopedTrace scope(phone_span);
     server_http_.post_form(
         "/token",
         {{"request_id", std::to_string(push.request_id)},
@@ -198,6 +217,7 @@ void PhoneApp::on_push(const Bytes& payload) {
         [this](Result<websvc::Response> r) {
           if (r.ok() && r.value().status == 200) ++stats_.tokens_sent;
         });
+    if (tracer_) tracer_->end(phone_span);
   });
 }
 

@@ -118,6 +118,11 @@ class PhoneApp {
   /// observe).
   securechan::SecureClient& server_channel() { return server_channel_; }
 
+  /// Joins the phone into distributed traces: pushes that carry a trace
+  /// context get a "phone.confirm" span (decision + token compute), and
+  /// the token/decline POSTs ride the same trace back to the server.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   void on_push(const Bytes& payload);
   void persist_secrets();
@@ -139,6 +144,7 @@ class PhoneApp {
   std::optional<std::string> registration_id_;
   ConfirmationPolicy confirm_;
   PhoneAppStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 
   // Recently handled request ids, so a request delivered both by push and
   // by the poll fallback is answered once. Bounded FIFO.

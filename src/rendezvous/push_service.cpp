@@ -47,6 +47,13 @@ void PushService::count(std::uint64_t PushStats::* field, const char* name) {
   if (metrics_) metrics_->counter(name).inc();
 }
 
+void PushService::end_queued_span(const QueuedPush& push,
+                                  const char* outcome) {
+  if (!metrics_ || !push.trace.valid()) return;
+  metrics_->tracer().add_event(push.trace, outcome);
+  metrics_->tracer().end(push.trace);
+}
+
 void PushService::reap_expired() {
   // Per-push TTLs are independent, so an expired entry can sit behind a
   // fresh queue head — scan the whole queue, not just the front.
@@ -54,6 +61,7 @@ void PushService::reap_expired() {
   for (auto& [reg_id, reg] : registrations_) {
     for (auto it = reg.queue.begin(); it != reg.queue.end();) {
       if (it->expires_at <= now) {
+        end_queued_span(*it, "expired: ttl passed");
         it = reg.queue.erase(it);
         count(&PushStats::pushes_expired, "push.pushes_expired");
       } else {
@@ -96,9 +104,24 @@ void PushService::handle_rpc(const simnet::NodeId& from, const Bytes& body,
         const std::string reg_id = r.str();
         const Micros ttl_us = r.i64();
         const Bytes payload = r.bytes();
+        // Optional trailing trace context from the sender; the deliver
+        // span makes the GCM hop visible in the login's trace tree.
+        std::string trace_str;
+        if (!r.done()) trace_str = r.str();
+        obs::TraceContext deliver_span;
+        if (metrics_) {
+          if (const auto parsed = obs::parse_trace_header(trace_str)) {
+            deliver_span = metrics_->tracer().start_span("rendezvous.deliver",
+                                                         "gcm", *parsed);
+          }
+        }
         const auto it = registrations_.find(reg_id);
         if (it == registrations_.end()) {
           count(&PushStats::unknown_registration, "push.unknown_registration");
+          if (deliver_span.valid()) {
+            metrics_->tracer().add_event(deliver_span, "unknown registration");
+            metrics_->tracer().end(deliver_span);
+          }
           respond(status_reply(kStatusUnknownId));
           return;
         }
@@ -108,16 +131,23 @@ void PushService::handle_rpc(const simnet::NodeId& from, const Bytes& body,
           node_->send_oneway(reg.device, payload);
           count(&PushStats::pushes_delivered, "push.pushes_delivered");
           if (delivery_latency_) delivery_latency_->record(0);
+          if (deliver_span.valid()) metrics_->tracer().end(deliver_span);
         } else {
           const Micros now = network_.sim().now();
           if (reg.queue.size() >= max_queue_per_device_) {
             // Bounded backlog: the oldest queued push is the most likely
             // to be expired/superseded, so it is the one to drop.
+            end_queued_span(reg.queue.front(), "dropped: queue overflow");
             reg.queue.pop_front();
             count(&PushStats::pushes_dropped_overflow,
                   "push.pushes_dropped_overflow");
           }
-          reg.queue.push_back(QueuedPush{payload, now + ttl_us, now});
+          if (deliver_span.valid()) {
+            metrics_->tracer().add_event(deliver_span,
+                                         "queued: device offline");
+          }
+          reg.queue.push_back(
+              QueuedPush{payload, now + ttl_us, now, deliver_span});
           count(&PushStats::pushes_queued, "push.pushes_queued");
         }
         respond(status_reply(kStatusOk));
@@ -141,6 +171,7 @@ void PushService::handle_rpc(const simnet::NodeId& from, const Bytes& body,
             delivery_latency_->record(network_.sim().now() -
                                       reg.queue.front().queued_at);
           }
+          end_queued_span(reg.queue.front(), "flushed on reconnect");
           reg.queue.pop_front();
         }
         respond(status_reply(kStatusOk));
@@ -231,6 +262,9 @@ void PushClient::push(const std::string& reg_id, Bytes payload, Micros ttl_us,
   w.str(reg_id);
   w.i64(ttl_us);
   w.bytes(payload);
+  if (const obs::TraceContext ctx = obs::current_trace(); ctx.valid()) {
+    w.str(obs::format_trace_header(ctx));
+  }
   node_.request(
       service_, w.take(),
       [cb = std::move(cb)](Result<Bytes> r) { expect_ok(std::move(r), cb); },

@@ -15,9 +15,13 @@
 //
 // RPC ops (storage::BufWriter framing, first byte = op):
 //   0x01 register   : device_node            -> ok + registration_id
-//   0x02 push       : reg_id, ttl_us, blob   -> ok | unknown_id
+//   0x02 push       : reg_id, ttl_us, blob [, trace] -> ok | unknown_id
 //   0x03 connect    : reg_id                 -> ok (flushes queued pushes)
 //   0x04 unregister : reg_id                 -> ok | unknown_id
+//
+// The optional trailing trace string on push is a serialized
+// obs::TraceContext; the service records a "rendezvous.deliver" span under
+// it covering accept-to-forward (including any store-and-forward wait).
 #pragma once
 
 #include <cstdint>
@@ -70,6 +74,9 @@ class PushService {
     Bytes payload;
     Micros expires_at;
     Micros queued_at;
+    // Open "rendezvous.deliver" span covering the store-and-forward wait;
+    // invalid when the push arrived untraced.
+    obs::TraceContext trace;
   };
   struct Registration {
     simnet::NodeId device;
@@ -81,6 +88,9 @@ class PushService {
   bool try_deliver(const std::string& reg_id, Registration& reg);
 
   void count(std::uint64_t PushStats::* field, const char* name);
+  /// Closes the deliver span of a queued push with an outcome event
+  /// (flushed / expired / dropped).
+  void end_queued_span(const QueuedPush& push, const char* outcome);
 
   simnet::Network& network_;
   std::unique_ptr<simnet::Node> node_;

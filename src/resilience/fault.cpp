@@ -56,6 +56,11 @@ std::optional<FaultAction> FaultInjector::check(const std::string& point) {
     ++rule_fires_[i];
     log_.push_back(FaultFire{hit, point, rule.kind});
     if (injected_) injected_->inc();
+    if (events_) {
+      events_->emit(obs::EventLevel::kWarn, "fault",
+                    std::string("injected ") + fault_kind_name(rule.kind) +
+                        " at " + point);
+    }
     return FaultAction{rule.kind, rule.err_no, rule.limit};
   }
   return std::nullopt;
@@ -80,6 +85,7 @@ void FaultInjector::set_metrics(obs::MetricsRegistry* registry) {
   std::lock_guard<std::mutex> lock(mu_);
   injected_ =
       registry ? &registry->counter("resilience.faults_injected") : nullptr;
+  events_ = registry ? &registry->events() : nullptr;
 }
 
 }  // namespace amnesia::resilience

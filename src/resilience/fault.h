@@ -44,6 +44,7 @@
 namespace amnesia::obs {
 class MetricsRegistry;
 class Counter;
+class EventLog;
 }  // namespace amnesia::obs
 
 namespace amnesia::resilience {
@@ -132,6 +133,7 @@ class FaultInjector {
   std::uint64_t total_hits_ = 0;
   std::vector<FaultFire> log_;
   obs::Counter* injected_ = nullptr;
+  obs::EventLog* events_ = nullptr;
 };
 
 /// The process-wide injector hook. Null (the default) means every

@@ -101,6 +101,7 @@ void CircuitBreaker::set_metrics(obs::MetricsRegistry* registry) {
   if (!registry) {
     opened_ = half_opened_ = closed_ = nullptr;
     state_gauge_ = nullptr;
+    events_ = nullptr;
     return;
   }
   const std::string prefix = "resilience.breaker." + name_ + ".";
@@ -109,6 +110,7 @@ void CircuitBreaker::set_metrics(obs::MetricsRegistry* registry) {
   closed_ = &registry->counter(prefix + "closed");
   state_gauge_ = &registry->gauge(prefix + "state");
   state_gauge_->set(static_cast<std::int64_t>(state_));
+  events_ = &registry->events();
 }
 
 void CircuitBreaker::transition(State next) {
@@ -129,6 +131,12 @@ void CircuitBreaker::transition(State next) {
       break;
   }
   if (state_gauge_) state_gauge_->set(static_cast<std::int64_t>(next));
+  if (events_) {
+    events_->emit(next == State::kOpen ? obs::EventLevel::kWarn
+                                       : obs::EventLevel::kInfo,
+                  "resilience",
+                  "breaker '" + name_ + "' -> " + state_name(next));
+  }
   if (on_change_) on_change_(next);
 }
 

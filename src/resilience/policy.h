@@ -31,6 +31,7 @@ namespace amnesia::obs {
 class MetricsRegistry;
 class Counter;
 class Gauge;
+class EventLog;
 }  // namespace amnesia::obs
 
 namespace amnesia::resilience {
@@ -201,6 +202,7 @@ class CircuitBreaker {
   obs::Counter* half_opened_ = nullptr;
   obs::Counter* closed_ = nullptr;
   obs::Gauge* state_gauge_ = nullptr;
+  obs::EventLog* events_ = nullptr;
 };
 
 }  // namespace amnesia::resilience

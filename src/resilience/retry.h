@@ -69,6 +69,11 @@ void retry_async(
     obs::Counter* retries = nullptr;
     obs::Counter* giveups = nullptr;
     obs::Counter* short_circuits = nullptr;
+    obs::EventLog* events = nullptr;
+    // The caller's trace, captured while it is still ambient: retry
+    // decisions fire from executor callbacks where it no longer is, and
+    // the event log tags records with the ambient context.
+    obs::TraceContext trace;
 
     LoopState(net::Executor& ex, RetryOptions opts,
               std::function<void(int, Deadline, std::function<void(Result<T>)>)>
@@ -85,7 +90,15 @@ void retry_async(
         giveups = &options.metrics->counter("resilience.retry_giveups");
         short_circuits =
             &options.metrics->counter("resilience.breaker_short_circuits");
+        events = &options.metrics->events();
+        trace = obs::current_trace();
       }
+    }
+
+    void emit(obs::EventLevel level, std::string message) {
+      if (!events) return;
+      const obs::ScopedTrace scope(trace);
+      events->emit(level, "resilience", std::move(message));
     }
   };
 
@@ -105,6 +118,8 @@ void retry_async(
     Micros now = state->executor.clock().now_us();
     if (state->options.breaker && !state->options.breaker->allow(now)) {
       if (state->short_circuits) state->short_circuits->inc();
+      state->emit(obs::EventLevel::kWarn,
+                  state->options.op_name + ": short-circuited, breaker open");
       state->done(Result<T>(Err::kUnavailable,
                             state->options.op_name + ": circuit open"));
       return;
@@ -143,11 +158,19 @@ void retry_async(
               : 0;
       bool deadline_ok = !state->options.deadline.expired(end + delay);
       if (!retryable || !attempts_left || !budget_ok || !deadline_ok) {
-        if (retryable && state->giveups) state->giveups->inc();
+        if (retryable && state->giveups) {
+          state->giveups->inc();
+          state->emit(obs::EventLevel::kWarn,
+                      state->options.op_name + ": giving up after attempt " +
+                          std::to_string(state->attempt));
+        }
         state->done(std::move(r));
         return;
       }
       if (state->retries) state->retries->inc();
+      state->emit(obs::EventLevel::kInfo,
+                  state->options.op_name + ": retrying, attempt " +
+                      std::to_string(state->attempt) + " failed");
       state->executor.run_after(delay, [self]() { (*self)(); });
     });
   };

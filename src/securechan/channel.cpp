@@ -190,6 +190,10 @@ void SecureServer::handle_wire(const Bytes& wire,
       const std::uint64_t channel_id = r.u64();
       const std::uint64_t seq = r.u64();
       const Bytes sealed = r.bytes();
+      // Optional plaintext trace slot; malformed trailing bytes throw
+      // FormatError here and reject the whole record below.
+      std::string trace;
+      if (!r.done()) trace = r.str();
       const auto it = channels_.find(channel_id);
       if (it == channels_.end()) {
         ++stats_.records_rejected;
@@ -214,8 +218,18 @@ void SecureServer::handle_wire(const Bytes& wire,
       if (metrics_) metrics_->counter("securechan.records_opened").inc();
       if (!handler_) return;
       const std::uint64_t channel_id_copy = channel_id;
-      handler_(chan.open_scratch, [this, channel_id_copy,
-                                   respond = std::move(respond)](Bytes reply) {
+      // A parseable trace slot becomes the ambient context for the
+      // dispatch; a bogus one is dropped and never echoed back.
+      obs::TraceContext remote;
+      std::string canonical_trace;
+      if (const auto parsed = obs::parse_trace_header(trace)) {
+        remote = *parsed;
+        canonical_trace = obs::format_trace_header(remote);
+      }
+      const obs::ScopedTrace scope(remote);
+      handler_(chan.open_scratch,
+               [this, channel_id_copy, canonical_trace,
+                respond = std::move(respond)](Bytes reply) {
         const auto chan_it = channels_.find(channel_id_copy);
         if (chan_it == channels_.end()) return;  // channel torn down
         Channel& c = chan_it->second;
@@ -229,6 +243,7 @@ void SecureServer::handle_wire(const Bytes& wire,
         w.u64(channel_id_copy);
         w.u64(reply_seq);
         w.bytes(c.seal_scratch);
+        if (!canonical_trace.empty()) w.str(canonical_trace);
         Bytes out = w.take();
         if (metrics_) {
           metrics_->counter("securechan.records_sealed").inc();
@@ -281,11 +296,22 @@ const ChannelKeys* SecureClient::debug_keys() const {
 
 void SecureClient::request(Bytes plaintext,
                            std::function<void(Result<Bytes>)> cb) {
+  // Capture the ambient trace context now: a queued request is flushed
+  // from the handshake callback, where the caller's context is gone.
+  std::string trace;
+  if (const obs::TraceContext ctx = obs::current_trace(); ctx.valid()) {
+    trace = obs::format_trace_header(ctx);
+  }
   if (!channel_) {
-    queue_.emplace_back(std::move(plaintext), std::move(cb));
+    queue_.emplace_back(std::move(plaintext), std::move(trace), std::move(cb));
     if (!handshake_in_flight_) start_handshake();
     return;
   }
+  send_record(std::move(plaintext), std::move(trace), std::move(cb));
+}
+
+void SecureClient::send_record(Bytes plaintext, std::string trace,
+                               std::function<void(Result<Bytes>)> cb) {
   Established& chan = *channel_;
   const std::uint64_t seq = chan.send_seq++;
   seal_record_into(chan.keys.client_to_server_key,
@@ -298,6 +324,7 @@ void SecureClient::request(Bytes plaintext,
   w.u64(chan.channel_id);
   w.u64(seq);
   w.bytes(chan.seal_scratch);
+  if (!trace.empty()) w.str(trace);
 
   wire_(
       w.take(),
@@ -359,7 +386,7 @@ void SecureClient::start_handshake() {
         auto fail_all = [this](Err code, const std::string& msg) {
           auto queue = std::move(queue_);
           queue_.clear();
-          for (auto& [payload, cb] : queue) {
+          for (auto& [payload, trace, cb] : queue) {
             cb(Result<Bytes>(code, msg));
           }
         };
@@ -415,8 +442,8 @@ void SecureClient::start_handshake() {
 void SecureClient::flush_queue() {
   auto queue = std::move(queue_);
   queue_.clear();
-  for (auto& [payload, cb] : queue) {
-    request(std::move(payload), std::move(cb));
+  for (auto& [payload, trace, cb] : queue) {
+    send_record(std::move(payload), std::move(trace), std::move(cb));
   }
 }
 

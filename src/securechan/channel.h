@@ -19,7 +19,13 @@
 // Wire envelope (inside a simnet Node RPC body):
 //   [0x01] client_hello : eph_pub(32) nonce_c(16)
 //   [0x02] server_hello : nonce_s(16) channel_id(8) confirm_record
-//   [0x03] data         : channel_id(8) seq(8) sealed(...)
+//   [0x03] data         : channel_id(8) seq(8) sealed(...) [trace_str]
+//
+// The optional trailing trace_str is a length-prefixed serialized
+// obs::TraceContext — plaintext record *metadata*, deliberately outside
+// both the sealed payload and the AAD, so a transport-level observer (or
+// the ops tooling) can correlate records with traces without any key
+// material. It carries no secrets: ids only.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,8 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
+#include <tuple>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -185,6 +193,8 @@ class SecureClient {
 
   void start_handshake();
   void flush_queue();
+  void send_record(Bytes plaintext, std::string trace,
+                   std::function<void(Result<Bytes>)> cb);
 
   WireFn wire_;
   crypto::X25519Key pinned_server_key_;
@@ -193,8 +203,11 @@ class SecureClient {
   bool handshake_in_flight_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;
   const Clock* metrics_clock_ = nullptr;
-  // Requests issued before the handshake completes.
-  std::deque<std::pair<Bytes, std::function<void(Result<Bytes>)>>> queue_;
+  // Requests issued before the handshake completes. The trace context is
+  // captured at request() time: by the time the handshake completes and
+  // the queue flushes, the caller's ambient context is gone.
+  std::deque<std::tuple<Bytes, std::string, std::function<void(Result<Bytes>)>>>
+      queue_;
   // Handshake state while in flight.
   Bytes pending_eph_private_;
   Bytes pending_client_nonce_;

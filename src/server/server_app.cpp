@@ -85,8 +85,8 @@ AmnesiaServer::~AmnesiaServer() {
 }
 
 void AmnesiaServer::finish_round_spans(const PendingPassword& pending) {
-  metrics_.end_span(pending.wait_span);
-  metrics_.end_span(pending.round_span);
+  metrics_.tracer().end(pending.wait_span);
+  metrics_.tracer().end(pending.round_span);
 }
 
 void AmnesiaServer::install_routes() {
@@ -143,6 +143,37 @@ void AmnesiaServer::install_routes() {
                            obs::to_text(metrics_.snapshot())));
                      });
   http_.metrics_exempt("/metrics");
+
+  // One trace tree as JSON, by 32-hex trace id. Exempt like /metrics:
+  // fetching a trace must not grow it.
+  http_.router().add(
+      Method::kGet, "/trace/:id",
+      [this](const Request&, const PathParams& params, Responder respond) {
+        const auto it = params.find("id");
+        const auto id =
+            obs::parse_trace_id_hex(it != params.end() ? it->second : "");
+        if (!id) {
+          respond(Response::error(400, "malformed trace id"));
+          return;
+        }
+        const auto spans = metrics_.tracer().trace(*id);
+        if (spans.empty()) {
+          respond(Response::error(404, "unknown trace"));
+          return;
+        }
+        respond(Response::ok_text(obs::trace_to_json(spans)));
+      });
+  http_.metrics_exempt("/trace/:id");
+
+  // The structured event log (retries, breaker transitions, fault
+  // injections, shed 503s) as JSON lines, trace-tagged.
+  http_.router().add(Method::kGet, "/events",
+                     [this](const Request&, const PathParams&,
+                            Responder respond) {
+                       respond(Response::ok_text(
+                           metrics_.events().to_json_lines()));
+                     });
+  http_.metrics_exempt("/events");
 }
 
 std::optional<std::string> AmnesiaServer::require_auth(
@@ -420,20 +451,30 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
   const Micros tstart = sim_.now();
   pending.tstart_us = tstart;
   const core::Request r = core::make_request(pending.account, seed);
-  const core::PasswordRequestPush push_msg{request_id, r, origin_ip, tstart};
+  core::PasswordRequestPush push_msg{request_id, r, origin_ip, tstart};
 
-  // One root span per bilateral round; the push leg and the phone wait are
-  // children, and server.generate joins them when the token arrives.
-  pending.round_span = metrics_.begin_span("protocol.round");
-  const obs::SpanId round_span = pending.round_span;
+  // One round span per bilateral round, parented under the browser's
+  // request trace (the ambient http.server span); the push leg and the
+  // phone wait are children, and server.generate joins them when the
+  // token arrives.
+  obs::Tracer& tracer = metrics_.tracer();
+  pending.round_span =
+      tracer.start_span("protocol.round", "server", obs::current_trace());
+  const obs::TraceContext round_span = pending.round_span;
   // Breaker open means the push leg is known-dead: skip the doomed RPC
   // (and its span) and park the payload for a polling phone. The round
   // still either completes — the token arrives over the phone's HTTPS
   // leg — or hits the phone-wait timeout.
   const bool push_allowed = rendezvous_breaker_.allow(sim_.now());
-  const obs::SpanId push_span =
-      push_allowed ? metrics_.begin_span("rendezvous.push", round_span) : 0;
-  pending.wait_span = metrics_.begin_span("phone.wait", round_span);
+  const obs::TraceContext push_span =
+      push_allowed ? tracer.start_span("rendezvous.push", "server", round_span)
+                   : obs::TraceContext{};
+  pending.wait_span = tracer.start_span("phone.wait", "server", round_span);
+
+  // The push payload carries the wait span's context: whichever way the
+  // request reaches the phone — rendezvous push or the poll fallback —
+  // the phone's spans parent under the wait it is resolving.
+  push_msg.trace = obs::format_trace_header(pending.wait_span);
 
   pending_passwords_.emplace(request_id, std::move(pending));
 
@@ -452,17 +493,24 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
   });
 
   if (!push_allowed) {
+    const obs::ScopedTrace skipped(round_span);
+    metrics_.events().emit(obs::EventLevel::kInfo, "server",
+                           "rendezvous breaker open, queuing for poll");
     enqueue_poll(registration_id, push_msg.encode());
     return;
   }
 
   const Micros push_timeout =
       std::min(config_.push_rpc_timeout_us, config_.phone_wait_timeout_us);
+  // The push span is ambient for the duration of the push() call so the
+  // rendezvous client stamps it into the RPC metadata (the GCM hop's
+  // deliver span parents under it).
+  const obs::ScopedTrace push_scope(push_span);
   push_.push(
       registration_id, push_msg.encode(), config_.push_ttl_us,
       [request_id, push_span, tstart, registration_id,
        payload = push_msg.encode(), this](Status s) {
-        metrics_.end_span(push_span);
+        metrics_.tracer().end(push_span);
         metrics_.histogram("rendezvous.push_ack_us")
             .record(sim_.now() - tstart);
         if (s.ok()) {
@@ -474,8 +522,14 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
         metrics_.counter("server.push_failures").inc();
         // Degrade instead of failing the browser with a 502: if the round
         // is still pending, a polling phone can pick the request up from
-        // the poll queue and answer before phone_wait_timeout_us.
+        // the poll queue and answer before phone_wait_timeout_us. The
+        // event is emitted under the (ended) push span's context so the
+        // log line carries the trace id of the login that degraded.
         if (pending_passwords_.contains(request_id)) {
+          const obs::ScopedTrace degraded(push_span);
+          metrics_.events().emit(obs::EventLevel::kWarn, "server",
+                                 "push failed (" + s.message() +
+                                     "), degrading to poll delivery");
           enqueue_poll(registration_id, std::move(payload));
         }
       },
@@ -550,11 +604,11 @@ void AmnesiaServer::handle_token(const Request& req,
   PendingPassword pending = std::move(it->second);
   pending_passwords_.erase(it);
   // The phone has answered: the wait leg of the round is over.
-  metrics_.end_span(pending.wait_span);
+  metrics_.tracer().end(pending.wait_span);
 
   const auto user_record = db_.get_user(pending.user);
   if (!user_record) {
-    metrics_.end_span(pending.round_span);
+    metrics_.tracer().end(pending.round_span);
     pending.respond(Response::error(500, "user state vanished"));
     respond(Response::error(500, "user state vanished"));
     return;
@@ -564,17 +618,17 @@ void AmnesiaServer::handle_token(const Request& req,
     case TokenPurpose::kGenerate: {
       const auto account = db_.get_account(pending.user, pending.account);
       if (!account) {
-        metrics_.end_span(pending.round_span);
+        metrics_.tracer().end(pending.round_span);
         pending.respond(Response::error(500, "account state vanished"));
         respond(Response::error(500, "account state vanished"));
         return;
       }
       // p = SHA512(T || Oid || sigma), then the template fn (III-B4).
-      const obs::SpanId gen_span =
-          metrics_.begin_span("server.generate", pending.round_span);
+      const obs::TraceContext gen_span = metrics_.tracer().start_span(
+          "server.generate", "server", pending.round_span);
       const std::string password = core::generate_password(
           token, user_record->oid, account->seed, account->policy);
-      metrics_.end_span(gen_span);
+      metrics_.tracer().end(gen_span);
 
       const Micros tend = sim_.now();
       password_latencies_.push_back(tend - pending.tstart_us);
@@ -596,14 +650,14 @@ void AmnesiaServer::handle_token(const Request& req,
           {{"password", password},
            {"latency_ms",
             std::to_string(us_to_ms(tend - pending.tstart_us))}}));
-      metrics_.end_span(pending.round_span);
+      metrics_.tracer().end(pending.round_span);
       respond(Response::ok_text("token accepted"));
       return;
     }
     case TokenPurpose::kVaultStore: {
       const auto record = db_.vault_get(pending.user, pending.account);
       if (!record) {
-        metrics_.end_span(pending.round_span);
+        metrics_.tracer().end(pending.round_span);
         pending.respond(Response::error(500, "vault state vanished"));
         respond(Response::error(500, "vault state vanished"));
         return;
@@ -623,14 +677,14 @@ void AmnesiaServer::handle_token(const Request& req,
       db_.vault_set_ciphertext(pending.user, pending.account, nonce, sealed);
       ++stats_.vault_stores;
       pending.respond(Response::ok_text("stored"));
-      metrics_.end_span(pending.round_span);
+      metrics_.tracer().end(pending.round_span);
       respond(Response::ok_text("token accepted"));
       return;
     }
     case TokenPurpose::kVaultRetrieve: {
       const auto record = db_.vault_get(pending.user, pending.account);
       if (!record || !record->ciphertext || !record->nonce) {
-        metrics_.end_span(pending.round_span);
+        metrics_.tracer().end(pending.round_span);
         pending.respond(Response::error(404, "nothing stored"));
         respond(Response::error(404, "nothing stored"));
         return;
@@ -645,7 +699,7 @@ void AmnesiaServer::handle_token(const Request& req,
           crypto::aead_open(key, *record->nonce, aad, *record->ciphertext);
       if (!opened) {
         // Wrong/stale phone (new T_E after recovery) or tampered record.
-        metrics_.end_span(pending.round_span);
+        metrics_.tracer().end(pending.round_span);
         pending.respond(Response::error(
             403, "vault record does not open with this phone"));
         respond(Response::ok_text("token accepted"));
@@ -654,7 +708,7 @@ void AmnesiaServer::handle_token(const Request& req,
       ++stats_.vault_retrievals;
       pending.respond(
           websvc::Response::ok_form({{"password", to_string(*opened)}}));
-      metrics_.end_span(pending.round_span);
+      metrics_.tracer().end(pending.round_span);
       respond(Response::ok_text("token accepted"));
       return;
     }

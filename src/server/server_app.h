@@ -206,9 +206,11 @@ class AmnesiaServer {
     std::string chosen_password;  // kVaultStore only
     std::string session_token;    // for the session cache
     // Open spans for this round; ended on whichever completion path fires
-    // (token, decline, timeout, push failure). end_span tolerates 0.
-    obs::SpanId round_span = 0;
-    obs::SpanId wait_span = 0;
+    // (token, decline, timeout, push failure). end() tolerates invalid
+    // contexts. Both join the trace of the browser request that started
+    // the round (the ambient http.server span).
+    obs::TraceContext round_span;
+    obs::TraceContext wait_span;
   };
   struct CachedPassword {
     std::string password;

@@ -58,6 +58,14 @@ void HttpClient::absorb_cookies(const Response& resp) {
 }
 
 void HttpClient::send_once(const Request& req, ResponseCb cb) {
+  // Re-install the request's own trace context for the duration of the
+  // transport call: retries re-enter here from executor callbacks where
+  // the ambient context of the original send() is long gone, and the
+  // secure-channel transport captures the ambient context synchronously.
+  std::optional<obs::ScopedTrace> scope;
+  if (const auto header = req.header(obs::kTraceHeaderName)) {
+    if (const auto ctx = obs::parse_trace_header(*header)) scope.emplace(*ctx);
+  }
   transport_(serialize(req), [this, cb = std::move(cb)](Result<Bytes> wire) {
     if (!wire.ok()) {
       cb(Result<Response>(wire.failure()));
@@ -78,6 +86,18 @@ void HttpClient::send_once(const Request& req, ResponseCb cb) {
 
 void HttpClient::send(Request req, ResponseCb cb) {
   apply_cookies(req);
+  if (tracer_) {
+    // One client span covers the whole request, retries included; the
+    // serialized context rides the X-Amnesia-Trace header to the server.
+    const obs::TraceContext span = tracer_->start_span(
+        "http.client", trace_component_, obs::current_trace());
+    tracer_->add_attribute(span, "path", req.path);
+    req.headers[obs::kTraceHeaderName] = obs::format_trace_header(span);
+    cb = [tracer = tracer_, span, cb = std::move(cb)](Result<Response> r) {
+      tracer->end(span);
+      cb(std::move(r));
+    };
+  }
   if (!retry_ || !retry_exec_) {
     send_once(req, std::move(cb));
     return;

@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "net/executor.h"
+#include "obs/trace.h"
 #include "resilience/policy.h"
 #include "simnet/node.h"
 #include "websvc/http.h"
@@ -61,6 +62,16 @@ class HttpClient {
     retry_ = std::move(config);
   }
 
+  /// Enables tracing: every send() opens an "http.client" span (child of
+  /// the ambient context, else a fresh root) and stamps the serialized
+  /// context into the X-Amnesia-Trace request header. `component` names
+  /// this process in the trace (browser/phone/...). Tracer must outlive
+  /// the client.
+  void set_tracer(obs::Tracer* tracer, std::string component) {
+    tracer_ = tracer;
+    trace_component_ = std::move(component);
+  }
+
   void get(const std::string& path, ResponseCb cb) {
     get(path, {}, std::move(cb));
   }
@@ -89,6 +100,8 @@ class HttpClient {
   net::Executor* retry_exec_ = nullptr;
   std::optional<HttpRetryConfig> retry_;
   std::uint64_t retry_calls_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  std::string trace_component_ = "client";
 };
 
 }  // namespace amnesia::websvc

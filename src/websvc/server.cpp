@@ -44,6 +44,21 @@ void HttpServer::handle_bytes(const Bytes& wire,
     return;
   }
 
+  // Sanitize the remote trace header before anything can observe it: a
+  // valid header is rewritten in canonical serialization, anything else
+  // (oversized, non-hex, truncated, zero ids) is dropped so the request
+  // starts a fresh root and the hostile bytes are never echoed back.
+  obs::TraceContext remote;  // stays invalid without a usable header
+  if (const auto trace_header = req.header(obs::kTraceHeaderName)) {
+    if (const auto parsed = obs::parse_trace_header(*trace_header)) {
+      remote = *parsed;
+      req.headers[obs::kTraceHeaderName] = obs::format_trace_header(remote);
+    } else {
+      req.headers.erase(obs::kTraceHeaderName);
+      if (metrics_) metrics_->counter("http.trace_headers_rejected").inc();
+    }
+  }
+
   // Metrics-exempt routes (the /metrics exporter) are served outside the
   // worker pool and without instrumentation, so that exporting a snapshot
   // neither perturbs pool occupancy nor mutates the registry it reports.
@@ -77,6 +92,9 @@ void HttpServer::handle_bytes(const Bytes& wire,
     if (metrics_) {
       metrics_->counter("resilience.requests_shed").inc();
       metrics_->counter("http.responses_5xx").inc();
+      const obs::ScopedTrace scope(remote);  // tag the event with the trace
+      metrics_->events().emit(obs::EventLevel::kWarn, "websvc",
+                              "load shed 503: " + req.path);
     }
     Response resp = Response::error(503, "server overloaded");
     resp.headers["Retry-After"] = std::to_string(shed_retry_after_s_);
@@ -84,12 +102,21 @@ void HttpServer::handle_bytes(const Bytes& wire,
     return;
   }
 
+  // The server span opens at arrival (not dispatch) so queueing and
+  // modelled service time are attributed to this hop in the trace tree.
+  obs::TraceContext server_span;  // invalid when tracing is off
+  if (metrics_) {
+    obs::Tracer& tracer = metrics_->tracer();
+    server_span = tracer.start_span("http.server", trace_component_, remote);
+    tracer.add_attribute(server_span, "path", req.path);
+  }
+
   const Micros arrived_at = exec_.clock().now_us();
-  pool_.submit([this, arrived_at, req = std::move(req),
+  pool_.submit([this, arrived_at, server_span, req = std::move(req),
                 respond = std::move(respond)](
                    std::function<void()> release) mutable {
     const Micros cost = service_time_ ? service_time_(req) : 0;
-    auto dispatch = [this, arrived_at, req = std::move(req),
+    auto dispatch = [this, arrived_at, server_span, req = std::move(req),
                      respond = std::move(respond),
                      release = std::move(release)]() mutable {
       // Resolve the route up front so the responder can label metrics by
@@ -110,7 +137,7 @@ void HttpServer::handle_bytes(const Bytes& wire,
         latency = &metrics_->histogram("http.route." + route + ".latency_us");
       }
 
-      auto responder = [this, arrived_at, observe, latency,
+      auto responder = [this, arrived_at, observe, latency, server_span,
                         respond = std::move(respond),
                         release = std::move(release)](Response resp) {
         count_status(resp.status);
@@ -124,6 +151,13 @@ void HttpServer::handle_bytes(const Bytes& wire,
           }
         }
         if (latency) latency->record(exec_.clock().now_us() - arrived_at);
+        if (server_span.valid()) {
+          // Echo only our own canonical serialization, never the inbound
+          // header bytes, and close the server hop.
+          resp.headers[obs::kTraceHeaderName] =
+              obs::format_trace_header(server_span);
+          metrics_->tracer().end(server_span);
+        }
         respond(serialize(resp));
         release();
       };
@@ -132,6 +166,9 @@ void HttpServer::handle_bytes(const Bytes& wire,
         return;
       }
       try {
+        // Handlers (and everything they call synchronously) see this
+        // request's context as the ambient trace.
+        const obs::ScopedTrace scope(server_span);
         (*handler)(req, params, responder);
       } catch (const Error& e) {
         AMNESIA_ERROR("websvc") << "handler threw: " << e.what();

@@ -65,6 +65,12 @@ class HttpServer {
   /// time, and any asynchronous wait inside the handler.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Names this process in recorded trace spans ("server" by default;
+  /// the GCM stand-in sets "gcm", etc.).
+  void set_trace_component(std::string component) {
+    trace_component_ = std::move(component);
+  }
+
   /// Excludes a route pattern from metrics recording and serves it
   /// outside the worker pool. Used for the /metrics route itself so that
   /// serving a snapshot neither mutates the registry it is exporting nor
@@ -101,6 +107,7 @@ class HttpServer {
   ServiceTimeFn service_time_;
   HttpServerStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  std::string trace_component_ = "server";
   std::set<std::string> metrics_exempt_;
   std::size_t shed_max_queue_ = 0;
   int shed_retry_after_s_ = 1;

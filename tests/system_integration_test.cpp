@@ -390,7 +390,14 @@ TEST(SystemIntegration, RoundSpanTreeCoversProtocolPhases) {
   auto& metrics = bed.server().metrics();
   const auto roots = metrics.spans_named("protocol.round");
   ASSERT_EQ(roots.size(), 1u);
-  EXPECT_EQ(roots[0].parent, 0u);
+  // No longer a detached root: the round joins the browser's distributed
+  // trace, parented under the http.server span of POST /password/request.
+  ASSERT_NE(roots[0].parent, 0u);
+  bool parent_is_http_server = false;
+  for (const auto& s : metrics.spans_named("http.server")) {
+    if (s.id == roots[0].parent) parent_is_http_server = true;
+  }
+  EXPECT_TRUE(parent_is_http_server);
   ASSERT_TRUE(roots[0].finished);
   EXPECT_GT(roots[0].end, roots[0].start);
 

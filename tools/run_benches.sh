@@ -1,8 +1,9 @@
 #!/bin/sh
 # Builds (Release) and runs the benchmark suites, leaving
-# BENCH_crypto_primitives.json and BENCH_net_loopback.json at the repo
-# root for regression diffing (see docs/PERFORMANCE.md and
-# docs/NETWORKING.md). Run from anywhere inside the repo:
+# BENCH_crypto_primitives.json, BENCH_net_loopback.json, and
+# BENCH_fig3_latency.json at the repo root for regression diffing (see
+# docs/PERFORMANCE.md, docs/NETWORKING.md, and docs/OBSERVABILITY.md).
+# Run from anywhere inside the repo:
 #
 #   tools/run_benches.sh                 # both suites
 #   tools/run_benches.sh 'BM_Pbkdf2.*'   # crypto suite only, by regex
@@ -45,4 +46,12 @@ if [ "$filter" = "." ]; then
     echo "== run bench_net_loopback"
     "$build_dir/bench/bench_net_loopback" \
         "$repo_root/BENCH_net_loopback.json"
+
+    # Fig. 3 latency reproduction with trace-derived critical-path
+    # attribution; virtual time, so the run is fast and the artifact is
+    # byte-identical per seed. Writes BENCH_fig3_latency.json into CWD.
+    echo "== build bench_fig3_latency"
+    cmake --build "$build_dir" -j "$jobs" --target bench_fig3_latency
+    echo "== run bench_fig3_latency"
+    "$build_dir/bench/bench_fig3_latency"
 fi

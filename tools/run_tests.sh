@@ -52,12 +52,14 @@ run_pass() {
 # epoll loop: EventLoop::post from foreign threads, the HttpServer worker
 # pool over TcpTransport, and the securechan framing used on both. The
 # net tests include the injected-EINTR/connect-failure cases, so syscall
-# fault paths run under TSan too.
-tsan_filter='net_|securechan_stream'
+# fault paths run under TSan too. The tracing suites join the pass
+# because the span store (sharded rings + open table) and trace
+# propagation over real TCP are multithreaded hot paths.
+tsan_filter='net_|securechan_stream|obs_trace|trace_propagation'
 
 # Everything driven by resilience::FaultInjector plus the degraded-mode
 # end-to-end suites.
-fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test'
+fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test|trace_propagation'
 
 case "$mode" in
 plain)
