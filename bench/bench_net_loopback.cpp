@@ -1,6 +1,6 @@
 // Loopback throughput/latency for the real TCP transport.
 //
-// Runs the full Amnesia stack — simulation-hosted server behind
+// Runs the full Amnesia stack — simulation-hosted servers behind
 // server::NetGateway, wire-backed client::Browser over net::TcpTransport —
 // on 127.0.0.1 and drives a closed loop at several concurrency levels
 // (one TCP connection per concurrent client, ~4 pipelined requests each).
@@ -12,12 +12,20 @@
 //             phone confirmation (bridged virtual time), i.e. the
 //             end-to-end hot path of the paper.
 //
+// The whole matrix repeats per shard count (argv[2], comma-separated;
+// default "1"): N reactors sharing one port via SO_REUSEPORT, each a
+// shared-nothing AmnesiaServer, stitched together by server::ShardRouter.
+// Every client logs in as its own bench-user-<i>, so requests spread over
+// the shards by user hash and the cross-shard mailbox is on the measured
+// path. Each JSON phase row carries a "shards" field; N=1 is the
+// unsharded baseline.
+//
 // Simulated link latencies are collapsed to ~10 us and the per-request
 // virtual CPU charges zeroed, so the numbers measure the real epoll
 // transport and real crypto rather than the calibrated WAN model (that
 // model is bench_fig3_latency's job). Writes BENCH_net_loopback.json
-// (req/s, p50/p99 latency, bytes/s per phase x concurrency) to the
-// current directory, or to argv[1].
+// (req/s, p50/p99 latency, bytes/s per phase x concurrency x shards) to
+// the current directory, or to argv[1].
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -31,6 +39,7 @@
 
 #include "client/browser.h"
 #include "crypto/drbg.h"
+#include "eval/sharded_testbed.h"
 #include "eval/testbed.h"
 #include "net/event_loop.h"
 #include "net/rpc.h"
@@ -41,14 +50,16 @@ using namespace amnesia;
 
 namespace {
 
-constexpr const char* kUser = "alice";
 constexpr const char* kMasterPassword = "bench master password";
 constexpr const char* kAccountUser = "Alice";
 constexpr const char* kAccountDomain = "mail.google.com";
 constexpr std::size_t kPipelineDepth = 4;
 const std::vector<int> kConcurrency = {1, 2, 4, 8};
 
+std::string bench_user(int i) { return "bench-user-" + std::to_string(i); }
+
 struct BenchClient {
+  std::string user;
   std::unique_ptr<net::TcpTransport> dial;
   std::unique_ptr<net::RpcClient> rpc;
   std::unique_ptr<crypto::ChaChaDrbg> rng;
@@ -57,8 +68,9 @@ struct BenchClient {
 
 BenchClient make_client(net::EventLoop& loop, std::uint16_t port,
                         const crypto::X25519Key& server_key,
-                        std::uint64_t seed) {
+                        std::string user, std::uint64_t seed) {
   BenchClient c;
+  c.user = std::move(user);
   c.dial = std::make_unique<net::TcpTransport>(loop, "127.0.0.1", port);
   c.rpc = std::make_unique<net::RpcClient>(*c.dial, 30'000'000);
   c.rng = std::make_unique<crypto::ChaChaDrbg>(seed);
@@ -68,10 +80,11 @@ BenchClient make_client(net::EventLoop& loop, std::uint16_t port,
   return c;
 }
 
-using Op = std::function<void(client::Browser&, std::function<void(bool)>)>;
+using Op = std::function<void(BenchClient&, std::function<void(bool)>)>;
 
 struct PhaseRow {
   std::string phase;
+  std::size_t shards = 1;
   int concurrency = 0;
   std::size_t requests = 0;
   std::size_t failures = 0;
@@ -89,13 +102,22 @@ Micros percentile(std::vector<Micros>& sorted, double p) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+std::uint64_t sum_counters(const std::vector<obs::Counter*>& counters) {
+  std::uint64_t total = 0;
+  for (const obs::Counter* c : counters) total += c->value();
+  return total;
+}
+
 /// Closed loop: each client keeps `depth` requests outstanding until
 /// `total` have completed across all clients.
 PhaseRow run_phase(net::EventLoop& loop, std::vector<BenchClient>& clients,
-                   const std::string& phase, std::size_t total, const Op& op,
-                   obs::Counter& rx, obs::Counter& tx) {
+                   const std::string& phase, std::size_t shards,
+                   std::size_t total, const Op& op,
+                   const std::vector<obs::Counter*>& rx,
+                   const std::vector<obs::Counter*>& tx) {
   PhaseRow row;
   row.phase = phase;
+  row.shards = shards;
   row.concurrency = static_cast<int>(clients.size());
   row.requests = total;
 
@@ -106,7 +128,7 @@ PhaseRow run_phase(net::EventLoop& loop, std::vector<BenchClient>& clients,
     if (issued >= total) return;
     ++issued;
     const Micros t0 = loop.clock().now_us();
-    op(*clients[ci].browser, [&, ci, t0](bool ok) {
+    op(clients[ci], [&, ci, t0](bool ok) {
       latencies.push_back(loop.clock().now_us() - t0);
       if (!ok) ++row.failures;
       ++done;
@@ -114,7 +136,7 @@ PhaseRow run_phase(net::EventLoop& loop, std::vector<BenchClient>& clients,
     });
   };
 
-  const std::uint64_t rx0 = rx.value(), tx0 = tx.value();
+  const std::uint64_t rx0 = sum_counters(rx), tx0 = sum_counters(tx);
   const Micros start = loop.clock().now_us();
   for (std::size_t ci = 0; ci < clients.size(); ++ci) {
     for (std::size_t d = 0; d < kPipelineDepth; ++d) issue(ci);
@@ -136,7 +158,8 @@ PhaseRow run_phase(net::EventLoop& loop, std::vector<BenchClient>& clients,
   row.p50_us = percentile(latencies, 0.50);
   row.p99_us = percentile(latencies, 0.99);
   row.bytes_per_s =
-      static_cast<double>((rx.value() - rx0) + (tx.value() - tx0)) /
+      static_cast<double>((sum_counters(rx) - rx0) +
+                          (sum_counters(tx) - tx0)) /
       row.wall_s;
   return row;
 }
@@ -211,7 +234,7 @@ void write_json(const char* path, const std::vector<PhaseRow>& rows,
   std::fprintf(f, "  \"bench\": \"net_loopback\",\n");
   std::fprintf(f,
                "  \"transport\": \"tcp 127.0.0.1 (epoll event loop, "
-               "TCP_NODELAY)\",\n");
+               "TCP_NODELAY, SO_REUSEPORT at shards > 1)\",\n");
   std::fprintf(f, "  \"pipeline_depth\": %zu,\n", kPipelineDepth);
   std::fprintf(f,
                "  \"counter_contention\": {\"threads\": %d, \"cores\": %u, "
@@ -226,13 +249,15 @@ void write_json(const char* path, const std::vector<PhaseRow>& rows,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const PhaseRow& r = rows[i];
     std::fprintf(f,
-                 "    {\"phase\": \"%s\", \"concurrency\": %d, "
+                 "    {\"phase\": \"%s\", \"shards\": %zu, "
+                 "\"concurrency\": %d, "
                  "\"requests\": %zu, \"failures\": %zu, "
                  "\"wall_s\": %.3f, \"req_per_s\": %.1f, "
                  "\"p50_us\": %lld, \"p99_us\": %lld, "
                  "\"bytes_per_s\": %.0f}%s\n",
-                 r.phase.c_str(), r.concurrency, r.requests, r.failures,
-                 r.wall_s, r.req_per_s, static_cast<long long>(r.p50_us),
+                 r.phase.c_str(), r.shards, r.concurrency, r.requests,
+                 r.failures, r.wall_s, r.req_per_s,
+                 static_cast<long long>(r.p50_us),
                  static_cast<long long>(r.p99_us), r.bytes_per_s,
                  i + 1 < rows.size() ? "," : "");
   }
@@ -240,13 +265,9 @@ void write_json(const char* path, const std::vector<PhaseRow>& rows,
   std::fclose(f);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_net_loopback.json";
-
-  // Collapse the simulated WAN/WiFi model and virtual CPU charges so the
-  // measurement isolates the real transport + real crypto.
+/// Collapses the simulated WAN/WiFi model and virtual CPU charges so the
+/// measurement isolates the real transport + real crypto.
+eval::TestbedConfig bench_config() {
   eval::TestbedConfig config;
   // Enough workers that concurrency x pipeline password requests (which
   // hold a worker for the whole phone round trip, CherryPy-style) never
@@ -258,8 +279,10 @@ int main(int argc, char** argv) {
   config.server.light_compute_ms = 0.0;
   config.phone.compute_mean_ms = 0.0;
   config.phone.compute_stddev_ms = 0.0;
-  eval::Testbed bed(config);
+  return config;
+}
 
+void flatten_links(eval::Testbed& bed) {
   simnet::LinkProfile fast;
   fast.name = "near-zero";
   fast.base_latency_ms = 0.01;
@@ -272,65 +295,106 @@ int main(int argc, char** argv) {
   bed.net().set_duplex_link("gcm", "phone", fast, fast);
   bed.net().set_duplex_link("phone", "amnesia-server", fast, fast);
   bed.net().set_duplex_link("phone", "cloud", fast, fast);
+}
 
-  if (Status s = bed.provision(kUser, kMasterPassword); !s.ok()) {
-    std::fprintf(stderr, "FAILED: provision: %s\n", s.message().c_str());
-    return 1;
+std::vector<std::size_t> parse_shard_counts(const char* arg) {
+  std::vector<std::size_t> counts;
+  std::string token;
+  for (const char* p = arg;; ++p) {
+    if (*p != '\0' && *p != ',') {
+      token += *p;
+      continue;
+    }
+    if (!token.empty()) {
+      const long n = std::strtol(token.c_str(), nullptr, 10);
+      if (n >= 1 &&
+          std::find(counts.begin(), counts.end(),
+                    static_cast<std::size_t>(n)) == counts.end()) {
+        counts.push_back(static_cast<std::size_t>(n));
+      }
+      token.clear();
+    }
+    if (*p == '\0') break;
   }
-  if (Status s = bed.add_account(kAccountUser, kAccountDomain); !s.ok()) {
-    std::fprintf(stderr, "FAILED: add_account: %s\n", s.message().c_str());
-    return 1;
+  if (counts.empty()) counts.push_back(1);
+  return counts;
+}
+
+/// One full concurrency sweep against an N-shard deployment.
+int run_shard_matrix(std::size_t shards, std::vector<PhaseRow>& rows,
+                     std::uint64_t& next_seed) {
+  eval::ShardedTcpConfig sc;
+  sc.shards = shards;
+  sc.seed = 1;
+  sc.base = bench_config();
+  eval::ShardedTcpTestbed st(sc);
+
+  const int max_conc = *std::max_element(kConcurrency.begin(),
+                                         kConcurrency.end());
+  for (std::size_t k = 0; k < st.shards(); ++k) flatten_links(st.bed(k));
+  // One user per client slot, provisioned on its owner bed while the
+  // deployment is still single-threaded; each then pins one account.
+  for (int i = 0; i < max_conc; ++i) {
+    const std::string user = bench_user(i);
+    if (Status s = st.provision(user, kMasterPassword); !s.ok()) {
+      std::fprintf(stderr, "FAILED: provision %s: %s\n", user.c_str(),
+                   s.message().c_str());
+      return 1;
+    }
+    eval::Testbed& owner = st.bed(st.owner_of(user));
+    if (Status s = owner.add_account(kAccountUser, kAccountDomain); !s.ok()) {
+      std::fprintf(stderr, "FAILED: add_account %s: %s\n", user.c_str(),
+                   s.message().c_str());
+      return 1;
+    }
+  }
+  st.start();
+
+  std::vector<obs::Counter*> rx, tx;
+  for (std::size_t k = 0; k < st.shards(); ++k) {
+    rx.push_back(&st.bed(k).server().metrics().counter("net.bytes_rx"));
+    tx.push_back(&st.bed(k).server().metrics().counter("net.bytes_tx"));
   }
 
-  net::EventLoop loop;
-  net::TcpTransport secure_tr(loop, "127.0.0.1", 0);
-  secure_tr.set_metrics(&bed.server().metrics());
-  server::NetGateway gateway(secure_tr, nullptr, bed.server());
-  obs::Counter& rx = bed.server().metrics().counter("net.bytes_rx");
-  obs::Counter& tx = bed.server().metrics().counter("net.bytes_tx");
-
-  const Op login_op = [](client::Browser& b, std::function<void(bool)> cb) {
-    b.login(kUser, kMasterPassword,
-            [cb = std::move(cb)](Status s) { cb(s.ok()); });
+  const Op login_op = [](BenchClient& c, std::function<void(bool)> cb) {
+    c.browser->login(c.user, kMasterPassword,
+                     [cb = std::move(cb)](Status s) { cb(s.ok()); });
   };
-  const Op password_op = [](client::Browser& b,
-                            std::function<void(bool)> cb) {
-    b.request_password(
+  const Op password_op = [](BenchClient& c, std::function<void(bool)> cb) {
+    c.browser->request_password(
         kAccountUser, kAccountDomain,
         [cb = std::move(cb)](Result<std::string> r) { cb(r.ok()); });
   };
 
-  std::vector<PhaseRow> rows;
-  std::uint64_t next_seed = 1;
-  std::printf("%-10s %5s %9s %9s %10s %10s %12s\n", "phase", "conc", "reqs",
-              "req/s", "p50_us", "p99_us", "bytes/s");
+  net::EventLoop loop;
   for (const int conc : kConcurrency) {
     std::vector<BenchClient> clients;
     for (int i = 0; i < conc; ++i) {
-      clients.push_back(make_client(loop, secure_tr.local_port(),
-                                    bed.server().public_key(), next_seed++));
+      clients.push_back(make_client(loop, st.port(), st.public_key(),
+                                    bench_user(i), next_seed++));
     }
 
     // Timed phase 1: login (handshake + PBKDF2, no phone round trip).
-    PhaseRow login_row = run_phase(loop, clients, "login",
-                                   static_cast<std::size_t>(conc) * 60,
-                                   login_op, rx, tx);
+    PhaseRow login_row =
+        run_phase(loop, clients, "login", shards,
+                  static_cast<std::size_t>(conc) * 60, login_op, rx, tx);
 
     // Timed phase 2: bilateral password generation (phone confirms every
     // request; sessions already established by phase 1).
-    PhaseRow password_row = run_phase(loop, clients, "password",
-                                      static_cast<std::size_t>(conc) * 25,
-                                      password_op, rx, tx);
+    PhaseRow password_row =
+        run_phase(loop, clients, "password", shards,
+                  static_cast<std::size_t>(conc) * 25, password_op, rx, tx);
 
     for (const PhaseRow& r : {login_row, password_row}) {
-      std::printf("%-10s %5d %9zu %9.1f %10lld %10lld %12.0f\n",
-                  r.phase.c_str(), r.concurrency, r.requests, r.req_per_s,
-                  static_cast<long long>(r.p50_us),
+      std::printf("%-10s %6zu %5d %9zu %9.1f %10lld %10lld %12.0f\n",
+                  r.phase.c_str(), r.shards, r.concurrency, r.requests,
+                  r.req_per_s, static_cast<long long>(r.p50_us),
                   static_cast<long long>(r.p99_us), r.bytes_per_s);
       if (r.failures != 0) {
         std::fprintf(stderr, "FAILED: %zu/%zu %s requests failed at "
-                     "concurrency %d\n",
-                     r.failures, r.requests, r.phase.c_str(), r.concurrency);
+                     "concurrency %d, shards %zu\n",
+                     r.failures, r.requests, r.phase.c_str(), r.concurrency,
+                     r.shards);
         return 1;
       }
     }
@@ -340,6 +404,24 @@ int main(int argc, char** argv) {
     for (BenchClient& c : clients) c.rpc->close();
     // Drain the closed connections before the next level's accepts.
     for (int i = 0; i < 10; ++i) loop.poll(1'000);
+  }
+  st.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_net_loopback.json";
+  const std::vector<std::size_t> shard_counts =
+      parse_shard_counts(argc > 2 ? argv[2] : "1");
+
+  std::vector<PhaseRow> rows;
+  std::uint64_t next_seed = 1;
+  std::printf("%-10s %6s %5s %9s %9s %10s %10s %12s\n", "phase", "shards",
+              "conc", "reqs", "req/s", "p50_us", "p99_us", "bytes/s");
+  for (const std::size_t shards : shard_counts) {
+    if (run_shard_matrix(shards, rows, next_seed) != 0) return 1;
   }
 
   // Counter layout before/after (single shared atomic vs sharded cells).

@@ -1,0 +1,65 @@
+#include "net/reactor_pool.h"
+
+#include <exception>
+
+#include "common/error.h"
+
+namespace amnesia::net {
+
+ReactorPool::ReactorPool(std::size_t n) {
+  if (n == 0) throw Error("ReactorPool: needs at least one loop");
+  loops_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+  }
+}
+
+ReactorPool::~ReactorPool() { stop_join(); }
+
+void ReactorPool::start() {
+  if (running_) return;
+  running_ = true;
+  threads_.reserve(loops_.size());
+  for (auto& loop : loops_) {
+    threads_.emplace_back([raw = loop.get()] { raw->run(); });
+  }
+}
+
+void ReactorPool::stop_join() {
+  if (!running_) return;
+  for (auto& loop : loops_) loop->stop();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  running_ = false;
+}
+
+void ReactorPool::run_on_sync(std::size_t i, const std::function<void()>& fn) {
+  if (!running_) {
+    // No thread is driving the loop yet (or anymore): run inline. Setup
+    // before start() and teardown after stop_join() both land here, and
+    // "loop thread" is then simply the calling thread.
+    fn();
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+  loops_[i]->post([&] {
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace amnesia::net

@@ -407,6 +407,13 @@ void TcpTransport::listen(AcceptHandler on_accept) {
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport_) {
+    if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+        0) {
+      throw NetError(std::string("setsockopt(SO_REUSEPORT): ") +
+                     std::strerror(errno));
+    }
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;

@@ -123,6 +123,12 @@ class TcpTransport final : public Transport {
   /// Valid after listen(); the actually bound port.
   std::uint16_t local_port() const { return local_port_; }
 
+  /// Enables SO_REUSEPORT on the listening socket (call before listen()).
+  /// The sharded server binds N acceptors to one port and lets the kernel
+  /// spread incoming connections across them; every sibling — including
+  /// the first to bind — must set this or the later binds fail.
+  void set_reuseport(bool on) { reuseport_ = on; }
+
   /// Publishes net.* counters into `registry` (nullptr detaches).
   void set_metrics(obs::MetricsRegistry* registry);
   /// Applied to every stream this transport creates from now on.
@@ -140,6 +146,7 @@ class TcpTransport final : public Transport {
   std::uint16_t port_;
   std::uint16_t local_port_ = 0;
   int listen_fd_ = -1;
+  bool reuseport_ = false;
   AcceptHandler on_accept_;
   std::size_t max_write_queue_ = kDefaultMaxWriteQueue;
   Micros idle_timeout_us_ = 0;

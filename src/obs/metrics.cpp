@@ -12,15 +12,13 @@ namespace amnesia::obs {
 
 // --------------------------------------------------------------- counter
 
-std::size_t Counter::cell_index() {
+std::size_t assign_counter_cell() {
   // Round-robin assignment instead of a thread-id hash: the first kCells
   // threads are guaranteed pairwise-distinct cells, where a hash can
   // collide two hot threads into one cell and reintroduce the ping-pong
   // this sharding exists to remove.
   static std::atomic<std::size_t> next_cell{0};
-  thread_local const std::size_t index =
-      next_cell.fetch_add(1, std::memory_order_relaxed) % kCells;
-  return index;
+  return next_cell.fetch_add(1, std::memory_order_relaxed) % Counter::kCells;
 }
 
 // ------------------------------------------------------------- histogram
@@ -212,6 +210,27 @@ namespace {
 constexpr const char kTextHeader[] = "# amnesia metrics v1";
 
 }  // namespace
+
+void merge_snapshot(Snapshot& into, const Snapshot& other) {
+  for (const auto& [name, v] : other.counters) into.counters[name] += v;
+  for (const auto& [name, v] : other.gauges) into.gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, inserted] = into.histograms.emplace(name, h);
+    if (inserted) continue;
+    HistogramSnapshot& dst = it->second;
+    if (dst.bounds == h.bounds) {
+      for (std::size_t i = 0; i < dst.counts.size(); ++i) {
+        dst.counts[i] += h.counts[i];
+      }
+    }
+    if (h.count > 0) {
+      dst.min = dst.count == 0 ? h.min : std::min(dst.min, h.min);
+      dst.max = dst.count == 0 ? h.max : std::max(dst.max, h.max);
+    }
+    dst.count += h.count;
+    dst.sum += h.sum;
+  }
+}
 
 std::string to_text(const Snapshot& snapshot) {
   std::ostringstream out;

@@ -46,6 +46,23 @@ namespace amnesia::obs {
 // registry's name->handle maps take a mutex instead: multi-word updates
 // have no cheap atomic form and neither is on a per-byte hot path.
 
+/// Assigns the calling thread its counter cell (round-robin over kCells;
+/// the first kCells threads are guaranteed pairwise-distinct cells).
+/// Out-of-line cold path of counter_cell_index() below.
+std::size_t assign_counter_cell();
+
+/// This thread's cell index, cached in a trivially-initialized
+/// thread_local so the hot path is one TLS load and one predictable
+/// branch — no per-increment hashing, no TLS init guard (a
+/// function-local `thread_local const` would re-check its guard byte on
+/// every inc()).
+inline std::size_t counter_cell_index() {
+  constexpr std::size_t kUnassigned = ~std::size_t{0};
+  thread_local std::size_t cell = kUnassigned;
+  if (cell == kUnassigned) cell = assign_counter_cell();
+  return cell;
+}
+
 /// Monotonic counter, sharded into cache-line-sized per-thread cells so
 /// the net.* / securechan.* hot paths (event-loop thread + workers all
 /// bumping the same handle) never bounce one cache line between cores.
@@ -57,7 +74,7 @@ class Counter {
   static constexpr std::size_t kCells = 8;
 
   void inc(std::uint64_t n = 1) {
-    cells_[cell_index()].v.fetch_add(n, std::memory_order_relaxed);
+    cells_[counter_cell_index()].v.fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t value() const {
     std::uint64_t total = 0;
@@ -72,8 +89,6 @@ class Counter {
   struct alignas(64) Cell {
     std::atomic<std::uint64_t> v{0};
   };
-  /// This thread's cell (thread-id hash; stable for the thread's life).
-  static std::size_t cell_index();
 
   Cell cells_[kCells];
 };
@@ -167,6 +182,14 @@ struct Snapshot {
 
   bool operator==(const Snapshot&) const = default;
 };
+
+/// Folds `other` into `into`: counters and gauges add; histograms with
+/// identical bucket bounds merge bucket-wise (count/sum add, min/max
+/// widen), while a bounds mismatch keeps `into`'s series untouched and
+/// adds only the scalar count/sum. Used by the shard router to serve one
+/// aggregate GET /metrics over shared-nothing per-shard registries;
+/// merging a snapshot into an empty one reproduces it exactly.
+void merge_snapshot(Snapshot& into, const Snapshot& other);
 
 /// Plain-text export ("# amnesia metrics v1" line format). Lossless:
 /// parse_text(to_text(s)) == s.

@@ -82,6 +82,15 @@ void PhoneApp::set_metrics(obs::MetricsRegistry* registry) {
 }
 
 void PhoneApp::register_with_rendezvous(std::function<void(Status)> cb) {
+  // Idempotent, like a real push token: one registration per install,
+  // reused across account pairings. Re-registering used to mint a fresh
+  // id, which stranded the poll fallback for every user paired before the
+  // latest registration — their server records pinned the old id while
+  // the app polled only with the new one.
+  if (registration_id_) {
+    cb(ok_status());
+    return;
+  }
   push_client_.register_device(
       [this, cb = std::move(cb)](Result<std::string> r) {
         if (!r.ok()) {

@@ -38,7 +38,8 @@ AmnesiaServer::AmnesiaServer(simnet::Simulation& sim,
       rng_(rng),
       metrics_(&sim.clock()),
       config_(std::move(config)),
-      channel_keys_(crypto::x25519_generate(rng)),
+      channel_keys_(config_.channel_keys ? *config_.channel_keys
+                                         : crypto::x25519_generate(rng)),
       node_(std::make_unique<simnet::Node>(network, config_.node_id)),
       secure_(channel_keys_, rng),
       http_(sim, config_.workers),
@@ -47,7 +48,9 @@ AmnesiaServer::AmnesiaServer(simnet::Simulation& sim,
       throttle_(sim.clock(), config_.throttle),
       mp_hasher_(config_.mp_hash),
       push_(*node_, config_.rendezvous_node),
-      rendezvous_breaker_("rendezvous", config_.rendezvous_breaker) {
+      rendezvous_breaker_("rendezvous", config_.rendezvous_breaker),
+      next_request_id_(config_.request_id_first) {
+  sessions_.set_token_prefix(config_.session_token_prefix);
   http_.set_service_time([this](const Request& req) -> Micros {
     // The final password computation (token handling) is the expensive
     // server-side step in the latency pipeline; everything else is light
@@ -445,7 +448,8 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
                                            const std::string& registration_id,
                                            const std::string& origin_ip,
                                            PendingPassword pending) {
-  const std::uint64_t request_id = next_request_id_++;
+  const std::uint64_t request_id = next_request_id_;
+  next_request_id_ += config_.request_id_stride;
   // tstart is taken when R leaves for the rendezvous service — exactly
   // where the paper's latency instrumentation places it (section VI-B).
   const Micros tstart = sim_.now();

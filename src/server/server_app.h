@@ -29,6 +29,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/generate.h"
@@ -53,6 +54,27 @@ struct AmnesiaServerConfig {
   crypto::PasswordHasherOptions mp_hash{};
   ThrottleConfig throttle{};
   std::string db_path;  // empty = in-memory
+
+  // --- Shard-per-core deployment (docs/SHARDING.md) ---
+  //
+  // One AmnesiaServer is one shard. The defaults reproduce the
+  // single-server behaviour bit-for-bit; server::ShardRouter sets all
+  // four when it wires N shards together.
+
+  // The static channel key pair to serve under. Every shard of one
+  // deployment must present the same self-signed certificate (clients pin
+  // one key and SO_REUSEPORT hands their connection to an arbitrary
+  // shard); nullopt generates a fresh pair from `rng` as before.
+  std::optional<crypto::X25519KeyPair> channel_keys;
+  // Prepended to session tokens so a cookie names its owning shard
+  // ("s2." on shard 2). Empty = untagged tokens, exactly as today.
+  std::string session_token_prefix;
+  // Pending-password request ids start here and advance by this stride.
+  // Shard k of N uses first = k + 1, stride = N, so id % N recovers the
+  // owning shard and ids never collide across shards. 1/1 = the old
+  // dense sequence.
+  std::uint64_t request_id_first = 1;
+  std::uint64_t request_id_stride = 1;
 
   // Virtual CPU time charged per request (the Python + PyCrypto cost the
   // latency evaluation observes server-side).
@@ -265,7 +287,7 @@ class AmnesiaServer {
   std::map<std::uint64_t, PendingPassword> pending_passwords_;
   std::map<std::string, PendingMpChange> pending_mp_changes_;
   std::map<std::string, CachedPassword> password_cache_;
-  std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_request_id_ = 1;  // re-seeded from config in the ctor
 
   std::vector<Micros> password_latencies_;
   AmnesiaServerStats stats_;

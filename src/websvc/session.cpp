@@ -5,7 +5,7 @@
 namespace amnesia::websvc {
 
 std::string SessionManager::create(const std::string& principal) {
-  const std::string token = hex_encode(rng_.bytes(16));
+  const std::string token = token_prefix_ + hex_encode(rng_.bytes(16));
   const Micros now = clock_.now_us();
   sessions_[token] = Session{token, principal, now, now};
   return token;

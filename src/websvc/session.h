@@ -32,6 +32,14 @@ class SessionManager {
   /// Creates a session for `principal` and returns its token.
   std::string create(const std::string& principal);
 
+  /// Prepends `prefix` to every token create() issues from now on. The
+  /// sharded server tags each shard's tokens ("s2." etc.) so a cookie
+  /// names its owning shard without any shared lookup table; the default
+  /// empty prefix keeps single-shard tokens byte-identical to before.
+  void set_token_prefix(std::string prefix) {
+    token_prefix_ = std::move(prefix);
+  }
+
   /// Returns the live session for `token`, refreshing last_seen; expired
   /// sessions are reaped and reported as absent.
   std::optional<Session> authenticate(const std::string& token);
@@ -48,6 +56,7 @@ class SessionManager {
   const Clock& clock_;
   RandomSource& rng_;
   Micros idle_timeout_us_;
+  std::string token_prefix_;
   std::map<std::string, Session> sessions_;
 };
 

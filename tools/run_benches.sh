@@ -43,9 +43,16 @@ cd "$repo_root"
 if [ "$filter" = "." ]; then
     echo "== build bench_net_loopback"
     cmake --build "$build_dir" -j "$jobs" --target bench_net_loopback
-    echo "== run bench_net_loopback"
+    # Shard axis: unsharded baseline, half the cores, all the cores
+    # (deduplicated — a 1-core host just runs the baseline). Each phase
+    # row in the JSON carries its "shards" value.
+    half=$((jobs / 2))
+    [ "$half" -lt 1 ] && half=1
+    shard_counts=$(printf '1\n%s\n%s\n' "$half" "$jobs" | sort -un |
+        paste -sd, -)
+    echo "== run bench_net_loopback (shards: $shard_counts)"
     "$build_dir/bench/bench_net_loopback" \
-        "$repo_root/BENCH_net_loopback.json"
+        "$repo_root/BENCH_net_loopback.json" "$shard_counts"
 
     # Fig. 3 latency reproduction with trace-derived critical-path
     # attribution; virtual time, so the run is fast and the artifact is

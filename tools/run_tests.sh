@@ -54,12 +54,15 @@ run_pass() {
 # net tests include the injected-EINTR/connect-failure cases, so syscall
 # fault paths run under TSan too. The tracing suites join the pass
 # because the span store (sharded rings + open table) and trace
-# propagation over real TCP are multithreaded hot paths.
-tsan_filter='net_|securechan_stream|obs_trace|trace_propagation'
+# propagation over real TCP are multithreaded hot paths. The shard
+# suites drive the multi-reactor deployment (SO_REUSEPORT acceptors, one
+# EventLoop thread per shard, cross-shard mailbox posts), which is the
+# most thread-heavy path in the tree.
+tsan_filter='net_|securechan_stream|obs_trace|trace_propagation|shard_'
 
 # Everything driven by resilience::FaultInjector plus the degraded-mode
 # end-to-end suites.
-fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test|trace_propagation'
+fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test|trace_propagation|shard_'
 
 case "$mode" in
 plain)
