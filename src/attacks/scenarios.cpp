@@ -209,10 +209,13 @@ RogueRequestReport run_rogue_request(eval::Testbed& bed,
         return user_accepts;
       });
 
-  // Passive wiretap on the phone->server leg; force a fresh handshake so
-  // the capture includes the hellos the key-derivation needs.
+  // Passive wiretap on the phone->server leg; force a fresh *full*
+  // handshake so the capture includes the hellos the key-derivation
+  // needs (a ticket-preserving reset would resume instead, and a resume
+  // hello carries no ephemeral public key to attack).
   WireTap uplink_tap(bed.net(), "phone", "amnesia-server");
   WireTap downlink_tap(bed.net(), "amnesia-server", "phone");
+  bed.phone().server_channel().forget_ticket();
   bed.phone().server_channel().reset();
 
   // The rogue push: R computed from the stolen sigma, sent through the

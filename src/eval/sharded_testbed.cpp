@@ -9,7 +9,15 @@ namespace amnesia::eval {
 ShardedSimTestbed::ShardedSimTestbed(ShardedSimConfig config)
     : config_(std::move(config)) {
   const std::size_t n = std::max<std::size_t>(1, config_.shards);
+  // One shared ticket-key store for the whole deployment: a session
+  // ticket minted by any shard resumes against any other. Installing it
+  // does not perturb any shard's rng stream (the SecureServer ctor draws
+  // its own default store regardless), so shards==1 stays bit-compatible
+  // with a plain Testbed.
+  crypto::ChaChaDrbg ticket_rng(config_.base.seed * 4096 + 39);
+  ticket_keys_ = securechan::TicketKeyStore::generate(ticket_rng);
   TestbedConfig base = config_.base;
+  base.server.ticket_keys = ticket_keys_;
   base.server.session_token_prefix = server::shard_token_prefix(0, n);
   base.server.request_id_first = 1;
   base.server.request_id_stride = n;
@@ -60,11 +68,15 @@ ShardedTcpTestbed::ShardedTcpTestbed(ShardedTcpConfig config)
   const std::size_t n = std::max<std::size_t>(1, config_.shards);
   crypto::ChaChaDrbg key_rng(config_.seed * 4096 + 7);
   keys_ = crypto::x25519_generate(key_rng);
+  // Like the pinned channel key: one ticket-key store for the fleet, so
+  // resumption works whichever reactor SO_REUSEPORT lands a client on.
+  ticket_keys_ = securechan::TicketKeyStore::generate(key_rng);
   pool_ = std::make_unique<net::ReactorPool>(n);
   for (std::size_t k = 0; k < n; ++k) {
     TestbedConfig bc = config_.base;
     bc.seed = config_.seed + 17 * (k + 1);  // distinct deterministic worlds
     bc.server.channel_keys = keys_;
+    bc.server.ticket_keys = ticket_keys_;
     bc.server.session_token_prefix = server::shard_token_prefix(k, n);
     bc.server.request_id_first = k + 1;
     bc.server.request_id_stride = n;

@@ -59,9 +59,14 @@ class ShardedSimTestbed {
   server::AmnesiaServer& shard(std::size_t k);
   server::ShardRouter& router() { return *router_; }
   std::size_t owner_of(const std::string& user) const;
+  /// The fleet-wide ticket-key store (rotate it to expire tickets).
+  const std::shared_ptr<securechan::TicketKeyStore>& ticket_store() const {
+    return ticket_keys_;
+  }
 
  private:
   ShardedSimConfig config_;
+  std::shared_ptr<securechan::TicketKeyStore> ticket_keys_;
   std::unique_ptr<Testbed> bed_;
   std::vector<std::unique_ptr<crypto::ChaChaDrbg>> shard_rngs_;
   std::vector<std::unique_ptr<server::AmnesiaServer>> extras_;
@@ -99,10 +104,15 @@ class ShardedTcpTestbed {
   }
   net::ReactorPool& pool() { return *pool_; }
   server::ShardRouter& router() { return *router_; }
+  /// The fleet-wide ticket-key store (rotate it to expire tickets).
+  const std::shared_ptr<securechan::TicketKeyStore>& ticket_store() const {
+    return ticket_keys_;
+  }
 
  private:
   ShardedTcpConfig config_;
   crypto::X25519KeyPair keys_;
+  std::shared_ptr<securechan::TicketKeyStore> ticket_keys_;
   std::unique_ptr<net::ReactorPool> pool_;
   std::vector<std::unique_ptr<Testbed>> beds_;
   std::vector<std::unique_ptr<net::TcpTransport>> transports_;

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "crypto/aead.h"
 #include "crypto/hkdf.h"
+#include "resilience/fault.h"
 #include "storage/codec.h"
 
 namespace amnesia::securechan {
@@ -16,9 +17,13 @@ namespace {
 constexpr std::uint8_t kClientHello = 0x01;
 constexpr std::uint8_t kServerHello = 0x02;
 constexpr std::uint8_t kData = 0x03;
+constexpr std::uint8_t kResumeHello = 0x04;
+constexpr std::uint8_t kResumeOk = 0x05;
+constexpr std::uint8_t kResumeReject = 0x06;
 
 constexpr std::size_t kNonceLen = 16;
 const char kKdfInfo[] = "amnesia securechan v1";
+const char kResumeKdfInfo[] = "amnesia securechan resume v1";
 const char kConfirmPayload[] = "amnesia key confirm";
 
 // 0: client->server, 1: server->client. Stack-built, but byte-identical
@@ -54,18 +59,48 @@ ChannelKeys& ChannelKeys::operator=(ChannelKeys&& other) noexcept {
   return *this;
 }
 
+namespace {
+
+// Shared schedule layout: 88 bytes of record keys/IVs followed by the
+// 32-byte resumption master secret for the *next* session's ticket.
+SessionSecrets derive_session(ByteView ikm, ByteView client_nonce,
+                              ByteView server_nonce, const char* info) {
+  const Bytes salt = concat({client_nonce, server_nonce});
+  Bytes okm = crypto::hkdf(salt, ikm, to_bytes(std::string(info)),
+                           88 + kResumptionSecretLen);
+  SessionSecrets s;
+  s.keys.client_to_server_key.assign(okm.begin(), okm.begin() + 32);
+  s.keys.server_to_client_key.assign(okm.begin() + 32, okm.begin() + 64);
+  s.keys.client_to_server_iv.assign(okm.begin() + 64, okm.begin() + 76);
+  s.keys.server_to_client_iv.assign(okm.begin() + 76, okm.begin() + 88);
+  s.resumption_secret.assign(okm.begin() + 88,
+                             okm.begin() + 88 + kResumptionSecretLen);
+  secure_wipe(okm);
+  return s;
+}
+
+}  // namespace
+
+SessionSecrets derive_full_session(ByteView shared_secret,
+                                   ByteView client_nonce,
+                                   ByteView server_nonce) {
+  return derive_session(shared_secret, client_nonce, server_nonce, kKdfInfo);
+}
+
+SessionSecrets derive_resumed_session(ByteView resumption_secret,
+                                      ByteView client_nonce,
+                                      ByteView server_nonce) {
+  return derive_session(resumption_secret, client_nonce, server_nonce,
+                        kResumeKdfInfo);
+}
+
 ChannelKeys derive_keys(ByteView shared_secret, ByteView client_nonce,
                         ByteView server_nonce) {
-  const Bytes salt = concat({client_nonce, server_nonce});
-  Bytes okm = crypto::hkdf(salt, shared_secret,
-                           to_bytes(std::string(kKdfInfo)), 88);
-  ChannelKeys keys;
-  keys.client_to_server_key.assign(okm.begin(), okm.begin() + 32);
-  keys.server_to_client_key.assign(okm.begin() + 32, okm.begin() + 64);
-  keys.client_to_server_iv.assign(okm.begin() + 64, okm.begin() + 76);
-  keys.server_to_client_iv.assign(okm.begin() + 76, okm.begin() + 88);
-  secure_wipe(okm);
-  return keys;
+  // HKDF-Expand output is prefix-stable, so taking the record keys from
+  // the extended schedule is bit-identical to the original 88-byte call.
+  SessionSecrets s =
+      derive_full_session(shared_secret, client_nonce, server_nonce);
+  return std::move(s.keys);
 }
 
 namespace {
@@ -119,10 +154,24 @@ std::optional<Bytes> open_record(const Bytes& key, const Bytes& iv,
 
 SecureServer::SecureServer(crypto::X25519KeyPair static_keys,
                            RandomSource& rng)
-    : static_keys_(static_keys), rng_(rng) {}
+    : static_keys_(static_keys), rng_(rng) {
+  // Always generated — even when a sharded deployment immediately
+  // replaces it via set_ticket_keys — so the rng stream consumed by this
+  // constructor is identical in every configuration (the N=1 shard must
+  // stay bit-compatible with the plain testbed).
+  ticket_keys_ = TicketKeyStore::generate(rng_);
+}
 
 void SecureServer::set_metrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
+}
+
+void SecureServer::set_ticket_keys(std::shared_ptr<TicketKeyStore> keys) {
+  if (keys) ticket_keys_ = std::move(keys);
+}
+
+void SecureServer::set_resume_replay_capacity(std::size_t capacity) {
+  resume_window_.set_capacity(capacity);
 }
 
 void SecureServer::bind(simnet::Node& node) {
@@ -158,9 +207,11 @@ void SecureServer::handle_wire(const Bytes& wire,
       const auto shared = crypto::x25519(static_keys_.private_key, eph_pub);
       const Bytes server_nonce = rng_.bytes(kNonceLen);
       const std::uint64_t channel_id = next_channel_id_++;
-      Channel chan;
-      chan.keys = derive_keys(ByteView(shared.data(), shared.size()),
+      SessionSecrets secrets =
+          derive_full_session(ByteView(shared.data(), shared.size()),
                               client_nonce, server_nonce);
+      Channel chan;
+      chan.keys = std::move(secrets.keys);
 
       // Key confirmation: record seq 0 in the server->client direction.
       seal_record_into(chan.keys.server_to_client_key,
@@ -174,16 +225,25 @@ void SecureServer::handle_wire(const Bytes& wire,
       for (std::uint8_t b : server_nonce) w.u8(b);
       w.u64(channel_id);
       w.bytes(chan.seal_scratch);
+      // Trailing ticket: pre-resumption clients never look past the
+      // confirm record, so this extension is wire-compatible.
+      w.bytes(ticket_keys_->seal(secrets.resumption_secret, rng_));
+      ++stats_.tickets_issued;
       channels_.emplace(channel_id, std::move(chan));
       ++stats_.handshakes;
       Bytes hello = w.take();
       if (metrics_) {
         metrics_->counter("securechan.handshakes").inc();
+        metrics_->counter("securechan.tickets_issued").inc();
         metrics_->counter("securechan.records_sealed").inc();
         metrics_->counter("securechan.bytes_out")
             .inc(static_cast<std::uint64_t>(hello.size()));
       }
       respond(std::move(hello));
+      return;
+    }
+    if (type == kResumeHello) {
+      handle_resume_hello(r, respond);
       return;
     }
     if (type == kData) {
@@ -261,6 +321,97 @@ void SecureServer::handle_wire(const Bytes& wire,
   if (metrics_) metrics_->counter("securechan.records_rejected").inc();
 }
 
+void SecureServer::handle_resume_hello(storage::BufReader& r,
+                                       std::function<void(Bytes)>& respond) {
+  // Every rejection answers a 1-byte kResumeReject (never echoing any
+  // attacker-controlled bytes) so an honest client with a stale ticket
+  // falls back to a full handshake in one round trip instead of a
+  // timeout. A hostile sender learns only "no".
+  auto reject = [&] {
+    ++stats_.resumptions_rejected;
+    if (metrics_) {
+      metrics_->counter("securechan.resumptions_rejected").inc();
+    }
+    Bytes nack{kResumeReject};
+    if (metrics_) {
+      metrics_->counter("securechan.bytes_out")
+          .inc(static_cast<std::uint64_t>(nack.size()));
+    }
+    respond(std::move(nack));
+  };
+
+  Bytes ticket;
+  Bytes client_nonce;
+  try {
+    ticket = r.bytes();
+    for (std::size_t i = 0; i < kNonceLen; ++i) client_nonce.push_back(r.u8());
+    if (!r.done()) throw FormatError("trailing bytes in resume hello");
+  } catch (const FormatError&) {
+    reject();
+    return;
+  }
+
+  // Fault point for the resilience harness: a fired fault makes the
+  // server refuse resumption (kDrop: silently, every other kind: with a
+  // reject), exercising the client's transparent full-handshake fallback.
+  if (auto f = resilience::fault_check("securechan.resume")) {
+    if (f->kind == resilience::FaultKind::kDrop) return;
+    reject();
+    return;
+  }
+
+  auto rms = ticket_keys_->open(ticket);
+  if (!rms) {
+    reject();
+    return;
+  }
+  if (!resume_window_.insert(client_nonce)) {
+    ++stats_.resume_replays_rejected;
+    if (metrics_) {
+      metrics_->counter("securechan.resume_replays_rejected").inc();
+    }
+    reject();
+    return;
+  }
+
+  const Bytes server_nonce = rng_.bytes(kNonceLen);
+  const std::uint64_t channel_id = next_channel_id_++;
+  SessionSecrets secrets =
+      derive_resumed_session(*rms, client_nonce, server_nonce);
+  secure_wipe(*rms);
+  Channel chan;
+  chan.keys = std::move(secrets.keys);
+
+  // Same key-confirmation discipline as the full handshake: only a
+  // holder of the ticket key (i.e. the real fleet) can derive these keys.
+  seal_record_into(chan.keys.server_to_client_key,
+                   chan.keys.server_to_client_iv, 0,
+                   direction_aad(1, channel_id),
+                   to_bytes(std::string(kConfirmPayload)), chan.seal_scratch);
+
+  storage::BufWriter w;
+  w.u8(kResumeOk);
+  w.raw(server_nonce);
+  w.u64(channel_id);
+  w.bytes(chan.seal_scratch);
+  // Ticket chaining: every resumed session mints a successor ticket
+  // under a successor secret, so one stolen ticket never replays into
+  // more than the replay window already allows.
+  w.bytes(ticket_keys_->seal(secrets.resumption_secret, rng_));
+  ++stats_.tickets_issued;
+  channels_.emplace(channel_id, std::move(chan));
+  ++stats_.resumptions;
+  Bytes ok = w.take();
+  if (metrics_) {
+    metrics_->counter("securechan.resumptions").inc();
+    metrics_->counter("securechan.tickets_issued").inc();
+    metrics_->counter("securechan.records_sealed").inc();
+    metrics_->counter("securechan.bytes_out")
+        .inc(static_cast<std::uint64_t>(ok.size()));
+  }
+  respond(std::move(ok));
+}
+
 // ---------------------------------------------------------------- client
 
 SecureClient::SecureClient(WireFn wire, crypto::X25519Key pinned_server_key,
@@ -279,9 +430,37 @@ SecureClient::SecureClient(simnet::Node& node, simnet::NodeId server,
           },
           pinned_server_key, rng) {}
 
+SecureClient::~SecureClient() {
+  secure_wipe(resumption_secret_);
+  secure_wipe(pending_eph_private_);
+}
+
 void SecureClient::reset() {
+  // Ticket-preserving: ticket_ / resumption_secret_ survive, so the next
+  // request resumes instead of re-running X25519 (forget_ticket() forces
+  // the full exchange).
   channel_.reset();
   handshake_in_flight_ = false;
+}
+
+std::optional<SecureClient::SessionTicket> SecureClient::export_ticket()
+    const {
+  if (!has_ticket()) return std::nullopt;
+  SessionTicket t;
+  t.ticket = ticket_;
+  t.secret = resumption_secret_;
+  return t;
+}
+
+void SecureClient::adopt_ticket(SessionTicket t) {
+  forget_ticket();
+  ticket_ = std::move(t.ticket);
+  resumption_secret_ = std::move(t.secret);
+}
+
+void SecureClient::forget_ticket() {
+  secure_wipe(resumption_secret_);
+  ticket_.clear();
 }
 
 void SecureClient::set_metrics(obs::MetricsRegistry* registry,
@@ -368,8 +547,101 @@ void SecureClient::send_record(Bytes plaintext, std::string trace,
 
 void SecureClient::start_handshake() {
   handshake_in_flight_ = true;
-  const Micros handshake_started =
-      metrics_clock_ ? metrics_clock_->now_us() : 0;
+  if (has_ticket()) {
+    start_resume();
+  } else {
+    start_full_handshake();
+  }
+}
+
+void SecureClient::install_session(std::uint64_t channel_id,
+                                   SessionSecrets secrets, Bytes ticket) {
+  Established est;
+  est.channel_id = channel_id;
+  est.keys = std::move(secrets.keys);
+  est.seen_server_seqs.insert(0);  // the confirm record
+  channel_ = std::move(est);
+  handshake_in_flight_ = false;
+  secure_wipe(resumption_secret_);
+  resumption_secret_ = std::move(secrets.resumption_secret);
+  ticket_ = std::move(ticket);
+  flush_queue();
+}
+
+void SecureClient::start_resume() {
+  handshake_started_us_ = metrics_clock_ ? metrics_clock_->now_us() : 0;
+  pending_client_nonce_ = rng_.bytes(kNonceLen);
+
+  storage::BufWriter w;
+  w.u8(kResumeHello);
+  w.bytes(ticket_);
+  w.raw(pending_client_nonce_);
+
+  wire_(
+      w.take(),
+      [this](Result<Bytes> wire) {
+        // Resumption is an optimistic fast path: *any* failure —
+        // transport error, server reject, malformed or unverifiable
+        // reply — burns the ticket and falls back to one full handshake.
+        // Queued requests never observe the attempt.
+        auto fall_back = [this] {
+          forget_ticket();
+          if (metrics_) {
+            metrics_->counter("securechan.client_resumptions_rejected").inc();
+          }
+          start_full_handshake();
+        };
+        if (!wire.ok()) {
+          fall_back();
+          return;
+        }
+        try {
+          storage::BufReader r(wire.value());
+          if (r.u8() != kResumeOk) {
+            fall_back();  // kResumeReject, or something else entirely
+            return;
+          }
+          Bytes server_nonce;
+          for (std::size_t i = 0; i < kNonceLen; ++i) {
+            server_nonce.push_back(r.u8());
+          }
+          const std::uint64_t channel_id = r.u64();
+          const Bytes confirm = r.bytes();
+          Bytes next_ticket;
+          if (!r.done()) next_ticket = r.bytes();
+
+          SessionSecrets secrets = derive_resumed_session(
+              resumption_secret_, pending_client_nonce_, server_nonce);
+          const auto confirm_plain = open_record(
+              secrets.keys.server_to_client_key,
+              secrets.keys.server_to_client_iv, 0,
+              direction_aad(1, channel_id), confirm);
+          if (!confirm_plain || to_string(*confirm_plain) != kConfirmPayload) {
+            // Whoever answered could not derive the resumed keys.
+            fall_back();
+            return;
+          }
+          if (metrics_) {
+            metrics_->counter("securechan.client_resumptions").inc();
+            if (metrics_clock_) {
+              const Micros rtt =
+                  metrics_clock_->now_us() - handshake_started_us_;
+              metrics_->histogram("securechan.handshake_latency_us")
+                  .record(rtt);
+              metrics_->histogram("securechan.handshake_latency_us.resumed")
+                  .record(rtt);
+            }
+          }
+          install_session(channel_id, std::move(secrets),
+                          std::move(next_ticket));
+        } catch (const FormatError&) {
+          fall_back();
+        }
+      });
+}
+
+void SecureClient::start_full_handshake() {
+  handshake_started_us_ = metrics_clock_ ? metrics_clock_->now_us() : 0;
   const auto eph = crypto::x25519_generate(rng_);
   pending_eph_private_.assign(eph.private_key.begin(), eph.private_key.end());
   pending_client_nonce_ = rng_.bytes(kNonceLen);
@@ -381,7 +653,7 @@ void SecureClient::start_handshake() {
 
   wire_(
       w.take(),
-      [this, handshake_started](Result<Bytes> wire) {
+      [this](Result<Bytes> wire) {
         handshake_in_flight_ = false;
         auto fail_all = [this](Err code, const std::string& msg) {
           auto queue = std::move(queue_);
@@ -403,15 +675,18 @@ void SecureClient::start_handshake() {
           }
           const std::uint64_t channel_id = r.u64();
           const Bytes confirm = r.bytes();
+          Bytes ticket;
+          if (!r.done()) ticket = r.bytes();
 
           const auto shared = crypto::x25519(
               pending_eph_private_,
               ByteView(pinned_server_key_.data(), pinned_server_key_.size()));
-          ChannelKeys keys =
-              derive_keys(ByteView(shared.data(), shared.size()),
-                          pending_client_nonce_, server_nonce);
+          SessionSecrets secrets =
+              derive_full_session(ByteView(shared.data(), shared.size()),
+                                  pending_client_nonce_, server_nonce);
           const auto confirm_plain = open_record(
-              keys.server_to_client_key, keys.server_to_client_iv, 0,
+              secrets.keys.server_to_client_key,
+              secrets.keys.server_to_client_iv, 0,
               direction_aad(1, channel_id), confirm);
           if (!confirm_plain ||
               to_string(*confirm_plain) != kConfirmPayload) {
@@ -420,18 +695,19 @@ void SecureClient::start_handshake() {
                      "server key confirmation failed (pinned key mismatch)");
             return;
           }
-          Established est;
-          est.channel_id = channel_id;
-          est.keys = std::move(keys);
-          est.seen_server_seqs.insert(0);  // the confirm record
-          channel_ = std::move(est);
           secure_wipe(pending_eph_private_);
-          if (metrics_ && metrics_clock_) {
+          if (metrics_) {
             metrics_->counter("securechan.client_handshakes").inc();
-            metrics_->histogram("securechan.handshake_latency_us")
-                .record(metrics_clock_->now_us() - handshake_started);
+            if (metrics_clock_) {
+              const Micros rtt =
+                  metrics_clock_->now_us() - handshake_started_us_;
+              metrics_->histogram("securechan.handshake_latency_us")
+                  .record(rtt);
+              metrics_->histogram("securechan.handshake_latency_us.cold")
+                  .record(rtt);
+            }
           }
-          flush_queue();
+          install_session(channel_id, std::move(secrets), std::move(ticket));
         } catch (const FormatError& e) {
           fail_all(Err::kVerificationFailed,
                    std::string("malformed server hello: ") + e.what());

@@ -17,9 +17,23 @@
 // layer and authenticates above it with the master password.
 //
 // Wire envelope (inside a simnet Node RPC body):
-//   [0x01] client_hello : eph_pub(32) nonce_c(16)
-//   [0x02] server_hello : nonce_s(16) channel_id(8) confirm_record
-//   [0x03] data         : channel_id(8) seq(8) sealed(...) [trace_str]
+//   [0x01] client_hello  : eph_pub(32) nonce_c(16)
+//   [0x02] server_hello  : nonce_s(16) channel_id(8) confirm_record [ticket]
+//   [0x03] data          : channel_id(8) seq(8) sealed(...) [trace_str]
+//   [0x04] resume_hello  : ticket nonce_c(16)
+//   [0x05] resume_ok     : nonce_s(16) channel_id(8) confirm_record [ticket]
+//   [0x06] resume_reject : (empty)
+//
+// Resumption (TLS 1.3 style, see ticket.h): the server_hello / resume_ok
+// trailing ticket is the session's resumption master secret sealed under
+// a process-wide rotating ticket key. A resume_hello replaces the X25519
+// exchange on reconnect — one round trip, zero scalar multiplications —
+// with fresh channel keys HKDF-derived from the resumption secret and
+// both nonces, and ticket chaining (every resumption mints a successor
+// ticket under a successor secret). A bounded sliding replay window over
+// resume-hello nonces rejects replays; *any* rejection — bad ticket,
+// rotated-out key, replay, hostile bytes — answers resume_reject and the
+// client falls back transparently to a full handshake.
 //
 // The optional trailing trace_str is a length-prefixed serialized
 // obs::TraceContext — plaintext record *metadata*, deliberately outside
@@ -31,6 +45,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -40,7 +55,12 @@
 #include "common/result.h"
 #include "crypto/x25519.h"
 #include "obs/metrics.h"
+#include "securechan/ticket.h"
 #include "simnet/node.h"
+
+namespace amnesia::storage {
+class BufReader;
+}
 
 namespace amnesia::securechan {
 
@@ -69,6 +89,36 @@ struct ChannelKeys {
 ChannelKeys derive_keys(ByteView shared_secret, ByteView client_nonce,
                         ByteView server_nonce);
 
+/// One session's full key schedule: the record keys plus the resumption
+/// master secret that seeds the *next* session's ticket. The secret is
+/// wiped on destruction.
+struct SessionSecrets {
+  ChannelKeys keys;
+  Bytes resumption_secret;  // kResumptionSecretLen bytes
+
+  SessionSecrets() = default;
+  SessionSecrets(SessionSecrets&&) noexcept = default;
+  SessionSecrets& operator=(SessionSecrets&&) noexcept = default;
+  SessionSecrets(const SessionSecrets&) = delete;
+  SessionSecrets& operator=(const SessionSecrets&) = delete;
+  ~SessionSecrets() { secure_wipe(resumption_secret); }
+};
+
+/// Full-handshake schedule: same HKDF invocation as derive_keys() but
+/// extended past the record keys, so the first 88 output bytes — and
+/// therefore every record on the wire — are bit-identical to the
+/// pre-resumption protocol.
+SessionSecrets derive_full_session(ByteView shared_secret,
+                                   ByteView client_nonce,
+                                   ByteView server_nonce);
+
+/// Resumed-session schedule: keyed by the previous session's resumption
+/// secret instead of an X25519 shared secret, under a distinct HKDF info
+/// label so the two schedules can never collide.
+SessionSecrets derive_resumed_session(ByteView resumption_secret,
+                                      ByteView client_nonce,
+                                      ByteView server_nonce);
+
 /// Seals/opens one record. `seq` is XORed into the trailing 8 bytes of the
 /// IV; `aad` should bind direction and channel id.
 Bytes seal_record(const Bytes& key, const Bytes& iv, std::uint64_t seq,
@@ -90,6 +140,10 @@ struct SecureServerStats {
   std::uint64_t records_opened = 0;
   std::uint64_t records_rejected = 0;
   std::uint64_t replays_rejected = 0;
+  std::uint64_t resumptions = 0;
+  std::uint64_t resumptions_rejected = 0;   // all causes, incl. replays
+  std::uint64_t resume_replays_rejected = 0;  // replay-window hits only
+  std::uint64_t tickets_issued = 0;
 };
 
 /// Server side: terminates secure channels and hands decrypted request
@@ -118,6 +172,23 @@ class SecureServer {
   /// traffic view).
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Replaces the ticket-sealing key store. A sharded deployment installs
+  /// one shared store into every shard so tickets are fleet-valid; the
+  /// constructor-generated default store keeps a standalone server fully
+  /// functional. The constructor always draws its default store from
+  /// `rng` regardless, so installing a shared store does not perturb the
+  /// deterministic rng stream (N=1 bit-compatibility).
+  void set_ticket_keys(std::shared_ptr<TicketKeyStore> keys);
+  const std::shared_ptr<TicketKeyStore>& ticket_keys() const {
+    return ticket_keys_;
+  }
+
+  /// Test hook: shrinks/expands the resume-hello replay window (default
+  /// kDefaultResumeReplayCapacity nonces, drop-oldest).
+  void set_resume_replay_capacity(std::size_t capacity);
+
+  static constexpr std::size_t kDefaultResumeReplayCapacity = 4096;
+
  private:
   struct Channel {
     ChannelKeys keys;
@@ -128,6 +199,9 @@ class SecureServer {
     Bytes open_scratch;
   };
 
+  void handle_resume_hello(storage::BufReader& r,
+                           std::function<void(Bytes)>& respond);
+
   crypto::X25519KeyPair static_keys_;
   RandomSource& rng_;
   PlainHandler handler_;
@@ -135,6 +209,8 @@ class SecureServer {
   std::uint64_t next_channel_id_ = 1;
   SecureServerStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  std::shared_ptr<TicketKeyStore> ticket_keys_;
+  ReplayWindow resume_window_{kDefaultResumeReplayCapacity};
 };
 
 /// Client side: performs the pinned-key handshake lazily on the first
@@ -158,6 +234,9 @@ class SecureClient {
                crypto::X25519Key pinned_server_key, RandomSource& rng,
                Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
 
+  /// Wipes the cached resumption secret.
+  ~SecureClient();
+
   /// Sends `plaintext` as one sealed request; `cb` gets the decrypted
   /// response, Err::kVerificationFailed on a tampered/forged reply, or the
   /// transport failure.
@@ -165,8 +244,43 @@ class SecureClient {
 
   bool established() const { return channel_.has_value(); }
 
-  /// Drops the channel; the next request re-handshakes.
+  /// Drops the channel. Ticket-preserving: if the last session minted a
+  /// ticket the next request resumes (one round trip, no X25519) instead
+  /// of paying a full handshake. Call forget_ticket() first to force the
+  /// full exchange.
   void reset();
+
+  /// A client-cached resumption credential: the opaque server-sealed
+  /// ticket plus the client's matching secret. Copyable so a connection
+  /// pool can seed new clients from a shared cache; the secret is wiped
+  /// on destruction.
+  struct SessionTicket {
+    Bytes ticket;
+    Bytes secret;
+
+    SessionTicket() = default;
+    SessionTicket(const SessionTicket&) = default;
+    SessionTicket& operator=(const SessionTicket&) = default;
+    SessionTicket(SessionTicket&&) noexcept = default;
+    SessionTicket& operator=(SessionTicket&&) noexcept = default;
+    ~SessionTicket() { secure_wipe(secret); }
+  };
+
+  bool has_ticket() const {
+    return !ticket_.empty() && !resumption_secret_.empty();
+  }
+
+  /// Snapshot of the current resumption credential, if any. Another
+  /// SecureClient against the same fleet can adopt_ticket() it and resume
+  /// without ever having handshaken itself (tickets are bearer tokens
+  /// scoped to the securechan layer, exactly like TLS 1.3 PSKs).
+  std::optional<SessionTicket> export_ticket() const;
+  void adopt_ticket(SessionTicket t);
+
+  /// Drops the cached ticket + secret (zeroizing the secret); the next
+  /// handshake is a full X25519 exchange. For tests and the attack
+  /// harness.
+  void forget_ticket();
 
   /// Records client-observed handshake round-trip latency into
   /// `securechan.handshake_latency_us` (virtual time from `clock`) and
@@ -192,6 +306,10 @@ class SecureClient {
   };
 
   void start_handshake();
+  void start_full_handshake();
+  void start_resume();
+  void install_session(std::uint64_t channel_id, SessionSecrets secrets,
+                       Bytes ticket);
   void flush_queue();
   void send_record(Bytes plaintext, std::string trace,
                    std::function<void(Result<Bytes>)> cb);
@@ -211,6 +329,11 @@ class SecureClient {
   // Handshake state while in flight.
   Bytes pending_eph_private_;
   Bytes pending_client_nonce_;
+  Micros handshake_started_us_ = 0;
+  // Cached resumption credential (see SessionTicket). Lives outside
+  // channel_ so reset() keeps it across sessions.
+  Bytes ticket_;
+  Bytes resumption_secret_;
 };
 
 }  // namespace amnesia::securechan

@@ -1,0 +1,112 @@
+#include "securechan/ticket.h"
+
+#include "common/error.h"
+#include "crypto/aead.h"
+#include "storage/codec.h"
+
+namespace amnesia::securechan {
+
+namespace {
+
+// Version tag: baked into the AAD, so a future v2 ticket format fails the
+// tag check here instead of parsing ambiguously.
+const char kTicketAad[] = "amnesia ticket v1";
+
+ByteView ticket_aad() {
+  return ByteView(reinterpret_cast<const std::uint8_t*>(kTicketAad),
+                  sizeof(kTicketAad) - 1);
+}
+
+}  // namespace
+
+std::shared_ptr<TicketKeyStore> TicketKeyStore::generate(RandomSource& rng) {
+  std::shared_ptr<TicketKeyStore> store(new TicketKeyStore());
+  store->current_key_ = rng.bytes(crypto::kAeadKeySize);
+  return store;
+}
+
+TicketKeyStore::~TicketKeyStore() {
+  secure_wipe(current_key_);
+  secure_wipe(previous_key_);
+}
+
+Bytes TicketKeyStore::seal(ByteView resumption_secret,
+                           RandomSource& rng) const {
+  if (resumption_secret.size() != kResumptionSecretLen) {
+    throw CryptoError("ticket: resumption secret must be 32 bytes");
+  }
+  const Bytes nonce = rng.bytes(crypto::kAeadNonceSize);
+  std::lock_guard<std::mutex> lock(mu_);
+  storage::BufWriter w;
+  w.u64(current_id_);
+  w.raw(nonce);
+  w.bytes(crypto::aead_seal(current_key_, nonce, ticket_aad(),
+                            resumption_secret));
+  return w.take();
+}
+
+std::optional<Bytes> TicketKeyStore::open(ByteView ticket) const {
+  try {
+    storage::BufReader r(ticket);
+    const std::uint64_t key_id = r.u64();
+    Bytes nonce;
+    nonce.reserve(crypto::kAeadNonceSize);
+    for (std::size_t i = 0; i < crypto::kAeadNonceSize; ++i) {
+      nonce.push_back(r.u8());
+    }
+    const Bytes sealed = r.bytes();
+    if (!r.done()) return std::nullopt;  // trailing bytes: not ours
+
+    std::lock_guard<std::mutex> lock(mu_);
+    const Bytes* key = nullptr;
+    if (key_id == current_id_) {
+      key = &current_key_;
+    } else if (key_id + 1 == current_id_ && !previous_key_.empty()) {
+      key = &previous_key_;
+    } else {
+      return std::nullopt;  // rotated out (or from the future)
+    }
+    auto secret = crypto::aead_open(*key, nonce, ticket_aad(), sealed);
+    if (!secret || secret->size() != kResumptionSecretLen) {
+      return std::nullopt;
+    }
+    return secret;
+  } catch (const FormatError&) {
+    return std::nullopt;  // truncated / hostile encoding
+  }
+}
+
+void TicketKeyStore::rotate(RandomSource& rng) {
+  Bytes fresh = rng.bytes(crypto::kAeadKeySize);
+  std::lock_guard<std::mutex> lock(mu_);
+  secure_wipe(previous_key_);
+  previous_key_ = std::move(current_key_);
+  current_key_ = std::move(fresh);
+  ++current_id_;
+}
+
+std::uint64_t TicketKeyStore::current_key_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_id_;
+}
+
+bool ReplayWindow::insert(const Bytes& nonce) {
+  if (capacity_ == 0) return true;  // window disabled: nothing to remember
+  if (!seen_.insert(nonce).second) return false;
+  order_.push_back(nonce);
+  while (order_.size() > capacity_) {
+    seen_.erase(order_.front());
+    order_.pop_front();
+  }
+  return true;
+}
+
+void ReplayWindow::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  while (order_.size() > capacity_) {
+    seen_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+}  // namespace amnesia::securechan

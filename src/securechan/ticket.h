@@ -1,0 +1,99 @@
+// Session tickets: stateless secure-channel resumption (TLS 1.3 style).
+//
+// On full-handshake completion the server hands the client an opaque
+// *ticket*: the session's resumption master secret sealed under a
+// process-wide ticket key the client never sees. To resume, the client
+// returns the ticket plus a fresh nonce; any server process holding the
+// ticket key — any shard of the fleet, since the key is installed into
+// every shard at startup — recovers the secret and derives fresh channel
+// keys with zero X25519 scalar multiplications and one round trip.
+//
+// Ticket wire format (opaque to the client, versioned by the AAD):
+//   key_id(8 LE) nonce(12) sealed( rms(32) || tag(16) )
+//
+// Key management is two-slot rotation: `rotate()` demotes the current key
+// to "previous" and installs a fresh one. `open()` accepts tickets sealed
+// under either slot, so an outstanding ticket survives exactly one
+// rotation period before it silently falls back to a full handshake —
+// rotation, not wall-clock timestamps, is the expiry mechanism (the
+// secure channel deliberately has no clock).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace amnesia::securechan {
+
+/// Length of the resumption master secret carried inside a ticket.
+constexpr std::size_t kResumptionSecretLen = 32;
+
+/// Process-wide rotating ticket-sealing key. One store is shared (by
+/// `shared_ptr`) across every shard's SecureServer, which is what makes
+/// resumption shard-agnostic: a ticket minted by shard k opens on shard j
+/// with no cross-shard traffic. seal/open/rotate are mutex-guarded — the
+/// store is the only securechan state touched from multiple reactor
+/// threads.
+class TicketKeyStore {
+ public:
+  static std::shared_ptr<TicketKeyStore> generate(RandomSource& rng);
+
+  /// Keys are zeroized before the memory is released.
+  ~TicketKeyStore();
+
+  TicketKeyStore(const TicketKeyStore&) = delete;
+  TicketKeyStore& operator=(const TicketKeyStore&) = delete;
+
+  /// Seals `resumption_secret` (must be kResumptionSecretLen bytes) into
+  /// an opaque ticket under the current key.
+  Bytes seal(ByteView resumption_secret, RandomSource& rng) const;
+
+  /// Opens a ticket sealed under the current or the previous key. Returns
+  /// the resumption secret, or nullopt for anything else: truncated or
+  /// trailing-garbage encodings, unknown/rotated-out key ids, or a failed
+  /// tag check. Never throws on hostile bytes.
+  std::optional<Bytes> open(ByteView ticket) const;
+
+  /// Demotes the current key to the "previous" slot (wiping the key that
+  /// falls off the end) and installs a fresh key.
+  void rotate(RandomSource& rng);
+
+  std::uint64_t current_key_id() const;
+
+ private:
+  TicketKeyStore() = default;
+
+  mutable std::mutex mu_;
+  std::uint64_t current_id_ = 1;
+  Bytes current_key_;
+  Bytes previous_key_;  // empty until the first rotation
+};
+
+/// Bounded sliding replay window over resume-hello client nonces:
+/// insert() returns false on a repeat, and once `capacity` distinct
+/// nonces are held the oldest is dropped to admit the next. Per-shard
+/// and single-threaded (each reactor owns its own window).
+class ReplayWindow {
+ public:
+  explicit ReplayWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  /// True if `nonce` was not in the window (and is now); false on replay.
+  bool insert(const Bytes& nonce);
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t capacity);
+
+ private:
+  std::size_t capacity_;
+  std::set<Bytes> seen_;
+  std::deque<Bytes> order_;  // insertion order, front = oldest
+};
+
+}  // namespace amnesia::securechan

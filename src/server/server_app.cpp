@@ -51,6 +51,9 @@ AmnesiaServer::AmnesiaServer(simnet::Simulation& sim,
       rendezvous_breaker_("rendezvous", config_.rendezvous_breaker),
       next_request_id_(config_.request_id_first) {
   sessions_.set_token_prefix(config_.session_token_prefix);
+  // Installed after construction so the SecureServer ctor consumes the
+  // same rng bytes in every deployment (N=1 bit-compatibility).
+  if (config_.ticket_keys) secure_.set_ticket_keys(config_.ticket_keys);
   http_.set_service_time([this](const Request& req) -> Micros {
     // The final password computation (token handling) is the expensive
     // server-side step in the latency pipeline; everything else is light
@@ -608,6 +611,7 @@ void AmnesiaServer::handle_token(const Request& req,
   PendingPassword pending = std::move(it->second);
   pending_passwords_.erase(it);
   // The phone has answered: the wait leg of the round is over.
+  ++stats_.tokens_accepted;
   metrics_.tracer().end(pending.wait_span);
 
   const auto user_record = db_.get_user(pending.user);

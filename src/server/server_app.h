@@ -66,6 +66,12 @@ struct AmnesiaServerConfig {
   // one key and SO_REUSEPORT hands their connection to an arbitrary
   // shard); nullopt generates a fresh pair from `rng` as before.
   std::optional<crypto::X25519KeyPair> channel_keys;
+  // The ticket-sealing key store shared by every shard of one deployment,
+  // so a session ticket minted by shard k resumes against shard j with no
+  // cross-shard traffic (see securechan/ticket.h). Null = the shard's
+  // SecureServer keeps its own constructor-generated store, exactly as a
+  // standalone server.
+  std::shared_ptr<securechan::TicketKeyStore> ticket_keys;
   // Prepended to session tokens so a cookie names its owning shard
   // ("s2." on shard 2). Empty = untagged tokens, exactly as today.
   std::string session_token_prefix;
@@ -121,6 +127,7 @@ struct AmnesiaServerStats {
   std::uint64_t pairings_completed = 0;
   std::uint64_t pairings_rejected = 0;
   std::uint64_t password_requests = 0;
+  std::uint64_t tokens_accepted = 0;  // phone tokens matched to a round
   std::uint64_t passwords_generated = 0;
   std::uint64_t requests_declined = 0;
   std::uint64_t requests_timed_out = 0;

@@ -235,16 +235,39 @@ TEST(SecureChannel, ReplayedDataRecordIsRejected) {
   EXPECT_GE(w.server.stats().replays_rejected, 1u);
 }
 
-TEST(SecureChannel, ResetForcesRehandshake) {
+TEST(SecureChannel, ResetIsTicketPreservingAndResumes) {
+  // reset() keeps the cached session ticket, so the next request pays a
+  // one-round-trip resumption instead of a second X25519 exchange.
   SecureWorld w;
   w.client.request(to_bytes("a"), [](Result<Bytes>) {});
   w.sim.run();
   EXPECT_EQ(w.server.stats().handshakes, 1u);
+  EXPECT_TRUE(w.client.has_ticket());
   w.client.reset();
   EXPECT_FALSE(w.client.established());
+  EXPECT_TRUE(w.client.has_ticket());
   w.client.request(to_bytes("b"), [](Result<Bytes>) {});
   w.sim.run();
+  EXPECT_TRUE(w.client.established());
+  EXPECT_EQ(w.server.stats().handshakes, 1u);
+  EXPECT_EQ(w.server.stats().resumptions, 1u);
+}
+
+TEST(SecureChannel, ForgetTicketForcesRehandshake) {
+  // The explicit opt-out for tests and the attack harness: dropping the
+  // ticket restores the original reset-means-full-handshake behaviour.
+  SecureWorld w;
+  w.client.request(to_bytes("a"), [](Result<Bytes>) {});
+  w.sim.run();
+  EXPECT_EQ(w.server.stats().handshakes, 1u);
+  w.client.forget_ticket();
+  w.client.reset();
+  EXPECT_FALSE(w.client.has_ticket());
+  w.client.request(to_bytes("b"), [](Result<Bytes>) {});
+  w.sim.run();
+  EXPECT_TRUE(w.client.established());
   EXPECT_EQ(w.server.stats().handshakes, 2u);
+  EXPECT_EQ(w.server.stats().resumptions, 0u);
 }
 
 TEST(SecureChannel, DebugKeysExposedOnlyWhenEstablished) {

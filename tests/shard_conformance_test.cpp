@@ -24,6 +24,7 @@
 #include "net/tcp.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "securechan/channel.h"
 #include "server/db.h"
 #include "server/shard.h"
 #include "simnet/node.h"
@@ -246,19 +247,30 @@ TEST(ShardConformance, TraceTreeStaysConnectedAcrossTheMailbox) {
 
 // --------------------------------------------- aggregate ops endpoints
 
-/// A raw secure-channel HTTP client dialing shard 0's node — how an
+/// A raw secure-channel HTTP client dialing one shard's node — how an
 /// operator's tooling reaches the sharded deployment in the simulation.
 struct OpsClient {
   simnet::Node node;
   securechan::SecureClient chan;
   websvc::HttpClient http;
 
-  OpsClient(Testbed& bed, RandomSource& rng)
-      : node(bed.net(), "ops-client"),
-        chan(node, "amnesia-server", bed.server().public_key(), rng),
+  OpsClient(Testbed& bed, RandomSource& rng,
+            const std::string& name = "ops-client",
+            const std::string& target = "amnesia-server")
+      : node(bed.net(), name),
+        chan(node, target, bed.server().public_key(), rng),
         http([this](Bytes wire, std::function<void(Result<Bytes>)> cb) {
           chan.request(std::move(wire), std::move(cb));
         }) {}
+
+  // One GET /metrics round; fails the test if it doesn't complete 200.
+  void round(simnet::Simulation& sim) {
+    Waiter<Result<websvc::Response>> waiter(sim);
+    http.get("/metrics", waiter.capture());
+    const auto r = waiter.wait();
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value().status, 200);
+  }
 };
 
 TEST(ShardConformance, AggregateEndpointsCoverEveryShard) {
@@ -318,6 +330,78 @@ TEST(ShardConformance, AggregateEndpointsCoverEveryShard) {
   const auto events = events_waiter.wait();
   ASSERT_TRUE(events.ok());
   EXPECT_EQ(events.value().status, 200);
+}
+
+// ------------------------------------- shard-agnostic session tickets
+
+TEST(ShardConformance, TicketMintedOnOneShardResumesOnAnother) {
+  ShardedSimConfig config;
+  config.shards = 2;
+  config.base.seed = 71;
+  ShardedSimTestbed st(config);
+  crypto::ChaChaDrbg rng(321);
+
+  // Full handshake against shard 0's node: the server_hello carries a
+  // ticket sealed under the fleet-wide key store.
+  OpsClient first(st.bed(), rng);
+  first.round(st.bed().sim());
+  ASSERT_TRUE(first.chan.has_ticket());
+
+  const auto before0 = st.shard(0).secure().stats();
+  const auto before1 = st.shard(1).secure().stats();
+
+  // A second client dials shard 1's node directly, armed only with the
+  // ticket shard 0 minted.
+  OpsClient second(st.bed(), rng, "ops-client-2", "amnesia-server-1");
+  second.chan.adopt_ticket(*first.chan.export_ticket());
+  second.round(st.bed().sim());
+
+  const auto after1 = st.shard(1).secure().stats();
+  EXPECT_EQ(after1.resumptions, before1.resumptions + 1)
+      << "shard 1 must accept a ticket minted by shard 0";
+  EXPECT_EQ(after1.handshakes, before1.handshakes)
+      << "no X25519 on the resumed path";
+  EXPECT_EQ(after1.resumptions_rejected, before1.resumptions_rejected);
+  EXPECT_EQ(st.shard(0).secure().stats().handshakes, before0.handshakes);
+}
+
+TEST(ShardConformance, TicketRotationKeepsOldTicketsOnePeriod) {
+  ShardedSimConfig config;
+  config.shards = 2;
+  config.base.seed = 73;
+  ShardedSimTestbed st(config);
+  crypto::ChaChaDrbg rng(322);
+  crypto::ChaChaDrbg rotation_rng(323);
+
+  OpsClient first(st.bed(), rng);
+  first.round(st.bed().sim());
+  ASSERT_TRUE(first.chan.has_ticket());
+
+  // One rotation: a ticket sealed under the previous key still resumes
+  // (graceful key rollover across the fleet).
+  st.ticket_store()->rotate(rotation_rng);
+  OpsClient second(st.bed(), rng, "ops-client-2", "amnesia-server-1");
+  second.chan.adopt_ticket(*first.chan.export_ticket());
+  const auto before1 = st.shard(1).secure().stats();
+  second.round(st.bed().sim());
+  EXPECT_EQ(st.shard(1).secure().stats().resumptions,
+            before1.resumptions + 1)
+      << "one rotation of grace";
+
+  // Two more rotations age the chained ticket out entirely: the next
+  // client falls back to a full handshake — transparently, the request
+  // still succeeds.
+  st.ticket_store()->rotate(rotation_rng);
+  st.ticket_store()->rotate(rotation_rng);
+  OpsClient third(st.bed(), rng, "ops-client-3", "amnesia-server");
+  third.chan.adopt_ticket(*second.chan.export_ticket());
+  const auto before0 = st.shard(0).secure().stats();
+  third.round(st.bed().sim());
+  const auto after0 = st.shard(0).secure().stats();
+  EXPECT_EQ(after0.resumptions_rejected, before0.resumptions_rejected + 1);
+  EXPECT_EQ(after0.handshakes, before0.handshakes + 1)
+      << "expired ticket must fall back to X25519, not fail the request";
+  EXPECT_TRUE(third.chan.has_ticket()) << "fallback re-arms the client";
 }
 
 // ------------------------------------------------- per-shard storage
@@ -424,6 +508,88 @@ TEST(ShardConformance, TcpReactorsServeTheSameFlows) {
       EXPECT_GT(forwarded, 0u);
     }
   }
+}
+
+TEST(ShardConformance, TcpTicketsResumeAcrossReactors) {
+  ShardedTcpConfig config;
+  config.shards = 4;
+  config.seed = 101;
+  ShardedTcpTestbed st(config);
+
+  // Baseline while single-threaded; the reactor threads write these
+  // counters, so they are re-read only after stop().
+  std::uint64_t base_handshakes = 0;
+  std::uint64_t base_resumptions = 0;
+  for (std::size_t k = 0; k < st.shards(); ++k) {
+    base_handshakes += st.bed(k).server().secure().stats().handshakes;
+    base_resumptions += st.bed(k).server().secure().stats().resumptions;
+  }
+  st.start();
+
+  net::EventLoop loop;
+  crypto::ChaChaDrbg rng(555);
+
+  // One raw TCP connection with its own secure channel.
+  struct Dial {
+    net::TcpTransport tcp;
+    net::RpcClient rpc;
+    securechan::SecureClient chan;
+    websvc::HttpClient http;
+    Dial(net::EventLoop& loop, std::uint16_t port,
+         const crypto::X25519Key& key, RandomSource& rng)
+        : tcp(loop, "127.0.0.1", port),
+          rpc(tcp, 30'000'000),
+          chan(rpc.wire(), key, rng),
+          http([this](Bytes wire, std::function<void(Result<Bytes>)> cb) {
+            chan.request(std::move(wire), std::move(cb));
+          }) {}
+  };
+
+  const auto round = [&](Dial& d) {
+    bool fired = false;
+    d.http.get("/metrics", [&](Result<websvc::Response> r) {
+      EXPECT_TRUE(r.ok());
+      fired = true;
+    });
+    const Micros deadline = loop.clock().now_us() + 60'000'000;
+    while (!fired) {
+      ASSERT_LT(loop.clock().now_us(), deadline) << "TCP round stalled";
+      loop.poll(20'000);
+    }
+  };
+
+  std::vector<std::unique_ptr<Dial>> dials;
+  dials.push_back(
+      std::make_unique<Dial>(loop, st.port(), st.public_key(), rng));
+  round(*dials[0]);  // the run's one and only full handshake
+  ASSERT_TRUE(dials[0]->chan.has_ticket());
+
+  // Five more connections: SO_REUSEPORT scatters them across the four
+  // reactors, and each adopts the freshest ticket in the chain — so the
+  // accepting reactor is never (reliably) the minting one. Rotating the
+  // fleet keys halfway through must not break the chain: tickets sealed
+  // under the previous key keep one period of grace.
+  for (int i = 0; i < 5; ++i) {
+    if (i == 3) st.ticket_store()->rotate(rng);
+    auto d = std::make_unique<Dial>(loop, st.port(), st.public_key(), rng);
+    d->chan.adopt_ticket(*dials.back()->chan.export_ticket());
+    round(*d);
+    EXPECT_TRUE(d->chan.has_ticket());
+    dials.push_back(std::move(d));
+  }
+
+  for (auto& d : dials) d->rpc.close();
+  st.stop();
+
+  std::uint64_t handshakes = 0;
+  std::uint64_t resumptions = 0;
+  for (std::size_t k = 0; k < st.shards(); ++k) {
+    handshakes += st.bed(k).server().secure().stats().handshakes;
+    resumptions += st.bed(k).server().secure().stats().resumptions;
+  }
+  EXPECT_EQ(handshakes - base_handshakes, 1u)
+      << "six connections, one X25519 across the whole fleet";
+  EXPECT_EQ(resumptions - base_resumptions, 5u);
 }
 
 }  // namespace

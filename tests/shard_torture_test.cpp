@@ -146,11 +146,16 @@ TEST(ShardTorture, MailboxFaultsNeverCorruptOrDuplicate) {
   EXPECT_GT(phone.duplicate_pushes, 0u)
       << "parked entries are re-delivered until TTL; dedupe must see them";
   std::uint64_t generated = 0;
+  std::uint64_t tokens_accepted = 0;
   for (std::size_t k = 0; k < st.shards(); ++k) {
     generated += st.shard(k).stats().passwords_generated;
+    tokens_accepted += st.shard(k).stats().tokens_accepted;
   }
   EXPECT_GE(generated, completed + kUsers.size());
-  EXPECT_LE(generated, phone.tokens_sent)
+  // Compared against tokens the servers *accepted*, not the phone's acked
+  // sends: a mailbox-reply drop can eat the 200 after the server has
+  // already generated, so the phone-side count undercounts by schedule.
+  EXPECT_LE(generated, tokens_accepted)
       << "a password without a phone token would break the bilateral rule";
 }
 

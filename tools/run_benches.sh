@@ -50,9 +50,13 @@ if [ "$filter" = "." ]; then
     [ "$half" -lt 1 ] && half=1
     shard_counts=$(printf '1\n%s\n%s\n' "$half" "$jobs" | sort -un |
         paste -sd, -)
-    echo "== run bench_net_loopback (shards: $shard_counts)"
+    # Resumption axis: full handshake per op, ticket resume per op, and
+    # pooled connections riding the shared ticket cache. Each phase row
+    # carries its "resumption" mode plus handshake/resumption deltas.
+    modes="cold,resumed,pooled"
+    echo "== run bench_net_loopback (shards: $shard_counts; modes: $modes)"
     "$build_dir/bench/bench_net_loopback" \
-        "$repo_root/BENCH_net_loopback.json" "$shard_counts"
+        "$repo_root/BENCH_net_loopback.json" "$shard_counts" "$modes"
 
     # Fig. 3 latency reproduction with trace-derived critical-path
     # attribution; virtual time, so the run is fast and the artifact is

@@ -58,11 +58,11 @@ run_pass() {
 # suites drive the multi-reactor deployment (SO_REUSEPORT acceptors, one
 # EventLoop thread per shard, cross-shard mailbox posts), which is the
 # most thread-heavy path in the tree.
-tsan_filter='net_|securechan_stream|obs_trace|trace_propagation|shard_'
+tsan_filter='net_|securechan_stream|obs_trace|trace_propagation|shard_|securechan_resume|websvc_pool'
 
 # Everything driven by resilience::FaultInjector plus the degraded-mode
 # end-to-end suites.
-fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test|trace_propagation|shard_'
+fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test|trace_propagation|shard_|securechan_resume|websvc_pool'
 
 case "$mode" in
 plain)
