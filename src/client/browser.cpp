@@ -175,6 +175,7 @@ void Browser::request_password(const std::string& username,
     root = tracer_->start_trace("browser.request", "browser");
     tracer_->add_attribute(root, "domain", domain);
     last_trace_id_ = root.trace_id;
+    last_root_ctx_ = root;
     cb = [tracer = tracer_, root,
           cb = std::move(cb)](Result<std::string> r) {
       tracer->end(root);
@@ -210,6 +211,52 @@ void Browser::request_password(const std::string& username,
         if (autofill_) autofill_(domain, username, it->second);
         cb(Result<std::string>(it->second));
       });
+}
+
+void Browser::await_password(const std::string& username,
+                             const std::string& domain,
+                             std::function<void(Result<std::string>)> cb) {
+  obs::TraceContext span;
+  if (tracer_ && last_root_ctx_.valid()) {
+    span = tracer_->start_span("browser.await", "browser", last_root_ctx_);
+    tracer_->add_attribute(span, "domain", domain);
+    cb = [tracer = tracer_, span, cb = std::move(cb)](Result<std::string> r) {
+      tracer->end(span);
+      cb(std::move(r));
+    };
+  }
+  const obs::ScopedTrace scope(span);
+  http_.post_form(
+      "/password/await", {{"username", username}, {"domain", domain}},
+      [this, username, domain, cb = std::move(cb)](Result<websvc::Response> r) {
+        if (!r.ok()) {
+          cb(Result<std::string>(r.failure()));
+          return;
+        }
+        const websvc::Response& resp = r.value();
+        if (resp.status == 403) {
+          cb(Result<std::string>(Err::kDeclined, resp.body));
+          return;
+        }
+        const Status s = status_from(r);
+        if (!s.ok()) {
+          cb(Result<std::string>(s.failure()));
+          return;
+        }
+        const auto fields = resp.form();
+        const auto it = fields.find("password");
+        if (it == fields.end()) {
+          cb(Result<std::string>(Err::kInternal, "no password in response"));
+          return;
+        }
+        if (autofill_) autofill_(domain, username, it->second);
+        cb(Result<std::string>(it->second));
+      });
+}
+
+void Browser::retarget(simnet::NodeId server, Micros timeout_us) {
+  if (!node_) return;
+  channel_.retarget(*node_, std::move(server), timeout_us);
 }
 
 void Browser::recover_phone(

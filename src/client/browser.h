@@ -77,6 +77,22 @@ class Browser {
                         const std::string& domain,
                         std::function<void(Result<std::string>)> cb);
 
+  /// Cluster-failover companion to request_password(): asks the server
+  /// for the outcome of an in-flight round (POST /password/await). After
+  /// a primary crash mid-round, the promoted follower finishes the phone
+  /// round-trip and answers here — the original connection died with the
+  /// primary. Joins the same trace as the last request_password() call
+  /// (a "browser.await" span under its root) so the recovered login
+  /// stays one connected tree (docs/CLUSTER.md).
+  void await_password(const std::string& username, const std::string& domain,
+                      std::function<void(Result<std::string>)> cb);
+
+  /// Repoints a simnet-backed browser at another server node (cluster
+  /// failover). Ticket-preserving, like SecureClient::retarget. No-op
+  /// for wire-backed browsers — retarget those via channel().set_wire().
+  void retarget(simnet::NodeId server,
+                Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
+
   /// Phone-compromise recovery: upload the cloud backup blob, receive the
   /// old passwords for one last login on every site (section III-C1).
   void recover_phone(
@@ -132,6 +148,9 @@ class Browser {
   simnet::NodeId label_;
   obs::Tracer* tracer_ = nullptr;
   obs::TraceId last_trace_id_;
+  /// Root span context of the last request_password() — await_password()
+  /// parents under it so a failover recovery joins the original trace.
+  obs::TraceContext last_root_ctx_;
 };
 
 }  // namespace amnesia::client

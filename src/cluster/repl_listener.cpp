@@ -1,0 +1,39 @@
+#include "cluster/repl_listener.h"
+
+namespace amnesia::cluster {
+
+ReplListener::ReplListener(net::Transport& transport, ClusterNode& node)
+    : transport_(transport), node_(node) {
+  transport_.listen(
+      [this](net::StreamPtr stream) { on_stream(std::move(stream)); });
+}
+
+ReplListener::~ReplListener() {
+  // Detach close hooks first: RpcPeer::close() would otherwise call back
+  // into peers_ mid-iteration (same dance as server::NetGateway).
+  auto peers = std::move(peers_);
+  peers_.clear();
+  for (auto& [raw, peer] : peers) {
+    peer->set_on_close(nullptr);
+    peer->close();
+  }
+}
+
+void ReplListener::on_stream(net::StreamPtr stream) {
+  auto peer = net::RpcPeer::attach(std::move(stream), transport_.executor());
+  net::RpcPeer* raw = peer.get();
+  peer->set_handler(
+      [this](const Bytes& body, std::function<void(Bytes)> respond) {
+        node_.handle_repl(body, std::move(respond));
+      });
+  peer->set_on_close([this, raw]() { peers_.erase(raw); });
+  peers_[raw] = std::move(peer);
+}
+
+ClusterNode::PeerWire tcp_wire(net::RpcClient& client) {
+  return [&client](Bytes body, std::function<void(Result<Bytes>)> cb) {
+    client.request(std::move(body), std::move(cb));
+  };
+}
+
+}  // namespace amnesia::cluster

@@ -1,0 +1,40 @@
+// TCP glue for the replication stream (docs/CLUSTER.md).
+//
+// ReplListener accepts inbound replication connections on a net::Transport
+// and routes every framed request to ClusterNode::handle_repl — the same
+// entry point the simnet path uses, so a follower cannot tell which
+// transport its primary ships over. The primary side needs no class of its
+// own: a net::RpcClient's wire() already has the PeerWire shape
+// (tcp_wire() below just pins the replication timeout).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "cluster/node.h"
+#include "net/rpc.h"
+#include "net/transport.h"
+
+namespace amnesia::cluster {
+
+class ReplListener {
+ public:
+  ReplListener(net::Transport& transport, ClusterNode& node);
+  ~ReplListener();
+
+  ReplListener(const ReplListener&) = delete;
+  ReplListener& operator=(const ReplListener&) = delete;
+
+ private:
+  void on_stream(net::StreamPtr stream);
+
+  net::Transport& transport_;
+  ClusterNode& node_;
+  std::map<net::RpcPeer*, std::shared_ptr<net::RpcPeer>> peers_;
+};
+
+/// A ClusterNode::PeerWire over an established RpcClient. The client must
+/// outlive the returned wire (testbeds keep it next to the node).
+ClusterNode::PeerWire tcp_wire(net::RpcClient& client);
+
+}  // namespace amnesia::cluster

@@ -1,0 +1,190 @@
+#include "cluster/replication.h"
+
+#include "common/error.h"
+
+namespace amnesia::cluster {
+
+namespace {
+
+// Caps on attacker-controllable counts: a hostile length prefix must not
+// make the decoder reserve gigabytes before the bounds check catches it.
+constexpr std::uint32_t kMaxRecordsPerAppend = 1 << 16;
+constexpr std::uint32_t kMaxSpanList = 1 << 12;
+
+RecordKind decode_kind(std::uint8_t raw) {
+  switch (raw) {
+    case 1: return RecordKind::kStorage;
+    case 2: return RecordKind::kSpanStart;
+    case 3: return RecordKind::kSpanEnd;
+    default: break;
+  }
+  throw FormatError("replication: unknown record kind " +
+                    std::to_string(raw));
+}
+
+}  // namespace
+
+void encode_span(storage::BufWriter& w, const obs::TraceSpan& span) {
+  w.u64(span.trace_id.hi);
+  w.u64(span.trace_id.lo);
+  w.u64(span.id);
+  w.u64(span.parent);
+  w.str(span.name);
+  w.str(span.component);
+  w.i64(span.start);
+  w.i64(span.end);
+  w.u8(span.finished ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(span.attributes.size()));
+  for (const obs::SpanAttr& attr : span.attributes) {
+    w.str(attr.key);
+    w.str(attr.value);
+  }
+  w.u32(static_cast<std::uint32_t>(span.events.size()));
+  for (const obs::SpanEvent& event : span.events) {
+    w.i64(event.at);
+    w.str(event.message);
+  }
+}
+
+obs::TraceSpan decode_span(storage::BufReader& r) {
+  obs::TraceSpan span;
+  span.trace_id.hi = r.u64();
+  span.trace_id.lo = r.u64();
+  span.id = r.u64();
+  span.parent = r.u64();
+  span.name = r.str();
+  span.component = r.str();
+  span.start = r.i64();
+  span.end = r.i64();
+  const std::uint8_t finished = r.u8();
+  if (finished > 1) throw FormatError("span: bad finished flag");
+  span.finished = finished == 1;
+  const std::uint32_t nattrs = r.u32();
+  if (nattrs > kMaxSpanList) throw FormatError("span: attribute count");
+  span.attributes.reserve(nattrs);
+  for (std::uint32_t i = 0; i < nattrs; ++i) {
+    obs::SpanAttr attr;
+    attr.key = r.str();
+    attr.value = r.str();
+    span.attributes.push_back(std::move(attr));
+  }
+  const std::uint32_t nevents = r.u32();
+  if (nevents > kMaxSpanList) throw FormatError("span: event count");
+  span.events.reserve(nevents);
+  for (std::uint32_t i = 0; i < nevents; ++i) {
+    obs::SpanEvent event;
+    event.at = r.i64();
+    event.message = r.str();
+    span.events.push_back(std::move(event));
+  }
+  return span;
+}
+
+Bytes encode_span(const obs::TraceSpan& span) {
+  storage::BufWriter w;
+  encode_span(w, span);
+  return w.take();
+}
+
+obs::TraceSpan decode_span(const Bytes& payload) {
+  storage::BufReader r(payload);
+  obs::TraceSpan span = decode_span(r);
+  if (!r.done()) throw FormatError("span: trailing bytes");
+  return span;
+}
+
+Bytes encode_append(std::uint64_t epoch, std::uint64_t base_seq,
+                    const std::vector<LogRecord>& records) {
+  storage::BufWriter w;
+  w.u8(static_cast<std::uint8_t>(ReplOp::kAppend));
+  w.u64(epoch);
+  w.u64(base_seq);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const LogRecord& record : records) {
+    w.u8(static_cast<std::uint8_t>(record.kind));
+    w.bytes(record.payload);
+  }
+  return w.take();
+}
+
+Bytes encode_heartbeat(std::uint64_t epoch, std::uint64_t seq) {
+  storage::BufWriter w;
+  w.u8(static_cast<std::uint8_t>(ReplOp::kHeartbeat));
+  w.u64(epoch);
+  w.u64(seq);
+  return w.take();
+}
+
+Bytes encode_snapshot(std::uint64_t epoch, std::uint64_t seq,
+                      std::uint64_t db_offset, const Bytes& state) {
+  storage::BufWriter w;
+  w.u8(static_cast<std::uint8_t>(ReplOp::kSnapshot));
+  w.u64(epoch);
+  w.u64(seq);
+  w.u64(db_offset);
+  w.bytes(state);
+  return w.take();
+}
+
+ReplMessage decode_message(const Bytes& body) {
+  storage::BufReader r(body);
+  ReplMessage msg;
+  const std::uint8_t op = r.u8();
+  switch (op) {
+    case static_cast<std::uint8_t>(ReplOp::kAppend): {
+      msg.op = ReplOp::kAppend;
+      msg.epoch = r.u64();
+      msg.base_seq = r.u64();
+      const std::uint32_t count = r.u32();
+      if (count > kMaxRecordsPerAppend) {
+        throw FormatError("replication: append record count");
+      }
+      msg.records.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        LogRecord record;
+        record.kind = decode_kind(r.u8());
+        record.payload = r.bytes();
+        msg.records.push_back(std::move(record));
+      }
+      break;
+    }
+    case static_cast<std::uint8_t>(ReplOp::kHeartbeat):
+      msg.op = ReplOp::kHeartbeat;
+      msg.epoch = r.u64();
+      msg.seq = r.u64();
+      break;
+    case static_cast<std::uint8_t>(ReplOp::kSnapshot):
+      msg.op = ReplOp::kSnapshot;
+      msg.epoch = r.u64();
+      msg.seq = r.u64();
+      msg.db_offset = r.u64();
+      msg.state = r.bytes();
+      break;
+    default:
+      throw FormatError("replication: unknown op " + std::to_string(op));
+  }
+  if (!r.done()) throw FormatError("replication: trailing bytes");
+  return msg;
+}
+
+Bytes encode_reply(ReplStatus status, std::uint64_t seq) {
+  storage::BufWriter w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u64(seq);
+  return w.take();
+}
+
+ReplReply decode_reply(const Bytes& body) {
+  storage::BufReader r(body);
+  ReplReply reply;
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(ReplStatus::kStaleEpoch)) {
+    throw FormatError("replication: unknown reply status");
+  }
+  reply.status = static_cast<ReplStatus>(status);
+  reply.seq = r.u64();
+  if (!r.done()) throw FormatError("replication: reply trailing bytes");
+  return reply;
+}
+
+}  // namespace amnesia::cluster

@@ -1,0 +1,93 @@
+// Journal-shipping replication: the wire format of the cluster layer.
+//
+// A primary Amnesia server ships a single ordered log to its followers.
+// The log multiplexes three record kinds under one sequence number:
+//
+//   kStorage    one committed storage::Database journal payload (the
+//               exact [op][table][...] bytes apply_replicated() takes);
+//   kSpanStart  an obs::TraceSpan opened on the primary (no end yet);
+//   kSpanEnd    a span completed on the primary (finished or evicted).
+//
+// Shipping span *starts* as well as ends is what keeps the trace tree
+// connected across a failover: the spans still open at the instant the
+// primary dies (protocol.round, phone.wait, the browser's http.server)
+// exist on the follower as stubs, and the promoted follower's own spans
+// parent under them (docs/CLUSTER.md).
+//
+// Messages (storage::BufWriter framing, first byte = op):
+//   0x01 append    : epoch, base_seq, count, records...
+//   0x02 heartbeat : epoch, seq
+//   0x03 snapshot  : epoch, seq, db_offset, state  (follower catch-up)
+// Replies: [status:u8][seq:u64] where seq is the follower's position.
+//   status 0 ok     — follower is at `seq` (== sender's tip on success)
+//   status 1 gap    — base_seq mismatch; re-ship from `seq` (or snapshot)
+//   status 2 stale  — sender's epoch is behind the follower's; stop.
+//
+// Like the AMDB journal codec, every decode validates before any state
+// changes: hostile bytes throw FormatError without over-reading.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "obs/trace.h"
+#include "storage/codec.h"
+
+namespace amnesia::cluster {
+
+enum class RecordKind : std::uint8_t {
+  kStorage = 1,
+  kSpanStart = 2,
+  kSpanEnd = 3,
+};
+
+struct LogRecord {
+  RecordKind kind = RecordKind::kStorage;
+  Bytes payload;  // journal bytes or an encoded TraceSpan
+};
+
+enum class ReplOp : std::uint8_t {
+  kAppend = 1,
+  kHeartbeat = 2,
+  kSnapshot = 3,
+};
+
+enum class ReplStatus : std::uint8_t { kOk = 0, kGap = 1, kStaleEpoch = 2 };
+
+/// A decoded replication message (fields beyond `op`'s are defaulted).
+struct ReplMessage {
+  ReplOp op = ReplOp::kHeartbeat;
+  std::uint64_t epoch = 0;
+  std::uint64_t base_seq = 0;  // append: follower seq the batch follows
+  std::uint64_t seq = 0;       // heartbeat/snapshot: sender tip
+  std::uint64_t db_offset = 0;  // snapshot: commit offset of `state`
+  std::vector<LogRecord> records;  // append only
+  Bytes state;                     // snapshot only
+};
+
+struct ReplReply {
+  ReplStatus status = ReplStatus::kOk;
+  std::uint64_t seq = 0;
+};
+
+// --- span codec (shared by both ends of the shipping stream) ---
+void encode_span(storage::BufWriter& w, const obs::TraceSpan& span);
+obs::TraceSpan decode_span(storage::BufReader& r);
+Bytes encode_span(const obs::TraceSpan& span);
+obs::TraceSpan decode_span(const Bytes& payload);
+
+// --- message codec ---
+Bytes encode_append(std::uint64_t epoch, std::uint64_t base_seq,
+                    const std::vector<LogRecord>& records);
+Bytes encode_heartbeat(std::uint64_t epoch, std::uint64_t seq);
+Bytes encode_snapshot(std::uint64_t epoch, std::uint64_t seq,
+                      std::uint64_t db_offset, const Bytes& state);
+/// Throws FormatError on malformed/truncated/trailing bytes.
+ReplMessage decode_message(const Bytes& body);
+
+Bytes encode_reply(ReplStatus status, std::uint64_t seq);
+/// Throws FormatError on malformed replies.
+ReplReply decode_reply(const Bytes& body);
+
+}  // namespace amnesia::cluster

@@ -172,6 +172,7 @@ TraceContext Tracer::open_span(std::string name, std::string component,
   span.name = std::move(name);
   span.component = std::move(component);
   span.start = now();
+  if (on_start_) on_start_(span);
 
   std::lock_guard<std::mutex> lock(open_mu_);
   // Bound the open table: a span leaked by a lost callback is evicted —
@@ -234,7 +235,8 @@ Tracer::Shard& Tracer::my_shard() {
   return shards_[index];
 }
 
-void Tracer::complete(TraceSpan span) {
+void Tracer::complete(TraceSpan span, bool notify) {
+  if (notify && on_complete_) on_complete_(span);
   Shard& shard = my_shard();
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.ring.size() < kShardCapacity) {

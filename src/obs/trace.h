@@ -34,6 +34,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -157,6 +158,34 @@ class Tracer {
   /// The spans of one trace, same order. Empty if unknown/evicted.
   std::vector<TraceSpan> trace(TraceId id) const;
 
+  /// Observer invoked with every locally completed span (ends and open-
+  /// table evictions; imported spans are excluded so replication never
+  /// echoes). Install once before traffic starts — the call is made
+  /// outside the store locks and is not synchronized against resets.
+  using CompleteHook = std::function<void(const TraceSpan&)>;
+  void set_on_complete(CompleteHook hook) { on_complete_ = std::move(hook); }
+
+  /// Observer invoked when a sampled span is opened (same caveats as
+  /// set_on_complete). The cluster layer ships span *starts* as well as
+  /// ends: the spans still open on a crashed primary (the protocol round,
+  /// the phone wait) exist on the follower as unfinished stubs, so the
+  /// merged tree keeps its parent chain across the failover.
+  using StartHook = std::function<void(const TraceSpan&)>;
+  void set_on_start(StartHook hook) { on_start_ = std::move(hook); }
+
+  /// Injects an externally recorded span into the completed store — the
+  /// cluster layer ships a primary's spans into the follower's tracer so
+  /// a failover survivor can serve the whole tree. Does not fire the
+  /// on_complete hook.
+  void import_completed(TraceSpan span) { complete(std::move(span), false); }
+
+  /// Re-bases the span-id counter. Cluster replicas carve out disjoint id
+  /// ranges so a tree merged across two servers stays unambiguous. Call
+  /// before any span is started.
+  void seed_span_ids(SpanId first) {
+    next_id_.store(first ? first : 1, std::memory_order_relaxed);
+  }
+
   void clear();
   /// Completed spans evicted from full rings + open spans evicted from a
   /// full table, since construction or the last clear().
@@ -182,7 +211,7 @@ class Tracer {
   TraceContext open_span(std::string name, std::string component,
                          TraceId trace_id, SpanId parent, bool sampled);
   Shard& my_shard();
-  void complete(TraceSpan span);
+  void complete(TraceSpan span, bool notify = true);
 
   const Clock* clock_;
   std::atomic<std::uint64_t> next_id_{1};
@@ -196,6 +225,8 @@ class Tracer {
   std::unordered_map<SpanId, TraceSpan> open_;
   std::deque<SpanId> open_order_;
   std::uint64_t open_evicted_ = 0;
+  CompleteHook on_complete_;
+  StartHook on_start_;
 
   Shard shards_[kShards];
 };

@@ -35,7 +35,10 @@ PhoneApp::PhoneApp(simnet::Simulation& sim, simnet::Network& network,
       config_(std::move(config)),
       node_(std::make_unique<simnet::Node>(network, config_.node_id)),
       server_channel_(*node_, config_.server_node, config_.server_public_key,
-                      rng),
+                      rng,
+                      config_.server_rpc_timeout_us > 0
+                          ? config_.server_rpc_timeout_us
+                          : simnet::Node::kDefaultTimeoutUs),
       server_http_([this](Bytes wire, std::function<void(Result<Bytes>)> cb) {
         server_channel_.request(std::move(wire), std::move(cb));
       }),
@@ -217,17 +220,43 @@ void PhoneApp::on_push(const Bytes& payload) {
   sim_.schedule_after(ms_to_us(compute_ms), [this, push = *push, phone_span] {
     const core::Token token =
         core::generate_token(push.request, secrets_->entry_table);
-    const obs::ScopedTrace scope(phone_span);
-    server_http_.post_form(
-        "/token",
-        {{"request_id", std::to_string(push.request_id)},
-         {"token", token.hex()},
-         {"tstart", std::to_string(push.tstart_us)}},
-        [this](Result<websvc::Response> r) {
-          if (r.ok() && r.value().status == 200) ++stats_.tokens_sent;
-        });
+    post_token({{"request_id", std::to_string(push.request_id)},
+                {"token", token.hex()},
+                {"tstart", std::to_string(push.tstart_us)}},
+               phone_span, config_.token_retry_max);
     if (tracer_) tracer_->end(phone_span);
   });
+}
+
+void PhoneApp::post_token(
+    std::map<std::string, std::string> form,
+    obs::TraceContext trace, int attempts_left) {
+  const obs::ScopedTrace scope(trace);
+  server_http_.post_form(
+      "/token", form,
+      [this, form, trace, attempts_left](Result<websvc::Response> r) {
+        if (r.ok() && r.value().status == 200) {
+          ++stats_.tokens_sent;
+          return;
+        }
+        // Retry only transport failures: the server never saw the token
+        // (e.g. the primary crashed mid-round-trip and the promoted
+        // follower is not reachable yet). An HTTP error is a verdict.
+        if (r.ok() || attempts_left <= 0) return;
+        sim_.schedule_after(
+            std::max<Micros>(config_.token_retry_delay_us, 1),
+            [this, form, trace, attempts_left] {
+              post_token(form, trace, attempts_left - 1);
+            });
+      });
+}
+
+void PhoneApp::set_server_node(simnet::NodeId server) {
+  config_.server_node = std::move(server);
+  server_channel_.retarget(*node_, config_.server_node,
+                           config_.server_rpc_timeout_us > 0
+                               ? config_.server_rpc_timeout_us
+                               : simnet::Node::kDefaultTimeoutUs);
 }
 
 void PhoneApp::backup_to_cloud(std::function<void(Status)> cb) {

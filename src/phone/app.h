@@ -14,6 +14,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -53,6 +54,18 @@ struct PhoneAppConfig {
   // server parks them there once its breaker opens). 0 = push only, the
   // paper's prototype behaviour.
   Micros poll_interval_us = 0;
+
+  // --- cluster failover (docs/CLUSTER.md) ---
+
+  // Timeout on the phone -> server HTTPS leg. The cluster testbeds shrink
+  // it so a token POST to a crashed primary fails fast enough to retry
+  // against the promoted follower. 0 = the simnet default (10 s).
+  Micros server_rpc_timeout_us = 0;
+  // Bounded retry of the /token POST on transport failure. 0 reproduces
+  // the prototype (fire once and forget); the cluster testbeds allow a
+  // few retries so a token survives a mid-round-trip primary crash.
+  int token_retry_max = 0;
+  Micros token_retry_delay_us = 1'000'000;
 };
 
 struct PhoneAppStats {
@@ -102,6 +115,11 @@ class PhoneApp {
   /// Announce reachability to the rendezvous service after downtime.
   void reconnect(std::function<void(Status)> cb);
 
+  /// Repoints the server HTTPS leg at another node (cluster failover:
+  /// the promoted follower). Ticket-preserving; pending /token retries
+  /// pick the new target up automatically.
+  void set_server_node(simnet::NodeId server);
+
   const PhoneAppStats& stats() const { return stats_; }
   const std::optional<std::string>& registration_id() const {
     return registration_id_;
@@ -125,6 +143,10 @@ class PhoneApp {
 
  private:
   void on_push(const Bytes& payload);
+  /// Posts /token with bounded retry on transport failure (see
+  /// PhoneAppConfig::token_retry_max).
+  void post_token(std::map<std::string, std::string> form,
+                  obs::TraceContext trace, int attempts_left);
   void persist_secrets();
   void load_secrets();
   void schedule_poll();

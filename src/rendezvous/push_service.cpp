@@ -12,10 +12,13 @@ constexpr std::uint8_t kOpRegister = 0x01;
 constexpr std::uint8_t kOpPush = 0x02;
 constexpr std::uint8_t kOpConnect = 0x03;
 constexpr std::uint8_t kOpUnregister = 0x04;
+constexpr std::uint8_t kOpLeaseAcquire = 0x05;
+constexpr std::uint8_t kOpLeaseGet = 0x06;
 
 constexpr std::uint8_t kStatusOk = 0x00;
 constexpr std::uint8_t kStatusUnknownId = 0x01;
 constexpr std::uint8_t kStatusMalformed = 0x02;
+constexpr std::uint8_t kStatusLeaseHeld = 0x03;
 
 Bytes status_reply(std::uint8_t status) {
   storage::BufWriter w;
@@ -186,6 +189,49 @@ void PushService::handle_rpc(const simnet::NodeId& from, const Bytes& body,
         }
         return;
       }
+      case kOpLeaseAcquire: {
+        const std::string cluster_id = r.str();
+        const std::string node = r.str();
+        const std::uint64_t epoch = r.u64();
+        const Micros ttl_us = r.i64();
+        const Micros now = network_.sim().now();
+        Lease& lease = leases_[cluster_id];
+        const bool expired = lease.holder.empty() || lease.expires_at <= now;
+        // Grant on: free/expired lease, a renewal by the current holder,
+        // or a strictly higher epoch (a promoted follower fencing the old
+        // primary — the crashed holder's renewals then lose, not tie).
+        const bool granted =
+            expired || (lease.holder == node && epoch >= lease.epoch) ||
+            epoch > lease.epoch;
+        if (granted) {
+          lease = Lease{node, epoch, now + ttl_us};
+          count(&PushStats::lease_grants, "push.lease_grants");
+        } else {
+          count(&PushStats::lease_rejections, "push.lease_rejections");
+        }
+        storage::BufWriter w;
+        w.u8(granted ? kStatusOk : kStatusLeaseHeld);
+        w.str(lease.holder);
+        w.u64(lease.epoch);
+        respond(w.take());
+        return;
+      }
+      case kOpLeaseGet: {
+        const std::string cluster_id = r.str();
+        const Micros now = network_.sim().now();
+        storage::BufWriter w;
+        w.u8(kStatusOk);
+        const auto it = leases_.find(cluster_id);
+        if (it == leases_.end() || it->second.expires_at <= now) {
+          w.str("");
+          w.u64(it == leases_.end() ? 0 : it->second.epoch);
+        } else {
+          w.str(it->second.holder);
+          w.u64(it->second.epoch);
+        }
+        respond(w.take());
+        return;
+      }
       default:
         respond(status_reply(kStatusMalformed));
         return;
@@ -268,6 +314,67 @@ void PushClient::push(const std::string& reg_id, Bytes payload, Micros ttl_us,
   node_.request(
       service_, w.take(),
       [cb = std::move(cb)](Result<Bytes> r) { expect_ok(std::move(r), cb); },
+      timeout_us);
+}
+
+namespace {
+
+void parse_lease_reply(Result<Bytes> r,
+                       const std::function<void(Result<PushClient::LeaseState>)>&
+                           cb) {
+  if (!r.ok()) {
+    cb(Result<PushClient::LeaseState>(r.failure()));
+    return;
+  }
+  try {
+    storage::BufReader reader(r.value());
+    const std::uint8_t status = reader.u8();
+    if (status != kStatusOk && status != kStatusLeaseHeld) {
+      cb(Result<PushClient::LeaseState>(Err::kInvalidArgument,
+                                        "malformed lease request"));
+      return;
+    }
+    PushClient::LeaseState state;
+    state.holder = reader.str();
+    state.epoch = reader.u64();
+    cb(Result<PushClient::LeaseState>(std::move(state)));
+  } catch (const FormatError& e) {
+    cb(Result<PushClient::LeaseState>(Err::kInternal, e.what()));
+  }
+}
+
+}  // namespace
+
+void PushClient::acquire_lease(const std::string& cluster_id,
+                               const std::string& node_id, std::uint64_t epoch,
+                               Micros ttl_us,
+                               std::function<void(Result<LeaseState>)> cb,
+                               Micros timeout_us) {
+  storage::BufWriter w;
+  w.u8(kOpLeaseAcquire);
+  w.str(cluster_id);
+  w.str(node_id);
+  w.u64(epoch);
+  w.i64(ttl_us);
+  node_.request(
+      service_, w.take(),
+      [cb = std::move(cb)](Result<Bytes> r) {
+        parse_lease_reply(std::move(r), cb);
+      },
+      timeout_us);
+}
+
+void PushClient::get_lease(const std::string& cluster_id,
+                           std::function<void(Result<LeaseState>)> cb,
+                           Micros timeout_us) {
+  storage::BufWriter w;
+  w.u8(kOpLeaseGet);
+  w.str(cluster_id);
+  node_.request(
+      service_, w.take(),
+      [cb = std::move(cb)](Result<Bytes> r) {
+        parse_lease_reply(std::move(r), cb);
+      },
       timeout_us);
 }
 

@@ -18,6 +18,17 @@
 //   0x02 push       : reg_id, ttl_us, blob [, trace] -> ok | unknown_id
 //   0x03 connect    : reg_id                 -> ok (flushes queued pushes)
 //   0x04 unregister : reg_id                 -> ok | unknown_id
+//   0x05 lease_acquire : cluster_id, node, epoch, ttl_us
+//                        -> status + holder + holder_epoch
+//   0x06 lease_get     : cluster_id          -> ok + holder + holder_epoch
+//
+// The lease ops anchor the cluster layer's primary election: every replica
+// already depends on the rendezvous service (it is where pushes must go),
+// so it doubles as the tiny shared-arbiter a 2–3 node cluster needs —
+// no external consensus service. A lease names at most one primary per
+// cluster id; acquire renews for the current holder, grants on expiry,
+// and grants immediately to a *higher epoch* (a promoted follower fences
+// the crashed primary's epoch). See docs/CLUSTER.md.
 //
 // The optional trailing trace string on push is a serialized
 // obs::TraceContext; the service records a "rendezvous.deliver" span under
@@ -44,6 +55,8 @@ struct PushStats {
   std::uint64_t pushes_expired = 0;
   std::uint64_t pushes_dropped_overflow = 0;
   std::uint64_t unknown_registration = 0;
+  std::uint64_t lease_grants = 0;
+  std::uint64_t lease_rejections = 0;
 };
 
 /// The service process, attached to its own simnet node.
@@ -82,6 +95,11 @@ class PushService {
     simnet::NodeId device;
     std::deque<QueuedPush> queue;
   };
+  struct Lease {
+    std::string holder;
+    std::uint64_t epoch = 0;
+    Micros expires_at = 0;
+  };
 
   void handle_rpc(const simnet::NodeId& from, const Bytes& body,
                   std::function<void(Bytes)> respond);
@@ -96,6 +114,7 @@ class PushService {
   std::unique_ptr<simnet::Node> node_;
   RandomSource& rng_;
   std::map<std::string, Registration> registrations_;
+  std::map<std::string, Lease> leases_;
   std::size_t max_queue_per_device_ = 64;
   PushStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -123,6 +142,26 @@ class PushClient {
             Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
 
   void unregister(const std::string& reg_id, std::function<void(Status)> cb);
+
+  /// Outcome of a lease RPC: who holds the lease now and at what epoch.
+  /// The caller won iff holder == its own node id.
+  struct LeaseState {
+    std::string holder;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Cluster side: try to acquire/renew the primary lease for
+  /// `cluster_id` as `node_id` at `epoch`. The callback's LeaseState is
+  /// the post-call truth (grant or the competing holder on rejection).
+  void acquire_lease(const std::string& cluster_id, const std::string& node_id,
+                     std::uint64_t epoch, Micros ttl_us,
+                     std::function<void(Result<LeaseState>)> cb,
+                     Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
+
+  /// Reads the current lease (empty holder = none / expired).
+  void get_lease(const std::string& cluster_id,
+                 std::function<void(Result<LeaseState>)> cb,
+                 Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
 
  private:
   simnet::Node& node_;

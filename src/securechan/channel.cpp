@@ -443,6 +443,19 @@ void SecureClient::reset() {
   handshake_in_flight_ = false;
 }
 
+void SecureClient::set_wire(WireFn wire) {
+  wire_ = std::move(wire);
+  reset();
+}
+
+void SecureClient::retarget(simnet::Node& node, simnet::NodeId server,
+                            Micros timeout_us) {
+  set_wire([&node, server = std::move(server), timeout_us](
+               Bytes body, std::function<void(Result<Bytes>)> cb) {
+    node.request(server, std::move(body), std::move(cb), timeout_us);
+  });
+}
+
 std::optional<SecureClient::SessionTicket> SecureClient::export_ticket()
     const {
   if (!has_ticket()) return std::nullopt;

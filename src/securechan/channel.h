@@ -250,6 +250,18 @@ class SecureClient {
   /// full exchange.
   void reset();
 
+  /// Repoints the channel at a different wire (cluster failover: the
+  /// browser retargets from the crashed primary to the promoted
+  /// follower). Implies reset(); the cached ticket survives, so a fleet
+  /// sharing one TicketKeyStore resumes on the new server in one round
+  /// trip.
+  void set_wire(WireFn wire);
+
+  /// Simnet convenience for set_wire: retargets at `server` via `node`'s
+  /// RPC pipe.
+  void retarget(simnet::Node& node, simnet::NodeId server,
+                Micros timeout_us = simnet::Node::kDefaultTimeoutUs);
+
   /// A client-cached resumption credential: the opaque server-sealed
   /// ticket plus the client's matching secret. Copyable so a connection
   /// pool can seed new clients from a shared cache; the secret is wiped

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "crypto/aead.h"
 #include "crypto/crypto_metrics.h"
+#include "resilience/fault.h"
 
 namespace amnesia::server {
 
@@ -138,6 +139,11 @@ void AmnesiaServer::install_routes() {
   // (a GCM token), so presenting it is the same bearer credential the
   // push path trusts.
   route(Method::kPost, "/push/poll", &AmnesiaServer::handle_push_poll);
+  // Failover re-attach: a browser whose /password/request connection died
+  // with the old primary asks the promoted one for the outcome of the
+  // round that is still in flight for (username, domain).
+  route(Method::kPost, "/password/await",
+        &AmnesiaServer::handle_password_await);
 
   // Text snapshot of the whole-testbed registry. Exempt, so serving it
   // neither perturbs the pool nor mutates the numbers it is exporting —
@@ -180,6 +186,32 @@ void AmnesiaServer::install_routes() {
                            metrics_.events().to_json_lines()));
                      });
   http_.metrics_exempt("/events");
+
+  // Readiness probe: role, shard count, replication lag, open breakers.
+  // A load balancer (or the cluster testbed) polls this to find the
+  // primary; exempt like /metrics so probing never perturbs the pool.
+  http_.router().add(
+      Method::kGet, "/healthz",
+      [this](const Request&, const PathParams&, Responder respond) {
+        const ClusterStatus st =
+            cluster_status_ ? cluster_status_() : ClusterStatus{};
+        std::ostringstream body;
+        body << "{\"role\": \"" << st.role
+             << "\", \"shards\": " << config_.request_id_stride
+             << ", \"followers\": " << st.followers
+             << ", \"replication_lag\": " << st.replication_lag
+             << ", \"open_breakers\": [";
+        if (rendezvous_breaker_.state() !=
+            resilience::CircuitBreaker::State::kClosed) {
+          body << "\"rendezvous\"";
+        }
+        body << "], \"pending_rounds\": " << pending_passwords_.size()
+             << "}\n";
+        Response resp = Response::ok_text(body.str());
+        resp.headers["Content-Type"] = "application/json";
+        respond(resp);
+      });
+  http_.metrics_exempt("/healthz");
 }
 
 std::optional<std::string> AmnesiaServer::require_auth(
@@ -238,6 +270,11 @@ void AmnesiaServer::handle_login(const Request& req,
   }
   ++stats_.logins_ok;
   const std::string token = sessions_.create(*user);
+  if (config_.replicated_state) {
+    ensure_cluster_tables();
+    db_.raw().upsert("cluster_sessions",
+                     {token, *user, static_cast<std::int64_t>(sim_.now())});
+  }
   Response resp = Response::ok_text("welcome");
   resp.headers["Set-Cookie"] = "session=" + token + "; HttpOnly";
   respond(resp);
@@ -248,6 +285,10 @@ void AmnesiaServer::handle_logout(const Request& req,
   const auto token = req.cookie("session");
   if (token) {
     sessions_.revoke(*token);
+    if (config_.replicated_state &&
+        db_.raw().has_table("cluster_sessions")) {
+      db_.raw().remove("cluster_sessions", *token);
+    }
     // Drop this session's cached passwords with it.
     std::erase_if(password_cache_, [&](const auto& entry) {
       return entry.first.starts_with(*token + "\x1f");
@@ -483,76 +524,106 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
   // the phone's spans parent under the wait it is resolving.
   push_msg.trace = obs::format_trace_header(pending.wait_span);
 
-  pending_passwords_.emplace(request_id, std::move(pending));
+  const auto [pit, inserted] =
+      pending_passwords_.emplace(request_id, std::move(pending));
+  if (config_.replicated_state) persist_round(request_id, pit->second);
 
   // The 504 backstop is armed before any transport branch: a parked
   // payload that no phone ever polls (push-only config, phone offline for
   // good) must still resolve the browser request instead of hanging it
   // and leaking the pending round.
-  sim_.schedule_after(config_.phone_wait_timeout_us, [this, request_id] {
-    const auto it = pending_passwords_.find(request_id);
-    if (it == pending_passwords_.end()) return;
-    ++stats_.requests_timed_out;
-    metrics_.counter("server.requests_timed_out").inc();
-    finish_round_spans(it->second);
-    it->second.respond(Response::error(504, "phone did not respond"));
-    pending_passwords_.erase(it);
-  });
+  arm_round_timeout(request_id);
 
-  if (!push_allowed) {
-    const obs::ScopedTrace skipped(round_span);
-    metrics_.events().emit(obs::EventLevel::kInfo, "server",
-                           "rendezvous breaker open, queuing for poll");
-    enqueue_poll(registration_id, push_msg.encode());
-    return;
+  // Handing R to the phone is the moment the round escapes this process:
+  // once the push is out, the browser deserves an answer even if this
+  // replica dies. Behind a replication barrier (cluster mode) that
+  // handoff waits until the followers have acked the round record, so a
+  // primary that crashes mid-round always leaves a survivor able to
+  // finish it (docs/CLUSTER.md). Standalone, the barrier is absent and
+  // the handoff runs inline.
+  auto launch = [this, request_id, registration_id, push_allowed, round_span,
+                 push_span, tstart, payload = push_msg.encode()]() {
+    if (!pending_passwords_.contains(request_id)) return;  // already resolved
+    if (!push_allowed) {
+      const obs::ScopedTrace skipped(round_span);
+      metrics_.events().emit(obs::EventLevel::kInfo, "server",
+                             "rendezvous breaker open, queuing for poll");
+      enqueue_poll(registration_id, payload);
+      return;
+    }
+    const Micros push_timeout =
+        std::min(config_.push_rpc_timeout_us, config_.phone_wait_timeout_us);
+    // The push span is ambient for the duration of the push() call so the
+    // rendezvous client stamps it into the RPC metadata (the GCM hop's
+    // deliver span parents under it).
+    const obs::ScopedTrace push_scope(push_span);
+    push_.push(
+        registration_id, payload, config_.push_ttl_us,
+        [request_id, push_span, tstart, registration_id, payload,
+         this](Status s) {
+          metrics_.tracer().end(push_span);
+          metrics_.histogram("rendezvous.push_ack_us")
+              .record(sim_.now() - tstart);
+          if (s.ok()) {
+            rendezvous_breaker_.record_success(sim_.now());
+            // Kill point for the failover drill: the request has reached
+            // the phone but the browser's round is still pending — the
+            // worst instant for the primary to die (docs/CLUSTER.md).
+            if (const auto f = resilience::fault_check("server.push.acked");
+                f && f->kind == resilience::FaultKind::kCrash) {
+              crash();
+            }
+            return;
+          }
+          rendezvous_breaker_.record_failure(sim_.now());
+          ++stats_.push_failures;
+          metrics_.counter("server.push_failures").inc();
+          // Degrade instead of failing the browser with a 502: if the
+          // round is still pending, a polling phone can pick the request
+          // up from the poll queue and answer before phone_wait_timeout_us.
+          // The event is emitted under the (ended) push span's context so
+          // the log line carries the trace id of the login that degraded.
+          if (pending_passwords_.contains(request_id)) {
+            const obs::ScopedTrace degraded(push_span);
+            metrics_.events().emit(obs::EventLevel::kWarn, "server",
+                                   "push failed (" + s.message() +
+                                       "), degrading to poll delivery");
+            enqueue_poll(registration_id, payload);
+          }
+        },
+        push_timeout);
+  };
+  if (replication_barrier_) {
+    replication_barrier_(std::move(launch));
+  } else {
+    launch();
   }
-
-  const Micros push_timeout =
-      std::min(config_.push_rpc_timeout_us, config_.phone_wait_timeout_us);
-  // The push span is ambient for the duration of the push() call so the
-  // rendezvous client stamps it into the RPC metadata (the GCM hop's
-  // deliver span parents under it).
-  const obs::ScopedTrace push_scope(push_span);
-  push_.push(
-      registration_id, push_msg.encode(), config_.push_ttl_us,
-      [request_id, push_span, tstart, registration_id,
-       payload = push_msg.encode(), this](Status s) {
-        metrics_.tracer().end(push_span);
-        metrics_.histogram("rendezvous.push_ack_us")
-            .record(sim_.now() - tstart);
-        if (s.ok()) {
-          rendezvous_breaker_.record_success(sim_.now());
-          return;
-        }
-        rendezvous_breaker_.record_failure(sim_.now());
-        ++stats_.push_failures;
-        metrics_.counter("server.push_failures").inc();
-        // Degrade instead of failing the browser with a 502: if the round
-        // is still pending, a polling phone can pick the request up from
-        // the poll queue and answer before phone_wait_timeout_us. The
-        // event is emitted under the (ended) push span's context so the
-        // log line carries the trace id of the login that degraded.
-        if (pending_passwords_.contains(request_id)) {
-          const obs::ScopedTrace degraded(push_span);
-          metrics_.events().emit(obs::EventLevel::kWarn, "server",
-                                 "push failed (" + s.message() +
-                                     "), degrading to poll delivery");
-          enqueue_poll(registration_id, std::move(payload));
-        }
-      },
-      push_timeout);
 }
 
 void AmnesiaServer::enqueue_poll(const std::string& registration_id,
                                  Bytes payload) {
   auto& queue = poll_queues_[registration_id];
   const Micros now = sim_.now();
-  while (!queue.empty() && queue.front().expires_at <= now) queue.pop_front();
+  while (!queue.empty() && queue.front().expires_at <= now) {
+    drop_poll_row(queue.front().seq);
+    queue.pop_front();
+  }
   // Bounded like every other queue in the degradation path: drop-oldest,
   // since the oldest request is the one closest to its 504 anyway.
-  if (queue.size() >= config_.poll_queue_max) queue.pop_front();
-  queue.push_back(PollEntry{std::move(payload),
-                            now + config_.poll_entry_ttl_us});
+  if (queue.size() >= config_.poll_queue_max) {
+    drop_poll_row(queue.front().seq);
+    queue.pop_front();
+  }
+  PollEntry entry{std::move(payload), now + config_.poll_entry_ttl_us};
+  if (config_.replicated_state) {
+    ensure_cluster_tables();
+    entry.seq = ++poll_seq_;
+    db_.raw().insert("cluster_polls",
+                     {static_cast<std::int64_t>(entry.seq), registration_id,
+                      entry.payload,
+                      static_cast<std::int64_t>(entry.expires_at)});
+  }
+  queue.push_back(std::move(entry));
   ++stats_.poll_enqueued;
   metrics_.counter("server.poll_enqueued").inc();
 }
@@ -568,6 +639,7 @@ void AmnesiaServer::handle_push_poll(const Request& req,
     auto& queue = it->second;
     const Micros now = sim_.now();
     while (!queue.empty() && queue.front().expires_at <= now) {
+      drop_poll_row(queue.front().seq);
       queue.pop_front();
     }
     for (const auto& entry : queue) {
@@ -610,6 +682,7 @@ void AmnesiaServer::handle_token(const Request& req,
   }
   PendingPassword pending = std::move(it->second);
   pending_passwords_.erase(it);
+  remove_round_row(request_id);
   // The phone has answered: the wait leg of the round is over.
   ++stats_.tokens_accepted;
   metrics_.tracer().end(pending.wait_span);
@@ -654,10 +727,13 @@ void AmnesiaServer::handle_token(const Request& req,
             password, sim_.now() + config_.password_cache_ttl_us};
       }
 
-      pending.respond(websvc::Response::ok_form(
+      const Response result = websvc::Response::ok_form(
           {{"password", password},
            {"latency_ms",
-            std::to_string(us_to_ms(tend - pending.tstart_us))}}));
+            std::to_string(us_to_ms(tend - pending.tstart_us))}});
+      pending.respond(result);
+      deliver_await(await_key(pending.user, pending.account), result,
+                    /*store_if_unclaimed=*/false);
       metrics_.tracer().end(pending.round_span);
       respond(Response::ok_text("token accepted"));
       return;
@@ -744,8 +820,12 @@ void AmnesiaServer::handle_token_decline(const Request& req,
   ++stats_.requests_declined;
   metrics_.counter("server.requests_declined").inc();
   finish_round_spans(it->second);
-  it->second.respond(Response::error(403, "declined on phone"));
+  const Response result = Response::error(403, "declined on phone");
+  it->second.respond(result);
+  deliver_await(await_key(it->second.user, it->second.account), result,
+                /*store_if_unclaimed=*/false);
   pending_passwords_.erase(it);
+  remove_round_row(request_id);
   respond(Response::ok_text("declined"));
 }
 
@@ -843,6 +923,12 @@ void AmnesiaServer::handle_recover_mp_confirm(const Request& req,
   // Invalidate every live session — including the attacker's, if the old
   // master password had been compromised.
   sessions_.revoke_all(*user);
+  if (config_.replicated_state && db_.raw().has_table("cluster_sessions")) {
+    for (const auto& row : db_.raw().table("cluster_sessions").select(
+             [&](const storage::Row& r) { return r[1].as_text() == *user; })) {
+      db_.raw().remove("cluster_sessions", row[0]);
+    }
+  }
   ++stats_.mp_changes;
   AMNESIA_INFO("server") << "master password changed for " << *user;
   respond(Response::ok_text("master password changed"));
@@ -934,6 +1020,261 @@ void AmnesiaServer::handle_vault_list(const Request& req,
          << (record.ciphertext ? "stored" : "empty") << '\n';
   }
   respond(Response::ok_text(body.str()));
+}
+
+// --- Cluster mode: replicated protocol state + failover recovery.
+// --- The tables mirror exactly the process-resident maps a crash would
+// --- otherwise erase; every write rides the storage journal, so the
+// --- cluster layer ships them to followers for free (docs/CLUSTER.md).
+
+void AmnesiaServer::ensure_cluster_tables() {
+  storage::Database& db = db_.raw();
+  if (db.has_table("cluster_sessions")) return;
+  using storage::ValueType;
+  // Created lazily by the *primary* only: the creates are journaled, so
+  // followers receive them through the shipping stream — creating the
+  // tables on both sides would make the replicated create a duplicate.
+  db.create_table("cluster_sessions",
+                  storage::Schema{{{"token", ValueType::kText},
+                                   {"principal", ValueType::kText},
+                                   {"created_at", ValueType::kInt}},
+                                  0});
+  db.create_table("cluster_rounds",
+                  storage::Schema{{{"id", ValueType::kInt},
+                                   {"user", ValueType::kText},
+                                   {"username", ValueType::kText},
+                                   {"domain", ValueType::kText},
+                                   {"tstart_us", ValueType::kInt},
+                                   {"purpose", ValueType::kInt},
+                                   {"chosen", ValueType::kText},
+                                   {"session_token", ValueType::kText},
+                                   {"round_trace", ValueType::kText},
+                                   {"wait_trace", ValueType::kText}},
+                                  0});
+  db.create_table("cluster_polls",
+                  storage::Schema{{{"seq", ValueType::kInt},
+                                   {"reg_id", ValueType::kText},
+                                   {"payload", ValueType::kBlob},
+                                   {"expires_at", ValueType::kInt}},
+                                  0});
+  // Single-row watermarks (keyed by name). "request_id_hwm" records the
+  // highest request id this primary ever minted: resolved rounds delete
+  // their cluster_rounds row, so without it a promoted follower would
+  // re-mint ids the dead primary already used and the phone's duplicate
+  // detector would silently swallow the first post-failover pushes.
+  db.create_table("cluster_meta", storage::Schema{{{"key", ValueType::kText},
+                                                   {"val", ValueType::kInt}},
+                                                  0});
+}
+
+void AmnesiaServer::persist_round(std::uint64_t request_id,
+                                  const PendingPassword& p) {
+  ensure_cluster_tables();
+  db_.raw().upsert(
+      "cluster_rounds",
+      {static_cast<std::int64_t>(request_id), p.user, p.account.username,
+       p.account.domain, static_cast<std::int64_t>(p.tstart_us),
+       static_cast<std::int64_t>(p.purpose), p.chosen_password,
+       p.session_token, obs::format_trace_header(p.round_span),
+       obs::format_trace_header(p.wait_span)});
+  // Ids are minted monotonically, so the latest write is the high-water
+  // mark; it rides the same journal batch as the round row.
+  db_.raw().upsert("cluster_meta", {std::string("request_id_hwm"),
+                                    static_cast<std::int64_t>(request_id)});
+}
+
+void AmnesiaServer::remove_round_row(std::uint64_t request_id) {
+  if (!config_.replicated_state) return;
+  if (!db_.raw().has_table("cluster_rounds")) return;
+  db_.raw().remove("cluster_rounds", static_cast<std::int64_t>(request_id));
+}
+
+void AmnesiaServer::drop_poll_row(std::uint64_t seq) {
+  if (seq == 0 || !config_.replicated_state) return;
+  if (!db_.raw().has_table("cluster_polls")) return;
+  db_.raw().remove("cluster_polls", static_cast<std::int64_t>(seq));
+}
+
+std::string AmnesiaServer::await_key(const std::string& user,
+                                     const core::AccountId& id) {
+  return user + "\x1f" + id.domain + "\x1f" + id.username;
+}
+
+void AmnesiaServer::deliver_await(const std::string& key,
+                                  const Response& resp,
+                                  bool store_if_unclaimed) {
+  const auto it = await_waiters_.find(key);
+  if (it != await_waiters_.end()) {
+    const Responder waiter = it->second;
+    await_waiters_.erase(it);
+    waiter(resp);
+    return;
+  }
+  if (store_if_unclaimed) await_results_[key] = resp;
+}
+
+void AmnesiaServer::arm_round_timeout(std::uint64_t request_id) {
+  sim_.schedule_after(config_.phone_wait_timeout_us, [this, request_id] {
+    const auto it = pending_passwords_.find(request_id);
+    if (it == pending_passwords_.end()) return;
+    ++stats_.requests_timed_out;
+    metrics_.counter("server.requests_timed_out").inc();
+    finish_round_spans(it->second);
+    const Response result = Response::error(504, "phone did not respond");
+    it->second.respond(result);
+    deliver_await(await_key(it->second.user, it->second.account), result,
+                  /*store_if_unclaimed=*/false);
+    pending_passwords_.erase(it);
+    remove_round_row(request_id);
+  });
+}
+
+void AmnesiaServer::handle_password_await(const Request& req,
+                                          const Responder& respond) {
+  const auto user = require_auth(req, respond);
+  if (!user) return;
+  const auto form = req.form();
+  const auto username = need_field(form, "username", respond);
+  if (!username) return;
+  const auto domain = need_field(form, "domain", respond);
+  if (!domain) return;
+  const std::string key = await_key(*user, {*username, *domain});
+
+  // The round already finished (a recovered round resolved before the
+  // browser re-attached): hand the stored outcome over, once.
+  if (const auto done = await_results_.find(key);
+      done != await_results_.end()) {
+    const Response result = done->second;
+    await_results_.erase(done);
+    respond(result);
+    return;
+  }
+  // Round still in flight: park this responder; whichever completion
+  // path fires (token, decline, timeout) answers it.
+  const bool in_flight = std::any_of(
+      pending_passwords_.begin(), pending_passwords_.end(),
+      [&](const auto& entry) {
+        return entry.second.user == *user &&
+               entry.second.account.username == *username &&
+               entry.second.account.domain == *domain;
+      });
+  if (!in_flight) {
+    respond(Response::error(404, "no round in flight for this account"));
+    return;
+  }
+  ++stats_.awaits_parked;
+  metrics_.counter("cluster.awaits_parked").inc();
+  if (const auto prev = await_waiters_.find(key);
+      prev != await_waiters_.end()) {
+    prev->second(Response::error(409, "superseded by a newer await"));
+  }
+  await_waiters_[key] = respond;
+  // Backstop mirroring the round's own 504 so a parked responder can
+  // never outlive every completion path.
+  sim_.schedule_after(config_.phone_wait_timeout_us, [this, key] {
+    const auto it = await_waiters_.find(key);
+    if (it == await_waiters_.end()) return;
+    const Responder waiter = it->second;
+    await_waiters_.erase(it);
+    waiter(Response::error(504, "phone did not respond"));
+  });
+}
+
+void AmnesiaServer::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  metrics_.events().emit(obs::EventLevel::kError, "server",
+                         "injected crash: server going down hard");
+  if (crash_handler_) {
+    crash_handler_();
+    return;
+  }
+  throw resilience::CrashInjected("server.crash");
+}
+
+void AmnesiaServer::promote_to_primary() {
+  if (!config_.replicated_state) return;
+  ensure_cluster_tables();
+  const Micros now = sim_.now();
+  storage::Database& db = db_.raw();
+
+  // Web sessions: last_seen restarts at the failover instant, so the
+  // idle-timeout clock does not log every browser out mid-recovery.
+  std::size_t sessions_restored = 0;
+  for (const storage::Row& row : db.table("cluster_sessions").all()) {
+    sessions_.restore(websvc::Session{row[0].as_text(), row[1].as_text(),
+                                      row[2].as_int(), now});
+    ++sessions_restored;
+  }
+  metrics_.counter("cluster.sessions_restored")
+      .inc(sessions_restored);
+
+  // Parked poll payloads: rows are seq-ordered (the insertion order), so
+  // each queue rebuilds in expiry order.
+  std::size_t polls_restored = 0;
+  for (const storage::Row& row : db.table("cluster_polls").all()) {
+    const auto seq = static_cast<std::uint64_t>(row[0].as_int());
+    poll_seq_ = std::max(poll_seq_, seq);
+    const Micros expires_at = row[3].as_int();
+    if (expires_at <= now) continue;
+    poll_queues_[row[1].as_text()].push_back(
+        PollEntry{row[2].as_blob(), expires_at, seq});
+    ++polls_restored;
+  }
+  metrics_.counter("cluster.polls_restored")
+      .inc(polls_restored);
+
+  // In-flight rounds: adopt them with a fresh 504 backstop. The trace
+  // contexts are the primary's — ending them here is a no-op (their
+  // spans live in the shipped stubs), but server.generate still parents
+  // under the original protocol.round, keeping the tree connected.
+  for (const storage::Row& row : db.table("cluster_rounds").all()) {
+    const auto id = static_cast<std::uint64_t>(row[0].as_int());
+    PendingPassword pending;
+    pending.user = row[1].as_text();
+    pending.account = core::AccountId{row[2].as_text(), row[3].as_text()};
+    pending.tstart_us = row[4].as_int();
+    pending.purpose = static_cast<TokenPurpose>(row[5].as_int());
+    pending.chosen_password = row[6].as_text();
+    pending.session_token = row[7].as_text();
+    pending.round_span = obs::parse_trace_header(row[8].as_text())
+                             .value_or(obs::TraceContext{});
+    pending.wait_span = obs::parse_trace_header(row[9].as_text())
+                            .value_or(obs::TraceContext{});
+    pending.recovered = true;
+    const std::string key = await_key(pending.user, pending.account);
+    pending.respond = [this, key](Response resp) {
+      deliver_await(key, std::move(resp), /*store_if_unclaimed=*/true);
+    };
+    pending_passwords_.emplace(id, std::move(pending));
+    // Skip past every recovered id, preserving this replica's stride
+    // residue so post-failover rounds never collide with adopted ones.
+    while (next_request_id_ <= id) {
+      next_request_id_ += config_.request_id_stride;
+    }
+    arm_round_timeout(id);
+    ++stats_.rounds_recovered;
+    metrics_.counter("cluster.rounds_recovered").inc();
+  }
+
+  // Resolved rounds left no row behind, so also clear the replicated
+  // high-water mark: minting an id the dead primary already used would
+  // trip the phone's duplicate-push detector and strand the round.
+  if (db.has_table("cluster_meta")) {
+    for (const storage::Row& row : db.table("cluster_meta").all()) {
+      if (row[0].as_text() != "request_id_hwm") continue;
+      const auto hwm = static_cast<std::uint64_t>(row[1].as_int());
+      while (next_request_id_ <= hwm) {
+        next_request_id_ += config_.request_id_stride;
+      }
+    }
+  }
+  metrics_.events().emit(
+      obs::EventLevel::kInfo, "cluster",
+      "promoted to primary: " + std::to_string(sessions_restored) +
+          " sessions, " + std::to_string(stats_.rounds_recovered) +
+          " in-flight rounds, " + std::to_string(polls_restored) +
+          " parked polls recovered");
 }
 
 void AmnesiaServer::handle_vault_remove(const Request& req,

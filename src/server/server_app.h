@@ -117,6 +117,18 @@ struct AmnesiaServerConfig {
   // 503 + Retry-After instead of an unbounded wait.
   std::size_t shed_max_queue = 0;
   int shed_retry_after_s = 1;
+
+  // --- Cluster mode (docs/CLUSTER.md) ---
+  //
+  // When true, the server mirrors its process-resident protocol state —
+  // web sessions, in-flight phone round-trips, parked poll payloads —
+  // into cluster_* tables, so the storage layer's journal shipping
+  // replicates it to followers record-for-record. promote_to_primary()
+  // rebuilds the live maps from those tables, which is what lets a
+  // promoted follower finish a round the crashed primary started
+  // mid-protocol. false reproduces the standalone server bit-for-bit
+  // (no extra tables, no extra journal records).
+  bool replicated_state = false;
 };
 
 struct AmnesiaServerStats {
@@ -139,6 +151,8 @@ struct AmnesiaServerStats {
   std::uint64_t push_failures = 0;    // push leg failed; fell back to poll
   std::uint64_t poll_enqueued = 0;    // payloads parked for POST /push/poll
   std::uint64_t poll_delivered = 0;   // payloads handed to a polling phone
+  std::uint64_t rounds_recovered = 0;  // in-flight rounds adopted at promote
+  std::uint64_t awaits_parked = 0;     // POST /password/await responders held
 };
 
 class AmnesiaServer {
@@ -185,6 +199,49 @@ class AmnesiaServer {
   }
   void clear_latencies() { password_latencies_.clear(); }
 
+  // --- Cluster hooks (src/cluster; docs/CLUSTER.md) ---
+
+  /// What GET /healthz reports about this replica's place in the cluster.
+  /// The default (no provider installed) is a standalone primary.
+  struct ClusterStatus {
+    std::string role = "primary";  // "primary" | "follower"
+    std::uint64_t replication_lag = 0;  // log records not yet acked
+    std::size_t followers = 0;
+  };
+  using ClusterStatusFn = std::function<ClusterStatus()>;
+  void set_cluster_status(ClusterStatusFn fn) {
+    cluster_status_ = std::move(fn);
+  }
+
+  /// Installed by the cluster testbeds so an injected kCrash stops the
+  /// process cooperatively (take the node offline, stop timers) instead
+  /// of unwinding the event-loop thread. Without a handler crash()
+  /// throws resilience::CrashInjected, the single-process behaviour.
+  using CrashHandler = std::function<void()>;
+  void set_crash_handler(CrashHandler fn) { crash_handler_ = std::move(fn); }
+
+  /// Installed by the cluster layer on the primary: defers `fn` until the
+  /// records journaled so far are acked by the followers (or a deadline
+  /// passes), so side effects that escape the process — the rendezvous
+  /// push handing R to the phone — never outrun the replication stream.
+  /// Absent, deferred work runs inline.
+  using ReplicationBarrier = std::function<void(std::function<void()>)>;
+  void set_replication_barrier(ReplicationBarrier fn) {
+    replication_barrier_ = std::move(fn);
+  }
+  /// Simulates a hard crash at the current instant (fault point
+  /// "server.push.acked" routes here). Idempotent.
+  void crash();
+  bool crashed() const { return crashed_; }
+
+  /// Rebuilds the process-resident maps — web sessions, parked poll
+  /// payloads, in-flight phone round-trips — from the replicated
+  /// cluster_* tables. The cluster layer calls this exactly once on the
+  /// follower it promotes; recovered rounds re-arm their 504 backstop
+  /// and answer through POST /password/await instead of the (dead)
+  /// original connection.
+  void promote_to_primary();
+
  private:
   void install_routes();
 
@@ -219,6 +276,8 @@ class AmnesiaServer {
   void handle_vault_list(const websvc::Request&, const websvc::Responder&);
   void handle_vault_remove(const websvc::Request&, const websvc::Responder&);
   void handle_push_poll(const websvc::Request&, const websvc::Responder&);
+  void handle_password_await(const websvc::Request&,
+                             const websvc::Responder&);
 
   struct PendingPairing {
     std::string captcha;
@@ -240,6 +299,10 @@ class AmnesiaServer {
     // the round (the ambient http.server span).
     obs::TraceContext round_span;
     obs::TraceContext wait_span;
+    // True for a round adopted at promote_to_primary(): its original
+    // browser connection died with the primary, so `respond` routes the
+    // outcome into the /password/await rendezvous instead.
+    bool recovered = false;
   };
   struct CachedPassword {
     std::string password;
@@ -271,8 +334,32 @@ class AmnesiaServer {
   struct PollEntry {
     Bytes payload;
     Micros expires_at;
+    std::uint64_t seq = 0;  // cluster_polls row key; 0 = not replicated
   };
   void enqueue_poll(const std::string& registration_id, Bytes payload);
+
+  // --- replicated-state plumbing (config_.replicated_state) ---
+
+  /// Creates the cluster_* tables on first use (journaled, so followers
+  /// get the creates through the shipping stream — they must NOT create
+  /// the tables themselves).
+  void ensure_cluster_tables();
+  /// Mirrors one in-flight round into cluster_rounds.
+  void persist_round(std::uint64_t request_id, const PendingPassword& p);
+  /// Drops a round row once any completion path fires.
+  void remove_round_row(std::uint64_t request_id);
+  /// Drops a poll row when its in-memory entry is dropped or expires.
+  void drop_poll_row(std::uint64_t seq);
+  /// Key identifying the account a browser can await on.
+  static std::string await_key(const std::string& user,
+                               const core::AccountId& id);
+  /// Hands `resp` to a parked /password/await responder for `key`; when
+  /// none is parked and `store_if_unclaimed`, keeps it for the next
+  /// await (the recovered-round path: outcome first, await second).
+  void deliver_await(const std::string& key, const websvc::Response& resp,
+                     bool store_if_unclaimed);
+  /// Arms (or re-arms, after promotion) the 504 backstop for a round.
+  void arm_round_timeout(std::uint64_t request_id);
 
   simnet::Simulation& sim_;
   RandomSource& rng_;
@@ -295,6 +382,17 @@ class AmnesiaServer {
   std::map<std::string, PendingMpChange> pending_mp_changes_;
   std::map<std::string, CachedPassword> password_cache_;
   std::uint64_t next_request_id_ = 1;  // re-seeded from config in the ctor
+
+  // /password/await rendezvous: parked responders and unclaimed outcomes
+  // of recovered rounds, both keyed by await_key().
+  std::map<std::string, websvc::Responder> await_waiters_;
+  std::map<std::string, websvc::Response> await_results_;
+  std::uint64_t poll_seq_ = 0;  // cluster_polls row keys, monotonic
+
+  ClusterStatusFn cluster_status_;
+  CrashHandler crash_handler_;
+  ReplicationBarrier replication_barrier_;
+  bool crashed_ = false;
 
   std::vector<Micros> password_latencies_;
   AmnesiaServerStats stats_;

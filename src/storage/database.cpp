@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -173,7 +174,10 @@ void encode_schema(BufWriter& w, const Schema& schema) {
 Schema decode_schema(BufReader& r) {
   Schema schema;
   const std::uint32_t n = r.u32();
-  schema.columns.reserve(n);
+  // Each column costs at least 6 encoded bytes; bound the reservation by
+  // what the buffer can actually hold so a corrupt count can't trigger a
+  // giant allocation before the per-column reads reject it.
+  schema.columns.reserve(std::min<std::size_t>(n, r.remaining() / 6));
   for (std::uint32_t i = 0; i < n; ++i) {
     Column col;
     col.name = r.str();
@@ -194,7 +198,8 @@ void encode_row(BufWriter& w, const Row& row) {
 Row decode_row(BufReader& r) {
   Row row;
   const std::uint32_t n = r.u32();
-  row.reserve(n);
+  // A value is at least 1 encoded byte (its type tag); see decode_schema.
+  row.reserve(std::min<std::size_t>(n, r.remaining()));
   for (std::uint32_t i = 0; i < n; ++i) row.push_back(r.value());
   return row;
 }
@@ -270,7 +275,7 @@ void Database::create_table(const std::string& name, Schema schema) {
     w.u8(static_cast<std::uint8_t>(Op::kCreateTable));
     w.str(name);
     encode_schema(w, schema);
-    append_journal(w.take());
+    commit(w.take());
   }
   tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
 }
@@ -284,7 +289,7 @@ void Database::insert(const std::string& table, Row row) {
     w.u8(static_cast<std::uint8_t>(Op::kInsert));
     w.str(table);
     encode_row(w, row);
-    append_journal(w.take());
+    commit(w.take());
   }
 }
 
@@ -297,7 +302,7 @@ void Database::upsert(const std::string& table, Row row) {
     w.u8(static_cast<std::uint8_t>(Op::kUpsert));
     w.str(table);
     encode_row(w, row);
-    append_journal(w.take());
+    commit(w.take());
   }
 }
 
@@ -311,7 +316,7 @@ bool Database::update(const std::string& table, const Value& key, Row row) {
     w.str(table);
     w.value(key);
     encode_row(w, row);
-    append_journal(w.take());
+    commit(w.take());
   }
   return changed;
 }
@@ -325,7 +330,7 @@ bool Database::remove(const std::string& table, const Value& key) {
     w.u8(static_cast<std::uint8_t>(Op::kRemove));
     w.str(table);
     w.value(key);
-    append_journal(w.take());
+    commit(w.take());
   }
   return changed;
 }
@@ -338,7 +343,7 @@ void Database::clear_table(const std::string& table) {
     BufWriter w;
     w.u8(static_cast<std::uint8_t>(Op::kClearTable));
     w.str(table);
-    append_journal(w.take());
+    commit(w.take());
   }
 }
 
@@ -350,8 +355,111 @@ void Database::drop_table(const std::string& table) {
     BufWriter w;
     w.u8(static_cast<std::uint8_t>(Op::kDropTable));
     w.str(table);
-    append_journal(w.take());
+    commit(w.take());
   }
+}
+
+void Database::commit(const Bytes& payload) {
+  append_journal(payload);
+  ++commit_offset_;
+  // Hook fires only after the local append held (disk never lags what was
+  // shipped); replicated applies never echo back into the stream.
+  if (commit_hook_ && !applying_replicated_) {
+    commit_hook_(commit_offset_, payload);
+  }
+}
+
+void Database::apply_replicated(const Bytes& payload) {
+  check_writable();
+  // Decode the whole record — including the trailing-bytes check —
+  // before touching any table: a record a hostile or confused peer
+  // truncated or padded must reject with zero side effects, never
+  // half-apply.
+  BufReader r(payload);
+  const auto op = static_cast<Op>(r.u8());
+  const std::string name = r.str();
+  Schema schema;
+  Row row;
+  Value key;
+  switch (op) {
+    case Op::kCreateTable:
+      schema = decode_schema(r);
+      break;
+    case Op::kInsert:
+    case Op::kUpsert:
+      row = decode_row(r);
+      break;
+    case Op::kUpdate:
+      key = r.value();
+      row = decode_row(r);
+      break;
+    case Op::kRemove:
+      key = r.value();
+      break;
+    case Op::kClearTable:
+    case Op::kDropTable:
+      break;
+    default:
+      throw FormatError("replicated record: unknown op");
+  }
+  if (!r.done()) throw FormatError("replicated record: trailing bytes");
+
+  applying_replicated_ = true;
+  try {
+    switch (op) {
+      case Op::kCreateTable:
+        create_table(name, std::move(schema));
+        break;
+      case Op::kInsert:
+        insert(name, std::move(row));
+        break;
+      case Op::kUpsert:
+        upsert(name, std::move(row));
+        break;
+      case Op::kUpdate:
+        update(name, key, std::move(row));
+        break;
+      case Op::kRemove:
+        remove(name, key);
+        break;
+      case Op::kClearTable:
+        clear_table(name);
+        break;
+      case Op::kDropTable:
+        drop_table(name);
+        break;
+    }
+  } catch (...) {
+    applying_replicated_ = false;
+    throw;
+  }
+  applying_replicated_ = false;
+}
+
+Bytes Database::encode_state() const {
+  BufWriter w;
+  encode_tables(w);
+  return w.take();
+}
+
+void Database::reset_from_state(const Bytes& state, std::uint64_t offset) {
+  BufReader r(state);
+  // Decode into a scratch map first so hostile bytes cannot leave the
+  // database half-replaced.
+  std::map<std::string, std::unique_ptr<Table>> fresh;
+  const std::uint32_t table_count = r.u32();
+  for (std::uint32_t t = 0; t < table_count; ++t) {
+    const std::string name = r.str();
+    if (fresh.contains(name)) throw FormatError("state: duplicate table");
+    auto table = std::make_unique<Table>(decode_schema(r));
+    const std::uint64_t rows = r.u64();
+    for (std::uint64_t i = 0; i < rows; ++i) table->insert(decode_row(r));
+    fresh.emplace(name, std::move(table));
+  }
+  if (!r.done()) throw FormatError("state: trailing bytes");
+  tables_ = std::move(fresh);
+  commit_offset_ = offset;
+  if (persistent()) checkpoint();
 }
 
 void Database::append_journal(const Bytes& payload) {
@@ -507,6 +615,17 @@ void Database::load() {
   journal_records_ = 0;
 }
 
+void Database::encode_tables(BufWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(tables_.size()));
+  for (const auto& [name, table] : tables_) {
+    w.str(name);
+    encode_schema(w, table->schema());
+    const auto rows = table->all();
+    w.u64(rows.size());
+    for (const auto& row : rows) encode_row(w, row);
+  }
+}
+
 void Database::checkpoint() {
   check_writable();
   if (!persistent()) {
@@ -518,14 +637,7 @@ void Database::checkpoint() {
     w.u8(static_cast<std::uint8_t>(kSnapshotMagic[i]));
   }
   w.u64(generation_ + 1);
-  w.u32(static_cast<std::uint32_t>(tables_.size()));
-  for (const auto& [name, table] : tables_) {
-    w.str(name);
-    encode_schema(w, table->schema());
-    const auto rows = table->all();
-    w.u64(rows.size());
-    for (const auto& row : rows) encode_row(w, row);
-  }
+  encode_tables(w);
   write_file_durable(snapshot_path(), w.data());
   // The snapshot at generation_ + 1 is durable; from here on the old
   // journal (stamped generation_) is stale and load() will discard it

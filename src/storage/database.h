@@ -11,6 +11,7 @@
 // tests and the network simulation).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -79,6 +80,37 @@ class Database {
   void set_metrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "storage");
 
+  // --- Replication surface (journal-shipping; see docs/CLUSTER.md) ---
+
+  /// Called once per committed mutation with its 1-based commit offset and
+  /// the journal-format payload (the exact bytes apply_replicated() on a
+  /// follower accepts). Fires for in-memory databases too; does NOT fire
+  /// during load() replay or inside apply_replicated() (so a follower
+  /// never echoes shipped records back).
+  using CommitHook = std::function<void(std::uint64_t offset,
+                                        const Bytes& payload)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  /// Count of mutations committed since open (journal replay excluded).
+  /// Primary and follower offsets advance in lockstep record-for-record.
+  std::uint64_t commit_offset() const { return commit_offset_; }
+  void set_commit_offset(std::uint64_t off) { commit_offset_ = off; }
+
+  /// Applies one shipped journal payload (same [op][table][...] encoding
+  /// the journal stores). Validates before mutating: hostile bytes throw
+  /// FormatError/StorageError without crashing or over-reading. Advances
+  /// commit_offset() but never re-fires the commit hook.
+  void apply_replicated(const Bytes& payload);
+
+  /// Full-state snapshot in the AMDB table encoding (no magic/generation
+  /// header — the replication stream frames it itself).
+  Bytes encode_state() const;
+
+  /// Replaces all tables with `state` (as produced by encode_state()) and
+  /// pins commit_offset to `offset`. Persistent databases checkpoint the
+  /// new state immediately so disk never lags a snapshot install.
+  void reset_from_state(const Bytes& state, std::uint64_t offset);
+
  private:
   enum class Op : std::uint8_t {
     kCreateTable = 1,
@@ -95,8 +127,10 @@ class Database {
   void count_mutation();
   void check_writable() const;
   void load();
+  void commit(const Bytes& payload);
   void append_journal(const Bytes& payload);
   void apply_journal_record(BufReader& reader);
+  void encode_tables(BufWriter& w) const;
   std::string snapshot_path() const { return path_ + ".snapshot"; }
   std::string journal_path() const { return path_ + ".journal"; }
   bool persistent() const { return !path_.empty(); }
@@ -109,6 +143,9 @@ class Database {
   bool discarded_stale_journal_ = false;
   bool loading_ = false;
   bool wedged_ = false;
+  bool applying_replicated_ = false;
+  std::uint64_t commit_offset_ = 0;
+  CommitHook commit_hook_;
   // Cached handles into the registry (stable for the registry's lifetime);
   // null until set_metrics. Lookup counting happens in const reads, hence
   // plain pointers rather than a registry lookup per query.

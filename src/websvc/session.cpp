@@ -27,6 +27,18 @@ bool SessionManager::revoke(const std::string& token) {
   return sessions_.erase(token) > 0;
 }
 
+std::vector<Session> SessionManager::snapshot() const {
+  std::vector<Session> out;
+  out.reserve(sessions_.size());
+  for (const auto& [token, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+void SessionManager::restore(Session session) {
+  std::string token = session.token;
+  sessions_[std::move(token)] = std::move(session);
+}
+
 std::size_t SessionManager::revoke_all(const std::string& principal) {
   std::size_t revoked = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {

@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/rng.h"
@@ -51,6 +52,14 @@ class SessionManager {
   std::size_t revoke_all(const std::string& principal);
 
   std::size_t active_count() const { return sessions_.size(); }
+
+  /// All live sessions (replication snapshot; no last_seen refresh).
+  std::vector<Session> snapshot() const;
+
+  /// Installs a session verbatim (token, principal, timestamps) — a
+  /// promoted cluster follower restores the primary's sessions so a
+  /// browser's cookie survives failover.
+  void restore(Session session);
 
  private:
   const Clock& clock_;

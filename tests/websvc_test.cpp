@@ -377,6 +377,60 @@ TEST(HttpEndToEnd, ServiceTimeOccupiesWorkers) {
   EXPECT_GE(sim.now(), ms_to_us(20));
 }
 
+TEST(HttpEndToEnd, ExemptReadinessRouteBypassesPoolAndMetrics) {
+  // A /healthz-style readiness probe must answer even while every worker
+  // is occupied (a load balancer probing a busy replica), and must not
+  // pollute per-route metrics — metrics_exempt() routes are served
+  // outside the pool, like /metrics itself.
+  simnet::Simulation sim(62);
+  simnet::Network net(sim);
+  simnet::Node server_node(net, "server");
+  simnet::Node client_node(net, "client");
+  HttpServer server(sim, 1);
+  obs::MetricsRegistry registry;
+  server.set_metrics(&registry);
+  server.set_service_time([](const Request& req) {
+    return req.path == "/work" ? ms_to_us(50) : Micros{0};
+  });
+  server.router().add(Method::kGet, "/work",
+                      [](const Request&, const PathParams&, Responder respond) {
+                        respond(Response::ok_text("done"));
+                      });
+  server.router().add(Method::kGet, "/healthz",
+                      [](const Request&, const PathParams&, Responder respond) {
+                        Response resp = Response::ok_text("{\"role\": \"primary\"}");
+                        resp.headers["Content-Type"] = "application/json";
+                        respond(resp);
+                      });
+  server.metrics_exempt("/healthz");
+  server.bind(server_node);
+
+  HttpClient client(plain_transport(client_node, "server"));
+  Micros work_done_at = 0;
+  client.get("/work", [&](Result<Response>) { work_done_at = sim.now(); });
+  Micros probe_done_at = 0;
+  std::string probe_body;
+  client.get("/healthz", [&](Result<Response> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().status, 200);
+    EXPECT_EQ(r.value().header("Content-Type").value_or(""),
+              "application/json");
+    probe_body = r.value().body;
+    probe_done_at = sim.now();
+  });
+  RunSim(sim);
+  EXPECT_EQ(probe_body, "{\"role\": \"primary\"}");
+  // The probe did not queue behind the 50 ms job hogging the one worker.
+  EXPECT_LT(probe_done_at, work_done_at);
+
+  const auto snapshot = registry.snapshot();
+  EXPECT_TRUE(snapshot.counters.contains("http.route.GET:/work.requests"));
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_EQ(name.find("/healthz"), std::string::npos)
+        << "exempt route leaked into metrics: " << name;
+  }
+}
+
 TEST(HttpEndToEnd, TransportTimeoutSurfacesAsFailure) {
   simnet::Simulation sim(61);
   simnet::Network net(sim);

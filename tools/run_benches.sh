@@ -65,4 +65,12 @@ if [ "$filter" = "." ]; then
     cmake --build "$build_dir" -j "$jobs" --target bench_fig3_latency
     echo "== run bench_fig3_latency"
     "$build_dir/bench/bench_fig3_latency"
+
+    # Gate: the fresh artifacts just overwrote the repo-root baselines in
+    # place, so diff them against the committed copies (git show HEAD:...)
+    # and fail the run on step-change latency regressions. Override the
+    # slack with e.g. AMNESIA_BENCH_TOLERANCE=15 on a quiet machine.
+    echo "== check against committed baselines"
+    python3 "$repo_root/tools/check_bench.py" \
+        --tolerance "${AMNESIA_BENCH_TOLERANCE:-35}"
 fi

@@ -57,12 +57,15 @@ run_pass() {
 # propagation over real TCP are multithreaded hot paths. The shard
 # suites drive the multi-reactor deployment (SO_REUSEPORT acceptors, one
 # EventLoop thread per shard, cross-shard mailbox posts), which is the
-# most thread-heavy path in the tree.
-tsan_filter='net_|securechan_stream|obs_trace|trace_propagation|shard_|securechan_resume|websvc_pool'
+# most thread-heavy path in the tree. The cluster suites add the
+# replicated testbeds: the TCP failover test runs a whole two-replica
+# cluster on a reactor thread while the main thread drives clients.
+tsan_filter='net_|securechan_stream|obs_trace|trace_propagation|shard_|securechan_resume|websvc_pool|cluster_'
 
 # Everything driven by resilience::FaultInjector plus the degraded-mode
-# end-to-end suites.
-fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test|trace_propagation|shard_|securechan_resume|websvc_pool'
+# end-to-end suites; cluster_ brings the mid-round primary-crash drills
+# and storage_codec_fuzz the hostile-bytes sweeps over the AMDB codecs.
+fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test|trace_propagation|shard_|securechan_resume|websvc_pool|cluster_|storage_codec_fuzz'
 
 case "$mode" in
 plain)
