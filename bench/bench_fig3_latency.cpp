@@ -12,18 +12,25 @@
 // (browser -> server -> GCM -> phone -> server -> browser), and
 // critical-path attribution splits each trial's wall time into the self
 // time of each hop. Everything is virtual time, so the JSON artifact
-// (BENCH_fig3_latency.json, including a full sample trace tree) is
-// byte-identical across runs with the same seed.
+// (BENCH_fig3_latency.json, including a full sample trace tree and the
+// per-bucket histogram exemplars) is byte-identical across runs with the
+// same seed — with one deliberate exception: the "profile" section comes
+// from the wall-clock sampling profiler (real CPU, real stacks) and
+// varies run to run. The regression gate reads only the deterministic
+// metrics, so this does not perturb tools/check_bench.py.
 //
 //   ./bench/bench_fig3_latency [trials] [seed]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "eval/latency.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 using namespace amnesia;
@@ -88,6 +95,72 @@ std::string critical_path_json(const eval::LatencyResult& result) {
   return out;
 }
 
+/// Exemplar table of one network: every histogram bucket that kept a
+/// linked trace. The trace id is the GET /trace/<id> key; with the same
+/// seed the table is byte-identical across runs.
+void print_exemplars(const obs::Snapshot& snapshot) {
+  std::printf("    %-40s %10s %10s %-32s %s\n", "histogram", "bucket<=ms",
+              "value ms", "trace id", "attr");
+  for (const auto& [name, hist] : snapshot.histograms) {
+    for (const auto& ex : hist.exemplars) {
+      const bool overflow = ex.bucket >= hist.bounds.size();
+      char bound[32];
+      if (overflow) {
+        std::snprintf(bound, sizeof(bound), "%10s", "+inf");
+      } else {
+        std::snprintf(bound, sizeof(bound), "%10.1f",
+                      us_to_ms(hist.bounds[ex.bucket]));
+      }
+      std::printf("    %-40s %s %10.1f %-32s %s\n", name.c_str(), bound,
+                  us_to_ms(ex.value), obs::trace_id_hex(ex.trace_id).c_str(),
+                  ex.attr.empty() ? "-" : ex.attr.c_str());
+    }
+  }
+}
+
+std::string exemplars_json(const obs::Snapshot& snapshot) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    for (const auto& ex : hist.exemplars) {
+      char buf[320];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n       {\"histogram\": \"%s\", \"bucket\": %llu, "
+                    "\"trace_id\": \"%s\", \"value_us\": %lld, "
+                    "\"attr\": \"%s\"}",
+                    first ? "" : ",", name.c_str(),
+                    static_cast<unsigned long long>(ex.bucket),
+                    obs::trace_id_hex(ex.trace_id).c_str(),
+                    static_cast<long long>(ex.value), ex.attr.c_str());
+      out += buf;
+      first = false;
+    }
+  }
+  out += "]";
+  return out;
+}
+
+std::string hotspots_json(const std::vector<obs::CollapsedLine>& hotspots) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < hotspots.size(); ++i) {
+    // Demangled frames can carry quotes/backslashes (rarely, but e.g.
+    // literal operators); escape so the artifact stays valid JSON.
+    std::string stack;
+    for (const char c : hotspots[i].stack) {
+      if (c == '"' || c == '\\') stack += '\\';
+      stack += c;
+    }
+    if (i) out += ",";
+    out += "\n       {\"stack\": \"";
+    out += stack;
+    out += "\", \"count\": ";
+    out += std::to_string(hotspots[i].count);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
 /// to_json() yields a complete document; trim the trailing newline so it
 /// embeds as a nested object.
 std::string embed_json(const obs::Snapshot& snapshot) {
@@ -114,7 +187,14 @@ int main(int argc, char** argv) {
               "(%d trials per network, seed %llu)\n\n",
               trials, static_cast<unsigned long long>(seed));
 
+  // Sample the bench itself: the trials run in virtual time but burn
+  // real CPU (crypto, codecs, the simulator), and the collapsed profile
+  // names where. Wall-clock, hence the one nondeterministic JSON section.
+  obs::Profiler::instance().start();
   const auto results = eval::run_fig3(trials, seed);
+  obs::Profiler::instance().stop();
+  const std::string profile = obs::Profiler::instance().collapsed();
+  const auto hotspots = obs::top_collapsed(profile, 10);
 
   // The figure annotates a handful of individual trials; print the first
   // 12 of each series the same way.
@@ -160,6 +240,29 @@ int main(int argc, char** argv) {
   for (const auto& result : results) {
     std::printf("  %s\n", result.network_name.c_str());
     print_critical_path(result, trials);
+  }
+
+  // Exemplars: the p99 bucket is not an anonymous number — each bucket
+  // keeps the trace id of a real trial that landed there.
+  std::printf("\nHistogram exemplars (bucket -> linked trace):\n");
+  for (const auto& result : results) {
+    std::printf("  %s\n", result.network_name.c_str());
+    print_exemplars(result.metrics);
+  }
+
+  // CPU hotspots of the run (sampling profiler, collapsed stacks).
+  std::printf("\nCPU hotspots (%llu samples, top %zu stacks):\n",
+              static_cast<unsigned long long>(
+                  obs::Profiler::instance().samples_captured()),
+              hotspots.size());
+  for (const auto& line : hotspots) {
+    std::printf("  %6llu %s\n",
+                static_cast<unsigned long long>(line.count),
+                line.stack.c_str());
+  }
+  if (hotspots.empty()) {
+    std::printf("  (profiler unsupported on this platform or run too "
+                "short to sample)\n");
   }
 
   // Distribution shape, Fig. 3's scatter rendered as histograms.
@@ -211,21 +314,35 @@ int main(int argc, char** argv) {
         << ",\n  \"seed\": " << seed << ",\n  \"networks\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& s = results[i].summary;
-      char buf[256];
+      // Tail summary for the regression gate: p99 over the trial samples
+      // (nearest-rank), deterministic like the rest of the row.
+      std::vector<double> sorted = results[i].samples_ms;
+      std::sort(sorted.begin(), sorted.end());
+      const double p99 =
+          sorted.empty()
+              ? 0.0
+              : sorted[std::min(sorted.size() - 1,
+                                static_cast<std::size_t>(
+                                    0.99 * static_cast<double>(sorted.size())))];
+      char buf[320];
       std::snprintf(buf, sizeof(buf),
                     "    {\"name\": \"%s\", \"mean_ms\": %.3f, "
                     "\"stddev_ms\": %.3f, \"min_ms\": %.3f, "
-                    "\"median_ms\": %.3f, \"max_ms\": %.3f,\n"
+                    "\"median_ms\": %.3f, \"p99_ms\": %.3f, "
+                    "\"max_ms\": %.3f,\n"
                     "     \"critical_path\": ",
                     results[i].network_name.c_str(), s.mean, s.stddev, s.min,
-                    s.median, s.max);
+                    s.median, p99, s.max);
       out << buf << critical_path_json(results[i])
+          << ",\n     \"exemplars\": " << exemplars_json(results[i].metrics)
           << ",\n     \"sample_trace\": "
           << embed_trace(results[i].sample_trace_json)
           << ",\n     \"metrics\": " << embed_json(results[i].metrics) << '}'
           << (i + 1 < results.size() ? ",\n" : "\n");
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"profile\": {\"samples\": "
+        << obs::Profiler::instance().samples_captured()
+        << ", \"hotspots\": " << hotspots_json(hotspots) << "}\n}\n";
   }
   std::printf("\nWrote BENCH_fig3_latency.json\n");
   return 0;

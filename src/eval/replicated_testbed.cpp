@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/profiler.h"
 
 namespace amnesia::eval {
 
@@ -197,6 +198,10 @@ void ReplicatedTcpTestbed::start() {
   // Only now do the failover detectors make sense: heartbeats can reach
   // the followers the moment the reactor starts.
   for (std::size_t k = 1; k < n; ++k) world_->node(k).start_as_follower();
+  // Always-on sampling: every replica's GET /profile serves from the one
+  // reactor thread this testbed runs on (replicas do not merge each
+  // other's profiles — each serves its own, like /metrics).
+  obs::Profiler::instance().start();
   pool_->start();
   started_ = true;
 }
@@ -208,6 +213,7 @@ void ReplicatedTcpTestbed::stop() {
   // not be stepped after this: the cluster peer wires reference the
   // RpcClients destroyed here.
   pool_->stop_join();
+  obs::Profiler::instance().stop();
   peer_clients_.clear();
   peer_dials_.clear();
   repl_listeners_.clear();

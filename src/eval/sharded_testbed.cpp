@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/profiler.h"
 
 namespace amnesia::eval {
 
@@ -80,6 +81,10 @@ ShardedTcpTestbed::ShardedTcpTestbed(ShardedTcpConfig config)
     bc.server.session_token_prefix = server::shard_token_prefix(k, n);
     bc.server.request_id_first = k + 1;
     bc.server.request_id_stride = n;
+    // The profiler samples the whole process; each shard's GET /profile
+    // filters to its own reactor thread so the router's merged view sums
+    // disjoint sample streams (no double-counting).
+    bc.server.profile_thread = net::ReactorPool::thread_name(k);
     beds_.push_back(std::make_unique<Testbed>(bc));
   }
 }
@@ -122,6 +127,10 @@ void ShardedTcpTestbed::start() {
                                     gateways_[k].get()});
   }
   router_ = std::make_unique<server::ShardRouter>(std::move(refs));
+  // Arm the always-on sampling profiler before the reactors spin up so
+  // their registration (in ReactorPool::start) lands on a live session
+  // and GET /profile has samples from the first request onward.
+  obs::Profiler::instance().start();
   pool_->start();
   started_ = true;
 }
@@ -132,6 +141,7 @@ void ShardedTcpTestbed::stop() {
   // gateways, acceptors, and surviving connections can be torn down from
   // this thread without racing anything.
   pool_->stop_join();
+  obs::Profiler::instance().stop();
   router_.reset();  // restores the shards' stock secure handlers
   gateways_.clear();
   transports_.clear();

@@ -42,10 +42,28 @@ void EventLoop::set_metrics(obs::MetricsRegistry* registry) {
   if (!registry) {
     wakeups_ = nullptr;
     timers_fired_ = nullptr;
+    eventfd_wakeups_ = nullptr;
+    post_depth_ = nullptr;
+    post_depth_max_ = nullptr;
+    dispatch_delay_ = nullptr;
+    callback_us_ = nullptr;
+    wake_dispatch_us_ = nullptr;
+    timer_slip_us_ = nullptr;
     return;
   }
   wakeups_ = &registry->counter("net.epoll_wakeups");
   timers_fired_ = &registry->counter("net.timers_fired");
+  eventfd_wakeups_ = &registry->counter("net.loop.eventfd_wakeups");
+  post_depth_ = &registry->gauge("net.loop.post_depth");
+  post_depth_max_ = &registry->gauge("net.loop.post_depth_max");
+  dispatch_delay_ = &registry->gauge("net.loop.dispatch_delay_us");
+  // Loop intervals live far below the default bounds' 100 us floor.
+  callback_us_ = &registry->histogram("net.loop.callback_us",
+                                      obs::fine_latency_bounds());
+  wake_dispatch_us_ = &registry->histogram("net.loop.wake_dispatch_us",
+                                           obs::fine_latency_bounds());
+  timer_slip_us_ = &registry->histogram("net.loop.timer_slip_us",
+                                        obs::fine_latency_bounds());
 }
 
 // ---- fds ---------------------------------------------------------------
@@ -124,7 +142,7 @@ std::size_t EventLoop::process_timers() {
   if (span > kWheelSlots) span = kWheelSlots;
 
   std::size_t fired = 0;
-  std::vector<std::function<void()>> due;
+  std::vector<Timer> due;
   for (std::uint64_t i = 0; i < span; ++i) {
     const std::uint64_t tick = now_tick - (span - 1) + i;
     auto& slot = wheel_[tick & (kWheelSlots - 1)];
@@ -136,7 +154,7 @@ std::size_t EventLoop::process_timers() {
       }
       if (t.deadline <= now) {
         live_timers_.erase(t.id);
-        due.push_back(std::move(t.fn));
+        due.push_back(std::move(t));
         slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(j));
         continue;
       }
@@ -147,10 +165,17 @@ std::size_t EventLoop::process_timers() {
   if (!due.empty() || (nearest_deadline_ >= 0 && nearest_deadline_ <= now)) {
     recompute_nearest();
   }
-  for (auto& fn : due) {
+  for (Timer& t : due) {
     ++fired;
     if (timers_fired_) timers_fired_->inc();
-    fn();
+    if (timer_slip_us_) {
+      timer_slip_us_->record(now > t.deadline ? now - t.deadline : 0);
+      const Micros t0 = clock_.now_us();
+      t.fn();
+      callback_us_->record(clock_.now_us() - t0);
+    } else {
+      t.fn();
+    }
   }
   return fired;
 }
@@ -158,9 +183,19 @@ std::size_t EventLoop::process_timers() {
 // ---- posting -----------------------------------------------------------
 
 void EventLoop::post(std::function<void()> fn) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(post_mu_);
     posted_.push_back(std::move(fn));
+    depth = posted_.size();
+  }
+  // Queue-depth visibility for cross-thread mailbox pressure: the gauge
+  // tracks the depth after the latest post, the _max gauge the worst
+  // backlog since reset. Written outside the lock — last writer wins is
+  // exactly a gauge's semantics.
+  if (post_depth_) {
+    post_depth_->set(static_cast<std::int64_t>(depth));
+    post_depth_max_->track_max(static_cast<std::int64_t>(depth));
   }
   const std::uint64_t one = 1;
   [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
@@ -176,7 +211,16 @@ std::size_t EventLoop::drain_posted() {
     std::lock_guard<std::mutex> lock(post_mu_);
     batch.swap(posted_);
   }
-  for (auto& fn : batch) fn();
+  if (post_depth_ && !batch.empty()) post_depth_->set(0);
+  for (auto& fn : batch) {
+    if (callback_us_) {
+      const Micros t0 = clock_.now_us();
+      fn();
+      callback_us_->record(clock_.now_us() - t0);
+    } else {
+      fn();
+    }
+  }
   return batch.size();
 }
 
@@ -207,9 +251,14 @@ std::size_t EventLoop::poll(Micros max_wait_us) {
   if (wakeups_) wakeups_->inc();
   std::size_t dispatched = 0;
   if (n > 0) {
+    // One timestamp for the whole batch: wake_dispatch measures how long
+    // each handler waited behind its batch-mates (head-of-line blocking),
+    // so it is the gap from epoll return to this handler's start.
+    const Micros woke_at = callback_us_ ? clock_.now_us() : 0;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
+        if (eventfd_wakeups_) eventfd_wakeups_->inc();
         std::uint64_t drain = 0;
         [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drain, sizeof(drain));
         continue;
@@ -219,7 +268,15 @@ std::size_t EventLoop::poll(Micros max_wait_us) {
       const auto it = fds_.find(fd);
       if (it == fds_.end()) continue;
       const std::shared_ptr<FdEntry> entry = it->second;
-      entry->handler(events[i].events);
+      if (callback_us_) {
+        const Micros t0 = clock_.now_us();
+        wake_dispatch_us_->record(t0 - woke_at);
+        dispatch_delay_->set(t0 - woke_at);
+        entry->handler(events[i].events);
+        callback_us_->record(clock_.now_us() - t0);
+      } else {
+        entry->handler(events[i].events);
+      }
       ++dispatched;
     }
   } else if (n < 0 && errno != EINTR) {

@@ -71,7 +71,22 @@ class EventLoop final : public Executor {
   /// timers. Returns the number of callbacks dispatched.
   std::size_t poll(Micros max_wait_us);
 
-  /// Publishes net.epoll_wakeups / net.timers_fired into `registry`.
+  /// Publishes the loop-health series into `registry`. Besides the
+  /// original net.epoll_wakeups / net.timers_fired counters this wires
+  /// the shard-per-core vitals:
+  ///   net.loop.callback_us       histogram, run time of every dispatched
+  ///                              callback (fd handler, posted fn, timer)
+  ///   net.loop.wake_dispatch_us  histogram, epoll wake -> handler start
+  ///                              (head-of-line blocking inside a batch)
+  ///   net.loop.timer_slip_us     histogram, how late each timer fired
+  ///   net.loop.post_depth        gauge, posted-queue depth after the
+  ///                              latest cross-thread post()
+  ///   net.loop.post_depth_max    gauge, high watermark of the above
+  ///   net.loop.dispatch_delay_us gauge, last observed wake->dispatch
+  ///                              delay (read at request admission)
+  ///   net.loop.eventfd_wakeups   counter, wakeups via the post eventfd
+  /// Null histogram pointers short-circuit every probe, so an
+  /// uninstrumented loop pays one predictable branch per callback.
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
@@ -116,6 +131,13 @@ class EventLoop final : public Executor {
 
   obs::Counter* wakeups_ = nullptr;
   obs::Counter* timers_fired_ = nullptr;
+  obs::Counter* eventfd_wakeups_ = nullptr;
+  obs::Gauge* post_depth_ = nullptr;
+  obs::Gauge* post_depth_max_ = nullptr;
+  obs::Gauge* dispatch_delay_ = nullptr;
+  obs::Histogram* callback_us_ = nullptr;
+  obs::Histogram* wake_dispatch_us_ = nullptr;
+  obs::Histogram* timer_slip_us_ = nullptr;
 };
 
 }  // namespace amnesia::net

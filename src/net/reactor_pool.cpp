@@ -1,8 +1,10 @@
 #include "net/reactor_pool.h"
 
 #include <exception>
+#include <string>
 
 #include "common/error.h"
+#include "obs/profiler.h"
 
 namespace amnesia::net {
 
@@ -20,8 +22,15 @@ void ReactorPool::start() {
   if (running_) return;
   running_ = true;
   threads_.reserve(loops_.size());
-  for (auto& loop : loops_) {
-    threads_.emplace_back([raw = loop.get()] { raw->run(); });
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    // Each reactor thread registers with the sampling profiler under its
+    // shard name, so a per-shard GET /profile can filter the process-wide
+    // sample stream down to this shard's thread.
+    threads_.emplace_back([raw = loops_[i].get(), name = thread_name(i)] {
+      obs::Profiler::instance().register_thread(name);
+      raw->run();
+      obs::Profiler::instance().unregister_thread();
+    });
   }
 }
 

@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -35,6 +36,12 @@ class ReactorPool {
 
   std::size_t size() const { return loops_.size(); }
   EventLoop& loop(std::size_t i) { return *loops_[i]; }
+
+  /// The profiler thread name of loop `i`'s thread ("reactor-<i>") —
+  /// the key a per-shard GET /profile scrape filters on.
+  static std::string thread_name(std::size_t i) {
+    return "reactor-" + std::to_string(i);
+  }
 
   /// Launches one thread per loop, each running EventLoop::run().
   void start();

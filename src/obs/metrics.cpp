@@ -33,6 +33,15 @@ const std::vector<Micros>& default_latency_bounds() {
   return kBounds;
 }
 
+const std::vector<Micros>& fine_latency_bounds() {
+  static const std::vector<Micros> kBounds = {
+      1,      2,      5,      10,      20,      50,      100,
+      200,    500,    1'000,  2'000,   5'000,   10'000,  20'000,
+      50'000, 100'000, 200'000, 500'000, 1'000'000,
+  };
+  return kBounds;
+}
+
 Histogram::Histogram(std::vector<Micros> bounds) {
   if (bounds.empty()) throw Error("Histogram: needs at least one bound");
   if (!std::is_sorted(bounds.begin(), bounds.end()) ||
@@ -43,11 +52,13 @@ Histogram::Histogram(std::vector<Micros> bounds) {
   data_.counts.assign(data_.bounds.size() + 1, 0);
 }
 
-void Histogram::record(Micros value) {
+void Histogram::record(Micros value, const TraceContext& ctx,
+                       std::string attr) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it =
       std::lower_bound(data_.bounds.begin(), data_.bounds.end(), value);
-  ++data_.counts[static_cast<std::size_t>(it - data_.bounds.begin())];
+  const auto bucket = static_cast<std::size_t>(it - data_.bounds.begin());
+  ++data_.counts[bucket];
   if (data_.count == 0) {
     data_.min = value;
     data_.max = value;
@@ -57,6 +68,23 @@ void Histogram::record(Micros value) {
   }
   ++data_.count;
   data_.sum += value;
+  if (ctx.trace_id.valid() && ctx.sampled) {
+    for (char& c : attr) {
+      if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+    }
+    // At most one exemplar per bucket; within a process the latest
+    // recording wins (freshness), across processes merge_snapshot keeps
+    // the larger value (tail bias).
+    Exemplar ex{bucket, ctx.trace_id, value, std::move(attr)};
+    auto pos = std::lower_bound(
+        data_.exemplars.begin(), data_.exemplars.end(), bucket,
+        [](const Exemplar& e, std::size_t b) { return e.bucket < b; });
+    if (pos != data_.exemplars.end() && pos->bucket == bucket) {
+      *pos = std::move(ex);
+    } else {
+      data_.exemplars.insert(pos, std::move(ex));
+    }
+  }
 }
 
 double Histogram::mean() const {
@@ -74,6 +102,7 @@ void Histogram::reset() {
   data_.sum = 0;
   data_.min = 0;
   data_.max = 0;
+  data_.exemplars.clear();
 }
 
 Micros quantile(const HistogramSnapshot& h, double q) {
@@ -211,6 +240,27 @@ constexpr const char kTextHeader[] = "# amnesia metrics v1";
 
 }  // namespace
 
+namespace {
+
+/// Folds `src`'s exemplars into `dst` (same bounds): per bucket the
+/// larger-valued exemplar wins, ties keep `dst`'s. Buckets past `dst`'s
+/// range (a torn or hostile snapshot) are dropped.
+void merge_exemplars(HistogramSnapshot& dst, const HistogramSnapshot& src) {
+  for (const Exemplar& ex : src.exemplars) {
+    if (ex.bucket >= dst.counts.size()) continue;
+    auto pos = std::lower_bound(
+        dst.exemplars.begin(), dst.exemplars.end(), ex.bucket,
+        [](const Exemplar& e, std::size_t b) { return e.bucket < b; });
+    if (pos != dst.exemplars.end() && pos->bucket == ex.bucket) {
+      if (ex.value > pos->value) *pos = ex;
+    } else {
+      dst.exemplars.insert(pos, ex);
+    }
+  }
+}
+
+}  // namespace
+
 void merge_snapshot(Snapshot& into, const Snapshot& other) {
   for (const auto& [name, v] : other.counters) into.counters[name] += v;
   for (const auto& [name, v] : other.gauges) into.gauges[name] += v;
@@ -222,6 +272,7 @@ void merge_snapshot(Snapshot& into, const Snapshot& other) {
       for (std::size_t i = 0; i < dst.counts.size(); ++i) {
         dst.counts[i] += h.counts[i];
       }
+      merge_exemplars(dst, h);
     }
     if (h.count > 0) {
       dst.min = dst.count == 0 ? h.min : std::min(dst.min, h.min);
@@ -252,6 +303,11 @@ std::string to_text(const Snapshot& snapshot) {
         out << "+inf";
       }
       out << ' ' << h.counts[i] << '\n';
+    }
+    for (const Exemplar& ex : h.exemplars) {
+      out << "hist " << name << " ex " << ex.bucket << ' '
+          << trace_id_hex(ex.trace_id) << ' ' << ex.value << ' '
+          << (ex.attr.empty() ? "-" : ex.attr) << '\n';
     }
   }
   return out.str();
@@ -297,6 +353,19 @@ Snapshot parse_text(const std::string& text) {
           fields >> bound >> count;
           if (bound != "+inf") h.bounds.push_back(std::stoll(bound));
           h.counts.push_back(std::stoull(count));
+        } else if (sub == "ex") {
+          std::string bucket, trace, value, attr;
+          fields >> bucket >> trace >> value >> attr;
+          const auto id = parse_trace_id_hex(trace);
+          if (!id) {
+            throw FormatError("metrics text: bad exemplar trace: " + line);
+          }
+          Exemplar ex;
+          ex.bucket = std::stoull(bucket);
+          ex.trace_id = *id;
+          ex.value = std::stoll(value);
+          if (attr != "-") ex.attr = attr;
+          h.exemplars.push_back(std::move(ex));
         } else {
           throw FormatError("metrics text: unknown hist line: " + line);
         }
@@ -367,7 +436,27 @@ std::string to_json(const Snapshot& snapshot) {
       }
       out << ", \"count\": " << h.counts[i] << '}';
     }
-    out << "]}";
+    out << ']';
+    if (!h.exemplars.empty()) {
+      out << ", \"exemplars\": [";
+      for (std::size_t i = 0; i < h.exemplars.size(); ++i) {
+        const Exemplar& ex = h.exemplars[i];
+        if (i > 0) out << ", ";
+        out << "{\"le\": ";
+        if (ex.bucket < h.bounds.size()) {
+          out << h.bounds[ex.bucket];
+        } else {
+          out << "\"+inf\"";
+        }
+        out << ", \"bucket\": " << ex.bucket << ", \"trace_id\": \""
+            << trace_id_hex(ex.trace_id) << "\", \"value\": " << ex.value
+            << ", \"attr\": ";
+        json_string(out, ex.attr);
+        out << '}';
+      }
+      out << ']';
+    }
+    out << '}';
     first = false;
   }
   out << (first ? "}" : "\n  }") << "\n}\n";

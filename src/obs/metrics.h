@@ -111,9 +111,24 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// A per-bucket exemplar: one real trace that landed in the bucket, so a
+/// bad histogram bucket links to a GET /trace/<id> tree instead of being
+/// an anonymous number. `bucket` indexes `counts` (the trailing overflow
+/// bucket included); `attr` is one whitespace-free token of context (the
+/// route pattern, the span name).
+struct Exemplar {
+  std::size_t bucket = 0;
+  TraceId trace_id;
+  Micros value = 0;
+  std::string attr;
+
+  bool operator==(const Exemplar&) const = default;
+};
+
 /// The exported state of one histogram. `bounds` are inclusive upper
 /// bucket bounds in ascending order; `counts` has one extra trailing
-/// overflow bucket (conceptually "+inf").
+/// overflow bucket (conceptually "+inf"). `exemplars` is sparse (at most
+/// one per bucket), sorted by bucket index.
 struct HistogramSnapshot {
   std::vector<Micros> bounds;
   std::vector<std::uint64_t> counts;
@@ -121,6 +136,7 @@ struct HistogramSnapshot {
   std::int64_t sum = 0;
   Micros min = 0;
   Micros max = 0;
+  std::vector<Exemplar> exemplars;
 
   bool operator==(const HistogramSnapshot&) const = default;
 };
@@ -132,11 +148,22 @@ Micros quantile(const HistogramSnapshot& h, double q);
 /// Default latency buckets, exponential-ish from 100 us to 60 s.
 const std::vector<Micros>& default_latency_bounds();
 
+/// Finer buckets from 1 us to 1 s for in-process intervals (reactor
+/// callback durations, wake->dispatch delays) that live far below the
+/// default bounds' 100 us floor.
+const std::vector<Micros>& fine_latency_bounds();
+
 class Histogram {
  public:
   explicit Histogram(std::vector<Micros> bounds = default_latency_bounds());
 
-  void record(Micros value);
+  /// Records a value; if a sampled trace context is ambient on this
+  /// thread (obs::current_trace()), it is captured as the bucket's
+  /// exemplar (latest recording wins).
+  void record(Micros value) { record(value, current_trace()); }
+  /// Records with an explicit exemplar context (invalid/unsampled ctx
+  /// records no exemplar). `attr` is sanitized to one token.
+  void record(Micros value, const TraceContext& ctx, std::string attr = {});
   Micros quantile(double q) const { return obs::quantile(data(), q); }
   std::uint64_t count() const { return locked().count; }
   std::int64_t sum() const { return locked().sum; }
@@ -186,7 +213,10 @@ struct Snapshot {
 /// Folds `other` into `into`: counters and gauges add; histograms with
 /// identical bucket bounds merge bucket-wise (count/sum add, min/max
 /// widen), while a bounds mismatch keeps `into`'s series untouched and
-/// adds only the scalar count/sum. Used by the shard router to serve one
+/// adds only the scalar count/sum. Exemplars survive the merge: per
+/// bucket the larger-valued exemplar wins (tail-biased and commutative
+/// on distinct values), so an aggregate scrape still links its worst
+/// buckets to real traces. Used by the shard router to serve one
 /// aggregate GET /metrics over shared-nothing per-shard registries;
 /// merging a snapshot into an empty one reproduces it exactly.
 void merge_snapshot(Snapshot& into, const Snapshot& other);

@@ -1,0 +1,91 @@
+#include "obs/slowlog.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace amnesia::obs {
+
+namespace {
+
+void json_escaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void SlowLog::record(SlowLogEntry entry) {
+  if (entry.blame.size() > kMaxBlame) entry.blame.resize(kMaxBlame);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(entry));
+}
+
+std::vector<SlowLogEntry> SlowLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string SlowLog::to_json_lines(Micros since) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const SlowLogEntry& e : ring_) {
+    if (since > 0 && e.at <= since) continue;
+    out << "{\"at\": " << e.at << ", \"trace_id\": \""
+        << trace_id_hex(e.trace_id) << "\", \"name\": ";
+    json_escaped(out, e.name);
+    out << ", \"outcome\": ";
+    json_escaped(out, e.outcome);
+    out << ", \"duration_us\": " << e.duration_us
+        << ", \"threshold_us\": " << e.threshold_us
+        << ", \"loop_delay_us\": " << e.loop_delay_us << ", \"degraded\": "
+        << (e.degraded ? "true" : "false") << ", \"breaker_open\": "
+        << (e.breaker_open ? "true" : "false") << ", \"blame\": [";
+    bool first = true;
+    for (const CriticalPathEntry& b : e.blame) {
+      if (!first) out << ", ";
+      first = false;
+      out << "{\"name\": ";
+      json_escaped(out, b.name);
+      out << ", \"component\": ";
+      json_escaped(out, b.component);
+      out << ", \"count\": " << b.count << ", \"total_us\": " << b.total_us
+          << ", \"self_us\": " << b.self_us << '}';
+    }
+    out << "]}\n";
+  }
+  return out.str();
+}
+
+void SlowLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+std::uint64_t SlowLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace amnesia::obs

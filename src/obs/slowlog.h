@@ -1,0 +1,90 @@
+// Slow-request flight recorder.
+//
+// Histograms say a p99 exists; exemplars link one bucket to one trace;
+// the slowlog keeps the *story* of every request that blew the SLO while
+// it is still cheap to ask why. When a round's end-to-end duration
+// exceeds a configured threshold, the server records a structured entry:
+// the trace id (-> GET /trace/<id>), a per-hop critical-path blame table
+// computed with obs::critical_path over the round's own trace tree, the
+// resilience flags that were in effect (breaker open, push->poll
+// degrade), and the reactor-loop dispatch delay observed at admission —
+// the four usual suspects for a slow login, pre-joined. Entries live in
+// a bounded drop-oldest ring served at GET /slowlog as JSON lines.
+//
+// Threshold 0 disables recording (the default: bit-compat for existing
+// deployments and deterministic artifacts). should_record() is a single
+// relaxed atomic load so the per-request cost of a disabled slowlog is
+// one predictable branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/trace.h"
+
+namespace amnesia::obs {
+
+struct SlowLogEntry {
+  Micros at = 0;  // completion time, server clock domain
+  TraceId trace_id;
+  std::string name;     // what was slow ("login", "registration", ...)
+  std::string outcome;  // "ok" | "timeout" | "declined" | ...
+  Micros duration_us = 0;
+  Micros threshold_us = 0;
+  /// net.loop.dispatch_delay_us observed when the request was admitted —
+  /// nonzero means the reactor was already behind before work started.
+  std::int64_t loop_delay_us = 0;
+  bool degraded = false;      // push->poll degrade hit this round
+  bool breaker_open = false;  // rendezvous breaker open at completion
+  /// Per-hop blame, self-time descending (trimmed to kMaxBlame).
+  std::vector<CriticalPathEntry> blame;
+};
+
+class SlowLog {
+ public:
+  explicit SlowLog(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity ? capacity : 1) {}
+
+  SlowLog(const SlowLog&) = delete;
+  SlowLog& operator=(const SlowLog&) = delete;
+
+  /// SLO threshold in microseconds; 0 disables recording.
+  void set_threshold(Micros t) {
+    threshold_us_.store(t < 0 ? 0 : t, std::memory_order_relaxed);
+  }
+  Micros threshold() const {
+    return threshold_us_.load(std::memory_order_relaxed);
+  }
+  bool should_record(Micros duration_us) const {
+    const Micros t = threshold();
+    return t > 0 && duration_us > t;
+  }
+
+  /// Appends (drop-oldest past capacity); trims blame to kMaxBlame.
+  void record(SlowLogEntry entry);
+
+  std::vector<SlowLogEntry> snapshot() const;
+  /// One JSON object per line, oldest first — the GET /slowlog body.
+  /// `since` > 0 keeps only entries with at > since.
+  std::string to_json_lines(Micros since = 0) const;
+  void clear();
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return capacity_; }
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+  static constexpr std::size_t kMaxBlame = 6;
+
+ private:
+  std::size_t capacity_;
+  std::atomic<Micros> threshold_us_{0};
+  mutable std::mutex mu_;
+  std::deque<SlowLogEntry> ring_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace amnesia::obs

@@ -374,10 +374,21 @@ void json_escaped(std::ostringstream& out, const std::string& s) {
 
 }  // namespace
 
-std::string EventLog::to_json_lines() const {
+std::optional<EventLevel> parse_event_level(std::string_view name) {
+  if (name == "debug") return EventLevel::kDebug;
+  if (name == "info") return EventLevel::kInfo;
+  if (name == "warn") return EventLevel::kWarn;
+  if (name == "error") return EventLevel::kError;
+  return std::nullopt;
+}
+
+std::string EventLog::to_json_lines(EventLevel min_level,
+                                    Micros since) const {
   const std::vector<EventRecord> records = snapshot();
   std::ostringstream out;
   for (const EventRecord& rec : records) {
+    if (rec.level < min_level) continue;
+    if (since > 0 && rec.at <= since) continue;
     out << "{\"at\": " << rec.at << ", \"level\": \""
         << event_level_name(rec.level) << "\", \"component\": ";
     json_escaped(out, rec.component);

@@ -261,6 +261,10 @@ class ScopedTrace {
 enum class EventLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
 
 const char* event_level_name(EventLevel level);
+/// Strict inverse of event_level_name ("debug"/"info"/"warn"/"error");
+/// anything else -> nullopt. Used by the GET /events?level= filter, which
+/// must reject rather than guess at hostile query values.
+std::optional<EventLevel> parse_event_level(std::string_view name);
 
 struct EventRecord {
   Micros at = 0;
@@ -288,8 +292,12 @@ class EventLog {
 
   std::vector<EventRecord> snapshot() const;
   /// One JSON object per line ({"at":..,"level":..,"component":..,
-  /// "message":..,"trace_id":".."}) — the GET /events body.
-  std::string to_json_lines() const;
+  /// "message":..,"trace_id":".."}) — the GET /events body. Keeps
+  /// records with level >= min_level and (when since > 0) at > since,
+  /// so scrapers can poll incrementally instead of re-downloading the
+  /// whole ring.
+  std::string to_json_lines(EventLevel min_level = EventLevel::kDebug,
+                            Micros since = 0) const;
   void clear();
   std::uint64_t dropped() const;
   std::size_t capacity() const { return capacity_; }

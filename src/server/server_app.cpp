@@ -1,11 +1,13 @@
 #include "server/server_app.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.h"
 #include "crypto/aead.h"
 #include "crypto/crypto_metrics.h"
+#include "obs/profiler.h"
 #include "resilience/fault.h"
 
 namespace amnesia::server {
@@ -28,6 +30,22 @@ std::optional<std::string> need_field(
     return std::nullopt;
   }
   return it->second;
+}
+
+/// Strict decimal parse for observability query values (?ms=, ?since=):
+/// digits only, bounded length and magnitude. Anything else -> nullopt,
+/// which the endpoints turn into a 400 — hostile query strings are
+/// rejected, never guessed at (same stance as the trace-header codec).
+std::optional<std::uint64_t> parse_bounded_decimal(const std::string& s,
+                                                   std::uint64_t max_value) {
+  if (s.empty() || s.size() > 19) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > max_value) return std::nullopt;
+  }
+  return value;
 }
 
 }  // namespace
@@ -78,6 +96,7 @@ AmnesiaServer::AmnesiaServer(simnet::Simulation& sim,
   // the same registry, so GET /metrics exposes it. Process-wide hook: with
   // several servers the most recently constructed one owns it.
   crypto::set_crypto_metrics(&metrics_);
+  slowlog_.set_threshold(config_.slow_request_slo_us);
   install_routes();
   secure_.set_handler([this](const Bytes& plain,
                              std::function<void(Bytes)> respond) {
@@ -94,6 +113,35 @@ AmnesiaServer::~AmnesiaServer() {
 void AmnesiaServer::finish_round_spans(const PendingPassword& pending) {
   metrics_.tracer().end(pending.wait_span);
   metrics_.tracer().end(pending.round_span);
+}
+
+void AmnesiaServer::maybe_record_slow(const PendingPassword& pending,
+                                      const char* outcome, Micros now) {
+  const Micros duration = now - pending.tstart_us;
+  if (!slowlog_.should_record(duration)) return;
+  obs::SlowLogEntry entry;
+  entry.at = now;
+  entry.trace_id = pending.round_span.trace_id;
+  switch (pending.purpose) {
+    case TokenPurpose::kGenerate: entry.name = "login"; break;
+    case TokenPurpose::kVaultStore: entry.name = "vault.store"; break;
+    case TokenPurpose::kVaultRetrieve: entry.name = "vault.retrieve"; break;
+  }
+  entry.outcome = outcome;
+  entry.duration_us = duration;
+  entry.threshold_us = slowlog_.threshold();
+  entry.loop_delay_us = pending.loop_delay_at_admission;
+  entry.degraded = pending.degraded;
+  entry.breaker_open = rendezvous_breaker_.state() !=
+                       resilience::CircuitBreaker::State::kClosed;
+  // Per-hop blame over this round's own trace tree. The registry is
+  // whole-testbed, so the phone/GCM hops are local too; spans still open
+  // (the browser's enclosing http.server span) carry no self-time and
+  // are skipped by critical_path.
+  if (entry.trace_id.valid()) {
+    entry.blame = obs::critical_path(metrics_.tracer().trace(entry.trace_id));
+  }
+  slowlog_.record(std::move(entry));
 }
 
 void AmnesiaServer::install_routes() {
@@ -178,14 +226,76 @@ void AmnesiaServer::install_routes() {
   http_.metrics_exempt("/trace/:id");
 
   // The structured event log (retries, breaker transitions, fault
-  // injections, shed 503s) as JSON lines, trace-tagged.
-  http_.router().add(Method::kGet, "/events",
-                     [this](const Request&, const PathParams&,
-                            Responder respond) {
-                       respond(Response::ok_text(
-                           metrics_.events().to_json_lines()));
-                     });
+  // injections, shed 503s) as JSON lines, trace-tagged. ?level= keeps
+  // records at or above a severity, ?since= those strictly after a
+  // timestamp — so a polling scraper fetches the delta, not the ring.
+  http_.router().add(
+      Method::kGet, "/events",
+      [this](const Request& req, const PathParams&, Responder respond) {
+        obs::EventLevel min_level = obs::EventLevel::kDebug;
+        if (const auto it = req.query.find("level"); it != req.query.end()) {
+          const auto parsed = obs::parse_event_level(it->second);
+          if (!parsed) {
+            respond(Response::error(400, "malformed level filter"));
+            return;
+          }
+          min_level = *parsed;
+        }
+        Micros since = 0;
+        if (const auto it = req.query.find("since"); it != req.query.end()) {
+          const auto parsed = parse_bounded_decimal(
+              it->second, std::numeric_limits<std::int64_t>::max());
+          if (!parsed) {
+            respond(Response::error(400, "malformed since filter"));
+            return;
+          }
+          since = static_cast<Micros>(*parsed);
+        }
+        respond(Response::ok_text(
+            metrics_.events().to_json_lines(min_level, since)));
+      });
   http_.metrics_exempt("/events");
+
+  // Collapsed-stack CPU profile of the last ?ms= milliseconds (default
+  // 1000, bounded at 10 minutes; the sample rings are always-on, so this
+  // reads history rather than waiting). A sharded deployment filters on
+  // its own reactor thread (config.profile_thread) and the router merges
+  // the legs with obs::merge_collapsed — exactly the /metrics topology.
+  http_.router().add(
+      Method::kGet, "/profile",
+      [this](const Request& req, const PathParams&, Responder respond) {
+        Micros window_us = 1'000'000;
+        if (const auto it = req.query.find("ms"); it != req.query.end()) {
+          const auto parsed = parse_bounded_decimal(it->second, 600'000);
+          if (!parsed) {
+            respond(Response::error(400, "malformed ms window"));
+            return;
+          }
+          window_us = static_cast<Micros>(*parsed) * 1'000;
+        }
+        respond(Response::ok_text(obs::Profiler::instance().collapsed(
+            window_us, config_.profile_thread)));
+      });
+  http_.metrics_exempt("/profile");
+
+  // The slow-request flight recorder as JSON lines (oldest first).
+  // ?since= skips entries at or before a timestamp, mirroring /events.
+  http_.router().add(
+      Method::kGet, "/slowlog",
+      [this](const Request& req, const PathParams&, Responder respond) {
+        Micros since = 0;
+        if (const auto it = req.query.find("since"); it != req.query.end()) {
+          const auto parsed = parse_bounded_decimal(
+              it->second, std::numeric_limits<std::int64_t>::max());
+          if (!parsed) {
+            respond(Response::error(400, "malformed since filter"));
+            return;
+          }
+          since = static_cast<Micros>(*parsed);
+        }
+        respond(Response::ok_text(slowlog_.to_json_lines(since)));
+      });
+  http_.metrics_exempt("/slowlog");
 
   // Readiness probe: role, shard count, replication lag, open breakers.
   // A load balancer (or the cluster testbed) polls this to find the
@@ -498,6 +608,11 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
   // where the paper's latency instrumentation places it (section VI-B).
   const Micros tstart = sim_.now();
   pending.tstart_us = tstart;
+  // Loop health at admission, for the flight recorder: a slow round that
+  // was *admitted* behind a backed-up reactor is a capacity problem, not
+  // a protocol one. Zero when this server runs without a TCP loop.
+  pending.loop_delay_at_admission =
+      metrics_.gauge("net.loop.dispatch_delay_us").value();
   const core::Request r = core::make_request(pending.account, seed);
   core::PasswordRequestPush push_msg{request_id, r, origin_ip, tstart};
 
@@ -543,8 +658,10 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
   // the handoff runs inline.
   auto launch = [this, request_id, registration_id, push_allowed, round_span,
                  push_span, tstart, payload = push_msg.encode()]() {
-    if (!pending_passwords_.contains(request_id)) return;  // already resolved
+    const auto pit = pending_passwords_.find(request_id);
+    if (pit == pending_passwords_.end()) return;  // already resolved
     if (!push_allowed) {
+      pit->second.degraded = true;
       const obs::ScopedTrace skipped(round_span);
       metrics_.events().emit(obs::EventLevel::kInfo, "server",
                              "rendezvous breaker open, queuing for poll");
@@ -583,7 +700,9 @@ void AmnesiaServer::begin_phone_round_trip(const core::Seed& seed,
           // up from the poll queue and answer before phone_wait_timeout_us.
           // The event is emitted under the (ended) push span's context so
           // the log line carries the trace id of the login that degraded.
-          if (pending_passwords_.contains(request_id)) {
+          if (const auto still = pending_passwords_.find(request_id);
+              still != pending_passwords_.end()) {
+            still->second.degraded = true;
             const obs::ScopedTrace degraded(push_span);
             metrics_.events().emit(obs::EventLevel::kWarn, "server",
                                    "push failed (" + s.message() +
@@ -715,8 +834,12 @@ void AmnesiaServer::handle_token(const Request& req,
       password_latencies_.push_back(tend - pending.tstart_us);
       ++stats_.passwords_generated;
       metrics_.counter("server.passwords_generated").inc();
+      // Explicit exemplar context: the bucket this round lands in keeps
+      // its trace id, so a bad percentile in a snapshot links straight to
+      // GET /trace/<id> for the round that produced it.
       metrics_.histogram("protocol.round_latency_us")
-          .record(tend - pending.tstart_us);
+          .record(tend - pending.tstart_us, pending.round_span,
+                  "protocol.round");
 
       if (config_.password_cache_ttl_us > 0 &&
           !pending.session_token.empty()) {
@@ -735,6 +858,7 @@ void AmnesiaServer::handle_token(const Request& req,
       deliver_await(await_key(pending.user, pending.account), result,
                     /*store_if_unclaimed=*/false);
       metrics_.tracer().end(pending.round_span);
+      maybe_record_slow(pending, "ok", tend);
       respond(Response::ok_text("token accepted"));
       return;
     }
@@ -762,6 +886,7 @@ void AmnesiaServer::handle_token(const Request& req,
       ++stats_.vault_stores;
       pending.respond(Response::ok_text("stored"));
       metrics_.tracer().end(pending.round_span);
+      maybe_record_slow(pending, "ok", sim_.now());
       respond(Response::ok_text("token accepted"));
       return;
     }
@@ -793,6 +918,7 @@ void AmnesiaServer::handle_token(const Request& req,
       pending.respond(
           websvc::Response::ok_form({{"password", to_string(*opened)}}));
       metrics_.tracer().end(pending.round_span);
+      maybe_record_slow(pending, "ok", sim_.now());
       respond(Response::ok_text("token accepted"));
       return;
     }
@@ -820,6 +946,7 @@ void AmnesiaServer::handle_token_decline(const Request& req,
   ++stats_.requests_declined;
   metrics_.counter("server.requests_declined").inc();
   finish_round_spans(it->second);
+  maybe_record_slow(it->second, "declined", sim_.now());
   const Response result = Response::error(403, "declined on phone");
   it->second.respond(result);
   deliver_await(await_key(it->second.user, it->second.account), result,
@@ -1120,6 +1247,7 @@ void AmnesiaServer::arm_round_timeout(std::uint64_t request_id) {
     ++stats_.requests_timed_out;
     metrics_.counter("server.requests_timed_out").inc();
     finish_round_spans(it->second);
+    maybe_record_slow(it->second, "timeout", sim_.now());
     const Response result = Response::error(504, "phone did not respond");
     it->second.respond(result);
     deliver_await(await_key(it->second.user, it->second.account), result,

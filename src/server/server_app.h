@@ -36,6 +36,7 @@
 #include "core/protocol.h"
 #include "crypto/x25519.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
 #include "rendezvous/push_service.h"
 #include "resilience/policy.h"
 #include "securechan/channel.h"
@@ -118,6 +119,20 @@ struct AmnesiaServerConfig {
   std::size_t shed_max_queue = 0;
   int shed_retry_after_s = 1;
 
+  // --- Observability (docs/OBSERVABILITY.md) ---
+
+  // Slow-request SLO: a phone round whose end-to-end duration exceeds
+  // this lands in the GET /slowlog flight recorder with its trace id,
+  // per-hop critical-path blame, and resilience flags. 0 disables (the
+  // default: no recording cost, deterministic artifacts unchanged).
+  Micros slow_request_slo_us = 0;
+  // Thread-name filter this server applies to GET /profile scrapes of
+  // the process-wide sampling profiler. The shard router sets shard k's
+  // filter to net::ReactorPool::thread_name(k), so each in-process shard
+  // reports only its own reactor's samples and the scatter-gather merge
+  // never double-counts. Empty = all threads (standalone server).
+  std::string profile_thread;
+
   // --- Cluster mode (docs/CLUSTER.md) ---
   //
   // When true, the server mirrors its process-resident protocol state —
@@ -191,6 +206,11 @@ class AmnesiaServer {
   /// covers the full bilateral round. Served as text at GET /metrics.
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The slow-request flight recorder (GET /slowlog). Threshold comes
+  /// from config.slow_request_slo_us; tests may tighten it at runtime.
+  obs::SlowLog& slowlog() { return slowlog_; }
+  const obs::SlowLog& slowlog() const { return slowlog_; }
 
   /// End-to-end password-generation latencies observed at the server
   /// (tend - tstart), in microseconds — the measurement of section VI-B.
@@ -303,6 +323,11 @@ class AmnesiaServer {
     // browser connection died with the primary, so `respond` routes the
     // outcome into the /password/await rendezvous instead.
     bool recovered = false;
+    // Flight-recorder context: did this round fall back to poll delivery
+    // (breaker open or push failure), and how far behind was the reactor
+    // loop when the round was admitted (net.loop.dispatch_delay_us).
+    bool degraded = false;
+    std::int64_t loop_delay_at_admission = 0;
   };
   struct CachedPassword {
     std::string password;
@@ -327,6 +352,13 @@ class AmnesiaServer {
 
   /// Ends the wait + round spans of a pending request (any outcome).
   void finish_round_spans(const PendingPassword& pending);
+
+  /// Flight recorder: if `now - pending.tstart_us` blew the SLO, records
+  /// a slowlog entry with per-hop critical-path blame over the round's
+  /// trace. Call after the round's spans have been ended (unfinished
+  /// spans carry no self-time).
+  void maybe_record_slow(const PendingPassword& pending, const char* outcome,
+                         Micros now);
 
   /// A push payload parked for the phone to fetch over POST /push/poll —
   /// the degradation path when the rendezvous breaker is open or a push
@@ -396,6 +428,7 @@ class AmnesiaServer {
 
   std::vector<Micros> password_latencies_;
   AmnesiaServerStats stats_;
+  obs::SlowLog slowlog_;
 };
 
 }  // namespace amnesia::server

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace amnesia::server {
@@ -86,8 +87,8 @@ std::optional<std::size_t> ShardRouter::route_target(const Request& req,
   const std::size_t n = shards_.size();
   const std::string& path = req.path;
   if (req.method == Method::kGet &&
-      (path == "/metrics" || path == "/events" ||
-       path.starts_with("/trace/"))) {
+      (path == "/metrics" || path == "/events" || path == "/profile" ||
+       path == "/slowlog" || path.starts_with("/trace/"))) {
     return std::nullopt;  // aggregate: no single owner
   }
   if (path == "/push/poll") return std::nullopt;  // scatter: every shard
@@ -134,7 +135,15 @@ void ShardRouter::handle(std::size_t origin, const Bytes& plain,
     return;
   }
   if (req.method == Method::kGet && req.path == "/events") {
-    aggregate_events(origin, std::move(respond));
+    aggregate_events(origin, plain, std::move(respond));
+    return;
+  }
+  if (req.method == Method::kGet && req.path == "/profile") {
+    aggregate_profile(origin, plain, std::move(respond));
+    return;
+  }
+  if (req.method == Method::kGet && req.path == "/slowlog") {
+    aggregate_slowlog(origin, plain, std::move(respond));
     return;
   }
   if (req.method == Method::kGet && req.path.starts_with("/trace/")) {
@@ -272,18 +281,84 @@ void ShardRouter::aggregate_trace(std::size_t origin, const std::string& id_hex,
       });
 }
 
-void ShardRouter::aggregate_events(std::size_t origin,
-                                   std::function<void(Bytes)> respond) {
+void ShardRouter::aggregate_responses(
+    std::size_t origin, const Bytes& plain,
+    std::function<void(std::vector<Response>)> finish) {
   counters_[origin].scatter_ops->inc();
-  gather<std::string>(
+  // Replay the raw bytes on every shard so each leg's route parses the
+  // query string itself — the router stays ignorant of filter syntax.
+  auto wire = std::make_shared<const Bytes>(plain);
+  gather<Response>(
       origin,
-      [](std::size_t, AmnesiaServer& server,
-         std::function<void(std::string)> deliver) {
-        deliver(server.metrics().events().to_json_lines());
+      [wire](std::size_t, AmnesiaServer& server,
+             std::function<void(Response)> deliver) {
+        server.http().handle_bytes(*wire, [deliver](Bytes raw) {
+          try {
+            deliver(websvc::parse_response(raw));
+          } catch (const FormatError&) {
+            deliver(Response{});  // counts as an empty-bodied leg
+          }
+        });
       },
-      [respond = std::move(respond)](std::vector<std::string> parts) {
+      std::move(finish));
+}
+
+/// First non-200 leg (a shard's route rejected the query — e.g. malformed
+/// ?level= or ?since=); every shard parses identically, so one veto
+/// speaks for all. Faulted legs deliver a default 200/empty and pass.
+static const Response* first_rejection(const std::vector<Response>& parts) {
+  for (const Response& part : parts) {
+    if (part.status != 200) return &part;
+  }
+  return nullptr;
+}
+
+void ShardRouter::aggregate_events(std::size_t origin, const Bytes& plain,
+                                   std::function<void(Bytes)> respond) {
+  aggregate_responses(
+      origin, plain,
+      [respond = std::move(respond)](std::vector<Response> parts) {
+        if (const Response* err = first_rejection(parts)) {
+          respond(websvc::serialize(*err));
+          return;
+        }
         std::string lines;
-        for (const std::string& part : parts) lines += part;
+        for (const Response& part : parts) lines += part.body;
+        respond(websvc::serialize(Response::ok_text(std::move(lines))));
+      });
+}
+
+void ShardRouter::aggregate_profile(std::size_t origin, const Bytes& plain,
+                                    std::function<void(Bytes)> respond) {
+  aggregate_responses(
+      origin, plain,
+      [respond = std::move(respond)](std::vector<Response> parts) {
+        if (const Response* err = first_rejection(parts)) {
+          respond(websvc::serialize(*err));
+          return;
+        }
+        // Each shard's /profile filters the process-wide sample stream to
+        // its own reactor thread, so summing collapsed stacks across legs
+        // never double-counts a sample.
+        std::vector<std::string> texts;
+        texts.reserve(parts.size());
+        for (const Response& part : parts) texts.push_back(part.body);
+        respond(websvc::serialize(
+            Response::ok_text(obs::merge_collapsed(texts))));
+      });
+}
+
+void ShardRouter::aggregate_slowlog(std::size_t origin, const Bytes& plain,
+                                    std::function<void(Bytes)> respond) {
+  aggregate_responses(
+      origin, plain,
+      [respond = std::move(respond)](std::vector<Response> parts) {
+        if (const Response* err = first_rejection(parts)) {
+          respond(websvc::serialize(*err));
+          return;
+        }
+        std::string lines;
+        for (const Response& part : parts) lines += part.body;
         respond(websvc::serialize(Response::ok_text(std::move(lines))));
       });
 }

@@ -22,9 +22,10 @@
 //   /push/poll         scatter-gather to every shard (the registration id
 //                      is an opaque bearer token; its parked payloads live
 //                      wherever the owning user does)
-//   GET /metrics /trace/<id> /events
+//   GET /metrics /trace/<id> /events /profile /slowlog
 //                      scatter-gather + merge, so operators see one
-//                      logical server
+//                      logical server; query strings (?level= ?since=
+//                      ?ms=) ride along to every leg unchanged
 //
 // Anything unroutable (malformed request, missing field, untagged cookie)
 // is handled locally — the shard that accepted the connection produces
@@ -123,7 +124,19 @@ class ShardRouter {
   void aggregate_metrics(std::size_t origin, std::function<void(Bytes)> respond);
   void aggregate_trace(std::size_t origin, const std::string& id_hex,
                        std::function<void(Bytes)> respond);
-  void aggregate_events(std::size_t origin, std::function<void(Bytes)> respond);
+  /// Replays the raw request on every shard (query string and all) and
+  /// hands the parsed per-shard responses to `finish` on the origin
+  /// thread. Shared leg-work for /events, /profile, and /slowlog, whose
+  /// filters (?level= ?since= ?ms=) are parsed by each shard's own route.
+  void aggregate_responses(
+      std::size_t origin, const Bytes& plain,
+      std::function<void(std::vector<websvc::Response>)> finish);
+  void aggregate_events(std::size_t origin, const Bytes& plain,
+                        std::function<void(Bytes)> respond);
+  void aggregate_profile(std::size_t origin, const Bytes& plain,
+                         std::function<void(Bytes)> respond);
+  void aggregate_slowlog(std::size_t origin, const Bytes& plain,
+                         std::function<void(Bytes)> respond);
 
   /// Scatter-gather skeleton. `collect` runs on each shard's own thread
   /// and eventually delivers that shard's part; `finish` runs on the

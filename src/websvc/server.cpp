@@ -138,6 +138,7 @@ void HttpServer::handle_bytes(const Bytes& wire,
       }
 
       auto responder = [this, arrived_at, observe, latency, server_span,
+                        pattern,
                         respond = std::move(respond),
                         release = std::move(release)](Response resp) {
         count_status(resp.status);
@@ -150,7 +151,13 @@ void HttpServer::handle_bytes(const Bytes& wire,
             metrics_->counter("http.responses_2xx").inc();
           }
         }
-        if (latency) latency->record(exec_.clock().now_us() - arrived_at);
+        if (latency) {
+          // The server hop's context is the exemplar: an operator reading
+          // a slow bucket in the snapshot jumps to GET /trace/<id> for
+          // the exact request that landed there.
+          latency->record(exec_.clock().now_us() - arrived_at, server_span,
+                          pattern);
+        }
         if (server_span.valid()) {
           // Echo only our own canonical serialization, never the inbound
           // header bytes, and close the server hop.

@@ -417,13 +417,144 @@ TEST(MergeSnapshotTest, SameBoundsHistogramsMergeBucketwise) {
   EXPECT_EQ(buckets, 3u) << "bucket-wise merge must keep every sample";
 }
 
+// ------------------------------------------------- bucket exemplars
+
+TraceContext sampled_ctx(std::uint64_t lo, SpanId span = 9) {
+  return TraceContext{TraceId{0, lo}, span, /*sampled=*/true};
+}
+
+TEST(ExemplarTest, CapturedOnlyFromSampledValidContexts) {
+  Histogram h({100, 1000});
+  h.record(50, TraceContext{});  // no ambient trace: plain sample
+  TraceContext unsampled = sampled_ctx(7);
+  unsampled.sampled = false;
+  h.record(60, unsampled);  // correlated but not recorded: no exemplar
+  EXPECT_TRUE(h.data().exemplars.empty())
+      << "invalid/unsampled contexts must not fabricate exemplars";
+
+  h.record(70, sampled_ctx(7), "route /gen");
+  const auto exemplars = h.data().exemplars;
+  ASSERT_EQ(exemplars.size(), 1u);
+  EXPECT_EQ(exemplars[0].bucket, 0u);
+  EXPECT_EQ(exemplars[0].trace_id, (TraceId{0, 7}));
+  EXPECT_EQ(exemplars[0].value, 70);
+  EXPECT_EQ(exemplars[0].attr, "route_/gen")
+      << "attr must be squeezed to one whitespace-free token";
+}
+
+TEST(ExemplarTest, LatestWinsPerBucketSparseAcrossBuckets) {
+  Histogram h({100, 1000});
+  h.record(40, sampled_ctx(1));
+  h.record(80, sampled_ctx(2));      // same bucket: replaces lo=1
+  h.record(500, sampled_ctx(3));     // second bucket
+  h.record(50'000, sampled_ctx(4));  // overflow bucket
+  const auto exemplars = h.data().exemplars;
+  ASSERT_EQ(exemplars.size(), 3u) << "at most one exemplar per bucket";
+  EXPECT_EQ(exemplars[0].bucket, 0u);
+  EXPECT_EQ(exemplars[0].trace_id, (TraceId{0, 2}))
+      << "within one process the latest recording wins";
+  EXPECT_EQ(exemplars[1].bucket, 1u);
+  EXPECT_EQ(exemplars[2].bucket, 2u) << "overflow bucket carries one too";
+  // Sparse and sorted: bucket indices strictly increase.
+  for (std::size_t i = 1; i < exemplars.size(); ++i) {
+    EXPECT_LT(exemplars[i - 1].bucket, exemplars[i].bucket);
+  }
+}
+
+TEST(ExemplarTest, SurviveTextAndJsonExport) {
+  ManualClock clock;
+  MetricsRegistry reg(&clock);
+  Histogram& h = reg.histogram("lat", {100, 1000});
+  h.record(70, sampled_ctx(0xabc), "proto.round");
+  h.record(70'000, sampled_ctx(0xdef), "proto.round");
+
+  const Snapshot original = reg.snapshot();
+  const std::string text = to_text(original);
+  const Snapshot parsed = parse_text(text);
+  EXPECT_EQ(parsed, original)
+      << "exemplar lines must round-trip through the text exporter";
+  EXPECT_EQ(to_text(parsed), text);
+
+  const std::string json = to_json(original);
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(json.find(trace_id_hex(TraceId{0, 0xabc})), std::string::npos);
+  EXPECT_NE(json.find("\"proto.round\""), std::string::npos);
+}
+
+TEST(MergeSnapshotTest, ExemplarLargerValueWinsPerBucket) {
+  ManualClock clock;
+  MetricsRegistry rega(&clock);
+  MetricsRegistry regb(&clock);
+  rega.histogram("lat", {100}).record(40, sampled_ctx(1));
+  rega.histogram("lat", {100}).record(900, sampled_ctx(2));
+  regb.histogram("lat", {100}).record(80, sampled_ctx(3));
+  regb.histogram("lat", {100}).record(300, sampled_ctx(4));
+  Snapshot a = rega.snapshot();
+  merge_snapshot(a, regb.snapshot());
+  const auto& exemplars = a.histograms.at("lat").exemplars;
+  ASSERT_EQ(exemplars.size(), 2u);
+  EXPECT_EQ(exemplars[0].trace_id, (TraceId{0, 3}))
+      << "bucket 0: b's 80 beats a's 40 (tail-biased merge)";
+  EXPECT_EQ(exemplars[1].trace_id, (TraceId{0, 2}))
+      << "overflow: a's 900 beats b's 300";
+}
+
+// The operator's real fan-in: shard registries merge into one fleet
+// snapshot (GET /metrics on the router), and a cluster replica that was
+// just promoted serves its own replayed registry alongside. However the
+// legs are combined, every sample must count exactly once and the
+// exemplars must ride along.
+TEST(MergeSnapshotTest, ShardTimesClusterTopologyCountsEverySampleOnce) {
+  ManualClock clock;
+  MetricsRegistry shard0(&clock);
+  MetricsRegistry shard1(&clock);
+  MetricsRegistry promoted(&clock);  // replica of a second cluster site
+
+  const std::vector<Micros> bounds = {100, 1000};
+  shard0.counter("server.passwords_generated").inc(3);
+  shard0.histogram("round_us", bounds).record(50, sampled_ctx(1));
+  shard0.histogram("round_us", bounds).record(700, sampled_ctx(2));
+  shard1.counter("server.passwords_generated").inc(5);
+  shard1.histogram("round_us", bounds).record(90, sampled_ctx(3));
+  promoted.counter("server.passwords_generated").inc(2);
+  promoted.histogram("round_us", bounds).record(4'000, sampled_ctx(4));
+
+  // Site A: the shard router's scatter-gather merge, one leg per shard.
+  Snapshot site_a;
+  merge_snapshot(site_a, shard0.snapshot());
+  merge_snapshot(site_a, shard1.snapshot());
+  // Fleet: site A plus the promoted replica's own registry.
+  Snapshot fleet = site_a;
+  merge_snapshot(fleet, promoted.snapshot());
+
+  EXPECT_EQ(fleet.counters.at("server.passwords_generated"), 10u)
+      << "3 + 5 + 2, each shard and each site counted exactly once";
+  const HistogramSnapshot& h = fleet.histograms.at("round_us");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 50 + 700 + 90 + 4'000);
+  std::uint64_t buckets = 0;
+  for (const std::uint64_t n : h.counts) buckets += n;
+  EXPECT_EQ(buckets, 4u);
+  // Exemplars survived both merge levels: bucket 0 keeps the largest of
+  // {50, 90}, bucket 1 keeps 700, overflow keeps the replica's 4000.
+  ASSERT_EQ(h.exemplars.size(), 3u);
+  EXPECT_EQ(h.exemplars[0].trace_id, (TraceId{0, 3}));
+  EXPECT_EQ(h.exemplars[1].trace_id, (TraceId{0, 2}));
+  EXPECT_EQ(h.exemplars[2].trace_id, (TraceId{0, 4}))
+      << "the promoted replica's exemplar must survive the second merge";
+
+  // The textual fleet view (what check_bench and operators consume)
+  // still round-trips losslessly with exemplars in place.
+  EXPECT_EQ(parse_text(to_text(fleet)), fleet);
+}
+
 TEST(MergeSnapshotTest, BoundsMismatchFallsBackToScalars) {
   Snapshot a;
   a.histograms["lat"] = HistogramSnapshot{
-      {10, 100}, {1, 1}, /*count=*/2, /*sum=*/60, /*min=*/5, /*max=*/55};
+      {10, 100}, {1, 1}, /*count=*/2, /*sum=*/60, /*min=*/5, /*max=*/55, {}};
   Snapshot b;
   b.histograms["lat"] = HistogramSnapshot{
-      {1000}, {1}, /*count=*/1, /*sum=*/700, /*min=*/700, /*max=*/700};
+      {1000}, {1}, /*count=*/1, /*sum=*/700, /*min=*/700, /*max=*/700, {}};
   merge_snapshot(a, b);
   const HistogramSnapshot& h = a.histograms.at("lat");
   // Series untouched (merging foreign buckets would misfile samples)...

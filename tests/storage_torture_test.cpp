@@ -20,12 +20,26 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/profiler.h"
 #include "resilience/fault.h"
 #include "resilience/policy.h"
 #include "storage/database.h"
 
 namespace amnesia::storage {
 namespace {
+
+// Signal-safety smoke: the whole torture sweep runs with the sampling
+// profiler armed, so SIGPROF lands mid-write, mid-journal-replay, and
+// mid-crash-schedule. Any async-signal-unsafety in the handler (or
+// EINTR mishandling in storage) surfaces as a failed iteration here and
+// under the sanitizer passes of tools/run_tests.sh.
+class ProfilerArmed : public ::testing::Environment {
+ public:
+  void SetUp() override { obs::Profiler::instance().start(); }
+  void TearDown() override { obs::Profiler::instance().stop(); }
+};
+[[maybe_unused]] const auto* const kProfilerArmed =
+    ::testing::AddGlobalTestEnvironment(new ProfilerArmed);
 
 namespace fs = std::filesystem;
 using resilience::FaultInjector;

@@ -73,7 +73,7 @@ def latency_metrics(doc):
                     out[f"{key} {metric}"] = row[metric]
     elif bench == "fig3_latency":
         for row in doc.get("networks", []):
-            for metric in ("median_ms", "mean_ms"):
+            for metric in ("median_ms", "mean_ms", "p99_ms"):
                 if metric in row:
                     out[f"{row['name']} {metric}"] = row[metric]
     return out

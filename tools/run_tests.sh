@@ -59,13 +59,18 @@ run_pass() {
 # EventLoop thread per shard, cross-shard mailbox posts), which is the
 # most thread-heavy path in the tree. The cluster suites add the
 # replicated testbeds: the TCP failover test runs a whole two-replica
-# cluster on a reactor thread while the main thread drives clients.
-tsan_filter='net_|securechan_stream|obs_trace|trace_propagation|shard_|securechan_resume|websvc_pool|cluster_'
+# cluster on a reactor thread while the main thread drives clients. The
+# profiler suites hammer SIGPROF delivery against concurrent scrapes and
+# the slowlog suites drive the sharded flight recorder, so both join.
+tsan_filter='net_|securechan_stream|obs_trace|trace_propagation|shard_|securechan_resume|websvc_pool|cluster_|obs_profiler_|slowlog_'
 
 # Everything driven by resilience::FaultInjector plus the degraded-mode
 # end-to-end suites; cluster_ brings the mid-round primary-crash drills
 # and storage_codec_fuzz the hostile-bytes sweeps over the AMDB codecs.
-fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test|trace_propagation|shard_|securechan_resume|websvc_pool|cluster_|storage_codec_fuzz'
+# and storage_codec_fuzz the hostile-bytes sweeps over the AMDB codecs;
+# obs_profiler_ includes the signal-safety smoke (profiler armed across
+# the storage torture schedules) and slowlog_ the faulted-leg scrapes.
+fault_filter='resilience_|storage_torture|net_tcp|rendezvous_cloud|obs_test|trace_propagation|shard_|securechan_resume|websvc_pool|cluster_|storage_codec_fuzz|obs_profiler_|slowlog_'
 
 case "$mode" in
 plain)
